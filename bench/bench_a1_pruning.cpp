@@ -1,0 +1,87 @@
+// A1 — ablation: maximal-tree pruning (§IV-B). The paper prunes hardware
+// levels the layout does not name; the alternative is iterating the full
+// 9-deep space with width-1 bridges at every unnamed level. Pruning is what
+// keeps short layouts cheap: compare mapping through a 5-letter layout
+// (4 pruned levels) against the equivalent 9-letter layout (every level
+// explicit) on hardware with and without caches.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "lama/mapper.hpp"
+#include "lama/maximal_tree.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace lama;
+
+void print_pruning_report() {
+  std::printf("=== A1: effect of pruning unnamed levels ===\n");
+  // On cache-less hardware the two layouts produce identical mappings; the
+  // 9-letter one just runs four extra (width-1) loop levels.
+  const Allocation flat =
+      allocate_all(Cluster::homogeneous(8, "socket:2 core:4 pu:2"));
+  const Allocation cached = allocate_all(
+      Cluster::homogeneous(8, "socket:2 numa:2 l3:1 l2:2 l1:1 core:2 pu:2"));
+
+  TextTable table({"hardware", "layout", "levels", "visited", "tree width"});
+  for (const auto& [name, alloc] :
+       {std::pair<const char*, const Allocation*>{"flat", &flat},
+        std::pair<const char*, const Allocation*>{"cached", &cached}}) {
+    for (const char* layout : {"scbnh", "sNL3L2L1cbnh"}) {
+      const ProcessLayout l = ProcessLayout::parse(layout);
+      const std::size_t np = alloc->total_online_pus();
+      const MappingResult m = lama_map(*alloc, l, {.np = np});
+      const MaximalTree mtree(*alloc, l);
+      table.add_row({name, layout, TextTable::cell(l.size()),
+                     TextTable::cell(m.visited),
+                     TextTable::cell(mtree.iteration_space())});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+void BM_MapPrunedLayout(benchmark::State& state) {
+  const Allocation alloc = allocate_all(
+      Cluster::homogeneous(16, "socket:2 numa:2 l3:1 l2:2 l1:1 core:2 pu:2"));
+  const ProcessLayout layout = ProcessLayout::parse("scbnh");
+  const std::size_t np = alloc.total_online_pus();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lama_map(alloc, layout, {.np = np}));
+  }
+}
+BENCHMARK(BM_MapPrunedLayout);
+
+void BM_MapUnprunedLayout(benchmark::State& state) {
+  const Allocation alloc = allocate_all(
+      Cluster::homogeneous(16, "socket:2 numa:2 l3:1 l2:2 l1:1 core:2 pu:2"));
+  // Same iteration semantics, but every level named: nothing is pruned.
+  const ProcessLayout layout = ProcessLayout::parse("sNL3L2L1cbnh");
+  const std::size_t np = alloc.total_online_pus();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lama_map(alloc, layout, {.np = np}));
+  }
+}
+BENCHMARK(BM_MapUnprunedLayout);
+
+void BM_PrunedTreeBuild(benchmark::State& state) {
+  const Allocation alloc = allocate_all(
+      Cluster::homogeneous(64, "socket:2 numa:2 l3:1 l2:2 l1:1 core:2 pu:2"));
+  static const char* kLayouts[] = {"sn", "scbnh", "sNL3L2L1cbnh"};
+  const ProcessLayout layout = ProcessLayout::parse(kLayouts[state.range(0)]);
+  state.SetLabel(layout.to_string());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaximalTree(alloc, layout));
+  }
+}
+BENCHMARK(BM_PrunedTreeBuild)->DenseRange(0, 2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_pruning_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

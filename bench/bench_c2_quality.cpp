@@ -1,0 +1,129 @@
+// C2 — the paper's motivating claim (§I, §II): tuning process placement to
+// the application's communication pattern yields significant performance
+// gains (the cited GTC study reports up to 30%; NAS studies show pattern-
+// dependent winners). Regenerates that result in simulation: for each
+// application pattern, price the classic baselines (by-slot, by-node) and a
+// set of LAMA layouts, and report who wins, by how much, and where the
+// crossovers are.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lama/baselines.hpp"
+#include "lama/mapper.hpp"
+#include "sim/evaluator.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace lama;
+
+Allocation quality_cluster() {
+  // 4 dual-socket NUMA nodes, 32 PUs each: big enough that jobs span nodes.
+  return allocate_all(
+      Cluster::homogeneous(4, "socket:2 numa:2 l3:1 l2:4 l1:1 core:1 pu:2"));
+}
+
+struct Candidate {
+  std::string name;
+  MappingResult mapping;
+};
+
+void run_quality_table(const Allocation& alloc, std::size_t np) {
+  const DistanceModel model = DistanceModel::commodity();
+
+  std::vector<Candidate> candidates;
+  candidates.push_back({"by-slot (baseline)", map_by_slot(alloc, {.np = np})});
+  candidates.push_back({"by-node (baseline)", map_by_node(alloc, {.np = np})});
+  for (const char* layout :
+       {"scbnh", "Nschbn", "csbnh", "nscbh", "L2cnsbh", "hcL1L2L3Nsbn"}) {
+    candidates.push_back({std::string("lama:") + layout,
+                          lama_map(alloc, layout, {.np = np})});
+  }
+
+  std::vector<TrafficPattern> patterns;
+  patterns.push_back(make_ring(static_cast<int>(np), 8192));
+  patterns.push_back(make_halo2d(16, static_cast<int>(np / 16), 4096));
+  patterns.push_back(make_halo3d(8, 4, static_cast<int>(np / 32), 4096));
+  patterns.push_back(make_alltoall(static_cast<int>(np), 512));
+  patterns.push_back(make_toroidal(static_cast<int>(np), 16384, 64));
+  patterns.push_back(make_pairs(static_cast<int>(np), 8192));
+  patterns.push_back(
+      make_strided_pairs(static_cast<int>(np), static_cast<int>(np / 2),
+                         16384));
+  patterns.push_back(make_master_worker(static_cast<int>(np), 256, 4096));
+
+  std::printf("--- job size np=%zu on %zu nodes ---\n\n", np,
+              alloc.num_nodes());
+  for (const TrafficPattern& pattern : patterns) {
+    TextTable table({"mapping", "total ms", "max-rank ms", "inter-node",
+                     "max NIC MB"});
+    double best = -1.0;
+    double worst = -1.0;
+    std::string best_name;
+    std::string worst_name;
+    double byslot = 0.0;
+    for (const Candidate& c : candidates) {
+      const CostReport r = evaluate_mapping(alloc, c.mapping, pattern, model);
+      table.add_row(
+          {c.name, TextTable::cell(r.total_ns / 1e6, 3),
+           TextTable::cell(r.max_rank_ns / 1e6, 3),
+           TextTable::cell(r.inter_node_messages),
+           TextTable::cell(static_cast<double>(r.max_nic_bytes) / 1e6, 2)});
+      if (c.name == "by-slot (baseline)") byslot = r.total_ns;
+      if (best < 0 || r.total_ns < best) {
+        best = r.total_ns;
+        best_name = c.name;
+      }
+      if (worst < 0 || r.total_ns > worst) {
+        worst = r.total_ns;
+        worst_name = c.name;
+      }
+    }
+    std::printf("pattern %s:\n%s", pattern.name.c_str(),
+                table.to_string().c_str());
+    std::printf(
+        "  best %s | worst %s | best-vs-worst %.1f%% | best-vs-by-slot "
+        "%.1f%%\n\n",
+        best_name.c_str(), worst_name.c_str(), (worst - best) / worst * 100.0,
+        (byslot - best) / byslot * 100.0);
+  }
+}
+
+void print_quality_tables() {
+  const Allocation alloc = quality_cluster();
+  std::printf(
+      "=== C2: mapping quality by communication pattern (4 dual-socket NUMA "
+      "nodes, 128 PUs) ===\n\n");
+  // Full machine: every mapping is a bijection onto the same PUs, so
+  // symmetric patterns (all-to-all) tie and neighbour patterns separate.
+  run_quality_table(alloc, alloc.total_online_pus());
+  // Half machine: mappings now differ in *which* nodes they use, exposing
+  // NIC-congestion crossovers (packed uses 2 NICs, scattered spreads 4).
+  run_quality_table(alloc, alloc.total_online_pus() / 2);
+}
+
+void BM_EvaluateMapping(benchmark::State& state) {
+  const Allocation alloc = quality_cluster();
+  const std::size_t np = alloc.total_online_pus();
+  const MappingResult m = lama_map(alloc, "scbnh", {.np = np});
+  const TrafficPattern pattern = make_alltoall(static_cast<int>(np), 512);
+  const DistanceModel model = DistanceModel::commodity();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate_mapping(alloc, m, pattern, model));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pattern.messages.size()));
+}
+BENCHMARK(BM_EvaluateMapping);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_quality_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// C3 — scale-out claim: the LAMA "is able to naturally scale out to
+// additional hardware resources as they become available". Measures maximal-
+// tree construction and full-job mapping as the allocation grows to
+// thousands of nodes, and prints the resulting wall-time series.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "lama/mapper.hpp"
+#include "lama/maximal_tree.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace lama;
+
+Allocation make_alloc(std::size_t nodes) {
+  return allocate_all(Cluster::homogeneous(nodes, "socket:2 core:4 pu:2"));
+}
+
+void print_scaleout_series() {
+  std::printf("=== C3: mapping cost vs system size (layout scbnh) ===\n");
+  TextTable table({"nodes", "PUs", "np", "tree build ms", "map ms",
+                   "us per proc"});
+  const ProcessLayout layout = ProcessLayout::parse("scbnh");
+  for (std::size_t nodes : {16u, 64u, 256u, 1024u, 4096u}) {
+    const Allocation alloc = make_alloc(nodes);
+    const std::size_t np = alloc.total_online_pus();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const MaximalTree mtree(alloc, layout);
+    const auto t1 = std::chrono::steady_clock::now();
+    const MappingResult m = lama_map(alloc, layout, {.np = np});
+    const auto t2 = std::chrono::steady_clock::now();
+
+    const double build_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double map_ms =
+        std::chrono::duration<double, std::milli>(t2 - t1).count();
+    table.add_row({TextTable::cell(nodes), TextTable::cell(np),
+                   TextTable::cell(m.num_procs()),
+                   TextTable::cell(build_ms, 2), TextTable::cell(map_ms, 2),
+                   TextTable::cell(map_ms * 1e3 / static_cast<double>(np),
+                                   3)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+void BM_MaximalTreeBuild(benchmark::State& state) {
+  const Allocation alloc = make_alloc(static_cast<std::size_t>(state.range(0)));
+  const ProcessLayout layout = ProcessLayout::parse("scbnh");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaximalTree(alloc, layout));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MaximalTreeBuild)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_MapFullSystem(benchmark::State& state) {
+  const std::size_t nodes = static_cast<std::size_t>(state.range(0));
+  const Allocation alloc = make_alloc(nodes);
+  const std::size_t np = alloc.total_online_pus();
+  const ProcessLayout layout = ProcessLayout::parse("scbnh");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lama_map(alloc, layout, {.np = np}));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(np));
+}
+BENCHMARK(BM_MapFullSystem)->RangeMultiplier(4)->Range(16, 1024);
+
+// Allocation copies (what a resource manager hands each job) must also scale.
+void BM_AllocationBuild(benchmark::State& state) {
+  const Cluster cluster = Cluster::homogeneous(
+      static_cast<std::size_t>(state.range(0)), "socket:2 core:4 pu:2");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(allocate_all(cluster));
+  }
+}
+BENCHMARK(BM_AllocationBuild)->RangeMultiplier(4)->Range(16, 1024);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_scaleout_series();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// C5 — binding width (§III-B): "the number of processors to which a process
+// is bound is referred to as its binding width". Sweeps the bind target from
+// hardware thread to whole node on a NUMA machine, prints the resulting
+// widths and overload status, and times binding computation including
+// overload detection.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "lama/binding.hpp"
+#include "lama/mapper.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace lama;
+
+Allocation numa_alloc(std::size_t nodes = 2) {
+  return allocate_all(
+      Cluster::homogeneous(nodes, "socket:2 numa:2 l3:1 l2:4 l1:1 core:1 pu:2"));
+}
+
+void print_binding_widths() {
+  const Allocation alloc = numa_alloc();
+  const MappingResult m = lama_map(alloc, "scbnh", {.np = 16});
+  std::printf(
+      "=== C5: binding width by target level (dual-socket NUMA node, 32 PUs) "
+      "===\n");
+  TextTable table({"bind target", "width (PUs)", "overloaded"});
+  for (BindTarget t : {BindTarget::kHwThread, BindTarget::kCore,
+                       BindTarget::kL2, BindTarget::kL3, BindTarget::kNuma,
+                       BindTarget::kSocket, BindTarget::kNode,
+                       BindTarget::kNone}) {
+    const BindingResult b = bind_processes(alloc, m, {.target = t});
+    table.add_row({bind_target_name(t),
+                   TextTable::cell(b.bindings.front().width),
+                   b.overloaded ? "yes" : "no"});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  // Width > 1: the Open MPI "<N><level>" syntax for multi-threaded procs.
+  std::printf("\nmulti-object widths (layout csbnh, 4 procs):\n");
+  const MappingResult wide_m = lama_map(alloc, "csbnh", {.np = 4});
+  TextTable wide({"policy", "width (PUs)"});
+  for (std::size_t w : {1u, 2u, 4u}) {
+    const BindingResult b = bind_processes(
+        alloc, wide_m, {.target = BindTarget::kCore, .width = w});
+    wide.add_row({std::to_string(w) + "c",
+                  TextTable::cell(b.bindings.front().width)});
+  }
+  std::printf("%s\n", wide.to_string().c_str());
+}
+
+void BM_BindByTarget(benchmark::State& state) {
+  static const BindTarget kTargets[] = {BindTarget::kHwThread,
+                                        BindTarget::kCore, BindTarget::kNuma,
+                                        BindTarget::kSocket, BindTarget::kNone};
+  const BindTarget target = kTargets[state.range(0)];
+  const Allocation alloc = numa_alloc(8);
+  const std::size_t np = alloc.total_online_pus();
+  const MappingResult m = lama_map(alloc, "scbnh", {.np = np});
+  state.SetLabel(bind_target_name(target));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bind_processes(alloc, m, {.target = target}));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(np));
+}
+BENCHMARK(BM_BindByTarget)->DenseRange(0, 4);
+
+void BM_BindOverloadedJob(benchmark::State& state) {
+  // Oversubscribed mapping exercises the per-object load bookkeeping.
+  const Allocation alloc = numa_alloc(2);
+  const MappingResult m =
+      lama_map(alloc, "hcsbn", {.np = alloc.total_online_pus() * 2});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bind_processes(alloc, m, {.target = BindTarget::kCore}));
+  }
+}
+BENCHMARK(BM_BindOverloadedJob);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_binding_widths();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// C6 — related-work comparison [3]: communication-matrix-driven mapping
+// (TreeMatch-style) vs the LAMA's regular layouts and the classic baselines.
+// The positioning the paper implies: regular layouts cover regular patterns
+// when the expert picks well; matrix-driven mapping wins when the pattern is
+// irregular or misaligned with every fixed order — at the cost of needing
+// the matrix up front.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lama/baselines.hpp"
+#include "lama/mapper.hpp"
+#include "sim/evaluator.hpp"
+#include "support/table.hpp"
+#include "tmatch/treematch.hpp"
+
+namespace {
+
+using namespace lama;
+
+Allocation numa_cluster(std::size_t nodes = 4) {
+  return allocate_all(
+      Cluster::homogeneous(nodes, "socket:2 numa:2 l3:1 l2:4 l1:1 core:1 pu:2"));
+}
+
+void print_comparison() {
+  const Allocation alloc = numa_cluster();
+  const std::size_t np = alloc.total_online_pus();
+  const DistanceModel model = DistanceModel::commodity();
+
+  std::vector<TrafficPattern> patterns;
+  patterns.push_back(make_pairs(static_cast<int>(np), 8192));
+  patterns.push_back(
+      make_strided_pairs(static_cast<int>(np), static_cast<int>(np / 2),
+                         8192));
+  patterns.push_back(make_halo2d(16, static_cast<int>(np / 16), 4096));
+  patterns.push_back(make_random_sparse(static_cast<int>(np), 4, 4096, 23));
+  patterns.push_back(make_master_worker(static_cast<int>(np), 256, 4096));
+
+  std::printf(
+      "=== C6: matrix-driven (treematch) vs regular mappings (np=%zu, 4 NUMA "
+      "nodes) ===\n\n",
+      np);
+  for (const TrafficPattern& pattern : patterns) {
+    const CommMatrix matrix = CommMatrix::from_pattern(pattern);
+    TextTable table({"mapping", "total ms", "inter-node msgs"});
+
+    auto add = [&](const std::string& name, const MappingResult& m) {
+      const CostReport r = evaluate_mapping(alloc, m, pattern, model);
+      table.add_row({name, TextTable::cell(r.total_ns / 1e6, 3),
+                     TextTable::cell(r.inter_node_messages)});
+      return r.total_ns;
+    };
+
+    add("by-slot", map_by_slot(alloc, {.np = np}));
+    add("by-node", map_by_node(alloc, {.np = np}));
+    double best_lama = -1.0;
+    std::string best_layout;
+    for (const char* layout : {"hcL1L2L3Nsbn", "scbnh", "Nschbn", "csbnh"}) {
+      const double ns =
+          add(std::string("lama:") + layout, lama_map(alloc, layout, {.np = np}));
+      if (best_lama < 0 || ns < best_lama) {
+        best_lama = ns;
+        best_layout = layout;
+      }
+    }
+    const double tm =
+        add("treematch", map_treematch(alloc, matrix, {.np = np}));
+
+    std::printf("pattern %s:\n%s", pattern.name.c_str(),
+                table.to_string().c_str());
+    std::printf("  best regular: lama:%s | treematch vs best regular: %+.1f%%\n\n",
+                best_layout.c_str(), (best_lama - tm) / best_lama * 100.0);
+  }
+}
+
+void BM_TreeMatchMap(benchmark::State& state) {
+  const Allocation alloc = numa_cluster(static_cast<std::size_t>(state.range(0)));
+  const std::size_t np = alloc.total_online_pus();
+  const CommMatrix matrix = CommMatrix::from_pattern(
+      make_random_sparse(static_cast<int>(np), 4, 4096, 23));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map_treematch(alloc, matrix, {.np = np}));
+  }
+  state.counters["np"] = static_cast<double>(np);
+}
+BENCHMARK(BM_TreeMatchMap)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_LamaMapSameSize(benchmark::State& state) {
+  // The cost the LAMA pays for the same job: orders of magnitude below the
+  // O(n^2) matrix partitioner — the price of pattern awareness.
+  const Allocation alloc = numa_cluster(static_cast<std::size_t>(state.range(0)));
+  const std::size_t np = alloc.total_online_pus();
+  const ProcessLayout layout = ProcessLayout::parse("scbnh");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lama_map(alloc, layout, {.np = np}));
+  }
+}
+BENCHMARK(BM_LamaMapSameSize)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_comparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

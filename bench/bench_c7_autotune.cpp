@@ -1,0 +1,78 @@
+// C7 — the paper's §I workflow, automated: "domain-level experts need to be
+// able to specify and experiment with different placements to find an
+// optimal configuration". Measures what that experiment costs when run
+// in simulation (a sampled sweep of the 362,880-layout space against an
+// application pattern) and prints the resulting top/bottom layouts.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "sim/autotune.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace lama;
+
+Allocation numa_cluster() {
+  return allocate_all(
+      Cluster::homogeneous(4, "socket:2 numa:2 l3:1 l2:4 l1:1 core:1 pu:2"));
+}
+
+void print_autotune_report() {
+  const Allocation alloc = numa_cluster();
+  const std::size_t np = alloc.total_online_pus();
+  const TrafficPattern halo = make_halo2d(16, static_cast<int>(np / 16), 4096);
+
+  AutotuneOptions opts;
+  opts.sample_stride = 720;  // 504 sampled layouts
+  const AutotuneResult r =
+      autotune_layout(alloc, halo, DistanceModel::commodity(), opts);
+
+  std::printf(
+      "=== C7: automated layout search (halo2d, np=%zu, %zu sampled layouts) "
+      "===\n",
+      np, r.evaluated);
+  TextTable table({"rank", "layout", "total ms"});
+  for (std::size_t i = 0; i < 5 && i < r.ranking.size(); ++i) {
+    table.add_row({"#" + std::to_string(i + 1), r.ranking[i].layout,
+                   TextTable::cell(r.ranking[i].total_ns / 1e6, 3)});
+  }
+  table.add_row({"...", "...", "..."});
+  for (std::size_t i = r.ranking.size() - 3; i < r.ranking.size(); ++i) {
+    table.add_row({"#" + std::to_string(i + 1), r.ranking[i].layout,
+                   TextTable::cell(r.ranking[i].total_ns / 1e6, 3)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("best-vs-worst spread: %.1f%%\n\n", r.spread() * 100.0);
+}
+
+void BM_AutotuneSampledSweep(benchmark::State& state) {
+  const Allocation alloc = numa_cluster();
+  const std::size_t np = alloc.total_online_pus();
+  const TrafficPattern halo = make_halo2d(16, static_cast<int>(np / 16), 4096);
+  AutotuneOptions opts;
+  opts.sample_stride = static_cast<std::size_t>(state.range(0));
+  std::size_t evaluated = 0;
+  for (auto _ : state) {
+    const AutotuneResult r =
+        autotune_layout(alloc, halo, DistanceModel::commodity(), opts);
+    evaluated = r.evaluated;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["layouts"] = static_cast<double>(evaluated);
+}
+BENCHMARK(BM_AutotuneSampledSweep)
+    ->Arg(36288)
+    ->Arg(7560)
+    ->Arg(1440)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_autotune_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

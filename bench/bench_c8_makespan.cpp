@@ -1,0 +1,103 @@
+// C8 — application-level wall clock. The paper's motivating numbers (GTC up
+// to 30%) are application speedups, which depend on NIC contention and
+// communication/computation overlap — effects the analytic byte-sum
+// evaluator (C2) cannot see. This bench runs the discrete-event simulator:
+// per-pattern makespan under the classic mappings and tuned LAMA layouts,
+// exposing the crossover where scattering wins by multiplying injection
+// bandwidth even though it loses on locality.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "lama/baselines.hpp"
+#include "lama/mapper.hpp"
+#include "sim/event_sim.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace lama;
+
+Allocation quality_cluster() {
+  return allocate_all(
+      Cluster::homogeneous(4, "socket:2 numa:2 l3:1 l2:4 l1:1 core:1 pu:2"));
+}
+
+void print_makespan_tables() {
+  const Allocation alloc = quality_cluster();
+  const std::size_t np = alloc.total_online_pus();
+  const DistanceModel model = DistanceModel::commodity();
+  const NicModel nic;
+
+  std::vector<TrafficPattern> patterns;
+  patterns.push_back(make_pairs(static_cast<int>(np), 16384));
+  patterns.push_back(make_halo2d(16, static_cast<int>(np / 16), 8192));
+  patterns.push_back(make_alltoall(static_cast<int>(np), 2048));
+  patterns.push_back(make_toroidal(static_cast<int>(np), 32768, 0));
+
+  std::printf(
+      "=== C8: event-driven makespan by mapping (np=%zu, 3 rounds, 50us "
+      "compute/round) ===\n\n",
+      np);
+  for (const TrafficPattern& pattern : patterns) {
+    const std::vector<RankScript> scripts =
+        scripts_from_pattern(pattern, 3, 50'000.0);
+    TextTable table({"mapping", "makespan ms", "max NIC busy ms",
+                     "max rank wait ms"});
+    auto add = [&](const char* name, const MappingResult& m) {
+      const SimReport r = simulate(alloc, m, scripts, model, nic);
+      double max_wait = 0.0;
+      for (double w : r.wait_ns) max_wait = std::max(max_wait, w);
+      table.add_row({name, TextTable::cell(r.makespan_ns / 1e6, 3),
+                     TextTable::cell(r.max_nic_busy_ns / 1e6, 3),
+                     TextTable::cell(max_wait / 1e6, 3)});
+    };
+    add("by-slot", map_by_slot(alloc, {.np = np}));
+    add("by-node", map_by_node(alloc, {.np = np}));
+    add("lama:scbnh", lama_map(alloc, "scbnh", {.np = np}));
+    add("lama:Nschbn", lama_map(alloc, "Nschbn", {.np = np}));
+    std::printf("pattern %s:\n%s\n", pattern.name.c_str(),
+                table.to_string().c_str());
+  }
+}
+
+void BM_SimulateHalo(benchmark::State& state) {
+  const Allocation alloc = quality_cluster();
+  const std::size_t np = alloc.total_online_pus();
+  const TrafficPattern halo = make_halo2d(16, static_cast<int>(np / 16), 8192);
+  const std::vector<RankScript> scripts = scripts_from_pattern(halo, 3, 0.0);
+  const MappingResult m = map_by_slot(alloc, {.np = np});
+  const DistanceModel model = DistanceModel::commodity();
+  const NicModel nic;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(alloc, m, scripts, model, nic));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(halo.messages.size() * 3));
+}
+BENCHMARK(BM_SimulateHalo);
+
+void BM_SimulateAlltoall(benchmark::State& state) {
+  const Allocation alloc = quality_cluster();
+  const std::size_t np = alloc.total_online_pus();
+  const TrafficPattern a2a = make_alltoall(static_cast<int>(np), 2048);
+  const std::vector<RankScript> scripts = scripts_from_pattern(a2a, 1, 0.0);
+  const MappingResult m = map_by_node(alloc, {.np = np});
+  const DistanceModel model = DistanceModel::commodity();
+  const NicModel nic;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(alloc, m, scripts, model, nic));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(a2a.messages.size()));
+}
+BENCHMARK(BM_SimulateAlltoall);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_makespan_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,113 @@
+// F1 — Figure 1: the recursive mapping loop itself. The paper presents the
+// algorithm; this benchmark characterizes its cost: time to map np processes
+// as a function of job size, node count, layout, and the fraction of
+// coordinates that must be skipped (restrictions / heterogeneity).
+#include <benchmark/benchmark.h>
+
+#include "lama/mapper.hpp"
+#include "support/rng.hpp"
+#include "topo/presets.hpp"
+
+namespace {
+
+using namespace lama;
+
+Allocation make_alloc(std::size_t nodes) {
+  return allocate_all(Cluster::homogeneous(nodes, "socket:2 core:4 pu:2"));
+}
+
+// Map np processes over nodes sized so the job exactly fills the PUs.
+void BM_MapScaleNp(benchmark::State& state) {
+  const std::size_t np = static_cast<std::size_t>(state.range(0));
+  const Allocation alloc = make_alloc(np / 16);
+  const ProcessLayout layout = ProcessLayout::parse("scbnh");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lama_map(alloc, layout, {.np = np}));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(np));
+}
+BENCHMARK(BM_MapScaleNp)->RangeMultiplier(4)->Range(64, 16384);
+
+// Same job size, different layouts: iteration order changes the number of
+// loop-nest transitions but not the asymptotics.
+void BM_MapLayouts(benchmark::State& state) {
+  static const char* kLayouts[] = {"scbnh", "hcsbn", "nhcsb", "bnsch",
+                                   "hcL1L2L3Nsbn"};
+  const Allocation alloc = make_alloc(16);
+  const ProcessLayout layout =
+      ProcessLayout::parse(kLayouts[state.range(0)]);
+  state.SetLabel(layout.to_string());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lama_map(alloc, layout, {.np = 256}));
+  }
+}
+BENCHMARK(BM_MapLayouts)->DenseRange(0, 4);
+
+// Restrictions force skips: disable a growing fraction of PUs and map a job
+// that fills what is left.
+void BM_MapWithOfflineFraction(benchmark::State& state) {
+  const double frac = static_cast<double>(state.range(0)) / 100.0;
+  Cluster cluster = Cluster::homogeneous(16, "socket:2 core:4 pu:2");
+  Allocation alloc = allocate_all(cluster);
+  SplitMix64 rng(7);
+  for (std::size_t n = 0; n < alloc.num_nodes(); ++n) {
+    Bitmap allowed;
+    for (std::size_t pu = 0; pu < 16; ++pu) {
+      if (!rng.next_bool(frac)) allowed.set(pu);
+    }
+    if (allowed.empty()) allowed.set(0);
+    alloc.mutable_node(n).topo.restrict_pus(allowed);
+  }
+  const std::size_t np = alloc.total_online_pus();
+  const ProcessLayout layout = ProcessLayout::parse("scbnh");
+  std::size_t skipped = 0;
+  for (auto _ : state) {
+    const MappingResult m = lama_map(alloc, layout, {.np = np});
+    skipped = m.skipped;
+    benchmark::DoNotOptimize(m);
+  }
+  state.counters["skipped"] = static_cast<double>(skipped);
+  state.counters["np"] = static_cast<double>(np);
+}
+BENCHMARK(BM_MapWithOfflineFraction)->Arg(0)->Arg(25)->Arg(50)->Arg(75);
+
+// Heterogeneous system: half the nodes are small; the maximal tree is sized
+// by the big ones, so small nodes cause skips every sweep.
+void BM_MapHeterogeneous(benchmark::State& state) {
+  const std::size_t nodes = static_cast<std::size_t>(state.range(0));
+  Cluster cluster;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    if (i % 2 == 0) {
+      cluster.add_node(NodeTopology::synthetic("socket:2 core:4 pu:2",
+                                               "big" + std::to_string(i)));
+    } else {
+      cluster.add_node(NodeTopology::synthetic("socket:1 core:4",
+                                               "small" + std::to_string(i)));
+    }
+  }
+  const Allocation alloc = allocate_all(cluster);
+  const std::size_t np = alloc.total_online_pus();
+  const ProcessLayout layout = ProcessLayout::parse("scbnh");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lama_map(alloc, layout, {.np = np}));
+  }
+  state.counters["np"] = static_cast<double>(np);
+}
+BENCHMARK(BM_MapHeterogeneous)->RangeMultiplier(4)->Range(4, 256);
+
+// Oversubscription wraps the full space repeatedly.
+void BM_MapOversubscribed(benchmark::State& state) {
+  const Allocation alloc = make_alloc(4);
+  const std::size_t sweeps = static_cast<std::size_t>(state.range(0));
+  const std::size_t np = alloc.total_online_pus() * sweeps;
+  const ProcessLayout layout = ProcessLayout::parse("hcsbn");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lama_map(alloc, layout, {.np = np}));
+  }
+}
+BENCHMARK(BM_MapOversubscribed)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

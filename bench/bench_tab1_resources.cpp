@@ -1,0 +1,50 @@
+// T1 — Table I: the resource levels the LAMA can traverse and their process-
+// layout abbreviations. Regenerates the table, then times the layout parser
+// over the full alphabet (the hot path of option handling).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "lama/layout.hpp"
+#include "support/table.hpp"
+#include "topo/resource_type.hpp"
+
+namespace {
+
+void print_table1() {
+  lama::TextTable table({"Resource", "Abbreviation", "Description"});
+  for (lama::ResourceType t : lama::all_resource_types()) {
+    table.add_row({std::string(lama::resource_name(t)),
+                   std::string(lama::resource_abbrev(t)),
+                   std::string(lama::resource_keyword(t))});
+  }
+  std::printf("=== Table I: resources specifiable in a process layout ===\n%s",
+              table.to_string().c_str());
+  std::printf("alphabet size: %d levels -> %llu full-layout permutations\n\n",
+              lama::kNumResourceTypes,
+              static_cast<unsigned long long>(
+                  lama::ProcessLayout::num_full_permutations()));
+}
+
+void BM_ParseFullLayout(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lama::ProcessLayout::parse("hcL1L2L3Nsbn"));
+  }
+}
+BENCHMARK(BM_ParseFullLayout);
+
+void BM_ParseShortLayout(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lama::ProcessLayout::parse("scbnh"));
+  }
+}
+BENCHMARK(BM_ParseShortLayout);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Affinity-driven mapping (related work [3]): when the application's
+// communication matrix is known, a TreeMatch-style partitioner places
+// heavily-communicating processes under shared caches automatically — no
+// layout string to pick. This example contrasts it with the LAMA's regular
+// layouts on traffic that no fixed order anticipates.
+//
+//   $ ./affinity_mapping
+#include <cstdio>
+
+#include "lama/baselines.hpp"
+#include "lama/mapper.hpp"
+#include "sim/evaluator.hpp"
+#include "support/table.hpp"
+#include "tmatch/treematch.hpp"
+
+int main() {
+  using namespace lama;
+
+  const Allocation alloc = allocate_all(
+      Cluster::homogeneous(2, "socket:2 numa:2 l3:1 l2:4 l1:1 core:1 pu:2"));
+  const std::size_t np = alloc.total_online_pus();
+  const DistanceModel model = DistanceModel::commodity();
+
+  // Irregular application: a random sparse communication graph.
+  const TrafficPattern pattern =
+      make_random_sparse(static_cast<int>(np), 4, 8192, 99);
+  const CommMatrix matrix = CommMatrix::from_pattern(pattern);
+
+  TextTable table({"mapping", "total ms", "inter-node msgs"});
+  auto add = [&](const char* name, const MappingResult& m) {
+    const CostReport r = evaluate_mapping(alloc, m, pattern, model);
+    table.add_row({name, TextTable::cell(r.total_ns / 1e6, 3),
+                   TextTable::cell(r.inter_node_messages)});
+  };
+  add("by-slot", map_by_slot(alloc, {.np = np}));
+  add("by-node", map_by_node(alloc, {.np = np}));
+  add("lama:scbnh", lama_map(alloc, "scbnh", {.np = np}));
+  add("lama:hcL1L2L3Nsbn", lama_map(alloc, "hcL1L2L3Nsbn", {.np = np}));
+  add("treematch (comm matrix)", map_treematch(alloc, matrix, {.np = np}));
+
+  std::printf("pattern: %s, np=%zu, 2 NUMA nodes\n%s\n", pattern.name.c_str(),
+              np, table.to_string().c_str());
+  std::printf(
+      "The matrix-driven mapping needs the application's communication "
+      "pattern up front;\nthe LAMA asks only for a layout string — the "
+      "trade-off between the two approaches.\n");
+  return 0;
+}

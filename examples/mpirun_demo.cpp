@@ -1,0 +1,46 @@
+// mpirun-style driver: pass any combination of the four CLI abstraction
+// levels on the command line and see the resulting plan, exactly as the
+// paper's Open MPI implementation exposes the LAMA.
+//
+//   $ ./mpirun_demo -np 8 --map-by lama:scbnh --bind-to core
+//   $ ./mpirun_demo -np 8 --by-node --bind-to-socket
+//   $ ./mpirun_demo -np 4 --mca rmaps_lama_map Nscbnh --mca rmaps_lama_bind 2c
+//   $ ./mpirun_demo -np 2 --rankfile-text "rank 0=node0 slot=0;rank 1=node1 slot=3"
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "rte/runtime.hpp"
+#include "support/error.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lama;
+
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  const Cluster cluster =
+      Cluster::homogeneous(2, "socket:2 numa:2 l3:1 l2:2 l1:1 core:2 pu:2");
+  const Allocation alloc = allocate_all(cluster);
+
+  try {
+    const PlacementSpec spec = parse_mpirun_options(args);
+    std::printf("CLI abstraction level: %d\n", spec.level);
+    LaunchPlan plan = plan_job(alloc, JobSpec{}, spec);
+    plan.launch(alloc);
+    std::printf("%s", plan.report_bindings(alloc).c_str());
+    if (plan.mapping().pu_oversubscribed) {
+      std::printf("warning: processing units are oversubscribed\n");
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "mpirun_demo: %s\n", e.what());
+    std::fprintf(stderr,
+                 "usage: mpirun_demo -np N [--by-node|--by-slot|--by-socket|"
+                 "--by-core|--by-numa|--by-board]\n"
+                 "       [--map-by lama:<layout>] [--bind-to <level>]\n"
+                 "       [--mca rmaps_lama_map <layout>] "
+                 "[--mca rmaps_lama_bind <width><level>]\n"
+                 "       [--rankfile-text \"rank 0=node0 slot=0;...\"]\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Irregular placement via a rankfile — CLI Level 4 (§V). A hybrid
+// application wants rank 0 (a fat I/O/coordinator rank) bound to a whole
+// socket on node0, and compute ranks packed two-per-core elsewhere; no
+// regular pattern expresses that, so the rankfile pins each rank explicitly.
+//
+//   $ ./rankfile_irregular
+#include <cstdio>
+
+#include "cluster/cluster.hpp"
+#include "lama/rankfile.hpp"
+#include "rte/runtime.hpp"
+
+int main() {
+  using namespace lama;
+
+  const Cluster cluster = Cluster::homogeneous(2, "socket:2 core:4 pu:2");
+  const Allocation alloc = allocate_all(cluster);
+
+  const char* rankfile =
+      "# coordinator gets socket 0 of node0 (binding width 8)\n"
+      "rank 0=node0 slot=0:0-3\n"
+      "# compute ranks: one core each on the other socket\n"
+      "rank 1=node0 slot=1:0\n"
+      "rank 2=node0 slot=1:1\n"
+      "rank 3=node0 slot=1:2\n"
+      "rank 4=node0 slot=1:3\n"
+      "# and node1 handles the I/O staging pair on explicit PUs\n"
+      "rank 5=node1 slot=0,1\n"
+      "rank 6=node1 slot=2-5\n";
+
+  const RankfilePlacement rf = parse_rankfile(alloc, rankfile);
+  LaunchPlan plan(alloc, rf.mapping, rf.binding);
+  plan.launch(alloc);
+
+  std::printf("rankfile:\n%s\n%s", rankfile,
+              plan.report_bindings(alloc).c_str());
+
+  std::printf("\nbinding widths: ");
+  for (const LaunchedProcess& p : plan.procs()) {
+    std::printf("rank%d=%zu ", p.rank, p.binding_width);
+  }
+  std::printf("\npu-oversubscribed: %s\n",
+              rf.mapping.pu_oversubscribed ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// BlueGene-style torus mapping (related work [8]-[10]): place a GTC-like
+// toroidal application on a 3-D torus with different XYZT orders and watch
+// hops and link congestion move — the network-level counterpart of the
+// on-node placement the LAMA handles.
+//
+//   $ ./torus_mapping [nx ny nz]
+#include <cstdio>
+#include <cstdlib>
+
+#include "lama/mapper.hpp"
+#include "net/xyzt.hpp"
+#include "sim/torus_evaluator.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lama;
+
+  const int nx = argc > 3 ? std::atoi(argv[1]) : 4;
+  const int ny = argc > 3 ? std::atoi(argv[2]) : 4;
+  const int nz = argc > 3 ? std::atoi(argv[3]) : 2;
+  const TorusNetwork net(nx, ny, nz);
+
+  const Allocation alloc =
+      allocate_all(Cluster::homogeneous(net.num_nodes(), "socket:2 core:4"));
+  const std::size_t np = alloc.total_online_pus();
+  const TrafficPattern gtc = make_toroidal(static_cast<int>(np), 32768, 0);
+  const DistanceModel model = DistanceModel::commodity();
+  const TorusCostModel net_model;
+
+  std::printf("%dx%dx%d torus, %zu nodes x 8 cores, toroidal pattern np=%zu\n\n",
+              nx, ny, nz, net.num_nodes(), np);
+
+  TextTable table({"XYZT order", "avg hops", "max hops", "max link MB",
+                   "bottleneck ms"});
+  for (const char* order : {"TXYZ", "XYZT", "TZYX", "YXTZ", "TZXY"}) {
+    const MappingResult m = map_xyzt(alloc, net, order, {.np = np});
+    const TorusCostReport r =
+        evaluate_on_torus(alloc, net, m, gtc, model, net_model);
+    table.add_row({order, TextTable::cell(r.avg_hops, 2),
+                   TextTable::cell(static_cast<std::size_t>(r.max_hops)),
+                   TextTable::cell(
+                       static_cast<double>(r.max_link_bytes) / 1e6, 2),
+                   TextTable::cell(r.bottleneck_ns / 1e6, 3)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nT-first orders fill a node before stepping the torus (consecutive "
+      "ranks share memory);\ncoordinate-first orders stripe ranks across "
+      "the machine (every hop crosses a link).\n");
+  return 0;
+}

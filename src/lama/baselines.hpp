@@ -1,0 +1,23 @@
+// The two regular mapping patterns "almost uniformly provided by all MPI
+// implementations" (paper §II): by-slot (a.k.a. bunch/pack/block) and
+// by-node (a.k.a. scatter/cyclic). Implemented directly — independently of
+// the LAMA — so they serve both as comparison baselines and as oracles: the
+// LAMA with its full-pack / full-scatter layouts must reproduce them exactly
+// (verified by tests).
+#pragma once
+
+#include "cluster/cluster.hpp"
+#include "lama/mapper.hpp"
+#include "lama/mapping.hpp"
+
+namespace lama {
+
+// Fills each node's online PUs in order before moving to the next node;
+// wraps around when np exceeds the total.
+MappingResult map_by_slot(const Allocation& alloc, const MapOptions& opts);
+
+// Round-robin across nodes; each visit takes the node's next online PU;
+// wraps around when a node's PUs are exhausted.
+MappingResult map_by_node(const Allocation& alloc, const MapOptions& opts);
+
+}  // namespace lama

@@ -1,0 +1,82 @@
+// The binding step of §III-B: turning a mapping plan into per-process
+// processor restrictions. A process may be bound to nothing (the OS decides),
+// or to all PUs under some ancestor of its mapped location (core, cache,
+// NUMA domain, socket, board, node). The number of smallest processing units
+// a process is bound to is its *binding width*.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "lama/mapping.hpp"
+#include "topo/resource_type.hpp"
+
+namespace lama {
+
+enum class BindTarget {
+  kNone,  // no restriction: the OS scheduler has full autonomy
+  kHwThread,
+  kCore,
+  kL1,
+  kL2,
+  kL3,
+  kNuma,
+  kSocket,
+  kBoard,
+  kNode,    // limited-set restriction: anywhere on the mapped node
+  kMapped,  // exactly the PUs the mapping assigned (multi-PU processes)
+};
+
+// The resource level a target corresponds to; nullopt for kNone.
+std::optional<ResourceType> bind_target_type(BindTarget target);
+
+// Parse "none", "hwthread", "core", "l1"/"l1cache", ..., "numa", "socket",
+// "board", "node". Throws ParseError on anything else.
+BindTarget parse_bind_target(const std::string& text);
+std::string bind_target_name(BindTarget target);
+
+struct BindingPolicy {
+  BindTarget target = BindTarget::kNone;
+
+  // Bind each process to this many consecutive objects of the target level
+  // (the Open MPI "<N><level>" width syntax, e.g. "2c" = two cores). Must be
+  // at least 1; ignored for kNone/kNode.
+  std::size_t width = 1;
+
+  // When a node's hardware lacks the target level, bind to the nearest
+  // *containing* level that exists instead of failing.
+  bool widen_if_missing = false;
+
+  // When false, binding more processes into an object than it has online
+  // PUs throws OversubscribeError.
+  bool allow_overload = true;
+};
+
+struct ProcessBinding {
+  int rank = 0;
+  std::size_t node = 0;  // allocation-local node index
+  // PUs (node-local) the process is allowed to run on; for kNone this is
+  // every online PU of the node.
+  Bitmap cpuset;
+  // Binding width: number of smallest processing units in the cpuset.
+  std::size_t width = 0;
+};
+
+struct BindingResult {
+  BindTarget target = BindTarget::kNone;
+  std::vector<ProcessBinding> bindings;  // indexed by rank
+  // True when more processes were bound inside some object than that object
+  // has online PUs.
+  bool overloaded = false;
+};
+
+// Computes bindings for every placement in the mapping. Throws MappingError
+// when the target level is missing and widening is disabled, and
+// OversubscribeError per the overload policy.
+BindingResult bind_processes(const Allocation& alloc,
+                             const MappingResult& mapping,
+                             const BindingPolicy& policy);
+
+}  // namespace lama

@@ -1,0 +1,221 @@
+#include "lama/cli.hpp"
+
+#include <cctype>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace lama {
+
+namespace {
+
+// Parses the Open MPI-style "<width><level>" binding spec, e.g. "1c", "2s",
+// "4h", "1L2", "2N". A bare level means width 1.
+BindingPolicy parse_mca_bind(const std::string& text) {
+  const std::string t = trim(text);
+  std::size_t i = 0;
+  while (i < t.size() && std::isdigit(static_cast<unsigned char>(t[i]))) ++i;
+  BindingPolicy policy;
+  policy.width = i == 0 ? 1 : parse_size(t.substr(0, i), "binding width");
+  if (policy.width == 0) {
+    throw ParseError("binding width must be positive: '" + text + "'");
+  }
+  policy.target = parse_bind_target(t.substr(i));
+  return policy;
+}
+
+// Parses "<level>:<order>[,<level>:<order>...]", order in
+// {seq, rev, stride<k>}, level a Table I abbreviation.
+IterationPolicy parse_iteration_orders(const std::string& text) {
+  IterationPolicy policy;
+  for (const std::string& piece : split(trim(text), ',')) {
+    const std::string p = trim(piece);
+    const auto colon = p.find(':');
+    if (colon == std::string::npos) {
+      throw ParseError("iteration order needs '<level>:<order>': '" + p +
+                       "'");
+    }
+    const auto level = resource_from_abbrev(p.substr(0, colon));
+    if (!level) {
+      throw ParseError("unknown resource letter in iteration order: '" +
+                       p.substr(0, colon) + "'");
+    }
+    const std::string order = to_lower(p.substr(colon + 1));
+    LevelIteration it;
+    if (order == "seq") {
+      it.order = IterationOrder::kSequential;
+    } else if (order == "rev") {
+      it.order = IterationOrder::kReverse;
+    } else if (starts_with(order, "stride")) {
+      it.order = IterationOrder::kStrided;
+      it.stride = parse_size(order.substr(6), "iteration stride");
+      if (it.stride == 0) {
+        throw ParseError("iteration stride must be positive: '" + p + "'");
+      }
+    } else {
+      throw ParseError("unknown iteration order: '" + order + "'");
+    }
+    policy.set(*level, it);
+  }
+  return policy;
+}
+
+// Parses "<N><letter>[,<N><letter>...]" caps, e.g. "2n,1s".
+void parse_resource_caps(const std::string& text,
+                         std::array<std::size_t, kNumResourceTypes>& caps) {
+  for (const std::string& piece : split(trim(text), ',')) {
+    const std::string p = trim(piece);
+    std::size_t i = 0;
+    while (i < p.size() && std::isdigit(static_cast<unsigned char>(p[i]))) {
+      ++i;
+    }
+    if (i == 0 || i == p.size()) {
+      throw ParseError("resource cap must be '<N><letter>': '" + p + "'");
+    }
+    const std::size_t cap = parse_size(p.substr(0, i), "resource cap");
+    if (cap == 0) {
+      throw ParseError("resource cap must be positive: '" + p + "'");
+    }
+    const auto level = resource_from_abbrev(p.substr(i));
+    if (!level) {
+      throw ParseError("unknown resource letter in cap: '" + p.substr(i) +
+                       "'");
+    }
+    caps[static_cast<std::size_t>(canonical_depth(*level))] = cap;
+  }
+}
+
+}  // namespace
+
+std::string level2_layout(const std::string& option) {
+  // Scatter across the named level first, stay on a node until it is full,
+  // then move to the next node; hardware threads are used last. See
+  // DESIGN.md for the derivation of each string.
+  if (option == "--by-slot") return "hcsbn";
+  if (option == "--by-node") return "nhcsb";
+  if (option == "--by-socket") return "schbn";
+  if (option == "--by-core") return "cshbn";
+  if (option == "--by-board") return "bschn";
+  if (option == "--by-numa") return "Nschbn";
+  throw ParseError("unknown level-2 mapping option: '" + option + "'");
+}
+
+PlacementSpec parse_mpirun_options(const std::vector<std::string>& args) {
+  PlacementSpec spec;
+  spec.binding.target = BindTarget::kNone;
+
+  bool mapping_set = false;
+  bool binding_set = false;
+  int mapping_level = 1;
+  int binding_level = 1;
+
+  auto set_mapping = [&](MappingKind kind, int level) {
+    if (mapping_set) {
+      throw ParseError("conflicting mapping options");
+    }
+    mapping_set = true;
+    spec.kind = kind;
+    mapping_level = level;
+  };
+  auto set_binding = [&](BindingPolicy policy, int level) {
+    if (binding_set) {
+      throw ParseError("conflicting binding options");
+    }
+    binding_set = true;
+    spec.binding = policy;
+    binding_level = level;
+  };
+  auto need_value = [&](std::size_t i, const std::string& opt) {
+    if (i + 1 >= args.size()) {
+      throw ParseError("option " + opt + " requires a value");
+    }
+    return args[i + 1];
+  };
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "-np" || arg == "--np" || arg == "-n") {
+      spec.np = parse_size(need_value(i, arg), "process count");
+      ++i;
+    } else if (arg == "--npernode") {
+      const std::size_t cap =
+          parse_size(need_value(i, arg), "npernode count");
+      if (cap == 0) throw ParseError("--npernode must be positive");
+      spec.resource_caps[static_cast<std::size_t>(
+          canonical_depth(ResourceType::kNode))] = cap;
+      ++i;
+    } else if (arg == "--cpus-per-proc") {
+      spec.cpus_per_proc =
+          parse_size(need_value(i, arg), "cpus-per-proc count");
+      if (spec.cpus_per_proc == 0) {
+        throw ParseError("--cpus-per-proc must be positive");
+      }
+      ++i;
+    } else if (arg == "--by-slot") {
+      set_mapping(MappingKind::kBySlot, 2);
+    } else if (arg == "--by-node") {
+      set_mapping(MappingKind::kByNode, 2);
+    } else if (arg == "--by-socket" || arg == "--by-core" ||
+               arg == "--by-board" || arg == "--by-numa") {
+      set_mapping(MappingKind::kLama, 2);
+      spec.layout = ProcessLayout::parse(level2_layout(arg));
+    } else if (arg == "--bind-to-core") {
+      set_binding(BindingPolicy{BindTarget::kCore, 1, false, true}, 2);
+    } else if (arg == "--bind-to-socket") {
+      set_binding(BindingPolicy{BindTarget::kSocket, 1, false, true}, 2);
+    } else if (arg == "--bind-to-none") {
+      set_binding(BindingPolicy{BindTarget::kNone, 1, false, true}, 2);
+    } else if (arg == "--map-by") {
+      const std::string value = need_value(i, arg);
+      ++i;
+      if (starts_with(value, "lama:")) {
+        set_mapping(MappingKind::kLama, 3);
+        spec.layout = ProcessLayout::parse(value.substr(5));
+      } else if (value == "slot") {
+        set_mapping(MappingKind::kBySlot, 2);
+      } else if (value == "node") {
+        set_mapping(MappingKind::kByNode, 2);
+      } else {
+        throw ParseError("unknown --map-by value: '" + value + "'");
+      }
+    } else if (arg == "--bind-to") {
+      set_binding(BindingPolicy{parse_bind_target(need_value(i, arg)), 1,
+                                false, true},
+                  3);
+      ++i;
+    } else if (arg == "--mca") {
+      const std::string key = need_value(i, arg);
+      const std::string value = need_value(i + 1, arg + " " + key);
+      i += 2;
+      if (key == "rmaps_lama_map") {
+        set_mapping(MappingKind::kLama, 3);
+        spec.layout = ProcessLayout::parse(value);
+      } else if (key == "rmaps_lama_bind") {
+        set_binding(parse_mca_bind(value), 3);
+      } else if (key == "rmaps_lama_order") {
+        spec.iteration = parse_iteration_orders(value);
+      } else if (key == "rmaps_lama_max") {
+        parse_resource_caps(value, spec.resource_caps);
+      } else {
+        throw ParseError("unknown MCA parameter: '" + key + "'");
+      }
+    } else if (arg == "--rankfile-text") {
+      // Inline rankfile for tests/examples; ';' separates lines (commas are
+      // part of the slot syntax).
+      set_mapping(MappingKind::kRankfile, 4);
+      std::string text = need_value(i, arg);
+      ++i;
+      for (char& c : text) {
+        if (c == ';') c = '\n';
+      }
+      spec.rankfile_text = text;
+    } else {
+      throw ParseError("unknown mpirun option: '" + arg + "'");
+    }
+  }
+
+  spec.level = std::max(mapping_level, binding_level);
+  return spec;
+}
+
+}  // namespace lama

@@ -1,0 +1,65 @@
+// The four-level command-line abstraction of §V, modeled on the Open MPI
+// mpirun interface. Each level trades simplicity for flexibility:
+//
+//   Level 1: no mapping/binding options — the implementation defaults
+//            (by-slot mapping, no binding).
+//   Level 2: simple common patterns — --by-node, --by-slot, --by-socket,
+//            --by-core, --by-board, --by-numa, --bind-to-core,
+//            --bind-to-socket, --bind-to-none. These are shortcuts that
+//            expand to Level 3 LAMA specifications.
+//   Level 3: regular LAMA patterns — --map-by lama:<layout> (or
+//            --mca rmaps_lama_map <layout>), --bind-to <level> (or
+//            --mca rmaps_lama_bind <width><level>, e.g. "2c").
+//   Level 4: irregular patterns — --rankfile-text <inline rankfile;
+//            semicolons separate lines>.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include <array>
+
+#include "lama/binding.hpp"
+#include "lama/iteration.hpp"
+#include "lama/layout.hpp"
+
+namespace lama {
+
+enum class MappingKind {
+  kBySlot,   // baseline pack
+  kByNode,   // baseline scatter
+  kLama,     // regular LAMA layout
+  kRankfile, // irregular
+};
+
+struct PlacementSpec {
+  MappingKind kind = MappingKind::kBySlot;
+  // Valid when kind == kLama.
+  ProcessLayout layout = ProcessLayout::full_pack();
+  // Valid when kind == kRankfile.
+  std::string rankfile_text;
+  BindingPolicy binding;
+  // Which abstraction level the options used (1-4).
+  int level = 1;
+  // Number of processes (-np); 0 when not given.
+  std::size_t np = 0;
+  // --cpus-per-proc N: smallest processing units per process (0 = unset,
+  // meaning the job spec's threads-per-process, or 1).
+  std::size_t cpus_per_proc = 0;
+  // --mca rmaps_lama_order "<level>:<order>[,<level>:<order>...]" where
+  // order is seq | rev | stride<k> (e.g. "c:rev,s:stride2").
+  IterationPolicy iteration;
+  // --npernode N and --mca rmaps_lama_max "<N><letter>[,...]": per-resource
+  // process caps, canonical-depth indexed (0 = unlimited).
+  std::array<std::size_t, kNumResourceTypes> resource_caps{};
+};
+
+// Parses mpirun-style options. Unknown options throw ParseError; conflicting
+// mapping options (e.g. --by-node plus --map-by) throw ParseError.
+PlacementSpec parse_mpirun_options(const std::vector<std::string>& args);
+
+// The Level 2 shortcut table: the LAMA layout string each simple pattern
+// expands to (exposed for documentation and tests).
+std::string level2_layout(const std::string& option);
+
+}  // namespace lama

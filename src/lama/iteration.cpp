@@ -1,0 +1,58 @@
+#include "lama/iteration.hpp"
+
+#include <set>
+
+#include "support/error.hpp"
+
+namespace lama {
+
+IterationPolicy& IterationPolicy::set(ResourceType level,
+                                      LevelIteration iteration) {
+  levels_[canonical_depth(level)] = std::move(iteration);
+  return *this;
+}
+
+const LevelIteration& IterationPolicy::get(ResourceType level) const {
+  return levels_[canonical_depth(level)];
+}
+
+std::vector<std::size_t> IterationPolicy::visit_order(
+    ResourceType level, std::size_t width) const {
+  const LevelIteration& it = levels_[canonical_depth(level)];
+  std::vector<std::size_t> order;
+  order.reserve(width);
+  switch (it.order) {
+    case IterationOrder::kSequential:
+      for (std::size_t i = 0; i < width; ++i) order.push_back(i);
+      break;
+    case IterationOrder::kReverse:
+      for (std::size_t i = width; i-- > 0;) order.push_back(i);
+      break;
+    case IterationOrder::kStrided: {
+      if (it.stride == 0) {
+        throw MappingError("iteration stride must be at least 1");
+      }
+      for (std::size_t phase = 0; phase < it.stride && phase < width;
+           ++phase) {
+        for (std::size_t i = phase; i < width; i += it.stride) {
+          order.push_back(i);
+        }
+      }
+      break;
+    }
+    case IterationOrder::kCustom: {
+      std::set<std::size_t> seen;
+      for (std::size_t i : it.custom) {
+        if (!seen.insert(i).second) {
+          throw MappingError("custom iteration order repeats index " +
+                             std::to_string(i));
+        }
+        if (i < width) order.push_back(i);
+      }
+      break;
+    }
+  }
+  return order;
+}
+
+}  // namespace lama

@@ -1,0 +1,102 @@
+#include "lama/layout.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace lama {
+
+ProcessLayout ProcessLayout::parse(const std::string& text) {
+  const std::string trimmed = trim(text);
+  if (trimmed.empty()) throw ParseError("empty process layout");
+  std::vector<ResourceType> order;
+  for (std::size_t i = 0; i < trimmed.size();) {
+    std::string token;
+    if (trimmed[i] == 'L') {
+      if (i + 1 >= trimmed.size()) {
+        throw ParseError("dangling 'L' in process layout '" + trimmed + "'");
+      }
+      token = trimmed.substr(i, 2);
+      i += 2;
+    } else {
+      token = trimmed.substr(i, 1);
+      i += 1;
+    }
+    const auto type = resource_from_abbrev(token);
+    if (!type) {
+      throw ParseError("unknown resource letter '" + token +
+                       "' in process layout '" + trimmed + "'");
+    }
+    order.push_back(*type);
+  }
+  return ProcessLayout(std::move(order));
+}
+
+ProcessLayout::ProcessLayout(std::vector<ResourceType> inner_to_outer)
+    : order_(std::move(inner_to_outer)) {
+  if (order_.empty()) throw ParseError("empty process layout");
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    for (std::size_t j = i + 1; j < order_.size(); ++j) {
+      if (order_[i] == order_[j]) {
+        throw ParseError("duplicate resource letter '" +
+                         std::string(resource_abbrev(order_[i])) +
+                         "' in process layout");
+      }
+    }
+  }
+}
+
+bool ProcessLayout::contains(ResourceType t) const {
+  return std::find(order_.begin(), order_.end(), t) != order_.end();
+}
+
+std::vector<ResourceType> ProcessLayout::node_levels_by_containment() const {
+  std::vector<ResourceType> levels;
+  for (ResourceType t : all_resource_types()) {
+    if (t != ResourceType::kNode && contains(t)) levels.push_back(t);
+  }
+  return levels;  // all_resource_types() is already containment-ordered
+}
+
+std::string ProcessLayout::to_string() const {
+  std::string out;
+  for (ResourceType t : order_) out += resource_abbrev(t);
+  return out;
+}
+
+ProcessLayout ProcessLayout::full_pack() {
+  return ProcessLayout({ResourceType::kHwThread, ResourceType::kCore,
+                        ResourceType::kL1, ResourceType::kL2,
+                        ResourceType::kL3, ResourceType::kNuma,
+                        ResourceType::kSocket, ResourceType::kBoard,
+                        ResourceType::kNode});
+}
+
+ProcessLayout ProcessLayout::full_scatter() {
+  return ProcessLayout({ResourceType::kNode, ResourceType::kHwThread,
+                        ResourceType::kCore, ResourceType::kL1,
+                        ResourceType::kL2, ResourceType::kL3,
+                        ResourceType::kNuma, ResourceType::kSocket,
+                        ResourceType::kBoard});
+}
+
+std::uint64_t ProcessLayout::num_full_permutations() {
+  std::uint64_t f = 1;
+  for (int i = 2; i <= kNumResourceTypes; ++i) f *= static_cast<std::uint64_t>(i);
+  return f;  // 9! = 362,880
+}
+
+void ProcessLayout::for_each_full_permutation(
+    const std::function<void(const ProcessLayout&)>& fn) {
+  std::vector<ResourceType> perm(all_resource_types().begin(),
+                                 all_resource_types().end());
+  do {
+    fn(ProcessLayout(perm));
+  } while (std::next_permutation(
+      perm.begin(), perm.end(), [](ResourceType a, ResourceType b) {
+        return canonical_depth(a) < canonical_depth(b);
+      }));
+}
+
+}  // namespace lama

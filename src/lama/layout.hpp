@@ -1,0 +1,66 @@
+// The user-facing mapping specification of the paper (§IV-A): a process
+// layout is a sequence of resource letters (Table I) read left-to-right as
+// innermost-to-outermost iteration order. "scbnh" scatters ranks across all
+// sockets, then all cores, then boards, then nodes, and only then across
+// hardware threads (the paper's Figure 2 example).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "topo/resource_type.hpp"
+
+namespace lama {
+
+class ProcessLayout {
+ public:
+  // Parse a layout string such as "scbnh" or "L2cnsbh". Tokens are the
+  // case-sensitive abbreviations of Table I ("L1"/"L2"/"L3" are two
+  // characters). Throws ParseError on unknown letters, duplicates, or an
+  // empty string.
+  static ProcessLayout parse(const std::string& text);
+
+  // From an explicit order, innermost (leftmost) first. Throws ParseError on
+  // duplicates or an empty order.
+  explicit ProcessLayout(std::vector<ResourceType> inner_to_outer);
+
+  // Iteration order, innermost first (the string's left-to-right order).
+  [[nodiscard]] const std::vector<ResourceType>& order() const {
+    return order_;
+  }
+  [[nodiscard]] std::size_t size() const { return order_.size(); }
+  [[nodiscard]] bool contains(ResourceType t) const;
+
+  // Layout letters restricted to within-node levels (everything but 'n'),
+  // sorted outermost-first by canonical containment. This is the level
+  // structure of the pruned per-node trees.
+  [[nodiscard]] std::vector<ResourceType> node_levels_by_containment() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const ProcessLayout& other) const {
+    return order_ == other.order_;
+  }
+
+  // --- canned layouts ---
+  // Full 9-letter pack: "hcL1L2L3Nsbn" ordered innermost=deepest; equivalent
+  // to the classic by-slot distribution.
+  static ProcessLayout full_pack();
+  // Full 9-letter scatter: node innermost; equivalent to classic by-node.
+  static ProcessLayout full_scatter();
+
+  // --- the paper's permutation space ---
+  // 9! = 362,880: every ordering of the full Table I alphabet.
+  static std::uint64_t num_full_permutations();
+  // Invoke `fn` for every full-alphabet permutation, in lexicographic order
+  // of canonical depths. Enumeration is O(9!) — callers sample or count.
+  static void for_each_full_permutation(
+      const std::function<void(const ProcessLayout&)>& fn);
+
+ private:
+  std::vector<ResourceType> order_;
+};
+
+}  // namespace lama

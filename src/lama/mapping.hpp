@@ -1,0 +1,55 @@
+// Result types of the mapping step (§III-A): a plan pairing ranks to
+// processing resources. Mapping only *plans* — no process is launched and no
+// binding is enforced here. Placements address processes to the resolution
+// of the smallest processing unit the layout can distinguish.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lama/layout.hpp"
+#include "support/bitmap.hpp"
+
+namespace lama {
+
+struct Placement {
+  int rank = 0;
+  // Index of the node within the Allocation (not the cluster).
+  std::size_t node = 0;
+  // Online PUs (node-local indices) of the mapped target: a single PU when
+  // the layout distinguishes hardware threads, a core's/cache's worth of PUs
+  // when deeper levels were pruned.
+  Bitmap target_pus;
+  // Iteration coordinate, one index per layout letter in layout order.
+  std::vector<std::size_t> coord;
+
+  // Representative PU (the first online PU of the target).
+  [[nodiscard]] std::size_t representative_pu() const {
+    return target_pus.first();
+  }
+};
+
+struct MappingResult {
+  std::string layout;  // layout string the mapping was produced from
+  std::vector<Placement> placements;  // indexed by rank
+
+  // Number of full passes over the iteration space (1 = no wraparound;
+  // more than the minimum needed means some resources were skipped).
+  std::size_t sweeps = 0;
+  // Coordinates visited that were nonexistent or unavailable.
+  std::size_t skipped = 0;
+  // Total leaf coordinates visited (mapped + skipped); the work the
+  // recursive iteration performed.
+  std::size_t visited = 0;
+
+  // True when some smallest processing unit must run more than one process.
+  bool pu_oversubscribed = false;
+  // True when some node received more processes than its scheduler slots.
+  bool slot_oversubscribed = false;
+
+  std::vector<std::size_t> procs_per_node;
+
+  [[nodiscard]] std::size_t num_procs() const { return placements.size(); }
+};
+
+}  // namespace lama

@@ -1,0 +1,38 @@
+#include "lama/maximal_tree.hpp"
+
+#include "support/error.hpp"
+
+namespace lama {
+
+MaximalTree::MaximalTree(const Allocation& alloc,
+                         const ProcessLayout& layout) {
+  node_levels_ = layout.node_levels_by_containment();
+
+  for (std::size_t i = 0; i < kNumResourceTypes; ++i) widths_[i] = 1;
+  if (layout.contains(ResourceType::kNode)) {
+    widths_[canonical_depth(ResourceType::kNode)] = alloc.num_nodes();
+  }
+
+  pruned_.reserve(alloc.num_nodes());
+  for (std::size_t n = 0; n < alloc.num_nodes(); ++n) {
+    pruned_.emplace_back(alloc.node(n).topo, node_levels_);
+    const std::vector<std::size_t> widths = pruned_.back().level_widths();
+    for (std::size_t i = 0; i < node_levels_.size(); ++i) {
+      std::size_t& w = widths_[canonical_depth(node_levels_[i])];
+      w = std::max(w, widths[i]);
+    }
+    capacity_ += alloc.node(n).topo.online_pus().count();
+  }
+}
+
+std::size_t MaximalTree::width_of(ResourceType t) const {
+  return widths_[canonical_depth(t)];
+}
+
+std::size_t MaximalTree::iteration_space() const {
+  std::size_t space = 1;
+  for (ResourceType t : all_resource_types()) space *= width_of(t);
+  return space;
+}
+
+}  // namespace lama

@@ -1,0 +1,48 @@
+// The maximal tree of §IV-B: the union of all allocated nodes' (pruned)
+// topologies. It defines one iteration space — a width per layout level —
+// that covers every node in a heterogeneous system; coordinates that do not
+// exist on a particular node are skipped by the mapper at lookup time.
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "lama/layout.hpp"
+#include "lama/pruned_tree.hpp"
+
+namespace lama {
+
+class MaximalTree {
+ public:
+  MaximalTree(const Allocation& alloc, const ProcessLayout& layout);
+
+  // Within-node levels kept by the layout, outermost first.
+  [[nodiscard]] const std::vector<ResourceType>& node_levels() const {
+    return node_levels_;
+  }
+
+  [[nodiscard]] std::size_t num_nodes() const { return pruned_.size(); }
+  [[nodiscard]] const PrunedTree& pruned(std::size_t node) const {
+    return pruned_[node];
+  }
+
+  // Loop width for a resource level: the number of allocated nodes for
+  // kNode, otherwise the maximum fan-out of that level across all nodes.
+  // Levels absent from the layout report width 1 (a pinned coordinate).
+  [[nodiscard]] std::size_t width_of(ResourceType t) const;
+
+  // Product of all level widths: the size of the full iteration space.
+  [[nodiscard]] std::size_t iteration_space() const;
+
+  // Total number of PUs that are online across the allocation — the capacity
+  // before any processing unit must be shared.
+  [[nodiscard]] std::size_t online_pu_capacity() const { return capacity_; }
+
+ private:
+  std::vector<ResourceType> node_levels_;
+  std::vector<PrunedTree> pruned_;
+  std::size_t widths_[kNumResourceTypes];
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace lama

@@ -1,0 +1,121 @@
+#include "lama/pruned_tree.hpp"
+
+#include <functional>
+
+#include "support/error.hpp"
+
+namespace lama {
+
+PrunedObject& PrunedObject::add_child(std::unique_ptr<PrunedObject> child) {
+  LAMA_ASSERT(child != nullptr);
+  children_.push_back(std::move(child));
+  return *children_.back();
+}
+
+namespace {
+
+// Walks a real-topology subtree looking for the topmost objects at canonical
+// depth `want`. Objects found exactly at `want` are hits; objects deeper than
+// `want` reached without passing a `want` object are strays (this node's
+// hardware lacks the level on that path, so the level will be bridged by a
+// pass-through vertex).
+void collect(const TopoObject& obj, int want,
+             std::vector<const TopoObject*>& hits,
+             std::vector<const TopoObject*>& strays) {
+  const int depth = canonical_depth(obj.type());
+  if (depth == want) {
+    hits.push_back(&obj);
+    return;
+  }
+  if (depth > want) {
+    strays.push_back(&obj);
+    return;
+  }
+  for (std::size_t i = 0; i < obj.num_children(); ++i) {
+    collect(obj.child(i), want, hits, strays);
+  }
+}
+
+}  // namespace
+
+PrunedTree::PrunedTree(const NodeTopology& topo,
+                       const std::vector<ResourceType>& levels)
+    : levels_(levels) {
+  const Bitmap online = topo.online_pus();
+  root_ = std::make_unique<PrunedObject>(&topo.root(), ResourceType::kNode);
+  root_->set_available_pus(online);
+
+  // Expands one pruned level under `parent`. `roots` are the real-topology
+  // subtrees that the parent spans (a pass-through parent can span several).
+  std::function<void(PrunedObject&, const std::vector<const TopoObject*>&,
+                     std::size_t)>
+      build = [&](PrunedObject& parent,
+                  const std::vector<const TopoObject*>& roots,
+                  std::size_t level_idx) {
+        if (level_idx == levels_.size()) return;
+        const int want = canonical_depth(levels_[level_idx]);
+
+        std::vector<const TopoObject*> hits;
+        std::vector<const TopoObject*> strays;
+        for (const TopoObject* r : roots) collect(*r, want, hits, strays);
+
+        for (const TopoObject* hit : hits) {
+          PrunedObject& child = parent.add_child(
+              std::make_unique<PrunedObject>(hit, levels_[level_idx]));
+          child.set_available_pus(online & hit->cpuset());
+          build(child, {hit}, level_idx + 1);
+        }
+        if (!strays.empty()) {
+          // The level is missing on these paths: bridge with one
+          // pass-through vertex so tree depth stays uniform.
+          PrunedObject& bridge = parent.add_child(
+              std::make_unique<PrunedObject>(nullptr, levels_[level_idx]));
+          Bitmap avail;
+          for (const TopoObject* s : strays) avail |= online & s->cpuset();
+          bridge.set_available_pus(std::move(avail));
+          build(bridge, strays, level_idx + 1);
+        }
+        if (hits.empty() && strays.empty()) {
+          // The hardware bottomed out above this level (e.g. layout asks for
+          // hardware threads on a node whose smallest unit is a core). The
+          // parent itself is the smallest processing unit: bridge downward.
+          PrunedObject& bridge = parent.add_child(
+              std::make_unique<PrunedObject>(nullptr, levels_[level_idx]));
+          Bitmap avail = parent.available_pus();
+          if (parent.source() != nullptr) {
+            avail = online & parent.source()->cpuset();
+          }
+          bridge.set_available_pus(std::move(avail));
+          build(bridge, roots, level_idx + 1);
+        }
+      };
+  build(*root_, {&topo.root()}, 0);
+}
+
+std::vector<std::size_t> PrunedTree::level_widths() const {
+  std::vector<std::size_t> widths(levels_.size(), 0);
+  std::function<void(const PrunedObject&, std::size_t)> walk =
+      [&](const PrunedObject& obj, std::size_t depth) {
+        if (depth < widths.size()) {
+          widths[depth] = std::max(widths[depth], obj.num_children());
+        }
+        for (std::size_t i = 0; i < obj.num_children(); ++i) {
+          walk(obj.child(i), depth + 1);
+        }
+      };
+  walk(*root_, 0);
+  return widths;
+}
+
+const PrunedObject* PrunedTree::lookup(
+    const std::vector<std::size_t>& coord) const {
+  LAMA_ASSERT(coord.size() == levels_.size());
+  const PrunedObject* obj = root_.get();
+  for (std::size_t idx : coord) {
+    if (idx >= obj->num_children()) return nullptr;
+    obj = &obj->child(idx);
+  }
+  return obj;
+}
+
+}  // namespace lama

@@ -1,0 +1,45 @@
+// Irregular placement via a rankfile — the paper's CLI Level 4 (the rankfile
+// rmaps component in the Open MPI implementation). A rankfile pins every
+// rank to an explicit node and processor set:
+//
+//   rank 0=node0 slot=0:0-1    # socket 0, cores 0 and 1 of that socket
+//   rank 1=node1 slot=4,5      # PUs (logical) 4 and 5
+//   rank 2=node0 slot=1:3      # socket 1, core 3
+//   # comments and blank lines are ignored
+//
+// The two slot syntaxes follow Open MPI: "<socket>:<corelist>" addresses
+// logical cores within a socket; a bare list addresses logical PUs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "lama/binding.hpp"
+#include "lama/mapping.hpp"
+
+namespace lama {
+
+struct RankfileEntry {
+  int rank = 0;
+  std::string node_name;
+  std::size_t node = 0;  // resolved allocation index
+  Bitmap cpuset;         // node-local PU indices
+};
+
+struct RankfilePlacement {
+  std::vector<RankfileEntry> entries;  // indexed by rank
+  // Derived artifacts matching the regular-mapping pipeline: a mapping (for
+  // oversubscription reporting) and the explicit bindings.
+  MappingResult mapping;
+  BindingResult binding;
+};
+
+// Parses and validates the rankfile against an allocation. Requirements:
+// ranks must be exactly 0..N-1 with no duplicates; node names must exist in
+// the allocation; every referenced PU must exist and be online. Throws
+// ParseError / MappingError accordingly.
+RankfilePlacement parse_rankfile(const Allocation& alloc,
+                                 const std::string& text);
+
+}  // namespace lama

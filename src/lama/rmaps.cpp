@@ -1,0 +1,118 @@
+#include "lama/rmaps.hpp"
+
+#include <algorithm>
+
+#include "lama/baselines.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace lama {
+
+namespace {
+
+class LamaComponent final : public RmapsComponent {
+ public:
+  [[nodiscard]] std::string name() const override { return "lama"; }
+  [[nodiscard]] int priority() const override { return 50; }
+  [[nodiscard]] MappingResult map(const Allocation& alloc,
+                                  const std::string& args,
+                                  const MapOptions& opts) const override {
+    // Default layout when none given: the full pack (by-slot equivalent),
+    // mirroring the Level-1 default of the CLI.
+    const std::string layout = args.empty() ? "hcL1L2L3Nsbn" : args;
+    return lama_map(alloc, layout, opts);
+  }
+};
+
+class BySlotComponent final : public RmapsComponent {
+ public:
+  [[nodiscard]] std::string name() const override { return "byslot"; }
+  [[nodiscard]] int priority() const override { return 10; }
+  [[nodiscard]] MappingResult map(const Allocation& alloc,
+                                  const std::string& args,
+                                  const MapOptions& opts) const override {
+    if (!args.empty()) {
+      throw ParseError("byslot component takes no arguments");
+    }
+    return map_by_slot(alloc, opts);
+  }
+};
+
+class ByNodeComponent final : public RmapsComponent {
+ public:
+  [[nodiscard]] std::string name() const override { return "bynode"; }
+  [[nodiscard]] int priority() const override { return 10; }
+  [[nodiscard]] MappingResult map(const Allocation& alloc,
+                                  const std::string& args,
+                                  const MapOptions& opts) const override {
+    if (!args.empty()) {
+      throw ParseError("bynode component takes no arguments");
+    }
+    return map_by_node(alloc, opts);
+  }
+};
+
+}  // namespace
+
+RmapsRegistry::RmapsRegistry() {
+  register_component(std::make_unique<LamaComponent>());
+  register_component(std::make_unique<BySlotComponent>());
+  register_component(std::make_unique<ByNodeComponent>());
+}
+
+void RmapsRegistry::register_component(
+    std::unique_ptr<RmapsComponent> component) {
+  LAMA_ASSERT(component != nullptr);
+  if (find(component->name()) != nullptr) {
+    throw MappingError("rmaps component '" + component->name() +
+                       "' is already registered");
+  }
+  components_.push_back(std::move(component));
+}
+
+const RmapsComponent* RmapsRegistry::find(const std::string& name) const {
+  for (const auto& c : components_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> RmapsRegistry::component_names() const {
+  std::vector<const RmapsComponent*> sorted;
+  sorted.reserve(components_.size());
+  for (const auto& c : components_) sorted.push_back(c.get());
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const RmapsComponent* a, const RmapsComponent* b) {
+                     return a->priority() > b->priority();
+                   });
+  std::vector<std::string> names;
+  names.reserve(sorted.size());
+  for (const RmapsComponent* c : sorted) names.push_back(c->name());
+  return names;
+}
+
+const RmapsComponent& RmapsRegistry::default_component() const {
+  LAMA_ASSERT(!components_.empty());
+  const RmapsComponent* best = components_.front().get();
+  for (const auto& c : components_) {
+    if (c->priority() > best->priority()) best = c.get();
+  }
+  return *best;
+}
+
+MappingResult RmapsRegistry::map(const std::string& spec,
+                                 const Allocation& alloc,
+                                 const MapOptions& opts) const {
+  const auto colon = spec.find(':');
+  const std::string name =
+      colon == std::string::npos ? spec : spec.substr(0, colon);
+  const std::string args =
+      colon == std::string::npos ? "" : spec.substr(colon + 1);
+  const RmapsComponent* component = find(name);
+  if (component == nullptr) {
+    throw MappingError("unknown rmaps component: '" + name + "'");
+  }
+  return component->map(alloc, args, opts);
+}
+
+}  // namespace lama

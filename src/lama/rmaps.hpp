@@ -1,0 +1,68 @@
+// The rmaps framework (§V): in the paper's Open MPI implementation, mapping
+// algorithms are pluggable components of the ORTE "rmaps" framework — the
+// LAMA is the hwtopo component, the rankfile format is the rankfile
+// component, and the classic patterns are components of their own. This
+// registry reproduces that architecture: components are selected by name
+// with a free-form argument string ("lama:scbnh", "byslot"), and new
+// components (e.g. a torus-aware mapper) can be registered without touching
+// the framework.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "lama/mapper.hpp"
+#include "lama/mapping.hpp"
+
+namespace lama {
+
+class RmapsComponent {
+ public:
+  virtual ~RmapsComponent() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  // Higher priority wins when no component is named explicitly.
+  [[nodiscard]] virtual int priority() const { return 0; }
+
+  // Maps a job. `args` is the component-specific argument (the LAMA takes a
+  // process layout, the XYZT component an order string, the baselines
+  // nothing). Throws ParseError / MappingError like the direct APIs.
+  [[nodiscard]] virtual MappingResult map(const Allocation& alloc,
+                                          const std::string& args,
+                                          const MapOptions& opts) const = 0;
+};
+
+class RmapsRegistry {
+ public:
+  // Constructs with the built-in components registered: "lama" (priority
+  // 50), "byslot" (priority 10, the default), "bynode" (priority 10).
+  RmapsRegistry();
+
+  // Takes ownership; a component with a duplicate name is rejected
+  // (MappingError).
+  void register_component(std::unique_ptr<RmapsComponent> component);
+
+  // nullptr when unknown.
+  [[nodiscard]] const RmapsComponent* find(const std::string& name) const;
+
+  // All names, highest priority first (ties by registration order).
+  [[nodiscard]] std::vector<std::string> component_names() const;
+
+  // The highest-priority component (used when nothing is selected).
+  [[nodiscard]] const RmapsComponent& default_component() const;
+
+  // Dispatch a "name[:args]" spec: "lama:scbnh" -> lama component with args
+  // "scbnh"; "byslot" -> byslot with empty args. Unknown names throw
+  // MappingError.
+  [[nodiscard]] MappingResult map(const std::string& spec,
+                                  const Allocation& alloc,
+                                  const MapOptions& opts) const;
+
+ private:
+  std::vector<std::unique_ptr<RmapsComponent>> components_;
+};
+
+}  // namespace lama

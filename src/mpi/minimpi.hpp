@@ -1,0 +1,70 @@
+// A miniature MPI-like programming layer over the event simulator. The
+// paper's subject is the launch of MPI jobs; this layer closes the loop by
+// letting *applications* be written against a rank/communicator API,
+// recorded into per-rank schedules, and executed under any mapping — so
+// placement studies run on application code instead of hand-rolled message
+// lists.
+//
+// Execution model: the SPMD function runs once per rank at record time;
+// every operation appends to that rank's script. Collectives are lowered to
+// the textbook point-to-point schedules (dissemination barrier, binomial
+// broadcast, recursive-doubling allreduce, ring allgather, pairwise
+// alltoall) with non-power-of-two fallbacks. Sends are non-blocking on the
+// receiver side (the simulator's contract), so the generated schedules are
+// deadlock-free by construction.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "lama/mapping.hpp"
+#include "sim/event_sim.hpp"
+
+namespace lama {
+
+class Comm {
+ public:
+  Comm(int rank, int size, RankScript& script);
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return size_; }
+
+  // --- point to point ---
+  void compute(double ns);
+  void send(int dst, std::size_t bytes);
+  void recv(int src);
+  // Send to and receive from the same peer (order-safe).
+  void sendrecv(int peer, std::size_t bytes);
+
+  // --- collectives ---
+  // Dissemination barrier: ceil(log2(size)) rounds of zero-byte exchanges.
+  void barrier();
+  // Binomial-tree broadcast from root.
+  void bcast(int root, std::size_t bytes);
+  // Recursive doubling when size is a power of two, otherwise gather to
+  // rank 0 plus broadcast.
+  void allreduce(std::size_t bytes);
+  // Ring allgather: size-1 rounds of block forwarding.
+  void allgather(std::size_t block_bytes);
+  // Pairwise exchange (XOR) when size is a power of two, otherwise the
+  // linear shifted schedule.
+  void alltoall(std::size_t bytes);
+
+ private:
+  int rank_;
+  int size_;
+  RankScript& script_;
+};
+
+// Records the SPMD function for np ranks and returns the per-rank scripts.
+std::vector<RankScript> record_program(
+    int np, const std::function<void(Comm&)>& spmd);
+
+// Record + simulate under a mapping in one call.
+SimReport run_program(const Allocation& alloc, const MappingResult& mapping,
+                      const std::function<void(Comm&)>& spmd,
+                      const DistanceModel& model, const NicModel& nic);
+
+}  // namespace lama

@@ -1,0 +1,83 @@
+#include "net/torus.hpp"
+
+#include "support/error.hpp"
+
+namespace lama {
+
+namespace {
+
+// Signed shortest way around a ring of size n from a to b: the per-step
+// direction (+1/-1) and the number of steps.
+std::pair<int, int> ring_shortest(int a, int b, int n) {
+  const int forward = ((b - a) % n + n) % n;
+  const int backward = n - forward;
+  if (forward == 0) return {+1, 0};
+  // Ties (forward == backward) go forward, deterministically.
+  return forward <= backward ? std::make_pair(+1, forward)
+                             : std::make_pair(-1, backward);
+}
+
+}  // namespace
+
+TorusNetwork::TorusNetwork(int nx, int ny, int nz)
+    : nx_(nx), ny_(ny), nz_(nz) {
+  if (nx <= 0 || ny <= 0 || nz <= 0) {
+    throw MappingError("torus dimensions must be positive");
+  }
+}
+
+TorusCoord TorusNetwork::coord_of(std::size_t node) const {
+  LAMA_ASSERT(node < num_nodes());
+  const int n = static_cast<int>(node);
+  return TorusCoord{n % nx_, (n / nx_) % ny_, n / (nx_ * ny_)};
+}
+
+std::size_t TorusNetwork::node_of(TorusCoord c) const {
+  const int x = ((c.x % nx_) + nx_) % nx_;
+  const int y = ((c.y % ny_) + ny_) % ny_;
+  const int z = ((c.z % nz_) + nz_) % nz_;
+  return static_cast<std::size_t>((z * ny_ + y) * nx_ + x);
+}
+
+int TorusNetwork::hops(std::size_t a, std::size_t b) const {
+  const TorusCoord ca = coord_of(a);
+  const TorusCoord cb = coord_of(b);
+  return ring_shortest(ca.x, cb.x, nx_).second +
+         ring_shortest(ca.y, cb.y, ny_).second +
+         ring_shortest(ca.z, cb.z, nz_).second;
+}
+
+std::vector<TorusNetwork::Link> TorusNetwork::route(std::size_t a,
+                                                    std::size_t b) const {
+  std::vector<Link> links;
+  TorusCoord cur = coord_of(a);
+  const TorusCoord dst = coord_of(b);
+
+  auto walk_dim = [&](int dim, int cur_v, int dst_v, int n) {
+    const auto [dir, steps] = ring_shortest(cur_v, dst_v, n);
+    for (int i = 0; i < steps; ++i) {
+      links.push_back(Link{node_of(cur), dim, dir});
+      switch (dim) {
+        case 0: cur.x += dir; break;
+        case 1: cur.y += dir; break;
+        case 2: cur.z += dir; break;
+      }
+      // Normalize so node_of stays cheap to reason about.
+      cur = coord_of(node_of(cur));
+    }
+  };
+  walk_dim(0, cur.x, dst.x, nx_);
+  walk_dim(1, cur.y, dst.y, ny_);
+  walk_dim(2, cur.z, dst.z, nz_);
+  LAMA_ASSERT(node_of(cur) == b);
+  return links;
+}
+
+std::size_t TorusNetwork::link_index(const Link& link) const {
+  LAMA_ASSERT(link.from_node < num_nodes());
+  LAMA_ASSERT(link.dim >= 0 && link.dim < 3);
+  return (link.from_node * 3 + static_cast<std::size_t>(link.dim)) * 2 +
+         (link.dir > 0 ? 1 : 0);
+}
+
+}  // namespace lama

@@ -1,0 +1,65 @@
+// 3-D torus cluster network, the inter-node topology of the BlueGene-class
+// systems in the paper's related work (§II). Most mapping algorithms "view
+// compute nodes as equidistant"; this model is what makes node distance
+// non-uniform, so the XYZT baseline mapper and the congestion evaluator have
+// a real network to work against.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lama {
+
+struct TorusCoord {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+
+  bool operator==(const TorusCoord&) const = default;
+};
+
+class TorusNetwork {
+ public:
+  // Dimensions must all be positive. Node indices are x-fastest:
+  // node = (z * ny + y) * nx + x.
+  TorusNetwork(int nx, int ny, int nz);
+
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int ny() const { return ny_; }
+  [[nodiscard]] int nz() const { return nz_; }
+  [[nodiscard]] std::size_t num_nodes() const {
+    return static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_) *
+           static_cast<std::size_t>(nz_);
+  }
+
+  [[nodiscard]] TorusCoord coord_of(std::size_t node) const;
+  // Coordinates wrap around each dimension.
+  [[nodiscard]] std::size_t node_of(TorusCoord c) const;
+
+  // Minimal hop count between two nodes (per-dimension shortest way around
+  // the ring, summed).
+  [[nodiscard]] int hops(std::size_t a, std::size_t b) const;
+
+  // One directed link of the torus: from `from_node` along dimension `dim`
+  // (0=x, 1=y, 2=z) in direction `dir` (+1 or -1).
+  struct Link {
+    std::size_t from_node = 0;
+    int dim = 0;
+    int dir = +1;
+  };
+
+  // Dimension-ordered (X then Y then Z) minimal route; the returned links
+  // are the ones a message from a to b occupies. Empty when a == b.
+  [[nodiscard]] std::vector<Link> route(std::size_t a, std::size_t b) const;
+
+  // Dense index for per-link accounting arrays; < num_links().
+  [[nodiscard]] std::size_t link_index(const Link& link) const;
+  [[nodiscard]] std::size_t num_links() const { return num_nodes() * 6; }
+
+ private:
+  int nx_;
+  int ny_;
+  int nz_;
+};
+
+}  // namespace lama

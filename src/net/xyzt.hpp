@@ -1,0 +1,36 @@
+// BlueGene-style XYZT mapping (paper §II, refs [8]-[10]): "the regular
+// mapping pattern is expressed in terms of relative X, Y, Z coordinate
+// ordering for the torus network, and an additional T parameter for cores.
+// The order of these parameters (e.g., XYZT vs. YXTZ vs. TZXY) determines
+// the order of mapping directions across the torus network and cores within
+// a node." Implemented here as a comparison baseline: unlike the LAMA it
+// knows the *network* shape but is blind to on-node NUMA structure (the gap
+// the paper's algorithm fills).
+#pragma once
+
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "lama/mapper.hpp"
+#include "lama/mapping.hpp"
+#include "net/torus.hpp"
+
+namespace lama {
+
+// Maps processes over (X, Y, Z, T) with the leftmost letter of `order`
+// varying fastest (the same convention as LAMA layouts). T addresses the
+// t-th online PU of a node; T coordinates beyond a node's online PU count
+// are skipped (heterogeneous nodes supported). The allocation's node i sits
+// at torus position coord_of(i); the allocation size must equal the torus
+// size. `order` must be a permutation of "XYZT" (case-insensitive).
+MappingResult map_xyzt(const Allocation& alloc, const TorusNetwork& net,
+                       const std::string& order, const MapOptions& opts);
+
+// Registers an "xyzt" rmaps component bound to a torus shape, so the
+// BlueGene-style mapper participates in the same component framework as the
+// LAMA ("xyzt:TXYZ" specs; the args default to "XYZT"). Priority 20: above
+// the plain baselines, below the LAMA.
+class RmapsRegistry;  // lama/rmaps.hpp
+void register_xyzt_component(RmapsRegistry& registry, TorusNetwork net);
+
+}  // namespace lama

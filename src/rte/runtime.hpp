@@ -1,0 +1,93 @@
+// A miniature parallel run-time environment standing in for the paper's
+// Open MPI Runtime Environment (ORTE): it takes a job specification and a
+// placement specification (any CLI level), runs the mapping agent, runs the
+// binding step, "launches" the processes into a simulated process table, and
+// can render the familiar --report-bindings output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "lama/binding.hpp"
+#include "lama/cli.hpp"
+#include "lama/mapping.hpp"
+
+namespace lama {
+
+struct JobSpec {
+  std::size_t np = 0;          // number of processes
+  std::string name = "app";    // cosmetic
+  // Processing units each process needs (multi-threaded applications);
+  // reported-on but not enforced: binding width should cover it.
+  std::size_t threads_per_proc = 1;
+  bool allow_oversubscribe = true;
+};
+
+enum class ProcState { kPlanned, kRunning };
+
+struct LaunchedProcess {
+  int rank = 0;
+  std::size_t node = 0;  // allocation-local
+  Bitmap cpuset;         // enforced binding (node-local PU indices)
+  std::size_t binding_width = 0;
+  ProcState state = ProcState::kPlanned;
+};
+
+class LaunchPlan {
+ public:
+  LaunchPlan(const Allocation& alloc, MappingResult mapping,
+             BindingResult binding);
+
+  [[nodiscard]] const MappingResult& mapping() const { return mapping_; }
+  [[nodiscard]] const BindingResult& binding() const { return binding_; }
+
+  // Processes destined for one node, in rank order.
+  [[nodiscard]] std::vector<const LaunchedProcess*> procs_on_node(
+      std::size_t node) const;
+  [[nodiscard]] const std::vector<LaunchedProcess>& procs() const {
+    return procs_;
+  }
+
+  // Marks every process running, checking that each cpuset is a subset of
+  // its node's online PUs (the enforcement contract of §III-B); throws
+  // MappingError on violation.
+  void launch(const Allocation& alloc);
+
+  // hwloc-style rendering: one line per process, e.g.
+  //   [node0 rank 3] bound to 0-1: [BB/../../..][../../../..]
+  // Brackets group PUs by socket (or board when sockets are absent), '/'
+  // separates cores, 'B' marks bound PUs.
+  [[nodiscard]] std::string report_bindings(const Allocation& alloc) const;
+
+ private:
+  MappingResult mapping_;
+  BindingResult binding_;
+  std::vector<LaunchedProcess> procs_;
+};
+
+// The full pipeline: validate, map (per the spec's kind), bind, plan.
+LaunchPlan plan_job(const Allocation& alloc, const JobSpec& job,
+                    const PlacementSpec& spec);
+
+// Convenience: parse mpirun-style options and plan. `job.np` wins over a
+// -np option only when the option is absent.
+LaunchPlan plan_job(const Allocation& alloc, const JobSpec& job,
+                    const std::vector<std::string>& mpirun_args);
+
+// Dynamic re-planning (§VI: the LAMA "responds dynamically, at runtime, to
+// changing hardware topologies"): re-runs the same placement spec against a
+// changed allocation (nodes off-lined, resources lost or returned) and
+// reports which ranks moved.
+struct ReplanDiff {
+  LaunchPlan plan;
+  // Ranks whose node or cpuset changed relative to the old plan.
+  std::vector<int> moved_ranks;
+  // Ranks that kept node and cpuset.
+  std::size_t unchanged = 0;
+};
+
+ReplanDiff replan_job(const Allocation& new_alloc, const JobSpec& job,
+                      const PlacementSpec& spec, const LaunchPlan& old_plan);
+
+}  // namespace lama

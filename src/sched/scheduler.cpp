@@ -1,0 +1,165 @@
+#include "sched/scheduler.hpp"
+
+#include "support/error.hpp"
+
+namespace lama {
+
+Scheduler::Scheduler(const Cluster& cluster) : cluster_(cluster) {
+  free_.reserve(cluster.num_nodes());
+  for (std::size_t i = 0; i < cluster.num_nodes(); ++i) {
+    free_.push_back(cluster.node(i).topo.online_pus());
+  }
+}
+
+int Scheduler::submit(SchedJobSpec spec) {
+  if (spec.pus == 0) {
+    throw MappingError("job '" + spec.name + "' requests no processing units");
+  }
+  if (spec.plane_size == 0) {
+    throw MappingError("plane size must be at least 1");
+  }
+  std::size_t machine = 0;
+  for (std::size_t i = 0; i < cluster_.num_nodes(); ++i) {
+    machine += cluster_.node(i).topo.online_pus().count();
+  }
+  if (spec.pus > machine) {
+    throw MappingError("job '" + spec.name + "' requests " +
+                       std::to_string(spec.pus) + " PUs but the machine has " +
+                       std::to_string(machine));
+  }
+  SchedJob job;
+  job.id = next_id_++;
+  job.spec = std::move(spec);
+  jobs_.push_back(std::move(job));
+  return jobs_.back().id;
+}
+
+std::vector<std::pair<std::size_t, Bitmap>> Scheduler::try_grant(
+    const SchedJobSpec& spec) const {
+  std::vector<Bitmap> granted(cluster_.num_nodes());
+  std::size_t need = spec.pus;
+
+  if (spec.exclusive) {
+    // Whole free nodes only, in order.
+    for (std::size_t n = 0; n < cluster_.num_nodes() && need > 0; ++n) {
+      const std::size_t whole = cluster_.node(n).topo.online_pus().count();
+      if (free_[n].count() != whole || whole == 0) continue;
+      granted[n] = free_[n];
+      need -= std::min(need, whole);
+    }
+  } else {
+    const std::size_t chunk =
+        spec.distribution == SchedDistribution::kBlock ? spec.pus
+        : spec.distribution == SchedDistribution::kCyclic
+            ? 1
+            : spec.plane_size;
+    // Round-robin rounds of `chunk` PUs per node until satisfied or stuck.
+    std::vector<std::size_t> cursor(cluster_.num_nodes(), Bitmap::npos);
+    bool progress = true;
+    while (need > 0 && progress) {
+      progress = false;
+      for (std::size_t n = 0; n < cluster_.num_nodes() && need > 0; ++n) {
+        for (std::size_t k = 0; k < chunk && need > 0; ++k) {
+          const std::size_t pu = free_[n].next(cursor[n]);
+          if (pu == Bitmap::npos) break;
+          cursor[n] = pu;
+          granted[n].set(pu);
+          --need;
+          progress = true;
+        }
+      }
+    }
+  }
+
+  if (need > 0) return {};  // does not fit right now
+  std::vector<std::pair<std::size_t, Bitmap>> grants;
+  for (std::size_t n = 0; n < cluster_.num_nodes(); ++n) {
+    if (!granted[n].empty()) grants.emplace_back(n, granted[n]);
+  }
+  return grants;
+}
+
+std::vector<int> Scheduler::schedule(bool backfill) {
+  std::vector<int> started;
+  bool head_blocked = false;
+  for (SchedJob& job : jobs_) {
+    if (job.state != SchedJobState::kQueued) continue;
+    if (head_blocked && !backfill) break;
+    auto grants = try_grant(job.spec);
+    if (grants.empty()) {
+      head_blocked = true;
+      continue;
+    }
+    for (const auto& [node, pus] : grants) {
+      free_[node].and_not(pus);
+    }
+    job.grants = std::move(grants);
+    job.state = SchedJobState::kRunning;
+    started.push_back(job.id);
+  }
+  return started;
+}
+
+void Scheduler::complete(int id) {
+  SchedJob* job = find(id);
+  if (job == nullptr) throw MappingError("unknown job id");
+  if (job->state != SchedJobState::kRunning) {
+    throw MappingError("job " + std::to_string(id) + " is not running");
+  }
+  for (const auto& [node, pus] : job->grants) {
+    free_[node] |= pus;
+  }
+  job->grants.clear();
+  job->state = SchedJobState::kCompleted;
+}
+
+const SchedJob& Scheduler::job(int id) const {
+  const SchedJob* j = find(id);
+  if (j == nullptr) throw MappingError("unknown job id");
+  return *j;
+}
+
+std::size_t Scheduler::free_pus(std::size_t node) const {
+  LAMA_ASSERT(node < free_.size());
+  return free_[node].count();
+}
+
+std::size_t Scheduler::total_free_pus() const {
+  std::size_t total = 0;
+  for (const Bitmap& b : free_) total += b.count();
+  return total;
+}
+
+std::vector<int> Scheduler::queued_ids() const {
+  std::vector<int> ids;
+  for (const SchedJob& job : jobs_) {
+    if (job.state == SchedJobState::kQueued) ids.push_back(job.id);
+  }
+  return ids;
+}
+
+Allocation Scheduler::allocation_for(int id) const {
+  const SchedJob* job = find(id);
+  if (job == nullptr) throw MappingError("unknown job id");
+  if (job->state != SchedJobState::kRunning) {
+    throw MappingError("job " + std::to_string(id) +
+                       " is not running; no allocation exists");
+  }
+  return allocate_cores(cluster_, job->grants);
+}
+
+SchedJob* Scheduler::find(int id) {
+  for (SchedJob& job : jobs_) {
+    if (job.id == id) return &job;
+  }
+  return nullptr;
+}
+
+const SchedJob* Scheduler::find(int id) const {
+  for (const SchedJob& job : jobs_) {
+    if (job.id == id) return &job;
+  }
+  return nullptr;
+}
+
+}  // namespace lama

@@ -1,0 +1,84 @@
+// A miniature resource manager in the role SLURM plays for the paper
+// (§II-III): it owns the cluster, queues jobs, grants them processor-core-
+// granular allocations under a distribution policy (block / cyclic / plane —
+// SLURM's vocabulary), and hands each running job the Allocation that the
+// mapping agent (the LAMA) then works within. Restrictions the scheduler
+// makes are exactly the "unavailable resources" the mapper must skip.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace lama {
+
+// How a job's granted PUs spread across nodes (SLURM's -m option).
+enum class SchedDistribution {
+  kBlock,   // fill a node's free PUs before touching the next node
+  kCyclic,  // one PU per node, round-robin
+  kPlane,   // `plane_size` PUs per node per round
+};
+
+struct SchedJobSpec {
+  std::string name = "job";
+  // Smallest processing units requested.
+  std::size_t pus = 0;
+  SchedDistribution distribution = SchedDistribution::kBlock;
+  // For kPlane; must be >= 1.
+  std::size_t plane_size = 1;
+  // Exclusive jobs take whole nodes (every PU of each node they touch).
+  bool exclusive = false;
+};
+
+enum class SchedJobState { kQueued, kRunning, kCompleted };
+
+struct SchedJob {
+  int id = 0;
+  SchedJobSpec spec;
+  SchedJobState state = SchedJobState::kQueued;
+  // Valid while kRunning: the core-granular grant per node.
+  std::vector<std::pair<std::size_t, Bitmap>> grants;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(const Cluster& cluster);
+
+  // Enqueues a job; returns its id. Jobs that can never fit the whole
+  // machine are rejected with MappingError.
+  int submit(SchedJobSpec spec);
+
+  // Starts queued jobs in FIFO order until the head does not fit. With
+  // `backfill`, jobs behind a blocked head may start when they fit (EASY-
+  // style, without reservations). Returns the ids started.
+  std::vector<int> schedule(bool backfill = false);
+
+  // Frees a running job's resources. Completing a queued or completed job
+  // throws MappingError.
+  void complete(int id);
+
+  [[nodiscard]] const SchedJob& job(int id) const;
+  [[nodiscard]] std::size_t free_pus(std::size_t node) const;
+  [[nodiscard]] std::size_t total_free_pus() const;
+  [[nodiscard]] std::vector<int> queued_ids() const;
+
+  // Builds the mapping agent's view of a RUNNING job: its nodes with every
+  // non-granted PU off-lined.
+  [[nodiscard]] Allocation allocation_for(int id) const;
+
+ private:
+  [[nodiscard]] SchedJob* find(int id);
+  [[nodiscard]] const SchedJob* find(int id) const;
+  // Attempts to grant the spec from current free PUs; empty when it does
+  // not fit right now.
+  [[nodiscard]] std::vector<std::pair<std::size_t, Bitmap>> try_grant(
+      const SchedJobSpec& spec) const;
+
+  const Cluster& cluster_;
+  std::vector<Bitmap> free_;  // per node
+  std::vector<SchedJob> jobs_;
+  int next_id_ = 1;
+};
+
+}  // namespace lama

@@ -1,0 +1,116 @@
+#include "sched/simulation.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <queue>
+
+#include "support/error.hpp"
+
+namespace lama {
+
+ScheduleMetrics simulate_schedule(const Cluster& cluster,
+                                  const std::vector<TimedJob>& stream,
+                                  bool backfill) {
+  for (const TimedJob& job : stream) {
+    if (job.duration_s <= 0.0) {
+      throw MappingError("timed jobs need a positive duration");
+    }
+    if (job.submit_s < 0.0) {
+      throw MappingError("timed jobs cannot arrive before time zero");
+    }
+  }
+
+  Scheduler sched(cluster);
+  ScheduleMetrics metrics;
+  metrics.jobs.reserve(stream.size());
+
+  // Submission order by arrival time (stable for ties).
+  std::vector<std::size_t> arrival_order(stream.size());
+  for (std::size_t i = 0; i < arrival_order.size(); ++i) arrival_order[i] = i;
+  std::stable_sort(arrival_order.begin(), arrival_order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return stream[a].submit_s < stream[b].submit_s;
+                   });
+
+  // Scheduler id -> bookkeeping.
+  std::map<int, JobOutcome> outcomes;
+  std::map<int, double> durations;
+  std::map<int, std::size_t> stream_index;
+
+  // (end time, id) min-heap of running jobs.
+  using End = std::pair<double, int>;
+  std::priority_queue<End, std::vector<End>, std::greater<>> running;
+
+  double now = 0.0;
+  std::size_t next_arrival = 0;
+  double granted_pu_seconds = 0.0;
+
+  auto try_start = [&]() {
+    for (int id : sched.schedule(backfill)) {
+      outcomes[id].start_s = now;
+      outcomes[id].end_s = now + durations[id];
+      running.push({outcomes[id].end_s, id});
+      std::size_t pus = 0;
+      for (const auto& [node, grant] : sched.job(id).grants) {
+        pus += grant.count();
+      }
+      granted_pu_seconds += static_cast<double>(pus) * durations[id];
+    }
+  };
+
+  while (next_arrival < arrival_order.size() || !running.empty()) {
+    // Advance to the next event: an arrival or a completion.
+    const double arrival_t =
+        next_arrival < arrival_order.size()
+            ? stream[arrival_order[next_arrival]].submit_s
+            : std::numeric_limits<double>::infinity();
+    const double completion_t =
+        running.empty() ? std::numeric_limits<double>::infinity()
+                        : running.top().first;
+
+    if (completion_t <= arrival_t) {
+      now = completion_t;
+      // Complete everything ending now before rescheduling.
+      while (!running.empty() && running.top().first <= now) {
+        sched.complete(running.top().second);
+        running.pop();
+      }
+    } else {
+      now = arrival_t;
+      while (next_arrival < arrival_order.size() &&
+             stream[arrival_order[next_arrival]].submit_s <= now) {
+        const std::size_t idx = arrival_order[next_arrival++];
+        const int id = sched.submit(stream[idx].spec);
+        outcomes[id] = JobOutcome{id, stream[idx].submit_s, 0.0, 0.0};
+        durations[id] = stream[idx].duration_s;
+        stream_index[id] = idx;
+      }
+    }
+    try_start();
+    if (running.empty() && next_arrival == arrival_order.size() &&
+        !sched.queued_ids().empty()) {
+      throw MappingError(
+          "scheduling simulation wedged: queued jobs can never start on an "
+          "idle machine");
+    }
+  }
+
+  metrics.makespan_s = now;
+  metrics.jobs.resize(stream.size());
+  double total_wait = 0.0;
+  for (const auto& [id, outcome] : outcomes) {
+    metrics.jobs[stream_index[id]] = outcome;
+    total_wait += outcome.wait_s();
+    metrics.max_wait_s = std::max(metrics.max_wait_s, outcome.wait_s());
+  }
+  if (!stream.empty()) {
+    metrics.avg_wait_s = total_wait / static_cast<double>(stream.size());
+  }
+  const double machine =
+      static_cast<double>(cluster.total_pus()) * metrics.makespan_s;
+  if (machine > 0.0) metrics.utilization = granted_pu_seconds / machine;
+  return metrics;
+}
+
+}  // namespace lama

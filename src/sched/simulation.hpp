@@ -1,0 +1,46 @@
+// Timed scheduling simulation: drive the Scheduler with a stream of jobs
+// that arrive and finish on a clock, and measure queue behaviour — the
+// resource-manager-side context (§III-A) in which allocations, and hence
+// the shapes the LAMA must map into, are produced. The classic result this
+// exposes: EASY-style backfill fills the holes a blocked wide job leaves,
+// cutting waits without starving anyone (here: without reordering starts of
+// equal-fit jobs).
+#pragma once
+
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace lama {
+
+struct TimedJob {
+  SchedJobSpec spec;
+  double submit_s = 0.0;    // arrival time
+  double duration_s = 0.0;  // run time once started (> 0)
+};
+
+struct JobOutcome {
+  int id = 0;
+  double submit_s = 0.0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+
+  [[nodiscard]] double wait_s() const { return start_s - submit_s; }
+};
+
+struct ScheduleMetrics {
+  double makespan_s = 0.0;   // last completion
+  double avg_wait_s = 0.0;
+  double max_wait_s = 0.0;
+  // Machine-time actually granted / machine-time available until makespan.
+  double utilization = 0.0;
+  std::vector<JobOutcome> jobs;  // in submission order
+};
+
+// Runs the stream to completion (every job eventually starts — callers must
+// submit jobs that fit the machine). Deterministic.
+ScheduleMetrics simulate_schedule(const Cluster& cluster,
+                                  const std::vector<TimedJob>& stream,
+                                  bool backfill);
+
+}  // namespace lama

@@ -1,0 +1,84 @@
+#include "sim/autotune.hpp"
+
+#include <algorithm>
+
+#include "lama/mapper.hpp"
+#include "sim/evaluator.hpp"
+#include "support/error.hpp"
+
+namespace lama {
+
+const AutotuneEntry& AutotuneResult::best() const {
+  LAMA_ASSERT(!ranking.empty());
+  return ranking.front();
+}
+
+const AutotuneEntry& AutotuneResult::worst() const {
+  LAMA_ASSERT(!ranking.empty());
+  return ranking.back();
+}
+
+double AutotuneResult::spread() const {
+  const double worst_score = worst().score;
+  if (worst_score <= 0.0) return 0.0;
+  return (worst_score - best().score) / worst_score;
+}
+
+AutotuneResult autotune_layout(const Allocation& alloc,
+                               const TrafficPattern& pattern,
+                               const DistanceModel& model,
+                               const AutotuneOptions& options) {
+  if (options.sample_stride == 0) {
+    throw MappingError("autotune sample stride must be at least 1");
+  }
+  const std::size_t np =
+      options.np == 0 ? static_cast<std::size_t>(pattern.np) : options.np;
+
+  std::vector<ProcessLayout> layouts;
+  if (!options.candidates.empty()) {
+    layouts.reserve(options.candidates.size());
+    for (const std::string& text : options.candidates) {
+      layouts.push_back(ProcessLayout::parse(text));
+    }
+  } else {
+    std::size_t i = 0;
+    ProcessLayout::for_each_full_permutation([&](const ProcessLayout& l) {
+      if (i++ % options.sample_stride == 0) layouts.push_back(l);
+    });
+  }
+
+  AutotuneResult result;
+  result.ranking.reserve(layouts.size());
+  for (const ProcessLayout& layout : layouts) {
+    const MappingResult m = lama_map(alloc, layout, {.np = np});
+    const CostReport r = evaluate_mapping(alloc, m, pattern, model);
+    AutotuneEntry entry;
+    entry.layout = layout.to_string();
+    entry.total_ns = r.total_ns;
+    entry.max_rank_ns = r.max_rank_ns;
+    entry.max_nic_bytes = r.max_nic_bytes;
+    switch (options.objective) {
+      case AutotuneOptions::Objective::kTotalTime:
+        entry.score = r.total_ns;
+        break;
+      case AutotuneOptions::Objective::kMaxRankTime:
+        entry.score = r.max_rank_ns;
+        break;
+      case AutotuneOptions::Objective::kMaxNicBytes:
+        entry.score = static_cast<double>(r.max_nic_bytes);
+        break;
+    }
+    result.ranking.push_back(std::move(entry));
+    ++result.evaluated;
+  }
+  if (result.ranking.empty()) {
+    throw MappingError("autotune evaluated no layouts");
+  }
+  std::stable_sort(result.ranking.begin(), result.ranking.end(),
+                   [](const AutotuneEntry& a, const AutotuneEntry& b) {
+                     return a.score < b.score;
+                   });
+  return result;
+}
+
+}  // namespace lama

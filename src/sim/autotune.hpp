@@ -1,0 +1,58 @@
+// Layout auto-tuning: the paper argues that "domain-level experts need to be
+// able to specify and experiment with different placements to find an
+// optimal configuration" (§I). This utility runs that experiment
+// programmatically: it prices candidate layouts (an explicit list, or a
+// deterministic sample of the full 362,880-permutation space) against an
+// application's traffic pattern on the target allocation and returns the
+// ranking.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "sim/distance_model.hpp"
+#include "sim/traffic.hpp"
+
+namespace lama {
+
+struct AutotuneOptions {
+  std::size_t np = 0;  // 0 = pattern.np
+  // Candidates to price. When empty, `sample_stride` selects every k-th
+  // layout of the full permutation space instead.
+  std::vector<std::string> candidates;
+  // Used only when candidates is empty: price every `sample_stride`-th full
+  // permutation (1 = all 362,880 — expensive). Must be >= 1.
+  std::size_t sample_stride = 1024;
+  // Ranking objective.
+  enum class Objective { kTotalTime, kMaxRankTime, kMaxNicBytes } objective =
+      Objective::kTotalTime;
+};
+
+struct AutotuneEntry {
+  std::string layout;
+  double total_ns = 0.0;
+  double max_rank_ns = 0.0;
+  std::size_t max_nic_bytes = 0;
+  double score = 0.0;  // per the chosen objective; lower is better
+};
+
+struct AutotuneResult {
+  // Every priced layout, best (lowest score) first; ties keep candidate
+  // order, so results are deterministic.
+  std::vector<AutotuneEntry> ranking;
+  std::size_t evaluated = 0;
+
+  [[nodiscard]] const AutotuneEntry& best() const;
+  [[nodiscard]] const AutotuneEntry& worst() const;
+  // (worst - best) / worst, in [0, 1): how much picking layouts matters for
+  // this pattern on this machine.
+  [[nodiscard]] double spread() const;
+};
+
+AutotuneResult autotune_layout(const Allocation& alloc,
+                               const TrafficPattern& pattern,
+                               const DistanceModel& model,
+                               const AutotuneOptions& options);
+
+}  // namespace lama

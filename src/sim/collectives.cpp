@@ -1,0 +1,83 @@
+#include "sim/collectives.hpp"
+
+#include "support/error.hpp"
+
+namespace lama {
+
+namespace {
+
+bool is_power_of_two(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+// Maps a textbook-schedule relative rank (root plays 0) to the real rank.
+int abs_rank(int rel_rank, int root, int np) { return (rel_rank + root) % np; }
+
+}  // namespace
+
+TrafficPattern make_bcast_binomial(int np, int root, std::size_t bytes) {
+  LAMA_ASSERT(np >= 2 && root >= 0 && root < np);
+  TrafficPattern p{"bcast_binomial", np, {}};
+  for (int dist = 1; dist < np; dist *= 2) {
+    for (int r = 0; r < dist && r + dist < np; ++r) {
+      // Relative rank r (which has the data after round log2(dist)) sends
+      // to relative rank r + dist.
+      p.messages.push_back(
+          {abs_rank(r, root, np), abs_rank(r + dist, root, np), bytes});
+    }
+  }
+  return p;
+}
+
+TrafficPattern make_allreduce_recursive_doubling(int np, std::size_t bytes) {
+  LAMA_ASSERT(np >= 2);
+  if (!is_power_of_two(np)) {
+    throw MappingError(
+        "recursive-doubling allreduce requires a power-of-two process "
+        "count, got " +
+        std::to_string(np));
+  }
+  TrafficPattern p{"allreduce_rd", np, {}};
+  for (int dist = 1; dist < np; dist *= 2) {
+    for (int r = 0; r < np; ++r) {
+      p.messages.push_back({r, r ^ dist, bytes});
+    }
+  }
+  return p;
+}
+
+TrafficPattern make_allgather_ring(int np, std::size_t block_bytes) {
+  LAMA_ASSERT(np >= 2);
+  TrafficPattern p{"allgather_ring", np, {}};
+  for (int round = 0; round < np - 1; ++round) {
+    for (int r = 0; r < np; ++r) {
+      p.messages.push_back({r, (r + 1) % np, block_bytes});
+    }
+  }
+  return p;
+}
+
+TrafficPattern make_gather_linear(int np, int root, std::size_t bytes) {
+  LAMA_ASSERT(np >= 2 && root >= 0 && root < np);
+  TrafficPattern p{"gather_linear", np, {}};
+  for (int r = 0; r < np; ++r) {
+    if (r != root) p.messages.push_back({r, root, bytes});
+  }
+  return p;
+}
+
+TrafficPattern make_alltoall_pairwise(int np, std::size_t bytes) {
+  LAMA_ASSERT(np >= 2);
+  if (!is_power_of_two(np)) {
+    throw MappingError(
+        "pairwise alltoall requires a power-of-two process count, got " +
+        std::to_string(np));
+  }
+  TrafficPattern p{"alltoall_pairwise", np, {}};
+  for (int k = 1; k < np; ++k) {
+    for (int r = 0; r < np; ++r) {
+      p.messages.push_back({r, r ^ k, bytes});
+    }
+  }
+  return p;
+}
+
+}  // namespace lama

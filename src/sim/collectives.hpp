@@ -1,0 +1,32 @@
+// Point-to-point realizations of MPI collective operations, as classic MPI
+// implementations schedule them. Collectives are the communication backbone
+// of most MPI applications, and their message structure is exactly what
+// process placement reshapes: a binomial broadcast tree rooted on one socket
+// prices very differently under pack vs scatter.
+#pragma once
+
+#include "sim/traffic.hpp"
+
+namespace lama {
+
+// Binomial-tree broadcast from `root`: log2(np) rounds; in round k, every
+// rank that already has the data forwards it to the rank 2^k away.
+TrafficPattern make_bcast_binomial(int np, int root, std::size_t bytes);
+
+// Recursive-doubling allreduce: log2(np) rounds of pairwise exchanges with
+// partners at distance 1, 2, 4, ... Requires np to be a power of two.
+TrafficPattern make_allreduce_recursive_doubling(int np, std::size_t bytes);
+
+// Ring allgather: np-1 rounds; each rank forwards a block to its right
+// neighbour (the bandwidth-optimal large-message algorithm).
+TrafficPattern make_allgather_ring(int np, std::size_t block_bytes);
+
+// Linear gather to `root` (every rank sends its block to the root) — the
+// hub-bottleneck shape.
+TrafficPattern make_gather_linear(int np, int root, std::size_t bytes);
+
+// Pairwise-exchange alltoall as implementations schedule it: np-1 rounds,
+// in round k rank r exchanges with rank r XOR k (np must be a power of two).
+TrafficPattern make_alltoall_pairwise(int np, std::size_t bytes);
+
+}  // namespace lama

@@ -1,0 +1,60 @@
+#include "sim/distance_model.hpp"
+
+#include "support/error.hpp"
+
+namespace lama {
+
+DistanceModel DistanceModel::commodity() {
+  DistanceModel m;
+  // Deepest (cheapest) to shallowest (most expensive). Two processes pinned
+  // to the same hardware thread still pay the same-core cost.
+  m.set_level_cost(ResourceType::kHwThread, {30.0, 80.0});
+  m.set_level_cost(ResourceType::kCore, {40.0, 60.0});
+  m.set_level_cost(ResourceType::kL1, {45.0, 55.0});
+  m.set_level_cost(ResourceType::kL2, {60.0, 45.0});
+  m.set_level_cost(ResourceType::kL3, {90.0, 35.0});
+  m.set_level_cost(ResourceType::kNuma, {120.0, 25.0});
+  m.set_level_cost(ResourceType::kSocket, {160.0, 18.0});
+  m.set_level_cost(ResourceType::kBoard, {250.0, 12.0});
+  m.set_level_cost(ResourceType::kNode, {350.0, 8.0});
+  m.set_network_cost({1500.0, 6.0});
+  return m;
+}
+
+ResourceType DistanceModel::sharing_level(const NodeTopology& topo,
+                                          std::size_t pu_a, std::size_t pu_b) {
+  if (pu_a == pu_b) return topo.leaf_type();
+  // Walk the deepest-first level list; the first level whose ancestor
+  // objects coincide is the sharing level.
+  const std::vector<ResourceType>& levels = topo.levels();
+  for (std::size_t i = levels.size(); i-- > 0;) {
+    const TopoObject* a = topo.ancestor_of_pu(pu_a, levels[i]);
+    const TopoObject* b = topo.ancestor_of_pu(pu_b, levels[i]);
+    if (a != nullptr && a == b) return levels[i];
+  }
+  return ResourceType::kNode;
+}
+
+std::vector<std::vector<double>> DistanceModel::latency_matrix(
+    const NodeTopology& topo) const {
+  const std::size_t n = topo.pu_count();
+  std::vector<std::vector<double>> matrix(n, std::vector<double>(n, 0.0));
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a; b < n; ++b) {
+      const double ns = level_cost(sharing_level(topo, a, b)).latency_ns;
+      matrix[a][b] = ns;
+      matrix[b][a] = ns;
+    }
+  }
+  return matrix;
+}
+
+double DistanceModel::message_ns(const Allocation& alloc, std::size_t node_a,
+                                 std::size_t pu_a, std::size_t node_b,
+                                 std::size_t pu_b, std::size_t bytes) const {
+  if (node_a != node_b) return network_.message_ns(bytes);
+  const NodeTopology& topo = alloc.node(node_a).topo;
+  return level_cost(sharing_level(topo, pu_a, pu_b)).message_ns(bytes);
+}
+
+}  // namespace lama

@@ -1,0 +1,69 @@
+// Hierarchical communication-cost model. The paper's motivation (§I, §II) is
+// that communication cost between two processes depends on where they sit in
+// the NUMA/cache hierarchy: sharing a cache is cheaper than crossing NUMA
+// links, which is cheaper than crossing sockets/boards, which is cheaper
+// than the network. This model assigns a latency and bandwidth to each
+// *sharing level* — the deepest hardware object two PUs have in common — and
+// prices a message accordingly. Absolute values are calibration constants
+// (defaults are commodity-cluster magnitudes circa the paper); benchmark
+// conclusions depend only on their ordering.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "topo/resource_type.hpp"
+
+namespace lama {
+
+struct LinkCost {
+  double latency_ns = 0.0;
+  double bandwidth_gb_s = 1.0;  // 1 GB/s == 1 byte/ns
+
+  [[nodiscard]] double message_ns(std::size_t bytes) const {
+    return latency_ns + static_cast<double>(bytes) / bandwidth_gb_s;
+  }
+};
+
+class DistanceModel {
+ public:
+  // Commodity multi-core NUMA cluster defaults.
+  static DistanceModel commodity();
+
+  // Cost of traversing a sharing level: kHwThread means the two endpoints
+  // share a core's threads; kNode means they share nothing below the node.
+  [[nodiscard]] const LinkCost& level_cost(ResourceType level) const {
+    return level_costs_[canonical_depth(level)];
+  }
+  void set_level_cost(ResourceType level, LinkCost cost) {
+    level_costs_[canonical_depth(level)] = cost;
+  }
+
+  [[nodiscard]] const LinkCost& network_cost() const { return network_; }
+  void set_network_cost(LinkCost cost) { network_ = cost; }
+
+  // Deepest level whose object contains both PUs (same node). pu_a == pu_b
+  // yields the leaf type. Both PUs must be valid for the topology.
+  static ResourceType sharing_level(const NodeTopology& topo,
+                                    std::size_t pu_a, std::size_t pu_b);
+
+  // Price one message. Intra-node messages use the sharing level's cost;
+  // inter-node messages use the network cost.
+  [[nodiscard]] double message_ns(const Allocation& alloc, std::size_t node_a,
+                                  std::size_t pu_a, std::size_t node_b,
+                                  std::size_t pu_b, std::size_t bytes) const;
+
+  // Full PU-to-PU latency matrix for one node (hwloc-distances style):
+  // entry [a][b] is the sharing-level latency between PUs a and b. Input to
+  // external affinity tools and a compact fingerprint of the hierarchy.
+  [[nodiscard]] std::vector<std::vector<double>> latency_matrix(
+      const NodeTopology& topo) const;
+
+ private:
+  std::array<LinkCost, kNumResourceTypes> level_costs_{};
+  LinkCost network_{};
+};
+
+}  // namespace lama

@@ -1,0 +1,42 @@
+// Prices a traffic pattern under a mapping: the quantitative lens the paper's
+// motivating claims are checked with. Each rank is represented by the first
+// PU of its placement; every message is priced by the distance model, and
+// congestion is tracked as the byte volume crossing each node's network
+// interface.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "lama/mapping.hpp"
+#include "sim/distance_model.hpp"
+#include "sim/traffic.hpp"
+
+namespace lama {
+
+struct CostReport {
+  double total_ns = 0.0;     // sum over all messages
+  double max_rank_ns = 0.0;  // busiest rank (send + receive cost)
+  double avg_message_ns = 0.0;
+
+  std::size_t intra_node_messages = 0;
+  std::size_t inter_node_messages = 0;
+
+  // Message count by sharing level (canonical depth index); inter-node
+  // messages are not included here.
+  std::array<std::size_t, kNumResourceTypes> messages_by_level{};
+
+  // Bytes entering+leaving each node's NIC; max is the congestion hot spot.
+  std::size_t max_nic_bytes = 0;
+  std::size_t total_nic_bytes = 0;
+};
+
+// Evaluates the pattern under a mapping. The pattern's np must equal the
+// mapping's process count; throws MappingError otherwise.
+CostReport evaluate_mapping(const Allocation& alloc,
+                            const MappingResult& mapping,
+                            const TrafficPattern& pattern,
+                            const DistanceModel& model);
+
+}  // namespace lama

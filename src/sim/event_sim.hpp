@@ -1,0 +1,73 @@
+// Discrete-event communication simulator. The analytic CostEvaluator sums
+// message prices; this simulator *executes* a per-rank script (compute /
+// send / recv) against a mapping, with each node's NIC modeled as a shared
+// serial resource. The result is a makespan — the application-level metric
+// behind the paper's motivation (GTC's "up to 30%" is wall-clock, and
+// wall-clock is where NIC contention and overlap show up, not in byte sums).
+//
+// Model (LogP-flavoured, deterministic):
+//  * compute(ns)       — the rank is busy for ns.
+//  * send(dst, bytes)  — intra-node: sender busy for the sharing-level
+//    latency; the message arrives latency + bytes/bandwidth later.
+//    inter-node: the sender waits for its node's NIC, occupies it for
+//    bytes/nic_bandwidth, then the message arrives network_latency later.
+//  * recv(src)         — blocks until the next unconsumed message from src
+//    has arrived (FIFO per sender/receiver pair).
+//
+// Simplifications (documented, shared by all compared mappings): receiver
+// NICs are not contended, intra-node paths are contention-free, and routing
+// is not modeled (use the torus evaluator for link-level congestion).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "lama/mapping.hpp"
+#include "sim/distance_model.hpp"
+#include "sim/traffic.hpp"
+
+namespace lama {
+
+enum class OpKind { kCompute, kSend, kRecv };
+
+struct RankOp {
+  OpKind kind = OpKind::kCompute;
+  double compute_ns = 0.0;  // kCompute
+  int peer = -1;            // kSend: destination; kRecv: source
+  std::size_t bytes = 0;    // kSend
+};
+
+using RankScript = std::vector<RankOp>;
+
+struct NicModel {
+  double bandwidth_gb_s = 6.0;     // injection bandwidth per node
+  double network_latency_ns = 1500.0;
+  double send_overhead_ns = 100.0; // CPU-side cost of posting any send
+};
+
+struct SimReport {
+  double makespan_ns = 0.0;
+  // Per-rank completion times and time spent blocked in recv.
+  std::vector<double> finish_ns;
+  std::vector<double> wait_ns;
+  // Busiest NIC's total busy time.
+  double max_nic_busy_ns = 0.0;
+  std::size_t messages_delivered = 0;
+};
+
+// Executes the scripts (one per rank; sizes must match the mapping). Throws
+// MappingError on malformed scripts and on communication deadlock (a recv
+// whose message is never sent).
+SimReport simulate(const Allocation& alloc, const MappingResult& mapping,
+                   const std::vector<RankScript>& scripts,
+                   const DistanceModel& model, const NicModel& nic);
+
+// Builds the bulk-synchronous script of a traffic pattern: each round every
+// rank computes, posts all its sends (pattern order), then receives every
+// incoming message (sorted by source rank).
+std::vector<RankScript> scripts_from_pattern(const TrafficPattern& pattern,
+                                             std::size_t rounds,
+                                             double compute_ns_per_round);
+
+}  // namespace lama

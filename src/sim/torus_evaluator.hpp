@@ -1,0 +1,63 @@
+// Torus-aware pricing: extends the flat inter-node model with per-hop
+// latency and per-link congestion on a 3-D torus (the environment of the
+// BlueGene mapping studies the paper cites — "networking effects such as
+// routing and congestion ... can become performance bottlenecks").
+#pragma once
+
+#include "cluster/cluster.hpp"
+#include "lama/mapping.hpp"
+#include "net/torus.hpp"
+#include "sim/distance_model.hpp"
+#include "sim/traffic.hpp"
+
+namespace lama {
+
+struct TorusCostModel {
+  // Inter-node message: base + hops * per_hop + bytes / bandwidth.
+  double base_latency_ns = 900.0;
+  double per_hop_ns = 120.0;
+  double bandwidth_gb_s = 6.0;
+
+  [[nodiscard]] double message_ns(int hops, std::size_t bytes) const {
+    return base_latency_ns + per_hop_ns * hops +
+           static_cast<double>(bytes) / bandwidth_gb_s;
+  }
+};
+
+struct TorusCostReport {
+  double total_ns = 0.0;
+  double max_rank_ns = 0.0;
+
+  std::size_t intra_node_messages = 0;
+  std::size_t inter_node_messages = 0;
+
+  // Network-shape metrics.
+  double avg_hops = 0.0;       // over inter-node messages
+  int max_hops = 0;
+  std::size_t total_hop_count = 0;
+
+  // Dimension-ordered routing congestion: bytes over the busiest directed
+  // link, and the mean over links that carried anything.
+  std::size_t max_link_bytes = 0;
+  double avg_link_bytes = 0.0;
+  std::size_t links_used = 0;
+
+  // Bulk-synchronous estimate of the network phase: the busiest link
+  // serializes its bytes, so this is the floor on communication time no
+  // matter how much the rest of the network overlaps.
+  double bottleneck_ns = 0.0;
+};
+
+// Prices a pattern under a mapping on a torus-connected cluster. Intra-node
+// messages use the hierarchical `model`; inter-node messages use `net_model`
+// with dimension-ordered routes accumulating link loads. The allocation's
+// node i sits at torus position coord_of(i); allocation and torus sizes must
+// match.
+TorusCostReport evaluate_on_torus(const Allocation& alloc,
+                                  const TorusNetwork& net,
+                                  const MappingResult& mapping,
+                                  const TrafficPattern& pattern,
+                                  const DistanceModel& model,
+                                  const TorusCostModel& net_model);
+
+}  // namespace lama

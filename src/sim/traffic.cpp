@@ -1,0 +1,157 @@
+#include "sim/traffic.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace lama {
+
+std::size_t TrafficPattern::total_bytes() const {
+  std::size_t total = 0;
+  for (const Message& m : messages) total += m.bytes;
+  return total;
+}
+
+TrafficPattern make_ring(int np, std::size_t bytes) {
+  LAMA_ASSERT(np >= 2);
+  TrafficPattern p{"ring", np, {}};
+  for (int r = 0; r < np; ++r) {
+    p.messages.push_back({r, (r + 1) % np, bytes});
+    p.messages.push_back({r, (r + np - 1) % np, bytes});
+  }
+  return p;
+}
+
+TrafficPattern make_halo2d(int px, int py, std::size_t bytes) {
+  LAMA_ASSERT(px >= 1 && py >= 1 && px * py >= 2);
+  TrafficPattern p{"halo2d", px * py, {}};
+  auto rank = [&](int x, int y) {
+    return ((y + py) % py) * px + ((x + px) % px);
+  };
+  for (int y = 0; y < py; ++y) {
+    for (int x = 0; x < px; ++x) {
+      const int r = rank(x, y);
+      for (const int nb : {rank(x - 1, y), rank(x + 1, y), rank(x, y - 1),
+                           rank(x, y + 1)}) {
+        if (nb != r) p.messages.push_back({r, nb, bytes});
+      }
+    }
+  }
+  return p;
+}
+
+TrafficPattern make_halo3d(int px, int py, int pz, std::size_t bytes) {
+  LAMA_ASSERT(px >= 1 && py >= 1 && pz >= 1 && px * py * pz >= 2);
+  TrafficPattern p{"halo3d", px * py * pz, {}};
+  auto rank = [&](int x, int y, int z) {
+    return (((z + pz) % pz) * py + (y + py) % py) * px + (x + px) % px;
+  };
+  for (int z = 0; z < pz; ++z) {
+    for (int y = 0; y < py; ++y) {
+      for (int x = 0; x < px; ++x) {
+        const int r = rank(x, y, z);
+        for (const int nb :
+             {rank(x - 1, y, z), rank(x + 1, y, z), rank(x, y - 1, z),
+              rank(x, y + 1, z), rank(x, y, z - 1), rank(x, y, z + 1)}) {
+          if (nb != r) p.messages.push_back({r, nb, bytes});
+        }
+      }
+    }
+  }
+  return p;
+}
+
+TrafficPattern make_alltoall(int np, std::size_t bytes) {
+  LAMA_ASSERT(np >= 2);
+  TrafficPattern p{"alltoall", np, {}};
+  for (int s = 0; s < np; ++s) {
+    for (int d = 0; d < np; ++d) {
+      if (s != d) p.messages.push_back({s, d, bytes});
+    }
+  }
+  return p;
+}
+
+TrafficPattern make_toroidal(int np, std::size_t heavy_bytes,
+                             std::size_t light_bytes) {
+  LAMA_ASSERT(np >= 2);
+  TrafficPattern p{"toroidal", np, {}};
+  // Heavy particle-shift traffic around the torus.
+  for (int r = 0; r < np; ++r) {
+    p.messages.push_back({r, (r + 1) % np, heavy_bytes});
+    p.messages.push_back({r, (r + np - 1) % np, heavy_bytes});
+  }
+  // Light global diagnostics.
+  if (light_bytes > 0) {
+    for (int s = 0; s < np; ++s) {
+      for (int d = 0; d < np; ++d) {
+        if (s != d) p.messages.push_back({s, d, light_bytes});
+      }
+    }
+  }
+  return p;
+}
+
+TrafficPattern make_master_worker(int np, std::size_t request_bytes,
+                                  std::size_t response_bytes) {
+  LAMA_ASSERT(np >= 2);
+  TrafficPattern p{"master_worker", np, {}};
+  for (int w = 1; w < np; ++w) {
+    p.messages.push_back({0, w, request_bytes});
+    p.messages.push_back({w, 0, response_bytes});
+  }
+  return p;
+}
+
+TrafficPattern make_random_sparse(int np, int degree, std::size_t bytes,
+                                  std::uint64_t seed) {
+  LAMA_ASSERT(np >= 2 && degree >= 1 && degree < np);
+  TrafficPattern p{"random_sparse", np, {}};
+  SplitMix64 rng(seed);
+  for (int r = 0; r < np; ++r) {
+    std::vector<int> peers;
+    while (static_cast<int>(peers.size()) < degree) {
+      const int d = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(np)));
+      if (d != r && std::find(peers.begin(), peers.end(), d) == peers.end()) {
+        peers.push_back(d);
+      }
+    }
+    for (int d : peers) p.messages.push_back({r, d, bytes});
+  }
+  return p;
+}
+
+TrafficPattern make_transpose(int n, std::size_t bytes) {
+  LAMA_ASSERT(n >= 2);
+  TrafficPattern p{"transpose", n * n, {}};
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j) p.messages.push_back({i * n + j, j * n + i, bytes});
+    }
+  }
+  return p;
+}
+
+TrafficPattern make_strided_pairs(int np, int stride, std::size_t bytes) {
+  LAMA_ASSERT(np >= 2 && stride >= 1 && stride * 2 <= np);
+  TrafficPattern p{"strided_pairs", np, {}};
+  for (int r = 0; r < stride; ++r) {
+    p.messages.push_back({r, r + stride, bytes});
+    p.messages.push_back({r + stride, r, bytes});
+  }
+  return p;
+}
+
+TrafficPattern make_pairs(int np, std::size_t bytes) {
+  LAMA_ASSERT(np >= 2);
+  TrafficPattern p{"pairs", np, {}};
+  for (int r = 0; r + 1 < np; r += 2) {
+    p.messages.push_back({r, r + 1, bytes});
+    p.messages.push_back({r + 1, r, bytes});
+  }
+  return p;
+}
+
+}  // namespace lama

@@ -1,0 +1,69 @@
+// Synthetic application communication patterns. These stand in for the real
+// applications the paper's motivation cites (NAS benchmarks, the GTC fusion
+// code): each generator produces the point-to-point message list of one
+// communication phase, which the cost evaluator prices under a mapping.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lama {
+
+struct Message {
+  int src = 0;
+  int dst = 0;
+  std::size_t bytes = 0;
+};
+
+struct TrafficPattern {
+  std::string name;
+  int np = 0;
+  std::vector<Message> messages;
+
+  [[nodiscard]] std::size_t total_bytes() const;
+};
+
+// 1-D ring: rank r sends to (r+1) mod np and (r-1+np) mod np.
+TrafficPattern make_ring(int np, std::size_t bytes);
+
+// 2-D periodic halo exchange on a px-by-py process grid (row-major ranks):
+// every rank exchanges with its 4 neighbours. np = px * py.
+TrafficPattern make_halo2d(int px, int py, std::size_t bytes);
+
+// 3-D periodic halo exchange on px-by-py-by-pz; 6 neighbours each.
+TrafficPattern make_halo3d(int px, int py, int pz, std::size_t bytes);
+
+// Dense personalized all-to-all: every rank sends `bytes` to every other.
+TrafficPattern make_alltoall(int np, std::size_t bytes);
+
+// GTC-like 1-D toroidal decomposition: heavy particle-shift traffic to the
+// +/-1 neighbours on the torus plus light global (all-to-all) diagnostics.
+TrafficPattern make_toroidal(int np, std::size_t heavy_bytes,
+                             std::size_t light_bytes);
+
+// Master/worker: rank 0 exchanges request/response pairs with every worker.
+TrafficPattern make_master_worker(int np, std::size_t request_bytes,
+                                  std::size_t response_bytes);
+
+// Random sparse graph: each rank sends to `degree` distinct other ranks
+// (deterministic in `seed`).
+TrafficPattern make_random_sparse(int np, int degree, std::size_t bytes,
+                                  std::uint64_t seed);
+
+// Matrix-transpose exchange on a rows-by-cols rank grid: rank (i,j)
+// exchanges with rank (j,i). Requires rows == cols.
+TrafficPattern make_transpose(int n, std::size_t bytes);
+
+// Nearest-neighbour within consecutive pairs (even ranks talk to rank+1) —
+// the best case for packed mappings.
+TrafficPattern make_pairs(int np, std::size_t bytes);
+
+// Strided pairs: rank r < stride exchanges with rank r + stride. With
+// stride = np/2 this is the worst case for packed mappings (partners land on
+// different nodes) and the best case for round-robin scatter (partners land
+// on the same node when the node count divides the stride).
+TrafficPattern make_strided_pairs(int np, int stride, std::size_t bytes);
+
+}  // namespace lama

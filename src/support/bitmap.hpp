@@ -1,0 +1,81 @@
+// Dynamic bitset used throughout the library as a "cpuset": a set of
+// processing-unit (PU) indices. Mirrors the role hwloc_bitmap_t plays in the
+// paper's Open MPI implementation: every topology object carries the set of
+// PUs it spans, and binding is expressed as a cpuset handed to the OS.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lama {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+
+  // Bitmap with bits [0, nbits) present but clear.
+  explicit Bitmap(std::size_t nbits) : words_((nbits + 63) / 64, 0) {}
+
+  // Bitmap with bits [0, nbits) all set.
+  static Bitmap full(std::size_t nbits);
+
+  // Bitmap with exactly one bit set.
+  static Bitmap single(std::size_t bit);
+
+  // Bitmap with bits [first, last] set (inclusive range).
+  static Bitmap range(std::size_t first, std::size_t last);
+
+  // Parse a cpuset list string such as "0,2-5,8". Throws ParseError.
+  static Bitmap parse(const std::string& text);
+
+  void set(std::size_t bit);
+  void clear(std::size_t bit);
+  void clear_all() { words_.assign(words_.size(), 0); }
+  [[nodiscard]] bool test(std::size_t bit) const;
+
+  // Number of set bits.
+  [[nodiscard]] std::size_t count() const;
+  [[nodiscard]] bool empty() const;
+
+  // Index of the first/last set bit, or npos when empty.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  [[nodiscard]] std::size_t first() const;
+  [[nodiscard]] std::size_t last() const;
+  // First set bit strictly greater than `bit` (pass npos to start).
+  [[nodiscard]] std::size_t next(std::size_t bit) const;
+  // The n-th set bit (0-based), or npos if fewer than n+1 bits are set.
+  [[nodiscard]] std::size_t nth(std::size_t n) const;
+
+  Bitmap& operator|=(const Bitmap& other);
+  Bitmap& operator&=(const Bitmap& other);
+  Bitmap& operator^=(const Bitmap& other);
+  // Remove every bit present in `other`.
+  Bitmap& and_not(const Bitmap& other);
+
+  friend Bitmap operator|(Bitmap a, const Bitmap& b) { return a |= b; }
+  friend Bitmap operator&(Bitmap a, const Bitmap& b) { return a &= b; }
+  friend Bitmap operator^(Bitmap a, const Bitmap& b) { return a ^= b; }
+
+  [[nodiscard]] bool intersects(const Bitmap& other) const;
+  // True when every bit of *this is also set in `other`.
+  [[nodiscard]] bool is_subset_of(const Bitmap& other) const;
+
+  bool operator==(const Bitmap& other) const;
+  bool operator!=(const Bitmap& other) const { return !(*this == other); }
+
+  // All set bits in ascending order.
+  [[nodiscard]] std::vector<std::size_t> to_vector() const;
+
+  // Render as a cpuset list string: "0,2-5,8"; "" when empty.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void ensure_bit(std::size_t bit);
+  void trim();
+
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace lama

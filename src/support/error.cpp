@@ -1,0 +1,10 @@
+#include "support/error.hpp"
+
+namespace lama {
+
+void assert_fail(const char* expr, const char* file, int line) {
+  throw InternalError(std::string("assertion failed: ") + expr + " at " +
+                      file + ":" + std::to_string(line));
+}
+
+}  // namespace lama

@@ -1,0 +1,53 @@
+// Error taxonomy for the library. All public entry points report failures by
+// throwing one of these exception types; internal invariant violations use
+// LAMA_ASSERT which throws InternalError so tests can exercise failure paths
+// without aborting the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace lama {
+
+// Base class for every error thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Malformed user input: layout strings, synthetic topology descriptions,
+// hostfiles, rankfiles, cpuset lists, CLI options.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+// Structurally valid input that cannot be satisfied: unknown resource level,
+// rank out of range, empty allocation, impossible binding.
+class MappingError : public Error {
+ public:
+  explicit MappingError(const std::string& what)
+      : Error("mapping error: " + what) {}
+};
+
+// A mapping would oversubscribe hardware and the policy forbids it.
+class OversubscribeError : public MappingError {
+ public:
+  explicit OversubscribeError(const std::string& what) : MappingError(what) {}
+};
+
+// Broken internal invariant (a bug in this library, not in user input).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what)
+      : Error("internal error: " + what) {}
+};
+
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line);
+
+#define LAMA_ASSERT(expr)                                 \
+  do {                                                    \
+    if (!(expr)) ::lama::assert_fail(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+}  // namespace lama

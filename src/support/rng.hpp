@@ -1,0 +1,36 @@
+// Deterministic splitmix64 generator for workload synthesis and failure
+// injection. Determinism matters: benchmarks and property tests must be
+// reproducible run-to-run, so nothing in the library uses std::random_device.
+#pragma once
+
+#include <cstdint>
+
+namespace lama {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound); bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound) { return next() % bound; }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli with probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace lama

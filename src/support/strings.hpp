@@ -1,0 +1,28 @@
+// Small string helpers shared across parsers (synthetic topologies, layouts,
+// hostfiles, rankfiles, CLI options).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lama {
+
+// Split on a single character; empty fields are kept.
+std::vector<std::string> split(std::string_view text, char sep);
+
+// Split on runs of whitespace; empty fields are dropped.
+std::vector<std::string> split_ws(std::string_view text);
+
+std::string trim(std::string_view text);
+std::string to_lower(std::string_view text);
+
+// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Parse a non-negative integer; throws ParseError with `what` context.
+std::size_t parse_size(std::string_view text, std::string_view what);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+
+}  // namespace lama

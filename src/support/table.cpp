@@ -1,0 +1,56 @@
+#include "support/table.hpp"
+
+#include <cstdio>
+
+#include "support/error.hpp"
+
+namespace lama {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  LAMA_ASSERT(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  LAMA_ASSERT(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TextTable::cell(std::size_t value) { return std::to_string(value); }
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) line += "  ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+    }
+    // Strip trailing padding.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::string out = render_row(header_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) rule += widths[c] + (c ? 2 : 0);
+  out += std::string(rule, '-') + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+}  // namespace lama

@@ -1,0 +1,31 @@
+// Plain-text table renderer used by benchmarks and examples to print the
+// rows/series the paper's artifacts imply, in an easily diffable format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lama {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Appends a row; must have the same number of cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  // Convenience: format doubles/integers into cells.
+  static std::string cell(double value, int precision = 2);
+  static std::string cell(std::size_t value);
+
+  // Render with column-aligned padding and a header rule.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lama

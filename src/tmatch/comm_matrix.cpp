@@ -1,0 +1,105 @@
+#include "tmatch/comm_matrix.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace lama {
+
+CommMatrix::CommMatrix(int np) : np_(np) {
+  if (np <= 0) throw MappingError("communication matrix needs processes");
+  cells_.assign(static_cast<std::size_t>(np) * static_cast<std::size_t>(np),
+                0.0);
+}
+
+CommMatrix CommMatrix::from_pattern(const TrafficPattern& pattern) {
+  CommMatrix m(pattern.np);
+  for (const Message& msg : pattern.messages) {
+    m.add(msg.src, msg.dst, static_cast<double>(msg.bytes));
+  }
+  return m;
+}
+
+CommMatrix CommMatrix::parse(const std::string& text) {
+  int np = -1;
+  std::vector<std::array<double, 3>> edges;
+  for (const std::string& raw_line : split(text, '\n')) {
+    std::string line = raw_line;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::vector<std::string> fields = split_ws(line);
+    if (fields.empty()) continue;
+    if (fields[0] == "np") {
+      if (fields.size() != 2 || np != -1) {
+        throw ParseError("matrix header must be a single 'np <N>' line");
+      }
+      np = static_cast<int>(parse_size(fields[1], "matrix process count"));
+      continue;
+    }
+    if (fields.size() != 3) {
+      throw ParseError("matrix edge must be '<src> <dst> <bytes>': '" +
+                       trim(line) + "'");
+    }
+    edges.push_back({static_cast<double>(parse_size(fields[0], "matrix src")),
+                     static_cast<double>(parse_size(fields[1], "matrix dst")),
+                     static_cast<double>(
+                         parse_size(fields[2], "matrix bytes"))});
+  }
+  if (np <= 0) {
+    throw ParseError("matrix file missing 'np <N>' header");
+  }
+  CommMatrix m(np);
+  for (const auto& [src, dst, bytes] : edges) {
+    if (src >= np || dst >= np) {
+      throw ParseError("matrix edge references rank beyond np");
+    }
+    m.add(static_cast<int>(src), static_cast<int>(dst), bytes);
+  }
+  return m;
+}
+
+std::string CommMatrix::serialize() const {
+  std::string out = "np " + std::to_string(np_) + "\n";
+  char buf[64];
+  for (int a = 0; a < np_; ++a) {
+    for (int b = a + 1; b < np_; ++b) {
+      const double bytes = at(a, b);
+      if (bytes <= 0.0) continue;
+      // One line per undirected edge; parse() re-adds it symmetrically.
+      std::snprintf(buf, sizeof(buf), "%d %d %.0f\n", a, b, bytes);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+void CommMatrix::add(int a, int b, double bytes) {
+  LAMA_ASSERT(a >= 0 && a < np_ && b >= 0 && b < np_);
+  if (a == b) return;
+  cells_[static_cast<std::size_t>(a) * static_cast<std::size_t>(np_) +
+         static_cast<std::size_t>(b)] += bytes;
+  cells_[static_cast<std::size_t>(b) * static_cast<std::size_t>(np_) +
+         static_cast<std::size_t>(a)] += bytes;
+}
+
+double CommMatrix::at(int a, int b) const {
+  LAMA_ASSERT(a >= 0 && a < np_ && b >= 0 && b < np_);
+  return cells_[static_cast<std::size_t>(a) * static_cast<std::size_t>(np_) +
+                static_cast<std::size_t>(b)];
+}
+
+double CommMatrix::row_sum(int p) const {
+  double total = 0.0;
+  for (int q = 0; q < np_; ++q) total += at(p, q);
+  return total;
+}
+
+double CommMatrix::affinity(int p, const std::vector<int>& group) const {
+  double total = 0.0;
+  for (int q : group) total += at(p, q);
+  return total;
+}
+
+}  // namespace lama

@@ -1,0 +1,43 @@
+// Process-to-process communication matrix: the input of affinity-driven
+// mapping algorithms (Jeannot & Mercier's TreeMatch, cited as [3] in the
+// paper's related work). Symmetric byte volumes; the diagonal is ignored.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/traffic.hpp"
+
+namespace lama {
+
+class CommMatrix {
+ public:
+  explicit CommMatrix(int np);
+
+  // Accumulates a pattern's messages (volumes add up; direction ignored).
+  static CommMatrix from_pattern(const TrafficPattern& pattern);
+
+  // Text format for profiled matrices (the way a tool like mpiP or a PMPI
+  // tracer would hand the data over):
+  //   np <N>
+  //   <src> <dst> <bytes>     # one edge per line, comments allowed
+  static CommMatrix parse(const std::string& text);
+  [[nodiscard]] std::string serialize() const;
+
+  [[nodiscard]] int np() const { return np_; }
+
+  void add(int a, int b, double bytes);
+  [[nodiscard]] double at(int a, int b) const;
+
+  // Total volume process `p` exchanges with everyone.
+  [[nodiscard]] double row_sum(int p) const;
+
+  // Volume `p` exchanges with the given set of processes.
+  [[nodiscard]] double affinity(int p, const std::vector<int>& group) const;
+
+ private:
+  int np_;
+  std::vector<double> cells_;  // np x np, symmetric
+};
+
+}  // namespace lama

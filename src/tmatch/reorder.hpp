@@ -1,0 +1,53 @@
+// Topology-aware rank reordering: keep the *slots* of an existing mapping
+// (which processes run where is already decided by the resource manager or
+// a regular mapping) but permute which MPI rank occupies which slot so that
+// heavily-communicating ranks end up close. This is the complementary
+// technique to remapping in the literature the paper draws on (Jeannot &
+// Mercier's line of work; MPI graph communicators): it needs no launch-time
+// control, only a rank permutation the application applies.
+//
+// Algorithm: greedy pairwise exchange. Each pass evaluates every rank pair
+// swap and applies the one with the largest cost reduction, repeating until
+// no swap helps or the pass budget is exhausted. O(n^3) per pass — fine for
+// node-level job sizes, deterministic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "lama/mapping.hpp"
+#include "sim/distance_model.hpp"
+#include "tmatch/comm_matrix.hpp"
+
+namespace lama {
+
+struct ReorderResult {
+  // permutation[new_rank] = slot index (the placement of the original
+  // mapping that this rank now occupies).
+  std::vector<int> permutation;
+  double initial_cost_ns = 0.0;
+  double final_cost_ns = 0.0;
+  std::size_t swaps_applied = 0;
+  std::size_t passes = 0;
+  // The reordered mapping: placement[r] is the original slot permutation[r],
+  // with rank fields rewritten.
+  MappingResult mapping;
+
+  [[nodiscard]] double improvement() const {
+    return initial_cost_ns <= 0.0
+               ? 0.0
+               : (initial_cost_ns - final_cost_ns) / initial_cost_ns;
+  }
+};
+
+// Reorders the mapping's ranks against the matrix. The mapping and matrix
+// must agree on the process count. `max_passes` bounds the improvement
+// loop (>= 1).
+ReorderResult reorder_ranks(const Allocation& alloc,
+                            const MappingResult& mapping,
+                            const CommMatrix& matrix,
+                            const DistanceModel& model,
+                            std::size_t max_passes = 8);
+
+}  // namespace lama

@@ -1,0 +1,25 @@
+#include "topo/object.hpp"
+
+#include "support/error.hpp"
+
+namespace lama {
+
+const TopoObject* TopoObject::ancestor(ResourceType t) const {
+  const TopoObject* obj = this;
+  while (obj != nullptr) {
+    if (obj->type() == t) return obj;
+    obj = obj->parent_;
+  }
+  return nullptr;
+}
+
+TopoObject& TopoObject::add_child(std::unique_ptr<TopoObject> child) {
+  LAMA_ASSERT(child != nullptr);
+  LAMA_ASSERT(canonical_depth(child->type()) > canonical_depth(type_));
+  child->parent_ = this;
+  child->sibling_index_ = static_cast<int>(children_.size());
+  children_.push_back(std::move(child));
+  return *children_.back();
+}
+
+}  // namespace lama

@@ -1,0 +1,33 @@
+#include "topo/presets.hpp"
+
+namespace lama::presets {
+
+NodeTopology figure2_node(std::string name) {
+  return NodeTopology::synthetic("socket:2 core:4 pu:2", std::move(name));
+}
+
+NodeTopology dual_socket_numa(std::string name) {
+  return NodeTopology::synthetic(
+      "socket:2 numa:2 l3:1 l2:4 l1:1 core:1 pu:2", std::move(name));
+}
+
+NodeTopology quad_board_smp(std::string name) {
+  return NodeTopology::synthetic("board:4 socket:2 core:8", std::move(name));
+}
+
+NodeTopology no_smt_node(std::string name) {
+  return NodeTopology::synthetic("socket:2 core:4", std::move(name));
+}
+
+NodeTopology lopsided_node(std::string name) {
+  NodeTopology::Builder b(std::move(name));
+  b.begin(ResourceType::kSocket);
+  for (int i = 0; i < 6; ++i) b.leaf(ResourceType::kCore);
+  b.end();
+  b.begin(ResourceType::kSocket);
+  for (int i = 0; i < 2; ++i) b.leaf(ResourceType::kCore);
+  b.end();
+  return b.build();
+}
+
+}  // namespace lama::presets

@@ -1,0 +1,28 @@
+// Canned node topologies used by examples, tests, and benchmarks. Shapes are
+// modeled on real machines of the paper's era and on the paper's Figure 2.
+#pragma once
+
+#include "topo/node_topology.hpp"
+
+namespace lama::presets {
+
+// The Figure 2 node: 2 sockets x 4 cores x 2 hardware threads (16 PUs).
+NodeTopology figure2_node(std::string name = "node");
+
+// Commodity dual-socket NUMA server: 2 sockets, 2 NUMA domains per socket,
+// shared L3 per NUMA domain, 4 cores per L3, private L2/L1, 2 threads/core
+// (32 PUs).
+NodeTopology dual_socket_numa(std::string name = "node");
+
+// Large SMP-style box: 4 boards x 2 sockets x 8 cores, no SMT (64 PUs).
+NodeTopology quad_board_smp(std::string name = "node");
+
+// Small node without hardware threads: 2 sockets x 4 cores (8 PUs), the
+// "hardware threads disabled" case from the paper.
+NodeTopology no_smt_node(std::string name = "node");
+
+// Irregular node: socket 0 has 6 cores, socket 1 has 2 cores (heterogeneity
+// inside one node).
+NodeTopology lopsided_node(std::string name = "node");
+
+}  // namespace lama::presets

@@ -1,0 +1,59 @@
+#include "topo/random.hpp"
+
+#include <functional>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace lama {
+
+NodeTopology random_topology(const RandomTopologyOptions& options,
+                             std::string name) {
+  LAMA_ASSERT(options.max_fanout >= 1);
+  SplitMix64 rng(options.seed);
+
+  // Decide which levels this node has, in canonical order.
+  std::vector<ResourceType> levels;
+  for (ResourceType t :
+       {ResourceType::kBoard, ResourceType::kSocket, ResourceType::kNuma,
+        ResourceType::kL3, ResourceType::kL2, ResourceType::kL1}) {
+    const bool optional = t != ResourceType::kSocket;  // always have sockets
+    if (!optional || rng.next_bool(options.level_presence)) {
+      levels.push_back(t);
+    }
+  }
+  levels.push_back(ResourceType::kCore);
+  if (options.smt) levels.push_back(ResourceType::kHwThread);
+
+  NodeTopology::Builder builder(std::move(name));
+  std::function<void(std::size_t)> grow = [&](std::size_t depth) {
+    if (depth == levels.size()) return;
+    // Mid levels (not core/pu) may be skipped under this parent.
+    const bool is_leaf_chain = depth + 2 > levels.size();
+    if (!is_leaf_chain && rng.next_bool(options.subtree_skip)) {
+      grow(depth + 1);
+      return;
+    }
+    const int fanout = 1 + static_cast<int>(rng.next_below(
+                               static_cast<std::uint64_t>(options.max_fanout)));
+    for (int i = 0; i < fanout; ++i) {
+      builder.begin(levels[depth]);
+      if (options.disable_fraction > 0.0 &&
+          rng.next_bool(options.disable_fraction)) {
+        builder.disable();
+      }
+      grow(depth + 1);
+      builder.end();
+    }
+  };
+  grow(0);
+
+  NodeTopology topo = builder.build();
+  // A draw that off-lined everything degrades to an unrestricted node,
+  // keeping the at-least-one-online-PU guarantee.
+  if (topo.online_pus().empty()) topo.clear_restrictions();
+  return topo;
+}
+
+}  // namespace lama

@@ -1,0 +1,33 @@
+// Deterministic random topology generation, for property tests and for
+// stress-testing mapping tools against hardware shapes nobody owns: uneven
+// fan-outs, missing mid-levels on some subtrees (exactly the heterogeneity
+// §IV-B's pruning/bridging machinery must absorb), and random off-lining.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/node_topology.hpp"
+
+namespace lama {
+
+struct RandomTopologyOptions {
+  std::uint64_t seed = 1;
+  // Child count at each level is uniform in [1, max_fanout].
+  int max_fanout = 4;
+  // Probability that each optional mid level (board, numa, l3, l2, l1)
+  // exists in this node at all.
+  double level_presence = 0.5;
+  // Probability that a present mid level is skipped under one particular
+  // parent (creating the bridged-stray shape).
+  double subtree_skip = 0.2;
+  // Whether leaves are hardware threads (else cores).
+  bool smt = true;
+  // Probability that any individual object is off-lined. The generator
+  // guarantees at least one PU stays online.
+  double disable_fraction = 0.0;
+};
+
+NodeTopology random_topology(const RandomTopologyOptions& options,
+                             std::string name = "random");
+
+}  // namespace lama

@@ -1,0 +1,84 @@
+#include "topo/resource_type.hpp"
+
+#include "support/error.hpp"
+
+namespace lama {
+
+const std::array<ResourceType, kNumResourceTypes>& all_resource_types() {
+  static const std::array<ResourceType, kNumResourceTypes> kAll = {
+      ResourceType::kNode, ResourceType::kBoard,  ResourceType::kSocket,
+      ResourceType::kNuma, ResourceType::kL3,     ResourceType::kL2,
+      ResourceType::kL1,   ResourceType::kCore,   ResourceType::kHwThread,
+  };
+  return kAll;
+}
+
+ResourceType resource_from_depth(int depth) {
+  LAMA_ASSERT(depth >= 0 && depth < kNumResourceTypes);
+  return static_cast<ResourceType>(depth);
+}
+
+std::string_view resource_abbrev(ResourceType t) {
+  switch (t) {
+    case ResourceType::kNode: return "n";
+    case ResourceType::kBoard: return "b";
+    case ResourceType::kSocket: return "s";
+    case ResourceType::kNuma: return "N";
+    case ResourceType::kL3: return "L3";
+    case ResourceType::kL2: return "L2";
+    case ResourceType::kL1: return "L1";
+    case ResourceType::kCore: return "c";
+    case ResourceType::kHwThread: return "h";
+  }
+  throw InternalError("unknown resource type");
+}
+
+std::string_view resource_name(ResourceType t) {
+  switch (t) {
+    case ResourceType::kNode: return "Node";
+    case ResourceType::kBoard: return "Board";
+    case ResourceType::kSocket: return "Processor Socket";
+    case ResourceType::kNuma: return "NUMA Node";
+    case ResourceType::kL3: return "L3 Cache";
+    case ResourceType::kL2: return "L2 Cache";
+    case ResourceType::kL1: return "L1 Cache";
+    case ResourceType::kCore: return "Processor Core";
+    case ResourceType::kHwThread: return "Hardware Thread";
+  }
+  throw InternalError("unknown resource type");
+}
+
+std::optional<ResourceType> resource_from_abbrev(std::string_view abbrev) {
+  for (ResourceType t : all_resource_types()) {
+    if (resource_abbrev(t) == abbrev) return t;
+  }
+  return std::nullopt;
+}
+
+std::string_view resource_keyword(ResourceType t) {
+  switch (t) {
+    case ResourceType::kNode: return "node";
+    case ResourceType::kBoard: return "board";
+    case ResourceType::kSocket: return "socket";
+    case ResourceType::kNuma: return "numa";
+    case ResourceType::kL3: return "l3";
+    case ResourceType::kL2: return "l2";
+    case ResourceType::kL1: return "l1";
+    case ResourceType::kCore: return "core";
+    case ResourceType::kHwThread: return "pu";
+  }
+  throw InternalError("unknown resource type");
+}
+
+std::optional<ResourceType> resource_from_keyword(std::string_view keyword) {
+  for (ResourceType t : all_resource_types()) {
+    if (resource_keyword(t) == keyword) return t;
+  }
+  if (keyword == "hwthread" || keyword == "thread" || keyword == "ht") {
+    return ResourceType::kHwThread;
+  }
+  if (keyword == "machine") return ResourceType::kNode;
+  return std::nullopt;
+}
+
+}  // namespace lama

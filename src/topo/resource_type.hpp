@@ -1,0 +1,52 @@
+// Registry of hardware resource levels — the paper's Table I. The enum order
+// is the canonical containment chain used by every tree in this library:
+// Node contains Board contains Socket ... contains HwThread. Process-layout
+// strings are permutations of these levels' abbreviations; iteration order is
+// independent of containment order.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace lama {
+
+enum class ResourceType : int {
+  kNode = 0,   // server node (abbrev "n")
+  kBoard,      // motherboard ("b")
+  kSocket,     // processor socket ("s")
+  kNuma,       // NUMA memory locality ("N")
+  kL3,         // L3 cache ("L3")
+  kL2,         // L2 cache ("L2")
+  kL1,         // L1 cache ("L1")
+  kCore,       // processor core ("c")
+  kHwThread,   // hardware thread ("h")
+};
+
+inline constexpr int kNumResourceTypes = 9;
+
+// All types in canonical containment order, outermost first.
+const std::array<ResourceType, kNumResourceTypes>& all_resource_types();
+
+// Depth in the canonical chain: kNode -> 0 ... kHwThread -> 8.
+constexpr int canonical_depth(ResourceType t) { return static_cast<int>(t); }
+
+ResourceType resource_from_depth(int depth);
+
+// Process-layout abbreviation from Table I ("n", "b", "s", "N", "L3", ...).
+std::string_view resource_abbrev(ResourceType t);
+
+// Human-readable name ("Node", "Processor Socket", ...).
+std::string_view resource_name(ResourceType t);
+
+// Reverse lookup; abbreviations are case-sensitive ('n' is Node, 'N' NUMA).
+std::optional<ResourceType> resource_from_abbrev(std::string_view abbrev);
+
+// Synthetic-description keyword ("node", "board", "socket", "numa", "l3",
+// "l2", "l1", "core", "pu"); reverse lookup accepts aliases
+// ("hwthread"/"thread" for pu).
+std::string_view resource_keyword(ResourceType t);
+std::optional<ResourceType> resource_from_keyword(std::string_view keyword);
+
+}  // namespace lama

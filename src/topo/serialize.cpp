@@ -1,0 +1,135 @@
+#include "topo/serialize.hpp"
+
+#include <cctype>
+#include <functional>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace lama {
+
+namespace {
+
+void write_object(const TopoObject& obj, std::string& out) {
+  out += '(';
+  out += resource_keyword(obj.type());
+  out += '@';
+  out += std::to_string(obj.os_index());
+  if (obj.disabled()) out += '!';
+  for (std::size_t i = 0; i < obj.num_children(); ++i) {
+    out += ' ';
+    write_object(obj.child(i), out);
+  }
+  out += ')';
+}
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos >= text.size()) {
+      throw ParseError("unexpected end of topology expression");
+    }
+    return text[pos];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      throw ParseError(std::string("expected '") + c + "' at offset " +
+                       std::to_string(pos) + " in topology expression");
+    }
+    ++pos;
+  }
+
+  // keyword[@os][!]
+  struct Atom {
+    ResourceType type;
+    int os_index = -1;
+    bool disabled = false;
+  };
+
+  Atom parse_atom() {
+    skip_ws();
+    std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[pos])))) {
+      ++pos;
+    }
+    const std::string keyword = text.substr(start, pos - start);
+    const auto type = resource_from_keyword(to_lower(keyword));
+    if (!type) {
+      throw ParseError("unknown topology keyword: '" + keyword + "'");
+    }
+    Atom atom{*type, -1, false};
+    if (pos < text.size() && text[pos] == '@') {
+      ++pos;
+      start = pos;
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+      atom.os_index = static_cast<int>(
+          parse_size(text.substr(start, pos - start), "topology OS index"));
+    }
+    if (pos < text.size() && text[pos] == '!') {
+      ++pos;
+      atom.disabled = true;
+    }
+    return atom;
+  }
+};
+
+}  // namespace
+
+std::string serialize_topology(const NodeTopology& topo) {
+  std::string out;
+  write_object(topo.root(), out);
+  return out;
+}
+
+NodeTopology parse_topology(const std::string& text, std::string name) {
+  Parser parser{text};
+  NodeTopology::Builder builder(std::move(name));
+
+  // The outermost expression must be the node; its children recurse.
+  parser.expect('(');
+  const Parser::Atom root = parser.parse_atom();
+  if (root.type != ResourceType::kNode) {
+    throw ParseError("topology expression must start with (node ...)");
+  }
+  if (root.disabled) builder.disable();  // the whole node is off-lined
+
+  std::function<void()> parse_children = [&]() {
+    while (parser.peek() == '(') {
+      parser.expect('(');
+      const Parser::Atom atom = parser.parse_atom();
+      if (atom.type == ResourceType::kNode) {
+        throw ParseError("nested 'node' in topology expression");
+      }
+      builder.begin(atom.type, atom.os_index);
+      if (atom.disabled) builder.disable();
+      parse_children();
+      builder.end();
+      parser.expect(')');
+    }
+  };
+  parse_children();
+  parser.expect(')');
+  parser.skip_ws();
+  if (parser.pos != text.size()) {
+    throw ParseError("trailing characters after topology expression");
+  }
+
+  return builder.build();
+}
+
+}  // namespace lama

@@ -1,0 +1,26 @@
+// Topology serialization. The paper's runtime assembles "the hardware
+// topologies from all allocated nodes" by probing each node and shipping the
+// result to the mapping agent; that requires a wire format. This is a
+// compact s-expression form that round-trips arbitrary (irregular) trees,
+// OS indices, and offline markers:
+//
+//   (node (socket@0 (core@0 (pu@0) (pu@1)) (core@1! (pu@2) (pu@3))))
+//
+// `@N` is the OS index; a trailing `!` marks the object disabled
+// (scheduler/OS restriction).
+#pragma once
+
+#include <string>
+
+#include "topo/node_topology.hpp"
+
+namespace lama {
+
+// Serializes the full tree, including disabled flags and OS indices.
+std::string serialize_topology(const NodeTopology& topo);
+
+// Parses the s-expression form. Throws ParseError on malformed input.
+NodeTopology parse_topology(const std::string& text,
+                            std::string name = "node");
+
+}  // namespace lama

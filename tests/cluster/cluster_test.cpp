@@ -1,0 +1,157 @@
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "topo/presets.hpp"
+
+namespace lama {
+namespace {
+
+Cluster figure2_cluster(std::size_t n = 2) {
+  return Cluster::homogeneous(n, "socket:2 core:4 pu:2");
+}
+
+TEST(Cluster, HomogeneousConstruction) {
+  const Cluster c = figure2_cluster(3);
+  EXPECT_EQ(c.num_nodes(), 3u);
+  EXPECT_EQ(c.node(0).topo.name(), "node0");
+  EXPECT_EQ(c.node(2).topo.name(), "node2");
+  EXPECT_EQ(c.total_pus(), 48u);
+  EXPECT_TRUE(c.is_homogeneous());
+}
+
+TEST(Cluster, IndexOf) {
+  const Cluster c = figure2_cluster(2);
+  EXPECT_EQ(c.index_of("node1"), 1u);
+  EXPECT_THROW((void)c.index_of("nope"), MappingError);
+}
+
+TEST(Cluster, HeterogeneousDetection) {
+  Cluster c = figure2_cluster(1);
+  c.add_node(presets::no_smt_node("small"));
+  EXPECT_FALSE(c.is_homogeneous());
+}
+
+TEST(Cluster, HeterogeneousDetectionByCount) {
+  Cluster c;
+  c.add_node(NodeTopology::synthetic("socket:2 core:4", "a"));
+  c.add_node(NodeTopology::synthetic("socket:4 core:2", "b"));
+  // Same levels, same total PUs, different per-level counts.
+  EXPECT_FALSE(c.is_homogeneous());
+}
+
+TEST(Cluster, EffectiveSlotsDefaultsToPus) {
+  Cluster c = figure2_cluster(1);
+  EXPECT_EQ(c.node(0).effective_slots(), 16u);
+  c.mutable_node(0).slots = 4;
+  EXPECT_EQ(c.node(0).effective_slots(), 4u);
+}
+
+TEST(Allocation, AllocateAll) {
+  const Cluster c = figure2_cluster(2);
+  const Allocation a = allocate_all(c);
+  EXPECT_EQ(a.num_nodes(), 2u);
+  EXPECT_EQ(a.total_online_pus(), 32u);
+  EXPECT_EQ(a.total_slots(), 32u);
+  EXPECT_NO_THROW(a.validate());
+}
+
+TEST(Allocation, AllocateSubsetPreservesOrder) {
+  const Cluster c = figure2_cluster(4);
+  const Allocation a = allocate_nodes(c, {3, 1});
+  EXPECT_EQ(a.num_nodes(), 2u);
+  EXPECT_EQ(a.node(0).cluster_index, 3u);
+  EXPECT_EQ(a.node(0).topo.name(), "node3");
+  EXPECT_EQ(a.node(1).topo.name(), "node1");
+}
+
+TEST(Allocation, CoreGranularRestrictsPus) {
+  const Cluster c = figure2_cluster(2);
+  // Half of node0, a quarter of node1 (the paper's §III-A example).
+  const Allocation a = allocate_cores(
+      c, {{0, Bitmap::parse("0-7")}, {1, Bitmap::parse("12-15")}});
+  EXPECT_EQ(a.node(0).topo.online_pus().to_string(), "0-7");
+  EXPECT_EQ(a.node(1).topo.online_pus().to_string(), "12-15");
+  EXPECT_EQ(a.total_online_pus(), 12u);
+  EXPECT_EQ(a.node(0).slots, 8u);
+}
+
+TEST(Allocation, CoreGranularEmptyGrantThrows) {
+  const Cluster c = figure2_cluster(1);
+  EXPECT_THROW(allocate_cores(c, {{0, Bitmap::parse("99")}}), MappingError);
+}
+
+TEST(Allocation, ValidateFailures) {
+  Allocation empty;
+  EXPECT_THROW(empty.validate(), MappingError);
+
+  const Cluster c = figure2_cluster(1);
+  Allocation a = allocate_all(c);
+  a.mutable_node(0).topo.restrict_pus(Bitmap());
+  EXPECT_THROW(a.validate(), MappingError);
+}
+
+TEST(Hostfile, BasicParse) {
+  const Cluster c = figure2_cluster(3);
+  const Allocation a = parse_hostfile(c,
+                                      "# my cluster\n"
+                                      "node1 slots=4\n"
+                                      "\n"
+                                      "node0 slots=2  # trailing comment\n");
+  EXPECT_EQ(a.num_nodes(), 2u);
+  EXPECT_EQ(a.node(0).topo.name(), "node1");
+  EXPECT_EQ(a.node(0).slots, 4u);
+  EXPECT_EQ(a.node(1).topo.name(), "node0");
+  EXPECT_EQ(a.node(1).slots, 2u);
+}
+
+TEST(Hostfile, DefaultSlotsAndAccumulation) {
+  const Cluster c = figure2_cluster(2);
+  const Allocation a = parse_hostfile(c,
+                                      "node0\n"
+                                      "node1 slots=2\n"
+                                      "node1 slots=3\n");
+  EXPECT_EQ(a.node(0).slots, 16u);  // defaults to PU count
+  EXPECT_EQ(a.node(1).slots, 5u);   // repeated lines accumulate
+  EXPECT_EQ(a.num_nodes(), 2u);     // but the node appears once
+}
+
+TEST(ClusterFile, ParseBasic) {
+  const Cluster c = parse_cluster_file(
+      "# lab cluster\n"
+      "front0 socket:2 core:4 pu:2 slots=8\n"
+      "back0  socket:1 core:4\n"
+      "back1  socket:1 core:4   # old box\n");
+  EXPECT_EQ(c.num_nodes(), 3u);
+  EXPECT_EQ(c.node(0).topo.name(), "front0");
+  EXPECT_EQ(c.node(0).slots, 8u);
+  EXPECT_EQ(c.node(0).topo.pu_count(), 16u);
+  EXPECT_EQ(c.node(1).effective_slots(), 4u);
+  EXPECT_FALSE(c.is_homogeneous());
+}
+
+TEST(ClusterFile, SlotsAnywhereAfterName) {
+  const Cluster c = parse_cluster_file("n0 socket:2 slots=3 core:2\n");
+  EXPECT_EQ(c.node(0).slots, 3u);
+  EXPECT_EQ(c.node(0).topo.pu_count(), 4u);
+}
+
+TEST(ClusterFile, Errors) {
+  EXPECT_THROW(parse_cluster_file(""), ParseError);
+  EXPECT_THROW(parse_cluster_file("justaname\n"), ParseError);
+  EXPECT_THROW(parse_cluster_file("n0 bogus:2\n"), ParseError);
+  EXPECT_THROW(parse_cluster_file("n0 core:2\nn0 core:2\n"), ParseError);
+}
+
+TEST(Hostfile, Errors) {
+  const Cluster c = figure2_cluster(1);
+  EXPECT_THROW(parse_hostfile(c, ""), ParseError);
+  EXPECT_THROW(parse_hostfile(c, "# only comments\n"), ParseError);
+  EXPECT_THROW(parse_hostfile(c, "node0 slots=x\n"), ParseError);
+  EXPECT_THROW(parse_hostfile(c, "node0 cores=2\n"), ParseError);
+  EXPECT_THROW(parse_hostfile(c, "ghost slots=1\n"), MappingError);
+}
+
+}  // namespace
+}  // namespace lama

@@ -1,0 +1,122 @@
+#include "lama/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lama/mapper.hpp"
+#include "support/error.hpp"
+
+namespace lama {
+namespace {
+
+Allocation small_cluster(std::size_t nodes = 2) {
+  return allocate_all(Cluster::homogeneous(nodes, "socket:2 core:4 pu:2"));
+}
+
+TEST(BySlot, FillsNodeThenMovesOn) {
+  const MappingResult m = map_by_slot(small_cluster(), {.np = 20});
+  for (int r = 0; r < 16; ++r) {
+    EXPECT_EQ(m.placements[static_cast<std::size_t>(r)].node, 0u);
+    EXPECT_EQ(m.placements[static_cast<std::size_t>(r)].representative_pu(),
+              static_cast<std::size_t>(r));
+  }
+  for (int r = 16; r < 20; ++r) {
+    EXPECT_EQ(m.placements[static_cast<std::size_t>(r)].node, 1u);
+  }
+  EXPECT_FALSE(m.pu_oversubscribed);
+}
+
+TEST(ByNode, RoundRobinsAcrossNodes) {
+  const MappingResult m = map_by_node(small_cluster(3), {.np = 9});
+  for (int r = 0; r < 9; ++r) {
+    EXPECT_EQ(m.placements[static_cast<std::size_t>(r)].node,
+              static_cast<std::size_t>(r) % 3);
+    EXPECT_EQ(m.placements[static_cast<std::size_t>(r)].representative_pu(),
+              static_cast<std::size_t>(r) / 3);
+  }
+}
+
+TEST(Baselines, SkipOfflinePus) {
+  Cluster c = Cluster::homogeneous(2, "socket:2 core:4 pu:2");
+  Allocation alloc = allocate_all(c);
+  alloc.mutable_node(0).topo.restrict_pus(Bitmap::parse("4-7"));
+  const MappingResult slot = map_by_slot(alloc, {.np = 6});
+  EXPECT_EQ(slot.placements[0].representative_pu(), 4u);
+  EXPECT_EQ(slot.placements[3].representative_pu(), 7u);
+  EXPECT_EQ(slot.placements[4].node, 1u);
+
+  const MappingResult node = map_by_node(alloc, {.np = 4});
+  EXPECT_EQ(node.placements[0].representative_pu(), 4u);  // node0 first online
+  EXPECT_EQ(node.placements[1].representative_pu(), 0u);  // node1
+}
+
+TEST(Baselines, OversubscriptionPolicy) {
+  const Allocation alloc = small_cluster(1);
+  EXPECT_THROW(map_by_slot(alloc, {.np = 17, .allow_oversubscribe = false}),
+               OversubscribeError);
+  EXPECT_THROW(map_by_node(alloc, {.np = 17, .allow_oversubscribe = false}),
+               OversubscribeError);
+  EXPECT_TRUE(map_by_slot(alloc, {.np = 17}).pu_oversubscribed);
+  EXPECT_TRUE(map_by_node(alloc, {.np = 17}).pu_oversubscribed);
+}
+
+TEST(Baselines, ErrorsOnEmptyInput) {
+  EXPECT_THROW(map_by_slot(Allocation{}, {.np = 2}), MappingError);
+  EXPECT_THROW(map_by_node(small_cluster(), {.np = 0}), MappingError);
+}
+
+// The oracle property: the LAMA reproduces both classic patterns with the
+// full pack/scatter layouts (this is what makes them "baselines" the
+// algorithm subsumes).
+TEST(Baselines, LamaFullPackEqualsBySlot) {
+  for (std::size_t nodes : {1u, 2u, 3u}) {
+    const Allocation alloc = small_cluster(nodes);
+    const std::size_t np = nodes * 16;
+    const MappingResult ours =
+        lama_map(alloc, ProcessLayout::full_pack(), {.np = np});
+    const MappingResult baseline = map_by_slot(alloc, {.np = np});
+    ASSERT_EQ(ours.num_procs(), baseline.num_procs());
+    for (std::size_t i = 0; i < np; ++i) {
+      EXPECT_EQ(ours.placements[i].node, baseline.placements[i].node);
+      EXPECT_EQ(ours.placements[i].representative_pu(),
+                baseline.placements[i].representative_pu());
+    }
+  }
+}
+
+TEST(Baselines, LamaFullScatterEqualsByNode) {
+  for (std::size_t nodes : {1u, 2u, 4u}) {
+    const Allocation alloc = small_cluster(nodes);
+    const std::size_t np = nodes * 16;
+    const MappingResult ours =
+        lama_map(alloc, ProcessLayout::full_scatter(), {.np = np});
+    const MappingResult baseline = map_by_node(alloc, {.np = np});
+    for (std::size_t i = 0; i < np; ++i) {
+      EXPECT_EQ(ours.placements[i].node, baseline.placements[i].node);
+      EXPECT_EQ(ours.placements[i].representative_pu(),
+                baseline.placements[i].representative_pu());
+    }
+  }
+}
+
+TEST(Baselines, EquivalenceHoldsOnNumaCacheHardware) {
+  const Allocation alloc = allocate_all(
+      Cluster::homogeneous(2, "socket:2 numa:2 l3:1 l2:4 l1:1 core:1 pu:2"));
+  const std::size_t np = 64;
+  const MappingResult pack =
+      lama_map(alloc, ProcessLayout::full_pack(), {.np = np});
+  const MappingResult slot = map_by_slot(alloc, {.np = np});
+  const MappingResult scatter =
+      lama_map(alloc, ProcessLayout::full_scatter(), {.np = np});
+  const MappingResult node = map_by_node(alloc, {.np = np});
+  for (std::size_t i = 0; i < np; ++i) {
+    EXPECT_EQ(pack.placements[i].node, slot.placements[i].node);
+    EXPECT_EQ(pack.placements[i].representative_pu(),
+              slot.placements[i].representative_pu());
+    EXPECT_EQ(scatter.placements[i].node, node.placements[i].node);
+    EXPECT_EQ(scatter.placements[i].representative_pu(),
+              node.placements[i].representative_pu());
+  }
+}
+
+}  // namespace
+}  // namespace lama

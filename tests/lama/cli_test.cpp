@@ -1,0 +1,164 @@
+#include "lama/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace lama {
+namespace {
+
+TEST(Cli, Level1Defaults) {
+  const PlacementSpec spec = parse_mpirun_options({"-np", "8"});
+  EXPECT_EQ(spec.level, 1);
+  EXPECT_EQ(spec.kind, MappingKind::kBySlot);
+  EXPECT_EQ(spec.binding.target, BindTarget::kNone);
+  EXPECT_EQ(spec.np, 8u);
+}
+
+TEST(Cli, Level2SimplePatterns) {
+  EXPECT_EQ(parse_mpirun_options({"--by-node"}).kind, MappingKind::kByNode);
+  EXPECT_EQ(parse_mpirun_options({"--by-slot"}).kind, MappingKind::kBySlot);
+
+  const PlacementSpec socket = parse_mpirun_options({"--by-socket"});
+  EXPECT_EQ(socket.kind, MappingKind::kLama);
+  EXPECT_EQ(socket.layout.to_string(), "schbn");
+  EXPECT_EQ(socket.level, 2);
+
+  EXPECT_EQ(parse_mpirun_options({"--by-core"}).layout.to_string(), "cshbn");
+  EXPECT_EQ(parse_mpirun_options({"--by-board"}).layout.to_string(), "bschn");
+  EXPECT_EQ(parse_mpirun_options({"--by-numa"}).layout.to_string(), "Nschbn");
+}
+
+TEST(Cli, Level2BindingShortcuts) {
+  EXPECT_EQ(parse_mpirun_options({"--bind-to-core"}).binding.target,
+            BindTarget::kCore);
+  EXPECT_EQ(parse_mpirun_options({"--bind-to-socket"}).binding.target,
+            BindTarget::kSocket);
+  EXPECT_EQ(parse_mpirun_options({"--bind-to-none"}).binding.target,
+            BindTarget::kNone);
+}
+
+TEST(Cli, Level3LamaLayout) {
+  const PlacementSpec spec =
+      parse_mpirun_options({"--map-by", "lama:scbnh", "--bind-to", "core"});
+  EXPECT_EQ(spec.level, 3);
+  EXPECT_EQ(spec.kind, MappingKind::kLama);
+  EXPECT_EQ(spec.layout.to_string(), "scbnh");
+  EXPECT_EQ(spec.binding.target, BindTarget::kCore);
+}
+
+TEST(Cli, Level3McaParameters) {
+  const PlacementSpec spec = parse_mpirun_options(
+      {"--mca", "rmaps_lama_map", "Nscbnh", "--mca", "rmaps_lama_bind", "2c"});
+  EXPECT_EQ(spec.level, 3);
+  EXPECT_EQ(spec.layout.to_string(), "Nscbnh");
+  EXPECT_EQ(spec.binding.target, BindTarget::kCore);
+  EXPECT_EQ(spec.binding.width, 2u);
+}
+
+TEST(Cli, McaBindDefaultsWidthOne) {
+  const PlacementSpec spec =
+      parse_mpirun_options({"--mca", "rmaps_lama_bind", "s"});
+  EXPECT_EQ(spec.binding.target, BindTarget::kSocket);
+  EXPECT_EQ(spec.binding.width, 1u);
+}
+
+TEST(Cli, McaBindTableILetters) {
+  EXPECT_EQ(parse_mpirun_options({"--mca", "rmaps_lama_bind", "1N"})
+                .binding.target,
+            BindTarget::kNuma);
+  EXPECT_EQ(parse_mpirun_options({"--mca", "rmaps_lama_bind", "1n"})
+                .binding.target,
+            BindTarget::kNode);
+  EXPECT_EQ(parse_mpirun_options({"--mca", "rmaps_lama_bind", "2L2"})
+                .binding.width,
+            2u);
+}
+
+TEST(Cli, CpusPerProc) {
+  const PlacementSpec spec =
+      parse_mpirun_options({"-np", "4", "--cpus-per-proc", "2"});
+  EXPECT_EQ(spec.cpus_per_proc, 2u);
+  EXPECT_EQ(parse_mpirun_options({}).cpus_per_proc, 0u);  // unset
+  EXPECT_THROW(parse_mpirun_options({"--cpus-per-proc", "0"}), ParseError);
+  EXPECT_THROW(parse_mpirun_options({"--cpus-per-proc"}), ParseError);
+}
+
+TEST(Cli, IterationOrderMca) {
+  const PlacementSpec spec = parse_mpirun_options(
+      {"--mca", "rmaps_lama_order", "c:rev,s:stride2,N:seq"});
+  EXPECT_EQ(spec.iteration.get(ResourceType::kCore).order,
+            IterationOrder::kReverse);
+  EXPECT_EQ(spec.iteration.get(ResourceType::kSocket).order,
+            IterationOrder::kStrided);
+  EXPECT_EQ(spec.iteration.get(ResourceType::kSocket).stride, 2u);
+  EXPECT_EQ(spec.iteration.get(ResourceType::kNuma).order,
+            IterationOrder::kSequential);
+  // Untouched levels stay sequential.
+  EXPECT_EQ(spec.iteration.get(ResourceType::kNode).order,
+            IterationOrder::kSequential);
+}
+
+TEST(Cli, IterationOrderErrors) {
+  EXPECT_THROW(parse_mpirun_options({"--mca", "rmaps_lama_order", "c"}),
+               ParseError);
+  EXPECT_THROW(parse_mpirun_options({"--mca", "rmaps_lama_order", "x:rev"}),
+               ParseError);
+  EXPECT_THROW(parse_mpirun_options({"--mca", "rmaps_lama_order", "c:wavy"}),
+               ParseError);
+  EXPECT_THROW(
+      parse_mpirun_options({"--mca", "rmaps_lama_order", "c:stride0"}),
+      ParseError);
+}
+
+TEST(Cli, Level4Rankfile) {
+  const PlacementSpec spec = parse_mpirun_options(
+      {"--rankfile-text", "rank 0=node0 slot=0;rank 1=node1 slot=1"});
+  EXPECT_EQ(spec.level, 4);
+  EXPECT_EQ(spec.kind, MappingKind::kRankfile);
+  EXPECT_NE(spec.rankfile_text.find('\n'), std::string::npos);
+}
+
+TEST(Cli, MapBySlotNodeWords) {
+  EXPECT_EQ(parse_mpirun_options({"--map-by", "slot"}).kind,
+            MappingKind::kBySlot);
+  EXPECT_EQ(parse_mpirun_options({"--map-by", "node"}).kind,
+            MappingKind::kByNode);
+}
+
+TEST(Cli, LevelIsMaxOfMappingAndBinding) {
+  const PlacementSpec spec =
+      parse_mpirun_options({"--by-node", "--bind-to", "core"});
+  EXPECT_EQ(spec.level, 3);
+}
+
+TEST(Cli, Errors) {
+  EXPECT_THROW(parse_mpirun_options({"--frobnicate"}), ParseError);
+  EXPECT_THROW(parse_mpirun_options({"-np"}), ParseError);
+  EXPECT_THROW(parse_mpirun_options({"--map-by"}), ParseError);
+  EXPECT_THROW(parse_mpirun_options({"--map-by", "magic"}), ParseError);
+  EXPECT_THROW(parse_mpirun_options({"--mca", "rmaps_lama_map"}), ParseError);
+  EXPECT_THROW(parse_mpirun_options({"--mca", "btl_tcp_if", "eth0"}),
+               ParseError);
+  EXPECT_THROW(parse_mpirun_options({"--mca", "rmaps_lama_bind", "0c"}),
+               ParseError);
+  EXPECT_THROW(parse_mpirun_options({"--mca", "rmaps_lama_bind", "2"}),
+               ParseError);
+  // Conflicting mapping options.
+  EXPECT_THROW(parse_mpirun_options({"--by-node", "--by-slot"}), ParseError);
+  EXPECT_THROW(parse_mpirun_options({"--by-node", "--map-by", "lama:sc"}),
+               ParseError);
+  // Conflicting binding options.
+  EXPECT_THROW(
+      parse_mpirun_options({"--bind-to-core", "--bind-to", "socket"}),
+      ParseError);
+}
+
+TEST(Cli, Level2LayoutTableIsExposed) {
+  EXPECT_EQ(level2_layout("--by-slot"), "hcsbn");
+  EXPECT_EQ(level2_layout("--by-node"), "nhcsb");
+  EXPECT_THROW(level2_layout("--by-gpu"), ParseError);
+}
+
+}  // namespace
+}  // namespace lama

@@ -1,0 +1,135 @@
+#include "lama/iteration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lama/mapper.hpp"
+#include "support/error.hpp"
+
+namespace lama {
+namespace {
+
+TEST(IterationPolicy, DefaultIsSequential) {
+  const IterationPolicy policy;
+  const std::vector<std::size_t> expected = {0, 1, 2, 3};
+  EXPECT_EQ(policy.visit_order(ResourceType::kCore, 4), expected);
+  EXPECT_EQ(policy.get(ResourceType::kCore).order,
+            IterationOrder::kSequential);
+}
+
+TEST(IterationPolicy, Reverse) {
+  IterationPolicy policy;
+  policy.set(ResourceType::kSocket, {.order = IterationOrder::kReverse});
+  const std::vector<std::size_t> expected = {3, 2, 1, 0};
+  EXPECT_EQ(policy.visit_order(ResourceType::kSocket, 4), expected);
+  // Other levels stay sequential.
+  EXPECT_EQ(policy.visit_order(ResourceType::kCore, 2),
+            (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(IterationPolicy, Strided) {
+  IterationPolicy policy;
+  policy.set(ResourceType::kCore,
+             {.order = IterationOrder::kStrided, .stride = 2});
+  const std::vector<std::size_t> expected = {0, 2, 4, 6, 1, 3, 5, 7};
+  EXPECT_EQ(policy.visit_order(ResourceType::kCore, 8), expected);
+  // Stride larger than width degenerates to sequential-by-phase.
+  policy.set(ResourceType::kCore,
+             {.order = IterationOrder::kStrided, .stride = 10});
+  EXPECT_EQ(policy.visit_order(ResourceType::kCore, 3),
+            (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(IterationPolicy, StrideZeroThrows) {
+  IterationPolicy policy;
+  policy.set(ResourceType::kCore,
+             {.order = IterationOrder::kStrided, .stride = 0});
+  EXPECT_THROW(policy.visit_order(ResourceType::kCore, 4), MappingError);
+}
+
+TEST(IterationPolicy, CustomOrderFiltersOutOfRange) {
+  IterationPolicy policy;
+  policy.set(ResourceType::kSocket,
+             {.order = IterationOrder::kCustom, .custom = {2, 0, 9, 1}});
+  EXPECT_EQ(policy.visit_order(ResourceType::kSocket, 3),
+            (std::vector<std::size_t>{2, 0, 1}));
+}
+
+TEST(IterationPolicy, CustomDuplicateThrows) {
+  IterationPolicy policy;
+  policy.set(ResourceType::kSocket,
+             {.order = IterationOrder::kCustom, .custom = {0, 1, 0}});
+  EXPECT_THROW(policy.visit_order(ResourceType::kSocket, 3), MappingError);
+}
+
+// --- policies applied through the mapper ---
+
+Allocation figure2_allocation(std::size_t nodes = 2) {
+  return allocate_all(Cluster::homogeneous(nodes, "socket:2 core:4 pu:2"));
+}
+
+TEST(MapperIteration, ReverseSocketOrder) {
+  MapOptions opts{.np = 4};
+  opts.iteration.set(ResourceType::kSocket,
+                     {.order = IterationOrder::kReverse});
+  const MappingResult m = lama_map(figure2_allocation(), "scbnh", opts);
+  // Socket 1 now comes first: rank 0 on PU 8, rank 1 on PU 0.
+  EXPECT_EQ(m.placements[0].representative_pu(), 8u);
+  EXPECT_EQ(m.placements[1].representative_pu(), 0u);
+}
+
+TEST(MapperIteration, ReverseNodeOrder) {
+  MapOptions opts{.np = 4};
+  opts.iteration.set(ResourceType::kNode, {.order = IterationOrder::kReverse});
+  const MappingResult m = lama_map(figure2_allocation(3), "nhcsb", opts);
+  EXPECT_EQ(m.placements[0].node, 2u);
+  EXPECT_EQ(m.placements[1].node, 1u);
+  EXPECT_EQ(m.placements[2].node, 0u);
+  EXPECT_EQ(m.placements[3].node, 2u);
+}
+
+TEST(MapperIteration, StridedCoreOrderInterleaves) {
+  MapOptions opts{.np = 4};
+  opts.iteration.set(ResourceType::kCore,
+                     {.order = IterationOrder::kStrided, .stride = 2});
+  const MappingResult m = lama_map(figure2_allocation(1), "chsbn", opts);
+  // Core order 0,2,1,3 -> PUs 0,4,2,6.
+  EXPECT_EQ(m.placements[0].representative_pu(), 0u);
+  EXPECT_EQ(m.placements[1].representative_pu(), 4u);
+  EXPECT_EQ(m.placements[2].representative_pu(), 2u);
+  EXPECT_EQ(m.placements[3].representative_pu(), 6u);
+}
+
+TEST(MapperIteration, CustomOrderRestrictsVisitedResources) {
+  MapOptions opts{.np = 4};
+  opts.iteration.set(
+      ResourceType::kSocket,
+      {.order = IterationOrder::kCustom, .custom = {1}});  // socket 1 only
+  const MappingResult m = lama_map(figure2_allocation(1), "scbnh", opts);
+  for (const Placement& p : m.placements) {
+    EXPECT_GE(p.representative_pu(), 8u);
+  }
+}
+
+TEST(MapperIteration, CustomEmptyOrderCannotMap) {
+  MapOptions opts{.np = 2};
+  opts.iteration.set(ResourceType::kSocket,
+                     {.order = IterationOrder::kCustom, .custom = {}});
+  EXPECT_THROW(lama_map(figure2_allocation(1), "scbnh", opts), MappingError);
+}
+
+TEST(MapperIteration, PolicyPreservesCompleteness) {
+  // Any bijective visit order still covers every PU exactly once per sweep.
+  MapOptions opts{.np = 16};
+  opts.iteration.set(ResourceType::kSocket,
+                     {.order = IterationOrder::kReverse});
+  opts.iteration.set(ResourceType::kCore,
+                     {.order = IterationOrder::kStrided, .stride = 3});
+  const MappingResult m = lama_map(figure2_allocation(1), "scbnh", opts);
+  std::set<std::size_t> pus;
+  for (const Placement& p : m.placements) pus.insert(p.representative_pu());
+  EXPECT_EQ(pus.size(), 16u);
+  EXPECT_FALSE(m.pu_oversubscribed);
+}
+
+}  // namespace
+}  // namespace lama

@@ -1,0 +1,101 @@
+#include "lama/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/error.hpp"
+
+namespace lama {
+namespace {
+
+TEST(Layout, ParseFigure2Example) {
+  const ProcessLayout layout = ProcessLayout::parse("scbnh");
+  ASSERT_EQ(layout.size(), 5u);
+  const std::vector<ResourceType> expected = {
+      ResourceType::kSocket, ResourceType::kCore, ResourceType::kBoard,
+      ResourceType::kNode, ResourceType::kHwThread};
+  EXPECT_EQ(layout.order(), expected);
+  EXPECT_EQ(layout.to_string(), "scbnh");
+}
+
+TEST(Layout, ParseCacheLetters) {
+  const ProcessLayout layout = ProcessLayout::parse("L1L2L3Nschbn");
+  EXPECT_EQ(layout.size(), 9u);
+  EXPECT_EQ(layout.order()[0], ResourceType::kL1);
+  EXPECT_EQ(layout.order()[1], ResourceType::kL2);
+  EXPECT_EQ(layout.order()[2], ResourceType::kL3);
+  EXPECT_EQ(layout.order()[3], ResourceType::kNuma);
+  EXPECT_EQ(layout.to_string(), "L1L2L3Nschbn");
+}
+
+TEST(Layout, CaseSensitivity) {
+  // 'n' node vs 'N' NUMA must parse as different letters.
+  const ProcessLayout layout = ProcessLayout::parse("nN");
+  EXPECT_EQ(layout.order()[0], ResourceType::kNode);
+  EXPECT_EQ(layout.order()[1], ResourceType::kNuma);
+}
+
+TEST(Layout, ParseErrors) {
+  EXPECT_THROW(ProcessLayout::parse(""), ParseError);
+  EXPECT_THROW(ProcessLayout::parse("  "), ParseError);
+  EXPECT_THROW(ProcessLayout::parse("x"), ParseError);
+  EXPECT_THROW(ProcessLayout::parse("ss"), ParseError);       // duplicate
+  EXPECT_THROW(ProcessLayout::parse("scbnhs"), ParseError);   // duplicate
+  EXPECT_THROW(ProcessLayout::parse("L"), ParseError);        // dangling L
+  EXPECT_THROW(ProcessLayout::parse("L4"), ParseError);       // no L4 cache
+  EXPECT_THROW(ProcessLayout::parse("S"), ParseError);        // wrong case
+}
+
+TEST(Layout, Contains) {
+  const ProcessLayout layout = ProcessLayout::parse("sc");
+  EXPECT_TRUE(layout.contains(ResourceType::kSocket));
+  EXPECT_TRUE(layout.contains(ResourceType::kCore));
+  EXPECT_FALSE(layout.contains(ResourceType::kNode));
+  EXPECT_FALSE(layout.contains(ResourceType::kL2));
+}
+
+TEST(Layout, NodeLevelsByContainment) {
+  // Iteration order scbnh; containment order within the node is s > c > h.
+  const ProcessLayout layout = ProcessLayout::parse("scbnh");
+  const std::vector<ResourceType> expected = {
+      ResourceType::kBoard, ResourceType::kSocket, ResourceType::kCore,
+      ResourceType::kHwThread};
+  EXPECT_EQ(layout.node_levels_by_containment(), expected);
+}
+
+TEST(Layout, CannedLayouts) {
+  EXPECT_EQ(ProcessLayout::full_pack().to_string(), "hcL1L2L3Nsbn");
+  EXPECT_EQ(ProcessLayout::full_scatter().to_string(), "nhcL1L2L3Nsb");
+  EXPECT_EQ(ProcessLayout::full_pack().size(), 9u);
+  EXPECT_EQ(ProcessLayout::full_scatter().size(), 9u);
+}
+
+TEST(Layout, PermutationCountMatchesPaperClaim) {
+  // The paper: "Open MPI is able to provide up to 362,880 mapping
+  // permutations to the end user by using the LAMA" — that is 9!.
+  EXPECT_EQ(ProcessLayout::num_full_permutations(), 362880u);
+}
+
+TEST(Layout, PermutationEnumerationIsCompleteAndDistinct) {
+  std::set<std::string> seen;
+  std::uint64_t count = 0;
+  ProcessLayout::for_each_full_permutation([&](const ProcessLayout& l) {
+    ++count;
+    EXPECT_EQ(l.size(), 9u);
+    seen.insert(l.to_string());
+  });
+  EXPECT_EQ(count, 362880u);
+  EXPECT_EQ(seen.size(), 362880u);  // all distinct
+  EXPECT_TRUE(seen.count("scbnhNL1L2L3") == 1);
+  EXPECT_TRUE(seen.count("nbsNL3L2L1ch") == 1);
+}
+
+TEST(Layout, RoundTripEveryLetterOrder) {
+  for (const char* text : {"h", "ns", "scbnh", "hcL1L2L3Nsbn", "bNn"}) {
+    EXPECT_EQ(ProcessLayout::parse(text).to_string(), text);
+  }
+}
+
+}  // namespace
+}  // namespace lama

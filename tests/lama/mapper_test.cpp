@@ -1,0 +1,237 @@
+#include "lama/mapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "topo/presets.hpp"
+
+namespace lama {
+namespace {
+
+Allocation figure2_allocation(std::size_t nodes = 2) {
+  return allocate_all(Cluster::homogeneous(nodes, "socket:2 core:4 pu:2"));
+}
+
+// PU index on a figure2 node for (socket, node-wide core, thread).
+std::size_t pu_of(std::size_t socket, std::size_t core_in_socket,
+                  std::size_t thread) {
+  return socket * 8 + core_in_socket * 2 + thread;
+}
+
+TEST(Mapper, Figure2ExactReproduction) {
+  // The paper's Figure 2: 24 processes, layout "scbnh", two nodes of
+  // 2 sockets x 4 cores x 2 threads. The figure shows, per (node, socket,
+  // core, thread), which rank lands where.
+  const Allocation alloc = figure2_allocation();
+  const MappingResult m = lama_map(alloc, "scbnh", {.np = 24});
+
+  ASSERT_EQ(m.num_procs(), 24u);
+  for (int rank = 0; rank < 24; ++rank) {
+    const Placement& p = m.placements[static_cast<std::size_t>(rank)];
+    EXPECT_EQ(p.rank, rank);
+    // Decoded from the figure: thread = rank/16, node = (rank%16)/8,
+    // core = (rank%8)/2, socket = rank%2.
+    const std::size_t h = static_cast<std::size_t>(rank) / 16;
+    const std::size_t n = (static_cast<std::size_t>(rank) % 16) / 8;
+    const std::size_t c = (static_cast<std::size_t>(rank) % 8) / 2;
+    const std::size_t s = static_cast<std::size_t>(rank) % 2;
+    EXPECT_EQ(p.node, n) << "rank " << rank;
+    ASSERT_EQ(p.target_pus.count(), 1u) << "rank " << rank;
+    EXPECT_EQ(p.representative_pu(), pu_of(s, c, h)) << "rank " << rank;
+  }
+  // Specific spot checks straight from the figure's drawing.
+  EXPECT_EQ(m.placements[0].representative_pu(), pu_of(0, 0, 0));
+  EXPECT_EQ(m.placements[1].representative_pu(), pu_of(1, 0, 0));
+  EXPECT_EQ(m.placements[6].representative_pu(), pu_of(0, 3, 0));
+  EXPECT_EQ(m.placements[8].node, 1u);
+  EXPECT_EQ(m.placements[16].representative_pu(), pu_of(0, 0, 1));
+  EXPECT_EQ(m.placements[23].representative_pu(), pu_of(1, 3, 1));
+
+  EXPECT_FALSE(m.pu_oversubscribed);
+  EXPECT_FALSE(m.slot_oversubscribed);
+  EXPECT_EQ(m.procs_per_node[0], 16u);
+  EXPECT_EQ(m.procs_per_node[1], 8u);
+}
+
+TEST(Mapper, PackLayoutFillsDepthFirst) {
+  const Allocation alloc = figure2_allocation();
+  const MappingResult m = lama_map(alloc, "hcsbn", {.np = 6});
+  // h innermost: both threads of core 0, then core 1, ...
+  EXPECT_EQ(m.placements[0].representative_pu(), 0u);
+  EXPECT_EQ(m.placements[1].representative_pu(), 1u);
+  EXPECT_EQ(m.placements[2].representative_pu(), 2u);
+  EXPECT_EQ(m.placements[5].representative_pu(), 5u);
+  for (const Placement& p : m.placements) EXPECT_EQ(p.node, 0u);
+}
+
+TEST(Mapper, NodeScatterLayout) {
+  const Allocation alloc = figure2_allocation(4);
+  const MappingResult m = lama_map(alloc, "nhcsb", {.np = 8});
+  for (int rank = 0; rank < 8; ++rank) {
+    const Placement& p = m.placements[static_cast<std::size_t>(rank)];
+    EXPECT_EQ(p.node, static_cast<std::size_t>(rank) % 4);
+    EXPECT_EQ(p.representative_pu(), static_cast<std::size_t>(rank) / 4);
+  }
+}
+
+TEST(Mapper, EveryRankMappedExactlyOnce) {
+  const Allocation alloc = figure2_allocation();
+  const MappingResult m = lama_map(alloc, "scbnh", {.np = 17});
+  ASSERT_EQ(m.num_procs(), 17u);
+  for (std::size_t i = 0; i < m.placements.size(); ++i) {
+    EXPECT_EQ(m.placements[i].rank, static_cast<int>(i));
+  }
+}
+
+TEST(Mapper, CoarserLayoutMapsToWiderTargets) {
+  // Without 'h' in the layout, threads are pruned: targets are whole cores.
+  const Allocation alloc = figure2_allocation();
+  const MappingResult m = lama_map(alloc, "scbn", {.np = 4});
+  for (const Placement& p : m.placements) {
+    EXPECT_EQ(p.target_pus.count(), 2u);  // a full core (2 threads)
+  }
+  EXPECT_EQ(m.placements[0].target_pus.to_string(), "0-1");
+  EXPECT_EQ(m.placements[1].target_pus.to_string(), "8-9");  // socket 1
+}
+
+TEST(Mapper, WraparoundSetsPuOversubscription) {
+  const Allocation alloc = figure2_allocation(1);  // 16 PUs
+  const MappingResult m = lama_map(alloc, "hcsbn", {.np = 20});
+  EXPECT_EQ(m.num_procs(), 20u);
+  EXPECT_EQ(m.sweeps, 2u);
+  EXPECT_TRUE(m.pu_oversubscribed);
+  // Ranks 16..19 wrap back onto PUs 0..3.
+  EXPECT_EQ(m.placements[16].representative_pu(), 0u);
+  EXPECT_EQ(m.placements[19].representative_pu(), 3u);
+}
+
+TEST(Mapper, ExactCapacityIsNotOversubscribed) {
+  const Allocation alloc = figure2_allocation(1);
+  const MappingResult m = lama_map(alloc, "hcsbn", {.np = 16});
+  EXPECT_FALSE(m.pu_oversubscribed);
+  EXPECT_EQ(m.sweeps, 1u);
+}
+
+TEST(Mapper, CorePrunedOversubscriptionCountsPuCapacity) {
+  // Layout at core granularity on an SMT machine: two processes per core
+  // still have two threads to use, so PUs are not oversubscribed until the
+  // third process lands on a core.
+  const Allocation alloc = figure2_allocation(1);
+  EXPECT_FALSE(lama_map(alloc, "csbn", {.np = 16}).pu_oversubscribed);
+  EXPECT_TRUE(lama_map(alloc, "csbn", {.np = 17}).pu_oversubscribed);
+}
+
+TEST(Mapper, DisallowedOversubscriptionThrows) {
+  const Allocation alloc = figure2_allocation(1);
+  EXPECT_THROW(
+      lama_map(alloc, "hcsbn", {.np = 17, .allow_oversubscribe = false}),
+      OversubscribeError);
+  EXPECT_NO_THROW(
+      lama_map(alloc, "hcsbn", {.np = 16, .allow_oversubscribe = false}));
+}
+
+TEST(Mapper, SlotOversubscriptionTracked) {
+  const Cluster c = Cluster::homogeneous(2, "socket:2 core:4 pu:2");
+  Allocation alloc = allocate_all(c);
+  alloc.mutable_node(0).slots = 2;
+  alloc.mutable_node(1).slots = 2;
+  const MappingResult m = lama_map(alloc, "hcsbn", {.np = 6});
+  EXPECT_TRUE(m.slot_oversubscribed);   // 6 procs on node0's 2 slots
+  EXPECT_FALSE(m.pu_oversubscribed);
+}
+
+TEST(Mapper, SkipsDisabledResources) {
+  // Disable socket 0 of node 0; the scbnh scatter must land only on the
+  // remaining socket of node 0 and both sockets of node 1.
+  const Cluster c = Cluster::homogeneous(2, "socket:2 core:4 pu:2");
+  Allocation alloc = allocate_all(c);
+  alloc.mutable_node(0).topo.set_object_disabled(ResourceType::kSocket, 0,
+                                                 true);
+  const MappingResult m = lama_map(alloc, "scbnh", {.np = 24});
+  EXPECT_EQ(m.num_procs(), 24u);
+  EXPECT_GT(m.skipped, 0u);
+  for (const Placement& p : m.placements) {
+    if (p.node == 0) {
+      EXPECT_GE(p.representative_pu(), 8u) << "rank " << p.rank;
+    }
+  }
+  // 24 processes on exactly 24 remaining online PUs: a perfect fit.
+  EXPECT_FALSE(m.pu_oversubscribed);
+  EXPECT_EQ(m.procs_per_node[0], 8u);
+  EXPECT_EQ(m.procs_per_node[1], 16u);
+}
+
+TEST(Mapper, HeterogeneousClusterSkipsNonexistentCoordinates) {
+  Cluster c;
+  c.add_node(NodeTopology::synthetic("socket:2 core:4 pu:2", "big"));
+  c.add_node(NodeTopology::synthetic("socket:2 core:2", "small"));
+  const Allocation alloc = allocate_all(c);
+  const MappingResult m = lama_map(alloc, "scbnh", {.np = 20});
+  EXPECT_EQ(m.num_procs(), 20u);
+  EXPECT_GT(m.skipped, 0u);
+  EXPECT_FALSE(m.pu_oversubscribed);  // capacity is exactly 16 + 4 = 20
+  // The small node must never receive a rank beyond its 4 cores.
+  for (const Placement& p : m.placements) {
+    if (p.node == 1) {
+      EXPECT_LT(p.representative_pu(), 4u);
+    }
+  }
+  EXPECT_EQ(m.procs_per_node[0] + m.procs_per_node[1], 20u);
+  EXPECT_EQ(m.procs_per_node[1], 4u);
+}
+
+TEST(Mapper, LayoutWithoutNodeLetterUsesOnlyFirstNode) {
+  const Allocation alloc = figure2_allocation(3);
+  const MappingResult m = lama_map(alloc, "hcs", {.np = 8});
+  for (const Placement& p : m.placements) EXPECT_EQ(p.node, 0u);
+}
+
+TEST(Mapper, NodeOnlyLayoutTargetsWholeNodes) {
+  const Allocation alloc = figure2_allocation(2);
+  const MappingResult m = lama_map(alloc, "n", {.np = 4});
+  EXPECT_EQ(m.placements[0].node, 0u);
+  EXPECT_EQ(m.placements[1].node, 1u);
+  EXPECT_EQ(m.placements[2].node, 0u);
+  EXPECT_EQ(m.placements[0].target_pus.count(), 16u);
+  EXPECT_FALSE(m.pu_oversubscribed);  // 2 procs per 16-PU node
+}
+
+TEST(Mapper, ErrorsOnBadInput) {
+  const Allocation alloc = figure2_allocation();
+  EXPECT_THROW(lama_map(alloc, "scbnh", {.np = 0}), MappingError);
+  EXPECT_THROW(lama_map(Allocation{}, "scbnh", {.np = 4}), MappingError);
+}
+
+TEST(Mapper, FullyOfflinedAllocationThrows) {
+  const Cluster c = Cluster::homogeneous(1, "socket:2 core:4 pu:2");
+  Allocation alloc = allocate_all(c);
+  alloc.mutable_node(0).topo.restrict_pus(Bitmap());
+  EXPECT_THROW(lama_map(alloc, "scbnh", {.np = 2}), MappingError);
+}
+
+TEST(Mapper, VisitedCountsWork) {
+  const Allocation alloc = figure2_allocation();
+  const MappingResult m = lama_map(alloc, "scbnh", {.np = 24});
+  EXPECT_EQ(m.visited, m.num_procs() + m.skipped);
+}
+
+TEST(Mapper, CacheLettersIterateCacheDomains) {
+  // dual_socket_numa: 2 sockets x 2 numa x (l3) x 4 l2 x core x 2 pu.
+  // Layout "L2Nsnch": scatter across L2 domains first.
+  const Allocation alloc =
+      allocate_all(Cluster::homogeneous(1, "socket:2 numa:2 l3:1 l2:4 l1:1 core:1 pu:2"));
+  const MappingResult m = lama_map(alloc, "L2Nsnch", {.np = 8});
+  // First 4 ranks: L2 domains 0..3 of socket 0 numa 0? No — L2 innermost,
+  // then N, then s: ranks cover all 16 L2 domains before reusing any.
+  std::vector<std::size_t> reps;
+  for (const Placement& p : m.placements) reps.push_back(p.representative_pu());
+  // Each L2 has 2 PUs; distinct L2 => representative PUs differ by >= 2.
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    for (std::size_t j = i + 1; j < reps.size(); ++j) {
+      EXPECT_NE(reps[i] / 2, reps[j] / 2) << i << "," << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lama

@@ -1,0 +1,76 @@
+#include "lama/maximal_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/presets.hpp"
+
+namespace lama {
+namespace {
+
+TEST(MaximalTree, HomogeneousWidths) {
+  const Cluster c = Cluster::homogeneous(3, "socket:2 core:4 pu:2");
+  const Allocation a = allocate_all(c);
+  const MaximalTree mtree(a, ProcessLayout::parse("scbnh"));
+  EXPECT_EQ(mtree.num_nodes(), 3u);
+  EXPECT_EQ(mtree.width_of(ResourceType::kNode), 3u);
+  EXPECT_EQ(mtree.width_of(ResourceType::kBoard), 1u);  // bridged
+  EXPECT_EQ(mtree.width_of(ResourceType::kSocket), 2u);
+  EXPECT_EQ(mtree.width_of(ResourceType::kCore), 4u);
+  EXPECT_EQ(mtree.width_of(ResourceType::kHwThread), 2u);
+  // Levels outside the layout are pinned to width 1.
+  EXPECT_EQ(mtree.width_of(ResourceType::kL2), 1u);
+  EXPECT_EQ(mtree.online_pu_capacity(), 48u);
+  EXPECT_EQ(mtree.iteration_space(), 3u * 2u * 4u * 2u);
+}
+
+TEST(MaximalTree, UnionTakesTheMaxPerLevel) {
+  // The paper: "the maximal tree topology is the union of all the different
+  // single-node hardware topologies".
+  Cluster c;
+  c.add_node(NodeTopology::synthetic("socket:2 core:4 pu:2", "big"));
+  c.add_node(NodeTopology::synthetic("socket:4 core:2", "wide"));
+  const Allocation a = allocate_all(c);
+  const MaximalTree mtree(a, ProcessLayout::parse("scbnh"));
+  EXPECT_EQ(mtree.width_of(ResourceType::kSocket), 4u);  // from "wide"
+  EXPECT_EQ(mtree.width_of(ResourceType::kCore), 4u);    // from "big"
+  EXPECT_EQ(mtree.width_of(ResourceType::kHwThread), 2u);  // from "big"
+  EXPECT_EQ(mtree.online_pu_capacity(), 16u + 8u);
+}
+
+TEST(MaximalTree, DominatesEveryMemberTree) {
+  Cluster c;
+  c.add_node(presets::figure2_node("a"));
+  c.add_node(presets::lopsided_node("b"));
+  c.add_node(presets::dual_socket_numa("c"));
+  const Allocation a = allocate_all(c);
+  const ProcessLayout layout = ProcessLayout::parse("NL2scbnh");
+  const MaximalTree mtree(a, layout);
+  const std::vector<ResourceType> levels = layout.node_levels_by_containment();
+  for (std::size_t n = 0; n < a.num_nodes(); ++n) {
+    const std::vector<std::size_t> widths = mtree.pruned(n).level_widths();
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+      EXPECT_GE(mtree.width_of(levels[i]), widths[i])
+          << "node " << n << " level " << i;
+    }
+  }
+}
+
+TEST(MaximalTree, NodeWidthOneWhenLayoutOmitsN) {
+  const Cluster c = Cluster::homogeneous(3, "socket:2 core:4 pu:2");
+  const Allocation a = allocate_all(c);
+  const MaximalTree mtree(a, ProcessLayout::parse("sch"));
+  EXPECT_EQ(mtree.width_of(ResourceType::kNode), 1u);
+}
+
+TEST(MaximalTree, RestrictionsReduceCapacityNotWidths) {
+  const Cluster c = Cluster::homogeneous(2, "socket:2 core:4 pu:2");
+  Allocation a = allocate_all(c);
+  a.mutable_node(0).topo.set_object_disabled(ResourceType::kSocket, 0, true);
+  const MaximalTree mtree(a, ProcessLayout::parse("scbnh"));
+  // The disabled socket is still present in the hardware topology.
+  EXPECT_EQ(mtree.width_of(ResourceType::kSocket), 2u);
+  EXPECT_EQ(mtree.online_pu_capacity(), 32u - 8u);
+}
+
+}  // namespace
+}  // namespace lama

@@ -1,0 +1,145 @@
+#include "lama/pruned_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "topo/presets.hpp"
+
+namespace lama {
+namespace {
+
+std::vector<ResourceType> levels_of(const char* layout) {
+  return ProcessLayout::parse(layout).node_levels_by_containment();
+}
+
+// Union of available PUs across all leaves of the pruned tree.
+Bitmap leaf_union(const PrunedObject& obj) {
+  if (obj.is_leaf()) return obj.available_pus();
+  Bitmap out;
+  for (std::size_t i = 0; i < obj.num_children(); ++i) {
+    out |= leaf_union(obj.child(i));
+  }
+  return out;
+}
+
+std::size_t leaf_count(const PrunedObject& obj) {
+  if (obj.is_leaf()) return 1;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < obj.num_children(); ++i) {
+    n += leaf_count(obj.child(i));
+  }
+  return n;
+}
+
+TEST(PrunedTree, FullLayoutKeepsEveryHardwareLevel) {
+  const NodeTopology topo = presets::figure2_node();
+  const PrunedTree tree(topo, levels_of("scbnh"));
+  // Board is bridged (hardware lacks it); socket/core/thread are real.
+  const std::vector<std::size_t> widths = tree.level_widths();
+  ASSERT_EQ(widths.size(), 4u);  // b, s, c, h
+  EXPECT_EQ(widths[0], 1u);      // board: pass-through
+  EXPECT_EQ(widths[1], 2u);      // sockets
+  EXPECT_EQ(widths[2], 4u);      // cores per socket
+  EXPECT_EQ(widths[3], 2u);      // threads per core
+}
+
+TEST(PrunedTree, PruningPreservesPuCoverage) {
+  const NodeTopology topo = presets::dual_socket_numa();
+  for (const char* layout : {"scbnh", "nsch", "Nn", "hn", "cn", "L2cn"}) {
+    const PrunedTree tree(topo, levels_of(layout));
+    EXPECT_EQ(leaf_union(tree.root()), topo.online_pus())
+        << "layout " << layout;
+  }
+}
+
+TEST(PrunedTree, PruningMergesChildrenAcrossRemovedLevel) {
+  // dual_socket_numa: socket(2) > numa(2) > l3(1) > l2(4) > l1 > core > pu.
+  // Pruning numa/l3/l2/l1 out (layout "sch") must leave each socket with its
+  // 8 cores as direct children, renumbered.
+  const NodeTopology topo = presets::dual_socket_numa();
+  const PrunedTree tree(topo, levels_of("sch"));
+  const std::vector<std::size_t> widths = tree.level_widths();
+  ASSERT_EQ(widths.size(), 3u);
+  EXPECT_EQ(widths[0], 2u);  // sockets
+  EXPECT_EQ(widths[1], 8u);  // cores per socket (merged across numa domains)
+  EXPECT_EQ(widths[2], 2u);  // threads
+}
+
+TEST(PrunedTree, LayoutLevelMissingFromHardwareIsBridged) {
+  // figure2 node has no NUMA level; layout asks for it.
+  const NodeTopology topo = presets::figure2_node();
+  const PrunedTree tree(topo, levels_of("Nsch"));
+  const std::vector<std::size_t> widths = tree.level_widths();
+  ASSERT_EQ(widths.size(), 4u);  // s, N, c, h (containment order)
+  EXPECT_EQ(widths[0], 2u);      // sockets
+  EXPECT_EQ(widths[1], 1u);      // numa: bridged inside each socket
+  EXPECT_EQ(widths[2], 4u);      // cores
+  EXPECT_EQ(widths[3], 2u);      // threads
+  // The bridge vertex spans its socket's PUs.
+  const PrunedObject* bridge = tree.lookup({0, 0, 0, 0});
+  ASSERT_NE(bridge, nullptr);
+  EXPECT_TRUE(bridge->available());
+}
+
+TEST(PrunedTree, HardwareBottomsOutAboveLayoutLevel) {
+  // no_smt_node has cores as leaves; layout asks for hardware threads.
+  const NodeTopology topo = presets::no_smt_node();
+  const PrunedTree tree(topo, levels_of("sch"));
+  const std::vector<std::size_t> widths = tree.level_widths();
+  ASSERT_EQ(widths.size(), 3u);
+  EXPECT_EQ(widths[2], 1u);  // one bridged "thread" per core
+  // Each bridged thread exposes exactly its core's PU.
+  const PrunedObject* t = tree.lookup({1, 2, 0});
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->available_pus().count(), 1u);
+  EXPECT_EQ(t->available_pus().first(), 6u);  // socket 1, core 2 -> PU 6
+  EXPECT_EQ(tree.lookup({1, 2, 1}), nullptr);  // no second thread
+}
+
+TEST(PrunedTree, EmptyLevelListIsJustTheRoot) {
+  const NodeTopology topo = presets::figure2_node();
+  const PrunedTree tree(topo, {});
+  EXPECT_TRUE(tree.root().is_leaf());
+  EXPECT_EQ(tree.root().available_pus(), topo.online_pus());
+  EXPECT_EQ(tree.lookup({}), &tree.root());
+}
+
+TEST(PrunedTree, RestrictionsPropagateToAvailability) {
+  NodeTopology topo = presets::figure2_node();
+  topo.set_object_disabled(ResourceType::kSocket, 1, true);
+  const PrunedTree tree(topo, levels_of("sch"));
+  // Socket 1 exists in the tree but is unavailable.
+  const PrunedObject* s1 = tree.lookup({1, 0, 0});
+  ASSERT_NE(s1, nullptr);
+  EXPECT_FALSE(s1->available());
+  const PrunedObject* s0 = tree.lookup({0, 0, 0});
+  ASSERT_NE(s0, nullptr);
+  EXPECT_TRUE(s0->available());
+  EXPECT_EQ(leaf_union(tree.root()).to_string(), "0-7");
+}
+
+TEST(PrunedTree, IrregularWidthsComeFromTheWidestParent) {
+  const NodeTopology topo = presets::lopsided_node();
+  const PrunedTree tree(topo, levels_of("sc"));
+  const std::vector<std::size_t> widths = tree.level_widths();
+  ASSERT_EQ(widths.size(), 2u);
+  EXPECT_EQ(widths[0], 2u);
+  EXPECT_EQ(widths[1], 6u);  // max of 6 and 2 cores
+  EXPECT_NE(tree.lookup({0, 5}), nullptr);
+  EXPECT_EQ(tree.lookup({1, 5}), nullptr);  // socket 1 has only 2 cores
+  EXPECT_EQ(tree.lookup({2, 0}), nullptr);
+}
+
+TEST(PrunedTree, LeafCountMatchesTargetGranularity) {
+  const NodeTopology topo = presets::figure2_node();
+  // Layout distinguishing threads: 16 leaf targets.
+  EXPECT_EQ(leaf_count(PrunedTree(topo, levels_of("sch")).root()), 16u);
+  // Layout at core granularity: 8 leaf targets.
+  EXPECT_EQ(leaf_count(PrunedTree(topo, levels_of("sc")).root()), 8u);
+  // Socket granularity: 2.
+  EXPECT_EQ(leaf_count(PrunedTree(topo, levels_of("s")).root()), 2u);
+}
+
+}  // namespace
+}  // namespace lama

@@ -1,0 +1,188 @@
+#include "mpi/minimpi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lama/baselines.hpp"
+#include "lama/mapper.hpp"
+#include "support/error.hpp"
+
+namespace lama {
+namespace {
+
+Allocation smt_cluster(std::size_t nodes = 2) {
+  return allocate_all(Cluster::homogeneous(nodes, "socket:2 core:4 pu:2"));
+}
+
+NicModel test_nic() {
+  return NicModel{.bandwidth_gb_s = 1.0,
+                  .network_latency_ns = 1000.0,
+                  .send_overhead_ns = 100.0};
+}
+
+std::size_t count_ops(const RankScript& s, OpKind kind) {
+  std::size_t n = 0;
+  for (const RankOp& op : s) {
+    if (op.kind == kind) ++n;
+  }
+  return n;
+}
+
+TEST(MiniMpi, RecordBasicOps) {
+  const auto scripts = record_program(2, [](Comm& comm) {
+    comm.compute(500.0);
+    if (comm.rank() == 0) {
+      comm.send(1, 64);
+    } else {
+      comm.recv(0);
+    }
+  });
+  ASSERT_EQ(scripts.size(), 2u);
+  EXPECT_EQ(scripts[0].size(), 2u);
+  EXPECT_EQ(scripts[0][1].kind, OpKind::kSend);
+  EXPECT_EQ(scripts[1][1].kind, OpKind::kRecv);
+}
+
+TEST(MiniMpi, InvalidOpsThrow) {
+  EXPECT_THROW(record_program(0, [](Comm&) {}), MappingError);
+  EXPECT_THROW(record_program(2, [](Comm& c) { c.send(c.rank(), 1); }),
+               MappingError);
+  EXPECT_THROW(record_program(2, [](Comm& c) { c.send(5, 1); }),
+               MappingError);
+  EXPECT_THROW(record_program(2, [](Comm& c) { c.recv(-1); }), MappingError);
+  EXPECT_THROW(record_program(2, [](Comm& c) { c.compute(-1.0); }),
+               MappingError);
+  EXPECT_THROW(record_program(2, [](Comm& c) { c.bcast(7, 1); }),
+               MappingError);
+}
+
+TEST(MiniMpi, BarrierSynchronizesSlowAndFastRanks) {
+  const Allocation alloc = smt_cluster(1);
+  const MappingResult m = map_by_slot(alloc, {.np = 8});
+  const SimReport r = run_program(
+      alloc, m,
+      [](Comm& comm) {
+        // Rank 3 is slow before the barrier; everyone computes after it.
+        comm.compute(comm.rank() == 3 ? 50000.0 : 100.0);
+        comm.barrier();
+        comm.compute(100.0);
+      },
+      DistanceModel::commodity(), test_nic());
+  // Every rank must finish after the slow rank's pre-barrier compute.
+  for (double finish : r.finish_ns) {
+    EXPECT_GT(finish, 50000.0);
+  }
+}
+
+TEST(MiniMpi, BcastDeliversExactlyNpMinusOneMessages) {
+  const Allocation alloc = smt_cluster(1);
+  for (int np : {2, 5, 8, 13}) {
+    const MappingResult m =
+        map_by_slot(alloc, {.np = static_cast<std::size_t>(np)});
+    const SimReport r = run_program(
+        alloc, m, [](Comm& comm) { comm.bcast(0, 4096); },
+        DistanceModel::commodity(), test_nic());
+    EXPECT_EQ(r.messages_delivered, static_cast<std::size_t>(np - 1)) << np;
+  }
+}
+
+TEST(MiniMpi, BcastNonZeroRoot) {
+  const Allocation alloc = smt_cluster(1);
+  const MappingResult m = map_by_slot(alloc, {.np = 6});
+  EXPECT_NO_THROW(run_program(alloc, m,
+                              [](Comm& comm) { comm.bcast(4, 1024); },
+                              DistanceModel::commodity(), test_nic()));
+}
+
+TEST(MiniMpi, AllreducePowerOfTwoAndFallback) {
+  const Allocation alloc = smt_cluster(2);
+  for (int np : {8, 6}) {  // recursive doubling vs gather+bcast
+    const MappingResult m =
+        map_by_slot(alloc, {.np = static_cast<std::size_t>(np)});
+    const SimReport r = run_program(
+        alloc, m, [](Comm& comm) { comm.allreduce(512); },
+        DistanceModel::commodity(), test_nic());
+    EXPECT_GT(r.messages_delivered, 0u) << np;
+  }
+}
+
+TEST(MiniMpi, AllgatherRingMessageCount) {
+  const Allocation alloc = smt_cluster(1);
+  const MappingResult m = map_by_slot(alloc, {.np = 5});
+  const auto scripts =
+      record_program(5, [](Comm& comm) { comm.allgather(100); });
+  for (const RankScript& s : scripts) {
+    EXPECT_EQ(count_ops(s, OpKind::kSend), 4u);
+    EXPECT_EQ(count_ops(s, OpKind::kRecv), 4u);
+  }
+  EXPECT_NO_THROW(simulate(alloc, m, scripts, DistanceModel::commodity(),
+                           test_nic()));
+}
+
+TEST(MiniMpi, AlltoallBothSchedules) {
+  const Allocation alloc = smt_cluster(2);
+  for (int np : {8, 6}) {
+    const MappingResult m =
+        map_by_slot(alloc, {.np = static_cast<std::size_t>(np)});
+    const SimReport r = run_program(
+        alloc, m, [](Comm& comm) { comm.alltoall(256); },
+        DistanceModel::commodity(), test_nic());
+    EXPECT_EQ(r.messages_delivered,
+              static_cast<std::size_t>(np) * static_cast<std::size_t>(np - 1))
+        << np;
+  }
+}
+
+TEST(MiniMpi, SingleRankCollectivesAreNoOps) {
+  const auto scripts = record_program(1, [](Comm& comm) {
+    comm.barrier();
+    comm.bcast(0, 100);
+    comm.allreduce(100);
+    comm.allgather(100);
+    comm.alltoall(100);
+  });
+  EXPECT_TRUE(scripts[0].empty());
+}
+
+TEST(MiniMpi, IterativeProgramRunsUnderAnyMapping) {
+  const Allocation alloc = smt_cluster(2);
+  auto app = [](Comm& comm) {
+    for (int iter = 0; iter < 3; ++iter) {
+      comm.compute(2000.0);
+      // Proper ring shift: send right, receive from the left. (A naive
+      // sendrecv((r+1)%np) would deadlock — the simulator catches that.)
+      comm.send((comm.rank() + 1) % comm.size(), 4096);
+      comm.recv((comm.rank() - 1 + comm.size()) % comm.size());
+      if (iter == 2) comm.allreduce(64);
+    }
+  };
+  for (const char* layout : {"hcsbn", "nhcsb", "scbnh"}) {
+    const MappingResult m = lama_map(alloc, layout, {.np = 32});
+    const SimReport r = run_program(alloc, m, app,
+                                    DistanceModel::commodity(), test_nic());
+    EXPECT_GT(r.makespan_ns, 6000.0) << layout;
+    EXPECT_EQ(r.messages_delivered, 32u * 3u + 32u * 5u) << layout;
+  }
+}
+
+TEST(MiniMpi, MappingChangesApplicationMakespan) {
+  // The end-to-end point of the whole library: the same program, two
+  // placements, different wall clocks.
+  const Allocation alloc = smt_cluster(4);
+  auto app = [](Comm& comm) {
+    for (int iter = 0; iter < 4; ++iter) {
+      comm.compute(1000.0);
+      // Heavy exchange with the consecutive partner.
+      comm.sendrecv(comm.rank() ^ 1, 32768);
+    }
+  };
+  const SimReport packed =
+      run_program(alloc, map_by_slot(alloc, {.np = 64}), app,
+                  DistanceModel::commodity(), test_nic());
+  const SimReport scattered =
+      run_program(alloc, map_by_node(alloc, {.np = 64}), app,
+                  DistanceModel::commodity(), test_nic());
+  EXPECT_LT(packed.makespan_ns, scattered.makespan_ns);
+}
+
+}  // namespace
+}  // namespace lama

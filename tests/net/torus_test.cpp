@@ -1,0 +1,106 @@
+#include "net/torus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace lama {
+namespace {
+
+TEST(Torus, CoordinateRoundTrip) {
+  const TorusNetwork net(4, 3, 2);
+  EXPECT_EQ(net.num_nodes(), 24u);
+  for (std::size_t n = 0; n < net.num_nodes(); ++n) {
+    EXPECT_EQ(net.node_of(net.coord_of(n)), n);
+  }
+  EXPECT_EQ(net.coord_of(0), (TorusCoord{0, 0, 0}));
+  EXPECT_EQ(net.coord_of(1), (TorusCoord{1, 0, 0}));
+  EXPECT_EQ(net.coord_of(4), (TorusCoord{0, 1, 0}));
+  EXPECT_EQ(net.coord_of(12), (TorusCoord{0, 0, 1}));
+}
+
+TEST(Torus, NodeOfWrapsCoordinates) {
+  const TorusNetwork net(4, 3, 2);
+  EXPECT_EQ(net.node_of({4, 0, 0}), 0u);
+  EXPECT_EQ(net.node_of({-1, 0, 0}), 3u);
+  EXPECT_EQ(net.node_of({0, 3, 0}), 0u);
+  EXPECT_EQ(net.node_of({0, -1, 2}), net.node_of({0, 2, 0}));
+}
+
+TEST(Torus, HopsUseShortestWayAround) {
+  const TorusNetwork net(8, 1, 1);
+  EXPECT_EQ(net.hops(0, 1), 1);
+  EXPECT_EQ(net.hops(0, 4), 4);  // either way around
+  EXPECT_EQ(net.hops(0, 7), 1);  // wraps backward
+  EXPECT_EQ(net.hops(0, 5), 3);
+  EXPECT_EQ(net.hops(3, 3), 0);
+}
+
+TEST(Torus, HopsAreSymmetricAndTriangleBounded) {
+  const TorusNetwork net(4, 4, 2);
+  for (std::size_t a = 0; a < net.num_nodes(); ++a) {
+    for (std::size_t b = 0; b < net.num_nodes(); ++b) {
+      EXPECT_EQ(net.hops(a, b), net.hops(b, a));
+      for (std::size_t c = 0; c < net.num_nodes(); c += 7) {
+        EXPECT_LE(net.hops(a, b), net.hops(a, c) + net.hops(c, b));
+      }
+    }
+  }
+}
+
+TEST(Torus, RouteLengthEqualsHops) {
+  const TorusNetwork net(4, 3, 2);
+  for (std::size_t a = 0; a < net.num_nodes(); a += 3) {
+    for (std::size_t b = 0; b < net.num_nodes(); ++b) {
+      EXPECT_EQ(net.route(a, b).size(),
+                static_cast<std::size_t>(net.hops(a, b)));
+    }
+  }
+  EXPECT_TRUE(net.route(5, 5).empty());
+}
+
+TEST(Torus, RouteIsDimensionOrdered) {
+  const TorusNetwork net(4, 4, 4);
+  const auto route = net.route(net.node_of({0, 0, 0}), net.node_of({2, 1, 1}));
+  ASSERT_EQ(route.size(), 4u);
+  EXPECT_EQ(route[0].dim, 0);
+  EXPECT_EQ(route[1].dim, 0);
+  EXPECT_EQ(route[2].dim, 1);
+  EXPECT_EQ(route[3].dim, 2);
+  // Route starts at the source.
+  EXPECT_EQ(route[0].from_node, net.node_of({0, 0, 0}));
+}
+
+TEST(Torus, RouteTakesWraparoundLinks) {
+  const TorusNetwork net(5, 1, 1);
+  const auto route = net.route(0, 4);  // backward around the ring
+  ASSERT_EQ(route.size(), 1u);
+  EXPECT_EQ(route[0].dir, -1);
+}
+
+TEST(Torus, LinkIndicesAreDenseAndUnique) {
+  const TorusNetwork net(3, 2, 2);
+  std::vector<bool> seen(net.num_links(), false);
+  for (std::size_t n = 0; n < net.num_nodes(); ++n) {
+    for (int dim = 0; dim < 3; ++dim) {
+      for (int dir : {-1, +1}) {
+        const std::size_t idx =
+            net.link_index(TorusNetwork::Link{n, dim, dir});
+        ASSERT_LT(idx, net.num_links());
+        EXPECT_FALSE(seen[idx]);
+        seen[idx] = true;
+      }
+    }
+  }
+}
+
+TEST(Torus, DegenerateDimensions) {
+  const TorusNetwork line(6, 1, 1);
+  EXPECT_EQ(line.num_nodes(), 6u);
+  EXPECT_EQ(line.hops(0, 3), 3);
+  EXPECT_THROW(TorusNetwork(0, 1, 1), MappingError);
+  EXPECT_THROW(TorusNetwork(2, -1, 1), MappingError);
+}
+
+}  // namespace
+}  // namespace lama

@@ -1,0 +1,140 @@
+// Full-stack integration: cluster file -> scheduler grant -> mpirun options
+// -> LAMA mapping -> binding -> validation -> launch -> event-driven
+// execution. One test per realistic end-to-end scenario.
+#include <gtest/gtest.h>
+
+#include "lama/validate.hpp"
+#include "rte/runtime.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/evaluator.hpp"
+#include "sim/event_sim.hpp"
+#include "support/error.hpp"
+#include "tmatch/reorder.hpp"
+#include "tmatch/treematch.hpp"
+
+namespace lama {
+namespace {
+
+const char* kClusterFile =
+    "# integration cluster: two generations of hardware\n"
+    "new0 socket:2 numa:2 l3:1 l2:4 l1:1 core:1 pu:2 slots=32\n"
+    "new1 socket:2 numa:2 l3:1 l2:4 l1:1 core:1 pu:2 slots=32\n"
+    "old0 socket:2 core:4 slots=8\n";
+
+TEST(Integration, ScheduledJobMapsBindsLaunchesAndRuns) {
+  const Cluster cluster = parse_cluster_file(kClusterFile);
+  ASSERT_EQ(cluster.num_nodes(), 3u);
+  ASSERT_FALSE(cluster.is_homogeneous());
+
+  Scheduler sched(cluster);
+  // Another tenant occupies part of new0.
+  sched.submit({.name = "tenant", .pus = 12});
+  const int mine = sched.submit({.name = "mine", .pus = 40});
+  sched.schedule();
+  ASSERT_EQ(sched.job(mine).state, SchedJobState::kRunning);
+
+  const Allocation alloc = sched.allocation_for(mine);
+  const JobSpec job{.np = 40, .name = "integration"};
+  LaunchPlan plan = plan_job(
+      alloc, job, {"--map-by", "lama:scbnh", "--bind-to", "core"});
+  EXPECT_TRUE(validate_mapping(alloc, plan.mapping()).ok());
+  EXPECT_FALSE(plan.mapping().pu_oversubscribed);
+  plan.launch(alloc);
+
+  // Every process is running inside the job's grant.
+  for (const LaunchedProcess& p : plan.procs()) {
+    EXPECT_EQ(p.state, ProcState::kRunning);
+    EXPECT_TRUE(
+        p.cpuset.is_subset_of(alloc.node(p.node).topo.online_pus()));
+  }
+  const std::string report = plan.report_bindings(alloc);
+  EXPECT_NE(report.find("rank 39"), std::string::npos);
+
+  // Run three bulk-synchronous halo rounds through the event simulator.
+  const TrafficPattern halo = make_halo2d(8, 5, 4096);
+  const SimReport sim =
+      simulate(alloc, plan.mapping(), scripts_from_pattern(halo, 3, 10000.0),
+               DistanceModel::commodity(), NicModel{});
+  EXPECT_GT(sim.makespan_ns, 30000.0);
+  EXPECT_EQ(sim.messages_delivered, halo.messages.size() * 3);
+}
+
+TEST(Integration, MatrixDrivenPipelineBeatsDefaultOnIrregularApp) {
+  const Cluster cluster = parse_cluster_file(kClusterFile);
+  Scheduler sched(cluster);
+  const int id = sched.submit({.name = "irregular", .pus = 32});
+  sched.schedule();
+  const Allocation alloc = sched.allocation_for(id);
+
+  const TrafficPattern app = make_random_sparse(32, 4, 8192, 77);
+  const CommMatrix matrix = CommMatrix::from_pattern(app);
+  const DistanceModel model = DistanceModel::commodity();
+
+  const MappingResult regular = lama_map(alloc, "hcL1L2L3Nsbn", {.np = 32});
+  const MappingResult tm = map_treematch(alloc, matrix, {.np = 32});
+  const ReorderResult reordered = reorder_ranks(alloc, regular, matrix, model);
+
+  EXPECT_TRUE(validate_mapping(alloc, tm).ok());
+  EXPECT_TRUE(validate_mapping(alloc, reordered.mapping).ok());
+
+  const double base = evaluate_mapping(alloc, regular, app, model).total_ns;
+  const double matched = evaluate_mapping(alloc, tm, app, model).total_ns;
+  const double permuted =
+      evaluate_mapping(alloc, reordered.mapping, app, model).total_ns;
+  EXPECT_LT(matched, base);
+  EXPECT_LT(permuted, base);
+}
+
+TEST(Integration, TopologyChangeMidJobIsReplanned) {
+  const Cluster cluster = parse_cluster_file(kClusterFile);
+  Scheduler sched(cluster);
+  const int id = sched.submit({.name = "longrun", .pus = 64});
+  sched.schedule();
+  Allocation alloc = sched.allocation_for(id);
+
+  const PlacementSpec spec = parse_mpirun_options(
+      {"--map-by", "lama:Nschbn", "--bind-to", "core"});
+  const JobSpec job{.np = 32};
+  LaunchPlan plan = plan_job(alloc, job, spec);
+  plan.launch(alloc);
+
+  // A NUMA domain dies on the first allocated node.
+  Allocation degraded = alloc;
+  degraded.mutable_node(0).topo.set_object_disabled(ResourceType::kNuma, 0,
+                                                    true);
+  const ReplanDiff diff = replan_job(degraded, job, spec, plan);
+  EXPECT_EQ(diff.plan.procs().size(), 32u);
+  EXPECT_TRUE(validate_mapping(degraded, diff.plan.mapping()).ok());
+  EXPECT_GT(diff.moved_ranks.size(), 0u);
+  LaunchPlan replanned = diff.plan;
+  EXPECT_NO_THROW(replanned.launch(degraded));
+  // The old plan can no longer be enforced.
+  EXPECT_THROW(plan.launch(degraded), MappingError);
+}
+
+TEST(Integration, EveryCliLevelProducesAValidPlan) {
+  const Cluster cluster = parse_cluster_file(kClusterFile);
+  const Allocation alloc = allocate_nodes(cluster, {0, 1});
+  const JobSpec job{.np = 8};
+  const std::vector<std::vector<std::string>> cli_levels = {
+      {},                                              // level 1
+      {"--by-numa", "--bind-to-core"},                 // level 2
+      {"--map-by", "lama:L2cnsbh", "--bind-to", "L2"}, // level 3
+      {"--rankfile-text",
+       "rank 0=new0 slot=0;rank 1=new0 slot=1;rank 2=new0 slot=2;"
+       "rank 3=new0 slot=3;rank 4=new1 slot=0:0;rank 5=new1 slot=0:1;"
+       "rank 6=new1 slot=1:0;rank 7=new1 slot=1:1"},   // level 4
+  };
+  int expected_level = 1;
+  for (const auto& args : cli_levels) {
+    const PlacementSpec spec = parse_mpirun_options(args);
+    EXPECT_EQ(spec.level, expected_level++);
+    LaunchPlan plan = plan_job(alloc, job, spec);
+    EXPECT_EQ(plan.procs().size(), 8u);
+    EXPECT_TRUE(validate_mapping(alloc, plan.mapping()).ok());
+    EXPECT_NO_THROW(plan.launch(alloc));
+  }
+}
+
+}  // namespace
+}  // namespace lama

@@ -1,0 +1,104 @@
+// Randomized scheduler properties: under arbitrary submit/schedule/complete
+// streams, no PU is ever granted to two running jobs, and frees are
+// conserved exactly.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace lama {
+namespace {
+
+class SchedulerFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerFuzzTest, GrantsNeverOverlapAndFreeIsConserved) {
+  SplitMix64 rng(GetParam());
+  const std::size_t nodes = 2 + rng.next_below(3);
+  const Cluster cluster = Cluster::homogeneous(nodes, "socket:2 core:4 pu:2");
+  const std::size_t machine = cluster.total_pus();
+  Scheduler sched(cluster);
+
+  std::vector<int> running;
+  for (int step = 0; step < 120; ++step) {
+    const double dice = rng.next_double();
+    if (dice < 0.45) {
+      SchedJobSpec spec;
+      spec.name = "j" + std::to_string(step);
+      spec.pus = 1 + rng.next_below(machine);
+      const std::uint64_t kind = rng.next_below(4);
+      spec.distribution = kind == 0   ? SchedDistribution::kBlock
+                          : kind == 1 ? SchedDistribution::kCyclic
+                                      : SchedDistribution::kPlane;
+      spec.plane_size = 1 + rng.next_below(6);
+      spec.exclusive = kind == 3;
+      sched.submit(spec);
+    } else if (dice < 0.8) {
+      for (int id : sched.schedule(rng.next_bool(0.5))) {
+        running.push_back(id);
+      }
+    } else if (!running.empty()) {
+      const std::size_t pick = rng.next_below(running.size());
+      sched.complete(running[pick]);
+      running.erase(running.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+
+    // Invariant 1: running grants are pairwise disjoint per node.
+    std::vector<Bitmap> in_use(nodes);
+    std::size_t granted = 0;
+    for (int id : running) {
+      for (const auto& [node, pus] : sched.job(id).grants) {
+        ASSERT_FALSE(in_use[node].intersects(pus))
+            << "seed " << GetParam() << " step " << step;
+        in_use[node] |= pus;
+        granted += pus.count();
+      }
+    }
+    // Invariant 2: free + granted == machine.
+    ASSERT_EQ(sched.total_free_pus() + granted, machine)
+        << "seed " << GetParam() << " step " << step;
+    // Invariant 3: allocations of running jobs expose exactly their grant.
+    for (int id : running) {
+      const Allocation alloc = sched.allocation_for(id);
+      std::size_t online = 0;
+      for (std::size_t i = 0; i < alloc.num_nodes(); ++i) {
+        online += alloc.node(i).topo.online_pus().count();
+      }
+      std::size_t grant_total = 0;
+      for (const auto& [node, pus] : sched.job(id).grants) {
+        grant_total += pus.count();
+      }
+      ASSERT_EQ(online, grant_total);
+    }
+  }
+}
+
+TEST_P(SchedulerFuzzTest, EveryJobEventuallyRuns) {
+  SplitMix64 rng(GetParam() * 6151);
+  const Cluster cluster = Cluster::homogeneous(2, "socket:2 core:4 pu:2");
+  Scheduler sched(cluster);
+  std::vector<int> submitted;
+  for (int i = 0; i < 20; ++i) {
+    submitted.push_back(sched.submit(
+        {.name = "j" + std::to_string(i),
+         .pus = 1 + rng.next_below(cluster.total_pus())}));
+  }
+  // Drain: schedule, then complete everything running, repeat.
+  for (int rounds = 0; rounds < 100 && !sched.queued_ids().empty(); ++rounds) {
+    for (int id : sched.schedule(true)) {
+      sched.complete(id);
+    }
+  }
+  EXPECT_TRUE(sched.queued_ids().empty());
+  for (int id : submitted) {
+    EXPECT_EQ(sched.job(id).state, SchedJobState::kCompleted);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace lama

@@ -1,0 +1,125 @@
+#include "sim/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "lama/baselines.hpp"
+#include "sim/evaluator.hpp"
+#include "support/error.hpp"
+
+namespace lama {
+namespace {
+
+TEST(Collectives, BcastBinomialMessageCount) {
+  // A binomial broadcast delivers the payload to np-1 ranks with exactly
+  // np-1 messages.
+  for (int np : {2, 3, 4, 7, 8, 16, 100}) {
+    const TrafficPattern p = make_bcast_binomial(np, 0, 64);
+    EXPECT_EQ(p.messages.size(), static_cast<std::size_t>(np - 1)) << np;
+  }
+}
+
+TEST(Collectives, BcastBinomialReachesEveryRankOnce) {
+  const int np = 16;
+  const TrafficPattern p = make_bcast_binomial(np, 5, 64);
+  std::set<int> has = {5};
+  for (const Message& m : p.messages) {
+    // Senders must already hold the data (the schedule is in round order).
+    EXPECT_TRUE(has.count(m.src)) << m.src;
+    EXPECT_TRUE(has.insert(m.dst).second) << m.dst;  // delivered once
+  }
+  EXPECT_EQ(has.size(), 16u);
+}
+
+TEST(Collectives, BcastRootRotation) {
+  const TrafficPattern p = make_bcast_binomial(4, 2, 10);
+  // Root 2's first message goes distance 1: to rank 3.
+  EXPECT_EQ(p.messages[0].src, 2);
+  EXPECT_EQ(p.messages[0].dst, 3);
+}
+
+TEST(Collectives, AllreduceRecursiveDoubling) {
+  const TrafficPattern p = make_allreduce_recursive_doubling(8, 256);
+  EXPECT_EQ(p.messages.size(), 8u * 3u);  // log2(8) rounds, np msgs each
+  // Round 1 partners differ by 1, round 2 by 2, round 3 by 4.
+  EXPECT_EQ(p.messages[0].dst, p.messages[0].src ^ 1);
+  EXPECT_EQ(p.messages[8].dst, p.messages[8].src ^ 2);
+  EXPECT_EQ(p.messages[16].dst, p.messages[16].src ^ 4);
+  EXPECT_THROW(make_allreduce_recursive_doubling(6, 256), MappingError);
+}
+
+TEST(Collectives, AllgatherRing) {
+  const TrafficPattern p = make_allgather_ring(5, 100);
+  EXPECT_EQ(p.messages.size(), 5u * 4u);
+  for (const Message& m : p.messages) {
+    EXPECT_EQ(m.dst, (m.src + 1) % 5);
+  }
+}
+
+TEST(Collectives, GatherLinearIsAHub) {
+  const TrafficPattern p = make_gather_linear(8, 3, 50);
+  EXPECT_EQ(p.messages.size(), 7u);
+  for (const Message& m : p.messages) {
+    EXPECT_EQ(m.dst, 3);
+    EXPECT_NE(m.src, 3);
+  }
+}
+
+TEST(Collectives, AlltoallPairwiseCoversAllPairs) {
+  const int np = 8;
+  const TrafficPattern p = make_alltoall_pairwise(np, 10);
+  std::map<std::pair<int, int>, int> count;
+  for (const Message& m : p.messages) ++count[{m.src, m.dst}];
+  EXPECT_EQ(count.size(), static_cast<std::size_t>(np * (np - 1)));
+  for (const auto& [pair, c] : count) EXPECT_EQ(c, 1);
+  EXPECT_THROW(make_alltoall_pairwise(6, 10), MappingError);
+}
+
+TEST(Collectives, CyclicMappingAlignsWithPowerOfTwoDistances) {
+  // The classic (and initially surprising) alignment: binomial/recursive
+  // collectives exchange at power-of-two distances, and a round-robin
+  // scatter over 4 nodes makes every distance divisible by 4 *intra-node* —
+  // only the first log2(nodes) rounds cross the network. Packing, by
+  // contrast, sends every distance >= 16 across nodes.
+  const Allocation alloc =
+      allocate_all(Cluster::homogeneous(4, "socket:2 core:4 pu:2"));
+  const DistanceModel model = DistanceModel::commodity();
+  const TrafficPattern bcast = make_bcast_binomial(64, 0, 65536);
+  const CostReport bcast_packed =
+      evaluate_mapping(alloc, map_by_slot(alloc, {.np = 64}), bcast, model);
+  const CostReport bcast_scattered =
+      evaluate_mapping(alloc, map_by_node(alloc, {.np = 64}), bcast, model);
+  // Scatter crosses the network only in the first log2(nodes) rounds
+  // (3 messages); packing crosses in every round of distance >= 16 (48).
+  EXPECT_EQ(bcast_scattered.inter_node_messages, 3u);
+  EXPECT_EQ(bcast_packed.inter_node_messages, 48u);
+  EXPECT_LT(bcast_scattered.total_ns, bcast_packed.total_ns);
+
+  // Recursive doubling is symmetric: with power-of-two ranks-per-node and
+  // nodes, both mappings cross the network in exactly log2(nodes) rounds —
+  // a tie, and a sanity check of the evaluator's symmetry.
+  const TrafficPattern ar = make_allreduce_recursive_doubling(64, 65536);
+  const CostReport ar_packed =
+      evaluate_mapping(alloc, map_by_slot(alloc, {.np = 64}), ar, model);
+  const CostReport ar_scattered =
+      evaluate_mapping(alloc, map_by_node(alloc, {.np = 64}), ar, model);
+  EXPECT_EQ(ar_scattered.inter_node_messages, ar_packed.inter_node_messages);
+  // Same multiset of level costs, summed in different orders.
+  EXPECT_NEAR(ar_scattered.total_ns, ar_packed.total_ns,
+              1e-9 * ar_packed.total_ns);
+  // The ring allgather flips it: neighbours are consecutive ranks, so
+  // packing keeps them local.
+  const TrafficPattern ring = make_allgather_ring(64, 65536);
+  const double packed =
+      evaluate_mapping(alloc, map_by_slot(alloc, {.np = 64}), ring, model)
+          .total_ns;
+  const double scattered =
+      evaluate_mapping(alloc, map_by_node(alloc, {.np = 64}), ring, model)
+          .total_ns;
+  EXPECT_LT(packed, scattered);
+}
+
+}  // namespace
+}  // namespace lama

@@ -1,0 +1,101 @@
+#include "sim/distance_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/presets.hpp"
+
+namespace lama {
+namespace {
+
+TEST(DistanceModel, SharingLevelOnFigure2Node) {
+  const NodeTopology topo = presets::figure2_node();
+  // Same PU.
+  EXPECT_EQ(DistanceModel::sharing_level(topo, 3, 3),
+            ResourceType::kHwThread);
+  // Two threads of core 0.
+  EXPECT_EQ(DistanceModel::sharing_level(topo, 0, 1), ResourceType::kCore);
+  // Two cores of socket 0.
+  EXPECT_EQ(DistanceModel::sharing_level(topo, 0, 2), ResourceType::kSocket);
+  // Across sockets.
+  EXPECT_EQ(DistanceModel::sharing_level(topo, 0, 8), ResourceType::kNode);
+}
+
+TEST(DistanceModel, SharingLevelSeesCachesAndNuma) {
+  const NodeTopology topo = presets::dual_socket_numa();
+  // Threads of one core share the L1/L2/core chain; deepest is the core.
+  EXPECT_EQ(DistanceModel::sharing_level(topo, 0, 1), ResourceType::kCore);
+  // Cores under the same L3/NUMA domain.
+  EXPECT_EQ(DistanceModel::sharing_level(topo, 0, 2), ResourceType::kL3);
+  // Across NUMA domains of one socket.
+  EXPECT_EQ(DistanceModel::sharing_level(topo, 0, 8), ResourceType::kSocket);
+  // Across sockets.
+  EXPECT_EQ(DistanceModel::sharing_level(topo, 0, 16), ResourceType::kNode);
+}
+
+TEST(DistanceModel, CommodityCostsAreMonotone) {
+  // Deeper sharing must never be more expensive: this ordering is what every
+  // benchmark conclusion rests on.
+  const DistanceModel m = DistanceModel::commodity();
+  const ResourceType chain[] = {
+      ResourceType::kHwThread, ResourceType::kCore, ResourceType::kL1,
+      ResourceType::kL2,       ResourceType::kL3,   ResourceType::kNuma,
+      ResourceType::kSocket,   ResourceType::kBoard, ResourceType::kNode};
+  for (std::size_t i = 1; i < std::size(chain); ++i) {
+    EXPECT_LE(m.level_cost(chain[i - 1]).latency_ns,
+              m.level_cost(chain[i]).latency_ns);
+    EXPECT_GE(m.level_cost(chain[i - 1]).bandwidth_gb_s,
+              m.level_cost(chain[i]).bandwidth_gb_s);
+  }
+  EXPECT_GT(m.network_cost().latency_ns,
+            m.level_cost(ResourceType::kNode).latency_ns);
+}
+
+TEST(DistanceModel, MessageCostCombinesLatencyAndBandwidth) {
+  LinkCost link{100.0, 10.0};  // 10 GB/s = 10 bytes/ns
+  EXPECT_DOUBLE_EQ(link.message_ns(0), 100.0);
+  EXPECT_DOUBLE_EQ(link.message_ns(1000), 200.0);
+}
+
+TEST(DistanceModel, IntraVsInterNodePricing) {
+  const Allocation alloc =
+      allocate_all(Cluster::homogeneous(2, "socket:2 core:4 pu:2"));
+  const DistanceModel m = DistanceModel::commodity();
+  const double same_core = m.message_ns(alloc, 0, 0, 0, 1, 64);
+  const double cross_socket = m.message_ns(alloc, 0, 0, 0, 8, 64);
+  const double cross_node = m.message_ns(alloc, 0, 0, 1, 0, 64);
+  EXPECT_LT(same_core, cross_socket);
+  EXPECT_LT(cross_socket, cross_node);
+}
+
+TEST(DistanceModel, LatencyMatrixProperties) {
+  const NodeTopology topo = presets::dual_socket_numa();
+  const DistanceModel m = DistanceModel::commodity();
+  const auto matrix = m.latency_matrix(topo);
+  ASSERT_EQ(matrix.size(), topo.pu_count());
+  for (std::size_t a = 0; a < matrix.size(); ++a) {
+    for (std::size_t b = 0; b < matrix.size(); ++b) {
+      EXPECT_DOUBLE_EQ(matrix[a][b], matrix[b][a]);  // symmetric
+      EXPECT_GT(matrix[a][b], 0.0);
+    }
+    // Self-distance is the leaf-sharing latency, the minimum of the row.
+    for (std::size_t b = 0; b < matrix.size(); ++b) {
+      EXPECT_LE(matrix[a][a], matrix[a][b]);
+    }
+  }
+  // Spot values: same core < same L3 < cross socket.
+  EXPECT_LT(matrix[0][1], matrix[0][2]);
+  EXPECT_LT(matrix[0][2], matrix[0][16]);
+}
+
+TEST(DistanceModel, CustomCostsApply) {
+  DistanceModel m = DistanceModel::commodity();
+  m.set_level_cost(ResourceType::kCore, {7.0, 1.0});
+  m.set_network_cost({9999.0, 1.0});
+  const Allocation alloc =
+      allocate_all(Cluster::homogeneous(2, "socket:1 core:2 pu:2"));
+  EXPECT_DOUBLE_EQ(m.message_ns(alloc, 0, 0, 0, 1, 0), 7.0);
+  EXPECT_DOUBLE_EQ(m.message_ns(alloc, 0, 0, 1, 0, 0), 9999.0);
+}
+
+}  // namespace
+}  // namespace lama

@@ -1,0 +1,110 @@
+#include "sim/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lama/baselines.hpp"
+#include "lama/mapper.hpp"
+#include "support/error.hpp"
+
+namespace lama {
+namespace {
+
+Allocation smt_cluster(std::size_t nodes) {
+  return allocate_all(Cluster::homogeneous(nodes, "socket:2 core:4 pu:2"));
+}
+
+TEST(Evaluator, CountsIntraAndInterNodeMessages) {
+  const Allocation alloc = smt_cluster(2);
+  const MappingResult m = map_by_node(alloc, {.np = 4});  // alternate nodes
+  const TrafficPattern ring = make_ring(4, 100);
+  const CostReport r =
+      evaluate_mapping(alloc, m, ring, DistanceModel::commodity());
+  // Ranks 0,2 on node0, 1,3 on node1: every ring hop crosses nodes.
+  EXPECT_EQ(r.inter_node_messages, 8u);
+  EXPECT_EQ(r.intra_node_messages, 0u);
+  EXPECT_GT(r.total_ns, 0.0);
+  EXPECT_EQ(r.total_nic_bytes, 2u * 8u * 100u);  // each message hits 2 NICs
+}
+
+TEST(Evaluator, PackedMappingKeepsRingLocal) {
+  const Allocation alloc = smt_cluster(2);
+  const MappingResult m = map_by_slot(alloc, {.np = 4});
+  const TrafficPattern ring = make_ring(4, 100);
+  const CostReport r =
+      evaluate_mapping(alloc, m, ring, DistanceModel::commodity());
+  EXPECT_EQ(r.inter_node_messages, 0u);
+  EXPECT_EQ(r.intra_node_messages, 8u);
+  EXPECT_EQ(r.max_nic_bytes, 0u);
+}
+
+TEST(Evaluator, PackBeatsScatterOnNeighborTraffic) {
+  // The paper's premise: locality-aware placement of neighbour-heavy
+  // communication outperforms naive scatter.
+  const Allocation alloc = smt_cluster(4);
+  const std::size_t np = 32;
+  const TrafficPattern pairs = make_pairs(static_cast<int>(np), 4096);
+  const DistanceModel model = DistanceModel::commodity();
+  const CostReport packed = evaluate_mapping(
+      alloc, map_by_slot(alloc, {.np = np}), pairs, model);
+  const CostReport scattered = evaluate_mapping(
+      alloc, map_by_node(alloc, {.np = np}), pairs, model);
+  EXPECT_LT(packed.total_ns, scattered.total_ns);
+  EXPECT_LT(packed.max_nic_bytes, scattered.max_nic_bytes);
+}
+
+TEST(Evaluator, ScatterWinsWhenNicIsTheBottleneckMetric) {
+  // All-to-all from one node concentrates NIC traffic; spreading ranks
+  // across nodes splits the NIC load even though total latency rises.
+  const Allocation alloc = smt_cluster(4);
+  const TrafficPattern a2a = make_alltoall(8, 1024);
+  const CostReport packed = evaluate_mapping(
+      alloc, map_by_slot(alloc, {.np = 8}), a2a, DistanceModel::commodity());
+  const CostReport scattered = evaluate_mapping(
+      alloc, map_by_node(alloc, {.np = 8}), a2a, DistanceModel::commodity());
+  // Packed: everything intra-node, zero NIC. Scattered: heavy NIC use but
+  // spread over 4 nodes.
+  EXPECT_EQ(packed.max_nic_bytes, 0u);
+  EXPECT_GT(scattered.max_nic_bytes, 0u);
+  EXPECT_LT(packed.total_ns, scattered.total_ns);
+}
+
+TEST(Evaluator, MessagesByLevelBreakdown) {
+  const Allocation alloc = smt_cluster(1);
+  const MappingResult m = map_by_slot(alloc, {.np = 4});
+  // Ranks 0-3 on PUs 0-3: ranks (0,1) share core 0, (2,3) share core 1.
+  const TrafficPattern pairs = make_pairs(4, 10);
+  const CostReport r =
+      evaluate_mapping(alloc, m, pairs, DistanceModel::commodity());
+  EXPECT_EQ(r.messages_by_level[canonical_depth(ResourceType::kCore)], 4u);
+  EXPECT_EQ(r.messages_by_level[canonical_depth(ResourceType::kSocket)], 0u);
+}
+
+TEST(Evaluator, MaxRankCostCoversBusiestRank) {
+  const Allocation alloc = smt_cluster(1);
+  const MappingResult m = map_by_slot(alloc, {.np = 8});
+  const TrafficPattern mw = make_master_worker(8, 100, 100);
+  const CostReport r =
+      evaluate_mapping(alloc, m, mw, DistanceModel::commodity());
+  // Rank 0 touches every message; its cost equals the total.
+  EXPECT_DOUBLE_EQ(r.max_rank_ns, r.total_ns);
+}
+
+TEST(Evaluator, AverageMessageCost) {
+  const Allocation alloc = smt_cluster(1);
+  const MappingResult m = map_by_slot(alloc, {.np = 2});
+  const TrafficPattern p = make_pairs(2, 0);
+  const CostReport r =
+      evaluate_mapping(alloc, m, p, DistanceModel::commodity());
+  EXPECT_DOUBLE_EQ(r.avg_message_ns * 2.0, r.total_ns);
+}
+
+TEST(Evaluator, RankCountMismatchThrows) {
+  const Allocation alloc = smt_cluster(1);
+  const MappingResult m = map_by_slot(alloc, {.np = 4});
+  EXPECT_THROW(evaluate_mapping(alloc, m, make_ring(8, 10),
+                                DistanceModel::commodity()),
+               MappingError);
+}
+
+}  // namespace
+}  // namespace lama

@@ -1,0 +1,91 @@
+// Randomized event-simulator properties: bulk-synchronous programs over
+// random patterns and mappings always complete, and makespans respect
+// simple lower bounds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lama/mapper.hpp"
+#include "sim/event_sim.hpp"
+#include "support/rng.hpp"
+#include "topo/random.hpp"
+
+namespace lama {
+namespace {
+
+class EventSimFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventSimFuzzTest, BulkSynchronousProgramsAlwaysComplete) {
+  SplitMix64 rng(GetParam());
+  // Random cluster.
+  Cluster cluster;
+  const std::size_t nodes = 2 + rng.next_below(3);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    RandomTopologyOptions opts;
+    opts.seed = rng.next();
+    opts.max_fanout = 3;
+    cluster.add_node(random_topology(opts, "n" + std::to_string(i)));
+  }
+  const Allocation alloc = allocate_all(cluster);
+  const std::size_t capacity = alloc.total_online_pus();
+  const std::size_t np =
+      std::max<std::size_t>(2, 1 + rng.next_below(capacity));
+
+  // Random pattern + mapping.
+  const int degree =
+      1 + static_cast<int>(rng.next_below(std::min<std::size_t>(4, np - 1)));
+  const TrafficPattern pattern = make_random_sparse(
+      static_cast<int>(np), degree, 256 + rng.next_below(8192), rng.next());
+  const std::size_t rounds = 1 + rng.next_below(3);
+  const double compute = rng.next_double() * 5000.0;
+  const std::vector<RankScript> scripts =
+      scripts_from_pattern(pattern, rounds, compute);
+
+  const MappingResult m = lama_map(alloc, ProcessLayout::full_pack(),
+                                   {.np = np});
+  const DistanceModel model = DistanceModel::commodity();
+  const NicModel nic;
+  const SimReport r = simulate(alloc, m, scripts, model, nic);
+
+  // Completion and accounting.
+  EXPECT_EQ(r.messages_delivered, pattern.messages.size() * rounds);
+  ASSERT_EQ(r.finish_ns.size(), np);
+  // Lower bound: every rank at least runs its compute phases.
+  for (double finish : r.finish_ns) {
+    EXPECT_GE(finish, compute * static_cast<double>(rounds) - 1e-6);
+  }
+  // Makespan dominates every rank.
+  for (double finish : r.finish_ns) {
+    EXPECT_LE(finish, r.makespan_ns + 1e-9);
+  }
+  // Waits are non-negative and bounded by the makespan.
+  for (double wait : r.wait_ns) {
+    EXPECT_GE(wait, 0.0);
+    EXPECT_LE(wait, r.makespan_ns + 1e-9);
+  }
+}
+
+TEST_P(EventSimFuzzTest, MakespanIsMonotoneInComputeTime) {
+  SplitMix64 rng(GetParam() * 131);
+  const Allocation alloc =
+      allocate_all(Cluster::homogeneous(2, "socket:2 core:4 pu:2"));
+  const std::size_t np = 16;
+  const TrafficPattern pattern =
+      make_random_sparse(static_cast<int>(np), 3, 1024, rng.next());
+  const MappingResult m = lama_map(alloc, "scbnh", {.np = np});
+  const DistanceModel model = DistanceModel::commodity();
+  const NicModel nic;
+  double prev = -1.0;
+  for (double compute : {0.0, 1000.0, 10000.0}) {
+    const SimReport r = simulate(
+        alloc, m, scripts_from_pattern(pattern, 2, compute), model, nic);
+    EXPECT_GT(r.makespan_ns, prev);
+    prev = r.makespan_ns;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventSimFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace lama

@@ -1,0 +1,98 @@
+#include "sim/torus_evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lama/mapper.hpp"
+#include "net/xyzt.hpp"
+#include "support/error.hpp"
+
+namespace lama {
+namespace {
+
+TEST(TorusEvaluator, RingOnMatchedOrderIsAllOneHop) {
+  // 8-node x-ring, one rank per node via XYZT: ring neighbours are torus
+  // neighbours, so every inter-node message travels exactly 1 hop.
+  const TorusNetwork net(8, 1, 1);
+  const Allocation alloc =
+      allocate_all(Cluster::homogeneous(8, "socket:1 core:1"));
+  const MappingResult m = map_xyzt(alloc, net, "XYZT", {.np = 8});
+  const TorusCostReport r =
+      evaluate_on_torus(alloc, net, m, make_ring(8, 1000),
+                        DistanceModel::commodity(), TorusCostModel{});
+  EXPECT_EQ(r.inter_node_messages, 16u);
+  EXPECT_EQ(r.intra_node_messages, 0u);
+  EXPECT_EQ(r.max_hops, 1);
+  EXPECT_DOUBLE_EQ(r.avg_hops, 1.0);
+  // Each directed x-link carries exactly one message's bytes each way.
+  EXPECT_EQ(r.max_link_bytes, 1000u);
+  EXPECT_EQ(r.links_used, 16u);
+}
+
+TEST(TorusEvaluator, ScrambledMappingRaisesHopsAndCongestion) {
+  const TorusNetwork net(8, 1, 1);
+  const Allocation alloc =
+      allocate_all(Cluster::homogeneous(8, "socket:1 core:1"));
+  const MappingResult matched = map_xyzt(alloc, net, "XYZT", {.np = 8});
+
+  // A stride-3 custom node order scrambles ring neighbours across the torus.
+  MapOptions scrambled_opts{.np = 8};
+  scrambled_opts.iteration.set(
+      ResourceType::kNode,
+      {.order = IterationOrder::kCustom, .custom = {0, 3, 6, 1, 4, 7, 2, 5}});
+  const MappingResult scrambled =
+      lama_map(alloc, "nhcsb", scrambled_opts);
+
+  const TrafficPattern ring = make_ring(8, 1000);
+  const DistanceModel model = DistanceModel::commodity();
+  const TorusCostModel net_model;
+  const TorusCostReport a =
+      evaluate_on_torus(alloc, net, matched, ring, model, net_model);
+  const TorusCostReport b =
+      evaluate_on_torus(alloc, net, scrambled, ring, model, net_model);
+  EXPECT_GT(b.avg_hops, a.avg_hops);
+  EXPECT_GT(b.total_ns, a.total_ns);
+  EXPECT_GE(b.max_link_bytes, a.max_link_bytes);
+}
+
+TEST(TorusEvaluator, IntraNodeMessagesUseHierarchicalModel) {
+  const TorusNetwork net(2, 1, 1);
+  const Allocation alloc =
+      allocate_all(Cluster::homogeneous(2, "socket:1 core:2 pu:2"));
+  const MappingResult m = map_xyzt(alloc, net, "TXYZ", {.np = 2});
+  // Both ranks on node 0, same core: priced at the core level, not network.
+  const TorusCostReport r =
+      evaluate_on_torus(alloc, net, m, make_pairs(2, 0),
+                        DistanceModel::commodity(), TorusCostModel{});
+  EXPECT_EQ(r.inter_node_messages, 0u);
+  EXPECT_EQ(r.intra_node_messages, 2u);
+  const double core_ns =
+      DistanceModel::commodity().level_cost(ResourceType::kCore).latency_ns;
+  EXPECT_DOUBLE_EQ(r.total_ns, 2 * core_ns);
+  EXPECT_EQ(r.max_link_bytes, 0u);
+}
+
+TEST(TorusEvaluator, HopPricingFormula) {
+  const TorusCostModel m{.base_latency_ns = 100.0,
+                         .per_hop_ns = 10.0,
+                         .bandwidth_gb_s = 1.0};
+  EXPECT_DOUBLE_EQ(m.message_ns(3, 50), 100.0 + 30.0 + 50.0);
+}
+
+TEST(TorusEvaluator, SizeValidation) {
+  // Allocation smaller than the torus: rejected.
+  const TorusNetwork net(2, 2, 1);
+  const Allocation small =
+      allocate_all(Cluster::homogeneous(2, "socket:1 core:1"));
+  const MappingResult m = lama_map(small, "nhcsb", {.np = 2});
+  EXPECT_THROW(evaluate_on_torus(small, net, m, make_pairs(2, 1),
+                                 DistanceModel::commodity(), TorusCostModel{}),
+               MappingError);
+  // Pattern/mapping rank mismatch: rejected.
+  const TorusNetwork line(2, 1, 1);
+  EXPECT_THROW(evaluate_on_torus(small, line, m, make_ring(4, 1),
+                                 DistanceModel::commodity(), TorusCostModel{}),
+               MappingError);
+}
+
+}  // namespace
+}  // namespace lama

@@ -1,0 +1,162 @@
+#include "sim/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace lama {
+namespace {
+
+// Messages per rank as sender.
+std::map<int, int> out_degree(const TrafficPattern& p) {
+  std::map<int, int> deg;
+  for (const Message& m : p.messages) ++deg[m.src];
+  return deg;
+}
+
+void expect_valid(const TrafficPattern& p) {
+  for (const Message& m : p.messages) {
+    EXPECT_GE(m.src, 0);
+    EXPECT_LT(m.src, p.np);
+    EXPECT_GE(m.dst, 0);
+    EXPECT_LT(m.dst, p.np);
+    EXPECT_NE(m.src, m.dst);
+  }
+}
+
+TEST(Traffic, Ring) {
+  const TrafficPattern p = make_ring(5, 100);
+  expect_valid(p);
+  EXPECT_EQ(p.np, 5);
+  EXPECT_EQ(p.messages.size(), 10u);  // 2 per rank
+  EXPECT_EQ(p.total_bytes(), 1000u);
+  for (const auto& [rank, deg] : out_degree(p)) EXPECT_EQ(deg, 2);
+}
+
+TEST(Traffic, Halo2dInterior) {
+  const TrafficPattern p = make_halo2d(4, 4, 10);
+  expect_valid(p);
+  EXPECT_EQ(p.np, 16);
+  EXPECT_EQ(p.messages.size(), 64u);  // 4 neighbours each, periodic
+  // Rank 5 = (x=1,y=1): neighbours 4, 6, 1, 9.
+  std::set<int> nbrs;
+  for (const Message& m : p.messages) {
+    if (m.src == 5) nbrs.insert(m.dst);
+  }
+  EXPECT_EQ(nbrs, (std::set<int>{4, 6, 1, 9}));
+}
+
+TEST(Traffic, Halo2dDegenerateDimension) {
+  // A 1-by-N grid folds the x-neighbours onto self; those must be dropped.
+  const TrafficPattern p = make_halo2d(1, 4, 10);
+  expect_valid(p);
+  for (const auto& [rank, deg] : out_degree(p)) EXPECT_EQ(deg, 2);
+}
+
+TEST(Traffic, Halo3d) {
+  const TrafficPattern p = make_halo3d(2, 2, 2, 5);
+  expect_valid(p);
+  EXPECT_EQ(p.np, 8);
+  // In a 2-wide periodic dimension, +1 and -1 are the same rank, so each
+  // rank has 3 distinct neighbours but sends both directions: 6 sends minus
+  // merged duplicates... both messages are still emitted (they model the two
+  // halo faces), so degree is 6.
+  for (const auto& [rank, deg] : out_degree(p)) EXPECT_EQ(deg, 6);
+}
+
+TEST(Traffic, Alltoall) {
+  const TrafficPattern p = make_alltoall(6, 7);
+  expect_valid(p);
+  EXPECT_EQ(p.messages.size(), 30u);
+  EXPECT_EQ(p.total_bytes(), 210u);
+}
+
+TEST(Traffic, Toroidal) {
+  const TrafficPattern p = make_toroidal(8, 1000, 10);
+  expect_valid(p);
+  // 16 heavy + 56 light.
+  EXPECT_EQ(p.messages.size(), 72u);
+  EXPECT_EQ(p.total_bytes(), 16u * 1000u + 56u * 10u);
+  const TrafficPattern heavy_only = make_toroidal(8, 1000, 0);
+  EXPECT_EQ(heavy_only.messages.size(), 16u);
+}
+
+TEST(Traffic, MasterWorker) {
+  const TrafficPattern p = make_master_worker(5, 100, 200);
+  expect_valid(p);
+  EXPECT_EQ(p.messages.size(), 8u);
+  for (const Message& m : p.messages) {
+    EXPECT_TRUE(m.src == 0 || m.dst == 0);
+  }
+}
+
+TEST(Traffic, RandomSparseIsDeterministicAndValid) {
+  const TrafficPattern a = make_random_sparse(12, 3, 64, 42);
+  const TrafficPattern b = make_random_sparse(12, 3, 64, 42);
+  const TrafficPattern c = make_random_sparse(12, 3, 64, 43);
+  expect_valid(a);
+  ASSERT_EQ(a.messages.size(), b.messages.size());
+  bool same_as_c = a.messages.size() == c.messages.size();
+  for (std::size_t i = 0; i < a.messages.size(); ++i) {
+    EXPECT_EQ(a.messages[i].dst, b.messages[i].dst);
+    if (same_as_c && a.messages[i].dst != c.messages[i].dst) same_as_c = false;
+  }
+  EXPECT_FALSE(same_as_c);  // different seed, different graph
+  for (const auto& [rank, deg] : out_degree(a)) EXPECT_EQ(deg, 3);
+  // Peers are distinct per rank.
+  std::map<int, std::set<int>> peers;
+  for (const Message& m : a.messages) {
+    EXPECT_TRUE(peers[m.src].insert(m.dst).second);
+  }
+}
+
+TEST(Traffic, Transpose) {
+  const TrafficPattern p = make_transpose(3, 50);
+  expect_valid(p);
+  EXPECT_EQ(p.np, 9);
+  EXPECT_EQ(p.messages.size(), 6u);  // off-diagonal pairs
+  for (const Message& m : p.messages) {
+    const int i = m.src / 3;
+    const int j = m.src % 3;
+    EXPECT_EQ(m.dst, j * 3 + i);
+  }
+}
+
+TEST(Traffic, Pairs) {
+  const TrafficPattern p = make_pairs(6, 10);
+  expect_valid(p);
+  EXPECT_EQ(p.messages.size(), 6u);
+  for (const Message& m : p.messages) {
+    EXPECT_EQ(m.src / 2, m.dst / 2);  // partners share a pair
+  }
+}
+
+TEST(Traffic, StridedPairs) {
+  const TrafficPattern p = make_strided_pairs(8, 4, 10);
+  expect_valid(p);
+  EXPECT_EQ(p.messages.size(), 8u);
+  for (const Message& m : p.messages) {
+    EXPECT_EQ(std::abs(m.src - m.dst), 4);
+  }
+  EXPECT_THROW(make_strided_pairs(8, 5, 10), InternalError);
+}
+
+TEST(Traffic, PairsOddLeavesLastRankIdle) {
+  const TrafficPattern p = make_pairs(5, 10);
+  for (const Message& m : p.messages) {
+    EXPECT_NE(m.src, 4);
+    EXPECT_NE(m.dst, 4);
+  }
+}
+
+TEST(Traffic, GeneratorPreconditions) {
+  EXPECT_THROW(make_ring(1, 10), InternalError);
+  EXPECT_THROW(make_alltoall(1, 10), InternalError);
+  EXPECT_THROW(make_random_sparse(4, 4, 10, 1), InternalError);
+}
+
+}  // namespace
+}  // namespace lama

@@ -1,0 +1,164 @@
+#include "support/bitmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace lama {
+namespace {
+
+TEST(Bitmap, DefaultIsEmpty) {
+  Bitmap b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_EQ(b.first(), Bitmap::npos);
+  EXPECT_EQ(b.last(), Bitmap::npos);
+  EXPECT_EQ(b.to_string(), "");
+}
+
+TEST(Bitmap, SetTestClear) {
+  Bitmap b;
+  b.set(3);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(3));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_FALSE(b.test(0));
+  EXPECT_FALSE(b.test(63));
+  EXPECT_FALSE(b.test(1000));
+  EXPECT_EQ(b.count(), 3u);
+  b.clear(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.count(), 2u);
+  // Clearing an out-of-range bit is a no-op.
+  b.clear(100000);
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Bitmap, FullAndSingleAndRange) {
+  EXPECT_EQ(Bitmap::full(10).count(), 10u);
+  EXPECT_EQ(Bitmap::full(0).count(), 0u);
+  EXPECT_EQ(Bitmap::single(7).to_string(), "7");
+  EXPECT_EQ(Bitmap::range(2, 5).to_string(), "2-5");
+  EXPECT_EQ(Bitmap::range(4, 4).to_string(), "4");
+}
+
+TEST(Bitmap, FirstLastNext) {
+  Bitmap b = Bitmap::parse("5,63,64,200");
+  EXPECT_EQ(b.first(), 5u);
+  EXPECT_EQ(b.last(), 200u);
+  EXPECT_EQ(b.next(5), 63u);
+  EXPECT_EQ(b.next(63), 64u);
+  EXPECT_EQ(b.next(64), 200u);
+  EXPECT_EQ(b.next(200), Bitmap::npos);
+  EXPECT_EQ(b.next(Bitmap::npos), 5u);  // npos starts iteration
+  EXPECT_EQ(b.next(0), 5u);
+}
+
+TEST(Bitmap, Nth) {
+  Bitmap b = Bitmap::parse("2,4,8,16");
+  EXPECT_EQ(b.nth(0), 2u);
+  EXPECT_EQ(b.nth(2), 8u);
+  EXPECT_EQ(b.nth(3), 16u);
+  EXPECT_EQ(b.nth(4), Bitmap::npos);
+}
+
+TEST(Bitmap, ParseRoundTrip) {
+  const char* cases[] = {"", "0", "0-3", "0,2-5,8", "63-65", "1,3,5,7"};
+  for (const char* text : cases) {
+    EXPECT_EQ(Bitmap::parse(text).to_string(), text) << text;
+  }
+}
+
+TEST(Bitmap, ParseWhitespaceTolerant) {
+  EXPECT_EQ(Bitmap::parse(" 1, 3-4 ").to_string(), "1,3-4");
+}
+
+TEST(Bitmap, ParseErrors) {
+  EXPECT_THROW(Bitmap::parse("a"), ParseError);
+  EXPECT_THROW(Bitmap::parse("3-1"), ParseError);
+  EXPECT_THROW(Bitmap::parse("1,,2"), ParseError);
+  EXPECT_THROW(Bitmap::parse("1-"), ParseError);
+  EXPECT_THROW(Bitmap::parse("-3"), ParseError);
+}
+
+TEST(Bitmap, OrAndXorAndNot) {
+  const Bitmap a = Bitmap::parse("0-3");
+  const Bitmap b = Bitmap::parse("2-5");
+  EXPECT_EQ((a | b).to_string(), "0-5");
+  EXPECT_EQ((a & b).to_string(), "2-3");
+  EXPECT_EQ((a ^ b).to_string(), "0-1,4-5");
+  Bitmap c = a;
+  c.and_not(b);
+  EXPECT_EQ(c.to_string(), "0-1");
+}
+
+TEST(Bitmap, OperatorsAcrossWordBoundaries) {
+  const Bitmap a = Bitmap::parse("60-70");
+  const Bitmap b = Bitmap::parse("65-130");
+  EXPECT_EQ((a & b).to_string(), "65-70");
+  EXPECT_EQ((a | b).count(), 71u);
+}
+
+TEST(Bitmap, IntersectsAndSubset) {
+  const Bitmap a = Bitmap::parse("0-3");
+  const Bitmap b = Bitmap::parse("3-5");
+  const Bitmap c = Bitmap::parse("8-9");
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_TRUE(Bitmap::parse("1-2").is_subset_of(a));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(Bitmap().is_subset_of(a));
+  EXPECT_TRUE(Bitmap().is_subset_of(Bitmap()));
+}
+
+TEST(Bitmap, EqualityIgnoresTrailingZeroWords) {
+  Bitmap a;
+  a.set(500);
+  a.clear(500);
+  EXPECT_EQ(a, Bitmap());
+  EXPECT_NE(Bitmap::single(1), Bitmap::single(2));
+}
+
+TEST(Bitmap, ToVector) {
+  const Bitmap b = Bitmap::parse("1,5,9");
+  const std::vector<std::size_t> expected = {1, 5, 9};
+  EXPECT_EQ(b.to_vector(), expected);
+}
+
+// Property sweep: algebraic identities on pseudo-random bitmaps.
+class BitmapPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitmapPropertyTest, AlgebraicIdentities) {
+  SplitMix64 rng(GetParam());
+  Bitmap a;
+  Bitmap b;
+  for (int i = 0; i < 40; ++i) {
+    if (rng.next_bool(0.5)) a.set(rng.next_below(256));
+    if (rng.next_bool(0.5)) b.set(rng.next_below(256));
+  }
+  // De Morgan-ish: |a ∪ b| + |a ∩ b| == |a| + |b|
+  EXPECT_EQ((a | b).count() + (a & b).count(), a.count() + b.count());
+  // XOR is union minus intersection.
+  EXPECT_EQ((a ^ b).count(), (a | b).count() - (a & b).count());
+  // and_not removes exactly the intersection.
+  Bitmap diff = a;
+  diff.and_not(b);
+  EXPECT_EQ(diff.count(), a.count() - (a & b).count());
+  EXPECT_FALSE(diff.intersects(b));
+  // Round trip through string form.
+  EXPECT_EQ(Bitmap::parse(a.to_string()), a);
+  // Subset relations.
+  EXPECT_TRUE((a & b).is_subset_of(a));
+  EXPECT_TRUE(a.is_subset_of(a | b));
+  // Iteration agrees with count.
+  EXPECT_EQ(a.to_vector().size(), a.count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitmapPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace lama

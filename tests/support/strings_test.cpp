@@ -1,0 +1,54 @@
+#include "support/strings.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace lama {
+namespace {
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const std::vector<std::string> expected = {"a", "", "b"};
+  EXPECT_EQ(split("a,,b", ','), expected);
+  EXPECT_EQ(split("", ','), std::vector<std::string>{""});
+}
+
+TEST(Strings, SplitWsDropsEmptyFields) {
+  const std::vector<std::string> expected = {"a", "b", "c"};
+  EXPECT_EQ(split_ws("  a\tb  \n c "), expected);
+  EXPECT_TRUE(split_ws("   ").empty());
+  EXPECT_TRUE(split_ws("").empty());
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim(" \t\n "), "");
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("AbC3"), "abc3");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, ParseSize) {
+  EXPECT_EQ(parse_size("42", "x"), 42u);
+  EXPECT_EQ(parse_size(" 7 ", "x"), 7u);
+  EXPECT_EQ(parse_size("0", "x"), 0u);
+  EXPECT_THROW(parse_size("", "x"), ParseError);
+  EXPECT_THROW(parse_size("-1", "x"), ParseError);
+  EXPECT_THROW(parse_size("4x", "x"), ParseError);
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("slots=4", "slots="));
+  EXPECT_FALSE(starts_with("slot", "slots"));
+}
+
+}  // namespace
+}  // namespace lama

@@ -1,0 +1,40 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace lama {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "2"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  // Every row ends without trailing spaces.
+  for (const auto& line : {out.substr(0, out.find('\n'))}) {
+    EXPECT_FALSE(line.empty());
+    EXPECT_NE(line.back(), ' ');
+  }
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, CellFormatting) {
+  EXPECT_EQ(TextTable::cell(1.5, 2), "1.50");
+  EXPECT_EQ(TextTable::cell(std::size_t{42}), "42");
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InternalError);
+}
+
+TEST(TextTable, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable({}), InternalError);
+}
+
+}  // namespace
+}  // namespace lama

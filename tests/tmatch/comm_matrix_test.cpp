@@ -1,0 +1,84 @@
+#include "tmatch/comm_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace lama {
+namespace {
+
+TEST(CommMatrix, SymmetricAccumulation) {
+  CommMatrix m(4);
+  m.add(0, 1, 100);
+  m.add(1, 0, 50);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 150.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 150.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 0.0);
+}
+
+TEST(CommMatrix, DiagonalIgnored) {
+  CommMatrix m(3);
+  m.add(1, 1, 999);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.row_sum(1), 0.0);
+}
+
+TEST(CommMatrix, FromPattern) {
+  const CommMatrix m = CommMatrix::from_pattern(make_pairs(4, 100));
+  // Pairs sends both directions: 200 per pair.
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 200.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 3), 200.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 0.0);
+  EXPECT_EQ(m.np(), 4);
+}
+
+TEST(CommMatrix, RowSumAndAffinity) {
+  CommMatrix m(4);
+  m.add(0, 1, 10);
+  m.add(0, 2, 20);
+  m.add(0, 3, 30);
+  EXPECT_DOUBLE_EQ(m.row_sum(0), 60.0);
+  EXPECT_DOUBLE_EQ(m.affinity(0, {1, 3}), 40.0);
+  EXPECT_DOUBLE_EQ(m.affinity(2, {1, 3}), 0.0);
+}
+
+TEST(CommMatrix, SerializeParseRoundTrip) {
+  const CommMatrix m =
+      CommMatrix::from_pattern(make_random_sparse(8, 3, 512, 4));
+  const CommMatrix back = CommMatrix::parse(m.serialize());
+  ASSERT_EQ(back.np(), m.np());
+  for (int a = 0; a < 8; ++a) {
+    for (int b = 0; b < 8; ++b) {
+      EXPECT_DOUBLE_EQ(back.at(a, b), m.at(a, b)) << a << "," << b;
+    }
+  }
+}
+
+TEST(CommMatrix, ParseFormat) {
+  const CommMatrix m = CommMatrix::parse(
+      "# profiled volumes\n"
+      "np 4\n"
+      "0 1 1000\n"
+      "2 3 500   # hot pair\n"
+      "0 1 24\n");
+  EXPECT_EQ(m.np(), 4);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 1024.0);
+  EXPECT_DOUBLE_EQ(m.at(3, 2), 500.0);
+}
+
+TEST(CommMatrix, ParseErrors) {
+  EXPECT_THROW(CommMatrix::parse(""), ParseError);
+  EXPECT_THROW(CommMatrix::parse("0 1 10\n"), ParseError);       // no header
+  EXPECT_THROW(CommMatrix::parse("np 2\nnp 2\n"), ParseError);   // duplicate
+  EXPECT_THROW(CommMatrix::parse("np 2\n0 1\n"), ParseError);    // short edge
+  EXPECT_THROW(CommMatrix::parse("np 2\n0 5 10\n"), ParseError); // out of range
+  EXPECT_THROW(CommMatrix::parse("np 0\n"), ParseError);
+}
+
+TEST(CommMatrix, InvalidSizeThrows) {
+  EXPECT_THROW(CommMatrix(0), MappingError);
+  EXPECT_THROW(CommMatrix(-2), MappingError);
+}
+
+}  // namespace
+}  // namespace lama

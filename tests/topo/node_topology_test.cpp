@@ -1,0 +1,214 @@
+#include "topo/node_topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "topo/presets.hpp"
+
+namespace lama {
+namespace {
+
+TEST(Synthetic, Figure2Shape) {
+  const NodeTopology topo = presets::figure2_node("m0");
+  EXPECT_EQ(topo.name(), "m0");
+  EXPECT_EQ(topo.count(ResourceType::kSocket), 2u);
+  EXPECT_EQ(topo.count(ResourceType::kCore), 8u);
+  EXPECT_EQ(topo.count(ResourceType::kHwThread), 16u);
+  EXPECT_EQ(topo.pu_count(), 16u);
+  EXPECT_EQ(topo.leaf_type(), ResourceType::kHwThread);
+  EXPECT_EQ(topo.online_pus().count(), 16u);
+}
+
+TEST(Synthetic, LevelsListedOutermostFirst) {
+  const NodeTopology topo =
+      NodeTopology::synthetic("board:2 socket:2 numa:2 l3:1 core:4 pu:2");
+  const std::vector<ResourceType> expected = {
+      ResourceType::kNode, ResourceType::kBoard,  ResourceType::kSocket,
+      ResourceType::kNuma, ResourceType::kL3,     ResourceType::kCore,
+      ResourceType::kHwThread};
+  EXPECT_EQ(topo.levels(), expected);
+  EXPECT_TRUE(topo.has_level(ResourceType::kNuma));
+  EXPECT_FALSE(topo.has_level(ResourceType::kL2));
+}
+
+TEST(Synthetic, CountsMultiplyThroughTheTree) {
+  const NodeTopology topo =
+      NodeTopology::synthetic("socket:3 l2:2 core:4 pu:2");
+  EXPECT_EQ(topo.count(ResourceType::kSocket), 3u);
+  EXPECT_EQ(topo.count(ResourceType::kL2), 6u);
+  EXPECT_EQ(topo.count(ResourceType::kCore), 24u);
+  EXPECT_EQ(topo.pu_count(), 48u);
+}
+
+TEST(Synthetic, CoreLeavesWhenNoSmt) {
+  const NodeTopology topo = presets::no_smt_node();
+  EXPECT_EQ(topo.leaf_type(), ResourceType::kCore);
+  EXPECT_EQ(topo.pu_count(), 8u);
+}
+
+TEST(Synthetic, ParseErrors) {
+  EXPECT_THROW(NodeTopology::synthetic(""), ParseError);
+  EXPECT_THROW(NodeTopology::synthetic("socket:2"), ParseError);  // no PUs
+  EXPECT_THROW(NodeTopology::synthetic("socket:0 core:2"), ParseError);
+  EXPECT_THROW(NodeTopology::synthetic("core:2 socket:2"), ParseError);
+  EXPECT_THROW(NodeTopology::synthetic("socket:2 socket:2 core:1"),
+               ParseError);
+  EXPECT_THROW(NodeTopology::synthetic("gadget:2 core:2"), ParseError);
+  EXPECT_THROW(NodeTopology::synthetic("socket2 core:2"), ParseError);
+  EXPECT_THROW(NodeTopology::synthetic("node:2 core:4"), ParseError);
+}
+
+TEST(Synthetic, CpusetsPartitionThePus) {
+  const NodeTopology topo = presets::figure2_node();
+  Bitmap all;
+  for (const TopoObject* s : topo.objects_at(ResourceType::kSocket)) {
+    EXPECT_EQ(s->cpuset().count(), 8u);
+    EXPECT_FALSE(all.intersects(s->cpuset()));
+    all |= s->cpuset();
+  }
+  EXPECT_EQ(all, topo.root().cpuset());
+  EXPECT_EQ(all.count(), 16u);
+}
+
+TEST(Synthetic, LevelIndicesAreSequential) {
+  const NodeTopology topo = presets::figure2_node();
+  const auto cores = topo.objects_at(ResourceType::kCore);
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    EXPECT_EQ(cores[i]->level_index(), static_cast<int>(i));
+  }
+  // Sibling indices restart per parent.
+  EXPECT_EQ(cores[4]->sibling_index(), 0);
+  EXPECT_EQ(cores[5]->sibling_index(), 1);
+}
+
+TEST(Topology, AncestorOfPu) {
+  const NodeTopology topo = presets::figure2_node();
+  // PU 9 is socket 1, core 4 (node-wide), thread 1.
+  const TopoObject* socket = topo.ancestor_of_pu(9, ResourceType::kSocket);
+  ASSERT_NE(socket, nullptr);
+  EXPECT_EQ(socket->level_index(), 1);
+  const TopoObject* core = topo.ancestor_of_pu(9, ResourceType::kCore);
+  ASSERT_NE(core, nullptr);
+  EXPECT_EQ(core->level_index(), 4);
+  EXPECT_EQ(topo.ancestor_of_pu(9, ResourceType::kNuma), nullptr);
+  EXPECT_EQ(topo.ancestor_of_pu(9, ResourceType::kNode), &topo.root());
+}
+
+TEST(Topology, DisableSocketTakesItsPusOffline) {
+  NodeTopology topo = presets::figure2_node();
+  topo.set_object_disabled(ResourceType::kSocket, 0, true);
+  EXPECT_EQ(topo.online_pus().to_string(), "8-15");
+  EXPECT_EQ(topo.pu_count(), 16u);  // hardware unchanged
+  topo.set_object_disabled(ResourceType::kSocket, 0, false);
+  EXPECT_EQ(topo.online_pus().count(), 16u);
+}
+
+TEST(Topology, DisableUnknownObjectThrows) {
+  NodeTopology topo = presets::figure2_node();
+  EXPECT_THROW(topo.set_object_disabled(ResourceType::kSocket, 5, true),
+               MappingError);
+  EXPECT_THROW(topo.set_object_disabled(ResourceType::kNuma, 0, true),
+               MappingError);
+}
+
+TEST(Topology, RestrictPusAndClear) {
+  NodeTopology topo = presets::no_smt_node();
+  topo.restrict_pus(Bitmap::parse("0-2,5"));
+  EXPECT_EQ(topo.online_pus().to_string(), "0-2,5");
+  topo.clear_restrictions();
+  EXPECT_EQ(topo.online_pus().count(), 8u);
+}
+
+TEST(Topology, CopyIsDeepAndKeepsRestrictions) {
+  NodeTopology a = presets::figure2_node("orig");
+  a.set_object_disabled(ResourceType::kCore, 0, true);
+  NodeTopology b = a;
+  EXPECT_EQ(b.online_pus(), a.online_pus());
+  b.clear_restrictions();
+  EXPECT_EQ(b.online_pus().count(), 16u);
+  EXPECT_EQ(a.online_pus().count(), 14u);  // original untouched
+}
+
+TEST(Builder, IrregularTree) {
+  const NodeTopology topo = presets::lopsided_node("odd");
+  EXPECT_EQ(topo.count(ResourceType::kSocket), 2u);
+  EXPECT_EQ(topo.count(ResourceType::kCore), 8u);
+  EXPECT_EQ(topo.pu_count(), 8u);
+  const auto sockets = topo.objects_at(ResourceType::kSocket);
+  EXPECT_EQ(sockets[0]->num_children(), 6u);
+  EXPECT_EQ(sockets[1]->num_children(), 2u);
+  EXPECT_EQ(sockets[1]->cpuset().to_string(), "6-7");
+}
+
+TEST(Builder, NonContiguousOsIndicesAreIndependentOfLogicalOrder) {
+  // Platforms number resources arbitrarily; logical (level) indices and
+  // cpusets must follow tree order, not OS ids.
+  NodeTopology::Builder b("quirky");
+  b.begin(ResourceType::kSocket, 7);
+  b.leaf(ResourceType::kCore, 12);
+  b.leaf(ResourceType::kCore, 3);
+  b.end();
+  b.begin(ResourceType::kSocket, 2);
+  b.leaf(ResourceType::kCore, 40);
+  b.end();
+  const NodeTopology topo = b.build();
+  const auto sockets = topo.objects_at(ResourceType::kSocket);
+  EXPECT_EQ(sockets[0]->os_index(), 7);
+  EXPECT_EQ(sockets[0]->level_index(), 0);
+  EXPECT_EQ(sockets[1]->os_index(), 2);
+  EXPECT_EQ(sockets[1]->level_index(), 1);
+  const auto cores = topo.objects_at(ResourceType::kCore);
+  EXPECT_EQ(cores[0]->os_index(), 12);
+  EXPECT_EQ(cores[0]->cpuset().to_string(), "0");  // logical PU order
+  EXPECT_EQ(cores[2]->os_index(), 40);
+  EXPECT_EQ(cores[2]->cpuset().to_string(), "2");
+}
+
+TEST(Builder, RejectsNonNestingLevels) {
+  NodeTopology::Builder b;
+  b.begin(ResourceType::kCore);
+  EXPECT_THROW(b.begin(ResourceType::kSocket), ParseError);
+}
+
+TEST(Builder, RejectsMixedLeafTypes) {
+  NodeTopology::Builder b;
+  b.begin(ResourceType::kSocket).leaf(ResourceType::kCore).end();
+  b.begin(ResourceType::kSocket)
+      .begin(ResourceType::kCore)
+      .leaf(ResourceType::kHwThread)
+      .end()
+      .end();
+  EXPECT_THROW(b.build(), ParseError);
+}
+
+TEST(Topology, RenderMentionsEveryLevel) {
+  const NodeTopology topo = presets::figure2_node("m0");
+  const std::string out = topo.render();
+  EXPECT_NE(out.find("m0"), std::string::npos);
+  EXPECT_NE(out.find("Processor Socket L#1"), std::string::npos);
+  EXPECT_NE(out.find("Processor Core L#7"), std::string::npos);
+  EXPECT_NE(out.find("Hardware Thread L#15"), std::string::npos);
+}
+
+TEST(Topology, ShapeString) {
+  const NodeTopology topo = presets::figure2_node("m0");
+  EXPECT_EQ(topo.shape_string(), "m0(2 socket x 8 core x 16 pu)");
+}
+
+TEST(Presets, DualSocketNuma) {
+  const NodeTopology topo = presets::dual_socket_numa();
+  EXPECT_EQ(topo.count(ResourceType::kNuma), 4u);
+  EXPECT_EQ(topo.count(ResourceType::kL3), 4u);
+  EXPECT_EQ(topo.count(ResourceType::kL2), 16u);
+  EXPECT_EQ(topo.pu_count(), 32u);
+}
+
+TEST(Presets, QuadBoardSmp) {
+  const NodeTopology topo = presets::quad_board_smp();
+  EXPECT_EQ(topo.count(ResourceType::kBoard), 4u);
+  EXPECT_EQ(topo.pu_count(), 64u);
+  EXPECT_EQ(topo.leaf_type(), ResourceType::kCore);
+}
+
+}  // namespace
+}  // namespace lama

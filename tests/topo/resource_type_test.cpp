@@ -1,0 +1,86 @@
+#include "topo/resource_type.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lama {
+namespace {
+
+TEST(ResourceType, TableIAlphabet) {
+  // The paper's Table I: nine resource levels and their abbreviations.
+  EXPECT_EQ(resource_abbrev(ResourceType::kNode), "n");
+  EXPECT_EQ(resource_abbrev(ResourceType::kBoard), "b");
+  EXPECT_EQ(resource_abbrev(ResourceType::kSocket), "s");
+  EXPECT_EQ(resource_abbrev(ResourceType::kCore), "c");
+  EXPECT_EQ(resource_abbrev(ResourceType::kHwThread), "h");
+  EXPECT_EQ(resource_abbrev(ResourceType::kL1), "L1");
+  EXPECT_EQ(resource_abbrev(ResourceType::kL2), "L2");
+  EXPECT_EQ(resource_abbrev(ResourceType::kL3), "L3");
+  EXPECT_EQ(resource_abbrev(ResourceType::kNuma), "N");
+}
+
+TEST(ResourceType, AbbrevRoundTrip) {
+  for (ResourceType t : all_resource_types()) {
+    const auto back = resource_from_abbrev(resource_abbrev(t));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, t);
+  }
+}
+
+TEST(ResourceType, AbbrevIsCaseSensitive) {
+  // 'n' is Node, 'N' is NUMA — the distinction matters in layouts.
+  EXPECT_EQ(resource_from_abbrev("n"), ResourceType::kNode);
+  EXPECT_EQ(resource_from_abbrev("N"), ResourceType::kNuma);
+  EXPECT_FALSE(resource_from_abbrev("S").has_value());
+  EXPECT_FALSE(resource_from_abbrev("x").has_value());
+  EXPECT_FALSE(resource_from_abbrev("").has_value());
+  EXPECT_FALSE(resource_from_abbrev("L4").has_value());
+}
+
+TEST(ResourceType, CanonicalDepthIsContainmentOrder) {
+  EXPECT_LT(canonical_depth(ResourceType::kNode),
+            canonical_depth(ResourceType::kBoard));
+  EXPECT_LT(canonical_depth(ResourceType::kBoard),
+            canonical_depth(ResourceType::kSocket));
+  EXPECT_LT(canonical_depth(ResourceType::kSocket),
+            canonical_depth(ResourceType::kNuma));
+  EXPECT_LT(canonical_depth(ResourceType::kNuma),
+            canonical_depth(ResourceType::kL3));
+  EXPECT_LT(canonical_depth(ResourceType::kL3),
+            canonical_depth(ResourceType::kL2));
+  EXPECT_LT(canonical_depth(ResourceType::kL2),
+            canonical_depth(ResourceType::kL1));
+  EXPECT_LT(canonical_depth(ResourceType::kL1),
+            canonical_depth(ResourceType::kCore));
+  EXPECT_LT(canonical_depth(ResourceType::kCore),
+            canonical_depth(ResourceType::kHwThread));
+}
+
+TEST(ResourceType, DepthRoundTrip) {
+  for (ResourceType t : all_resource_types()) {
+    EXPECT_EQ(resource_from_depth(canonical_depth(t)), t);
+  }
+}
+
+TEST(ResourceType, KeywordRoundTripAndAliases) {
+  for (ResourceType t : all_resource_types()) {
+    EXPECT_EQ(resource_from_keyword(resource_keyword(t)), t);
+  }
+  EXPECT_EQ(resource_from_keyword("hwthread"), ResourceType::kHwThread);
+  EXPECT_EQ(resource_from_keyword("thread"), ResourceType::kHwThread);
+  EXPECT_EQ(resource_from_keyword("machine"), ResourceType::kNode);
+  EXPECT_FALSE(resource_from_keyword("gpu").has_value());
+}
+
+TEST(ResourceType, NamesAreDistinct) {
+  for (ResourceType a : all_resource_types()) {
+    for (ResourceType b : all_resource_types()) {
+      if (a != b) {
+        EXPECT_NE(resource_name(a), resource_name(b));
+        EXPECT_NE(resource_abbrev(a), resource_abbrev(b));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lama

@@ -1,0 +1,100 @@
+#include "topo/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "support/error.hpp"
+#include "topo/presets.hpp"
+
+namespace lama {
+namespace {
+
+void expect_same_tree(const NodeTopology& a, const NodeTopology& b) {
+  ASSERT_EQ(a.levels(), b.levels());
+  ASSERT_EQ(a.pu_count(), b.pu_count());
+  EXPECT_EQ(a.online_pus(), b.online_pus());
+  for (ResourceType t : a.levels()) {
+    const auto oa = a.objects_at(t);
+    const auto ob = b.objects_at(t);
+    ASSERT_EQ(oa.size(), ob.size()) << resource_name(t);
+    for (std::size_t i = 0; i < oa.size(); ++i) {
+      EXPECT_EQ(oa[i]->cpuset(), ob[i]->cpuset());
+      EXPECT_EQ(oa[i]->os_index(), ob[i]->os_index());
+      EXPECT_EQ(oa[i]->disabled(), ob[i]->disabled());
+    }
+  }
+}
+
+TEST(Serialize, RoundTripUniformTree) {
+  const NodeTopology topo = presets::figure2_node("m0");
+  const NodeTopology back = parse_topology(serialize_topology(topo), "m0");
+  expect_same_tree(topo, back);
+}
+
+TEST(Serialize, RoundTripNumaCacheTree) {
+  const NodeTopology topo = presets::dual_socket_numa();
+  expect_same_tree(topo, parse_topology(serialize_topology(topo)));
+}
+
+TEST(Serialize, RoundTripIrregularTree) {
+  const NodeTopology topo = presets::lopsided_node();
+  expect_same_tree(topo, parse_topology(serialize_topology(topo)));
+}
+
+TEST(Serialize, RoundTripPreservesRestrictions) {
+  NodeTopology topo = presets::figure2_node();
+  topo.set_object_disabled(ResourceType::kSocket, 1, true);
+  topo.set_object_disabled(ResourceType::kCore, 2, true);
+  const NodeTopology back = parse_topology(serialize_topology(topo));
+  expect_same_tree(topo, back);
+  EXPECT_EQ(back.online_pus(), topo.online_pus());
+}
+
+TEST(Serialize, OutputShape) {
+  NodeTopology::Builder b;
+  b.begin(ResourceType::kSocket, 3);
+  b.leaf(ResourceType::kCore, 7);
+  b.end();
+  NodeTopology topo = b.build();
+  topo.set_object_disabled(ResourceType::kCore, 0, true);
+  EXPECT_EQ(serialize_topology(topo), "(node@0 (socket@3 (core@7!)))");
+}
+
+TEST(Serialize, ParseAcceptsWhitespaceVariants) {
+  const NodeTopology topo =
+      parse_topology("  ( node ( socket@0 (core@0) (core@1) ) )  ");
+  EXPECT_EQ(topo.pu_count(), 2u);
+  EXPECT_EQ(topo.count(ResourceType::kSocket), 1u);
+}
+
+TEST(Serialize, DisabledRootOfflinesEverything) {
+  const NodeTopology topo =
+      parse_topology("(node! (socket@0 (core@0) (core@1)))");
+  EXPECT_EQ(topo.pu_count(), 2u);
+  EXPECT_TRUE(topo.online_pus().empty());
+}
+
+TEST(Serialize, ParseErrors) {
+  EXPECT_THROW(parse_topology(""), ParseError);
+  EXPECT_THROW(parse_topology("(socket (core))"), ParseError);
+  EXPECT_THROW(parse_topology("(node (gadget@0))"), ParseError);
+  EXPECT_THROW(parse_topology("(node (socket@0 (core@0))"), ParseError);
+  EXPECT_THROW(parse_topology("(node (socket (node)))"), ParseError);
+  EXPECT_THROW(parse_topology("(node (core)) junk"), ParseError);
+  // Containment violation: core above socket.
+  EXPECT_THROW(parse_topology("(node (core@0 (socket@0)))"), ParseError);
+}
+
+TEST(Serialize, RoundTripThroughClusterCopy) {
+  // Serialization is how a runtime would ship per-node topologies to the
+  // head node; a shipped copy must map identically.
+  const NodeTopology original = presets::dual_socket_numa("remote");
+  const NodeTopology shipped =
+      parse_topology(serialize_topology(original), "remote");
+  Cluster c;
+  c.add_node(shipped);
+  EXPECT_EQ(c.node(0).topo.pu_count(), original.pu_count());
+}
+
+}  // namespace
+}  // namespace lama

@@ -1,0 +1,142 @@
+// lamactl — command-line front end for the whole library: describe a
+// cluster in a file, optionally select nodes with a hostfile, pass any
+// mpirun-style placement options, and inspect the resulting plan; with
+// --pattern, additionally price the mapping under a synthetic workload.
+//
+//   lamactl --cluster cluster.txt -np 24 --map-by lama:scbnh --bind-to core
+//   lamactl --cluster cluster.txt --hostfile hosts.txt -np 8 --by-node
+//   lamactl --cluster cluster.txt --topo
+//   lamactl --cluster cluster.txt -np 32 --pattern ring:8192
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "rte/runtime.hpp"
+#include "sim/evaluator.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace lama;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open file: " + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// "<name>:<bytes>" -> generator; np filled in by the caller.
+TrafficPattern make_pattern(const std::string& spec, int np) {
+  const auto colon = spec.find(':');
+  const std::string name =
+      colon == std::string::npos ? spec : spec.substr(0, colon);
+  const std::size_t bytes =
+      colon == std::string::npos
+          ? 4096
+          : parse_size(spec.substr(colon + 1), "pattern bytes");
+  if (name == "ring") return make_ring(np, bytes);
+  if (name == "alltoall") return make_alltoall(np, bytes);
+  if (name == "pairs") return make_pairs(np, bytes);
+  if (name == "toroidal") return make_toroidal(np, bytes, 0);
+  if (name == "master_worker") return make_master_worker(np, 256, bytes);
+  throw ParseError("unknown pattern '" + name +
+                   "' (ring|alltoall|pairs|toroidal|master_worker)");
+}
+
+int run(const std::vector<std::string>& args) {
+  std::string cluster_path;
+  std::string hostfile_path;
+  std::string pattern_spec;
+  bool show_topo = false;
+  std::vector<std::string> mpirun_args;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto need_value = [&] {
+      if (i + 1 >= args.size()) {
+        throw ParseError("option " + arg + " requires a value");
+      }
+      return args[++i];
+    };
+    if (arg == "--cluster") {
+      cluster_path = need_value();
+    } else if (arg == "--hostfile") {
+      hostfile_path = need_value();
+    } else if (arg == "--pattern") {
+      pattern_spec = need_value();
+    } else if (arg == "--topo") {
+      show_topo = true;
+    } else {
+      mpirun_args.push_back(arg);
+    }
+  }
+  if (cluster_path.empty()) {
+    throw ParseError("--cluster <file> is required");
+  }
+
+  const Cluster cluster = parse_cluster_file(read_file(cluster_path));
+  if (show_topo) {
+    for (std::size_t i = 0; i < cluster.num_nodes(); ++i) {
+      std::printf("%s", cluster.node(i).topo.render().c_str());
+    }
+    return 0;
+  }
+
+  const Allocation alloc =
+      hostfile_path.empty()
+          ? allocate_all(cluster)
+          : parse_hostfile(cluster, read_file(hostfile_path));
+
+  const PlacementSpec spec = parse_mpirun_options(mpirun_args);
+  LaunchPlan plan = plan_job(alloc, JobSpec{}, spec);
+  plan.launch(alloc);
+  std::printf("CLI level %d, %zu processes on %zu nodes\n", spec.level,
+              plan.procs().size(), alloc.num_nodes());
+  std::printf("%s", plan.report_bindings(alloc).c_str());
+  if (plan.mapping().pu_oversubscribed) {
+    std::printf("warning: processing units are oversubscribed\n");
+  }
+  if (plan.mapping().slot_oversubscribed) {
+    std::printf("warning: scheduler slots are oversubscribed\n");
+  }
+
+  if (!pattern_spec.empty()) {
+    const TrafficPattern pattern = make_pattern(
+        pattern_spec, static_cast<int>(plan.procs().size()));
+    const CostReport r = evaluate_mapping(alloc, plan.mapping(), pattern,
+                                          DistanceModel::commodity());
+    TextTable table({"pattern", "total ms", "max-rank ms", "inter-node msgs",
+                     "max NIC MB"});
+    table.add_row({pattern.name, TextTable::cell(r.total_ns / 1e6, 3),
+                   TextTable::cell(r.max_rank_ns / 1e6, 3),
+                   TextTable::cell(r.inter_node_messages),
+                   TextTable::cell(
+                       static_cast<double>(r.max_nic_bytes) / 1e6, 2)});
+    std::printf("\n%s", table.to_string().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(std::vector<std::string>(argv + 1, argv + argc));
+  } catch (const lama::Error& e) {
+    std::fprintf(stderr, "lamactl: %s\n", e.what());
+    std::fprintf(
+        stderr,
+        "usage: lamactl --cluster <file> [--hostfile <file>] [--topo]\n"
+        "               [mpirun options: -np N, --map-by lama:<layout>,\n"
+        "                --bind-to <level>, --by-*, --npernode N, ...]\n"
+        "               [--pattern <name>[:<bytes>]]\n");
+    return 1;
+  }
+}
