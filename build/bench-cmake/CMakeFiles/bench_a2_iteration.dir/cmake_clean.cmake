@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a2_iteration"
+  "../bench/bench_a2_iteration.pdb"
+  "CMakeFiles/bench_a2_iteration.dir/bench_a2_iteration.cpp.o"
+  "CMakeFiles/bench_a2_iteration.dir/bench_a2_iteration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_iteration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

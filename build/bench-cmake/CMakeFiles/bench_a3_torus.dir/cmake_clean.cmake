@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a3_torus"
+  "../bench/bench_a3_torus.pdb"
+  "CMakeFiles/bench_a3_torus.dir/bench_a3_torus.cpp.o"
+  "CMakeFiles/bench_a3_torus.dir/bench_a3_torus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_torus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a4_reorder"
+  "../bench/bench_a4_reorder.pdb"
+  "CMakeFiles/bench_a4_reorder.dir/bench_a4_reorder.cpp.o"
+  "CMakeFiles/bench_a4_reorder.dir/bench_a4_reorder.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_c1_permutations"
+  "../bench/bench_c1_permutations.pdb"
+  "CMakeFiles/bench_c1_permutations.dir/bench_c1_permutations.cpp.o"
+  "CMakeFiles/bench_c1_permutations.dir/bench_c1_permutations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c1_permutations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

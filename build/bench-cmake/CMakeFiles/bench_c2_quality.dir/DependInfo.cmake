@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_c2_quality.cpp" "bench-cmake/CMakeFiles/bench_c2_quality.dir/bench_c2_quality.cpp.o" "gcc" "bench-cmake/CMakeFiles/bench_c2_quality.dir/bench_c2_quality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rte/CMakeFiles/lama_rte.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lama_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lama_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tmatch/CMakeFiles/lama_tmatch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/lama_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/lama_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/lama/CMakeFiles/lama_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/lama_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/lama_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lama_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_c2_quality"
+  "../bench/bench_c2_quality.pdb"
+  "CMakeFiles/bench_c2_quality.dir/bench_c2_quality.cpp.o"
+  "CMakeFiles/bench_c2_quality.dir/bench_c2_quality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c2_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_c3_scaleout"
+  "../bench/bench_c3_scaleout.pdb"
+  "CMakeFiles/bench_c3_scaleout.dir/bench_c3_scaleout.cpp.o"
+  "CMakeFiles/bench_c3_scaleout.dir/bench_c3_scaleout.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c3_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

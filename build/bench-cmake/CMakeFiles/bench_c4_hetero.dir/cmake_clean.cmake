@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_c4_hetero"
+  "../bench/bench_c4_hetero.pdb"
+  "CMakeFiles/bench_c4_hetero.dir/bench_c4_hetero.cpp.o"
+  "CMakeFiles/bench_c4_hetero.dir/bench_c4_hetero.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c4_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

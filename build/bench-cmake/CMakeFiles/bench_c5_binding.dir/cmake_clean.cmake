@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_c5_binding"
+  "../bench/bench_c5_binding.pdb"
+  "CMakeFiles/bench_c5_binding.dir/bench_c5_binding.cpp.o"
+  "CMakeFiles/bench_c5_binding.dir/bench_c5_binding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c5_binding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_c6_treematch"
+  "../bench/bench_c6_treematch.pdb"
+  "CMakeFiles/bench_c6_treematch.dir/bench_c6_treematch.cpp.o"
+  "CMakeFiles/bench_c6_treematch.dir/bench_c6_treematch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c6_treematch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_c8_makespan"
+  "../bench/bench_c8_makespan.pdb"
+  "CMakeFiles/bench_c8_makespan.dir/bench_c8_makespan.cpp.o"
+  "CMakeFiles/bench_c8_makespan.dir/bench_c8_makespan.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c8_makespan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

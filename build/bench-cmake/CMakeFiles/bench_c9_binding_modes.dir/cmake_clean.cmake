@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_c9_binding_modes"
+  "../bench/bench_c9_binding_modes.pdb"
+  "CMakeFiles/bench_c9_binding_modes.dir/bench_c9_binding_modes.cpp.o"
+  "CMakeFiles/bench_c9_binding_modes.dir/bench_c9_binding_modes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c9_binding_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

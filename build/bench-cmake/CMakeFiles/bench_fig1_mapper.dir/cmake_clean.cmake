@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_mapper"
+  "../bench/bench_fig1_mapper.pdb"
+  "CMakeFiles/bench_fig1_mapper.dir/bench_fig1_mapper.cpp.o"
+  "CMakeFiles/bench_fig1_mapper.dir/bench_fig1_mapper.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affinity_mapping.dir/affinity_mapping.cpp.o"
+  "CMakeFiles/affinity_mapping.dir/affinity_mapping.cpp.o.d"
+  "affinity_mapping"
+  "affinity_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affinity_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miniapp_jacobi.dir/miniapp_jacobi.cpp.o"
+  "CMakeFiles/miniapp_jacobi.dir/miniapp_jacobi.cpp.o.d"
+  "miniapp_jacobi"
+  "miniapp_jacobi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miniapp_jacobi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpirun_demo.dir/mpirun_demo.cpp.o"
+  "CMakeFiles/mpirun_demo.dir/mpirun_demo.cpp.o.d"
+  "mpirun_demo"
+  "mpirun_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpirun_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rankfile_irregular.dir/rankfile_irregular.cpp.o"
+  "CMakeFiles/rankfile_irregular.dir/rankfile_irregular.cpp.o.d"
+  "rankfile_irregular"
+  "rankfile_irregular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rankfile_irregular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

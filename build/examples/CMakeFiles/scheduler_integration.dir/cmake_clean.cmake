@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_integration.dir/scheduler_integration.cpp.o"
+  "CMakeFiles/scheduler_integration.dir/scheduler_integration.cpp.o.d"
+  "scheduler_integration"
+  "scheduler_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

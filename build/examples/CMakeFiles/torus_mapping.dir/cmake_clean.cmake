@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torus_mapping.dir/torus_mapping.cpp.o"
+  "CMakeFiles/torus_mapping.dir/torus_mapping.cpp.o.d"
+  "torus_mapping"
+  "torus_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torus_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

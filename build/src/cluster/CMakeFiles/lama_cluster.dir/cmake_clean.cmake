@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lama_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/lama_cluster.dir/cluster.cpp.o.d"
+  "liblama_cluster.a"
+  "liblama_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lama_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

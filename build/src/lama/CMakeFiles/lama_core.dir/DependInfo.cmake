@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lama/baselines.cpp" "src/lama/CMakeFiles/lama_core.dir/baselines.cpp.o" "gcc" "src/lama/CMakeFiles/lama_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/lama/binding.cpp" "src/lama/CMakeFiles/lama_core.dir/binding.cpp.o" "gcc" "src/lama/CMakeFiles/lama_core.dir/binding.cpp.o.d"
+  "/root/repo/src/lama/cli.cpp" "src/lama/CMakeFiles/lama_core.dir/cli.cpp.o" "gcc" "src/lama/CMakeFiles/lama_core.dir/cli.cpp.o.d"
+  "/root/repo/src/lama/iteration.cpp" "src/lama/CMakeFiles/lama_core.dir/iteration.cpp.o" "gcc" "src/lama/CMakeFiles/lama_core.dir/iteration.cpp.o.d"
+  "/root/repo/src/lama/layout.cpp" "src/lama/CMakeFiles/lama_core.dir/layout.cpp.o" "gcc" "src/lama/CMakeFiles/lama_core.dir/layout.cpp.o.d"
+  "/root/repo/src/lama/mapper.cpp" "src/lama/CMakeFiles/lama_core.dir/mapper.cpp.o" "gcc" "src/lama/CMakeFiles/lama_core.dir/mapper.cpp.o.d"
+  "/root/repo/src/lama/maximal_tree.cpp" "src/lama/CMakeFiles/lama_core.dir/maximal_tree.cpp.o" "gcc" "src/lama/CMakeFiles/lama_core.dir/maximal_tree.cpp.o.d"
+  "/root/repo/src/lama/pruned_tree.cpp" "src/lama/CMakeFiles/lama_core.dir/pruned_tree.cpp.o" "gcc" "src/lama/CMakeFiles/lama_core.dir/pruned_tree.cpp.o.d"
+  "/root/repo/src/lama/rankfile.cpp" "src/lama/CMakeFiles/lama_core.dir/rankfile.cpp.o" "gcc" "src/lama/CMakeFiles/lama_core.dir/rankfile.cpp.o.d"
+  "/root/repo/src/lama/rmaps.cpp" "src/lama/CMakeFiles/lama_core.dir/rmaps.cpp.o" "gcc" "src/lama/CMakeFiles/lama_core.dir/rmaps.cpp.o.d"
+  "/root/repo/src/lama/validate.cpp" "src/lama/CMakeFiles/lama_core.dir/validate.cpp.o" "gcc" "src/lama/CMakeFiles/lama_core.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/lama_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/lama_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lama_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lama_core.dir/baselines.cpp.o"
+  "CMakeFiles/lama_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/lama_core.dir/binding.cpp.o"
+  "CMakeFiles/lama_core.dir/binding.cpp.o.d"
+  "CMakeFiles/lama_core.dir/cli.cpp.o"
+  "CMakeFiles/lama_core.dir/cli.cpp.o.d"
+  "CMakeFiles/lama_core.dir/iteration.cpp.o"
+  "CMakeFiles/lama_core.dir/iteration.cpp.o.d"
+  "CMakeFiles/lama_core.dir/layout.cpp.o"
+  "CMakeFiles/lama_core.dir/layout.cpp.o.d"
+  "CMakeFiles/lama_core.dir/mapper.cpp.o"
+  "CMakeFiles/lama_core.dir/mapper.cpp.o.d"
+  "CMakeFiles/lama_core.dir/maximal_tree.cpp.o"
+  "CMakeFiles/lama_core.dir/maximal_tree.cpp.o.d"
+  "CMakeFiles/lama_core.dir/pruned_tree.cpp.o"
+  "CMakeFiles/lama_core.dir/pruned_tree.cpp.o.d"
+  "CMakeFiles/lama_core.dir/rankfile.cpp.o"
+  "CMakeFiles/lama_core.dir/rankfile.cpp.o.d"
+  "CMakeFiles/lama_core.dir/rmaps.cpp.o"
+  "CMakeFiles/lama_core.dir/rmaps.cpp.o.d"
+  "CMakeFiles/lama_core.dir/validate.cpp.o"
+  "CMakeFiles/lama_core.dir/validate.cpp.o.d"
+  "liblama_core.a"
+  "liblama_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lama_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lama_mpi.dir/minimpi.cpp.o"
+  "CMakeFiles/lama_mpi.dir/minimpi.cpp.o.d"
+  "liblama_mpi.a"
+  "liblama_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lama_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

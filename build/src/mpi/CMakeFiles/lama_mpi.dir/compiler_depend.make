@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lama_mpi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/torus.cpp" "src/net/CMakeFiles/lama_net.dir/torus.cpp.o" "gcc" "src/net/CMakeFiles/lama_net.dir/torus.cpp.o.d"
+  "/root/repo/src/net/xyzt.cpp" "src/net/CMakeFiles/lama_net.dir/xyzt.cpp.o" "gcc" "src/net/CMakeFiles/lama_net.dir/xyzt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lama/CMakeFiles/lama_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/lama_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/lama_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lama_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

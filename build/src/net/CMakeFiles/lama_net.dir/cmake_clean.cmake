@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lama_net.dir/torus.cpp.o"
+  "CMakeFiles/lama_net.dir/torus.cpp.o.d"
+  "CMakeFiles/lama_net.dir/xyzt.cpp.o"
+  "CMakeFiles/lama_net.dir/xyzt.cpp.o.d"
+  "liblama_net.a"
+  "liblama_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lama_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

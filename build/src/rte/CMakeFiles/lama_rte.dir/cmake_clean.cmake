@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lama_rte.dir/runtime.cpp.o"
+  "CMakeFiles/lama_rte.dir/runtime.cpp.o.d"
+  "liblama_rte.a"
+  "liblama_rte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lama_rte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/lama_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/lama_sched.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sched/simulation.cpp" "src/sched/CMakeFiles/lama_sched.dir/simulation.cpp.o" "gcc" "src/sched/CMakeFiles/lama_sched.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/lama_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/lama_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lama_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

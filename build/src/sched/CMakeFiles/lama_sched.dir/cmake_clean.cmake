@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lama_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/lama_sched.dir/scheduler.cpp.o.d"
+  "CMakeFiles/lama_sched.dir/simulation.cpp.o"
+  "CMakeFiles/lama_sched.dir/simulation.cpp.o.d"
+  "liblama_sched.a"
+  "liblama_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lama_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/autotune.cpp" "src/sim/CMakeFiles/lama_sim.dir/autotune.cpp.o" "gcc" "src/sim/CMakeFiles/lama_sim.dir/autotune.cpp.o.d"
+  "/root/repo/src/sim/collectives.cpp" "src/sim/CMakeFiles/lama_sim.dir/collectives.cpp.o" "gcc" "src/sim/CMakeFiles/lama_sim.dir/collectives.cpp.o.d"
+  "/root/repo/src/sim/distance_model.cpp" "src/sim/CMakeFiles/lama_sim.dir/distance_model.cpp.o" "gcc" "src/sim/CMakeFiles/lama_sim.dir/distance_model.cpp.o.d"
+  "/root/repo/src/sim/evaluator.cpp" "src/sim/CMakeFiles/lama_sim.dir/evaluator.cpp.o" "gcc" "src/sim/CMakeFiles/lama_sim.dir/evaluator.cpp.o.d"
+  "/root/repo/src/sim/event_sim.cpp" "src/sim/CMakeFiles/lama_sim.dir/event_sim.cpp.o" "gcc" "src/sim/CMakeFiles/lama_sim.dir/event_sim.cpp.o.d"
+  "/root/repo/src/sim/torus_evaluator.cpp" "src/sim/CMakeFiles/lama_sim.dir/torus_evaluator.cpp.o" "gcc" "src/sim/CMakeFiles/lama_sim.dir/torus_evaluator.cpp.o.d"
+  "/root/repo/src/sim/traffic.cpp" "src/sim/CMakeFiles/lama_sim.dir/traffic.cpp.o" "gcc" "src/sim/CMakeFiles/lama_sim.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lama/CMakeFiles/lama_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lama_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/lama_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/lama_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lama_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

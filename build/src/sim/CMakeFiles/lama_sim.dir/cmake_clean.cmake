@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lama_sim.dir/autotune.cpp.o"
+  "CMakeFiles/lama_sim.dir/autotune.cpp.o.d"
+  "CMakeFiles/lama_sim.dir/collectives.cpp.o"
+  "CMakeFiles/lama_sim.dir/collectives.cpp.o.d"
+  "CMakeFiles/lama_sim.dir/distance_model.cpp.o"
+  "CMakeFiles/lama_sim.dir/distance_model.cpp.o.d"
+  "CMakeFiles/lama_sim.dir/evaluator.cpp.o"
+  "CMakeFiles/lama_sim.dir/evaluator.cpp.o.d"
+  "CMakeFiles/lama_sim.dir/event_sim.cpp.o"
+  "CMakeFiles/lama_sim.dir/event_sim.cpp.o.d"
+  "CMakeFiles/lama_sim.dir/torus_evaluator.cpp.o"
+  "CMakeFiles/lama_sim.dir/torus_evaluator.cpp.o.d"
+  "CMakeFiles/lama_sim.dir/traffic.cpp.o"
+  "CMakeFiles/lama_sim.dir/traffic.cpp.o.d"
+  "liblama_sim.a"
+  "liblama_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lama_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lama_support.dir/bitmap.cpp.o"
+  "CMakeFiles/lama_support.dir/bitmap.cpp.o.d"
+  "CMakeFiles/lama_support.dir/error.cpp.o"
+  "CMakeFiles/lama_support.dir/error.cpp.o.d"
+  "CMakeFiles/lama_support.dir/strings.cpp.o"
+  "CMakeFiles/lama_support.dir/strings.cpp.o.d"
+  "CMakeFiles/lama_support.dir/table.cpp.o"
+  "CMakeFiles/lama_support.dir/table.cpp.o.d"
+  "liblama_support.a"
+  "liblama_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lama_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

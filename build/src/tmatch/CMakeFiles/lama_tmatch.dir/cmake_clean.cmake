@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lama_tmatch.dir/comm_matrix.cpp.o"
+  "CMakeFiles/lama_tmatch.dir/comm_matrix.cpp.o.d"
+  "CMakeFiles/lama_tmatch.dir/reorder.cpp.o"
+  "CMakeFiles/lama_tmatch.dir/reorder.cpp.o.d"
+  "CMakeFiles/lama_tmatch.dir/treematch.cpp.o"
+  "CMakeFiles/lama_tmatch.dir/treematch.cpp.o.d"
+  "liblama_tmatch.a"
+  "liblama_tmatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lama_tmatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblama_tmatch.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/node_topology.cpp" "src/topo/CMakeFiles/lama_topo.dir/node_topology.cpp.o" "gcc" "src/topo/CMakeFiles/lama_topo.dir/node_topology.cpp.o.d"
+  "/root/repo/src/topo/object.cpp" "src/topo/CMakeFiles/lama_topo.dir/object.cpp.o" "gcc" "src/topo/CMakeFiles/lama_topo.dir/object.cpp.o.d"
+  "/root/repo/src/topo/presets.cpp" "src/topo/CMakeFiles/lama_topo.dir/presets.cpp.o" "gcc" "src/topo/CMakeFiles/lama_topo.dir/presets.cpp.o.d"
+  "/root/repo/src/topo/random.cpp" "src/topo/CMakeFiles/lama_topo.dir/random.cpp.o" "gcc" "src/topo/CMakeFiles/lama_topo.dir/random.cpp.o.d"
+  "/root/repo/src/topo/resource_type.cpp" "src/topo/CMakeFiles/lama_topo.dir/resource_type.cpp.o" "gcc" "src/topo/CMakeFiles/lama_topo.dir/resource_type.cpp.o.d"
+  "/root/repo/src/topo/serialize.cpp" "src/topo/CMakeFiles/lama_topo.dir/serialize.cpp.o" "gcc" "src/topo/CMakeFiles/lama_topo.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lama_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lama_topo.dir/node_topology.cpp.o"
+  "CMakeFiles/lama_topo.dir/node_topology.cpp.o.d"
+  "CMakeFiles/lama_topo.dir/object.cpp.o"
+  "CMakeFiles/lama_topo.dir/object.cpp.o.d"
+  "CMakeFiles/lama_topo.dir/presets.cpp.o"
+  "CMakeFiles/lama_topo.dir/presets.cpp.o.d"
+  "CMakeFiles/lama_topo.dir/random.cpp.o"
+  "CMakeFiles/lama_topo.dir/random.cpp.o.d"
+  "CMakeFiles/lama_topo.dir/resource_type.cpp.o"
+  "CMakeFiles/lama_topo.dir/resource_type.cpp.o.d"
+  "CMakeFiles/lama_topo.dir/serialize.cpp.o"
+  "CMakeFiles/lama_topo.dir/serialize.cpp.o.d"
+  "liblama_topo.a"
+  "liblama_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lama_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

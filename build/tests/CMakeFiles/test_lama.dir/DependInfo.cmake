@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lama/baselines_test.cpp" "tests/CMakeFiles/test_lama.dir/lama/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/test_lama.dir/lama/baselines_test.cpp.o.d"
+  "/root/repo/tests/lama/binding_sweep_test.cpp" "tests/CMakeFiles/test_lama.dir/lama/binding_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/test_lama.dir/lama/binding_sweep_test.cpp.o.d"
+  "/root/repo/tests/lama/binding_test.cpp" "tests/CMakeFiles/test_lama.dir/lama/binding_test.cpp.o" "gcc" "tests/CMakeFiles/test_lama.dir/lama/binding_test.cpp.o.d"
+  "/root/repo/tests/lama/cached_permutation_test.cpp" "tests/CMakeFiles/test_lama.dir/lama/cached_permutation_test.cpp.o" "gcc" "tests/CMakeFiles/test_lama.dir/lama/cached_permutation_test.cpp.o.d"
+  "/root/repo/tests/lama/caps_test.cpp" "tests/CMakeFiles/test_lama.dir/lama/caps_test.cpp.o" "gcc" "tests/CMakeFiles/test_lama.dir/lama/caps_test.cpp.o.d"
+  "/root/repo/tests/lama/cli_test.cpp" "tests/CMakeFiles/test_lama.dir/lama/cli_test.cpp.o" "gcc" "tests/CMakeFiles/test_lama.dir/lama/cli_test.cpp.o.d"
+  "/root/repo/tests/lama/fuzz_test.cpp" "tests/CMakeFiles/test_lama.dir/lama/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/test_lama.dir/lama/fuzz_test.cpp.o.d"
+  "/root/repo/tests/lama/iteration_test.cpp" "tests/CMakeFiles/test_lama.dir/lama/iteration_test.cpp.o" "gcc" "tests/CMakeFiles/test_lama.dir/lama/iteration_test.cpp.o.d"
+  "/root/repo/tests/lama/layout_test.cpp" "tests/CMakeFiles/test_lama.dir/lama/layout_test.cpp.o" "gcc" "tests/CMakeFiles/test_lama.dir/lama/layout_test.cpp.o.d"
+  "/root/repo/tests/lama/mapper_property_test.cpp" "tests/CMakeFiles/test_lama.dir/lama/mapper_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_lama.dir/lama/mapper_property_test.cpp.o.d"
+  "/root/repo/tests/lama/mapper_test.cpp" "tests/CMakeFiles/test_lama.dir/lama/mapper_test.cpp.o" "gcc" "tests/CMakeFiles/test_lama.dir/lama/mapper_test.cpp.o.d"
+  "/root/repo/tests/lama/maximal_tree_test.cpp" "tests/CMakeFiles/test_lama.dir/lama/maximal_tree_test.cpp.o" "gcc" "tests/CMakeFiles/test_lama.dir/lama/maximal_tree_test.cpp.o.d"
+  "/root/repo/tests/lama/multi_pu_test.cpp" "tests/CMakeFiles/test_lama.dir/lama/multi_pu_test.cpp.o" "gcc" "tests/CMakeFiles/test_lama.dir/lama/multi_pu_test.cpp.o.d"
+  "/root/repo/tests/lama/pruned_tree_test.cpp" "tests/CMakeFiles/test_lama.dir/lama/pruned_tree_test.cpp.o" "gcc" "tests/CMakeFiles/test_lama.dir/lama/pruned_tree_test.cpp.o.d"
+  "/root/repo/tests/lama/rankfile_test.cpp" "tests/CMakeFiles/test_lama.dir/lama/rankfile_test.cpp.o" "gcc" "tests/CMakeFiles/test_lama.dir/lama/rankfile_test.cpp.o.d"
+  "/root/repo/tests/lama/rmaps_test.cpp" "tests/CMakeFiles/test_lama.dir/lama/rmaps_test.cpp.o" "gcc" "tests/CMakeFiles/test_lama.dir/lama/rmaps_test.cpp.o.d"
+  "/root/repo/tests/lama/validate_test.cpp" "tests/CMakeFiles/test_lama.dir/lama/validate_test.cpp.o" "gcc" "tests/CMakeFiles/test_lama.dir/lama/validate_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rte/CMakeFiles/lama_rte.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lama_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lama_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tmatch/CMakeFiles/lama_tmatch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/lama_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/lama_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/lama/CMakeFiles/lama_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/lama_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/lama_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lama_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rte.dir/rte/integration_test.cpp.o"
+  "CMakeFiles/test_rte.dir/rte/integration_test.cpp.o.d"
+  "CMakeFiles/test_rte.dir/rte/runtime_test.cpp.o"
+  "CMakeFiles/test_rte.dir/rte/runtime_test.cpp.o.d"
+  "test_rte"
+  "test_rte.pdb"
+  "test_rte[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/autotune_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/autotune_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/collectives_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/collectives_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/distance_model_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/distance_model_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/evaluator_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/evaluator_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/event_sim_fuzz_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/event_sim_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/event_sim_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/event_sim_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/torus_evaluator_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/torus_evaluator_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/traffic_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/traffic_test.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tmatch.dir/tmatch/comm_matrix_test.cpp.o"
+  "CMakeFiles/test_tmatch.dir/tmatch/comm_matrix_test.cpp.o.d"
+  "CMakeFiles/test_tmatch.dir/tmatch/reorder_test.cpp.o"
+  "CMakeFiles/test_tmatch.dir/tmatch/reorder_test.cpp.o.d"
+  "CMakeFiles/test_tmatch.dir/tmatch/treematch_test.cpp.o"
+  "CMakeFiles/test_tmatch.dir/tmatch/treematch_test.cpp.o.d"
+  "test_tmatch"
+  "test_tmatch.pdb"
+  "test_tmatch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tmatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

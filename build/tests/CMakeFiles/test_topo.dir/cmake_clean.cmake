@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topo.dir/topo/node_topology_test.cpp.o"
+  "CMakeFiles/test_topo.dir/topo/node_topology_test.cpp.o.d"
+  "CMakeFiles/test_topo.dir/topo/resource_type_test.cpp.o"
+  "CMakeFiles/test_topo.dir/topo/resource_type_test.cpp.o.d"
+  "CMakeFiles/test_topo.dir/topo/serialize_test.cpp.o"
+  "CMakeFiles/test_topo.dir/topo/serialize_test.cpp.o.d"
+  "test_topo"
+  "test_topo.pdb"
+  "test_topo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

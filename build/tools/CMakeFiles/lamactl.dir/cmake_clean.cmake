@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lamactl.dir/lamactl.cpp.o"
+  "CMakeFiles/lamactl.dir/lamactl.cpp.o.d"
+  "lamactl"
+  "lamactl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lamactl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

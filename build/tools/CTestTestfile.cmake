@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(lamactl_map "/root/repo/build/tools/lamactl" "--cluster" "/root/repo/build/demo-cluster.txt" "-np" "8" "--map-by" "lama:scbnh" "--bind-to" "core")
+set_tests_properties(lamactl_map PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(lamactl_topo "/root/repo/build/tools/lamactl" "--cluster" "/root/repo/build/demo-cluster.txt" "--topo")
+set_tests_properties(lamactl_topo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(lamactl_hostfile "/root/repo/build/tools/lamactl" "--cluster" "/root/repo/build/demo-cluster.txt" "--hostfile" "/root/repo/build/demo-hosts.txt" "-np" "4" "--by-node")
+set_tests_properties(lamactl_hostfile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(lamactl_pattern "/root/repo/build/tools/lamactl" "--cluster" "/root/repo/build/demo-cluster.txt" "-np" "16" "--by-slot" "--pattern" "ring:8192")
+set_tests_properties(lamactl_pattern PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(lamactl_rejects_missing_cluster "/root/repo/build/tools/lamactl" "-np" "2")
+set_tests_properties(lamactl_rejects_missing_cluster PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(lamactl_npernode "/root/repo/build/tools/lamactl" "--cluster" "/root/repo/build/demo-cluster.txt" "-np" "6" "--map-by" "lama:hcsbn" "--npernode" "2")
+set_tests_properties(lamactl_npernode PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;28;add_test;/root/repo/tools/CMakeLists.txt;0;")
