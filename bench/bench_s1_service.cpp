@@ -1,0 +1,138 @@
+// S1 — the mapping service against the uncached path. A scheduler that
+// re-maps jobs as they start pays the maximal-tree construction on every
+// request; the service pays it once per (allocation, layout) key and then
+// serves from the sharded cache. Both benchmarks push the identical request
+// stream — deep 48-node allocations, small jobs (np=8), a handful of
+// layouts — so items/sec is directly comparable; the headline number is the
+// warm-cache throughput multiple over the uncached baseline. The service
+// runs report the cache counters (hits/misses/coalesced sum to requests).
+#include <benchmark/benchmark.h>
+
+#include "lama/rmaps.hpp"
+#include "svc/service.hpp"
+
+namespace {
+
+using namespace lama;
+
+// Deep modern topology: 7 levels, 16 PUs per node, 48 nodes. Tree build
+// cost scales with the whole machine; a mapping of np=8 touches almost
+// none of it, which is exactly the regime a cache pays off in.
+constexpr const char* kDeepNode = "socket:2 numa:2 l3:1 l2:2 core:2 pu:2";
+
+constexpr const char* kLayouts[] = {"scbnh", "hcsbn", "nhcsb",
+                                    "hcL1L2L3Nsbn"};
+
+struct Stream {
+  std::vector<Allocation> allocs;
+  std::vector<std::pair<std::size_t, std::string>> requests;  // (alloc, spec)
+};
+
+Stream make_stream() {
+  Stream s;
+  s.allocs.push_back(allocate_all(Cluster::homogeneous(48, kDeepNode)));
+  s.allocs.push_back(allocate_all(Cluster::homogeneous(32, kDeepNode)));
+  for (std::size_t ai = 0; ai < s.allocs.size(); ++ai) {
+    for (const char* layout : kLayouts) {
+      s.requests.emplace_back(ai, std::string("lama:") + layout);
+    }
+  }
+  return s;
+}
+
+// Baseline: every request goes through the registry and rebuilds the
+// maximal tree from scratch, single-threaded — what `lamactl map` does.
+void BM_UncachedRegistry(benchmark::State& state) {
+  const Stream stream = make_stream();
+  const RmapsRegistry registry;
+  for (auto _ : state) {
+    for (const auto& [ai, spec] : stream.requests) {
+      benchmark::DoNotOptimize(
+          registry.map(spec, stream.allocs[ai], {.np = 8}));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(stream.requests.size()));
+}
+BENCHMARK(BM_UncachedRegistry)->Unit(benchmark::kMillisecond);
+
+// The service with a warm sharded cache: the per-request cost is a
+// fingerprint lookup plus the mapping walk over the cached tree.
+void BM_WarmServiceSingle(benchmark::State& state) {
+  const Stream stream = make_stream();
+  svc::MappingService service(
+      {.workers = 0, .cache_shards = 8, .shard_capacity = 64});
+  std::vector<svc::InternedAlloc> interned;
+  for (const Allocation& a : stream.allocs) interned.push_back(service.intern(a));
+  // Warm every key once outside the timed region.
+  for (const auto& [ai, spec] : stream.requests) {
+    service.map({interned[ai], spec, {.np = 8}});
+  }
+  for (auto _ : state) {
+    for (const auto& [ai, spec] : stream.requests) {
+      benchmark::DoNotOptimize(service.map({interned[ai], spec, {.np = 8}}));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(stream.requests.size()));
+  const svc::Counters& c = service.counters();
+  state.counters["requests"] = static_cast<double>(c.requests.load());
+  state.counters["hits"] = static_cast<double>(c.cache_hits.load());
+  state.counters["misses"] = static_cast<double>(c.cache_misses.load());
+  state.counters["coalesced"] = static_cast<double>(c.coalesced.load());
+}
+BENCHMARK(BM_WarmServiceSingle)->Unit(benchmark::kMillisecond);
+
+// Same stream through map_batch on an 8-worker pool — the deployment shape
+// of `lamactl serve`. On a single-core host this measures pool overhead,
+// not parallel speedup; the cache still carries the win.
+void BM_WarmServiceBatch8Workers(benchmark::State& state) {
+  const Stream stream = make_stream();
+  svc::MappingService service(
+      {.workers = 8, .cache_shards = 8, .shard_capacity = 64});
+  std::vector<svc::InternedAlloc> interned;
+  for (const Allocation& a : stream.allocs) interned.push_back(service.intern(a));
+  std::vector<svc::MapRequest> batch;
+  for (const auto& [ai, spec] : stream.requests) {
+    batch.push_back({interned[ai], spec, {.np = 8}});
+  }
+  benchmark::DoNotOptimize(service.map_batch(batch));  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.map_batch(batch));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch.size()));
+  const svc::Counters& c = service.counters();
+  state.counters["requests"] = static_cast<double>(c.requests.load());
+  state.counters["hits"] = static_cast<double>(c.cache_hits.load());
+  state.counters["misses"] = static_cast<double>(c.cache_misses.load());
+  state.counters["coalesced"] = static_cast<double>(c.coalesced.load());
+}
+BENCHMARK(BM_WarmServiceBatch8Workers)->Unit(benchmark::kMillisecond);
+
+// Cold service: every request misses (capacity 0 disables storage). This
+// prices the miss path: tree build plus the defensive deep copy of the
+// allocation each CachedTree owns, so it lands above the registry baseline
+// — the premium the warm-path hits amortize away.
+void BM_ColdService(benchmark::State& state) {
+  const Stream stream = make_stream();
+  svc::MappingService service(
+      {.workers = 0, .cache_shards = 1, .shard_capacity = 0});
+  std::vector<svc::InternedAlloc> interned;
+  for (const Allocation& a : stream.allocs) interned.push_back(service.intern(a));
+  for (auto _ : state) {
+    for (const auto& [ai, spec] : stream.requests) {
+      benchmark::DoNotOptimize(service.map({interned[ai], spec, {.np = 8}}));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(stream.requests.size()));
+  const svc::Counters& c = service.counters();
+  state.counters["requests"] = static_cast<double>(c.requests.load());
+  state.counters["misses"] = static_cast<double>(c.cache_misses.load());
+}
+BENCHMARK(BM_ColdService)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -192,8 +192,11 @@ struct MapRun {
 
 }  // namespace
 
-MappingResult lama_map(const Allocation& alloc, const ProcessLayout& layout,
-                       const MapOptions& opts) {
+namespace {
+
+// Input validation shared by the build-a-tree and shared-tree entry points.
+void validate_map_inputs(const Allocation& alloc, const ProcessLayout& layout,
+                         const MapOptions& opts) {
   if (opts.np == 0) throw MappingError("number of processes must be positive");
   if (opts.pus_per_proc == 0) {
     throw MappingError("processes need at least one processing unit");
@@ -210,8 +213,20 @@ MappingResult lama_map(const Allocation& alloc, const ProcessLayout& layout,
                          "' requires that level in the process layout");
     }
   }
+}
 
+}  // namespace
+
+MappingResult lama_map(const Allocation& alloc, const ProcessLayout& layout,
+                       const MapOptions& opts) {
+  validate_map_inputs(alloc, layout, opts);  // fail before building the tree
   MaximalTree mtree(alloc, layout);
+  return lama_map(alloc, layout, opts, mtree);
+}
+
+MappingResult lama_map(const Allocation& alloc, const ProcessLayout& layout,
+                       const MapOptions& opts, const MaximalTree& mtree) {
+  validate_map_inputs(alloc, layout, opts);
   if (!opts.allow_oversubscribe &&
       opts.np * opts.pus_per_proc > mtree.online_pu_capacity()) {
     throw OversubscribeError(

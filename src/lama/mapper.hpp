@@ -14,6 +14,8 @@
 
 namespace lama {
 
+class MaximalTree;
+
 struct MapOptions {
   // Number of processes to place. Must be positive.
   std::size_t np = 0;
@@ -56,5 +58,14 @@ MappingResult lama_map(const Allocation& alloc, const ProcessLayout& layout,
 // Convenience overload: parse the layout string first.
 MappingResult lama_map(const Allocation& alloc, const std::string& layout,
                        const MapOptions& opts);
+
+// Maps onto a pre-built maximal tree. `mtree` must have been constructed
+// from this same `alloc` and `layout`; it is only read, never written, so
+// one shared tree may serve many concurrent lama_map calls — this is the
+// cached fast path of the mapping service (svc/), which pays the tree
+// construction once per distinct (allocation, layout) and amortizes it over
+// every repeated query.
+MappingResult lama_map(const Allocation& alloc, const ProcessLayout& layout,
+                       const MapOptions& opts, const MaximalTree& mtree);
 
 }  // namespace lama

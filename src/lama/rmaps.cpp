@@ -19,7 +19,7 @@ class LamaComponent final : public RmapsComponent {
                                   const MapOptions& opts) const override {
     // Default layout when none given: the full pack (by-slot equivalent),
     // mirroring the Level-1 default of the CLI.
-    const std::string layout = args.empty() ? "hcL1L2L3Nsbn" : args;
+    const std::string layout = args.empty() ? kLamaDefaultLayout : args;
     return lama_map(alloc, layout, opts);
   }
 };
@@ -100,14 +100,21 @@ const RmapsComponent& RmapsRegistry::default_component() const {
   return *best;
 }
 
+std::pair<std::string, std::string> split_rmaps_spec(const std::string& spec) {
+  const auto colon = spec.find(':');
+  std::string name = colon == std::string::npos ? spec : spec.substr(0, colon);
+  std::string args =
+      colon == std::string::npos ? "" : spec.substr(colon + 1);
+  if (name.empty()) {
+    throw ParseError("rmaps spec has empty component name: '" + spec + "'");
+  }
+  return {std::move(name), std::move(args)};
+}
+
 MappingResult RmapsRegistry::map(const std::string& spec,
                                  const Allocation& alloc,
                                  const MapOptions& opts) const {
-  const auto colon = spec.find(':');
-  const std::string name =
-      colon == std::string::npos ? spec : spec.substr(0, colon);
-  const std::string args =
-      colon == std::string::npos ? "" : spec.substr(colon + 1);
+  const auto [name, args] = split_rmaps_spec(spec);
   const RmapsComponent* component = find(name);
   if (component == nullptr) {
     throw MappingError("unknown rmaps component: '" + name + "'");

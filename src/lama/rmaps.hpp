@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -17,6 +18,16 @@
 #include "lama/mapping.hpp"
 
 namespace lama {
+
+// Layout the "lama" component falls back to when its spec carries no args
+// ("lama" vs "lama:scbnh"): the full pack, the by-slot equivalent. Exposed
+// so other front ends (the mapping service's cached path) resolve specs
+// identically to the registry.
+inline constexpr const char* kLamaDefaultLayout = "hcL1L2L3Nsbn";
+
+// Splits a "name[:args]" spec into its component name and argument string.
+// Throws ParseError when the component name is empty ("" or ":scbnh").
+std::pair<std::string, std::string> split_rmaps_spec(const std::string& spec);
 
 class RmapsComponent {
  public:

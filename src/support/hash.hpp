@@ -1,0 +1,43 @@
+// Stable 64-bit hashing shared by fingerprints and cache keys. FNV-1a over
+// bytes with a splitmix64 finalizer: the result must be identical across
+// runs, platforms, and processes (cache keys and wire-level fingerprints are
+// compared between builds), so std::hash — which gives no such guarantee —
+// is deliberately not used.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace lama {
+
+inline constexpr std::uint64_t kFnv64Offset = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnv64Prime = 1099511628211ULL;
+
+// FNV-1a over the bytes of `text`, continuing from `seed` so hashes chain.
+constexpr std::uint64_t fnv1a64(std::string_view text,
+                                std::uint64_t seed = kFnv64Offset) {
+  std::uint64_t h = seed;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnv64Prime;
+  }
+  return h;
+}
+
+// splitmix64 finalizer: avalanches the weakly-mixed low bits of FNV so
+// truncations (shard selection, bucket masks) stay uniform.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// Order-dependent combination of two 64-bit hashes.
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace lama

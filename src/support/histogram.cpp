@@ -1,0 +1,62 @@
+#include "support/histogram.hpp"
+
+#include <bit>
+#include <cstdio>
+
+namespace lama {
+
+void LatencyHistogram::record_ns(std::uint64_t ns) {
+  std::size_t idx = std::bit_width(ns);  // 0 -> 0, [2^(i-1), 2^i) -> i
+  if (idx >= kNumBuckets) idx = kNumBuckets - 1;
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (ns > seen &&
+         !max_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+}
+
+double LatencyHistogram::mean_ns() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum_ns()) / static_cast<double>(n);
+}
+
+std::uint64_t LatencyHistogram::percentile_ns(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // Rank of the percentile sample (1-based, nearest-rank definition).
+  std::uint64_t rank = static_cast<std::uint64_t>(p / 100.0 *
+                                                  static_cast<double>(n));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    seen += bucket(i);
+    if (seen >= rank) {
+      return i == 0 ? 0 : (1ULL << i) - 1;  // inclusive upper bound
+    }
+  }
+  return max_ns();
+}
+
+std::string LatencyHistogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean_us=%.1f p50_us=%llu p99_us=%llu max_us=%llu",
+                static_cast<unsigned long long>(count()), mean_ns() / 1e3,
+                static_cast<unsigned long long>(percentile_ns(50) / 1000),
+                static_cast<unsigned long long>(percentile_ns(99) / 1000),
+                static_cast<unsigned long long>(max_ns() / 1000));
+  return buf;
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace lama

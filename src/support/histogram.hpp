@@ -1,0 +1,54 @@
+// A lock-free latency histogram with power-of-two nanosecond buckets.
+// record() is wait-free (relaxed atomics), so the mapping service can stamp
+// every request stage without serializing its workers; readers get a
+// consistent-enough snapshot for operational metrics (exact linearization of
+// concurrent updates is deliberately not promised).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace lama {
+
+class LatencyHistogram {
+ public:
+  // Bucket i counts samples in [2^(i-1), 2^i) ns; bucket 0 counts 0 ns.
+  // 2^40 ns ≈ 18 minutes — anything slower saturates into the last bucket.
+  static constexpr std::size_t kNumBuckets = 41;
+
+  void record_ns(std::uint64_t ns);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum_ns() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max_ns() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean_ns() const;
+
+  // Upper bound (ns) of the bucket holding the p-th percentile sample,
+  // p in [0, 100]. 0 when the histogram is empty.
+  [[nodiscard]] std::uint64_t percentile_ns(double p) const;
+
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  // "count=182 mean_us=12.4 p50_us=8 p99_us=131 max_us=204"
+  [[nodiscard]] std::string summary() const;
+
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace lama

@@ -1,0 +1,76 @@
+// A bounded map with least-recently-used eviction — the building block of
+// the mapping service's sharded tree cache. Single-threaded by design: each
+// cache shard wraps one LruMap behind its own mutex, which keeps this class
+// free of synchronization cost for non-concurrent users (and trivially
+// testable).
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace lama {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruMap {
+ public:
+  // A capacity of 0 disables storage entirely: every get() misses and every
+  // put() is dropped (the service's "caching off" configuration).
+  explicit LruMap(std::size_t capacity) : capacity_(capacity) {}
+
+  // Value for `key`, promoting it to most-recently-used; nullptr on miss.
+  // The pointer is invalidated by the next put() or erase().
+  [[nodiscard]] Value* get(const Key& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  // Inserts or overwrites; the new entry becomes most-recently-used. Evicts
+  // the least-recently-used entry when full.
+  void put(const Key& key, Value value) {
+    if (capacity_ == 0) return;
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (order_.size() == capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+      ++evictions_;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_.emplace(key, order_.begin());
+  }
+
+  bool erase(const Key& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    order_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  [[nodiscard]] bool contains(const Key& key) const {
+    return index_.find(key) != index_.end();
+  }
+
+  [[nodiscard]] std::size_t size() const { return order_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  // Entries dropped to make room since construction.
+  [[nodiscard]] std::size_t evictions() const { return evictions_; }
+
+ private:
+  using Entry = std::pair<Key, Value>;
+
+  std::size_t capacity_;
+  std::list<Entry> order_;  // front = most recently used
+  std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> index_;
+  std::size_t evictions_ = 0;
+};
+
+}  // namespace lama

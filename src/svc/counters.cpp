@@ -1,0 +1,62 @@
+#include "svc/counters.hpp"
+
+#include <cstdio>
+
+namespace lama::svc {
+
+namespace {
+
+std::uint64_t load(const std::atomic<std::uint64_t>& a) {
+  return a.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::string Counters::stats_line() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "requests=%llu completed=%llu errors=%llu hits=%llu misses=%llu "
+      "coalesced=%llu evictions=%llu uncached=%llu map_p50_us=%llu "
+      "map_p99_us=%llu build_p99_us=%llu total_p99_us=%llu",
+      static_cast<unsigned long long>(load(requests)),
+      static_cast<unsigned long long>(load(completed)),
+      static_cast<unsigned long long>(load(errors)),
+      static_cast<unsigned long long>(load(cache_hits)),
+      static_cast<unsigned long long>(load(cache_misses)),
+      static_cast<unsigned long long>(load(coalesced)),
+      static_cast<unsigned long long>(load(evictions)),
+      static_cast<unsigned long long>(load(uncached)),
+      static_cast<unsigned long long>(map_ns.percentile_ns(50) / 1000),
+      static_cast<unsigned long long>(map_ns.percentile_ns(99) / 1000),
+      static_cast<unsigned long long>(build_ns.percentile_ns(99) / 1000),
+      static_cast<unsigned long long>(total_ns.percentile_ns(99) / 1000));
+  return buf;
+}
+
+std::string Counters::render() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "requests  %llu (completed %llu, errors %llu)\n",
+                static_cast<unsigned long long>(load(requests)),
+                static_cast<unsigned long long>(load(completed)),
+                static_cast<unsigned long long>(load(errors)));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "tree cache  hits %llu, misses %llu, coalesced %llu, "
+                "evictions %llu, uncached %llu\n",
+                static_cast<unsigned long long>(load(cache_hits)),
+                static_cast<unsigned long long>(load(cache_misses)),
+                static_cast<unsigned long long>(load(coalesced)),
+                static_cast<unsigned long long>(load(evictions)),
+                static_cast<unsigned long long>(load(uncached)));
+  out += buf;
+  out += "lookup  " + lookup_ns.summary() + "\n";
+  out += "build   " + build_ns.summary() + "\n";
+  out += "map     " + map_ns.summary() + "\n";
+  out += "total   " + total_ns.summary() + "\n";
+  return out;
+}
+
+}  // namespace lama::svc

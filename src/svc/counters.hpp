@@ -1,0 +1,45 @@
+// Request metrics for the mapping service. All counters are monotonic
+// atomics updated wait-free from worker threads; the histograms bucket
+// per-stage latencies (cache lookup, tree build, mapping walk, end-to-end).
+// The invariant the benchmark and tests pin down: for every request that
+// consults the tree cache, exactly one of cache_hits / cache_misses /
+// coalesced is incremented — the three sum to the number of cached-path
+// requests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "support/histogram.hpp"
+
+namespace lama::svc {
+
+struct Counters {
+  // Request accounting.
+  std::atomic<std::uint64_t> requests{0};   // accepted
+  std::atomic<std::uint64_t> completed{0};  // finished, success or error
+  std::atomic<std::uint64_t> errors{0};     // finished with an error
+
+  // Tree-cache accounting (cached "lama" path only; baseline components
+  // bypass the cache and appear in `uncached`).
+  std::atomic<std::uint64_t> cache_hits{0};    // tree served from the LRU
+  std::atomic<std::uint64_t> cache_misses{0};  // this request built the tree
+  std::atomic<std::uint64_t> coalesced{0};     // waited on an in-flight build
+  std::atomic<std::uint64_t> evictions{0};     // trees dropped by LRU policy
+  std::atomic<std::uint64_t> uncached{0};      // requests that skip the cache
+
+  // Per-stage latencies.
+  LatencyHistogram lookup_ns;  // cache probe, excluding build/wait
+  LatencyHistogram build_ns;   // maximal-tree construction on a miss
+  LatencyHistogram map_ns;     // the mapping walk itself
+  LatencyHistogram total_ns;   // end-to-end per request
+
+  // One "key=value" line for the wire protocol's STATS response.
+  [[nodiscard]] std::string stats_line() const;
+
+  // Multi-line human-readable rendering (lamactl serve --stats).
+  [[nodiscard]] std::string render() const;
+};
+
+}  // namespace lama::svc

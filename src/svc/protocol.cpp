@@ -1,0 +1,226 @@
+#include "svc/protocol.hpp"
+
+#include <istream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "topo/serialize.hpp"
+
+namespace lama::svc {
+
+namespace {
+
+// One named allocation being assembled by NODE lines. Interning is lazy and
+// re-done after further NODE lines (a MAP between NODEs sees the allocation
+// as defined so far).
+struct AllocEntry {
+  std::string text;  // wire form accumulated from NODE lines
+  std::size_t num_nodes = 0;
+  InternedAlloc interned;
+  bool dirty = true;
+};
+
+struct Session {
+  MappingService& service;
+  std::map<std::string, AllocEntry> allocs;
+
+  const InternedAlloc& interned(const std::string& id) {
+    const auto it = allocs.find(id);
+    if (it == allocs.end()) {
+      throw ParseError("unknown allocation id '" + id +
+                       "' (define it with NODE lines first)");
+    }
+    AllocEntry& entry = it->second;
+    if (entry.dirty) {
+      entry.interned = service.intern_serialized(entry.text);
+      entry.dirty = false;
+    }
+    return entry.interned;
+  }
+};
+
+// "MAP <alloc-id> <np> <spec> [key=value ...]" -> a service request.
+MapRequest parse_map_command(Session& session,
+                             const std::vector<std::string>& tokens) {
+  if (tokens.size() < 4) {
+    throw ParseError("MAP needs '<alloc-id> <np> <spec>'");
+  }
+  MapRequest request;
+  request.alloc = session.interned(tokens[1]);
+  request.opts.np = parse_size(tokens[2], "MAP process count");
+  request.spec = tokens[3];
+  for (std::size_t i = 4; i < tokens.size(); ++i) {
+    const auto eq = tokens[i].find('=');
+    if (eq == std::string::npos) {
+      throw ParseError("MAP option must be key=value: '" + tokens[i] + "'");
+    }
+    const std::string key = tokens[i].substr(0, eq);
+    const std::string value = tokens[i].substr(eq + 1);
+    if (key == "oversub") {
+      request.opts.allow_oversubscribe =
+          parse_size(value, "MAP oversub") != 0;
+    } else if (key == "pus") {
+      request.opts.pus_per_proc = parse_size(value, "MAP pus");
+    } else if (key == "npernode") {
+      request.opts.set_cap(ResourceType::kNode,
+                           parse_size(value, "MAP npernode"));
+    } else if (key == "bind") {
+      request.binding = BindingPolicy{parse_bind_target(value)};
+    } else {
+      throw ParseError("unknown MAP option '" + key + "'");
+    }
+  }
+  return request;
+}
+
+std::string csv(const std::vector<std::size_t>& values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(values[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string format_map_response(const MapResponse& response) {
+  if (!response.ok()) return "ERR " + response.error;
+  std::vector<std::size_t> nodes, pus;
+  nodes.reserve(response.mapping.num_procs());
+  pus.reserve(response.mapping.num_procs());
+  for (const Placement& p : response.mapping.placements) {
+    nodes.push_back(p.node);
+    pus.push_back(p.representative_pu());
+  }
+  std::string out = "OK hit=" + std::to_string(response.cache_hit ? 1 : 0) +
+                    " coalesced=" + std::to_string(response.coalesced ? 1 : 0) +
+                    " np=" + std::to_string(response.mapping.num_procs()) +
+                    " sweeps=" + std::to_string(response.mapping.sweeps) +
+                    " nodes=" + csv(nodes) + " pus=" + csv(pus);
+  if (response.binding.has_value()) {
+    std::vector<std::size_t> widths;
+    widths.reserve(response.binding->bindings.size());
+    for (const ProcessBinding& b : response.binding->bindings) {
+      widths.push_back(b.width);
+    }
+    out += " widths=" + csv(widths);
+  }
+  return out;
+}
+
+std::string format_query(const Allocation& alloc, const std::string& alloc_id,
+                         std::size_t np, const std::string& spec,
+                         const std::string& options) {
+  std::string out;
+  for (std::size_t i = 0; i < alloc.num_nodes(); ++i) {
+    const AllocatedNode& node = alloc.node(i);
+    out += "NODE " + alloc_id + " " + std::to_string(node.slots) + " " +
+           serialize_topology(node.topo) + "\n";
+  }
+  out += "MAP " + alloc_id + " " + std::to_string(np) + " " + spec;
+  if (!options.empty()) out += " " + options;
+  out += "\n";
+  return out;
+}
+
+std::size_t serve(std::istream& in, std::ostream& out,
+                  MappingService& service, bool stats_at_eof) {
+  Session session{service, {}};
+  std::size_t served = 0;
+  std::string line;
+
+  // Parses upcoming MAP lines of a BATCH; a parse failure becomes an ERR
+  // response in that request's slot without aborting the batch.
+  const auto parse_batch_line =
+      [&](const std::string& text) -> std::optional<MapRequest> {
+    const std::vector<std::string> tokens = split_ws(text);
+    if (tokens.empty() || tokens[0] != "MAP") {
+      throw ParseError("BATCH expects MAP lines, got: '" + trim(text) + "'");
+    }
+    return parse_map_command(session, tokens);
+  };
+
+  while (std::getline(in, line)) {
+    const std::string trimmed = trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const std::vector<std::string> tokens = split_ws(trimmed);
+    const std::string& cmd = tokens[0];
+    try {
+      if (cmd == "NODE") {
+        if (tokens.size() < 4) {
+          throw ParseError("NODE needs '<alloc-id> <slots> <topology>'");
+        }
+        // Re-join the topology expression (it may contain spaces).
+        const auto topo_at = trimmed.find('(');
+        if (topo_at == std::string::npos) {
+          throw ParseError("NODE line has no topology s-expression");
+        }
+        AllocEntry& entry = session.allocs[tokens[1]];
+        entry.text += tokens[2] + " " + trimmed.substr(topo_at) + "\n";
+        entry.num_nodes += 1;
+        entry.dirty = true;
+        out << "OK node " << tokens[1] << " n=" << entry.num_nodes << "\n";
+      } else if (cmd == "MAP") {
+        MapRequest request = parse_map_command(session, tokens);
+        out << format_map_response(service.map(request)) << "\n";
+        ++served;
+      } else if (cmd == "BATCH") {
+        if (tokens.size() != 2) throw ParseError("BATCH needs '<count>'");
+        const std::size_t count = parse_size(tokens[1], "BATCH count");
+        std::vector<std::optional<MapRequest>> slots;
+        std::vector<std::string> parse_errors(count);
+        slots.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          if (!std::getline(in, line)) {
+            throw ParseError("BATCH ended early: expected " +
+                             std::to_string(count) + " MAP lines, got " +
+                             std::to_string(i));
+          }
+          try {
+            slots.push_back(parse_batch_line(line));
+          } catch (const Error& e) {
+            slots.push_back(std::nullopt);
+            parse_errors[i] = e.what();
+          }
+        }
+        std::vector<MapRequest> requests;
+        for (const auto& slot : slots) {
+          if (slot.has_value()) requests.push_back(*slot);
+        }
+        const std::vector<MapResponse> responses =
+            service.map_batch(requests);
+        std::size_t next = 0;
+        for (std::size_t i = 0; i < count; ++i) {
+          if (slots[i].has_value()) {
+            out << format_map_response(responses[next++]) << "\n";
+            ++served;
+          } else {
+            out << "ERR " << parse_errors[i] << "\n";
+          }
+        }
+      } else if (cmd == "STATS") {
+        out << "STATS " << service.counters().stats_line() << "\n";
+      } else if (cmd == "QUIT") {
+        out << "OK bye\n";
+        break;
+      } else {
+        throw ParseError("unknown command '" + cmd + "'");
+      }
+    } catch (const Error& e) {
+      out << "ERR " << e.what() << "\n";
+    }
+    out.flush();
+  }
+  if (stats_at_eof) {
+    out << "STATS " << service.counters().stats_line() << "\n";
+    out.flush();
+  }
+  return served;
+}
+
+}  // namespace lama::svc

@@ -1,0 +1,43 @@
+// The service's wire protocol: line-oriented over an istream/ostream pair,
+// so `lamactl serve` runs on plain stdin/stdout — deterministic, pipeable,
+// and testable without sockets. One response line per command:
+//
+//   NODE <alloc-id> <slots> <topology s-expr>   -> OK node ...
+//   MAP <alloc-id> <np> <spec> [key=value ...]  -> OK hit=... pus=... | ERR ...
+//   BATCH <n>       (the next n MAP lines execute concurrently;
+//                    n response lines follow, in request order)
+//   STATS           -> STATS <key=value counters>
+//   QUIT            -> OK bye (serving stops; EOF works too)
+//
+// MAP options: oversub=0|1, pus=<per-proc PUs>, npernode=<cap>,
+// bind=<target>. Blank lines and '#' comments are ignored. Full reference:
+// docs/service.md.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "svc/service.hpp"
+
+namespace lama::svc {
+
+// Runs the protocol until QUIT or EOF; returns the number of MAP requests
+// served. Malformed commands produce an ERR line and serving continues.
+// When `stats_at_eof` is set, a final STATS line is emitted after the loop.
+std::size_t serve(std::istream& in, std::ostream& out,
+                  MappingService& service, bool stats_at_eof = false);
+
+// The client side of one query: NODE lines defining `alloc` under
+// `alloc_id`, then a MAP line. `options` is the raw "key=value ..." tail
+// (may be empty). This is what `lamactl query` prints.
+std::string format_query(const Allocation& alloc, const std::string& alloc_id,
+                         std::size_t np, const std::string& spec,
+                         const std::string& options = "");
+
+// The response line for one MAP: "OK hit=0 coalesced=0 np=8 sweeps=1
+// nodes=0,0,1,1 pus=0,2,0,2 [widths=...]" or "ERR <message>".
+std::string format_map_response(const MapResponse& response);
+
+}  // namespace lama::svc

@@ -1,0 +1,119 @@
+#include "svc/service.hpp"
+
+#include <chrono>
+
+#include "cluster/alloc_serialize.hpp"
+#include "support/error.hpp"
+
+namespace lama::svc {
+
+namespace {
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+MappingService::MappingService(ServiceConfig config)
+    : config_(config),
+      cache_(config.cache_shards, config.shard_capacity, counters_),
+      pool_(config.workers) {}
+
+InternedAlloc MappingService::intern(const Allocation& alloc) {
+  alloc.validate();
+  auto copy = std::make_shared<const Allocation>(alloc);
+  return InternedAlloc{copy, allocation_fingerprint(*copy)};
+}
+
+InternedAlloc MappingService::intern_serialized(const std::string& text) {
+  return intern(parse_allocation(text));
+}
+
+MapResponse MappingService::map(const MapRequest& request) {
+  counters_.requests.fetch_add(1, std::memory_order_relaxed);
+  const auto start = std::chrono::steady_clock::now();
+  MapResponse response;
+  try {
+    response = map_uncaught(request);
+  } catch (const Error& e) {
+    response.error = e.what();
+  }
+  if (!response.ok()) {
+    counters_.errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  counters_.completed.fetch_add(1, std::memory_order_relaxed);
+  counters_.total_ns.record_ns(elapsed_ns(start));
+  return response;
+}
+
+MapResponse MappingService::map_uncaught(const MapRequest& request) {
+  if (!request.alloc.valid()) {
+    throw MappingError("request carries no interned allocation");
+  }
+  const Allocation& client_alloc = *request.alloc.alloc;
+  const auto [name, args] = split_rmaps_spec(request.spec);
+
+  MapResponse response;
+  // The allocation the mapping ran against: the cached tree's private copy
+  // on the cached path (its pruned trees point into that copy), otherwise
+  // the client's interned allocation. Binding must use the same one.
+  const Allocation* mapped_alloc = &client_alloc;
+  std::shared_ptr<const CachedTree> cached;  // keeps the tree alive
+
+  if (name == "lama") {
+    // Cached fast path: resolve the spec to a canonical layout exactly as
+    // the registry's lama component would, then reuse the shared tree.
+    const ProcessLayout layout =
+        ProcessLayout::parse(args.empty() ? kLamaDefaultLayout : args);
+    ShardedTreeCache::Lookup lookup = cache_.get_or_build(
+        TreeKey{request.alloc.fingerprint, layout.to_string()}, client_alloc,
+        layout);
+    cached = std::move(lookup.tree);
+    response.cache_hit = lookup.hit;
+    response.coalesced = lookup.coalesced;
+    mapped_alloc = &cached->alloc();
+
+    const auto map_start = std::chrono::steady_clock::now();
+    response.mapping =
+        lama_map(cached->alloc(), cached->layout(), request.opts,
+                 cached->tree());
+    counters_.map_ns.record_ns(elapsed_ns(map_start));
+  } else {
+    counters_.uncached.fetch_add(1, std::memory_order_relaxed);
+    const auto map_start = std::chrono::steady_clock::now();
+    response.mapping = registry_.map(request.spec, client_alloc, request.opts);
+    counters_.map_ns.record_ns(elapsed_ns(map_start));
+  }
+
+  if (request.binding.has_value()) {
+    response.binding =
+        bind_processes(*mapped_alloc, response.mapping, *request.binding);
+  }
+  return response;
+}
+
+std::vector<MapResponse> MappingService::map_batch(
+    const std::vector<MapRequest>& requests) {
+  std::vector<MapResponse> responses(requests.size());
+  if (pool_.num_threads() == 0) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      responses[i] = map(requests[i]);
+    }
+    return responses;
+  }
+  std::vector<std::future<MapResponse>> pending;
+  pending.reserve(requests.size());
+  for (const MapRequest& request : requests) {
+    pending.push_back(pool_.async([this, &request] { return map(request); }));
+  }
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    responses[i] = pending[i].get();
+  }
+  return responses;
+}
+
+}  // namespace lama::svc

@@ -1,0 +1,104 @@
+// lama::svc — the mapping service. The paper's LAMA runs once per mpirun;
+// this subsystem turns it into a long-lived, concurrent query engine:
+// clients intern an allocation (parsed + fingerprinted once), then submit
+// mapping requests — an rmaps component spec such as "lama:scbnh", MapOptions,
+// and optionally a binding policy — one at a time or in batches executed on
+// a worker pool. "lama" requests go through the sharded tree cache
+// (tree_cache.hpp): the maximal/pruned tree for (allocation, layout) is
+// built once and every repeated query skips straight to the iteration walk.
+// Every stage is measured into svc::Counters.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "lama/binding.hpp"
+#include "lama/mapper.hpp"
+#include "lama/mapping.hpp"
+#include "lama/rmaps.hpp"
+#include "svc/counters.hpp"
+#include "svc/tree_cache.hpp"
+#include "svc/worker_pool.hpp"
+
+namespace lama::svc {
+
+struct ServiceConfig {
+  // Worker threads for map_batch(); 0 executes batches on the calling
+  // thread (deterministic mode for tests and baselines).
+  std::size_t workers = 4;
+  // Shards of the tree cache (more shards = less lock contention).
+  std::size_t cache_shards = 8;
+  // Cached trees per shard; 0 disables caching entirely.
+  std::size_t shard_capacity = 64;
+};
+
+// An allocation interned into the service: deep-copied, validated, and
+// fingerprinted once, then shared by every request that maps onto it.
+struct InternedAlloc {
+  std::shared_ptr<const Allocation> alloc;
+  std::uint64_t fingerprint = 0;
+
+  [[nodiscard]] bool valid() const { return alloc != nullptr; }
+};
+
+struct MapRequest {
+  InternedAlloc alloc;
+  std::string spec = "lama";  // rmaps "name[:args]" component spec
+  MapOptions opts;
+  // When set, the binding step (§III-B) runs on the mapping and the
+  // response carries the per-rank cpusets.
+  std::optional<BindingPolicy> binding;
+};
+
+struct MapResponse {
+  MappingResult mapping;
+  std::optional<BindingResult> binding;
+  bool cache_hit = false;   // tree came straight from the LRU
+  bool coalesced = false;   // tree came from another request's build
+  std::string error;        // non-empty when the request failed
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+class MappingService {
+ public:
+  explicit MappingService(ServiceConfig config = {});
+
+  // Interns a deep copy of `alloc`. Throws MappingError when the allocation
+  // cannot run anything (Allocation::validate).
+  InternedAlloc intern(const Allocation& alloc);
+  // Interns from the wire form (cluster/alloc_serialize.hpp).
+  InternedAlloc intern_serialized(const std::string& text);
+
+  // Maps one request. Thread-safe: any number of callers may be in flight;
+  // failures are reported in MapResponse::error, never thrown.
+  MapResponse map(const MapRequest& request);
+
+  // Maps a batch concurrently on the worker pool (or inline when the pool
+  // has no threads). Responses are in request order.
+  std::vector<MapResponse> map_batch(const std::vector<MapRequest>& requests);
+
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+  // Trees currently cached (for tests/observability).
+  [[nodiscard]] std::size_t cached_trees() const { return cache_.size(); }
+
+  // Component registry used for dispatch. Register custom components before
+  // serving traffic: registration is not synchronized against map().
+  [[nodiscard]] RmapsRegistry& registry() { return registry_; }
+
+ private:
+  MapResponse map_uncaught(const MapRequest& request);
+
+  ServiceConfig config_;
+  RmapsRegistry registry_;
+  Counters counters_;
+  ShardedTreeCache cache_;
+  WorkerPool pool_;
+};
+
+}  // namespace lama::svc

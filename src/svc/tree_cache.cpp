@@ -1,0 +1,110 @@
+#include "svc/tree_cache.hpp"
+
+#include <chrono>
+
+#include "support/error.hpp"
+#include "support/hash.hpp"
+
+namespace lama::svc {
+
+namespace {
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+std::size_t TreeKeyHash::operator()(const TreeKey& key) const {
+  return static_cast<std::size_t>(
+      hash_combine(key.alloc_fp, fnv1a64(key.layout)));
+}
+
+CachedTree::CachedTree(const Allocation& alloc, ProcessLayout layout)
+    : alloc_((alloc.validate(), alloc)),  // never cache an unusable tree
+      layout_(std::move(layout)),
+      tree_(alloc_, layout_) {}
+
+ShardedTreeCache::ShardedTreeCache(std::size_t num_shards,
+                                   std::size_t capacity_per_shard,
+                                   Counters& counters)
+    : counters_(counters) {
+  if (num_shards == 0) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(capacity_per_shard));
+  }
+}
+
+ShardedTreeCache::Shard& ShardedTreeCache::shard_for(const TreeKey& key) {
+  return *shards_[TreeKeyHash{}(key) % shards_.size()];
+}
+
+ShardedTreeCache::Lookup ShardedTreeCache::get_or_build(
+    const TreeKey& key, const Allocation& alloc, const ProcessLayout& layout) {
+  const auto lookup_start = std::chrono::steady_clock::now();
+  Shard& shard = shard_for(key);
+  std::unique_lock<std::mutex> lock(shard.mu);
+
+  if (TreePtr* cached = shard.lru.get(key)) {
+    TreePtr tree = *cached;
+    lock.unlock();
+    counters_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    counters_.lookup_ns.record_ns(elapsed_ns(lookup_start));
+    return {std::move(tree), /*hit=*/true, /*coalesced=*/false};
+  }
+
+  if (const auto it = shard.inflight.find(key); it != shard.inflight.end()) {
+    std::shared_future<TreePtr> pending = it->second;
+    lock.unlock();
+    counters_.coalesced.fetch_add(1, std::memory_order_relaxed);
+    counters_.lookup_ns.record_ns(elapsed_ns(lookup_start));
+    return {pending.get(), /*hit=*/false, /*coalesced=*/true};  // may rethrow
+  }
+
+  // Miss: publish the build before starting it so duplicates coalesce.
+  std::promise<TreePtr> promise;
+  shard.inflight.emplace(key, promise.get_future().share());
+  lock.unlock();
+  counters_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+  counters_.lookup_ns.record_ns(elapsed_ns(lookup_start));
+
+  TreePtr built;
+  const auto build_start = std::chrono::steady_clock::now();
+  try {
+    built = std::make_shared<const CachedTree>(alloc, layout);
+  } catch (...) {
+    lock.lock();
+    shard.inflight.erase(key);
+    lock.unlock();
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+  counters_.build_ns.record_ns(elapsed_ns(build_start));
+
+  lock.lock();
+  const std::size_t evicted_before = shard.lru.evictions();
+  shard.lru.put(key, built);
+  const std::size_t newly_evicted = shard.lru.evictions() - evicted_before;
+  shard.inflight.erase(key);
+  lock.unlock();
+  if (newly_evicted > 0) {
+    counters_.evictions.fetch_add(newly_evicted, std::memory_order_relaxed);
+  }
+  promise.set_value(built);
+  return {std::move(built), /*hit=*/false, /*coalesced=*/false};
+}
+
+std::size_t ShardedTreeCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace lama::svc

@@ -1,0 +1,107 @@
+// The sharded, thread-safe LRU cache of maximal/pruned trees. The expensive
+// per-query work of the LAMA — pruning every node's topology against the
+// layout and assembling the maximal iteration space (§IV-B) — depends only
+// on (allocation, layout), not on np or mapping options, so repeated queries
+// against the same cluster can skip straight to the iteration walk. Keys
+// combine the canonical allocation fingerprint with the canonical layout
+// string; values own a private copy of the allocation (the pruned trees hold
+// pointers into its topology objects) plus the tree built over it, shared
+// immutably via shared_ptr so evicted trees stay alive for requests still
+// mapping from them.
+//
+// Concurrency: keys hash-partition across independent shards, each a mutex +
+// LruMap + in-flight table. A miss publishes a shared_future before building
+// so duplicate concurrent misses coalesce onto the one build instead of
+// duplicating it; build failures propagate to every coalesced waiter and are
+// not cached.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "lama/layout.hpp"
+#include "lama/maximal_tree.hpp"
+#include "support/lru.hpp"
+#include "svc/counters.hpp"
+
+namespace lama::svc {
+
+struct TreeKey {
+  std::uint64_t alloc_fp = 0;  // allocation_fingerprint()
+  std::string layout;          // canonical ProcessLayout::to_string() form
+
+  bool operator==(const TreeKey&) const = default;
+};
+
+struct TreeKeyHash {
+  std::size_t operator()(const TreeKey& key) const;
+};
+
+// An immutable (allocation, layout, maximal tree) triple. The allocation is
+// a deep copy made at build time: the tree's pruned objects point into these
+// topologies, so tying their lifetimes together is what makes the cached
+// value safe to share after the requesting client's allocation is gone.
+class CachedTree {
+ public:
+  CachedTree(const Allocation& alloc, ProcessLayout layout);
+
+  CachedTree(const CachedTree&) = delete;
+  CachedTree& operator=(const CachedTree&) = delete;
+
+  [[nodiscard]] const Allocation& alloc() const { return alloc_; }
+  [[nodiscard]] const ProcessLayout& layout() const { return layout_; }
+  [[nodiscard]] const MaximalTree& tree() const { return tree_; }
+
+ private:
+  Allocation alloc_;
+  ProcessLayout layout_;
+  MaximalTree tree_;  // built over alloc_; must be declared after it
+};
+
+class ShardedTreeCache {
+ public:
+  // `capacity_per_shard` of 0 disables caching: every lookup builds.
+  ShardedTreeCache(std::size_t num_shards, std::size_t capacity_per_shard,
+                   Counters& counters);
+
+  struct Lookup {
+    std::shared_ptr<const CachedTree> tree;
+    bool hit = false;        // served from the LRU
+    bool coalesced = false;  // waited on another request's build
+  };
+
+  // Returns the tree for `key`, building it from (alloc, layout) on a miss.
+  // Exactly one of hit/coalesced/neither (a miss that built) holds, and the
+  // matching counter is incremented. Build exceptions propagate to the
+  // caller and to every coalesced waiter.
+  Lookup get_or_build(const TreeKey& key, const Allocation& alloc,
+                      const ProcessLayout& layout);
+
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+  // Cached trees across all shards (racy under concurrency; for tests).
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  using TreePtr = std::shared_ptr<const CachedTree>;
+
+  struct Shard {
+    explicit Shard(std::size_t capacity) : lru(capacity) {}
+    std::mutex mu;
+    LruMap<TreeKey, TreePtr, TreeKeyHash> lru;
+    std::unordered_map<TreeKey, std::shared_future<TreePtr>, TreeKeyHash>
+        inflight;
+  };
+
+  Shard& shard_for(const TreeKey& key);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  Counters& counters_;
+};
+
+}  // namespace lama::svc

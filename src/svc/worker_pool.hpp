@@ -1,0 +1,55 @@
+// Fixed-size thread pool executing the service's mapping requests. Requests
+// are independent of each other, so a plain FIFO queue + condition variable
+// is the whole scheduler; results travel back through std::future so batch
+// callers preserve request order regardless of completion order. A pool of
+// zero threads degenerates to running tasks inline on the submitting thread,
+// which keeps single-threaded tests and benchmarks deterministic.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace lama::svc {
+
+class WorkerPool {
+ public:
+  explicit WorkerPool(std::size_t num_threads);
+  ~WorkerPool();  // drains the queue, then joins
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] std::size_t num_threads() const { return threads_.size(); }
+
+  // Enqueues `fn` and returns a future for its result; exceptions propagate
+  // through the future. With zero threads, runs `fn` before returning.
+  template <typename F>
+  std::future<std::invoke_result_t<F>> async(F fn) {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> result = task->get_future();
+    submit([task] { (*task)(); });
+    return result;
+  }
+
+  // Enqueues fire-and-forget work (inline when the pool has no threads).
+  void submit(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace lama::svc

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
+#include "lama/maximal_tree.hpp"
 #include "support/error.hpp"
 #include "topo/presets.hpp"
 
@@ -231,6 +234,50 @@ TEST(Mapper, CacheLettersIterateCacheDomains) {
       EXPECT_NE(reps[i] / 2, reps[j] / 2) << i << "," << j;
     }
   }
+}
+
+TEST(Mapper, SharedTreeOverloadMatchesBuildingOne) {
+  const Allocation alloc = figure2_allocation();
+  const ProcessLayout layout = ProcessLayout::parse("scbnh");
+  const MaximalTree tree(alloc, layout);
+  for (const std::size_t np : {1u, 8u, 24u, 40u}) {
+    const MappingResult direct = lama_map(alloc, layout, {.np = np});
+    const MappingResult shared = lama_map(alloc, layout, {.np = np}, tree);
+    ASSERT_EQ(shared.num_procs(), direct.num_procs());
+    EXPECT_EQ(shared.sweeps, direct.sweeps);
+    for (std::size_t i = 0; i < np; ++i) {
+      EXPECT_EQ(shared.placements[i].target_pus,
+                direct.placements[i].target_pus);
+      EXPECT_EQ(shared.placements[i].coord, direct.placements[i].coord);
+    }
+  }
+}
+
+TEST(Mapper, SharedTreeIsSafeForConcurrentMaps) {
+  // The const-correctness contract behind the service's tree cache: many
+  // mapping runs may read one maximal tree at once.
+  const Allocation alloc = figure2_allocation(4);
+  const ProcessLayout layout = ProcessLayout::parse("chsnb");
+  const MaximalTree tree(alloc, layout);
+  const MappingResult want = lama_map(alloc, layout, {.np = 17}, tree);
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 50; ++round) {
+        const MappingResult got = lama_map(alloc, layout, {.np = 17}, tree);
+        for (std::size_t i = 0; i < want.num_procs(); ++i) {
+          if (got.placements[i].target_pus != want.placements[i].target_pus) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 }  // namespace

@@ -60,6 +60,60 @@ TEST(Rmaps, UnknownComponentThrows) {
   const RmapsRegistry registry;
   EXPECT_THROW(registry.map("treematch:x", figure2_allocation(), {.np = 2}),
                MappingError);
+  EXPECT_THROW(registry.map("LAMA", figure2_allocation(), {.np = 2}),
+               MappingError);  // names are case-sensitive
+}
+
+TEST(Rmaps, MalformedSpecThrowsParseError) {
+  const RmapsRegistry registry;
+  const Allocation alloc = figure2_allocation();
+  // An empty spec or a spec with no component name before the colon is
+  // malformed, not merely unknown.
+  EXPECT_THROW(registry.map("", alloc, {.np = 2}), ParseError);
+  EXPECT_THROW(registry.map(":scbnh", alloc, {.np = 2}), ParseError);
+  EXPECT_THROW(registry.map(":", alloc, {.np = 2}), ParseError);
+}
+
+TEST(Rmaps, SplitSpecSeparatesNameAndArgs) {
+  EXPECT_EQ(split_rmaps_spec("lama:scbnh"),
+            (std::pair<std::string, std::string>{"lama", "scbnh"}));
+  EXPECT_EQ(split_rmaps_spec("byslot"),
+            (std::pair<std::string, std::string>{"byslot", ""}));
+  // Only the first colon splits; the rest belongs to the args.
+  EXPECT_EQ(split_rmaps_spec("xyzt:a:b"),
+            (std::pair<std::string, std::string>{"xyzt", "a:b"}));
+  // A trailing colon means "explicitly empty args".
+  EXPECT_EQ(split_rmaps_spec("lama:"),
+            (std::pair<std::string, std::string>{"lama", ""}));
+  EXPECT_THROW(split_rmaps_spec(""), ParseError);
+  EXPECT_THROW(split_rmaps_spec(":x"), ParseError);
+}
+
+TEST(Rmaps, ArgsReachComponentVerbatim) {
+  RmapsRegistry registry;
+  class Echo final : public RmapsComponent {
+   public:
+    [[nodiscard]] std::string name() const override { return "echo"; }
+    [[nodiscard]] MappingResult map(const Allocation&, const std::string& args,
+                                    const MapOptions&) const override {
+      MappingResult r;
+      r.layout = args;
+      return r;
+    }
+  };
+  registry.register_component(std::make_unique<Echo>());
+  const Allocation alloc = figure2_allocation();
+  EXPECT_EQ(registry.map("echo:a b", alloc, {.np = 1}).layout, "a b");
+  EXPECT_EQ(registry.map("echo::::", alloc, {.np = 1}).layout, ":::");
+  EXPECT_EQ(registry.map("echo", alloc, {.np = 1}).layout, "");
+}
+
+TEST(Rmaps, LamaComponentRejectsBadLayouts) {
+  const RmapsRegistry registry;
+  const Allocation alloc = figure2_allocation();
+  EXPECT_THROW(registry.map("lama:zz", alloc, {.np = 2}), ParseError);
+  EXPECT_THROW(registry.map("lama:ss", alloc, {.np = 2}), ParseError);
+  EXPECT_THROW(registry.map("lama:L9", alloc, {.np = 2}), ParseError);
 }
 
 TEST(Rmaps, DuplicateRegistrationRejected) {

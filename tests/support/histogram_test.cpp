@@ -1,0 +1,99 @@
+#include "support/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace lama {
+namespace {
+
+TEST(LatencyHistogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum_ns(), 0u);
+  EXPECT_EQ(h.max_ns(), 0u);
+  EXPECT_EQ(h.percentile_ns(50), 0u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 0.0);
+}
+
+TEST(LatencyHistogram, CountSumMaxMean) {
+  LatencyHistogram h;
+  h.record_ns(100);
+  h.record_ns(200);
+  h.record_ns(300);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum_ns(), 600u);
+  EXPECT_EQ(h.max_ns(), 300u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 200.0);
+}
+
+TEST(LatencyHistogram, BucketBoundaries) {
+  LatencyHistogram h;
+  h.record_ns(0);  // bucket 0
+  h.record_ns(1);  // bucket 1: [1, 2)
+  h.record_ns(2);  // bucket 2: [2, 4)
+  h.record_ns(3);  // bucket 2
+  h.record_ns(4);  // bucket 3: [4, 8)
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(3), 1u);
+}
+
+TEST(LatencyHistogram, PercentileIsMonotonicAndBounding) {
+  LatencyHistogram h;
+  for (std::uint64_t ns = 1; ns <= 1000; ++ns) h.record_ns(ns);
+  const std::uint64_t p50 = h.percentile_ns(50);
+  const std::uint64_t p90 = h.percentile_ns(90);
+  const std::uint64_t p100 = h.percentile_ns(100);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p100);
+  // The p50 bucket upper bound must cover the true median (500)...
+  EXPECT_GE(p50, 500u);
+  // ...but stay within one power-of-two of it.
+  EXPECT_LE(p50, 1023u);
+}
+
+TEST(LatencyHistogram, HugeSampleSaturatesLastBucket) {
+  LatencyHistogram h;
+  h.record_ns(~0ULL);
+  EXPECT_EQ(h.bucket(LatencyHistogram::kNumBuckets - 1), 1u);
+  EXPECT_EQ(h.max_ns(), ~0ULL);
+}
+
+TEST(LatencyHistogram, ResetClears) {
+  LatencyHistogram h;
+  h.record_ns(42);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max_ns(), 0u);
+  EXPECT_EQ(h.bucket(6), 0u);
+}
+
+TEST(LatencyHistogram, SummaryMentionsCount) {
+  LatencyHistogram h;
+  h.record_ns(5000);
+  EXPECT_NE(h.summary().find("count=1"), std::string::npos);
+}
+
+TEST(LatencyHistogram, ConcurrentRecordsAllLand) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 1; i <= kPerThread; ++i) {
+        h.record_ns(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(h.max_ns(), static_cast<std::uint64_t>(kPerThread));
+}
+
+}  // namespace
+}  // namespace lama

@@ -1,0 +1,84 @@
+#include "support/lru.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace lama {
+namespace {
+
+TEST(LruMap, PutGetRoundTrip) {
+  LruMap<int, std::string> lru(2);
+  lru.put(1, "one");
+  lru.put(2, "two");
+  ASSERT_NE(lru.get(1), nullptr);
+  EXPECT_EQ(*lru.get(1), "one");
+  EXPECT_EQ(*lru.get(2), "two");
+  EXPECT_EQ(lru.size(), 2u);
+  EXPECT_EQ(lru.get(3), nullptr);
+}
+
+TEST(LruMap, EvictsLeastRecentlyUsed) {
+  LruMap<int, int> lru(2);
+  lru.put(1, 10);
+  lru.put(2, 20);
+  lru.put(3, 30);  // evicts 1
+  EXPECT_EQ(lru.get(1), nullptr);
+  EXPECT_NE(lru.get(2), nullptr);
+  EXPECT_NE(lru.get(3), nullptr);
+  EXPECT_EQ(lru.evictions(), 1u);
+}
+
+TEST(LruMap, GetPromotesAgainstEviction) {
+  LruMap<int, int> lru(2);
+  lru.put(1, 10);
+  lru.put(2, 20);
+  EXPECT_NE(lru.get(1), nullptr);  // 1 is now most recent
+  lru.put(3, 30);                  // evicts 2, not 1
+  EXPECT_NE(lru.get(1), nullptr);
+  EXPECT_EQ(lru.get(2), nullptr);
+}
+
+TEST(LruMap, PutOverwritesAndPromotes) {
+  LruMap<int, int> lru(2);
+  lru.put(1, 10);
+  lru.put(2, 20);
+  lru.put(1, 11);  // overwrite; 1 most recent, no eviction
+  EXPECT_EQ(lru.size(), 2u);
+  EXPECT_EQ(*lru.get(1), 11);
+  lru.put(3, 30);  // evicts 2
+  EXPECT_EQ(lru.get(2), nullptr);
+  EXPECT_NE(lru.get(1), nullptr);
+}
+
+TEST(LruMap, ZeroCapacityStoresNothing) {
+  LruMap<int, int> lru(0);
+  lru.put(1, 10);
+  EXPECT_EQ(lru.size(), 0u);
+  EXPECT_EQ(lru.get(1), nullptr);
+  EXPECT_EQ(lru.evictions(), 0u);
+}
+
+TEST(LruMap, Erase) {
+  LruMap<int, int> lru(4);
+  lru.put(1, 10);
+  lru.put(2, 20);
+  EXPECT_TRUE(lru.erase(1));
+  EXPECT_FALSE(lru.erase(1));
+  EXPECT_EQ(lru.get(1), nullptr);
+  EXPECT_EQ(lru.size(), 1u);
+  EXPECT_TRUE(lru.contains(2));
+  EXPECT_FALSE(lru.contains(1));
+}
+
+TEST(LruMap, EvictionDoesNotCountOverwrites) {
+  LruMap<int, int> lru(1);
+  lru.put(1, 10);
+  lru.put(1, 11);
+  EXPECT_EQ(lru.evictions(), 0u);
+  lru.put(2, 20);
+  EXPECT_EQ(lru.evictions(), 1u);
+}
+
+}  // namespace
+}  // namespace lama

@@ -1,0 +1,178 @@
+#include "svc/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace lama::svc {
+namespace {
+
+constexpr const char* kFigure2Topo =
+    "(node (socket@0 (core@0 (pu@0) (pu@1)) (core@1 (pu@2) (pu@3))) "
+    "(socket@1 (core@2 (pu@4) (pu@5)) (core@3 (pu@6) (pu@7))))";
+
+// Runs one protocol session over strings and returns the response lines.
+std::vector<std::string> run_session(const std::string& script,
+                                     MappingService& service) {
+  std::istringstream in(script);
+  std::ostringstream out;
+  serve(in, out, service);
+  std::vector<std::string> lines = split(out.str(), '\n');
+  if (!lines.empty() && lines.back().empty()) lines.pop_back();
+  return lines;
+}
+
+std::vector<std::string> run_session(const std::string& script) {
+  MappingService service({.workers = 0});
+  return run_session(script, service);
+}
+
+std::string node_line(const std::string& id) {
+  return "NODE " + id + " 8 " + kFigure2Topo + "\n";
+}
+
+TEST(Protocol, NodeThenMap) {
+  const auto lines =
+      run_session(node_line("a") + "MAP a 4 lama:scbnh\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "OK node a n=1");
+  // Figure 2 scatter: 4 ranks across the two sockets' first cores.
+  EXPECT_EQ(lines[1],
+            "OK hit=0 coalesced=0 np=4 sweeps=1 nodes=0,0,0,0 pus=0,4,2,6");
+}
+
+TEST(Protocol, RepeatMapReportsHit) {
+  const auto lines = run_session(node_line("a") + "MAP a 4 lama:scbnh\n" +
+                                 "MAP a 8 lama:scbnh\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_TRUE(starts_with(lines[1], "OK hit=0"));
+  EXPECT_TRUE(starts_with(lines[2], "OK hit=1"));
+}
+
+TEST(Protocol, TwoAllocationsKeyIndependently) {
+  const auto lines = run_session(node_line("a") + node_line("b") +
+                                 "MAP a 2 lama:scbnh\n" +
+                                 "MAP b 2 lama:scbnh\n");
+  ASSERT_EQ(lines.size(), 4u);
+  // Identical topologies -> identical fingerprints -> b hits a's tree.
+  EXPECT_TRUE(starts_with(lines[3], "OK hit=1"));
+}
+
+TEST(Protocol, GrowingAnAllocationInvalidatesItsTree) {
+  const auto lines =
+      run_session(node_line("a") + "MAP a 2 lama:scbnh\n" + node_line("a") +
+                  "MAP a 2 lama:scbnh\n");
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[2], "OK node a n=2");
+  // The allocation changed, so the second MAP must not reuse the old tree.
+  EXPECT_TRUE(starts_with(lines[3], "OK hit=0"));
+}
+
+TEST(Protocol, MapOptionsParse) {
+  const auto lines = run_session(
+      node_line("a") + "MAP a 4 lama:scbnh bind=core npernode=4 oversub=1\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(starts_with(lines[1], "OK "));
+  EXPECT_NE(lines[1].find("widths=2,2,2,2"), std::string::npos);
+}
+
+TEST(Protocol, BatchRespondsInOrder) {
+  MappingService service({.workers = 4});
+  const auto lines = run_session(node_line("a") +
+                                     "BATCH 3\n"
+                                     "MAP a 1 lama:scbnh\n"
+                                     "MAP a 2 lama:scbnh\n"
+                                     "MAP a 3 lama:scbnh\n",
+                                 service);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_NE(lines[1].find("np=1"), std::string::npos);
+  EXPECT_NE(lines[2].find("np=2"), std::string::npos);
+  EXPECT_NE(lines[3].find("np=3"), std::string::npos);
+}
+
+TEST(Protocol, BatchKeepsMalformedSlots) {
+  MappingService service({.workers = 2});
+  const auto lines = run_session(node_line("a") +
+                                     "BATCH 3\n"
+                                     "MAP a 1 lama:scbnh\n"
+                                     "MAP nosuch 1 lama\n"
+                                     "MAP a 3 lama:scbnh\n",
+                                 service);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_TRUE(starts_with(lines[1], "OK "));
+  EXPECT_TRUE(starts_with(lines[2], "ERR "));
+  EXPECT_NE(lines[2].find("unknown allocation id"), std::string::npos);
+  EXPECT_TRUE(starts_with(lines[3], "OK "));
+}
+
+TEST(Protocol, ErrorsKeepSessionAlive) {
+  const auto lines = run_session(
+      "MAP ghost 4 lama\n"      // unknown allocation
+      "NOPE\n"                  // unknown command
+      "NODE a\n"                // too few tokens
+      "MAP a\n"                 // too few tokens
+      + node_line("a") +
+      "MAP a 4 nosuchcomponent\n"  // registry error
+      "MAP a 4 lama:scbnh\n");     // still works after all of the above
+  ASSERT_EQ(lines.size(), 7u);
+  EXPECT_TRUE(starts_with(lines[0], "ERR "));
+  EXPECT_TRUE(starts_with(lines[1], "ERR "));
+  EXPECT_TRUE(starts_with(lines[2], "ERR "));
+  EXPECT_TRUE(starts_with(lines[3], "ERR "));
+  EXPECT_TRUE(starts_with(lines[4], "OK node"));
+  EXPECT_TRUE(starts_with(lines[5], "ERR "));
+  EXPECT_TRUE(starts_with(lines[6], "OK hit=0"));
+}
+
+TEST(Protocol, StatsCountsSum) {
+  const auto lines = run_session(node_line("a") +
+                                 "MAP a 2 lama:scbnh\n"
+                                 "MAP a 2 lama:scbnh\n"
+                                 "MAP a 2 byslot\n"
+                                 "STATS\n");
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_TRUE(starts_with(lines[4], "STATS requests=3 completed=3 errors=0 "
+                                    "hits=1 misses=1 coalesced=0"));
+  EXPECT_NE(lines[4].find("uncached=1"), std::string::npos);
+}
+
+TEST(Protocol, QuitStopsServing) {
+  const auto lines = run_session(node_line("a") +
+                                 "QUIT\n"
+                                 "MAP a 2 lama\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "OK bye");
+}
+
+TEST(Protocol, CommentsAndBlanksIgnored) {
+  const auto lines = run_session("# hello\n\n   \n" + node_line("a"));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "OK node a n=1");
+}
+
+TEST(Protocol, BatchEndingEarlyIsAnError) {
+  const auto lines = run_session(node_line("a") +
+                                 "BATCH 2\n"
+                                 "MAP a 1 lama\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(starts_with(lines[1], "ERR "));
+  EXPECT_NE(lines[1].find("BATCH ended early"), std::string::npos);
+}
+
+TEST(Protocol, FormatQueryRoundTripsThroughServe) {
+  const Allocation alloc =
+      allocate_all(Cluster::homogeneous(2, "socket:2 core:4 pu:2"));
+  const std::string script =
+      format_query(alloc, "job1", 8, "lama:scbnh", "bind=core");
+  const auto lines = run_session(script);
+  ASSERT_EQ(lines.size(), 3u);  // two NODE acks + one MAP response
+  EXPECT_EQ(lines[0], "OK node job1 n=1");
+  EXPECT_EQ(lines[1], "OK node job1 n=2");
+  EXPECT_TRUE(starts_with(lines[2], "OK hit=0 coalesced=0 np=8"));
+  EXPECT_NE(lines[2].find("widths="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lama::svc

@@ -7,8 +7,15 @@
 //   lamactl --cluster cluster.txt --hostfile hosts.txt -np 8 --by-node
 //   lamactl --cluster cluster.txt --topo
 //   lamactl --cluster cluster.txt -np 32 --pattern ring:8192
+//
+// The `serve` and `query` subcommands speak the mapping service's
+// line-oriented protocol (docs/service.md) over stdin/stdout:
+//
+//   lamactl query --cluster cluster.txt -np 8 --map-by lama:scbnh | \
+//   lamactl serve --workers 8 --stats
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -19,6 +26,8 @@
 #include "support/error.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
+#include "svc/protocol.hpp"
+#include "svc/service.hpp"
 
 namespace {
 
@@ -48,6 +57,91 @@ TrafficPattern make_pattern(const std::string& spec, int np) {
   if (name == "master_worker") return make_master_worker(np, 256, bytes);
   throw ParseError("unknown pattern '" + name +
                    "' (ring|alltoall|pairs|toroidal|master_worker)");
+}
+
+// `lamactl serve`: run the mapping service over stdin/stdout.
+int run_serve(const std::vector<std::string>& args) {
+  svc::ServiceConfig config;
+  bool stats = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto need_value = [&] {
+      if (i + 1 >= args.size()) {
+        throw ParseError("option " + arg + " requires a value");
+      }
+      return args[++i];
+    };
+    if (arg == "--workers") {
+      config.workers = parse_size(need_value(), "serve workers");
+    } else if (arg == "--shards") {
+      config.cache_shards = parse_size(need_value(), "serve shards");
+    } else if (arg == "--capacity") {
+      config.shard_capacity = parse_size(need_value(), "serve capacity");
+    } else if (arg == "--stats") {
+      stats = true;
+    } else {
+      throw ParseError("unknown serve option: " + arg);
+    }
+  }
+  svc::MappingService service(config);
+  svc::serve(std::cin, std::cout, service, stats);
+  return 0;
+}
+
+// `lamactl query`: print the protocol lines for one mapping query, ready to
+// pipe into `lamactl serve`.
+int run_query(const std::vector<std::string>& args) {
+  std::string cluster_path;
+  std::string hostfile_path;
+  std::string alloc_id = "a0";
+  std::string spec = "lama";
+  std::size_t np = 0;
+  std::string options;
+  bool stats = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto need_value = [&] {
+      if (i + 1 >= args.size()) {
+        throw ParseError("option " + arg + " requires a value");
+      }
+      return args[++i];
+    };
+    if (arg == "--cluster") {
+      cluster_path = need_value();
+    } else if (arg == "--hostfile") {
+      hostfile_path = need_value();
+    } else if (arg == "--id") {
+      alloc_id = need_value();
+    } else if (arg == "-np" || arg == "--np") {
+      np = parse_size(need_value(), "query process count");
+    } else if (arg == "--map-by") {
+      spec = need_value();
+    } else if (arg == "--bind-to") {
+      options += (options.empty() ? "" : " ") + ("bind=" + need_value());
+    } else if (arg == "--npernode") {
+      options += (options.empty() ? "" : " ") + ("npernode=" + need_value());
+    } else if (arg == "--oversubscribe") {
+      options += (options.empty() ? "" : " ") + std::string("oversub=1");
+    } else if (arg == "--no-oversubscribe") {
+      options += (options.empty() ? "" : " ") + std::string("oversub=0");
+    } else if (arg == "--stats") {
+      stats = true;
+    } else {
+      throw ParseError("unknown query option: " + arg);
+    }
+  }
+  if (cluster_path.empty()) throw ParseError("--cluster <file> is required");
+  if (np == 0) throw ParseError("-np <count> is required");
+
+  const Cluster cluster = parse_cluster_file(read_file(cluster_path));
+  const Allocation alloc =
+      hostfile_path.empty()
+          ? allocate_all(cluster)
+          : parse_hostfile(cluster, read_file(hostfile_path));
+  std::string out = svc::format_query(alloc, alloc_id, np, spec, options);
+  if (stats) out += "STATS\n";
+  std::fputs(out.c_str(), stdout);
+  return 0;
 }
 
 int run(const std::vector<std::string>& args) {
@@ -127,8 +221,15 @@ int run(const std::vector<std::string>& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
   try {
-    return run(std::vector<std::string>(argv + 1, argv + argc));
+    if (!args.empty() && args[0] == "serve") {
+      return run_serve({args.begin() + 1, args.end()});
+    }
+    if (!args.empty() && args[0] == "query") {
+      return run_query({args.begin() + 1, args.end()});
+    }
+    return run(args);
   } catch (const lama::Error& e) {
     std::fprintf(stderr, "lamactl: %s\n", e.what());
     std::fprintf(
@@ -136,7 +237,12 @@ int main(int argc, char** argv) {
         "usage: lamactl --cluster <file> [--hostfile <file>] [--topo]\n"
         "               [mpirun options: -np N, --map-by lama:<layout>,\n"
         "                --bind-to <level>, --by-*, --npernode N, ...]\n"
-        "               [--pattern <name>[:<bytes>]]\n");
+        "               [--pattern <name>[:<bytes>]]\n"
+        "       lamactl serve [--workers N] [--shards N] [--capacity N]\n"
+        "               [--stats]          # protocol on stdin/stdout\n"
+        "       lamactl query --cluster <file> [--hostfile <file>] -np N\n"
+        "               [--map-by <spec>] [--bind-to <level>] [--id <name>]\n"
+        "               [--npernode N] [--stats]  # emit protocol lines\n");
     return 1;
   }
 }
