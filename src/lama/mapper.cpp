@@ -1,6 +1,7 @@
 #include "lama/mapper.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <unordered_map>
 
@@ -136,8 +137,23 @@ struct MapRun {
     acc.objects.clear();
   }
 
+  void check_deadline() const {
+    if (opts.deadline_ns == 0) return;
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    if (static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(now)
+                .count()) >= opts.deadline_ns) {
+      throw CancelledError("mapping deadline exceeded after " +
+                           std::to_string(result.visited) +
+                           " visited coordinates");
+    }
+  }
+
   void try_map() {
     ++result.visited;
+    // Poll the deadline sparsely: one clock read per 4096 coordinates keeps
+    // the cancellation latency bounded without slowing the hot walk.
+    if ((result.visited & 0xFFF) == 0) check_deadline();
     const std::size_t node =
         node_pos >= 0 ? coord[static_cast<std::size_t>(node_pos)] : 0;
     for (std::size_t j = 0; j < level_pos.size(); ++j) {
@@ -177,6 +193,7 @@ struct MapRun {
 
   void run() {
     while (rank < opts.np) {
+      check_deadline();
       const std::size_t before = rank;
       reset_pending();  // partial processes never straddle sweeps
       inner_loop(static_cast<int>(order.size()) - 1);

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 
 #include "cluster/cluster.hpp"
 #include "lama/iteration.hpp"
@@ -36,6 +37,13 @@ struct MapOptions {
 
   // Per-level visit orders (defaults to the paper's sequential order).
   IterationPolicy iteration;
+
+  // Cooperative deadline in steady-clock nanoseconds since epoch (0 = none).
+  // The walk polls the clock every few thousand visited coordinates and at
+  // every sweep boundary, throwing CancelledError once the deadline passes —
+  // the mapping service uses this to cancel requests whose budget expired
+  // while they were queued or mid-walk.
+  std::uint64_t deadline_ns = 0;
 
   // Caps on how many processes may land under any single object of a level
   // (0 = unlimited) — the "restrict the total number of processes for any

@@ -1,0 +1,59 @@
+// Fault-aware remapping: when resources disappear mid-job (a node dies, a
+// scheduler off-lines PUs), re-place only the displaced ranks while keeping
+// every surviving rank exactly where it was. This is the dynamic counterpart
+// of the paper's availability skipping — Vardas et al. (arXiv:2012.14757)
+// show that remapping around failures while preserving locality is where
+// skip-on-unavailable pays off in practice.
+//
+// Semantics: given `previous` (a mapping produced over an earlier state of
+// the same allocation) and `reduced` (the same node list with failures
+// applied as topology restrictions — node indices must not change; a dead
+// node is a node whose objects are all off-lined):
+//
+//   1. A rank *survives* when every PU of its placement is still online on
+//      its node. Survivors keep their placement verbatim.
+//   2. Displaced ranks are re-mapped by the recursive mapper over the
+//      reduced allocation with the survivors' PUs additionally off-lined —
+//      availability skipping walks them past both the failures and the
+//      survivors, so the result for displaced ranks is exactly a fresh
+//      lama_map over that doubly-reduced allocation (the property the remap
+//      test suite pins down).
+//   3. When the survivors occupy every remaining online PU and the policy
+//      allows oversubscription, the remap falls back to mapping the
+//      displaced ranks over the plain reduced allocation (shared PUs);
+//      `degraded_shared` reports this.
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "lama/layout.hpp"
+#include "lama/mapper.hpp"
+#include "lama/mapping.hpp"
+
+namespace lama {
+
+struct RemapResult {
+  // Full new mapping, indexed by rank (same np as `previous`).
+  MappingResult mapping;
+  // Ranks that lost their placement and were re-mapped, ascending.
+  std::vector<int> displaced;
+  // Ranks that kept their placement (np - displaced).
+  std::size_t surviving = 0;
+  // True when displaced ranks had to share PUs with survivors because no
+  // exclusive capacity remained (see header comment, rule 3).
+  bool degraded_shared = false;
+
+  [[nodiscard]] bool any_displaced() const { return !displaced.empty(); }
+};
+
+// Remaps `previous` onto `reduced`. `opts.np` must equal the number of
+// previously mapped ranks and `reduced` must have the same node count the
+// previous mapping was produced over; throws MappingError otherwise.
+// Propagates OversubscribeError when the displaced ranks cannot be placed
+// under the oversubscription policy, and MappingError when the reduced
+// allocation cannot run anything at all.
+RemapResult lama_remap(const Allocation& reduced, const ProcessLayout& layout,
+                       const MapOptions& opts, const MappingResult& previous);
+
+}  // namespace lama

@@ -36,6 +36,14 @@ class OversubscribeError : public MappingError {
   explicit OversubscribeError(const std::string& what) : MappingError(what) {}
 };
 
+// A cooperatively cancelled operation: the mapping walk polls an optional
+// deadline (MapOptions::deadline_ns) and aborts with this when it passes.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what)
+      : Error("cancelled: " + what) {}
+};
+
 // Broken internal invariant (a bug in this library, not in user input).
 class InternalError : public Error {
  public:

@@ -55,6 +55,29 @@ class LruMap {
     return true;
   }
 
+  // Visit every entry, most-recently-used first, promoting nothing.
+  template <typename Fn>
+  void for_each(Fn fn) const {
+    for (const Entry& entry : order_) fn(entry.first, entry.second);
+  }
+
+  // Erase every entry matching the predicate; returns how many were removed
+  // (targeted invalidation, not capacity pressure — evictions() unchanged).
+  template <typename Pred>
+  std::size_t erase_if(Pred pred) {
+    std::size_t removed = 0;
+    for (auto it = order_.begin(); it != order_.end();) {
+      if (pred(it->first, it->second)) {
+        index_.erase(it->first);
+        it = order_.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+    return removed;
+  }
+
   [[nodiscard]] bool contains(const Key& key) const {
     return index_.find(key) != index_.end();
   }

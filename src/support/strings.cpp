@@ -70,12 +70,27 @@ std::size_t parse_size(std::string_view text, std::string_view what) {
   if (t.empty()) {
     throw ParseError("empty " + std::string(what));
   }
+  constexpr std::size_t kMax = static_cast<std::size_t>(-1);
   std::size_t value = 0;
   for (char c : t) {
     if (!std::isdigit(static_cast<unsigned char>(c))) {
       throw ParseError("invalid " + std::string(what) + ": '" + t + "'");
     }
-    value = value * 10 + static_cast<std::size_t>(c - '0');
+    const std::size_t digit = static_cast<std::size_t>(c - '0');
+    if (value > (kMax - digit) / 10) {
+      throw ParseError(std::string(what) + " out of range: '" + t + "'");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::size_t parse_size_bounded(std::string_view text, std::string_view what,
+                               std::size_t max) {
+  const std::size_t value = parse_size(text, what);
+  if (value > max) {
+    throw ParseError(std::string(what) + " out of range: '" + trim(text) +
+                     "' exceeds " + std::to_string(max));
   }
   return value;
 }

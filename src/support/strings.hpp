@@ -21,7 +21,14 @@ std::string to_lower(std::string_view text);
 std::string join(const std::vector<std::string>& parts, std::string_view sep);
 
 // Parse a non-negative integer; throws ParseError with `what` context.
+// Rejects values that would overflow std::size_t instead of wrapping —
+// parsers facing untrusted input (the service wire protocol) rely on this.
 std::size_t parse_size(std::string_view text, std::string_view what);
+
+// parse_size plus an inclusive upper bound, for wire-protocol fields where
+// absurd values ("MAP a 99999999999 …") must fail cleanly, not allocate.
+std::size_t parse_size_bounded(std::string_view text, std::string_view what,
+                               std::size_t max);
 
 bool starts_with(std::string_view text, std::string_view prefix);
 

@@ -1,0 +1,112 @@
+#include "svc/client.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <istream>
+#include <ostream>
+#include <thread>
+
+#include "support/strings.hpp"
+#include "svc/protocol.hpp"
+
+namespace lama::svc {
+
+bool QueryResult::ok() const { return starts_with(response, "OK"); }
+
+bool parse_busy_response(const std::string& response,
+                         std::uint32_t& retry_after_ms) {
+  static constexpr std::string_view kPrefix = "ERR busy retry-after=";
+  if (!starts_with(response, kPrefix)) return false;
+  const std::string tail = trim(response.substr(kPrefix.size()));
+  try {
+    retry_after_ms =
+        static_cast<std::uint32_t>(parse_size_bounded(tail, "retry-after",
+                                                      kMaxTimeoutMs));
+  } catch (...) {
+    return false;  // malformed hint: treat as a terminal error, not busy
+  }
+  return true;
+}
+
+QueryClient::QueryClient(Transport transport, RetryPolicy policy)
+    : transport_(std::move(transport)),
+      policy_(policy),
+      sleeper_([](std::uint32_t ms) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      }),
+      jitter_(policy.seed) {}
+
+void QueryClient::set_sleeper(Sleeper sleeper) {
+  sleeper_ = std::move(sleeper);
+}
+
+std::uint32_t QueryClient::backoff_ms(std::size_t attempt,
+                                      std::uint32_t server_hint_ms) {
+  // Capped exponential: base * 2^(attempt-1), clamped to max_ms.
+  std::uint64_t exp = policy_.base_ms;
+  for (std::size_t i = 1; i < attempt && exp < policy_.max_ms; ++i) exp *= 2;
+  exp = std::min<std::uint64_t>(exp, policy_.max_ms);
+  // Half-jitter: uniformly in [exp/2, exp], so synchronized clients spread
+  // out while the delay stays within a factor of two of the schedule.
+  const std::uint64_t half = exp / 2;
+  const std::uint64_t jittered =
+      half + (half > 0 ? jitter_.next_below(half + 1) : 0);
+  // The server's hint is a promise that retrying sooner is pointless.
+  return static_cast<std::uint32_t>(
+      std::max<std::uint64_t>(jittered, server_hint_ms));
+}
+
+QueryResult QueryClient::send(const std::string& line) {
+  QueryResult result;
+  const std::size_t attempts = std::max<std::size_t>(policy_.max_attempts, 1);
+  for (std::size_t attempt = 1; attempt <= attempts; ++attempt) {
+    result.response = transport_(line);
+    result.attempts = attempt;
+    std::uint32_t hint_ms = 0;
+    if (!parse_busy_response(result.response, hint_ms)) return result;
+    if (attempt == attempts) break;  // budget exhausted: report busy
+    const std::uint32_t delay = backoff_ms(attempt, hint_ms);
+    result.total_backoff_ms += delay;
+    if (delay > 0) sleeper_(delay);
+  }
+  result.gave_up_busy = true;
+  return result;
+}
+
+QueryResult QueryClient::query(const Allocation& alloc,
+                               const std::string& alloc_id, std::size_t np,
+                               const std::string& spec,
+                               const std::string& options) {
+  // NODE lines are definitions, not work — they are never shed, so a non-OK
+  // response is terminal.
+  const std::string text = format_query(alloc, alloc_id, np, spec, options);
+  std::size_t pos = 0;
+  std::string map_line;
+  while (pos < text.size()) {
+    const auto nl = text.find('\n', pos);
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl == std::string::npos ? text.size() : nl + 1;
+    if (line.empty()) continue;
+    if (starts_with(line, "MAP ")) {
+      map_line = line;  // always the last line of a query
+      continue;
+    }
+    QueryResult setup;
+    setup.response = transport_(line);
+    setup.attempts = 1;
+    if (!setup.ok()) return setup;
+  }
+  return send(map_line);
+}
+
+QueryClient::Transport stream_transport(std::ostream& out, std::istream& in) {
+  return [&out, &in](const std::string& line) {
+    out << line << "\n";
+    out.flush();
+    std::string response;
+    std::getline(in, response);
+    return response;
+  };
+}
+
+}  // namespace lama::svc

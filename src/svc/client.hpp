@@ -1,0 +1,85 @@
+// The client side of the wire protocol with resilience built in: a
+// QueryClient sends protocol lines through a pluggable transport and retries
+// load-shed responses ("ERR busy retry-after=<ms>") with capped exponential
+// backoff and deterministic jitter. The server's retry-after hint is the
+// floor of every delay; jitter (SplitMix64, seeded from RetryPolicy) spreads
+// synchronized clients apart without sacrificing reproducibility. Sleeping
+// is injectable so tests assert the exact backoff schedule without waiting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "support/rng.hpp"
+
+namespace lama::svc {
+
+struct RetryPolicy {
+  // Total tries per request, including the first (1 = never retry).
+  std::size_t max_attempts = 5;
+  // First backoff; doubles every retry.
+  std::uint32_t base_ms = 10;
+  // Backoff ceiling (pre-jitter).
+  std::uint32_t max_ms = 1000;
+  // Seed of the jitter stream — fix it and the schedule is reproducible.
+  std::uint64_t seed = 0x6c616d61ULL;
+};
+
+struct QueryResult {
+  std::string response;              // final response line (OK/ERR/empty)
+  std::size_t attempts = 0;          // sends of the retried line
+  std::uint64_t total_backoff_ms = 0;
+  bool gave_up_busy = false;         // still busy after max_attempts
+
+  [[nodiscard]] bool ok() const;
+};
+
+class QueryClient {
+ public:
+  // Sends one request line (no trailing newline) and returns the response
+  // line. The stream_transport below adapts an ostream/istream pair.
+  using Transport = std::function<std::string(const std::string& line)>;
+  using Sleeper = std::function<void(std::uint32_t ms)>;
+
+  explicit QueryClient(Transport transport, RetryPolicy policy = {});
+
+  // Replaces the real sleep (std::this_thread::sleep_for) — tests install a
+  // recorder here.
+  void set_sleeper(Sleeper sleeper);
+
+  // Sends one line; busy responses are retried per the policy, anything
+  // else (OK or a real error) returns immediately.
+  QueryResult send(const std::string& line);
+
+  // Full query: NODE lines defining `alloc`, then the MAP line (the part
+  // that can be shed, so the part that retries).
+  QueryResult query(const Allocation& alloc, const std::string& alloc_id,
+                    std::size_t np, const std::string& spec,
+                    const std::string& options = "");
+
+  // The delay before retry number `attempt` (1-based): jittered exponential
+  // backoff, never below the server's hint. Exposed so tests can pin the
+  // schedule.
+  std::uint32_t backoff_ms(std::size_t attempt, std::uint32_t server_hint_ms);
+
+ private:
+  Transport transport_;
+  RetryPolicy policy_;
+  Sleeper sleeper_;
+  SplitMix64 jitter_;
+};
+
+// Parses "ERR busy retry-after=<ms>"; returns true and fills `retry_after_ms`
+// only for well-formed busy responses.
+bool parse_busy_response(const std::string& response,
+                         std::uint32_t& retry_after_ms);
+
+// A transport over a stream pair: writes the line + '\n', flushes, reads one
+// response line. Suitable for pipes to a serve() loop.
+QueryClient::Transport stream_transport(std::ostream& out, std::istream& in);
+
+}  // namespace lama::svc

@@ -13,11 +13,13 @@ std::uint64_t load(const std::atomic<std::uint64_t>& a) {
 }  // namespace
 
 std::string Counters::stats_line() const {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "requests=%llu completed=%llu errors=%llu hits=%llu misses=%llu "
-      "coalesced=%llu evictions=%llu uncached=%llu map_p50_us=%llu "
+      "coalesced=%llu evictions=%llu uncached=%llu cached=%llu shed=%llu "
+      "deadlined=%llu integrity_failures=%llu degraded=%llu "
+      "invalidations=%llu remaps=%llu map_p50_us=%llu "
       "map_p99_us=%llu build_p99_us=%llu total_p99_us=%llu",
       static_cast<unsigned long long>(load(requests)),
       static_cast<unsigned long long>(load(completed)),
@@ -27,6 +29,13 @@ std::string Counters::stats_line() const {
       static_cast<unsigned long long>(load(coalesced)),
       static_cast<unsigned long long>(load(evictions)),
       static_cast<unsigned long long>(load(uncached)),
+      static_cast<unsigned long long>(load(cached)),
+      static_cast<unsigned long long>(load(shed)),
+      static_cast<unsigned long long>(load(deadlined)),
+      static_cast<unsigned long long>(load(integrity_failures)),
+      static_cast<unsigned long long>(load(degraded)),
+      static_cast<unsigned long long>(load(invalidations)),
+      static_cast<unsigned long long>(load(remaps)),
       static_cast<unsigned long long>(map_ns.percentile_ns(50) / 1000),
       static_cast<unsigned long long>(map_ns.percentile_ns(99) / 1000),
       static_cast<unsigned long long>(build_ns.percentile_ns(99) / 1000),
@@ -51,6 +60,16 @@ std::string Counters::render() const {
                 static_cast<unsigned long long>(load(coalesced)),
                 static_cast<unsigned long long>(load(evictions)),
                 static_cast<unsigned long long>(load(uncached)));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "resilience  shed %llu, deadlined %llu, integrity %llu, "
+                "degraded %llu, invalidations %llu, remaps %llu\n",
+                static_cast<unsigned long long>(load(shed)),
+                static_cast<unsigned long long>(load(deadlined)),
+                static_cast<unsigned long long>(load(integrity_failures)),
+                static_cast<unsigned long long>(load(degraded)),
+                static_cast<unsigned long long>(load(invalidations)),
+                static_cast<unsigned long long>(load(remaps)));
   out += buf;
   out += "lookup  " + lookup_ns.summary() + "\n";
   out += "build   " + build_ns.summary() + "\n";

@@ -1,10 +1,13 @@
 // Request metrics for the mapping service. All counters are monotonic
 // atomics updated wait-free from worker threads; the histograms bucket
 // per-stage latencies (cache lookup, tree build, mapping walk, end-to-end).
-// The invariant the benchmark and tests pin down: for every request that
-// consults the tree cache, exactly one of cache_hits / cache_misses /
-// coalesced is incremented — the three sum to the number of cached-path
-// requests.
+// Two invariants the stress and fault-injection suites pin down:
+//   * for every request that consults the tree cache, exactly one of
+//     cache_hits / cache_misses / coalesced is incremented — the three sum
+//     to `cached` (the number of cached-path requests);
+//   * `errors` is incremented exactly once per failed request, whatever the
+//     failure path (parse, shed, deadline, mapping, integrity fallback that
+//     then fails) — so requests == completed and errors never double-counts.
 #pragma once
 
 #include <atomic>
@@ -23,11 +26,20 @@ struct Counters {
 
   // Tree-cache accounting (cached "lama" path only; baseline components
   // bypass the cache and appear in `uncached`).
+  std::atomic<std::uint64_t> cached{0};        // requests that consulted it
   std::atomic<std::uint64_t> cache_hits{0};    // tree served from the LRU
   std::atomic<std::uint64_t> cache_misses{0};  // this request built the tree
   std::atomic<std::uint64_t> coalesced{0};     // waited on an in-flight build
   std::atomic<std::uint64_t> evictions{0};     // trees dropped by LRU policy
   std::atomic<std::uint64_t> uncached{0};      // requests that skip the cache
+
+  // Resilience accounting (docs/resilience.md).
+  std::atomic<std::uint64_t> shed{0};       // rejected with ERR busy
+  std::atomic<std::uint64_t> deadlined{0};  // cancelled past their deadline
+  std::atomic<std::uint64_t> integrity_failures{0};  // cached tree rejected
+  std::atomic<std::uint64_t> degraded{0};   // fell back to the uncached path
+  std::atomic<std::uint64_t> invalidations{0};  // trees dropped by epoch bump
+  std::atomic<std::uint64_t> remaps{0};     // remap requests accepted
 
   // Per-stage latencies.
   LatencyHistogram lookup_ns;  // cache probe, excluding build/wait

@@ -1,0 +1,322 @@
+#include "svc/fault_injector.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "support/strings.hpp"
+#include "svc/client.hpp"
+#include "svc/protocol.hpp"
+
+namespace lama::svc {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeDeath: return "node-death";
+    case FaultKind::kNodeRecovery: return "node-recovery";
+    case FaultKind::kPuOffline: return "pu-offline";
+    case FaultKind::kMalformedRequest: return "malformed-request";
+    case FaultKind::kTreeCorruption: return "tree-corruption";
+    case FaultKind::kWorkerStall: return "worker-stall";
+  }
+  return "unknown";
+}
+
+std::string malformed_request_line(SplitMix64& rng) {
+  // Every template must answer ERR: truncated commands, numeric abuse
+  // (overflow, negatives, non-digits), unknown verbs and options, and raw
+  // garbage. None may crash, hang, or wrap an integer.
+  switch (rng.next_below(12)) {
+    case 0: return "MAP";
+    case 1: return "MAP fi";
+    case 2: return "MAP fi -3 lama";
+    case 3: return "MAP fi 99999999999999999999999 lama";
+    case 4: return "MAP fi 4 lama oversub";
+    case 5: return "MAP fi 4 lama timeout=never";
+    case 6: return "MAP nosuchalloc 4 lama";
+    case 7: return "BATCH 18446744073709551616";
+    case 8: return "OFFLINE fi 999999";
+    case 9: return "FROBNICATE the cluster";
+    case 10: return "NODE fi 8";  // no topology s-expression
+    default: {
+      std::string garbage = "MAP fi ";
+      const std::size_t len = 1 + rng.next_below(24);
+      for (std::size_t i = 0; i < len; ++i) {
+        garbage += static_cast<char>('!' + rng.next_below(94));
+      }
+      return garbage;
+    }
+  }
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, std::size_t num_requests,
+                            const FaultMix& mix, const Allocation& alloc) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.num_requests = num_requests;
+  SplitMix64 rng(seed);
+  const std::size_t num_nodes = alloc.num_nodes();
+
+  // Walk the schedule positions in order so "never kill the last live node"
+  // can be decided against the availability state at that point.
+  struct Slot {
+    FaultKind kind;
+    std::size_t at;
+  };
+  std::vector<Slot> slots;
+  const auto add = [&](FaultKind kind, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      slots.push_back({kind, num_requests == 0 ? 0
+                                               : rng.next_below(num_requests)});
+    }
+  };
+  add(FaultKind::kNodeDeath, mix.node_deaths);
+  add(FaultKind::kNodeRecovery, mix.node_recoveries);
+  add(FaultKind::kPuOffline, mix.pu_offlines);
+  add(FaultKind::kMalformedRequest, mix.malformed);
+  add(FaultKind::kTreeCorruption, mix.tree_corruptions);
+  add(FaultKind::kWorkerStall, mix.worker_stalls);
+  std::stable_sort(slots.begin(), slots.end(),
+                   [](const Slot& a, const Slot& b) { return a.at < b.at; });
+
+  std::set<std::size_t> dead;
+  for (const Slot& slot : slots) {
+    FaultEvent event;
+    event.kind = slot.kind;
+    event.at_request = slot.at;
+    switch (slot.kind) {
+      case FaultKind::kNodeDeath: {
+        if (dead.size() + 1 >= num_nodes) continue;  // keep one node alive
+        std::size_t node = rng.next_below(num_nodes);
+        while (dead.count(node) != 0) node = (node + 1) % num_nodes;
+        dead.insert(node);
+        event.node = node;
+        break;
+      }
+      case FaultKind::kNodeRecovery: {
+        if (dead.empty()) continue;
+        const std::size_t pick = rng.next_below(dead.size());
+        auto it = dead.begin();
+        std::advance(it, pick);
+        event.node = *it;
+        dead.erase(it);
+        break;
+      }
+      case FaultKind::kPuOffline: {
+        // Target a live node and knock out up to half its PUs so the node
+        // shrinks without dying.
+        std::size_t node = rng.next_below(num_nodes);
+        while (dead.count(node) != 0) node = (node + 1) % num_nodes;
+        const std::size_t pu_count = alloc.node(node).topo.pu_count();
+        if (pu_count < 2) continue;
+        event.node = node;
+        const std::size_t how_many = 1 + rng.next_below(pu_count / 2);
+        std::set<std::size_t> chosen;
+        while (chosen.size() < how_many) chosen.insert(rng.next_below(pu_count));
+        event.pus.assign(chosen.begin(), chosen.end());
+        break;
+      }
+      case FaultKind::kMalformedRequest:
+        event.payload = malformed_request_line(rng);
+        break;
+      case FaultKind::kTreeCorruption:
+        break;
+      case FaultKind::kWorkerStall:
+        event.stall_ms = 1 + static_cast<std::uint32_t>(rng.next_below(3));
+        break;
+    }
+    plan.events.push_back(std::move(event));
+  }
+  return plan;
+}
+
+std::string InjectionOutcome::report() const {
+  std::ostringstream out;
+  out << "fault injection: " << requests_sent << " requests, "
+      << faults_applied << " faults (";
+  for (std::size_t i = 0; i < kNumFaultKinds; ++i) {
+    if (i > 0) out << ", ";
+    out << fault_kind_name(static_cast<FaultKind>(i)) << "="
+        << applied_by_kind[i];
+  }
+  out << ")\n";
+  out << "responses: ok=" << responses_ok << " err=" << responses_err
+      << " busy=" << responses_busy << " degraded=" << responses_degraded
+      << "\n";
+  if (violations.empty()) {
+    out << "invariants: PASS\n";
+  } else {
+    out << "invariants: FAIL (" << violations.size() << ")\n";
+    for (const std::string& v : violations) out << "  - " << v << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+struct Runner {
+  MappingService& service;
+  const Allocation& alloc;
+  const FaultPlan& plan;
+  ProtocolSession session;
+  std::istringstream no_more;  // execute() is driven line-by-line, no BATCH
+  SplitMix64 rng;
+  InjectionOutcome outcome;
+  std::size_t deaths_since_remap = 0;
+
+  Runner(MappingService& svc, const Allocation& a, const FaultPlan& p)
+      : service(svc), alloc(a), plan(p), session(svc), rng(p.seed ^ 0x5eed) {}
+
+  void violation(std::string what) {
+    outcome.violations.push_back(std::move(what));
+  }
+
+  // Sends one line and enforces the response contract: non-empty, and
+  // starting with OK/ERR/STATS.
+  std::string exchange(const std::string& line, bool expect_err) {
+    const std::string response = session.execute(line, no_more);
+    if (response.empty() || response.back() != '\n') {
+      violation("unterminated response to: '" + line + "'");
+      return response;
+    }
+    const std::string body = response.substr(0, response.size() - 1);
+    if (!starts_with(body, "OK") && !starts_with(body, "ERR") &&
+        !starts_with(body, "STATS")) {
+      violation("malformed response '" + body + "' to: '" + line + "'");
+    }
+    if (expect_err && !starts_with(body, "ERR")) {
+      violation("malformed input accepted: '" + line + "' -> '" + body + "'");
+    }
+    return body;
+  }
+
+  void classify(const std::string& body) {
+    ++outcome.requests_sent;
+    std::uint32_t hint = 0;
+    if (parse_busy_response(body, hint)) {
+      ++outcome.responses_busy;
+      ++outcome.responses_err;
+    } else if (starts_with(body, "ERR")) {
+      ++outcome.responses_err;
+    } else {
+      ++outcome.responses_ok;
+      if (body.find(" degraded=1") != std::string::npos) {
+        ++outcome.responses_degraded;
+      }
+    }
+  }
+
+  void apply(const FaultEvent& event) {
+    ++outcome.faults_applied;
+    ++outcome.applied_by_kind[static_cast<std::size_t>(event.kind)];
+    switch (event.kind) {
+      case FaultKind::kNodeDeath:
+        exchange("OFFLINE fi " + std::to_string(event.node), false);
+        ++deaths_since_remap;
+        break;
+      case FaultKind::kNodeRecovery:
+        exchange("ONLINE fi " + std::to_string(event.node), false);
+        break;
+      case FaultKind::kPuOffline: {
+        std::string line = "OFFLINE fi " + std::to_string(event.node);
+        for (const std::size_t pu : event.pus) {
+          line += " " + std::to_string(pu);
+        }
+        exchange(line, false);
+        break;
+      }
+      case FaultKind::kMalformedRequest:
+        exchange(event.payload, /*expect_err=*/true);
+        break;
+      case FaultKind::kTreeCorruption:
+        service.corrupt_cached_trees_for_testing();
+        break;
+      case FaultKind::kWorkerStall: {
+        const std::uint32_t ms = event.stall_ms;
+        service.set_fault_hook([ms] {
+          std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+        });
+        break;
+      }
+    }
+  }
+
+  InjectionOutcome run() {
+    // Define the allocation: one NODE line per allocated node.
+    const std::string setup = format_query(alloc, "fi", 1, "lama");
+    std::istringstream setup_lines(setup);
+    std::string line;
+    while (std::getline(setup_lines, line)) {
+      if (starts_with(line, "NODE ")) exchange(line, false);
+    }
+
+    const std::size_t total_pus = alloc.total_online_pus();
+    std::size_t next_event = 0;
+    for (std::size_t i = 0; i < plan.num_requests; ++i) {
+      while (next_event < plan.events.size() &&
+             plan.events[next_event].at_request <= i) {
+        apply(plan.events[next_event]);
+        ++next_event;
+      }
+      // After a death, prefer re-placing the previous mapping — the remap
+      // path is the one the faults exist to exercise.
+      if (deaths_since_remap > 0 && rng.next_bool(0.5)) {
+        classify(exchange("REMAP fi", false));
+        deaths_since_remap = 0;
+        continue;
+      }
+      const std::size_t np = 1 + rng.next_below(std::max<std::size_t>(
+                                     1, std::min<std::size_t>(total_pus, 32)));
+      std::string request = "MAP fi " + std::to_string(np) + " lama";
+      if (rng.next_bool(0.3)) request += " oversub=1";
+      if (rng.next_bool(0.2)) request += " timeout=200";
+      classify(exchange(request, false));
+    }
+    for (; next_event < plan.events.size(); ++next_event) {
+      apply(plan.events[next_event]);
+    }
+    service.set_fault_hook(nullptr);
+
+    check_counters();
+    return std::move(outcome);
+  }
+
+  void check_counters() {
+    const Counters& c = service.counters();
+    const auto load = [](const std::atomic<std::uint64_t>& a) {
+      return a.load(std::memory_order_relaxed);
+    };
+    const std::uint64_t cached = load(c.cached);
+    const std::uint64_t sum =
+        load(c.cache_hits) + load(c.cache_misses) + load(c.coalesced);
+    if (sum != cached) {
+      violation("cache counter invariant broken: hits+misses+coalesced=" +
+                std::to_string(sum) + " != cached=" + std::to_string(cached));
+    }
+    const std::uint64_t requests = load(c.requests);
+    const std::uint64_t completed = load(c.completed);
+    if (completed != requests) {
+      violation("accounting invariant broken: completed=" +
+                std::to_string(completed) +
+                " != requests=" + std::to_string(requests));
+    }
+    if (load(c.errors) > requests) {
+      violation("more errors than requests: errors=" +
+                std::to_string(load(c.errors)) +
+                " requests=" + std::to_string(requests));
+    }
+  }
+};
+
+}  // namespace
+
+InjectionOutcome run_fault_injection(MappingService& service,
+                                     const Allocation& alloc,
+                                     const FaultPlan& plan) {
+  Runner runner(service, alloc, plan);
+  return runner.run();
+}
+
+}  // namespace lama::svc

@@ -1,0 +1,112 @@
+// Deterministic fault injection for the mapping service. A FaultPlan is a
+// seeded schedule of fault events interleaved with a stream of protocol
+// requests; run_fault_injection() replays it against a live ProtocolSession
+// and checks, at every step and at the end, that the service held its
+// contract: every line answered (OK/ERR, never a hang or a crash), malformed
+// input answered with ERR, and the counter invariants intact
+// (hits + misses + coalesced == cached-path requests, completed == requests,
+// exactly one error per failed request). Same seed, same plan, same outcome
+// — failures reproduce from a single integer.
+//
+// Fault classes (docs/resilience.md):
+//   kNodeDeath / kNodeRecovery  OFFLINE/ONLINE of a whole node, followed by
+//                               epoch bump, cache invalidation, and (after a
+//                               death) a REMAP of the last mapping
+//   kPuOffline                  OFFLINE of individual PUs on a live node
+//   kMalformedRequest           a line from the malformed-input corpus
+//   kTreeCorruption             flips cached trees' integrity seals so the
+//                               next hits exercise the degraded path
+//   kWorkerStall                a fault hook that stalls request threads,
+//                               driving deadline and backpressure behavior
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "support/rng.hpp"
+#include "svc/service.hpp"
+
+namespace lama::svc {
+
+enum class FaultKind {
+  kNodeDeath,
+  kNodeRecovery,
+  kPuOffline,
+  kMalformedRequest,
+  kTreeCorruption,
+  kWorkerStall,
+};
+
+inline constexpr std::size_t kNumFaultKinds = 6;
+
+[[nodiscard]] const char* fault_kind_name(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kMalformedRequest;
+  std::size_t at_request = 0;  // injected before this request index
+  std::size_t node = 0;        // kNodeDeath/kNodeRecovery/kPuOffline
+  std::vector<std::size_t> pus;  // kPuOffline
+  std::uint32_t stall_ms = 0;  // kWorkerStall
+  std::string payload;         // kMalformedRequest line
+};
+
+// How many events of each class a random plan schedules.
+struct FaultMix {
+  std::size_t node_deaths = 2;
+  std::size_t node_recoveries = 1;
+  std::size_t pu_offlines = 3;
+  std::size_t malformed = 4;
+  std::size_t tree_corruptions = 2;
+  std::size_t worker_stalls = 2;
+
+  [[nodiscard]] std::size_t total() const {
+    return node_deaths + node_recoveries + pu_offlines + malformed +
+           tree_corruptions + worker_stalls;
+  }
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::size_t num_requests = 0;
+  std::vector<FaultEvent> events;  // sorted by at_request
+
+  // A reproducible plan over `alloc`: event positions, fault targets, and
+  // malformed payloads all derive from `seed`. Node deaths never target the
+  // last node left alive at that point in the schedule, so mapping work
+  // stays possible throughout.
+  static FaultPlan random(std::uint64_t seed, std::size_t num_requests,
+                          const FaultMix& mix, const Allocation& alloc);
+};
+
+// One line of the malformed-input corpus, deterministic in `rng` — overflow
+// digits, negative counts, truncated commands, binary garbage, unknown
+// verbs. Every one of them must answer ERR.
+std::string malformed_request_line(SplitMix64& rng);
+
+struct InjectionOutcome {
+  std::size_t requests_sent = 0;   // MAP/REMAP lines driven
+  std::size_t responses_ok = 0;
+  std::size_t responses_err = 0;
+  std::size_t responses_busy = 0;
+  std::size_t responses_degraded = 0;
+  std::size_t faults_applied = 0;
+  std::size_t applied_by_kind[kNumFaultKinds] = {};
+  // Invariant breaches and contract violations; empty means the service
+  // survived the schedule cleanly.
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool passed() const { return violations.empty(); }
+  [[nodiscard]] std::string report() const;
+};
+
+// Replays `plan` against a fresh ProtocolSession on `service`, interleaving
+// fault events with a deterministic request stream over `alloc`. Clears the
+// service's fault hook before returning.
+InjectionOutcome run_fault_injection(MappingService& service,
+                                     const Allocation& alloc,
+                                     const FaultPlan& plan);
+
+}  // namespace lama::svc

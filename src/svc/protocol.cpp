@@ -1,11 +1,12 @@
 #include "svc/protocol.hpp"
 
 #include <istream>
-#include <map>
-#include <optional>
 #include <ostream>
+#include <utility>
 #include <vector>
 
+#include "cluster/alloc_serialize.hpp"
+#include "lama/layout.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 #include "topo/serialize.hpp"
@@ -14,44 +15,101 @@ namespace lama::svc {
 
 namespace {
 
-// One named allocation being assembled by NODE lines. Interning is lazy and
-// re-done after further NODE lines (a MAP between NODEs sees the allocation
-// as defined so far).
-struct AllocEntry {
-  std::string text;  // wire form accumulated from NODE lines
-  std::size_t num_nodes = 0;
-  InternedAlloc interned;
-  bool dirty = true;
-};
+std::string csv(const std::vector<std::size_t>& values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(values[i]);
+  }
+  return out;
+}
 
-struct Session {
+std::string csv_int(const std::vector<int>& values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(values[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+// The session state behind execute(): named allocations (parsed eagerly from
+// NODE lines so OFFLINE/ONLINE can mutate availability in place), their
+// epochs, and the last successful lama mapping per allocation for REMAP.
+struct ProtocolSession::Impl {
+  explicit Impl(MappingService& svc) : service(svc) {}
+
+  // The most recent lama mapping served for an allocation — the state REMAP
+  // re-places after an availability change.
+  struct LastMap {
+    ProcessLayout layout{std::vector<ResourceType>{ResourceType::kNode}};
+    MapOptions opts;
+    MappingResult mapping;
+  };
+
+  struct AllocEntry {
+    Allocation current;        // availability edits apply here
+    std::uint64_t epoch = 0;   // bumped by NODE/OFFLINE/ONLINE
+    InternedAlloc interned;    // lazy snapshot of `current` at `epoch`
+    bool dirty = true;
+    std::optional<LastMap> last;
+  };
+
   MappingService& service;
   std::map<std::string, AllocEntry> allocs;
 
-  const InternedAlloc& interned(const std::string& id) {
+  AllocEntry& entry(const std::string& id) {
     const auto it = allocs.find(id);
     if (it == allocs.end()) {
       throw ParseError("unknown allocation id '" + id +
                        "' (define it with NODE lines first)");
     }
-    AllocEntry& entry = it->second;
-    if (entry.dirty) {
-      entry.interned = service.intern_serialized(entry.text);
-      entry.dirty = false;
-    }
-    return entry.interned;
+    return it->second;
   }
+
+  // Interning is lazy and re-done after any availability change: a MAP after
+  // an OFFLINE sees the reduced allocation (and a new fingerprint, so cached
+  // trees from the old epoch can never serve it).
+  const InternedAlloc& interned(AllocEntry& e) {
+    if (e.dirty) {
+      e.interned = service.intern(e.current, e.epoch);
+      e.dirty = false;
+    }
+    return e.interned;
+  }
+
+  // An availability change starts a new epoch: drop the stale trees now
+  // (their fingerprint will never be requested again) and force re-intern.
+  void bump_epoch(AllocEntry& e) {
+    if (e.interned.valid()) service.invalidate(e.interned.fingerprint);
+    e.epoch += 1;
+    e.dirty = true;
+  }
+
+  MapRequest parse_map_command(const std::vector<std::string>& tokens);
+  std::string handle_node(const std::vector<std::string>& tokens,
+                          const std::string& trimmed);
+  std::string handle_availability(const std::vector<std::string>& tokens,
+                                  bool offline);
+  std::string handle_remap(const std::vector<std::string>& tokens,
+                           std::size_t& served);
+  void record_last_map(const std::string& id, const MapRequest& request,
+                       const MapResponse& response);
 };
 
-// "MAP <alloc-id> <np> <spec> [key=value ...]" -> a service request.
-MapRequest parse_map_command(Session& session,
-                             const std::vector<std::string>& tokens) {
+// "MAP <alloc-id> <np> <spec> [key=value ...]" -> a service request. Every
+// numeric field is bounds-checked: a hostile count answers ERR instead of
+// sizing a vector.
+MapRequest ProtocolSession::Impl::parse_map_command(
+    const std::vector<std::string>& tokens) {
   if (tokens.size() < 4) {
     throw ParseError("MAP needs '<alloc-id> <np> <spec>'");
   }
   MapRequest request;
-  request.alloc = session.interned(tokens[1]);
-  request.opts.np = parse_size(tokens[2], "MAP process count");
+  request.alloc = interned(entry(tokens[1]));
+  request.opts.np = parse_size_bounded(tokens[2], "MAP process count", kMaxNp);
   request.spec = tokens[3];
   for (std::size_t i = 4; i < tokens.size(); ++i) {
     const auto eq = tokens[i].find('=');
@@ -64,12 +122,16 @@ MapRequest parse_map_command(Session& session,
       request.opts.allow_oversubscribe =
           parse_size(value, "MAP oversub") != 0;
     } else if (key == "pus") {
-      request.opts.pus_per_proc = parse_size(value, "MAP pus");
+      request.opts.pus_per_proc =
+          parse_size_bounded(value, "MAP pus", kMaxPusPerProc);
     } else if (key == "npernode") {
       request.opts.set_cap(ResourceType::kNode,
-                           parse_size(value, "MAP npernode"));
+                           parse_size_bounded(value, "MAP npernode", kMaxNp));
     } else if (key == "bind") {
       request.binding = BindingPolicy{parse_bind_target(value)};
+    } else if (key == "timeout") {
+      request.timeout_ms = static_cast<std::uint32_t>(
+          parse_size_bounded(value, "MAP timeout", kMaxTimeoutMs));
     } else {
       throw ParseError("unknown MAP option '" + key + "'");
     }
@@ -77,18 +139,232 @@ MapRequest parse_map_command(Session& session,
   return request;
 }
 
-std::string csv(const std::vector<std::size_t>& values) {
-  std::string out;
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    if (i > 0) out += ',';
-    out += std::to_string(values[i]);
+std::string ProtocolSession::Impl::handle_node(
+    const std::vector<std::string>& tokens, const std::string& trimmed) {
+  if (tokens.size() < 4) {
+    throw ParseError("NODE needs '<alloc-id> <slots> <topology>'");
   }
+  // Validate the slot count before handing the line to the allocation
+  // parser, so protocol bounds apply.
+  parse_size_bounded(tokens[2], "NODE slots", kMaxSlots);
+  // Re-join the topology expression (it may contain spaces).
+  const auto topo_at = trimmed.find('(');
+  if (topo_at == std::string::npos) {
+    throw ParseError("NODE line has no topology s-expression");
+  }
+  Allocation parsed =
+      parse_allocation(tokens[2] + " " + trimmed.substr(topo_at));
+  AllocEntry& e = allocs[tokens[1]];
+  if (e.current.num_nodes() >= kMaxNodesPerAlloc) {
+    throw ParseError("allocation '" + tokens[1] + "' exceeds " +
+                     std::to_string(kMaxNodesPerAlloc) + " nodes");
+  }
+  AllocatedNode node = std::move(parsed.mutable_node(0));
+  node.cluster_index = e.current.num_nodes();
+  e.current.add(std::move(node));
+  bump_epoch(e);
+  return "OK node " + tokens[1] + " n=" + std::to_string(e.current.num_nodes());
+}
+
+// OFFLINE/ONLINE <alloc-id> <node> [pu...]: without PU indices the whole
+// node object is toggled; with them, individual leaves. ONLINE re-enables
+// exactly what the matching OFFLINE disabled — a PU under a dead node stays
+// unusable until the node itself comes back.
+std::string ProtocolSession::Impl::handle_availability(
+    const std::vector<std::string>& tokens, bool offline) {
+  const char* verb = offline ? "OFFLINE" : "ONLINE";
+  if (tokens.size() < 3) {
+    throw ParseError(std::string(verb) + " needs '<alloc-id> <node> [pu...]'");
+  }
+  AllocEntry& e = entry(tokens[1]);
+  const std::size_t node = parse_size_bounded(
+      tokens[2], std::string(verb) + " node index", e.current.num_nodes() - 1);
+  NodeTopology& topo = e.current.mutable_node(node).topo;
+  std::vector<std::size_t> pus;
+  for (std::size_t i = 3; i < tokens.size(); ++i) {
+    pus.push_back(parse_size_bounded(
+        tokens[i], std::string(verb) + " pu index", topo.pu_count() - 1));
+  }
+  if (pus.empty()) {
+    topo.set_object_disabled(ResourceType::kNode, 0, offline);
+  } else {
+    for (const std::size_t pu : pus) {
+      topo.set_object_disabled(topo.leaf_type(), pu, offline);
+    }
+  }
+  bump_epoch(e);
+  std::string out = std::string("OK ") + (offline ? "offline" : "online") +
+                    " " + tokens[1] + " node=" + std::to_string(node) +
+                    " epoch=" + std::to_string(e.epoch);
+  if (!pus.empty()) out += " pus=" + csv(pus);
   return out;
 }
 
-}  // namespace
+// REMAP <alloc-id> [timeout=ms]: re-place this allocation's last lama
+// mapping onto its current (reduced) availability. Survivors keep their
+// PUs; only displaced ranks move (lama/remap.hpp).
+std::string ProtocolSession::Impl::handle_remap(
+    const std::vector<std::string>& tokens, std::size_t& served) {
+  if (tokens.size() < 2) {
+    throw ParseError("REMAP needs '<alloc-id> [timeout=ms]'");
+  }
+  AllocEntry& e = entry(tokens[1]);
+  if (!e.last.has_value()) {
+    throw ParseError("no previous lama mapping for '" + tokens[1] +
+                     "' (run 'MAP " + tokens[1] + " <np> lama[:layout]' first)");
+  }
+  RemapRequest request;
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    const auto eq = tokens[i].find('=');
+    const std::string key =
+        eq == std::string::npos ? tokens[i] : tokens[i].substr(0, eq);
+    if (eq == std::string::npos || key != "timeout") {
+      throw ParseError("unknown REMAP option '" + tokens[i] + "'");
+    }
+    request.timeout_ms = static_cast<std::uint32_t>(parse_size_bounded(
+        tokens[i].substr(eq + 1), "REMAP timeout", kMaxTimeoutMs));
+  }
+  request.alloc = interned(e);
+  request.layout = e.last->layout;
+  request.opts = e.last->opts;
+  request.previous = &e.last->mapping;
+
+  const MapResponse response = service.remap(request);
+  ++served;
+  if (!response.ok()) {
+    if (response.busy) {
+      return "ERR busy retry-after=" + std::to_string(response.retry_after_ms);
+    }
+    return "ERR " + response.error;
+  }
+  // The remapped placement becomes the baseline for the next REMAP.
+  e.last->mapping = response.mapping;
+
+  std::vector<std::size_t> nodes, pus;
+  nodes.reserve(response.mapping.num_procs());
+  pus.reserve(response.mapping.num_procs());
+  for (const Placement& p : response.mapping.placements) {
+    nodes.push_back(p.node);
+    pus.push_back(p.representative_pu());
+  }
+  return "OK remap epoch=" + std::to_string(e.epoch) +
+         " np=" + std::to_string(response.mapping.num_procs()) +
+         " surviving=" + std::to_string(response.surviving) + " displaced=" +
+         (response.displaced.empty() ? "-" : csv_int(response.displaced)) +
+         " degraded=" + std::to_string(response.degraded ? 1 : 0) +
+         " nodes=" + csv(nodes) + " pus=" + csv(pus);
+}
+
+// Remember the mapping REMAP would re-place: the last successful,
+// non-batched lama MAP per allocation.
+void ProtocolSession::Impl::record_last_map(const std::string& id,
+                                            const MapRequest& request,
+                                            const MapResponse& response) {
+  if (!response.ok()) return;
+  const auto [name, args] = split_rmaps_spec(request.spec);
+  if (name != "lama") return;
+  LastMap last;
+  last.layout = ProcessLayout::parse(args.empty() ? kLamaDefaultLayout : args);
+  last.opts = request.opts;
+  last.mapping = response.mapping;
+  allocs[id].last = std::move(last);
+}
+
+ProtocolSession::ProtocolSession(MappingService& service)
+    : impl_(std::make_unique<Impl>(service)) {}
+
+ProtocolSession::~ProtocolSession() = default;
+
+std::string ProtocolSession::execute(const std::string& line,
+                                     std::istream& more) {
+  const std::string trimmed = trim(line);
+  if (trimmed.empty() || trimmed[0] == '#') return "";
+  const std::vector<std::string> tokens = split_ws(trimmed);
+  const std::string& cmd = tokens[0];
+  try {
+    if (cmd == "NODE") {
+      return impl_->handle_node(tokens, trimmed) + "\n";
+    }
+    if (cmd == "MAP") {
+      const MapRequest request = impl_->parse_map_command(tokens);
+      const MapResponse response = impl_->service.map(request);
+      ++served_;
+      impl_->record_last_map(tokens[1], request, response);
+      return format_map_response(response) + "\n";
+    }
+    if (cmd == "BATCH") {
+      if (tokens.size() != 2) throw ParseError("BATCH needs '<count>'");
+      const std::size_t count =
+          parse_size_bounded(tokens[1], "BATCH count", kMaxBatch);
+      // A MAP line that fails to parse becomes an ERR response in its slot
+      // without aborting the batch.
+      std::vector<std::optional<MapRequest>> slots;
+      std::vector<std::string> parse_errors(count);
+      slots.reserve(count);
+      std::string batch_line;
+      for (std::size_t i = 0; i < count; ++i) {
+        if (!std::getline(more, batch_line)) {
+          throw ParseError("BATCH ended early: expected " +
+                           std::to_string(count) + " MAP lines, got " +
+                           std::to_string(i));
+        }
+        try {
+          const std::vector<std::string> map_tokens =
+              split_ws(trim(batch_line));
+          if (map_tokens.empty() || map_tokens[0] != "MAP") {
+            throw ParseError("BATCH expects MAP lines, got: '" +
+                             trim(batch_line) + "'");
+          }
+          slots.push_back(impl_->parse_map_command(map_tokens));
+        } catch (const Error& e) {
+          slots.push_back(std::nullopt);
+          parse_errors[i] = e.what();
+        }
+      }
+      std::vector<MapRequest> requests;
+      for (const auto& slot : slots) {
+        if (slot.has_value()) requests.push_back(*slot);
+      }
+      const std::vector<MapResponse> responses =
+          impl_->service.map_batch(requests);
+      std::string out;
+      std::size_t next = 0;
+      for (std::size_t i = 0; i < count; ++i) {
+        if (slots[i].has_value()) {
+          out += format_map_response(responses[next++]) + "\n";
+          ++served_;
+        } else {
+          out += "ERR " + parse_errors[i] + "\n";
+        }
+      }
+      return out;
+    }
+    if (cmd == "OFFLINE" || cmd == "ONLINE") {
+      return impl_->handle_availability(tokens, cmd == "OFFLINE") + "\n";
+    }
+    if (cmd == "REMAP") {
+      return impl_->handle_remap(tokens, served_) + "\n";
+    }
+    if (cmd == "STATS") {
+      return "STATS " + impl_->service.counters().stats_line() + "\n";
+    }
+    if (cmd == "QUIT") {
+      done_ = true;
+      return "OK bye\n";
+    }
+    throw ParseError("unknown command '" + cmd + "'");
+  } catch (const Error& e) {
+    return std::string("ERR ") + e.what() + "\n";
+  } catch (const std::exception& e) {
+    // The session must survive anything a line of input can provoke.
+    return std::string("ERR unexpected error: ") + e.what() + "\n";
+  }
+}
 
 std::string format_map_response(const MapResponse& response) {
+  if (response.busy) {
+    return "ERR busy retry-after=" + std::to_string(response.retry_after_ms);
+  }
   if (!response.ok()) return "ERR " + response.error;
   std::vector<std::size_t> nodes, pus;
   nodes.reserve(response.mapping.num_procs());
@@ -102,6 +378,7 @@ std::string format_map_response(const MapResponse& response) {
                     " np=" + std::to_string(response.mapping.num_procs()) +
                     " sweeps=" + std::to_string(response.mapping.sweeps) +
                     " nodes=" + csv(nodes) + " pus=" + csv(pus);
+  if (response.degraded) out += " degraded=1";
   if (response.binding.has_value()) {
     std::vector<std::size_t> widths;
     widths.reserve(response.binding->bindings.size());
@@ -130,97 +407,21 @@ std::string format_query(const Allocation& alloc, const std::string& alloc_id,
 
 std::size_t serve(std::istream& in, std::ostream& out,
                   MappingService& service, bool stats_at_eof) {
-  Session session{service, {}};
-  std::size_t served = 0;
+  ProtocolSession session(service);
   std::string line;
-
-  // Parses upcoming MAP lines of a BATCH; a parse failure becomes an ERR
-  // response in that request's slot without aborting the batch.
-  const auto parse_batch_line =
-      [&](const std::string& text) -> std::optional<MapRequest> {
-    const std::vector<std::string> tokens = split_ws(text);
-    if (tokens.empty() || tokens[0] != "MAP") {
-      throw ParseError("BATCH expects MAP lines, got: '" + trim(text) + "'");
-    }
-    return parse_map_command(session, tokens);
-  };
-
   while (std::getline(in, line)) {
-    const std::string trimmed = trim(line);
-    if (trimmed.empty() || trimmed[0] == '#') continue;
-    const std::vector<std::string> tokens = split_ws(trimmed);
-    const std::string& cmd = tokens[0];
-    try {
-      if (cmd == "NODE") {
-        if (tokens.size() < 4) {
-          throw ParseError("NODE needs '<alloc-id> <slots> <topology>'");
-        }
-        // Re-join the topology expression (it may contain spaces).
-        const auto topo_at = trimmed.find('(');
-        if (topo_at == std::string::npos) {
-          throw ParseError("NODE line has no topology s-expression");
-        }
-        AllocEntry& entry = session.allocs[tokens[1]];
-        entry.text += tokens[2] + " " + trimmed.substr(topo_at) + "\n";
-        entry.num_nodes += 1;
-        entry.dirty = true;
-        out << "OK node " << tokens[1] << " n=" << entry.num_nodes << "\n";
-      } else if (cmd == "MAP") {
-        MapRequest request = parse_map_command(session, tokens);
-        out << format_map_response(service.map(request)) << "\n";
-        ++served;
-      } else if (cmd == "BATCH") {
-        if (tokens.size() != 2) throw ParseError("BATCH needs '<count>'");
-        const std::size_t count = parse_size(tokens[1], "BATCH count");
-        std::vector<std::optional<MapRequest>> slots;
-        std::vector<std::string> parse_errors(count);
-        slots.reserve(count);
-        for (std::size_t i = 0; i < count; ++i) {
-          if (!std::getline(in, line)) {
-            throw ParseError("BATCH ended early: expected " +
-                             std::to_string(count) + " MAP lines, got " +
-                             std::to_string(i));
-          }
-          try {
-            slots.push_back(parse_batch_line(line));
-          } catch (const Error& e) {
-            slots.push_back(std::nullopt);
-            parse_errors[i] = e.what();
-          }
-        }
-        std::vector<MapRequest> requests;
-        for (const auto& slot : slots) {
-          if (slot.has_value()) requests.push_back(*slot);
-        }
-        const std::vector<MapResponse> responses =
-            service.map_batch(requests);
-        std::size_t next = 0;
-        for (std::size_t i = 0; i < count; ++i) {
-          if (slots[i].has_value()) {
-            out << format_map_response(responses[next++]) << "\n";
-            ++served;
-          } else {
-            out << "ERR " << parse_errors[i] << "\n";
-          }
-        }
-      } else if (cmd == "STATS") {
-        out << "STATS " << service.counters().stats_line() << "\n";
-      } else if (cmd == "QUIT") {
-        out << "OK bye\n";
-        break;
-      } else {
-        throw ParseError("unknown command '" + cmd + "'");
-      }
-    } catch (const Error& e) {
-      out << "ERR " << e.what() << "\n";
+    const std::string response = session.execute(line, in);
+    if (!response.empty()) {
+      out << response;
+      out.flush();
     }
-    out.flush();
+    if (session.done()) break;
   }
   if (stats_at_eof) {
     out << "STATS " << service.counters().stats_line() << "\n";
     out.flush();
   }
-  return served;
+  return session.served();
 }
 
 }  // namespace lama::svc

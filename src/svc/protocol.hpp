@@ -6,22 +6,74 @@
 //   MAP <alloc-id> <np> <spec> [key=value ...]  -> OK hit=... pus=... | ERR ...
 //   BATCH <n>       (the next n MAP lines execute concurrently;
 //                    n response lines follow, in request order)
+//   OFFLINE <alloc-id> <node> [pu...]           -> OK offline ... epoch=...
+//   ONLINE <alloc-id> <node> [pu...]            -> OK online ... epoch=...
+//   REMAP <alloc-id> [timeout=ms]               -> OK remap ... | ERR ...
 //   STATS           -> STATS <key=value counters>
 //   QUIT            -> OK bye (serving stops; EOF works too)
 //
 // MAP options: oversub=0|1, pus=<per-proc PUs>, npernode=<cap>,
-// bind=<target>. Blank lines and '#' comments are ignored. Full reference:
-// docs/service.md.
+// bind=<target>, timeout=<ms>. Blank lines and '#' comments are ignored.
+// All numeric fields are parsed with overflow rejection and protocol bounds
+// (kMaxNp and friends) — malformed or absurd input answers ERR and the
+// session continues; nothing a client sends can wrap an integer or
+// allocate unboundedly. Full reference: docs/service.md, docs/resilience.md.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
+#include <map>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "cluster/cluster.hpp"
 #include "svc/service.hpp"
 
 namespace lama::svc {
+
+// Protocol bounds on untrusted numeric input. Generous for any real job,
+// small enough that a hostile value cannot drive memory growth or a
+// near-endless mapping walk.
+inline constexpr std::size_t kMaxNp = 1u << 20;         // processes per MAP
+inline constexpr std::size_t kMaxSlots = 1u << 20;      // slots per NODE
+inline constexpr std::size_t kMaxPusPerProc = 1u << 12;
+inline constexpr std::size_t kMaxBatch = 4096;          // MAP lines per BATCH
+inline constexpr std::size_t kMaxTimeoutMs = 3'600'000; // one hour
+inline constexpr std::size_t kMaxNodesPerAlloc = 1u << 16;
+
+// One live protocol session: named allocations under construction, their
+// availability epochs, and the last lama mapping per allocation (what REMAP
+// re-places). serve() is a loop over execute(); the fault-injection harness
+// drives execute() directly so it can interleave availability faults,
+// malformed lines, and cache corruption between requests.
+class ProtocolSession {
+ public:
+  explicit ProtocolSession(MappingService& service);
+  ~ProtocolSession();
+
+  ProtocolSession(const ProtocolSession&) = delete;
+  ProtocolSession& operator=(const ProtocolSession&) = delete;
+
+  // Executes one command line and returns the full response text (newline-
+  // terminated; `n + 1` lines for a BATCH). BATCH reads its MAP lines from
+  // `more`. Blank and comment lines return "". Errors never throw — they
+  // answer "ERR ...\n" and leave the session usable.
+  std::string execute(const std::string& line, std::istream& more);
+
+  // True once QUIT was executed.
+  [[nodiscard]] bool done() const { return done_; }
+  // MAP/REMAP requests answered so far (both OK and ERR, excluding requests
+  // whose line failed to parse).
+  [[nodiscard]] std::size_t served() const { return served_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  bool done_ = false;
+  std::size_t served_ = 0;
+};
 
 // Runs the protocol until QUIT or EOF; returns the number of MAP requests
 // served. Malformed commands produce an ERR line and serving continues.
@@ -37,7 +89,8 @@ std::string format_query(const Allocation& alloc, const std::string& alloc_id,
                          const std::string& options = "");
 
 // The response line for one MAP: "OK hit=0 coalesced=0 np=8 sweeps=1
-// nodes=0,0,1,1 pus=0,2,0,2 [widths=...]" or "ERR <message>".
+// nodes=0,0,1,1 pus=0,2,0,2 [widths=...]", "ERR busy retry-after=<ms>" for
+// a shed request, or "ERR <message>".
 std::string format_map_response(const MapResponse& response);
 
 }  // namespace lama::svc

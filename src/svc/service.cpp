@@ -1,6 +1,7 @@
 #include "svc/service.hpp"
 
 #include <chrono>
+#include <exception>
 
 #include "cluster/alloc_serialize.hpp"
 #include "support/error.hpp"
@@ -9,6 +10,13 @@ namespace lama::svc {
 
 namespace {
 
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point start) {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -16,46 +24,135 @@ std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point start) {
           .count());
 }
 
+void throw_if_past(std::uint64_t deadline_ns, const char* stage) {
+  if (deadline_ns != 0 && now_ns() >= deadline_ns) {
+    throw CancelledError(std::string("request deadline exceeded before ") +
+                         stage);
+  }
+}
+
 }  // namespace
 
 MappingService::MappingService(ServiceConfig config)
     : config_(config),
       cache_(config.cache_shards, config.shard_capacity, counters_),
-      pool_(config.workers) {}
+      pool_(config.workers, config.max_queue) {}
 
-InternedAlloc MappingService::intern(const Allocation& alloc) {
+InternedAlloc MappingService::intern(const Allocation& alloc,
+                                     std::uint64_t epoch) {
   alloc.validate();
   auto copy = std::make_shared<const Allocation>(alloc);
-  return InternedAlloc{copy, allocation_fingerprint(*copy)};
+  return InternedAlloc{copy, allocation_fingerprint(*copy), epoch};
 }
 
-InternedAlloc MappingService::intern_serialized(const std::string& text) {
-  return intern(parse_allocation(text));
+InternedAlloc MappingService::intern_serialized(const std::string& text,
+                                                std::uint64_t epoch) {
+  return intern(parse_allocation(text), epoch);
 }
 
-MapResponse MappingService::map(const MapRequest& request) {
+void MappingService::set_fault_hook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(fault_hook_mu_);
+  fault_hook_ = std::move(hook);
+  has_fault_hook_.store(fault_hook_ != nullptr, std::memory_order_release);
+}
+
+void MappingService::run_fault_hook() {
+  if (!has_fault_hook_.load(std::memory_order_acquire)) return;
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lock(fault_hook_mu_);
+    hook = fault_hook_;
+  }
+  if (hook) hook();
+}
+
+std::size_t MappingService::invalidate(std::uint64_t fingerprint) {
+  return cache_.invalidate_alloc(fingerprint);
+}
+
+std::size_t MappingService::corrupt_cached_trees_for_testing(
+    std::uint64_t fingerprint) {
+  return cache_.corrupt_for_testing(fingerprint);
+}
+
+MapResponse MappingService::shed_response() {
+  counters_.requests.fetch_add(1, std::memory_order_relaxed);
+  counters_.shed.fetch_add(1, std::memory_order_relaxed);
+  counters_.errors.fetch_add(1, std::memory_order_relaxed);
+  counters_.completed.fetch_add(1, std::memory_order_relaxed);
+  MapResponse response;
+  response.busy = true;
+  response.retry_after_ms = config_.retry_after_ms;
+  response.error = "busy";
+  return response;
+}
+
+// Shared request wrapper: admission control, deadline resolution, the
+// exactly-once error/completed accounting, and end-to-end timing. `fn` runs
+// the actual work and receives the resolved deadline.
+MapResponse MappingService::run_counted(
+    std::uint32_t timeout_ms,
+    const std::function<MapResponse(std::uint64_t)>& fn) {
+  if (config_.max_inflight > 0) {
+    const std::size_t prev =
+        inflight_.fetch_add(1, std::memory_order_acq_rel);
+    if (prev >= config_.max_inflight) {
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      return shed_response();
+    }
+  } else {
+    inflight_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
   counters_.requests.fetch_add(1, std::memory_order_relaxed);
   const auto start = std::chrono::steady_clock::now();
+  const std::uint32_t effective_ms =
+      timeout_ms != 0 ? timeout_ms : config_.default_timeout_ms;
+  const std::uint64_t deadline_ns =
+      effective_ms != 0
+          ? now_ns() + static_cast<std::uint64_t>(effective_ms) * 1'000'000
+          : 0;
+
   MapResponse response;
   try {
-    response = map_uncaught(request);
+    run_fault_hook();
+    response = fn(deadline_ns);
+  } catch (const CancelledError& e) {
+    counters_.deadlined.fetch_add(1, std::memory_order_relaxed);
+    response.error = e.what();
   } catch (const Error& e) {
     response.error = e.what();
+  } catch (const std::exception& e) {
+    // Never let an unexpected exception skip the accounting (or tear down a
+    // worker thread): a failed request is a failed request.
+    response.error = std::string("unexpected error: ") + e.what();
   }
   if (!response.ok()) {
     counters_.errors.fetch_add(1, std::memory_order_relaxed);
   }
   counters_.completed.fetch_add(1, std::memory_order_relaxed);
   counters_.total_ns.record_ns(elapsed_ns(start));
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
   return response;
 }
 
-MapResponse MappingService::map_uncaught(const MapRequest& request) {
+MapResponse MappingService::map(const MapRequest& request) {
+  return run_counted(request.timeout_ms, [&](std::uint64_t deadline_ns) {
+    return map_uncaught(request, deadline_ns);
+  });
+}
+
+MapResponse MappingService::map_uncaught(const MapRequest& request,
+                                         std::uint64_t deadline_ns) {
   if (!request.alloc.valid()) {
     throw MappingError("request carries no interned allocation");
   }
   const Allocation& client_alloc = *request.alloc.alloc;
   const auto [name, args] = split_rmaps_spec(request.spec);
+
+  MapOptions opts = request.opts;
+  if (opts.deadline_ns == 0) opts.deadline_ns = deadline_ns;
+  throw_if_past(opts.deadline_ns, "mapping started");
 
   MapResponse response;
   // The allocation the mapping ran against: the cached tree's private copy
@@ -69,31 +166,75 @@ MapResponse MappingService::map_uncaught(const MapRequest& request) {
     // the registry's lama component would, then reuse the shared tree.
     const ProcessLayout layout =
         ProcessLayout::parse(args.empty() ? kLamaDefaultLayout : args);
-    ShardedTreeCache::Lookup lookup = cache_.get_or_build(
-        TreeKey{request.alloc.fingerprint, layout.to_string()}, client_alloc,
-        layout);
+    const TreeKey key{request.alloc.fingerprint, layout.to_string()};
+    counters_.cached.fetch_add(1, std::memory_order_relaxed);
+    ShardedTreeCache::Lookup lookup =
+        cache_.get_or_build(key, client_alloc, layout);
     cached = std::move(lookup.tree);
     response.cache_hit = lookup.hit;
     response.coalesced = lookup.coalesced;
-    mapped_alloc = &cached->alloc();
 
-    const auto map_start = std::chrono::steady_clock::now();
-    response.mapping =
-        lama_map(cached->alloc(), cached->layout(), request.opts,
-                 cached->tree());
-    counters_.map_ns.record_ns(elapsed_ns(map_start));
+    if (config_.verify_trees && lookup.hit && !cached->verify(key)) {
+      // Integrity re-validation failed: never map from a tree whose seal
+      // does not match its key. Drop it and degrade to the uncached path —
+      // a fresh tree built from the client's own allocation.
+      counters_.integrity_failures.fetch_add(1, std::memory_order_relaxed);
+      counters_.degraded.fetch_add(1, std::memory_order_relaxed);
+      cache_.erase(key);
+      cached.reset();
+      response.cache_hit = false;
+      response.degraded = true;
+      const auto map_start = std::chrono::steady_clock::now();
+      response.mapping = lama_map(client_alloc, layout, opts);
+      counters_.map_ns.record_ns(elapsed_ns(map_start));
+    } else {
+      mapped_alloc = &cached->alloc();
+      throw_if_past(opts.deadline_ns, "the mapping walk");
+      const auto map_start = std::chrono::steady_clock::now();
+      response.mapping =
+          lama_map(cached->alloc(), cached->layout(), opts, cached->tree());
+      counters_.map_ns.record_ns(elapsed_ns(map_start));
+    }
   } else {
     counters_.uncached.fetch_add(1, std::memory_order_relaxed);
     const auto map_start = std::chrono::steady_clock::now();
-    response.mapping = registry_.map(request.spec, client_alloc, request.opts);
+    response.mapping = registry_.map(request.spec, client_alloc, opts);
     counters_.map_ns.record_ns(elapsed_ns(map_start));
   }
 
   if (request.binding.has_value()) {
+    throw_if_past(opts.deadline_ns, "the binding step");
     response.binding =
         bind_processes(*mapped_alloc, response.mapping, *request.binding);
   }
   return response;
+}
+
+MapResponse MappingService::remap(const RemapRequest& request) {
+  return run_counted(request.timeout_ms, [&](std::uint64_t deadline_ns) {
+    if (!request.alloc.valid()) {
+      throw MappingError("remap carries no interned allocation");
+    }
+    if (request.previous == nullptr) {
+      throw MappingError("remap carries no previous mapping");
+    }
+    counters_.remaps.fetch_add(1, std::memory_order_relaxed);
+    MapOptions opts = request.opts;
+    if (opts.deadline_ns == 0) opts.deadline_ns = deadline_ns;
+    throw_if_past(opts.deadline_ns, "remap started");
+
+    const auto map_start = std::chrono::steady_clock::now();
+    RemapResult remapped = lama_remap(*request.alloc.alloc, request.layout,
+                                      opts, *request.previous);
+    counters_.map_ns.record_ns(elapsed_ns(map_start));
+
+    MapResponse response;
+    response.mapping = std::move(remapped.mapping);
+    response.displaced = std::move(remapped.displaced);
+    response.surviving = remapped.surviving;
+    response.degraded = remapped.degraded_shared;
+    return response;
+  });
 }
 
 std::vector<MapResponse> MappingService::map_batch(
@@ -105,13 +246,26 @@ std::vector<MapResponse> MappingService::map_batch(
     }
     return responses;
   }
-  std::vector<std::future<MapResponse>> pending;
+  // Deadlines are resolved at admission, not at execution: a request whose
+  // budget expires while queued is cancelled by the first deadline poll.
+  std::vector<std::optional<std::future<MapResponse>>> pending;
   pending.reserve(requests.size());
   for (const MapRequest& request : requests) {
-    pending.push_back(pool_.async([this, &request] { return map(request); }));
+    MapRequest admitted = request;
+    const std::uint32_t effective_ms = admitted.timeout_ms != 0
+                                           ? admitted.timeout_ms
+                                           : config_.default_timeout_ms;
+    if (admitted.opts.deadline_ns == 0 && effective_ms != 0) {
+      admitted.opts.deadline_ns =
+          now_ns() + static_cast<std::uint64_t>(effective_ms) * 1'000'000;
+    }
+    pending.push_back(pool_.try_async(
+        [this, admitted = std::move(admitted)] { return map(admitted); }));
   }
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    responses[i] = pending[i].get();
+    // A refused slot (bounded queue full) sheds with the busy response.
+    responses[i] = pending[i].has_value() ? pending[i]->get()
+                                          : shed_response();
   }
   return responses;
 }

@@ -7,10 +7,21 @@
 // (tree_cache.hpp): the maximal/pruned tree for (allocation, layout) is
 // built once and every repeated query skips straight to the iteration walk.
 // Every stage is measured into svc::Counters.
+//
+// Resilience (docs/resilience.md): allocations are versioned by epochs that
+// invalidate cached trees when resources go off-line, requests carry
+// deadlines that cancel the walk cooperatively, admission control sheds
+// load with a retry hint instead of queueing unboundedly, cached trees are
+// integrity-checked on every hit and fall back to a fresh uncached build
+// when the check fails, and remap() re-places only the ranks a failure
+// displaced (lama/remap.hpp).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -19,6 +30,7 @@
 #include "lama/binding.hpp"
 #include "lama/mapper.hpp"
 #include "lama/mapping.hpp"
+#include "lama/remap.hpp"
 #include "lama/rmaps.hpp"
 #include "svc/counters.hpp"
 #include "svc/tree_cache.hpp"
@@ -34,13 +46,31 @@ struct ServiceConfig {
   std::size_t cache_shards = 8;
   // Cached trees per shard; 0 disables caching entirely.
   std::size_t shard_capacity = 64;
+  // Tasks allowed to wait for a worker before map_batch sheds the overflow
+  // with ERR busy (0 = unbounded queue, never sheds).
+  std::size_t max_queue = 0;
+  // Requests allowed inside map()/remap() concurrently before new arrivals
+  // are shed with ERR busy (0 = unlimited).
+  std::size_t max_inflight = 0;
+  // The retry hint attached to shed responses ("ERR busy retry-after=<ms>").
+  std::uint32_t retry_after_ms = 25;
+  // Deadline applied to requests that carry none (0 = no default deadline).
+  std::uint32_t default_timeout_ms = 0;
+  // Re-validate the integrity seal of every cache hit; failures drop the
+  // entry and degrade to a fresh uncached build. One 64-bit hash of the
+  // layout string per hit — leave on unless profiling says otherwise.
+  bool verify_trees = true;
 };
 
 // An allocation interned into the service: deep-copied, validated, and
-// fingerprinted once, then shared by every request that maps onto it.
+// fingerprinted once, then shared by every request that maps onto it. The
+// epoch versions the allocation across availability changes: every
+// OFFLINE/ONLINE (or node addition) bumps it, and the handle's fingerprint
+// changes with the hardware, so stale trees can never serve a new epoch.
 struct InternedAlloc {
   std::shared_ptr<const Allocation> alloc;
   std::uint64_t fingerprint = 0;
+  std::uint64_t epoch = 0;
 
   [[nodiscard]] bool valid() const { return alloc != nullptr; }
 };
@@ -52,6 +82,21 @@ struct MapRequest {
   // When set, the binding step (§III-B) runs on the mapping and the
   // response carries the per-rank cpusets.
   std::optional<BindingPolicy> binding;
+  // Per-request deadline in milliseconds, measured from admission (covers
+  // queue wait). 0 falls back to ServiceConfig::default_timeout_ms; if
+  // opts.deadline_ns is already set it wins.
+  std::uint32_t timeout_ms = 0;
+};
+
+// A remap request: re-place `previous` (produced over an earlier epoch of
+// the same allocation) onto the current, reduced allocation. Surviving
+// ranks keep their placements; see lama/remap.hpp for the exact semantics.
+struct RemapRequest {
+  InternedAlloc alloc;  // the current (reduced) allocation
+  ProcessLayout layout{std::vector<ResourceType>{ResourceType::kNode}};
+  MapOptions opts;      // np must equal previous->num_procs()
+  const MappingResult* previous = nullptr;
+  std::uint32_t timeout_ms = 0;
 };
 
 struct MapResponse {
@@ -59,7 +104,14 @@ struct MapResponse {
   std::optional<BindingResult> binding;
   bool cache_hit = false;   // tree came straight from the LRU
   bool coalesced = false;   // tree came from another request's build
+  bool busy = false;        // shed by admission control; retry after hint
+  bool degraded = false;    // cached tree failed integrity; mapped uncached
+  std::uint32_t retry_after_ms = 0;  // backoff hint when busy
   std::string error;        // non-empty when the request failed
+
+  // Remap responses only: ranks that moved, and how many stayed put.
+  std::vector<int> displaced;
+  std::size_t surviving = 0;
 
   [[nodiscard]] bool ok() const { return error.empty(); }
 };
@@ -68,19 +120,32 @@ class MappingService {
  public:
   explicit MappingService(ServiceConfig config = {});
 
-  // Interns a deep copy of `alloc`. Throws MappingError when the allocation
-  // cannot run anything (Allocation::validate).
-  InternedAlloc intern(const Allocation& alloc);
+  // Interns a deep copy of `alloc` under the given epoch. Throws
+  // MappingError when the allocation cannot run anything
+  // (Allocation::validate).
+  InternedAlloc intern(const Allocation& alloc, std::uint64_t epoch = 0);
   // Interns from the wire form (cluster/alloc_serialize.hpp).
-  InternedAlloc intern_serialized(const std::string& text);
+  InternedAlloc intern_serialized(const std::string& text,
+                                  std::uint64_t epoch = 0);
 
   // Maps one request. Thread-safe: any number of callers may be in flight;
   // failures are reported in MapResponse::error, never thrown.
   MapResponse map(const MapRequest& request);
 
+  // Remaps a previous mapping onto the (reduced) current allocation.
+  // Same failure contract as map(); the response carries `displaced`.
+  MapResponse remap(const RemapRequest& request);
+
   // Maps a batch concurrently on the worker pool (or inline when the pool
-  // has no threads). Responses are in request order.
+  // has no threads). Responses are in request order; requests the bounded
+  // queue refuses come back as busy responses without executing.
   std::vector<MapResponse> map_batch(const std::vector<MapRequest>& requests);
+
+  // Drops every cached tree built over this fingerprint — called when an
+  // allocation's epoch is bumped by an availability change, so the capacity
+  // the stale trees occupy is reclaimed immediately rather than aging out.
+  // Returns the number of trees dropped.
+  std::size_t invalidate(std::uint64_t fingerprint);
 
   [[nodiscard]] const Counters& counters() const { return counters_; }
   [[nodiscard]] const ServiceConfig& config() const { return config_; }
@@ -91,14 +156,33 @@ class MappingService {
   // serving traffic: registration is not synchronized against map().
   [[nodiscard]] RmapsRegistry& registry() { return registry_; }
 
+  // Fault injection: invoked (when set) at the start of every request on
+  // the executing thread — the injector's hook for worker stalls. Swap-safe
+  // while requests are in flight.
+  void set_fault_hook(std::function<void()> hook);
+
+  // Fault injection: corrupts the integrity seal of cached trees (all when
+  // fingerprint is 0) so subsequent hits exercise the degraded path.
+  std::size_t corrupt_cached_trees_for_testing(std::uint64_t fingerprint = 0);
+
  private:
-  MapResponse map_uncaught(const MapRequest& request);
+  MapResponse map_uncaught(const MapRequest& request,
+                           std::uint64_t deadline_ns);
+  MapResponse run_counted(std::uint32_t timeout_ms,
+                          const std::function<MapResponse(std::uint64_t)>& fn);
+  MapResponse shed_response();
+  void run_fault_hook();
 
   ServiceConfig config_;
   RmapsRegistry registry_;
   Counters counters_;
   ShardedTreeCache cache_;
   WorkerPool pool_;
+
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<bool> has_fault_hook_{false};
+  std::mutex fault_hook_mu_;
+  std::function<void()> fault_hook_;
 };
 
 }  // namespace lama::svc

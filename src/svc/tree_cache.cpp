@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "cluster/alloc_serialize.hpp"
 #include "support/error.hpp"
 #include "support/hash.hpp"
 
@@ -26,7 +27,21 @@ std::size_t TreeKeyHash::operator()(const TreeKey& key) const {
 CachedTree::CachedTree(const Allocation& alloc, ProcessLayout layout)
     : alloc_((alloc.validate(), alloc)),  // never cache an unusable tree
       layout_(std::move(layout)),
-      tree_(alloc_, layout_) {}
+      tree_(alloc_, layout_),
+      seal_(seal_for(
+          TreeKey{allocation_fingerprint(alloc_), layout_.to_string()})) {}
+
+std::uint64_t CachedTree::seal_for(const TreeKey& key) {
+  return hash_combine(key.alloc_fp, fnv1a64("tree-seal:" + key.layout));
+}
+
+bool CachedTree::verify(const TreeKey& key) const {
+  return seal_.load(std::memory_order_relaxed) == seal_for(key);
+}
+
+void CachedTree::corrupt_for_testing() const {
+  seal_.fetch_xor(0xDEADBEEFCAFEF00DULL, std::memory_order_relaxed);
+}
 
 ShardedTreeCache::ShardedTreeCache(std::size_t num_shards,
                                    std::size_t capacity_per_shard,
@@ -96,6 +111,41 @@ ShardedTreeCache::Lookup ShardedTreeCache::get_or_build(
   }
   promise.set_value(built);
   return {std::move(built), /*hit=*/false, /*coalesced=*/false};
+}
+
+bool ShardedTreeCache::erase(const TreeKey& key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.lru.erase(key);
+}
+
+std::size_t ShardedTreeCache::invalidate_alloc(std::uint64_t alloc_fp) {
+  std::size_t removed = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    removed += shard->lru.erase_if(
+        [alloc_fp](const TreeKey& key, const TreePtr&) {
+          return key.alloc_fp == alloc_fp;
+        });
+  }
+  if (removed > 0) {
+    counters_.invalidations.fetch_add(removed, std::memory_order_relaxed);
+  }
+  return removed;
+}
+
+std::size_t ShardedTreeCache::corrupt_for_testing(std::uint64_t alloc_fp) {
+  std::size_t corrupted = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.for_each([&](const TreeKey& key, const TreePtr& tree) {
+      if (alloc_fp == 0 || key.alloc_fp == alloc_fp) {
+        tree->corrupt_for_testing();
+        ++corrupted;
+      }
+    });
+  }
+  return corrupted;
 }
 
 std::size_t ShardedTreeCache::size() const {

@@ -16,6 +16,7 @@
 // not cached.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -47,6 +48,13 @@ struct TreeKeyHash {
 // a deep copy made at build time: the tree's pruned objects point into these
 // topologies, so tying their lifetimes together is what makes the cached
 // value safe to share after the requesting client's allocation is gone.
+//
+// Every tree carries an integrity checksum sealed at build time — the hash
+// of the fingerprint/layout pair it was built for. verify() re-derives the
+// expectation from the lookup key, so a tree that somehow ends up under the
+// wrong key (or whose seal was corrupted) is detected on the hit path and
+// the service degrades to a fresh uncached build instead of mapping onto
+// the wrong hardware.
 class CachedTree {
  public:
   CachedTree(const Allocation& alloc, ProcessLayout layout);
@@ -58,10 +66,21 @@ class CachedTree {
   [[nodiscard]] const ProcessLayout& layout() const { return layout_; }
   [[nodiscard]] const MaximalTree& tree() const { return tree_; }
 
+  // True when the sealed checksum matches what `key` demands.
+  [[nodiscard]] bool verify(const TreeKey& key) const;
+
+  // Fault injection: scrambles the seal so the next verify() fails. Atomic,
+  // so injectors may fire while requests are mapping from this tree.
+  void corrupt_for_testing() const;
+
+  // The checksum a tree built for `key` must carry.
+  static std::uint64_t seal_for(const TreeKey& key);
+
  private:
   Allocation alloc_;
   ProcessLayout layout_;
   MaximalTree tree_;  // built over alloc_; must be declared after it
+  mutable std::atomic<std::uint64_t> seal_;
 };
 
 class ShardedTreeCache {
@@ -82,6 +101,21 @@ class ShardedTreeCache {
   // caller and to every coalesced waiter.
   Lookup get_or_build(const TreeKey& key, const Allocation& alloc,
                       const ProcessLayout& layout);
+
+  // Drops one entry (e.g. a tree that failed integrity re-validation).
+  // Returns true when it was present.
+  bool erase(const TreeKey& key);
+
+  // Drops every cached tree built over the allocation with this fingerprint
+  // — the epoch-bump invalidation hook of OFFLINE/ONLINE. Returns the number
+  // of entries removed. In-flight builds are left to finish; their results
+  // enter the cache under the (now stale) fingerprint and simply never match
+  // a future request's key.
+  std::size_t invalidate_alloc(std::uint64_t alloc_fp);
+
+  // Fault injection: corrupts the integrity seal of every cached tree under
+  // `alloc_fp` (all trees when 0). Returns how many were corrupted.
+  std::size_t corrupt_for_testing(std::uint64_t alloc_fp = 0);
 
   [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
   // Cached trees across all shards (racy under concurrency; for tests).

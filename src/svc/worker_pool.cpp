@@ -2,7 +2,8 @@
 
 namespace lama::svc {
 
-WorkerPool::WorkerPool(std::size_t num_threads) {
+WorkerPool::WorkerPool(std::size_t num_threads, std::size_t max_queue)
+    : max_queue_(max_queue) {
   threads_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
     threads_.emplace_back([this] { worker_loop(); });
@@ -28,6 +29,25 @@ void WorkerPool::submit(std::function<void()> task) {
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
+}
+
+bool WorkerPool::try_submit(std::function<void()> task) {
+  if (threads_.empty()) {
+    task();
+    return true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (max_queue_ > 0 && queue_.size() >= max_queue_) return false;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::size_t WorkerPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
 }
 
 void WorkerPool::worker_loop() {

@@ -1,0 +1,76 @@
+// libFuzzer target for the service wire protocol (built behind LAMA_FUZZ,
+// clang only). The fuzzer's byte stream is fed line-by-line into a
+// ProtocolSession exactly as serve() would: the contract under test is that
+// NO input — truncated commands, overflow digits, binary garbage, nested
+// s-expressions, hostile BATCH counts — can crash the session, corrupt its
+// accounting, or elicit a response that is not OK/ERR/STATS terminated by a
+// newline. A small deterministic prelude interns one real allocation so
+// deeper paths (mapping, availability verbs, remap) are reachable, not just
+// the parser's first branch.
+//
+//   cmake -B build-fuzz -DLAMA_FUZZ=ON -DCMAKE_CXX_COMPILER=clang++
+//   cmake --build build-fuzz --target fuzz_protocol
+//   ./build-fuzz/tests/fuzz_protocol -max_total_time=60
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "support/strings.hpp"
+#include "svc/protocol.hpp"
+#include "svc/service.hpp"
+
+namespace {
+
+bool well_formed(const std::string& response) {
+  if (response.empty()) return true;  // blank/comment lines answer nothing
+  if (response.back() != '\n') return false;
+  // Every line of a (possibly multi-line BATCH) response is OK/ERR/STATS.
+  std::istringstream lines(response);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!lama::starts_with(line, "OK") && !lama::starts_with(line, "ERR") &&
+        !lama::starts_with(line, "STATS")) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  lama::svc::MappingService service({.workers = 0});
+  lama::svc::ProtocolSession session(service);
+
+  // Deterministic prelude: one known-good allocation named "a".
+  std::istringstream no_more;
+  (void)session.execute(
+      "NODE a 4 (node (socket@0 (core@0 (pu@0) (pu@1)) "
+      "(core@1 (pu@2) (pu@3))))",
+      no_more);
+
+  // Feed the fuzz input as a protocol stream; BATCH continuation lines are
+  // consumed from the same stream, as in serve().
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data), size));
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string response = session.execute(line, in);
+    if (!well_formed(response)) __builtin_trap();
+    if (session.done()) break;
+  }
+
+  // Accounting must survive arbitrary input.
+  const lama::svc::Counters& c = service.counters();
+  const auto load = [](const std::atomic<std::uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  if (load(c.completed) != load(c.requests)) __builtin_trap();
+  if (load(c.cache_hits) + load(c.cache_misses) + load(c.coalesced) !=
+      load(c.cached)) {
+    __builtin_trap();
+  }
+  return 0;
+}

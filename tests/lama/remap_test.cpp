@@ -1,0 +1,187 @@
+// Unit suite for fault-aware remapping (lama/remap.hpp): survivors never
+// move, displaced ranks land exactly where a fresh map over the reduced
+// allocation would put them, and the degenerate cases (nothing failed,
+// everything failed, no capacity left) behave per the header contract.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lama/remap.hpp"
+#include "support/error.hpp"
+
+namespace lama {
+namespace {
+
+Allocation two_node_alloc() {
+  return allocate_all(Cluster::homogeneous(2, "socket:2 core:2 pu:2"));
+}
+
+void kill_node(Allocation& alloc, std::size_t node) {
+  alloc.mutable_node(node).topo.set_object_disabled(ResourceType::kNode, 0,
+                                                    true);
+}
+
+TEST(RemapTest, NoFailuresKeepsEveryPlacement) {
+  const Allocation alloc = two_node_alloc();
+  const ProcessLayout layout = ProcessLayout::parse("nsch");
+  const MapOptions opts{.np = 8};
+  const MappingResult previous = lama_map(alloc, layout, opts);
+
+  const RemapResult r = lama_remap(alloc, layout, opts, previous);
+  EXPECT_FALSE(r.any_displaced());
+  EXPECT_EQ(r.surviving, 8u);
+  EXPECT_FALSE(r.degraded_shared);
+  ASSERT_EQ(r.mapping.num_procs(), previous.num_procs());
+  for (std::size_t i = 0; i < previous.placements.size(); ++i) {
+    EXPECT_EQ(r.mapping.placements[i].node, previous.placements[i].node);
+    EXPECT_EQ(r.mapping.placements[i].target_pus,
+              previous.placements[i].target_pus);
+  }
+}
+
+TEST(RemapTest, NodeDeathDisplacesOnlyItsRanks) {
+  const Allocation alloc = two_node_alloc();
+  // "nsch" round-robins nodes: even ranks on node 0, odd ranks on node 1.
+  const ProcessLayout layout = ProcessLayout::parse("nsch");
+  const MapOptions opts{.np = 8};
+  const MappingResult previous = lama_map(alloc, layout, opts);
+
+  Allocation reduced = alloc;
+  kill_node(reduced, 1);
+  const RemapResult r = lama_remap(reduced, layout, opts, previous);
+
+  EXPECT_EQ(r.surviving, 4u);
+  ASSERT_EQ(r.displaced.size(), 4u);
+  for (const int rank : r.displaced) EXPECT_EQ(rank % 2, 1) << rank;
+  EXPECT_FALSE(r.degraded_shared);
+
+  // Survivors are verbatim; displaced ranks landed on node 0's free PUs,
+  // and nobody shares a PU.
+  std::set<std::size_t> used;
+  for (std::size_t i = 0; i < r.mapping.placements.size(); ++i) {
+    const Placement& p = r.mapping.placements[i];
+    EXPECT_EQ(p.node, 0u) << "rank " << i;
+    if (i % 2 == 0) {
+      EXPECT_EQ(p.target_pus, previous.placements[i].target_pus);
+    }
+    EXPECT_TRUE(used.insert(p.representative_pu()).second) << "rank " << i;
+  }
+  EXPECT_FALSE(r.mapping.pu_oversubscribed);
+  EXPECT_EQ(r.mapping.procs_per_node[0], 8u);
+  EXPECT_EQ(r.mapping.procs_per_node[1], 0u);
+}
+
+TEST(RemapTest, PuFailureDisplacesExactlyTheAffectedRank) {
+  const Allocation alloc = two_node_alloc();
+  const ProcessLayout layout = ProcessLayout::parse("hcsn");
+  const MapOptions opts{.np = 6};
+  const MappingResult previous = lama_map(alloc, layout, opts);
+
+  // Off-line exactly the PU rank 2 sits on.
+  const Placement& victim = previous.placements[2];
+  Allocation reduced = alloc;
+  Bitmap allowed = reduced.node(victim.node).topo.online_pus();
+  allowed.and_not(victim.target_pus);
+  reduced.mutable_node(victim.node).topo.restrict_pus(allowed);
+
+  const RemapResult r = lama_remap(reduced, layout, opts, previous);
+  ASSERT_EQ(r.displaced, std::vector<int>{2});
+  EXPECT_EQ(r.surviving, 5u);
+  // The displaced rank moved somewhere online and unshared.
+  const Placement& moved = r.mapping.placements[2];
+  EXPECT_TRUE(moved.target_pus.is_subset_of(
+      reduced.node(moved.node).topo.online_pus()));
+  EXPECT_FALSE(r.mapping.pu_oversubscribed);
+  for (std::size_t i = 0; i < r.mapping.placements.size(); ++i) {
+    if (i == 2) continue;
+    EXPECT_EQ(r.mapping.placements[i].target_pus,
+              previous.placements[i].target_pus);
+  }
+}
+
+TEST(RemapTest, AllDisplacedEqualsFreshMapOverReducedAllocation) {
+  const Allocation alloc = two_node_alloc();
+  // "hcsn" fills node 0 completely before touching node 1.
+  const ProcessLayout layout = ProcessLayout::parse("hcsn");
+  const MapOptions opts{.np = 8};
+  const MappingResult previous = lama_map(alloc, layout, opts);
+  for (const Placement& p : previous.placements) ASSERT_EQ(p.node, 0u);
+
+  Allocation reduced = alloc;
+  kill_node(reduced, 0);
+  const RemapResult r = lama_remap(reduced, layout, opts, previous);
+  EXPECT_EQ(r.surviving, 0u);
+  ASSERT_EQ(r.displaced.size(), 8u);
+
+  const MappingResult fresh = lama_map(reduced, layout, opts);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(r.mapping.placements[i].node, fresh.placements[i].node);
+    EXPECT_EQ(r.mapping.placements[i].target_pus,
+              fresh.placements[i].target_pus);
+  }
+}
+
+TEST(RemapTest, RefusesToShareWithoutOversubscription) {
+  const Allocation alloc = two_node_alloc();
+  const ProcessLayout layout = ProcessLayout::parse("nsch");
+  MapOptions opts{.np = 16};  // every PU of both nodes taken
+  opts.allow_oversubscribe = false;
+  const MappingResult previous = lama_map(alloc, layout, opts);
+
+  Allocation reduced = alloc;
+  kill_node(reduced, 1);
+  EXPECT_THROW(lama_remap(reduced, layout, opts, previous),
+               OversubscribeError);
+}
+
+TEST(RemapTest, SharesPusWhenOversubscriptionAllowed) {
+  const Allocation alloc = two_node_alloc();
+  const ProcessLayout layout = ProcessLayout::parse("nsch");
+  MapOptions opts{.np = 16};
+  opts.allow_oversubscribe = true;
+  const MappingResult previous = lama_map(alloc, layout, opts);
+
+  Allocation reduced = alloc;
+  kill_node(reduced, 1);
+  const RemapResult r = lama_remap(reduced, layout, opts, previous);
+  EXPECT_TRUE(r.degraded_shared);
+  EXPECT_EQ(r.surviving, 8u);
+  EXPECT_EQ(r.displaced.size(), 8u);
+  EXPECT_TRUE(r.mapping.pu_oversubscribed);
+  for (const Placement& p : r.mapping.placements) {
+    EXPECT_EQ(p.node, 0u);
+    EXPECT_TRUE(p.target_pus.is_subset_of(
+        reduced.node(0).topo.online_pus()));
+  }
+}
+
+TEST(RemapTest, RejectsMismatchedProcessCount) {
+  const Allocation alloc = two_node_alloc();
+  const ProcessLayout layout = ProcessLayout::parse("nsch");
+  const MappingResult previous = lama_map(alloc, layout, {.np = 8});
+  EXPECT_THROW(lama_remap(alloc, layout, {.np = 4}, previous), MappingError);
+}
+
+TEST(RemapTest, RejectsChangedNodeList) {
+  const Allocation alloc = two_node_alloc();
+  const ProcessLayout layout = ProcessLayout::parse("nsch");
+  const MappingResult previous = lama_map(alloc, layout, {.np = 8});
+  const Allocation one_node =
+      allocate_all(Cluster::homogeneous(1, "socket:2 core:2 pu:2"));
+  EXPECT_THROW(lama_remap(one_node, layout, {.np = 8}, previous),
+               MappingError);
+}
+
+TEST(RemapTest, RejectsFullyOfflineAllocation) {
+  const Allocation alloc = two_node_alloc();
+  const ProcessLayout layout = ProcessLayout::parse("nsch");
+  const MappingResult previous = lama_map(alloc, layout, {.np = 8});
+  Allocation reduced = alloc;
+  kill_node(reduced, 0);
+  kill_node(reduced, 1);
+  EXPECT_THROW(lama_remap(reduced, layout, {.np = 8}, previous),
+               MappingError);
+}
+
+}  // namespace
+}  // namespace lama

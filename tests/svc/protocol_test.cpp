@@ -161,6 +161,87 @@ TEST(Protocol, BatchEndingEarlyIsAnError) {
   EXPECT_NE(lines[1].find("BATCH ended early"), std::string::npos);
 }
 
+TEST(Protocol, OfflineOnlineRemapVerbs) {
+  const auto lines = run_session(node_line("a") + node_line("a") +
+                                 "MAP a 4 lama:nsch\n"
+                                 "OFFLINE a 1\n"
+                                 "REMAP a\n"
+                                 "ONLINE a 1\n"
+                                 "OFFLINE a 0 6 7\n");
+  ASSERT_EQ(lines.size(), 7u);
+  EXPECT_TRUE(starts_with(lines[2], "OK hit=0"));
+  EXPECT_EQ(lines[3], "OK offline a node=1 epoch=3");
+  EXPECT_TRUE(starts_with(lines[4], "OK remap epoch=3 np=4 surviving=2 "
+                                    "displaced=1,3"))
+      << lines[4];
+  EXPECT_NE(lines[4].find("nodes=0,0,0,0"), std::string::npos) << lines[4];
+  EXPECT_EQ(lines[5], "OK online a node=1 epoch=4");
+  EXPECT_EQ(lines[6], "OK offline a node=0 epoch=5 pus=6,7");
+}
+
+TEST(Protocol, OfflineInvalidTargetsAreCleanErrors) {
+  const auto lines = run_session(node_line("a") +
+                                 "OFFLINE ghost 0\n"   // unknown allocation
+                                 "OFFLINE a 7\n"       // node out of range
+                                 "OFFLINE a 0 99\n"    // pu out of range
+                                 "OFFLINE a\n"         // too few tokens
+                                 "MAP a 4 lama\n");    // session still alive
+  ASSERT_EQ(lines.size(), 6u);
+  for (std::size_t i = 1; i <= 4; ++i) {
+    EXPECT_TRUE(starts_with(lines[i], "ERR ")) << lines[i];
+  }
+  EXPECT_TRUE(starts_with(lines[5], "OK hit=0"));
+}
+
+TEST(Protocol, RemapRequiresAPriorLamaMap) {
+  const auto lines = run_session(node_line("a") + "REMAP a\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(starts_with(lines[1], "ERR "));
+  EXPECT_NE(lines[1].find("no previous lama mapping"), std::string::npos)
+      << lines[1];
+}
+
+TEST(Protocol, MapAfterOfflineUsesReducedAllocation) {
+  // A whole-node failure flows into ordinary MAP requests too: the next MAP
+  // re-interns the reduced allocation under a new fingerprint (hit=0).
+  const auto lines = run_session(node_line("a") + node_line("a") +
+                                 "MAP a 4 lama:nsch\n"
+                                 "OFFLINE a 0\n"
+                                 "MAP a 4 lama:nsch\n");
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_NE(lines[2].find("nodes=0,1,0,1"), std::string::npos) << lines[2];
+  EXPECT_TRUE(starts_with(lines[4], "OK hit=0")) << lines[4];
+  EXPECT_NE(lines[4].find("nodes=1,1,1,1"), std::string::npos) << lines[4];
+}
+
+TEST(Protocol, NumericHardeningRejectsAbuseCleanly) {
+  const auto lines = run_session(node_line("a") +
+                                 "MAP a 18446744073709551616 lama\n"
+                                 "MAP a 99999999999999999999999999 lama\n"
+                                 "MAP a -7 lama\n"
+                                 "MAP a 2000000 lama\n"  // past kMaxNp
+                                 "MAP a 4 lama pus=70000\n"
+                                 "MAP a 4 lama timeout=1e9\n"
+                                 "BATCH 5000\n"
+                                 "NODE b 18446744073709551616 (node (core@0))\n"
+                                 "MAP a 4 lama\n");
+  ASSERT_EQ(lines.size(), 10u);
+  for (std::size_t i = 1; i <= 8; ++i) {
+    EXPECT_TRUE(starts_with(lines[i], "ERR ")) << i << ": " << lines[i];
+  }
+  EXPECT_TRUE(starts_with(lines[9], "OK hit=0"));
+}
+
+TEST(Protocol, MapTimeoutOptionParses) {
+  // A generous timeout never fires; timeout=0 means "no deadline".
+  const auto lines = run_session(node_line("a") +
+                                 "MAP a 4 lama timeout=60000\n"
+                                 "MAP a 4 lama timeout=0\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_TRUE(starts_with(lines[1], "OK ")) << lines[1];
+  EXPECT_TRUE(starts_with(lines[2], "OK ")) << lines[2];
+}
+
 TEST(Protocol, FormatQueryRoundTripsThroughServe) {
   const Allocation alloc =
       allocate_all(Cluster::homogeneous(2, "socket:2 core:4 pu:2"));

@@ -1,0 +1,441 @@
+// Resilience suite (ctest label "ha"): the service's behavior under faults.
+// Covers the OFFLINE/ONLINE/REMAP protocol verbs with epoch bookkeeping and
+// cache invalidation, per-request deadlines, admission-control shedding with
+// retry hints, integrity-check degradation, the retrying client's backoff
+// schedule, and the seeded fault-injection harness replaying every fault
+// class against a live session. Everything is deterministic: fixed seeds,
+// injectable sleeps, no wall-clock dependence beyond "a deadline of 0 ms is
+// already expired".
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "cluster/alloc_serialize.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "svc/client.hpp"
+#include "svc/fault_injector.hpp"
+#include "svc/protocol.hpp"
+#include "svc/service.hpp"
+
+namespace lama::svc {
+namespace {
+
+Allocation small_alloc(std::size_t nodes = 2) {
+  return allocate_all(Cluster::homogeneous(nodes, "socket:2 core:2 pu:2"));
+}
+
+// Drives a ProtocolSession line by line and returns one response body (no
+// trailing newline) per call.
+struct SessionDriver {
+  explicit SessionDriver(MappingService& service) : session(service) {}
+  std::string operator()(const std::string& line) {
+    std::string response = session.execute(line, no_more);
+    if (!response.empty() && response.back() == '\n') response.pop_back();
+    return response;
+  }
+  ProtocolSession session;
+  std::istringstream no_more;
+};
+
+void define_alloc(SessionDriver& drive, const Allocation& alloc,
+                  const std::string& id) {
+  std::istringstream lines(format_query(alloc, id, 1, "lama"));
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!starts_with(line, "NODE ")) continue;
+    ASSERT_TRUE(starts_with(drive(line), "OK node")) << line;
+  }
+}
+
+TEST(Resilience, OfflineBumpsEpochAndInvalidatesCache) {
+  MappingService service({.workers = 0});
+  SessionDriver drive(service);
+  define_alloc(drive, small_alloc(), "a");
+
+  ASSERT_TRUE(starts_with(drive("MAP a 4 lama"), "OK"));
+  EXPECT_EQ(service.cached_trees(), 1u);
+
+  const std::string off = drive("OFFLINE a 1");
+  EXPECT_TRUE(starts_with(off, "OK offline a node=1 epoch=")) << off;
+  // The epoch bump dropped the stale tree immediately.
+  EXPECT_EQ(service.cached_trees(), 0u);
+  EXPECT_EQ(service.counters().invalidations.load(), 1u);
+
+  // The next MAP sees the reduced allocation: a new fingerprint, a new
+  // tree, and only node 0's PUs.
+  const std::string remapped = drive("MAP a 4 lama");
+  ASSERT_TRUE(starts_with(remapped, "OK hit=0")) << remapped;
+  EXPECT_NE(remapped.find("nodes=0,0,0,0"), std::string::npos) << remapped;
+  EXPECT_EQ(service.cached_trees(), 1u);
+}
+
+TEST(Resilience, OnlineRestoresCapacity) {
+  MappingService service({.workers = 0});
+  SessionDriver drive(service);
+  define_alloc(drive, small_alloc(), "a");
+
+  EXPECT_TRUE(starts_with(drive("OFFLINE a 0"), "OK offline"));
+  const std::string while_down = drive("MAP a 8 lama");
+  ASSERT_TRUE(starts_with(while_down, "OK")) << while_down;
+  EXPECT_NE(while_down.find("nodes=1,1,1,1,1,1,1,1"), std::string::npos)
+      << while_down;
+
+  EXPECT_TRUE(starts_with(drive("ONLINE a 0"), "OK online"));
+  const std::string restored = drive("MAP a 16 lama");
+  ASSERT_TRUE(starts_with(restored, "OK")) << restored;  // full capacity back
+}
+
+TEST(Resilience, PuOfflineIsReversible) {
+  MappingService service({.workers = 0});
+  SessionDriver drive(service);
+  define_alloc(drive, small_alloc(1), "a");
+
+  EXPECT_TRUE(starts_with(drive("OFFLINE a 0 0 1"), "OK offline"));
+  const std::string reduced = drive("MAP a 2 lama");
+  ASSERT_TRUE(starts_with(reduced, "OK")) << reduced;
+  EXPECT_NE(reduced.find("pus=2,3"), std::string::npos) << reduced;
+
+  EXPECT_TRUE(starts_with(drive("ONLINE a 0 0 1"), "OK online"));
+  const std::string full = drive("MAP a 2 lama");
+  EXPECT_NE(full.find("pus=0,1"), std::string::npos) << full;
+}
+
+TEST(Resilience, RemapPreservesSurvivorsOverTheWire) {
+  MappingService service({.workers = 0});
+  SessionDriver drive(service);
+  define_alloc(drive, small_alloc(), "a");
+
+  // nsch alternates nodes: even ranks node 0, odd ranks node 1.
+  ASSERT_TRUE(starts_with(drive("MAP a 4 lama:nsch"), "OK"));
+  ASSERT_TRUE(starts_with(drive("OFFLINE a 1"), "OK offline"));
+
+  const std::string remap = drive("REMAP a");
+  ASSERT_TRUE(starts_with(remap, "OK remap")) << remap;
+  EXPECT_NE(remap.find("surviving=2"), std::string::npos) << remap;
+  EXPECT_NE(remap.find("displaced=1,3"), std::string::npos) << remap;
+  EXPECT_NE(remap.find("nodes=0,0,0,0"), std::string::npos) << remap;
+  EXPECT_EQ(service.counters().remaps.load(), 1u);
+
+  // A second REMAP against the same availability moves nothing.
+  const std::string again = drive("REMAP a");
+  ASSERT_TRUE(starts_with(again, "OK remap")) << again;
+  EXPECT_NE(again.find("displaced=-"), std::string::npos) << again;
+}
+
+TEST(Resilience, RemapWithoutPriorMapIsCleanError) {
+  MappingService service({.workers = 0});
+  SessionDriver drive(service);
+  define_alloc(drive, small_alloc(), "a");
+  const std::string response = drive("REMAP a");
+  EXPECT_TRUE(starts_with(response, "ERR ")) << response;
+  EXPECT_NE(response.find("no previous lama mapping"), std::string::npos)
+      << response;
+  EXPECT_TRUE(starts_with(drive("REMAP ghost"), "ERR"));
+}
+
+TEST(Resilience, DeadlineCancelsCleanly) {
+  MappingService service({.workers = 0});
+  const InternedAlloc interned = service.intern(small_alloc());
+
+  // A deadline already in the past cancels before any work happens.
+  MapRequest request{interned, "lama", {.np = 8}};
+  request.opts.deadline_ns = 1;  // steady-clock epoch: long gone
+  const MapResponse response = service.map(request);
+  EXPECT_FALSE(response.ok());
+  EXPECT_NE(response.error.find("cancelled"), std::string::npos)
+      << response.error;
+  EXPECT_EQ(service.counters().deadlined.load(), 1u);
+  EXPECT_EQ(service.counters().errors.load(), 1u);
+  EXPECT_EQ(service.counters().completed.load(), 1u);
+
+  // Without a deadline the identical request succeeds: the service is not
+  // poisoned by a cancelled predecessor.
+  const MapResponse retry = service.map({interned, "lama", {.np = 8}});
+  EXPECT_TRUE(retry.ok()) << retry.error;
+}
+
+TEST(Resilience, DefaultTimeoutAppliesToTimeoutlessRequests) {
+  ServiceConfig config{.workers = 0};
+  config.default_timeout_ms = 60'000;  // one minute: must not fire
+  MappingService service(config);
+  const InternedAlloc interned = service.intern(small_alloc());
+  EXPECT_TRUE(service.map({interned, "lama", {.np = 4}}).ok());
+
+  // A stalling fault hook burns the budget before the mapping starts.
+  ServiceConfig tight{.workers = 0};
+  tight.default_timeout_ms = 1;
+  MappingService slow(tight);
+  const InternedAlloc interned2 = slow.intern(small_alloc());
+  slow.set_fault_hook([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  });
+  const MapResponse response = slow.map({interned2, "lama", {.np = 4}});
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(slow.counters().deadlined.load(), 1u);
+}
+
+TEST(Resilience, AdmissionControlShedsWithRetryHint) {
+  ServiceConfig config{.workers = 0};
+  config.max_inflight = 1;
+  config.retry_after_ms = 7;
+  MappingService service(config);
+  const InternedAlloc interned = service.intern(small_alloc());
+
+  // Hold the only slot open with a stalling hook while a second request
+  // arrives from another thread.
+  std::atomic<bool> release{false};
+  service.set_fault_hook([&release] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  std::thread holder([&] { (void)service.map({interned, "lama", {.np = 4}}); });
+  while (service.counters().requests.load() == 0) std::this_thread::yield();
+
+  service.set_fault_hook(nullptr);  // only the holder should stall
+  const MapResponse shed = service.map({interned, "lama", {.np = 4}});
+  EXPECT_TRUE(shed.busy);
+  EXPECT_EQ(shed.retry_after_ms, 7u);
+  EXPECT_FALSE(shed.ok());
+  EXPECT_EQ(format_map_response(shed), "ERR busy retry-after=7");
+  release.store(true);
+  holder.join();
+
+  EXPECT_EQ(service.counters().shed.load(), 1u);
+  EXPECT_EQ(service.counters().requests.load(), 2u);
+  EXPECT_EQ(service.counters().completed.load(), 2u);
+  EXPECT_EQ(service.counters().errors.load(), 1u);
+
+  // With the slot free again, requests flow.
+  EXPECT_TRUE(service.map({interned, "lama", {.np = 4}}).ok());
+}
+
+TEST(Resilience, BoundedBatchQueueShedsOverflow) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.max_queue = 1;
+  MappingService service(config);
+  const InternedAlloc interned = service.intern(small_alloc());
+
+  // Stall the single worker so the queue backs up past its bound.
+  std::atomic<bool> release{false};
+  service.set_fault_hook([&release] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  std::thread releaser([&release] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    release.store(true);
+  });
+  std::vector<MapRequest> batch(8, MapRequest{interned, "lama", {.np = 4}});
+  const std::vector<MapResponse> responses = service.map_batch(batch);
+  releaser.join();
+  service.set_fault_hook(nullptr);
+
+  std::size_t ok = 0, busy = 0;
+  for (const MapResponse& r : responses) {
+    if (r.ok()) ++ok;
+    if (r.busy) ++busy;
+  }
+  EXPECT_EQ(ok + busy, batch.size());
+  EXPECT_GE(ok, 1u);   // the stalled-then-released work completed
+  EXPECT_GE(busy, 1u);  // and the overflow was shed, not queued forever
+  EXPECT_EQ(service.counters().shed.load(), busy);
+}
+
+TEST(Resilience, IntegrityFailureDegradesToFreshMapping) {
+  MappingService service({.workers = 0});
+  const InternedAlloc interned = service.intern(small_alloc());
+
+  const MapResponse cold = service.map({interned, "lama", {.np = 8}});
+  ASSERT_TRUE(cold.ok());
+  ASSERT_EQ(service.corrupt_cached_trees_for_testing(), 1u);
+
+  // The corrupted hit is detected, dropped, and served uncached — with the
+  // same placements the healthy path produces.
+  const MapResponse degraded = service.map({interned, "lama", {.np = 8}});
+  ASSERT_TRUE(degraded.ok()) << degraded.error;
+  EXPECT_TRUE(degraded.degraded);
+  EXPECT_FALSE(degraded.cache_hit);
+  ASSERT_EQ(degraded.mapping.num_procs(), cold.mapping.num_procs());
+  for (std::size_t i = 0; i < cold.mapping.num_procs(); ++i) {
+    EXPECT_EQ(degraded.mapping.placements[i].target_pus,
+              cold.mapping.placements[i].target_pus);
+  }
+  EXPECT_EQ(service.counters().integrity_failures.load(), 1u);
+  EXPECT_EQ(service.counters().degraded.load(), 1u);
+  EXPECT_EQ(service.cached_trees(), 0u);  // the bad tree is gone
+
+  // The next request rebuilds a healthy tree and caching resumes.
+  const MapResponse rebuilt = service.map({interned, "lama", {.np = 8}});
+  EXPECT_TRUE(rebuilt.ok());
+  EXPECT_FALSE(rebuilt.degraded);
+  const MapResponse warm = service.map({interned, "lama", {.np = 8}});
+  EXPECT_TRUE(warm.cache_hit);
+}
+
+TEST(Resilience, ClientRetriesBusyWithBackoffAndHintFloor) {
+  // A fake transport: busy twice, then OK. Records nothing but the count.
+  std::size_t calls = 0;
+  QueryClient client(
+      [&calls](const std::string&) -> std::string {
+        ++calls;
+        return calls <= 2 ? "ERR busy retry-after=40" : "OK hit=1";
+      },
+      RetryPolicy{.max_attempts = 5, .base_ms = 10, .max_ms = 1000,
+                  .seed = 123});
+  std::vector<std::uint32_t> sleeps;
+  client.set_sleeper([&sleeps](std::uint32_t ms) { sleeps.push_back(ms); });
+
+  const QueryResult result = client.send("MAP a 4 lama");
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.attempts, 3u);
+  EXPECT_FALSE(result.gave_up_busy);
+  ASSERT_EQ(sleeps.size(), 2u);
+  // Every delay respects the server hint as a floor and the policy cap.
+  for (const std::uint32_t ms : sleeps) {
+    EXPECT_GE(ms, 40u);
+    EXPECT_LE(ms, 1000u);
+  }
+  EXPECT_EQ(result.total_backoff_ms,
+            static_cast<std::uint64_t>(sleeps[0]) + sleeps[1]);
+}
+
+TEST(Resilience, ClientGivesUpAfterMaxAttempts) {
+  std::size_t calls = 0;
+  QueryClient client(
+      [&calls](const std::string&) -> std::string {
+        ++calls;
+        return "ERR busy retry-after=1";
+      },
+      RetryPolicy{.max_attempts = 3, .base_ms = 1, .max_ms = 4, .seed = 9});
+  client.set_sleeper([](std::uint32_t) {});
+  const QueryResult result = client.send("MAP a 4 lama");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.gave_up_busy);
+  EXPECT_EQ(result.attempts, 3u);
+  EXPECT_EQ(calls, 3u);
+}
+
+TEST(Resilience, ClientBackoffIsDeterministicPerSeed) {
+  const auto schedule = [](std::uint64_t seed) {
+    QueryClient client([](const std::string&) { return std::string("OK"); },
+                       RetryPolicy{.seed = seed});
+    std::vector<std::uint32_t> out;
+    for (std::size_t attempt = 1; attempt <= 6; ++attempt) {
+      out.push_back(client.backoff_ms(attempt, 0));
+    }
+    return out;
+  };
+  EXPECT_EQ(schedule(7), schedule(7));
+  EXPECT_NE(schedule(7), schedule(8));  // jitter actually varies by seed
+  // Exponential envelope: attempt k is bounded by base * 2^(k-1) and max.
+  const RetryPolicy policy;
+  const auto s = schedule(7);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const std::uint64_t cap = std::min<std::uint64_t>(
+        policy.max_ms, static_cast<std::uint64_t>(policy.base_ms) << i);
+    EXPECT_LE(s[i], cap);
+    EXPECT_GE(s[i], cap / 2);
+  }
+}
+
+TEST(Resilience, EndToEndClientAgainstLiveSession) {
+  // The retrying client driving a real ProtocolSession: NODE lines then the
+  // retried MAP, through the same format_query/stream the CLI uses.
+  MappingService service({.workers = 0});
+  SessionDriver drive(service);
+  QueryClient client([&drive](const std::string& line) { return drive(line); },
+                     RetryPolicy{.max_attempts = 4, .base_ms = 1});
+  client.set_sleeper([](std::uint32_t) {});
+  const QueryResult result =
+      client.query(small_alloc(), "e2e", 8, "lama", "oversub=0");
+  EXPECT_TRUE(result.ok()) << result.response;
+  EXPECT_EQ(result.attempts, 1u);  // single-threaded: never actually busy
+  EXPECT_TRUE(starts_with(result.response, "OK hit=0")) << result.response;
+}
+
+TEST(Resilience, FaultInjectionSchedulesHoldInvariants) {
+  // The acceptance gate: a seeded schedule covering every fault class runs
+  // against a live session with no hangs, no crashes, and the counter
+  // invariants intact — across several seeds.
+  const Allocation alloc =
+      allocate_all(Cluster::homogeneous(3, "socket:2 core:4 pu:2"));
+  for (const std::uint64_t seed : {1ULL, 7ULL, 1234ULL, 0xDEADULL}) {
+    MappingService service({.workers = 0});
+    const FaultPlan plan = FaultPlan::random(seed, 150, FaultMix{}, alloc);
+
+    // The plan really covers at least 3 distinct fault classes.
+    std::set<FaultKind> kinds;
+    for (const FaultEvent& e : plan.events) kinds.insert(e.kind);
+    ASSERT_GE(kinds.size(), 3u) << "seed " << seed;
+
+    const InjectionOutcome outcome =
+        run_fault_injection(service, alloc, plan);
+    EXPECT_TRUE(outcome.passed())
+        << "seed " << seed << "\n" << outcome.report();
+    EXPECT_EQ(outcome.requests_sent, 150u);
+    EXPECT_GT(outcome.responses_ok, 0u) << "seed " << seed;
+    EXPECT_EQ(outcome.faults_applied, plan.events.size());
+  }
+}
+
+TEST(Resilience, FaultInjectionIsDeterministic) {
+  const Allocation alloc = small_alloc(3);
+  const FaultPlan plan = FaultPlan::random(99, 80, FaultMix{}, alloc);
+  MappingService a({.workers = 0});
+  MappingService b({.workers = 0});
+  const InjectionOutcome first = run_fault_injection(a, alloc, plan);
+  const InjectionOutcome second = run_fault_injection(b, alloc, plan);
+  EXPECT_EQ(first.report(), second.report());
+  // Count-type counters match exactly (latency histograms do not: they
+  // measure wall time).
+  EXPECT_EQ(a.counters().requests.load(), b.counters().requests.load());
+  EXPECT_EQ(a.counters().errors.load(), b.counters().errors.load());
+  EXPECT_EQ(a.counters().cache_hits.load(), b.counters().cache_hits.load());
+  EXPECT_EQ(a.counters().remaps.load(), b.counters().remaps.load());
+  EXPECT_EQ(a.counters().invalidations.load(),
+            b.counters().invalidations.load());
+  EXPECT_EQ(a.counters().degraded.load(), b.counters().degraded.load());
+}
+
+TEST(Resilience, MalformedCorpusAlwaysAnswersErr) {
+  MappingService service({.workers = 0});
+  ProtocolSession session(service);
+  std::istringstream no_more;
+  SplitMix64 rng(4242);
+  for (int i = 0; i < 200; ++i) {
+    const std::string line = malformed_request_line(rng);
+    const std::string response = session.execute(line, no_more);
+    ASSERT_TRUE(starts_with(response, "ERR"))
+        << "accepted: '" << line << "' -> " << response;
+  }
+  // The session survived 200 hostile lines and still serves real work.
+  SessionDriver drive(service);
+  // (fresh driver shares the service, not the session — define and map)
+  define_alloc(drive, small_alloc(), "ok");
+  EXPECT_TRUE(starts_with(drive("MAP ok 4 lama"), "OK"));
+}
+
+TEST(Resilience, NumericOverflowAnswersCleanErr) {
+  MappingService service({.workers = 0});
+  SessionDriver drive(service);
+  define_alloc(drive, small_alloc(), "a");
+  EXPECT_TRUE(starts_with(drive("MAP a 18446744073709551616 lama"), "ERR"));
+  EXPECT_TRUE(starts_with(drive("MAP a 99999999999999999999999 lama"), "ERR"));
+  EXPECT_TRUE(starts_with(drive("MAP a -1 lama"), "ERR"));
+  EXPECT_TRUE(starts_with(drive("MAP a 4 lama pus=999999999999"), "ERR"));
+  EXPECT_TRUE(starts_with(drive("MAP a 4 lama npernode=18446744073709551615"),
+                          "ERR"));
+  EXPECT_TRUE(starts_with(drive("BATCH 4294967297"), "ERR"));
+  EXPECT_TRUE(starts_with(drive("OFFLINE a 18446744073709551615"), "ERR"));
+  // And the session still works.
+  EXPECT_TRUE(starts_with(drive("MAP a 4 lama"), "OK"));
+  EXPECT_EQ(service.counters().errors.load(), 0u);  // parse errors pre-admit
+}
+
+}  // namespace
+}  // namespace lama::svc

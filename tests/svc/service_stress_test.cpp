@@ -203,5 +203,93 @@ TEST(ServiceStress, ConcurrentBatchesOnWorkerPool) {
             c.requests.load());
 }
 
+TEST(ServiceStress, CountersStayCoherentUnderFaultTraffic) {
+  // Mixed good/bad traffic racing a chaos thread that corrupts cached trees
+  // and invalidates the allocation's fingerprint. Pins the two accounting
+  // invariants under concurrency and faults: exactly one of
+  // hits/misses/coalesced per cached-path request (they sum to `cached`),
+  // and exactly one error per failed request (so `errors` equals the number
+  // of requests built to fail — nothing double- or under-counted, whatever
+  // path the failure took). Run under LAMA_SANITIZE=thread to certify the
+  // integrity-check, erase, and invalidation paths race-free.
+  const Allocation alloc =
+      allocate_all(Cluster::homogeneous(2, "socket:2 core:2 pu:2"));
+  MappingService service(
+      {.workers = 0, .cache_shards = 4, .shard_capacity = 2});
+  const InternedAlloc interned = service.intern(alloc);
+  const std::vector<std::string> layouts = sample_layouts(6, 0xFA117);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 250;
+  std::atomic<std::uint64_t> sent_good{0}, sent_unknown{0}, sent_oversub{0},
+      sent_deadlined{0}, unexpected{0};
+
+  std::atomic<bool> stop{false};
+  std::thread chaos([&] {
+    SplitMix64 rng(0xC4A05);
+    while (!stop.load(std::memory_order_acquire)) {
+      service.corrupt_cached_trees_for_testing();
+      if (rng.next_bool(0.5)) service.invalidate(interned.fingerprint);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      SplitMix64 rng(0xFEED + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kIters; ++i) {
+        const std::uint64_t pick = rng.next_below(100);
+        MapRequest request{interned, "lama", {.np = 1 + rng.next_below(16)}};
+        request.spec = "lama:" + layouts[rng.next_below(layouts.size())];
+        bool expect_ok = true;
+        if (pick < 10) {
+          // Unknown component: fails on the uncached path.
+          request.spec = "nosuch";
+          sent_unknown.fetch_add(1);
+          expect_ok = false;
+        } else if (pick < 20) {
+          // Capacity violation: fails after the tree walk starts.
+          request.opts.np = alloc.total_online_pus() * 2 + 1;
+          request.opts.allow_oversubscribe = false;
+          sent_oversub.fetch_add(1);
+          expect_ok = false;
+        } else if (pick < 25) {
+          // Expired deadline: cancelled before any mapping work.
+          request.opts.deadline_ns = 1;
+          sent_deadlined.fetch_add(1);
+          expect_ok = false;
+        } else {
+          sent_good.fetch_add(1);
+        }
+        const MapResponse response = service.map(request);
+        if (response.ok() != expect_ok) unexpected.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  stop.store(true, std::memory_order_release);
+  chaos.join();
+
+  EXPECT_EQ(unexpected.load(), 0u);
+  const Counters& c = service.counters();
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(kThreads) * kIters;
+  EXPECT_EQ(c.requests.load(), total);
+  EXPECT_EQ(c.completed.load(), total);
+  // Exactly one error per request built to fail.
+  EXPECT_EQ(c.errors.load(),
+            sent_unknown.load() + sent_oversub.load() + sent_deadlined.load());
+  EXPECT_EQ(c.deadlined.load(), sent_deadlined.load());
+  EXPECT_EQ(c.uncached.load(), sent_unknown.load());
+  // Cached-path requests: everything that reached the tree cache (good +
+  // oversubscribed traffic; unknown specs bypass it, deadlined requests
+  // cancel before it), each resolving exactly one way.
+  EXPECT_EQ(c.cached.load(), sent_good.load() + sent_oversub.load());
+  EXPECT_EQ(c.cache_hits.load() + c.cache_misses.load() + c.coalesced.load(),
+            c.cached.load());
+}
+
 }  // namespace
 }  // namespace lama::svc

@@ -11,8 +11,8 @@
 // The `serve` and `query` subcommands speak the mapping service's
 // line-oriented protocol (docs/service.md) over stdin/stdout:
 //
-//   lamactl query --cluster cluster.txt -np 8 --map-by lama:scbnh | \
-//   lamactl serve --workers 8 --stats
+//   lamactl query --cluster cluster.txt -np 8 --map-by lama:scbnh |
+//     lamactl serve --workers 8 --stats
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -26,6 +26,8 @@
 #include "support/error.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
+#include "svc/client.hpp"
+#include "svc/fault_injector.hpp"
 #include "svc/protocol.hpp"
 #include "svc/service.hpp"
 
@@ -77,6 +79,18 @@ int run_serve(const std::vector<std::string>& args) {
       config.cache_shards = parse_size(need_value(), "serve shards");
     } else if (arg == "--capacity") {
       config.shard_capacity = parse_size(need_value(), "serve capacity");
+    } else if (arg == "--max-queue") {
+      config.max_queue = parse_size(need_value(), "serve max-queue");
+    } else if (arg == "--max-inflight") {
+      config.max_inflight = parse_size(need_value(), "serve max-inflight");
+    } else if (arg == "--timeout-ms") {
+      config.default_timeout_ms = static_cast<std::uint32_t>(
+          parse_size(need_value(), "serve timeout-ms"));
+    } else if (arg == "--retry-after-ms") {
+      config.retry_after_ms = static_cast<std::uint32_t>(
+          parse_size(need_value(), "serve retry-after-ms"));
+    } else if (arg == "--no-verify") {
+      config.verify_trees = false;
     } else if (arg == "--stats") {
       stats = true;
     } else {
@@ -89,7 +103,9 @@ int run_serve(const std::vector<std::string>& args) {
 }
 
 // `lamactl query`: print the protocol lines for one mapping query, ready to
-// pipe into `lamactl serve`.
+// pipe into `lamactl serve`. With --exec, run the query against an
+// in-process service instead, through the retrying client (--retries,
+// --backoff-ms) — busy responses back off and retry like a real client.
 int run_query(const std::vector<std::string>& args) {
   std::string cluster_path;
   std::string hostfile_path;
@@ -98,6 +114,9 @@ int run_query(const std::vector<std::string>& args) {
   std::size_t np = 0;
   std::string options;
   bool stats = false;
+  bool exec = false;
+  svc::RetryPolicy retry;
+  svc::ServiceConfig exec_config;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     auto need_value = [&] {
@@ -124,8 +143,20 @@ int run_query(const std::vector<std::string>& args) {
       options += (options.empty() ? "" : " ") + std::string("oversub=1");
     } else if (arg == "--no-oversubscribe") {
       options += (options.empty() ? "" : " ") + std::string("oversub=0");
+    } else if (arg == "--timeout-ms") {
+      options += (options.empty() ? "" : " ") + ("timeout=" + need_value());
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--exec") {
+      exec = true;
+    } else if (arg == "--retries") {
+      retry.max_attempts = parse_size(need_value(), "query retries");
+    } else if (arg == "--backoff-ms") {
+      retry.base_ms = static_cast<std::uint32_t>(
+          parse_size(need_value(), "query backoff-ms"));
+    } else if (arg == "--max-inflight") {
+      exec_config.max_inflight =
+          parse_size(need_value(), "query max-inflight");
     } else {
       throw ParseError("unknown query option: " + arg);
     }
@@ -138,10 +169,105 @@ int run_query(const std::vector<std::string>& args) {
       hostfile_path.empty()
           ? allocate_all(cluster)
           : parse_hostfile(cluster, read_file(hostfile_path));
+  if (exec) {
+    svc::MappingService service(exec_config);
+    svc::ProtocolSession session(service);
+    std::istringstream no_more;
+    svc::QueryClient client(
+        [&](const std::string& line) {
+          std::string response = session.execute(line, no_more);
+          if (!response.empty() && response.back() == '\n') {
+            response.pop_back();
+          }
+          return response;
+        },
+        retry);
+    const svc::QueryResult result =
+        client.query(alloc, alloc_id, np, spec, options);
+    std::printf("%s\n", result.response.c_str());
+    if (result.attempts > 1) {
+      std::printf("# attempts=%zu backoff-ms=%llu\n", result.attempts,
+                  static_cast<unsigned long long>(result.total_backoff_ms));
+    }
+    if (stats) {
+      std::printf("%s", service.counters().render().c_str());
+    }
+    return result.ok() ? 0 : 1;
+  }
   std::string out = svc::format_query(alloc, alloc_id, np, spec, options);
   if (stats) out += "STATS\n";
   std::fputs(out.c_str(), stdout);
   return 0;
+}
+
+// `lamactl inject`: replay a seeded fault schedule against an in-process
+// service and report whether the resilience invariants held.
+int run_inject(const std::vector<std::string>& args) {
+  std::string cluster_path;
+  std::string hostfile_path;
+  std::uint64_t seed = 42;
+  std::size_t requests = 200;
+  svc::FaultMix mix;
+  svc::ServiceConfig config;
+  config.workers = 0;  // deterministic by default; faults are interleaved
+  bool stats = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto need_value = [&] {
+      if (i + 1 >= args.size()) {
+        throw ParseError("option " + arg + " requires a value");
+      }
+      return args[++i];
+    };
+    if (arg == "--cluster") {
+      cluster_path = need_value();
+    } else if (arg == "--hostfile") {
+      hostfile_path = need_value();
+    } else if (arg == "--seed") {
+      seed = parse_size(need_value(), "inject seed");
+    } else if (arg == "--requests") {
+      requests = parse_size(need_value(), "inject requests");
+    } else if (arg == "--node-deaths") {
+      mix.node_deaths = parse_size(need_value(), "inject node-deaths");
+    } else if (arg == "--node-recoveries") {
+      mix.node_recoveries = parse_size(need_value(), "inject node-recoveries");
+    } else if (arg == "--pu-offlines") {
+      mix.pu_offlines = parse_size(need_value(), "inject pu-offlines");
+    } else if (arg == "--malformed") {
+      mix.malformed = parse_size(need_value(), "inject malformed");
+    } else if (arg == "--corruptions") {
+      mix.tree_corruptions = parse_size(need_value(), "inject corruptions");
+    } else if (arg == "--stalls") {
+      mix.worker_stalls = parse_size(need_value(), "inject stalls");
+    } else if (arg == "--max-inflight") {
+      config.max_inflight = parse_size(need_value(), "inject max-inflight");
+    } else if (arg == "--timeout-ms") {
+      config.default_timeout_ms = static_cast<std::uint32_t>(
+          parse_size(need_value(), "inject timeout-ms"));
+    } else if (arg == "--stats") {
+      stats = true;
+    } else {
+      throw ParseError("unknown inject option: " + arg);
+    }
+  }
+  if (cluster_path.empty()) throw ParseError("--cluster <file> is required");
+
+  const Cluster cluster = parse_cluster_file(read_file(cluster_path));
+  const Allocation alloc =
+      hostfile_path.empty()
+          ? allocate_all(cluster)
+          : parse_hostfile(cluster, read_file(hostfile_path));
+  const svc::FaultPlan plan =
+      svc::FaultPlan::random(seed, requests, mix, alloc);
+  svc::MappingService service(config);
+  const svc::InjectionOutcome outcome =
+      svc::run_fault_injection(service, alloc, plan);
+  std::printf("seed %llu: %s", static_cast<unsigned long long>(seed),
+              outcome.report().c_str());
+  if (stats) {
+    std::printf("%s", service.counters().render().c_str());
+  }
+  return outcome.passed() ? 0 : 2;
 }
 
 int run(const std::vector<std::string>& args) {
@@ -229,6 +355,9 @@ int main(int argc, char** argv) {
     if (!args.empty() && args[0] == "query") {
       return run_query({args.begin() + 1, args.end()});
     }
+    if (!args.empty() && args[0] == "inject") {
+      return run_inject({args.begin() + 1, args.end()});
+    }
     return run(args);
   } catch (const lama::Error& e) {
     std::fprintf(stderr, "lamactl: %s\n", e.what());
@@ -239,10 +368,18 @@ int main(int argc, char** argv) {
         "                --bind-to <level>, --by-*, --npernode N, ...]\n"
         "               [--pattern <name>[:<bytes>]]\n"
         "       lamactl serve [--workers N] [--shards N] [--capacity N]\n"
-        "               [--stats]          # protocol on stdin/stdout\n"
+        "               [--max-queue N] [--max-inflight N] [--timeout-ms N]\n"
+        "               [--retry-after-ms N] [--no-verify] [--stats]\n"
         "       lamactl query --cluster <file> [--hostfile <file>] -np N\n"
         "               [--map-by <spec>] [--bind-to <level>] [--id <name>]\n"
-        "               [--npernode N] [--stats]  # emit protocol lines\n");
+        "               [--npernode N] [--timeout-ms N] [--stats]\n"
+        "               [--exec [--retries N] [--backoff-ms N]\n"
+        "                [--max-inflight N]]  # run in-process with retries\n"
+        "       lamactl inject --cluster <file> [--seed N] [--requests N]\n"
+        "               [--node-deaths N] [--node-recoveries N]\n"
+        "               [--pu-offlines N] [--malformed N] [--corruptions N]\n"
+        "               [--stalls N] [--max-inflight N] [--timeout-ms N]\n"
+        "               [--stats]          # seeded fault-injection replay\n");
     return 1;
   }
 }
