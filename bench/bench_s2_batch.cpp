@@ -1,0 +1,170 @@
+// S2 — MAPBATCH against sequential MAP round-trips. A stateless client
+// (`lamactl query`) pays a full round-trip per job: the NODE definitions,
+// then one MAP line, each crossing the protocol layer separately. The batch
+// client defines the allocation once and submits all jobs as a single
+// MAPBATCH line, so per-line framing, parsing, and admission are amortized
+// across the batch while the jobs still coalesce on the shared tree cache.
+//
+// The program measures, on a warm cache:
+//   seq_query  - 64 stateless round-trips (NODE lines + MAP per job)
+//   seq_map    - 64 MAP lines on an established session (NODE sent once)
+//   mapbatch   - NODE lines once + one MAPBATCH carrying all 64 jobs
+// and writes BENCH_s2_batch.json (to argv[1], default ./BENCH_s2_batch.json)
+// with the minimum wall time of each mode over the repeats and the batch
+// ratio against both baselines. The acceptance bar is
+// ratio_vs_query < 0.5: one batch beats half the cost of 64 stateless
+// round-trips. All modes run with workers=0 (inline execution), so the
+// difference is pure transport amortization, not thread parallelism.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "svc/client.hpp"
+#include "svc/protocol.hpp"
+#include "svc/service.hpp"
+#include "topo/serialize.hpp"
+
+namespace {
+
+using namespace lama;
+
+constexpr std::size_t kJobs = 64;
+constexpr std::size_t kRepeats = 9;
+constexpr const char* kLayouts[] = {"scbnh", "hcsbn", "nhcsb", "bnhsc"};
+constexpr std::size_t kNps[] = {4, 8, 16, 24};
+
+std::vector<std::string> node_lines(const Allocation& alloc) {
+  std::vector<std::string> lines;
+  for (std::size_t i = 0; i < alloc.num_nodes(); ++i) {
+    lines.push_back("NODE a0 " + std::to_string(alloc.node(i).slots) + " " +
+                    serialize_topology(alloc.node(i).topo));
+  }
+  return lines;
+}
+
+std::vector<svc::BatchJob> make_jobs() {
+  std::vector<svc::BatchJob> jobs;
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    jobs.push_back({"a0", kNps[i % 4], std::string("lama:") + kLayouts[(i / 4) % 4],
+                    {}});
+  }
+  return jobs;
+}
+
+std::uint64_t elapsed_ns(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+          .count());
+}
+
+std::uint64_t min_over_repeats(const std::function<void()>& fn) {
+  std::uint64_t best = ~0ull;
+  for (std::size_t r = 0; r < kRepeats; ++r) best = std::min(best, elapsed_ns(fn));
+  return best;
+}
+
+std::string run(svc::ProtocolSession& session, const std::string& line) {
+  std::istringstream no_more;
+  return session.execute(line, no_more);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : std::string("BENCH_s2_batch.json");
+  const Allocation alloc = allocate_all(
+      Cluster::homogeneous(2, "socket:2 core:4 pu:2"));
+  const std::vector<std::string> nodes = node_lines(alloc);
+  const std::vector<svc::BatchJob> jobs = make_jobs();
+  const std::string batch_line = svc::format_mapbatch(jobs);
+  std::vector<std::string> map_lines;
+  for (const svc::BatchJob& job : jobs) {
+    map_lines.push_back("MAP " + job.alloc_id + " " + std::to_string(job.np) +
+                        " " + job.spec);
+  }
+
+  // One long-lived service per mode; its tree cache is warmed untimed so no
+  // timed request pays a tree build. Stateless modes open a fresh
+  // ProtocolSession per round-trip (session state — the named allocation —
+  // is per-connection; the warm cache is the service's and is shared).
+  svc::MappingService query_service(
+      {.workers = 0, .cache_shards = 8, .shard_capacity = 64});
+  svc::MappingService map_service(
+      {.workers = 0, .cache_shards = 8, .shard_capacity = 64});
+  svc::MappingService batch_service(
+      {.workers = 0, .cache_shards = 8, .shard_capacity = 64});
+  for (svc::MappingService* service :
+       {&query_service, &map_service, &batch_service}) {
+    svc::ProtocolSession warm(*service);
+    for (const std::string& line : nodes) run(warm, line);
+    for (const std::string& line : map_lines) run(warm, line);
+  }
+
+  // 64 stateless round-trips: each job defines the allocation and maps.
+  const std::uint64_t seq_query_ns = min_over_repeats([&] {
+    for (const std::string& line : map_lines) {
+      svc::ProtocolSession session(query_service);
+      for (const std::string& node : nodes) run(session, node);
+      run(session, line);
+    }
+  });
+  // 64 MAP lines on one established session (NODE lines outside the timer).
+  svc::ProtocolSession map_session(map_service);
+  for (const std::string& line : nodes) run(map_session, line);
+  const std::uint64_t seq_map_ns = min_over_repeats([&] {
+    for (const std::string& line : map_lines) run(map_session, line);
+  });
+  // One stateless batch round-trip: define the allocation, submit all jobs.
+  const std::uint64_t mapbatch_ns = min_over_repeats([&] {
+    svc::ProtocolSession session(batch_service);
+    for (const std::string& node : nodes) run(session, node);
+    run(session, batch_line);
+  });
+
+  const double ratio_vs_query =
+      static_cast<double>(mapbatch_ns) / static_cast<double>(seq_query_ns);
+  const double ratio_vs_map =
+      static_cast<double>(mapbatch_ns) / static_cast<double>(seq_map_ns);
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"s2_batch\",\n"
+               "  \"jobs\": %zu,\n"
+               "  \"repeats\": %zu,\n"
+               "  \"workers\": 0,\n"
+               "  \"seq_query_ns\": %llu,\n"
+               "  \"seq_map_ns\": %llu,\n"
+               "  \"mapbatch_ns\": %llu,\n"
+               "  \"ratio_vs_query\": %.4f,\n"
+               "  \"ratio_vs_map\": %.4f,\n"
+               "  \"pass\": %s\n"
+               "}\n",
+               kJobs, kRepeats,
+               static_cast<unsigned long long>(seq_query_ns),
+               static_cast<unsigned long long>(seq_map_ns),
+               static_cast<unsigned long long>(mapbatch_ns),
+               ratio_vs_query, ratio_vs_map,
+               ratio_vs_query < 0.5 ? "true" : "false");
+  std::fclose(out);
+  std::printf(
+      "s2_batch: %zu jobs  seq_query=%.3f ms  seq_map=%.3f ms  "
+      "mapbatch=%.3f ms  ratio_vs_query=%.4f  ratio_vs_map=%.4f  %s\n",
+      kJobs, seq_query_ns / 1e6, seq_map_ns / 1e6, mapbatch_ns / 1e6,
+      ratio_vs_query, ratio_vs_map,
+      ratio_vs_query < 0.5 ? "PASS" : "FAIL");
+  return ratio_vs_query < 0.5 ? 0 : 1;
+}

@@ -1,0 +1,160 @@
+#include "lama/map_engine.hpp"
+
+#include "lama/maximal_tree.hpp"
+#include "support/error.hpp"
+
+namespace lama::detail {
+
+void validate_map_inputs(const Allocation& alloc, const ProcessLayout& layout,
+                         const MapOptions& opts) {
+  if (opts.np == 0) throw MappingError("number of processes must be positive");
+  if (opts.pus_per_proc == 0) {
+    throw MappingError("processes need at least one processing unit");
+  }
+  alloc.validate();
+
+  // A cap on a level the layout prunes has no object to attach to.
+  for (ResourceType t : all_resource_types()) {
+    if (opts.resource_caps[static_cast<std::size_t>(canonical_depth(t))] >
+            0 &&
+        !layout.contains(t)) {
+      throw MappingError("resource cap on level '" +
+                         std::string(resource_name(t)) +
+                         "' requires that level in the process layout");
+    }
+  }
+}
+
+void check_oversubscribe(const MaximalTree& mtree, const MapOptions& opts) {
+  if (!opts.allow_oversubscribe &&
+      opts.np * opts.pus_per_proc > mtree.online_pu_capacity()) {
+    throw OversubscribeError(
+        "job of " + std::to_string(opts.np) + " processes x " +
+        std::to_string(opts.pus_per_proc) + " PUs exceeds the " +
+        std::to_string(mtree.online_pu_capacity()) +
+        " online processing units and oversubscription is disallowed");
+  }
+}
+
+PlacementEngine::PlacementEngine(const MaximalTree& mtree,
+                                 const ProcessLayout& layout,
+                                 const MapOptions& opts)
+    : mtree_(mtree), opts_(opts) {
+  result_.layout = layout.to_string();
+  result_.procs_per_node.assign(mtree.num_nodes(), 0);
+  pending_.resize(mtree.num_nodes());
+  for (std::size_t cap : opts.resource_caps) {
+    if (cap > 0) caps_active_ = true;
+  }
+}
+
+// Key identifying the ancestor of containment depth j (inclusive) on a
+// node: {j, node, node_coord[0..j]}.
+std::vector<std::size_t> PlacementEngine::cap_key(
+    std::size_t j, std::size_t node,
+    const std::vector<std::size_t>& node_coord) {
+  std::vector<std::size_t> key;
+  key.reserve(j + 3);
+  key.push_back(j);
+  key.push_back(node);
+  for (std::size_t i = 0; i <= j; ++i) key.push_back(node_coord[i]);
+  return key;
+}
+
+// True when starting a new process at this coordinate would exceed a cap.
+bool PlacementEngine::capped_out(std::size_t node,
+                                 const std::vector<std::size_t>& nc) const {
+  const std::size_t node_cap =
+      opts_.resource_caps[canonical_depth(ResourceType::kNode)];
+  if (node_cap > 0 && result_.procs_per_node[node] >= node_cap) return true;
+  const std::vector<ResourceType>& levels = mtree_.node_levels();
+  for (std::size_t j = 0; j < levels.size(); ++j) {
+    const std::size_t cap = opts_.resource_caps[canonical_depth(levels[j])];
+    if (cap == 0) continue;
+    const auto it = cap_usage_.find(cap_key(j, node, nc));
+    if (it != cap_usage_.end() && it->second >= cap) return true;
+  }
+  return false;
+}
+
+void PlacementEngine::charge_caps(std::size_t node,
+                                  const std::vector<std::size_t>& nc) {
+  const std::vector<ResourceType>& levels = mtree_.node_levels();
+  for (std::size_t j = 0; j < levels.size(); ++j) {
+    if (opts_.resource_caps[canonical_depth(levels[j])] == 0) continue;
+    ++cap_usage_[cap_key(j, node, nc)];
+  }
+}
+
+void PlacementEngine::emit_placement(std::size_t node) {
+  Pending& acc = pending_[node];
+  if (caps_active_) charge_caps(node, acc.node_coord);
+  Placement p;
+  p.rank = static_cast<int>(rank_);
+  p.node = node;
+  p.target_pus = acc.pus;
+  p.coord = acc.coord;
+  result_.placements.push_back(std::move(p));
+  ++result_.procs_per_node[node];
+  for (const PrunedObject* target : acc.objects) ++occupancy_[target];
+  ++rank_;
+  acc.pus.clear_all();
+  acc.targets = 0;
+  acc.objects.clear();
+}
+
+bool PlacementEngine::offer(const PrunedObject* target, std::size_t node,
+                            const std::vector<std::size_t>& coord,
+                            const std::vector<std::size_t>& node_coord) {
+  ++result_.visited;
+  Pending& acc = pending_[node];
+  if (caps_active_ && acc.targets == 0 && capped_out(node, node_coord)) {
+    ++result_.skipped;
+    return false;
+  }
+  if (acc.targets == 0) {
+    acc.coord = coord;  // the process is addressed by its first target
+    acc.node_coord = node_coord;
+  }
+  acc.pus |= target->available_pus();
+  acc.objects.push_back(target);
+  ++acc.targets;
+  if (acc.targets == opts_.pus_per_proc) emit_placement(node);
+  return done();
+}
+
+void PlacementEngine::begin_sweep() {
+  sweep_start_rank_ = rank_;
+  for (Pending& p : pending_) {  // partial processes never straddle sweeps
+    p.pus.clear_all();
+    p.targets = 0;
+    p.objects.clear();
+  }
+}
+
+void PlacementEngine::end_sweep() {
+  ++result_.sweeps;
+  if (!done() && rank_ == sweep_start_rank_) {
+    throw MappingError(
+        "no available processing resources for layout; every coordinate "
+        "was skipped");
+  }
+}
+
+MappingResult PlacementEngine::take_result(const Allocation& alloc) {
+  for (const auto& [target, count] : occupancy_) {
+    if (count > target->available_pus().count()) {
+      result_.pu_oversubscribed = true;
+      break;
+    }
+  }
+  for (std::size_t i = 0; i < alloc.num_nodes(); ++i) {
+    if (result_.procs_per_node[i] > alloc.node(i).slots) {
+      result_.slot_oversubscribed = true;
+      break;
+    }
+  }
+  return std::move(result_);
+}
+
+}  // namespace lama::detail

@@ -1,0 +1,108 @@
+// The placement decision core of the Figure 1 mapper, factored out of the
+// coordinate walk so that sequential and parallel drivers share one set of
+// semantics. The engine consumes the walk's per-coordinate outcomes — a
+// *viable* target (exists and available) or a skip — in global iteration
+// order, and applies everything that depends on placement history: multi-PU
+// accumulation, resource caps, rank assignment, sweep accounting, and the
+// oversubscription flags. Because all history lives here, any driver that
+// feeds the same outcome stream in the same order produces a byte-identical
+// MappingResult; the parallel mapper (parallel_mapper.hpp) exploits exactly
+// this by recording outcome streams concurrently and replaying them
+// sequentially.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "lama/layout.hpp"
+#include "lama/mapper.hpp"
+#include "lama/mapping.hpp"
+#include "lama/pruned_tree.hpp"
+
+namespace lama {
+
+class MaximalTree;
+
+namespace detail {
+
+// Input validation shared by every lama_map entry point. Throws
+// MappingError on unusable inputs.
+void validate_map_inputs(const Allocation& alloc, const ProcessLayout& layout,
+                         const MapOptions& opts);
+
+// Enforces MapOptions::allow_oversubscribe against the tree's online
+// capacity. Throws OversubscribeError.
+void check_oversubscribe(const MaximalTree& mtree, const MapOptions& opts);
+
+class PlacementEngine {
+ public:
+  PlacementEngine(const MaximalTree& mtree, const ProcessLayout& layout,
+                  const MapOptions& opts);
+
+  // One coordinate whose lookup failed (heterogeneity) or whose target is
+  // unavailable (restrictions).
+  void skip() {
+    ++result_.visited;
+    ++result_.skipped;
+  }
+  void skip_n(std::size_t n) {
+    result_.visited += n;
+    result_.skipped += n;
+  }
+
+  // One viable coordinate: `target` exists and is available. May skip it
+  // anyway (resource caps), accumulate it (multi-PU), or place a rank.
+  // Returns true once all np ranks are placed — the walk must stop
+  // immediately (no further coordinate is counted visited).
+  bool offer(const PrunedObject* target, std::size_t node,
+             const std::vector<std::size_t>& coord,
+             const std::vector<std::size_t>& node_coord);
+
+  // Sweep boundary protocol, mirroring Figure 1's wraparound loop:
+  // begin_sweep resets the partial multi-PU accumulators (a process never
+  // straddles sweeps); end_sweep counts the sweep — including a final
+  // partial one — and throws MappingError when a completed sweep placed
+  // nothing (every coordinate skipped).
+  void begin_sweep();
+  void end_sweep();
+
+  [[nodiscard]] bool done() const { return rank_ == opts_.np; }
+  [[nodiscard]] std::size_t visited() const { return result_.visited; }
+
+  // Finalizes the oversubscription flags against `alloc` and moves the
+  // result out. The engine is spent afterwards.
+  MappingResult take_result(const Allocation& alloc);
+
+ private:
+  struct Pending {
+    Bitmap pus;
+    std::size_t targets = 0;
+    std::vector<std::size_t> coord;       // of the first gathered target
+    std::vector<std::size_t> node_coord;  // containment-ordered, ditto
+    std::vector<const PrunedObject*> objects;
+  };
+
+  static std::vector<std::size_t> cap_key(
+      std::size_t j, std::size_t node,
+      const std::vector<std::size_t>& node_coord);
+  [[nodiscard]] bool capped_out(std::size_t node,
+                                const std::vector<std::size_t>& nc) const;
+  void charge_caps(std::size_t node, const std::vector<std::size_t>& nc);
+  void emit_placement(std::size_t node);
+
+  const MaximalTree& mtree_;
+  const MapOptions& opts_;
+  std::size_t rank_ = 0;
+  std::size_t sweep_start_rank_ = 0;
+  std::vector<Pending> pending_;  // per node
+  bool caps_active_ = false;
+  std::map<std::vector<std::size_t>, std::size_t> cap_usage_;
+  MappingResult result_;
+  std::unordered_map<const PrunedObject*, std::size_t> occupancy_;
+};
+
+}  // namespace detail
+}  // namespace lama

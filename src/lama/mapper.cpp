@@ -2,9 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
-#include <map>
-#include <unordered_map>
 
+#include "lama/map_engine.hpp"
 #include "lama/maximal_tree.hpp"
 #include "support/error.hpp"
 
@@ -12,14 +11,17 @@ namespace lama {
 
 namespace {
 
-// State of one mapping run. The recursion mirrors the paper's Figure 1:
-// inner_loop(level) iterates the level's resources, recursing toward level 0
-// (the leftmost, innermost layout letter) where each available coordinate
-// maps one rank (or contributes one target to a multi-PU process).
-struct MapRun {
+// The coordinate walk of one sequential mapping run. The recursion mirrors
+// the paper's Figure 1: inner_loop(level) iterates the level's resources,
+// recursing toward level 0 (the leftmost, innermost layout letter) where
+// each coordinate is resolved against the targeted node's pruned tree and
+// handed to the PlacementEngine — which owns all placement history (multi-PU
+// accumulation, caps, ranks, sweeps) so the parallel driver can share it.
+struct MapWalk {
   const MaximalTree& mtree;
   const std::vector<ResourceType>& order;  // layout, innermost first
   const MapOptions& opts;
+  detail::PlacementEngine engine;
 
   std::vector<std::vector<std::size_t>> visit;  // per layout position
   int node_pos = -1;                    // layout position of 'n', or -1
@@ -27,33 +29,12 @@ struct MapRun {
   std::vector<std::size_t> coord;       // current iteration coordinate
   std::vector<std::size_t> node_coord;  // scratch: containment-ordered coord
 
-  std::size_t rank = 0;
-
-  // Per-node accumulators for multi-PU processes (opts.pus_per_proc > 1):
-  // a process gathers targets from a single node; keeping one accumulator
-  // per node lets scatter layouts (node letter innermost) interleave the
-  // assembly of several processes.
-  struct Pending {
-    Bitmap pus;
-    std::size_t targets = 0;
-    std::vector<std::size_t> coord;       // of the first gathered target
-    std::vector<std::size_t> node_coord;  // containment-ordered, ditto
-    std::vector<const PrunedObject*> objects;
-  };
-  std::vector<Pending> pending;
-
-  // Resource caps (SLURM/ALPS-style --npernode and friends): processes
-  // already attributed to each capped object, keyed by the containment-
-  // ordered coordinate prefix that identifies the object on its node.
-  bool caps_active = false;
-  std::map<std::vector<std::size_t>, std::size_t> cap_usage;
-
-  MappingResult result;
-  std::unordered_map<const PrunedObject*, std::size_t> occupancy;
-
-  MapRun(const MaximalTree& mt, const ProcessLayout& layout,
-         const MapOptions& options)
-      : mtree(mt), order(layout.order()), opts(options) {
+  MapWalk(const MaximalTree& mt, const ProcessLayout& layout,
+          const MapOptions& options)
+      : mtree(mt),
+        order(layout.order()),
+        opts(options),
+        engine(mt, layout, options) {
     visit.resize(order.size());
     for (std::size_t i = 0; i < order.size(); ++i) {
       visit[i] =
@@ -69,72 +50,6 @@ struct MapRun {
     }
     coord.assign(order.size(), 0);
     node_coord.resize(levels.size());
-    result.procs_per_node.assign(mtree.num_nodes(), 0);
-    pending.resize(mtree.num_nodes());
-    for (std::size_t cap : opts.resource_caps) {
-      if (cap > 0) caps_active = true;
-    }
-  }
-
-  // Key identifying the ancestor of containment depth j (inclusive) on a
-  // node: {j, node, node_coord[0..j]}.
-  static std::vector<std::size_t> cap_key(
-      std::size_t j, std::size_t node,
-      const std::vector<std::size_t>& node_coord) {
-    std::vector<std::size_t> key;
-    key.reserve(j + 3);
-    key.push_back(j);
-    key.push_back(node);
-    for (std::size_t i = 0; i <= j; ++i) key.push_back(node_coord[i]);
-    return key;
-  }
-
-  // True when starting a new process at this coordinate would exceed a cap.
-  bool capped_out(std::size_t node) const {
-    const std::size_t node_cap =
-        opts.resource_caps[canonical_depth(ResourceType::kNode)];
-    if (node_cap > 0 && result.procs_per_node[node] >= node_cap) return true;
-    const std::vector<ResourceType>& levels = mtree.node_levels();
-    for (std::size_t j = 0; j < levels.size(); ++j) {
-      const std::size_t cap = opts.resource_caps[canonical_depth(levels[j])];
-      if (cap == 0) continue;
-      const auto it = cap_usage.find(cap_key(j, node, node_coord));
-      if (it != cap_usage.end() && it->second >= cap) return true;
-    }
-    return false;
-  }
-
-  void charge_caps(std::size_t node, const std::vector<std::size_t>& nc) {
-    const std::vector<ResourceType>& levels = mtree.node_levels();
-    for (std::size_t j = 0; j < levels.size(); ++j) {
-      if (opts.resource_caps[canonical_depth(levels[j])] == 0) continue;
-      ++cap_usage[cap_key(j, node, nc)];
-    }
-  }
-
-  void reset_pending() {
-    for (Pending& p : pending) {
-      p.pus.clear_all();
-      p.targets = 0;
-      p.objects.clear();
-    }
-  }
-
-  void emit_placement(std::size_t node) {
-    Pending& acc = pending[node];
-    if (caps_active) charge_caps(node, acc.node_coord);
-    Placement p;
-    p.rank = static_cast<int>(rank);
-    p.node = node;
-    p.target_pus = acc.pus;
-    p.coord = acc.coord;
-    result.placements.push_back(std::move(p));
-    ++result.procs_per_node[node];
-    for (const PrunedObject* target : acc.objects) ++occupancy[target];
-    ++rank;
-    acc.pus.clear_all();
-    acc.targets = 0;
-    acc.objects.clear();
   }
 
   void check_deadline() const {
@@ -144,16 +59,15 @@ struct MapRun {
             std::chrono::duration_cast<std::chrono::nanoseconds>(now)
                 .count()) >= opts.deadline_ns) {
       throw CancelledError("mapping deadline exceeded after " +
-                           std::to_string(result.visited) +
+                           std::to_string(engine.visited()) +
                            " visited coordinates");
     }
   }
 
   void try_map() {
-    ++result.visited;
     // Poll the deadline sparsely: one clock read per 4096 coordinates keeps
     // the cancellation latency bounded without slowing the hot walk.
-    if ((result.visited & 0xFFF) == 0) check_deadline();
+    if (((engine.visited() + 1) & 0xFFF) == 0) check_deadline();
     const std::size_t node =
         node_pos >= 0 ? coord[static_cast<std::size_t>(node_pos)] : 0;
     for (std::size_t j = 0; j < level_pos.size(); ++j) {
@@ -161,27 +75,15 @@ struct MapRun {
     }
     const PrunedObject* target = mtree.pruned(node).lookup(node_coord);
     if (target == nullptr || !target->available()) {
-      ++result.skipped;
+      engine.skip();
       return;
     }
-    Pending& acc = pending[node];
-    if (caps_active && acc.targets == 0 && capped_out(node)) {
-      ++result.skipped;
-      return;
-    }
-    if (acc.targets == 0) {
-      acc.coord = coord;  // the process is addressed by its first target
-      acc.node_coord = node_coord;
-    }
-    acc.pus |= target->available_pus();
-    acc.objects.push_back(target);
-    ++acc.targets;
-    if (acc.targets == opts.pus_per_proc) emit_placement(node);
+    engine.offer(target, node, coord, node_coord);
   }
 
   void inner_loop(int level) {
     for (std::size_t idx : visit[static_cast<std::size_t>(level)]) {
-      if (rank == opts.np) return;
+      if (engine.done()) return;
       coord[static_cast<std::size_t>(level)] = idx;
       if (level > 0) {
         inner_loop(level - 1);
@@ -192,84 +94,33 @@ struct MapRun {
   }
 
   void run() {
-    while (rank < opts.np) {
+    while (!engine.done()) {
       check_deadline();
-      const std::size_t before = rank;
-      reset_pending();  // partial processes never straddle sweeps
+      engine.begin_sweep();
       inner_loop(static_cast<int>(order.size()) - 1);
-      ++result.sweeps;
-      if (rank == before) {
-        throw MappingError(
-            "no available processing resources for layout; every coordinate "
-            "was skipped");
-      }
+      engine.end_sweep();
     }
   }
 };
 
 }  // namespace
 
-namespace {
-
-// Input validation shared by the build-a-tree and shared-tree entry points.
-void validate_map_inputs(const Allocation& alloc, const ProcessLayout& layout,
-                         const MapOptions& opts) {
-  if (opts.np == 0) throw MappingError("number of processes must be positive");
-  if (opts.pus_per_proc == 0) {
-    throw MappingError("processes need at least one processing unit");
-  }
-  alloc.validate();
-
-  // A cap on a level the layout prunes has no object to attach to.
-  for (ResourceType t : all_resource_types()) {
-    if (opts.resource_caps[static_cast<std::size_t>(canonical_depth(t))] >
-            0 &&
-        !layout.contains(t)) {
-      throw MappingError("resource cap on level '" +
-                         std::string(resource_name(t)) +
-                         "' requires that level in the process layout");
-    }
-  }
-}
-
-}  // namespace
-
 MappingResult lama_map(const Allocation& alloc, const ProcessLayout& layout,
                        const MapOptions& opts) {
-  validate_map_inputs(alloc, layout, opts);  // fail before building the tree
+  // Fail before building the tree.
+  detail::validate_map_inputs(alloc, layout, opts);
   MaximalTree mtree(alloc, layout);
   return lama_map(alloc, layout, opts, mtree);
 }
 
 MappingResult lama_map(const Allocation& alloc, const ProcessLayout& layout,
                        const MapOptions& opts, const MaximalTree& mtree) {
-  validate_map_inputs(alloc, layout, opts);
-  if (!opts.allow_oversubscribe &&
-      opts.np * opts.pus_per_proc > mtree.online_pu_capacity()) {
-    throw OversubscribeError(
-        "job of " + std::to_string(opts.np) + " processes x " +
-        std::to_string(opts.pus_per_proc) + " PUs exceeds the " +
-        std::to_string(mtree.online_pu_capacity()) +
-        " online processing units and oversubscription is disallowed");
-  }
+  detail::validate_map_inputs(alloc, layout, opts);
+  detail::check_oversubscribe(mtree, opts);
 
-  MapRun run(mtree, layout, opts);
-  run.result.layout = layout.to_string();
-  run.run();
-
-  for (const auto& [target, count] : run.occupancy) {
-    if (count > target->available_pus().count()) {
-      run.result.pu_oversubscribed = true;
-      break;
-    }
-  }
-  for (std::size_t i = 0; i < alloc.num_nodes(); ++i) {
-    if (run.result.procs_per_node[i] > alloc.node(i).slots) {
-      run.result.slot_oversubscribed = true;
-      break;
-    }
-  }
-  return run.result;
+  MapWalk walk(mtree, layout, opts);
+  walk.run();
+  return walk.engine.take_result(alloc);
 }
 
 MappingResult lama_map(const Allocation& alloc, const std::string& layout,

@@ -1,0 +1,242 @@
+#include "lama/parallel_mapper.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "lama/map_engine.hpp"
+#include "lama/maximal_tree.hpp"
+#include "support/error.hpp"
+
+namespace lama {
+
+namespace {
+
+// Precomputed geometry of one mapping run, shared read-only by all workers:
+// per-level visit orders and the layout-position bookkeeping the walk needs
+// to turn a coordinate into a (node, containment-ordered coordinate) pair.
+struct WalkGeometry {
+  const MaximalTree& mtree;
+  const std::vector<ResourceType>& order;
+  std::vector<std::vector<std::size_t>> visit;  // per layout position
+  int node_pos = -1;
+  std::vector<std::size_t> level_pos;  // containment level -> layout position
+
+  WalkGeometry(const MaximalTree& mt, const ProcessLayout& layout,
+               const MapOptions& opts)
+      : mtree(mt), order(layout.order()) {
+    visit.resize(order.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      visit[i] =
+          opts.iteration.visit_order(order[i], mtree.width_of(order[i]));
+      if (order[i] == ResourceType::kNode) node_pos = static_cast<int>(i);
+    }
+    const std::vector<ResourceType>& levels = mtree.node_levels();
+    level_pos.resize(levels.size());
+    for (std::size_t j = 0; j < levels.size(); ++j) {
+      const auto it = std::find(order.begin(), order.end(), levels[j]);
+      LAMA_ASSERT(it != order.end());
+      level_pos[j] = static_cast<std::size_t>(it - order.begin());
+    }
+  }
+};
+
+// The recorded outcome stream of one contiguous range of outermost-level
+// visit positions: every viable coordinate in subspace order, each carrying
+// the number of skipped (nonexistent/unavailable) coordinates since the
+// previous viable one. Availability is immutable during a mapping run, so
+// one recording serves every wraparound sweep of the assembly.
+struct ChunkTrace {
+  struct Event {
+    const PrunedObject* target;
+    std::size_t node;
+    std::size_t skips_before;
+    std::vector<std::size_t> coord;       // layout order
+    std::vector<std::size_t> node_coord;  // containment order
+  };
+  std::vector<Event> events;
+  std::size_t trailing_skips = 0;  // skips after the last viable coordinate
+};
+
+// Walks one chunk's subspace in exact sequential order and records it.
+struct ChunkRecorder {
+  const WalkGeometry& geo;
+  const MapOptions& opts;
+  ChunkTrace& trace;
+  std::vector<std::size_t> coord;
+  std::vector<std::size_t> node_coord;
+  std::size_t pending_skips = 0;
+  std::size_t visited = 0;  // for sparse deadline polling only
+
+  ChunkRecorder(const WalkGeometry& g, const MapOptions& o, ChunkTrace& t)
+      : geo(g), opts(o), trace(t) {
+    coord.assign(geo.order.size(), 0);
+    node_coord.resize(geo.level_pos.size());
+  }
+
+  void check_deadline() const {
+    if (opts.deadline_ns == 0) return;
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    if (static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(now)
+                .count()) >= opts.deadline_ns) {
+      throw CancelledError(
+          "mapping deadline exceeded while recording the parallel walk");
+    }
+  }
+
+  void visit_coord() {
+    if (((++visited) & 0xFFF) == 0) check_deadline();
+    const std::size_t node =
+        geo.node_pos >= 0 ? coord[static_cast<std::size_t>(geo.node_pos)] : 0;
+    for (std::size_t j = 0; j < geo.level_pos.size(); ++j) {
+      node_coord[j] = coord[geo.level_pos[j]];
+    }
+    const PrunedObject* target = geo.mtree.pruned(node).lookup(node_coord);
+    if (target == nullptr || !target->available()) {
+      ++pending_skips;
+      return;
+    }
+    trace.events.push_back(
+        {target, node, pending_skips, coord, node_coord});
+    pending_skips = 0;
+  }
+
+  void inner_loop(int level) {
+    for (std::size_t idx : geo.visit[static_cast<std::size_t>(level)]) {
+      coord[static_cast<std::size_t>(level)] = idx;
+      if (level > 0) {
+        inner_loop(level - 1);
+      } else {
+        visit_coord();
+      }
+    }
+  }
+
+  // Records outermost visit positions [begin, end).
+  void record(std::size_t begin, std::size_t end) {
+    const int outer = static_cast<int>(geo.order.size()) - 1;
+    const std::vector<std::size_t>& outer_visit =
+        geo.visit[static_cast<std::size_t>(outer)];
+    for (std::size_t p = begin; p < end; ++p) {
+      coord[static_cast<std::size_t>(outer)] = outer_visit[p];
+      if (outer > 0) {
+        inner_loop(outer - 1);
+      } else {
+        visit_coord();
+      }
+    }
+    trace.trailing_skips = pending_skips;
+  }
+};
+
+}  // namespace
+
+MappingResult lama_map_parallel(const Allocation& alloc,
+                                const ProcessLayout& layout,
+                                const MapOptions& opts,
+                                const MaximalTree& mtree,
+                                std::size_t threads) {
+  detail::validate_map_inputs(alloc, layout, opts);
+  detail::check_oversubscribe(mtree, opts);
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+
+  const WalkGeometry geo(mtree, layout, opts);
+  const std::size_t outer_width =
+      geo.visit[geo.order.size() - 1].size();  // may be 0 (empty visit order)
+
+  // One contiguous chunk of outermost positions per worker; the remainder
+  // spreads one extra position over the leading chunks. Chunk boundaries
+  // affect only load balance, never the output — assembly order is total.
+  const std::size_t num_chunks =
+      outer_width == 0 ? 0 : std::min(threads, outer_width);
+  std::vector<ChunkTrace> traces(num_chunks);
+  std::vector<std::pair<std::size_t, std::size_t>> ranges(num_chunks);
+  {
+    const std::size_t base = num_chunks == 0 ? 0 : outer_width / num_chunks;
+    const std::size_t extra = num_chunks == 0 ? 0 : outer_width % num_chunks;
+    std::size_t at = 0;
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      const std::size_t len = base + (c < extra ? 1 : 0);
+      ranges[c] = {at, at + len};
+      at += len;
+    }
+  }
+
+  // Record the full iteration space. This is the speculative cost of the
+  // parallel path: workers cannot know where the np-th rank lands, so every
+  // chunk records its whole subspace even if assembly stops early.
+  if (num_chunks <= 1) {
+    if (num_chunks == 1) {
+      ChunkRecorder(geo, opts, traces[0]).record(ranges[0].first,
+                                                 ranges[0].second);
+    }
+  } else {
+    std::vector<std::exception_ptr> errors(num_chunks);
+    std::vector<std::thread> workers;
+    workers.reserve(num_chunks);
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      workers.emplace_back([&, c] {
+        try {
+          ChunkRecorder(geo, opts, traces[c]).record(ranges[c].first,
+                                                     ranges[c].second);
+        } catch (...) {
+          errors[c] = std::current_exception();
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+  }
+
+  // Deterministic assembly: replay the concatenated streams — chunk order is
+  // the outermost level's visit order — through the shared engine. All
+  // placement history lives in the engine, so this is exactly the sequential
+  // algorithm minus the tree lookups (already paid above, once per sweep's
+  // worth of reuse).
+  detail::PlacementEngine engine(mtree, layout, opts);
+  while (!engine.done()) {
+    if (opts.deadline_ns != 0) {
+      const auto now = std::chrono::steady_clock::now().time_since_epoch();
+      if (static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(now)
+                  .count()) >= opts.deadline_ns) {
+        throw CancelledError("mapping deadline exceeded during assembly");
+      }
+    }
+    engine.begin_sweep();
+    for (const ChunkTrace& trace : traces) {
+      for (const ChunkTrace::Event& e : trace.events) {
+        engine.skip_n(e.skips_before);
+        if (engine.offer(e.target, e.node, e.coord, e.node_coord)) {
+          // The np-th rank is placed: stop exactly here, like the
+          // sequential walk's early return — later coordinates are never
+          // counted visited. The partial sweep still counts.
+          engine.end_sweep();
+          return engine.take_result(alloc);
+        }
+      }
+      engine.skip_n(trace.trailing_skips);
+    }
+    engine.end_sweep();
+  }
+  // Unreachable: the loop exits only via the early return (np == 0 is
+  // rejected by validation), but keep the compiler satisfied.
+  return engine.take_result(alloc);
+}
+
+MappingResult lama_map_parallel(const Allocation& alloc,
+                                const ProcessLayout& layout,
+                                const MapOptions& opts, std::size_t threads) {
+  detail::validate_map_inputs(alloc, layout, opts);
+  MaximalTree mtree(alloc, layout);
+  return lama_map_parallel(alloc, layout, opts, mtree, threads);
+}
+
+}  // namespace lama

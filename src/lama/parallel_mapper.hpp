@@ -1,0 +1,41 @@
+// Multi-threaded Figure 1 mapper with sequential semantics. The iteration
+// space factors along the outermost layout letter: the global visit order is
+// the concatenation, in that level's visit order, of the per-coordinate
+// inner subspaces. Worker threads therefore record the walk's outcomes
+// (viable target / skip, in order) for disjoint contiguous ranges of the
+// outermost level, and a single assembly pass replays the concatenated
+// streams through the same PlacementEngine the sequential mapper uses.
+// Everything order-dependent — rank assignment, multi-PU accumulation,
+// resource caps, wraparound sweeps, the visited/skipped counters — happens
+// in the assembly, so the result is byte-identical to lama_map() for every
+// layout, allocation, and option set, at any thread count. The determinism
+// suite (tests/lama/parallel_determinism_test.cpp and the layout sweeps)
+// pins this down differentially.
+#pragma once
+
+#include <cstddef>
+
+#include "lama/mapper.hpp"
+
+namespace lama {
+
+class MaximalTree;
+
+// Maps like lama_map(alloc, layout, opts) but records the iteration walk on
+// up to `threads` worker threads (0 = one worker per hardware thread,
+// 1 = record and assemble on the calling thread — no spawn). Same error
+// contract as lama_map; a deadline in `opts` cancels the recording walk
+// cooperatively on every worker.
+MappingResult lama_map_parallel(const Allocation& alloc,
+                                const ProcessLayout& layout,
+                                const MapOptions& opts, std::size_t threads);
+
+// Shared-tree overload, the cached fast path of the mapping service: `mtree`
+// must have been built from this same `alloc` and `layout`, and is only
+// read — one tree may serve many concurrent parallel and sequential maps.
+MappingResult lama_map_parallel(const Allocation& alloc,
+                                const ProcessLayout& layout,
+                                const MapOptions& opts,
+                                const MaximalTree& mtree, std::size_t threads);
+
+}  // namespace lama

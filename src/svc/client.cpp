@@ -13,6 +13,17 @@ namespace lama::svc {
 
 bool QueryResult::ok() const { return starts_with(response, "OK"); }
 
+bool BatchResult::ok() const { return starts_with(trailer, "OK"); }
+
+std::string format_mapbatch(const std::vector<BatchJob>& jobs) {
+  std::string out = "MAPBATCH " + std::to_string(jobs.size());
+  for (const BatchJob& job : jobs) {
+    out += " " + job.alloc_id + "/" + std::to_string(job.np) + "/" + job.spec;
+    for (const std::string& opt : job.options) out += "/" + opt;
+  }
+  return out;
+}
+
 bool parse_busy_response(const std::string& response,
                          std::uint32_t& retry_after_ms) {
   static constexpr std::string_view kPrefix = "ERR busy retry-after=";
@@ -99,6 +110,70 @@ QueryResult QueryClient::query(const Allocation& alloc,
   return send(map_line);
 }
 
+BatchResult QueryClient::map_batch(const std::vector<BatchJob>& jobs,
+                                   const MultiTransport& transport) {
+  BatchResult result;
+  result.responses.assign(jobs.size(), "");
+  // `pending[j]` is the original position of the j-th job of the next send:
+  // each retry round re-sends only the busy subset as a smaller MAPBATCH.
+  std::vector<std::size_t> pending(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) pending[i] = i;
+  std::vector<BatchJob> to_send = jobs;
+
+  const std::size_t attempts = std::max<std::size_t>(policy_.max_attempts, 1);
+  for (std::size_t attempt = 1; attempt <= attempts; ++attempt) {
+    const std::vector<std::string> lines =
+        transport(format_mapbatch(to_send));
+    result.attempts = attempt;
+    result.trailer = lines.empty() ? std::string() : lines.back();
+    if (!result.ok()) {
+      // The batch line itself was rejected (or the stream died): terminal,
+      // and there are no per-job responses to merge.
+      return result;
+    }
+
+    // "JOB <i> <response>" -> response, indexed within this send.
+    std::vector<std::string> slot(to_send.size());
+    for (std::size_t l = 0; l + 1 < lines.size(); ++l) {
+      const std::string& line = lines[l];
+      if (!starts_with(line, "JOB ")) continue;
+      const auto sp = line.find(' ', 4);
+      if (sp == std::string::npos) continue;
+      try {
+        const std::size_t idx = parse_size_bounded(
+            line.substr(4, sp - 4), "JOB index", to_send.size() - 1);
+        slot[idx] = line.substr(sp + 1);
+      } catch (...) {
+        // A malformed JOB line cannot be attributed to a job; drop it. The
+        // affected slot settles with an empty (non-OK) response.
+      }
+    }
+
+    std::vector<std::size_t> busy_positions;
+    std::vector<BatchJob> busy_jobs;
+    std::uint32_t max_hint_ms = 0;
+    for (std::size_t j = 0; j < to_send.size(); ++j) {
+      result.responses[pending[j]] = slot[j];
+      std::uint32_t hint_ms = 0;
+      if (parse_busy_response(slot[j], hint_ms)) {
+        busy_positions.push_back(pending[j]);
+        busy_jobs.push_back(to_send[j]);
+        max_hint_ms = std::max(max_hint_ms, hint_ms);
+      }
+    }
+    if (busy_positions.empty()) return result;
+    if (attempt == attempts) break;  // budget exhausted: report busy jobs
+
+    const std::uint32_t delay = backoff_ms(attempt, max_hint_ms);
+    result.total_backoff_ms += delay;
+    if (delay > 0) sleeper_(delay);
+    pending = std::move(busy_positions);
+    to_send = std::move(busy_jobs);
+  }
+  result.gave_up_busy = true;
+  return result;
+}
+
 QueryClient::Transport stream_transport(std::ostream& out, std::istream& in) {
   return [&out, &in](const std::string& line) {
     out << line << "\n";
@@ -106,6 +181,23 @@ QueryClient::Transport stream_transport(std::ostream& out, std::istream& in) {
     std::string response;
     std::getline(in, response);
     return response;
+  };
+}
+
+QueryClient::MultiTransport stream_multi_transport(std::ostream& out,
+                                                   std::istream& in) {
+  return [&out, &in](const std::string& line) {
+    out << line << "\n";
+    out.flush();
+    std::vector<std::string> lines;
+    std::string response;
+    while (std::getline(in, response)) {
+      lines.push_back(response);
+      // MAPBATCH responses are self-delimiting: JOB lines, then exactly one
+      // non-JOB line (the trailer, or ERR for a rejected batch).
+      if (!starts_with(response, "JOB ")) break;
+    }
+    return lines;
   };
 }
 

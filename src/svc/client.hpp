@@ -12,6 +12,7 @@
 #include <functional>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "cluster/cluster.hpp"
 #include "support/rng.hpp"
@@ -38,11 +39,42 @@ struct QueryResult {
   [[nodiscard]] bool ok() const;
 };
 
+// One job of a MAPBATCH request. Options are the MAP key=value pairs
+// ("threads=4", "bind=core", ...), one per element — format_mapbatch joins
+// them with the job's '/' separator.
+struct BatchJob {
+  std::string alloc_id;
+  std::size_t np = 1;
+  std::string spec = "lama";
+  std::vector<std::string> options;
+};
+
+struct BatchResult {
+  // Per-job response lines ("OK hit=..." / "ERR ..."), in submit order,
+  // with the "JOB <i>" framing stripped. Empty when the whole batch failed
+  // before producing job responses (see `trailer`).
+  std::vector<std::string> responses;
+  // The batch trailer ("OK mapbatch jobs=... ok=... err=...") or, when the
+  // MAPBATCH line itself was rejected, the server's ERR line.
+  std::string trailer;
+  std::size_t attempts = 0;          // MAPBATCH sends, including retries
+  std::uint64_t total_backoff_ms = 0;
+  bool gave_up_busy = false;         // some job still busy after max_attempts
+
+  [[nodiscard]] bool ok() const;
+};
+
 class QueryClient {
  public:
   // Sends one request line (no trailing newline) and returns the response
   // line. The stream_transport below adapts an ostream/istream pair.
   using Transport = std::function<std::string(const std::string& line)>;
+  // Sends one request line and returns every response line it produced — a
+  // MAPBATCH answers its JOB lines plus the trailer. MAPBATCH responses are
+  // self-delimiting (read until the first line that does not start with
+  // "JOB "), which is exactly what stream_multi_transport does.
+  using MultiTransport =
+      std::function<std::vector<std::string>(const std::string& line)>;
   using Sleeper = std::function<void(std::uint32_t ms)>;
 
   explicit QueryClient(Transport transport, RetryPolicy policy = {});
@@ -60,6 +92,13 @@ class QueryClient {
   QueryResult query(const Allocation& alloc, const std::string& alloc_id,
                     std::size_t np, const std::string& spec,
                     const std::string& options = "");
+
+  // Sends the jobs as one MAPBATCH over `transport` and retries only the
+  // busy subset: jobs the server shed are re-sent as a smaller MAPBATCH
+  // (after the usual backoff, floored at the largest retry-after hint)
+  // while settled jobs keep their responses. Requires a MultiTransport.
+  BatchResult map_batch(const std::vector<BatchJob>& jobs,
+                        const MultiTransport& transport);
 
   // The delay before retry number `attempt` (1-based): jittered exponential
   // backoff, never below the server's hint. Exposed so tests can pin the
@@ -81,5 +120,15 @@ bool parse_busy_response(const std::string& response,
 // A transport over a stream pair: writes the line + '\n', flushes, reads one
 // response line. Suitable for pipes to a serve() loop.
 QueryClient::Transport stream_transport(std::ostream& out, std::istream& in);
+
+// The MAPBATCH wire line for a set of jobs:
+//   "MAPBATCH <n> <id>/<np>/<spec>[/opt]... ..."
+std::string format_mapbatch(const std::vector<BatchJob>& jobs);
+
+// A multi-line transport over a stream pair: writes the line, then reads
+// JOB lines until the first non-JOB line (the trailer or an ERR), which is
+// returned last.
+QueryClient::MultiTransport stream_multi_transport(std::ostream& out,
+                                                   std::istream& in);
 
 }  // namespace lama::svc

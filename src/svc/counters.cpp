@@ -13,14 +13,16 @@ std::uint64_t load(const std::atomic<std::uint64_t>& a) {
 }  // namespace
 
 std::string Counters::stats_line() const {
-  char buf[768];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "requests=%llu completed=%llu errors=%llu hits=%llu misses=%llu "
       "coalesced=%llu evictions=%llu uncached=%llu cached=%llu shed=%llu "
       "deadlined=%llu integrity_failures=%llu degraded=%llu "
-      "invalidations=%llu remaps=%llu map_p50_us=%llu "
-      "map_p99_us=%llu build_p99_us=%llu total_p99_us=%llu",
+      "invalidations=%llu remaps=%llu batched=%llu batch_jobs=%llu "
+      "parallel_maps=%llu map_p50_us=%llu "
+      "map_p99_us=%llu parallel_map_p99_us=%llu build_p99_us=%llu "
+      "total_p99_us=%llu",
       static_cast<unsigned long long>(load(requests)),
       static_cast<unsigned long long>(load(completed)),
       static_cast<unsigned long long>(load(errors)),
@@ -36,8 +38,13 @@ std::string Counters::stats_line() const {
       static_cast<unsigned long long>(load(degraded)),
       static_cast<unsigned long long>(load(invalidations)),
       static_cast<unsigned long long>(load(remaps)),
+      static_cast<unsigned long long>(load(batched)),
+      static_cast<unsigned long long>(load(batch_jobs)),
+      static_cast<unsigned long long>(load(parallel_maps)),
       static_cast<unsigned long long>(map_ns.percentile_ns(50) / 1000),
       static_cast<unsigned long long>(map_ns.percentile_ns(99) / 1000),
+      static_cast<unsigned long long>(parallel_map_ns.percentile_ns(99) /
+                                      1000),
       static_cast<unsigned long long>(build_ns.percentile_ns(99) / 1000),
       static_cast<unsigned long long>(total_ns.percentile_ns(99) / 1000));
   return buf;
@@ -71,9 +78,16 @@ std::string Counters::render() const {
                 static_cast<unsigned long long>(load(invalidations)),
                 static_cast<unsigned long long>(load(remaps)));
   out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "batch  batched %llu, jobs %llu, parallel maps %llu\n",
+                static_cast<unsigned long long>(load(batched)),
+                static_cast<unsigned long long>(load(batch_jobs)),
+                static_cast<unsigned long long>(load(parallel_maps)));
+  out += buf;
   out += "lookup  " + lookup_ns.summary() + "\n";
   out += "build   " + build_ns.summary() + "\n";
   out += "map     " + map_ns.summary() + "\n";
+  out += "pmap    " + parallel_map_ns.summary() + "\n";
   out += "total   " + total_ns.summary() + "\n";
   return out;
 }

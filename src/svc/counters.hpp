@@ -41,10 +41,20 @@ struct Counters {
   std::atomic<std::uint64_t> invalidations{0};  // trees dropped by epoch bump
   std::atomic<std::uint64_t> remaps{0};     // remap requests accepted
 
+  // Batch accounting (docs/service.md, MAPBATCH). Jobs of a batch also
+  // count individually in `requests`/`completed`/`errors` above — a batch
+  // is transport framing, not a separate request class.
+  std::atomic<std::uint64_t> batched{0};     // MAPBATCH requests accepted
+  std::atomic<std::uint64_t> batch_jobs{0};  // jobs carried by those batches
+
+  // Parallel-mapper accounting (lama_map_parallel, threads >= 2).
+  std::atomic<std::uint64_t> parallel_maps{0};
+
   // Per-stage latencies.
   LatencyHistogram lookup_ns;  // cache probe, excluding build/wait
   LatencyHistogram build_ns;   // maximal-tree construction on a miss
   LatencyHistogram map_ns;     // the mapping walk itself
+  LatencyHistogram parallel_map_ns;  // mapping walks run by lama_map_parallel
   LatencyHistogram total_ns;   // end-to-end per request
 
   // One "key=value" line for the wire protocol's STATS response.

@@ -89,6 +89,7 @@ struct ProtocolSession::Impl {
   }
 
   MapRequest parse_map_command(const std::vector<std::string>& tokens);
+  MapRequest parse_mapbatch_job(const std::string& job);
   std::string handle_node(const std::vector<std::string>& tokens,
                           const std::string& trimmed);
   std::string handle_availability(const std::vector<std::string>& tokens,
@@ -132,11 +133,41 @@ MapRequest ProtocolSession::Impl::parse_map_command(
     } else if (key == "timeout") {
       request.timeout_ms = static_cast<std::uint32_t>(
           parse_size_bounded(value, "MAP timeout", kMaxTimeoutMs));
+    } else if (key == "threads") {
+      request.map_threads =
+          parse_size_bounded(value, "MAP threads", kMaxMapThreads);
     } else {
       throw ParseError("unknown MAP option '" + key + "'");
     }
   }
   return request;
+}
+
+// One MAPBATCH job: "<alloc-id>/<np>/<spec>[/key=value]...". '/' separates
+// the fields because a job must stay a single whitespace token on the
+// MAPBATCH line (the spec itself contains ':', never '/'). The fields after
+// the split are exactly a MAP line's tokens, so parsing is shared — and so
+// are the bounds checks.
+MapRequest ProtocolSession::Impl::parse_mapbatch_job(const std::string& job) {
+  std::vector<std::string> tokens = {"MAP"};
+  std::size_t pos = 0;
+  while (pos <= job.size()) {
+    const auto slash = job.find('/', pos);
+    const std::string field =
+        job.substr(pos, slash == std::string::npos ? std::string::npos
+                                                   : slash - pos);
+    if (field.empty()) {
+      throw ParseError("MAPBATCH job has an empty field: '" + job + "'");
+    }
+    tokens.push_back(field);
+    if (slash == std::string::npos) break;
+    pos = slash + 1;
+  }
+  if (tokens.size() < 4) {
+    throw ParseError("MAPBATCH job needs '<alloc-id>/<np>/<spec>': '" + job +
+                     "'");
+  }
+  return parse_map_command(tokens);
 }
 
 std::string ProtocolSession::Impl::handle_node(
@@ -337,6 +368,55 @@ std::string ProtocolSession::execute(const std::string& line,
           out += "ERR " + parse_errors[i] + "\n";
         }
       }
+      return out;
+    }
+    if (cmd == "MAPBATCH") {
+      if (tokens.size() < 2) {
+        throw ParseError("MAPBATCH needs '<count> <job>...'");
+      }
+      const std::size_t count =
+          parse_size_bounded(tokens[1], "MAPBATCH count", kMaxBatch);
+      if (tokens.size() != 2 + count) {
+        throw ParseError("MAPBATCH declares " + std::to_string(count) +
+                         " jobs but carries " +
+                         std::to_string(tokens.size() - 2));
+      }
+      // Per-job error isolation: a job that fails to parse answers ERR in
+      // its own JOB line; the rest of the batch executes normally.
+      std::vector<std::optional<MapRequest>> slots;
+      std::vector<std::string> parse_errors(count);
+      slots.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        try {
+          slots.push_back(impl_->parse_mapbatch_job(tokens[2 + i]));
+        } catch (const Error& e) {
+          slots.push_back(std::nullopt);
+          parse_errors[i] = e.what();
+        }
+      }
+      std::vector<MapRequest> requests;
+      for (const auto& slot : slots) {
+        if (slot.has_value()) requests.push_back(*slot);
+      }
+      const std::vector<MapResponse> responses =
+          impl_->service.map_batch(requests);
+      std::string out;
+      std::size_t ok_jobs = 0;
+      std::size_t next = 0;
+      for (std::size_t i = 0; i < count; ++i) {
+        std::string job_response;
+        if (slots[i].has_value()) {
+          job_response = format_map_response(responses[next++]);
+          ++served_;
+        } else {
+          job_response = "ERR " + parse_errors[i];
+        }
+        if (starts_with(job_response, "OK")) ++ok_jobs;
+        out += "JOB " + std::to_string(i) + " " + job_response + "\n";
+      }
+      out += "OK mapbatch jobs=" + std::to_string(count) +
+             " ok=" + std::to_string(ok_jobs) +
+             " err=" + std::to_string(count - ok_jobs) + "\n";
       return out;
     }
     if (cmd == "OFFLINE" || cmd == "ONLINE") {

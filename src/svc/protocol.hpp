@@ -6,6 +6,11 @@
 //   MAP <alloc-id> <np> <spec> [key=value ...]  -> OK hit=... pus=... | ERR ...
 //   BATCH <n>       (the next n MAP lines execute concurrently;
 //                    n response lines follow, in request order)
+//   MAPBATCH <n> <job>...  (n jobs on one line, each
+//                    "<alloc-id>/<np>/<spec>[/key=value]..."; n "JOB <i> ..."
+//                    response lines in job order, then one trailer
+//                    "OK mapbatch jobs=<n> ok=<k> err=<m>". One bad job
+//                    answers "JOB <i> ERR ..." without failing the rest.)
 //   OFFLINE <alloc-id> <node> [pu...]           -> OK offline ... epoch=...
 //   ONLINE <alloc-id> <node> [pu...]            -> OK online ... epoch=...
 //   REMAP <alloc-id> [timeout=ms]               -> OK remap ... | ERR ...
@@ -13,7 +18,10 @@
 //   QUIT            -> OK bye (serving stops; EOF works too)
 //
 // MAP options: oversub=0|1, pus=<per-proc PUs>, npernode=<cap>,
-// bind=<target>, timeout=<ms>. Blank lines and '#' comments are ignored.
+// bind=<target>, timeout=<ms>, threads=<mapping workers> (0 = sequential
+// walk; N runs lama_map_parallel — same bytes out either way). MAPBATCH
+// jobs take the same options, '/'-separated since a job must stay one
+// token. Blank lines and '#' comments are ignored.
 // All numeric fields are parsed with overflow rejection and protocol bounds
 // (kMaxNp and friends) — malformed or absurd input answers ERR and the
 // session continues; nothing a client sends can wrap an integer or
@@ -39,8 +47,9 @@ namespace lama::svc {
 inline constexpr std::size_t kMaxNp = 1u << 20;         // processes per MAP
 inline constexpr std::size_t kMaxSlots = 1u << 20;      // slots per NODE
 inline constexpr std::size_t kMaxPusPerProc = 1u << 12;
-inline constexpr std::size_t kMaxBatch = 4096;          // MAP lines per BATCH
+inline constexpr std::size_t kMaxBatch = 4096;          // jobs per (MAP)BATCH
 inline constexpr std::size_t kMaxTimeoutMs = 3'600'000; // one hour
+inline constexpr std::size_t kMaxMapThreads = 64;       // threads= per MAP
 inline constexpr std::size_t kMaxNodesPerAlloc = 1u << 16;
 
 // One live protocol session: named allocations under construction, their

@@ -4,6 +4,7 @@
 #include <exception>
 
 #include "cluster/alloc_serialize.hpp"
+#include "lama/parallel_mapper.hpp"
 #include "support/error.hpp"
 
 namespace lama::svc {
@@ -142,6 +143,29 @@ MapResponse MappingService::map(const MapRequest& request) {
   });
 }
 
+MappingResult MappingService::run_lama_walk(const Allocation& alloc,
+                                            const ProcessLayout& layout,
+                                            const MapOptions& opts,
+                                            const MaximalTree* tree,
+                                            std::size_t threads) {
+  const auto start = std::chrono::steady_clock::now();
+  MappingResult mapping;
+  if (threads > 0) {
+    counters_.parallel_maps.fetch_add(1, std::memory_order_relaxed);
+    mapping = tree != nullptr
+                  ? lama_map_parallel(alloc, layout, opts, *tree, threads)
+                  : lama_map_parallel(alloc, layout, opts, threads);
+    counters_.parallel_map_ns.record_ns(elapsed_ns(start));
+  } else {
+    mapping = tree != nullptr ? lama_map(alloc, layout, opts, *tree)
+                              : lama_map(alloc, layout, opts);
+  }
+  // map_ns covers every lama walk, sequential or parallel;
+  // parallel_map_ns above isolates the parallel ones.
+  counters_.map_ns.record_ns(elapsed_ns(start));
+  return mapping;
+}
+
 MapResponse MappingService::map_uncaught(const MapRequest& request,
                                          std::uint64_t deadline_ns) {
   if (!request.alloc.valid()) {
@@ -184,16 +208,14 @@ MapResponse MappingService::map_uncaught(const MapRequest& request,
       cached.reset();
       response.cache_hit = false;
       response.degraded = true;
-      const auto map_start = std::chrono::steady_clock::now();
-      response.mapping = lama_map(client_alloc, layout, opts);
-      counters_.map_ns.record_ns(elapsed_ns(map_start));
+      response.mapping = run_lama_walk(client_alloc, layout, opts, nullptr,
+                                       request.map_threads);
     } else {
       mapped_alloc = &cached->alloc();
       throw_if_past(opts.deadline_ns, "the mapping walk");
-      const auto map_start = std::chrono::steady_clock::now();
       response.mapping =
-          lama_map(cached->alloc(), cached->layout(), opts, cached->tree());
-      counters_.map_ns.record_ns(elapsed_ns(map_start));
+          run_lama_walk(cached->alloc(), cached->layout(), opts,
+                        &cached->tree(), request.map_threads);
     }
   } else {
     counters_.uncached.fetch_add(1, std::memory_order_relaxed);
@@ -239,6 +261,8 @@ MapResponse MappingService::remap(const RemapRequest& request) {
 
 std::vector<MapResponse> MappingService::map_batch(
     const std::vector<MapRequest>& requests) {
+  counters_.batched.fetch_add(1, std::memory_order_relaxed);
+  counters_.batch_jobs.fetch_add(requests.size(), std::memory_order_relaxed);
   std::vector<MapResponse> responses(requests.size());
   if (pool_.num_threads() == 0) {
     for (std::size_t i = 0; i < requests.size(); ++i) {

@@ -86,6 +86,11 @@ struct MapRequest {
   // queue wait). 0 falls back to ServiceConfig::default_timeout_ms; if
   // opts.deadline_ns is already set it wins.
   std::uint32_t timeout_ms = 0;
+  // Worker threads for the mapping walk itself (lama_map_parallel): 0 runs
+  // the sequential mapper, N >= 1 records the walk on N workers and
+  // assembles deterministically — the result is byte-identical either way.
+  // Honored on the "lama" spec only; baseline components ignore it.
+  std::size_t map_threads = 0;
 };
 
 // A remap request: re-place `previous` (produced over an earlier epoch of
@@ -168,6 +173,13 @@ class MappingService {
  private:
   MapResponse map_uncaught(const MapRequest& request,
                            std::uint64_t deadline_ns);
+  // The timed mapping walk of the lama path: sequential or parallel per
+  // `threads` (see MapRequest::map_threads), against a cached tree when
+  // `tree` is non-null.
+  MappingResult run_lama_walk(const Allocation& alloc,
+                              const ProcessLayout& layout,
+                              const MapOptions& opts, const MaximalTree* tree,
+                              std::size_t threads);
   MapResponse run_counted(std::uint32_t timeout_ms,
                           const std::function<MapResponse(std::uint64_t)>& fn);
   MapResponse shed_response();

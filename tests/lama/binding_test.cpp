@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fixtures.hpp"
 #include "lama/mapper.hpp"
 #include "support/error.hpp"
 #include "topo/presets.hpp"
@@ -9,9 +10,7 @@
 namespace lama {
 namespace {
 
-Allocation figure2_allocation(std::size_t nodes = 2) {
-  return allocate_all(Cluster::homogeneous(nodes, "socket:2 core:4 pu:2"));
-}
+using test::figure2_allocation;
 
 TEST(BindTarget, ParseTableIAbbrevsCaseSensitively) {
   EXPECT_EQ(parse_bind_target("n"), BindTarget::kNode);

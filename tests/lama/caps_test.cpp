@@ -3,6 +3,7 @@
 // related work describes (§II), wired through MapOptions and the CLI.
 #include <gtest/gtest.h>
 
+#include "common/fixtures.hpp"
 #include "lama/baselines.hpp"
 #include "lama/cli.hpp"
 #include "lama/mapper.hpp"
@@ -12,9 +13,7 @@
 namespace lama {
 namespace {
 
-Allocation figure2_allocation(std::size_t nodes = 2) {
-  return allocate_all(Cluster::homogeneous(nodes, "socket:2 core:4 pu:2"));
-}
+using test::figure2_allocation;
 
 TEST(Caps, NpernodeLimitsProcessesPerNode) {
   MapOptions opts{.np = 8};

@@ -1,0 +1,83 @@
+// Exhaustive 9! = 362,880 layout-permutation sweep — every ordering of the
+// full Table I alphabet mapped on a two-node heterogeneous allocation with
+// off-lined resources, asserting for each one that every rank is placed, no
+// target is used twice below capacity, and availability skipping is honored.
+// The parallel mapper is checked against the sequential result on every
+// permutation (single-worker path) and on a strided subset with real worker
+// threads. This binary carries the "slow" ctest label; the default-speed
+// seeded sample of the same space lives in layout_sweep_test.cpp.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <utility>
+
+#include "common/fixtures.hpp"
+#include "lama/mapper.hpp"
+#include "lama/maximal_tree.hpp"
+#include "lama/parallel_mapper.hpp"
+
+namespace lama {
+namespace {
+
+TEST(FullLayoutSweep, All362880PermutationsSatisfyPaperInvariants) {
+  const Allocation alloc = test::hetero_two_node_offline_allocation();
+  const std::size_t capacity = 9;  // 6 online SMT PUs + 3 bare cores
+  const Bitmap offline_node0 = Bitmap::range(2, 3);
+  const MapOptions opts{.np = capacity};
+
+  std::uint64_t index = 0;
+  std::uint64_t failures = 0;
+  ProcessLayout::for_each_full_permutation([&](const ProcessLayout& layout) {
+    const std::uint64_t my_index = index++;
+    const MaximalTree mtree(alloc, layout);
+    const MappingResult m = lama_map(alloc, layout, opts, mtree);
+
+    // Inline checks (not EXPECT per field): a gtest assertion per
+    // coordinate would dominate the sweep's runtime. Failures fall through
+    // to one detailed EXPECT below.
+    bool ok = m.num_procs() == capacity && m.sweeps == 1 &&
+              !m.pu_oversubscribed && !m.slot_oversubscribed &&
+              m.visited == m.skipped + m.num_procs();
+    std::set<std::pair<std::size_t, std::string>> used;
+    for (const Placement& p : m.placements) {
+      ok = ok && !p.target_pus.empty() &&
+           used.insert({p.node, p.target_pus.to_string()}).second &&
+           (p.node != 0 || !p.target_pus.intersects(offline_node0));
+    }
+    if (!ok) {
+      ++failures;
+      EXPECT_TRUE(ok) << "invariant violated for layout "
+                      << layout.to_string() << ":\n"
+                      << test::format_mapping_table(m);
+    }
+
+    // Single-worker parallel path on every permutation (records and
+    // assembles without spawning); real worker threads on a strided subset
+    // to keep thread-spawn cost out of the sweep's critical path.
+    const MappingResult p1 = lama_map_parallel(alloc, layout, opts, mtree, 1);
+    if (!test::identical_mappings(m, p1)) {
+      ++failures;
+      test::expect_identical_mappings(m, p1,
+                                      layout.to_string() + " threads=1");
+    }
+    if ((my_index & 0x3FF) == 0) {  // every 1024th: 2, 4, and 8 workers
+      for (std::size_t threads : {std::size_t{2}, std::size_t{4},
+                                  std::size_t{8}}) {
+        const MappingResult pn =
+            lama_map_parallel(alloc, layout, opts, mtree, threads);
+        if (!test::identical_mappings(m, pn)) {
+          ++failures;
+          test::expect_identical_mappings(
+              m, pn,
+              layout.to_string() + " threads=" + std::to_string(threads));
+        }
+      }
+    }
+  });
+  EXPECT_EQ(index, ProcessLayout::num_full_permutations());
+  EXPECT_EQ(failures, 0u);
+}
+
+}  // namespace
+}  // namespace lama

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fixtures.hpp"
 #include "lama/mapper.hpp"
 #include "support/error.hpp"
 
@@ -63,9 +64,7 @@ TEST(IterationPolicy, CustomDuplicateThrows) {
 
 // --- policies applied through the mapper ---
 
-Allocation figure2_allocation(std::size_t nodes = 2) {
-  return allocate_all(Cluster::homogeneous(nodes, "socket:2 core:4 pu:2"));
-}
+using test::figure2_allocation;
 
 TEST(MapperIteration, ReverseSocketOrder) {
   MapOptions opts{.np = 4};

@@ -4,6 +4,7 @@
 
 #include <thread>
 
+#include "common/fixtures.hpp"
 #include "lama/maximal_tree.hpp"
 #include "support/error.hpp"
 #include "topo/presets.hpp"
@@ -11,9 +12,7 @@
 namespace lama {
 namespace {
 
-Allocation figure2_allocation(std::size_t nodes = 2) {
-  return allocate_all(Cluster::homogeneous(nodes, "socket:2 core:4 pu:2"));
-}
+using test::figure2_allocation;
 
 // PU index on a figure2 node for (socket, node-wide core, thread).
 std::size_t pu_of(std::size_t socket, std::size_t core_in_socket,

@@ -4,6 +4,7 @@
 
 #include <set>
 
+#include "common/fixtures.hpp"
 #include "lama/baselines.hpp"
 #include "lama/binding.hpp"
 #include "lama/mapper.hpp"
@@ -12,9 +13,7 @@
 namespace lama {
 namespace {
 
-Allocation figure2_allocation(std::size_t nodes = 2) {
-  return allocate_all(Cluster::homogeneous(nodes, "socket:2 core:4 pu:2"));
-}
+using test::figure2_allocation;
 
 TEST(MultiPu, TwoThreadsPerProcessPacksWholeCores) {
   const MappingResult m =

@@ -1,0 +1,179 @@
+// Differential determinism suite for the parallel mapper: lama_map_parallel
+// must produce output byte-identical to lama_map for every layout,
+// allocation, and option set, at every thread count. The Fig. 2 case is
+// additionally pinned to a committed golden table so a simultaneous change
+// to both mappers cannot slip through the differential check.
+#include "lama/parallel_mapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/fixtures.hpp"
+#include "lama/mapper.hpp"
+#include "lama/maximal_tree.hpp"
+#include "support/error.hpp"
+
+namespace lama {
+namespace {
+
+using test::expect_identical_mappings;
+using test::figure2_allocation;
+using test::format_mapping_table;
+using test::hetero_two_node_allocation;
+using test::hetero_two_node_offline_allocation;
+using test::multi_level_allocation;
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 4, 8};
+
+std::string read_golden(const std::string& name) {
+  const std::string path = std::string(LAMA_TEST_GOLDEN_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing golden file " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Runs both mappers and checks byte-identity at every thread count.
+void expect_parallel_matches_sequential(const Allocation& alloc,
+                                        const std::string& layout,
+                                        const MapOptions& opts) {
+  const MappingResult want = lama_map(alloc, layout, opts);
+  for (std::size_t threads : kThreadCounts) {
+    const MappingResult got =
+        lama_map_parallel(alloc, ProcessLayout::parse(layout), opts, threads);
+    expect_identical_mappings(
+        want, got, "layout=" + layout + " threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ParallelDeterminism, GoldenFig2SequentialMatchesCommittedTable) {
+  const MappingResult m = lama_map(figure2_allocation(), "scbnh", {.np = 24});
+  EXPECT_EQ(format_mapping_table(m), read_golden("fig2_scbnh_np24.txt"));
+}
+
+TEST(ParallelDeterminism, GoldenFig2ParallelMatchesAtEveryThreadCount) {
+  const Allocation alloc = figure2_allocation();
+  const std::string golden = read_golden("fig2_scbnh_np24.txt");
+  for (std::size_t threads : kThreadCounts) {
+    const MappingResult m = lama_map_parallel(
+        alloc, ProcessLayout::parse("scbnh"), {.np = 24}, threads);
+    EXPECT_EQ(format_mapping_table(m), golden) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDeterminism, WraparoundOversubscription) {
+  // 20 ranks on 16 PUs: two sweeps, oversubscription flags set.
+  expect_parallel_matches_sequential(figure2_allocation(1), "hcsbn",
+                                     {.np = 20});
+}
+
+TEST(ParallelDeterminism, MultiPuAccumulation) {
+  // pus_per_proc=2 exercises the pending-accumulator path: placement
+  // happens only on the second offered PU of each core.
+  expect_parallel_matches_sequential(figure2_allocation(), "hcsbn",
+                                     {.np = 12, .pus_per_proc = 2});
+}
+
+TEST(ParallelDeterminism, ResourceCaps) {
+  MapOptions opts{.np = 8};
+  opts.set_cap(ResourceType::kNode, 2);
+  expect_parallel_matches_sequential(figure2_allocation(4), "hcsbn", opts);
+}
+
+TEST(ParallelDeterminism, HeterogeneousSkipsNonexistentCoordinates) {
+  // The tiny node lacks socket 1, cores beyond its width, and hardware
+  // threads: every full sweep skips those coordinates.
+  expect_parallel_matches_sequential(hetero_two_node_allocation(), "hcsbn",
+                                     {.np = 11});
+}
+
+TEST(ParallelDeterminism, OfflineResourcesAreSkippedIdentically) {
+  expect_parallel_matches_sequential(hetero_two_node_offline_allocation(),
+                                     "nschb", {.np = 9});
+}
+
+TEST(ParallelDeterminism, DeepTopologyFullAlphabet) {
+  expect_parallel_matches_sequential(multi_level_allocation(),
+                                     ProcessLayout::full_pack().to_string(),
+                                     {.np = 64});
+  expect_parallel_matches_sequential(multi_level_allocation(),
+                                     ProcessLayout::full_scatter().to_string(),
+                                     {.np = 64});
+}
+
+TEST(ParallelDeterminism, NonSequentialVisitOrders) {
+  // Chunk partitioning happens over the outermost level's *visit order*,
+  // not its identity order — reverse and strided policies must still
+  // concatenate back to the sequential walk.
+  MapOptions opts{.np = 12};
+  opts.iteration.set(ResourceType::kNode, {.order = IterationOrder::kReverse});
+  opts.iteration.set(ResourceType::kCore,
+                     {.order = IterationOrder::kStrided, .stride = 2});
+  expect_parallel_matches_sequential(figure2_allocation(3), "nhcsb", opts);
+}
+
+TEST(ParallelDeterminism, ThreadsExceedingOuterWidthCollapse) {
+  // Outermost 'h' has width 2: at most two chunks regardless of the thread
+  // budget, and the spare threads must not perturb the result.
+  const Allocation alloc = figure2_allocation();
+  const MappingResult want = lama_map(alloc, "scbnh", {.np = 24});
+  const MappingResult got = lama_map_parallel(
+      alloc, ProcessLayout::parse("scbnh"), {.np = 24}, 64);
+  expect_identical_mappings(want, got, "threads=64 outer_width=2");
+}
+
+TEST(ParallelDeterminism, HardwareConcurrencyDefault) {
+  const Allocation alloc = figure2_allocation();
+  const MappingResult want = lama_map(alloc, "scbnh", {.np = 24});
+  const MappingResult got =
+      lama_map_parallel(alloc, ProcessLayout::parse("scbnh"), {.np = 24},
+                        /*threads=*/0);
+  expect_identical_mappings(want, got, "threads=hardware_concurrency");
+}
+
+TEST(ParallelDeterminism, SharedTreeOverloadMatchesBuildingOne) {
+  const Allocation alloc = figure2_allocation();
+  const ProcessLayout layout = ProcessLayout::parse("scbnh");
+  const MaximalTree mtree(alloc, layout);
+  const MappingResult want = lama_map(alloc, layout, {.np = 24}, mtree);
+  for (std::size_t threads : kThreadCounts) {
+    const MappingResult got =
+        lama_map_parallel(alloc, layout, {.np = 24}, mtree, threads);
+    expect_identical_mappings(want, got,
+                              "shared tree threads=" +
+                                  std::to_string(threads));
+  }
+}
+
+TEST(ParallelDeterminism, SameErrorsAsSequential) {
+  const Allocation alloc = figure2_allocation(1);
+  EXPECT_THROW(lama_map_parallel(alloc, ProcessLayout::parse("scbnh"),
+                                 {.np = 0}, 4),
+               MappingError);
+  // 20 ranks on 16 PUs without permission: both mappers refuse up front.
+  EXPECT_THROW(
+      lama_map_parallel(alloc, ProcessLayout::parse("scbnh"),
+                        {.np = 20, .allow_oversubscribe = false}, 4),
+      OversubscribeError);
+}
+
+TEST(ParallelDeterminism, ExpiredDeadlineCancels) {
+  // A deadline already in the past cancels the run on every path — the
+  // worker recording walk and the assembly both poll it.
+  MapOptions opts{.np = 24};
+  opts.deadline_ns = 1;
+  const Allocation alloc = figure2_allocation();
+  EXPECT_THROW(lama_map(alloc, "scbnh", opts), CancelledError);
+  for (std::size_t threads : kThreadCounts) {
+    EXPECT_THROW(lama_map_parallel(alloc, ProcessLayout::parse("scbnh"), opts,
+                                   threads),
+                 CancelledError);
+  }
+}
+
+}  // namespace
+}  // namespace lama

@@ -3,15 +3,14 @@
 #include <gtest/gtest.h>
 
 #include "cluster/alloc_serialize.hpp"
+#include "common/fixtures.hpp"
 #include "lama/baselines.hpp"
 #include "support/error.hpp"
 
 namespace lama::svc {
 namespace {
 
-Allocation figure2_allocation(std::size_t nodes = 2) {
-  return allocate_all(Cluster::homogeneous(nodes, "socket:2 core:4 pu:2"));
-}
+using lama::test::figure2_allocation;
 
 void expect_same_mapping(const MappingResult& a, const MappingResult& b) {
   ASSERT_EQ(a.num_procs(), b.num_procs());

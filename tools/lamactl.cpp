@@ -200,6 +200,144 @@ int run_query(const std::vector<std::string>& args) {
   return 0;
 }
 
+// `lamactl mapbatch`: one MAPBATCH request carrying a job per -np value.
+// Default prints the protocol lines (NODE definitions + the MAPBATCH line),
+// ready to pipe into `lamactl serve`; --exec runs them against an
+// in-process service through the batch-aware retrying client, which
+// re-sends only the jobs the server shed.
+int run_mapbatch(const std::vector<std::string>& args) {
+  std::string cluster_path;
+  std::string hostfile_path;
+  std::string alloc_id = "a0";
+  std::string spec = "lama";
+  std::vector<std::size_t> np_list;
+  std::vector<std::string> options;
+  bool stats = false;
+  bool exec = false;
+  svc::RetryPolicy retry;
+  svc::ServiceConfig exec_config;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto need_value = [&] {
+      if (i + 1 >= args.size()) {
+        throw ParseError("option " + arg + " requires a value");
+      }
+      return args[++i];
+    };
+    if (arg == "--cluster") {
+      cluster_path = need_value();
+    } else if (arg == "--hostfile") {
+      hostfile_path = need_value();
+    } else if (arg == "--id") {
+      alloc_id = need_value();
+    } else if (arg == "-np" || arg == "--np") {
+      // Comma-separated: one batch job per count.
+      const std::string list = need_value();
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const auto comma = list.find(',', pos);
+        np_list.push_back(parse_size(
+            list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos),
+            "mapbatch process count"));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (arg == "--map-by") {
+      spec = need_value();
+    } else if (arg == "--bind-to") {
+      options.push_back("bind=" + need_value());
+    } else if (arg == "--npernode") {
+      options.push_back("npernode=" + need_value());
+    } else if (arg == "--threads") {
+      options.push_back("threads=" + need_value());
+    } else if (arg == "--oversubscribe") {
+      options.push_back("oversub=1");
+    } else if (arg == "--no-oversubscribe") {
+      options.push_back("oversub=0");
+    } else if (arg == "--timeout-ms") {
+      options.push_back("timeout=" + need_value());
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--exec") {
+      exec = true;
+    } else if (arg == "--retries") {
+      retry.max_attempts = parse_size(need_value(), "mapbatch retries");
+    } else if (arg == "--backoff-ms") {
+      retry.base_ms = static_cast<std::uint32_t>(
+          parse_size(need_value(), "mapbatch backoff-ms"));
+    } else if (arg == "--max-inflight") {
+      exec_config.max_inflight =
+          parse_size(need_value(), "mapbatch max-inflight");
+    } else {
+      throw ParseError("unknown mapbatch option: " + arg);
+    }
+  }
+  if (cluster_path.empty()) throw ParseError("--cluster <file> is required");
+  if (np_list.empty()) throw ParseError("-np <count[,count...]> is required");
+
+  const Cluster cluster = parse_cluster_file(read_file(cluster_path));
+  const Allocation alloc =
+      hostfile_path.empty()
+          ? allocate_all(cluster)
+          : parse_hostfile(cluster, read_file(hostfile_path));
+  std::vector<svc::BatchJob> jobs;
+  jobs.reserve(np_list.size());
+  for (const std::size_t np : np_list) {
+    jobs.push_back(svc::BatchJob{alloc_id, np, spec, options});
+  }
+  // The NODE definitions, shared by both modes (format_query minus its MAP
+  // line, which the batch replaces).
+  std::string node_lines = svc::format_query(alloc, alloc_id, 1, spec);
+  node_lines.erase(node_lines.rfind("MAP "));
+
+  if (!exec) {
+    std::fputs(node_lines.c_str(), stdout);
+    std::printf("%s\n", svc::format_mapbatch(jobs).c_str());
+    if (stats) std::printf("STATS\n");
+    return 0;
+  }
+
+  svc::MappingService service(exec_config);
+  svc::ProtocolSession session(service);
+  std::istringstream no_more;
+  auto execute = [&](const std::string& line) {
+    return session.execute(line, no_more);
+  };
+  std::size_t pos = 0;
+  while (pos < node_lines.size()) {
+    const auto nl = node_lines.find('\n', pos);
+    execute(node_lines.substr(pos, nl - pos));
+    pos = nl == std::string::npos ? node_lines.size() : nl + 1;
+  }
+  svc::QueryClient client([](const std::string&) { return std::string(); },
+                          retry);
+  const svc::BatchResult result =
+      client.map_batch(jobs, [&](const std::string& line) {
+        std::vector<std::string> lines;
+        const std::string text = execute(line);
+        std::size_t at = 0;
+        while (at < text.size()) {
+          const auto nl = text.find('\n', at);
+          lines.push_back(text.substr(at, nl - at));
+          at = nl == std::string::npos ? text.size() : nl + 1;
+        }
+        return lines;
+      });
+  for (std::size_t i = 0; i < result.responses.size(); ++i) {
+    std::printf("JOB %zu %s\n", i, result.responses[i].c_str());
+  }
+  std::printf("%s\n", result.trailer.c_str());
+  if (result.attempts > 1) {
+    std::printf("# attempts=%zu backoff-ms=%llu\n", result.attempts,
+                static_cast<unsigned long long>(result.total_backoff_ms));
+  }
+  if (stats) {
+    std::printf("%s", service.counters().render().c_str());
+  }
+  return result.ok() && !result.gave_up_busy ? 0 : 1;
+}
+
 // `lamactl inject`: replay a seeded fault schedule against an in-process
 // service and report whether the resilience invariants held.
 int run_inject(const std::vector<std::string>& args) {
@@ -355,6 +493,9 @@ int main(int argc, char** argv) {
     if (!args.empty() && args[0] == "query") {
       return run_query({args.begin() + 1, args.end()});
     }
+    if (!args.empty() && args[0] == "mapbatch") {
+      return run_mapbatch({args.begin() + 1, args.end()});
+    }
     if (!args.empty() && args[0] == "inject") {
       return run_inject({args.begin() + 1, args.end()});
     }
@@ -375,6 +516,11 @@ int main(int argc, char** argv) {
         "               [--npernode N] [--timeout-ms N] [--stats]\n"
         "               [--exec [--retries N] [--backoff-ms N]\n"
         "                [--max-inflight N]]  # run in-process with retries\n"
+        "       lamactl mapbatch --cluster <file> -np N[,N...]\n"
+        "               [--map-by <spec>] [--threads N] [--bind-to <level>]\n"
+        "               [--npernode N] [--timeout-ms N] [--id <name>]\n"
+        "               [--stats] [--exec [--retries N] [--backoff-ms N]\n"
+        "                [--max-inflight N]]  # one MAPBATCH, a job per np\n"
         "       lamactl inject --cluster <file> [--seed N] [--requests N]\n"
         "               [--node-deaths N] [--node-recoveries N]\n"
         "               [--pu-offlines N] [--malformed N] [--corruptions N]\n"
