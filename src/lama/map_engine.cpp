@@ -1,6 +1,7 @@
 #include "lama/map_engine.hpp"
 
 #include "lama/maximal_tree.hpp"
+#include "obs/tracer.hpp"
 #include "support/error.hpp"
 
 namespace lama::detail {
@@ -124,6 +125,7 @@ bool PlacementEngine::offer(const PrunedObject* target, std::size_t node,
 }
 
 void PlacementEngine::begin_sweep() {
+  sweep_span_start_ns_ = obs::span_begin();
   sweep_start_rank_ = rank_;
   for (Pending& p : pending_) {  // partial processes never straddle sweeps
     p.pus.clear_all();
@@ -133,6 +135,8 @@ void PlacementEngine::begin_sweep() {
 }
 
 void PlacementEngine::end_sweep() {
+  obs::span_end(obs::Stage::kSweep, sweep_index_++, sweep_span_start_ns_);
+  sweep_span_start_ns_ = 0;
   ++result_.sweeps;
   if (!done() && rank_ == sweep_start_rank_) {
     throw MappingError(

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <unordered_map>
 #include <vector>
@@ -97,6 +98,8 @@ class PlacementEngine {
   const MapOptions& opts_;
   std::size_t rank_ = 0;
   std::size_t sweep_start_rank_ = 0;
+  std::uint64_t sweep_span_start_ns_ = 0;  // 0 when no trace is active
+  std::uint32_t sweep_index_ = 0;
   std::vector<Pending> pending_;  // per node
   bool caps_active_ = false;
   std::map<std::vector<std::size_t>, std::size_t> cap_usage_;

@@ -1,11 +1,14 @@
 #include "lama/maximal_tree.hpp"
 
+#include "obs/tracer.hpp"
 #include "support/error.hpp"
 
 namespace lama {
 
 MaximalTree::MaximalTree(const Allocation& alloc,
                          const ProcessLayout& layout) {
+  const obs::SpanScope span(obs::Stage::kBuild,
+                            static_cast<std::uint32_t>(alloc.num_nodes()));
   node_levels_ = layout.node_levels_by_containment();
 
   for (std::size_t i = 0; i < kNumResourceTypes; ++i) widths_[i] = 1;

@@ -8,6 +8,7 @@
 
 #include "lama/map_engine.hpp"
 #include "lama/maximal_tree.hpp"
+#include "obs/tracer.hpp"
 #include "support/error.hpp"
 
 namespace lama {
@@ -172,15 +173,22 @@ MappingResult lama_map_parallel(const Allocation& alloc,
   // chunk records its whole subspace even if assembly stops early.
   if (num_chunks <= 1) {
     if (num_chunks == 1) {
+      const obs::SpanScope chunk_span(obs::Stage::kChunk, 0);
       ChunkRecorder(geo, opts, traces[0]).record(ranges[0].first,
                                                  ranges[0].second);
     }
   } else {
+    // Workers are fresh threads with no trace context; hand them the
+    // caller's so their chunk spans land in the request's trace.
+    const obs::TraceHandle trace_ctx = obs::current_trace();
     std::vector<std::exception_ptr> errors(num_chunks);
     std::vector<std::thread> workers;
     workers.reserve(num_chunks);
     for (std::size_t c = 0; c < num_chunks; ++c) {
       workers.emplace_back([&, c] {
+        const obs::ScopedTrace scoped(trace_ctx);
+        const obs::SpanScope chunk_span(obs::Stage::kChunk,
+                                        static_cast<std::uint32_t>(c));
         try {
           ChunkRecorder(geo, opts, traces[c]).record(ranges[c].first,
                                                      ranges[c].second);
@@ -200,6 +208,8 @@ MappingResult lama_map_parallel(const Allocation& alloc,
   // placement history lives in the engine, so this is exactly the sequential
   // algorithm minus the tree lookups (already paid above, once per sweep's
   // worth of reuse).
+  const obs::SpanScope assemble_span(
+      obs::Stage::kAssemble, static_cast<std::uint32_t>(num_chunks));
   detail::PlacementEngine engine(mtree, layout, opts);
   while (!engine.done()) {
     if (opts.deadline_ns != 0) {

@@ -1,0 +1,46 @@
+#include "obs/chrome.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace lama::obs {
+
+namespace {
+
+std::string usec(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+std::string to_chrome_json(const Trace& trace) {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Span& span : trace.spans) {
+    if (!first) out << ',';
+    first = false;
+    const std::uint64_t rel =
+        span.start_ns >= trace.begin_ns ? span.start_ns - trace.begin_ns : 0;
+    const std::uint64_t dur =
+        span.end_ns >= span.start_ns ? span.end_ns - span.start_ns : 0;
+    out << "{\"name\":\"" << json_escape(stage_name(span.stage))
+        << "\",\"cat\":\"lama\",\"ph\":\"X\",\"ts\":" << usec(rel)
+        << ",\"dur\":" << usec(dur) << ",\"pid\":1,\"tid\":" << span.tid
+        << ",\"args\":{\"detail\":" << span.detail << "}}";
+  }
+  out << "],\"otherData\":{\"trace_id\":\"" << trace.id
+      << "\",\"parent_id\":\"" << trace.parent_id << "\",\"outcome\":\""
+      << json_escape(outcome_name(trace.outcome)) << "\",\"duration_ns\":\""
+      << trace.duration_ns() << "\"}}";
+  return out.str();
+}
+
+}  // namespace lama::obs

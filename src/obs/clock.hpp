@@ -1,0 +1,19 @@
+// The observability clock: one monotonic nanosecond timestamp source shared
+// by every span so traces order correctly across threads. steady_clock is
+// monotonic per process; cross-process alignment is out of scope (traces are
+// assembled and exported by the process that recorded them).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace lama::obs {
+
+inline std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace lama::obs

@@ -1,0 +1,69 @@
+#include "obs/flight_recorder.hpp"
+
+#include <utility>
+
+namespace lama::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void FlightRecorder::add(Trace trace) {
+  std::function<void(const Trace&)> sink;
+  Trace for_sink;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (trace.failed()) {
+      ++dumps_;
+      failures_.push_back(trace);
+      while (failures_.size() > capacity_) failures_.pop_front();
+      if (sink_) {
+        sink = sink_;
+        for_sink = trace;
+      }
+    }
+    recent_.push_back(std::move(trace));
+    while (recent_.size() > capacity_) recent_.pop_front();
+  }
+  if (sink) sink(for_sink);
+}
+
+std::optional<Trace> FlightRecorder::by_id(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = recent_.rbegin(); it != recent_.rend(); ++it) {
+    if (it->id == id) return *it;
+  }
+  // An old failure may have aged out of `recent_` but survive here.
+  for (auto it = failures_.rbegin(); it != failures_.rend(); ++it) {
+    if (it->id == id) return *it;
+  }
+  return std::nullopt;
+}
+
+std::optional<Trace> FlightRecorder::last() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (recent_.empty()) return std::nullopt;
+  return recent_.back();
+}
+
+std::optional<Trace> FlightRecorder::last_failure() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (failures_.empty()) return std::nullopt;
+  return failures_.back();
+}
+
+std::size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recent_.size();
+}
+
+std::uint64_t FlightRecorder::dumps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dumps_;
+}
+
+void FlightRecorder::set_dump_sink(std::function<void(const Trace&)> sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
+}  // namespace lama::obs

@@ -1,0 +1,65 @@
+// The flight recorder: a bounded log of the last N complete request traces,
+// plus a separate bounded log of failure traces (error / shed / deadlined /
+// degraded) so a burst of healthy traffic cannot age out the evidence of
+// the last incident. Failure traces also fire the optional dump sink — the
+// hook `lamactl serve --trace-dump` uses to write Chrome trace-event files
+// as failures happen.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace lama::obs {
+
+// One assembled request trace: the spans collected from every thread ring,
+// sorted by start time (ties broken longest-first, so enclosing spans
+// precede their children).
+struct Trace {
+  std::uint64_t id = 0;
+  std::uint64_t parent_id = 0;  // enclosing batch trace, 0 when none
+  std::uint64_t begin_ns = 0;
+  std::uint64_t end_ns = 0;
+  Outcome outcome = Outcome::kOk;
+  std::vector<Span> spans;
+
+  [[nodiscard]] bool failed() const { return outcome != Outcome::kOk; }
+  [[nodiscard]] std::uint64_t duration_ns() const { return end_ns - begin_ns; }
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity);
+
+  // Retains the trace (evicting the oldest past capacity). Failed traces
+  // are additionally copied into the failure log and handed to the dump
+  // sink, outside the lock.
+  void add(Trace trace);
+
+  [[nodiscard]] std::optional<Trace> by_id(std::uint64_t id) const;
+  [[nodiscard]] std::optional<Trace> last() const;
+  [[nodiscard]] std::optional<Trace> last_failure() const;
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const;
+  // Failure traces ever recorded (monotonic, unlike the bounded log).
+  [[nodiscard]] std::uint64_t dumps() const;
+
+  // Invoked with every failed trace, after it is retained. Swap-safe.
+  void set_dump_sink(std::function<void(const Trace&)> sink);
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<Trace> recent_;
+  std::deque<Trace> failures_;
+  std::uint64_t dumps_ = 0;
+  std::function<void(const Trace&)> sink_;
+};
+
+}  // namespace lama::obs

@@ -1,0 +1,116 @@
+#include "obs/ring.hpp"
+
+namespace lama::obs {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+SpanRing::SpanRing(std::size_t capacity)
+    : slots_(round_up_pow2(capacity == 0 ? 1 : capacity)) {}
+
+void SpanRing::push(const Span& span) {
+  Slot& slot = slots_[head_ & (slots_.size() - 1)];
+  ++head_;
+  const std::uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+  slot.seq.store(seq + 1, std::memory_order_release);  // odd: write begins
+  slot.trace_id.store(span.trace_id, std::memory_order_relaxed);
+  slot.start_ns.store(span.start_ns, std::memory_order_relaxed);
+  slot.end_ns.store(span.end_ns, std::memory_order_relaxed);
+  slot.tid.store(span.tid, std::memory_order_relaxed);
+  slot.detail.store(span.detail, std::memory_order_relaxed);
+  slot.stage.store(static_cast<std::uint8_t>(span.stage),
+                   std::memory_order_relaxed);
+  slot.seq.store(seq + 2, std::memory_order_release);  // even: published
+  pushed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SpanRing::collect(std::uint64_t trace_id, std::vector<Span>& out) const {
+  for (const Slot& slot : slots_) {
+    const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    if (seq == 0 || (seq & 1) != 0) continue;  // empty or mid-write
+    Span span;
+    span.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+    if (span.trace_id != trace_id) continue;
+    span.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+    span.end_ns = slot.end_ns.load(std::memory_order_relaxed);
+    span.tid = slot.tid.load(std::memory_order_relaxed);
+    span.detail = slot.detail.load(std::memory_order_relaxed);
+    span.stage = static_cast<Stage>(slot.stage.load(std::memory_order_relaxed));
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != seq) continue;  // torn
+    out.push_back(span);
+  }
+}
+
+RingRegistry& RingRegistry::instance() {
+  static RingRegistry* registry = new RingRegistry();  // intentionally leaked
+  return *registry;
+}
+
+std::uint32_t RingRegistry::lease() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!free_.empty()) {
+    const std::uint32_t tid = free_.back();
+    free_.pop_back();
+    return tid;
+  }
+  rings_.push_back(std::make_unique<SpanRing>(kRingCapacity));
+  return static_cast<std::uint32_t>(rings_.size() - 1);
+}
+
+void RingRegistry::release(std::uint32_t tid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(tid);
+}
+
+// One lease per thread, returned to the registry free list at thread exit.
+// Named (not in the anonymous namespace) so the friend declaration in
+// ring.hpp grants it access to lease()/release().
+struct RingLease {
+  std::uint32_t tid = 0;
+  SpanRing* ring = nullptr;
+  ~RingLease() {
+    if (ring != nullptr) RingRegistry::instance().release(tid);
+  }
+};
+
+namespace {
+thread_local RingLease t_lease;
+}  // namespace
+
+SpanRing& RingRegistry::local_ring(std::uint32_t& tid) {
+  if (t_lease.ring == nullptr) {
+    t_lease.tid = lease();
+    std::lock_guard<std::mutex> lock(mu_);
+    t_lease.ring = rings_[t_lease.tid].get();
+  }
+  tid = t_lease.tid;
+  return *t_lease.ring;
+}
+
+void RingRegistry::collect(std::uint64_t trace_id,
+                           std::vector<Span>& out) const {
+  // Snapshot the ring set under the lock; rings are never destroyed, so the
+  // scan itself runs unlocked against the stable pointers.
+  std::vector<SpanRing*> rings;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings.reserve(rings_.size());
+    for (const auto& ring : rings_) rings.push_back(ring.get());
+  }
+  for (const SpanRing* ring : rings) ring->collect(trace_id, out);
+}
+
+std::size_t RingRegistry::num_rings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rings_.size();
+}
+
+}  // namespace lama::obs

@@ -1,0 +1,81 @@
+// Trace spans: the unit of request observability. A span is one timed stage
+// of one request — parse, cache lookup, tree build, a parallel walk chunk,
+// the binding step, … — stamped with the request's trace id and the ring
+// index of the recording thread. Spans are plain values small enough to
+// publish through the lock-free per-thread rings (ring.hpp); assembly into
+// complete traces happens only for sampled or failed requests (tracer.hpp).
+#pragma once
+
+#include <cstdint>
+
+namespace lama::obs {
+
+// The pipeline stages of the mapping service, following the paper's walk
+// (prune -> availability skip -> place -> bind) plus the service framing
+// around it. Stage values appear on the wire (TRACE responses) through
+// stage_name(), never as raw numbers.
+enum class Stage : std::uint8_t {
+  kRequest = 0,    // the whole request, admission to reply
+  kParse,          // protocol line -> MapRequest
+  kLookup,         // tree-cache probe (covers build/wait on a miss)
+  kBuild,          // maximal-tree construction
+  kCoalesceWait,   // waited on another request's in-flight build
+  kMap,            // the mapping walk (sequential or parallel)
+  kChunk,          // one worker's recorded subspace in lama_map_parallel
+  kAssemble,       // deterministic replay of the recorded chunks
+  kSweep,          // one wraparound sweep of the placement engine
+  kBind,           // the binding step (per-rank cpusets)
+  kReply,          // response formatting
+  kBatch,          // a MAPBATCH/BATCH request as a whole
+};
+
+constexpr const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kRequest: return "request";
+    case Stage::kParse: return "parse";
+    case Stage::kLookup: return "cache_lookup";
+    case Stage::kBuild: return "tree_build";
+    case Stage::kCoalesceWait: return "coalesce_wait";
+    case Stage::kMap: return "map_walk";
+    case Stage::kChunk: return "chunk";
+    case Stage::kAssemble: return "assemble";
+    case Stage::kSweep: return "sweep";
+    case Stage::kBind: return "bind";
+    case Stage::kReply: return "reply";
+    case Stage::kBatch: return "batch";
+  }
+  return "unknown";
+}
+
+// How a traced request ended. Anything but kOk marks the trace as a failure
+// for the flight recorder: it is retained and dumped regardless of sampling.
+enum class Outcome : std::uint8_t {
+  kOk = 0,
+  kError,      // failed (parse, mapping, unexpected exception)
+  kShed,       // rejected by admission control (ERR busy)
+  kDeadlined,  // cancelled past its deadline
+  kDegraded,   // succeeded on the uncached fallback (integrity failure,
+               // degraded-shared remap)
+};
+
+constexpr const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kOk: return "ok";
+    case Outcome::kError: return "error";
+    case Outcome::kShed: return "shed";
+    case Outcome::kDeadlined: return "deadlined";
+    case Outcome::kDegraded: return "degraded";
+  }
+  return "unknown";
+}
+
+struct Span {
+  std::uint64_t trace_id = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint32_t tid = 0;     // recording thread's ring index
+  std::uint32_t detail = 0;  // chunk index / sweep number / job slot
+  Stage stage = Stage::kRequest;
+};
+
+}  // namespace lama::obs

@@ -1,0 +1,129 @@
+#include "obs/tracer.hpp"
+
+#include <algorithm>
+
+#include "obs/clock.hpp"
+#include "obs/ring.hpp"
+#include "support/hash.hpp"
+
+namespace lama::obs {
+
+namespace {
+
+thread_local TraceHandle t_ctx;
+thread_local std::uint64_t t_pending_parent = 0;
+
+// Trace ids are process-wide so spans from concurrent services (tests run
+// several) can never alias inside the shared ring registry.
+std::atomic<std::uint64_t> g_next_trace_id{1};
+
+}  // namespace
+
+std::uint64_t current_trace_id() { return t_ctx.id; }
+
+TraceHandle current_trace() { return t_ctx; }
+
+ScopedTrace::ScopedTrace(const TraceHandle& handle) : saved_(t_ctx) {
+  t_ctx = handle;
+}
+
+ScopedTrace::~ScopedTrace() { t_ctx = saved_; }
+
+ScopedParent::ScopedParent(std::uint64_t parent_id)
+    : saved_(t_pending_parent) {
+  t_pending_parent = parent_id;
+}
+
+ScopedParent::~ScopedParent() { t_pending_parent = saved_; }
+
+std::uint64_t span_begin() {
+  return t_ctx.id == 0 || !t_ctx.record ? 0 : monotonic_ns();
+}
+
+void span_end(Stage stage, std::uint32_t detail, std::uint64_t start_ns) {
+  if (start_ns == 0 || t_ctx.id == 0) return;
+  Span span;
+  span.trace_id = t_ctx.id;
+  span.start_ns = start_ns;
+  span.end_ns = monotonic_ns();
+  span.detail = detail;
+  span.stage = stage;
+  SpanRing& ring = RingRegistry::instance().local_ring(span.tid);
+  ring.push(span);
+}
+
+Tracer::Tracer(const TracerConfig& config)
+    : config_(config), recorder_(config.flight_capacity) {}
+
+std::uint64_t Tracer::begin() {
+  const std::uint64_t id =
+      g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+  t_ctx.id = id;
+  t_ctx.parent = t_pending_parent;
+  t_pending_parent = 0;  // consumed by this begin
+  t_ctx.begin_ns = monotonic_ns();
+  // The head-based sampling decision: an unsampled trace skips all span
+  // recording (span_begin returns 0 — no clock reads, no ring pushes), so
+  // the default 1/64 rate keeps the warm path within its overhead budget.
+  // A failed unsampled request still assembles at end() with its
+  // synthesized root span carrying id, outcome, and duration.
+  t_ctx.record = sampled(id);
+  started_.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Tracer::End Tracer::end(std::uint64_t id, Outcome outcome) {
+  End result;
+  result.failure = outcome != Outcome::kOk;
+  const TraceHandle handle = t_ctx;
+  if (handle.id == id) t_ctx = TraceHandle{};
+  if (!result.failure && !sampled(id)) return result;
+
+  Trace trace;
+  trace.id = id;
+  trace.parent_id = handle.parent;
+  trace.begin_ns = handle.begin_ns;
+  trace.end_ns = monotonic_ns();
+  trace.outcome = outcome;
+
+  // The root request span, synthesised here: it is still open while the
+  // rings are scanned, so it cannot come from a ring itself.
+  Span root;
+  root.trace_id = id;
+  root.start_ns = trace.begin_ns;
+  root.end_ns = trace.end_ns;
+  root.stage = Stage::kRequest;
+  RingRegistry::instance().local_ring(root.tid);
+  trace.spans.push_back(root);
+
+  RingRegistry::instance().collect(id, trace.spans);
+  std::sort(trace.spans.begin(), trace.spans.end(),
+            [](const Span& a, const Span& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.end_ns > b.end_ns;  // enclosing spans first
+            });
+
+  recorder_.add(std::move(trace));
+  assembled_.fetch_add(1, std::memory_order_relaxed);
+  result.assembled = true;
+  return result;
+}
+
+bool Tracer::sampled(std::uint64_t id) const {
+  const std::uint32_t n = config_.sample_every;
+  if (n == 0) return false;
+  if (n == 1) return true;
+  const std::uint64_t h =
+      mix64(id ^ mix64(config_.seed + 0x9e3779b97f4a7c15ULL));
+  return h % n == 0;
+}
+
+TraceScope::TraceScope(Tracer* tracer) : tracer_(tracer) {
+  if (tracer_ != nullptr && current_trace_id() == 0) id_ = tracer_->begin();
+}
+
+TraceScope::~TraceScope() {
+  if (id_ != 0) tracer_->end(id_, outcome_);
+}
+
+}  // namespace lama::obs

@@ -1,0 +1,173 @@
+// The tracer ties the pieces together: it assigns trace ids, carries the
+// active trace through thread-local context (with explicit handoff to the
+// parallel-walk worker threads), decides via head-based sampling whether a
+// finished request is worth assembling, and feeds assembled traces to the
+// flight recorder. Failed requests are always assembled — sampling only
+// thins the healthy traffic.
+//
+// Recording is free-function based (`span_begin` / `span_end` / SpanScope)
+// so the lama mapping layers can emit spans without a tracer reference:
+// when no trace is active on the thread the calls are a branch and return.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/span.hpp"
+
+namespace lama::obs {
+
+// ---- Thread-local trace context -------------------------------------------
+
+// The identity of a trace active on some thread, for handoff: capture with
+// current_trace() before spawning a worker, install in the worker with
+// ScopedTrace. A default-constructed handle is "no trace" and installing it
+// suspends tracing on the thread (used to detach inline batch jobs from the
+// batch trace).
+struct TraceHandle {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::uint64_t begin_ns = 0;
+  // Head-based sampling decision made at begin(): when false, span
+  // recording is suppressed for the whole trace (span_begin returns 0).
+  // An unsampled failure still assembles with just its root span.
+  bool record = true;
+};
+
+// Trace id active on this thread, 0 when none.
+[[nodiscard]] std::uint64_t current_trace_id();
+[[nodiscard]] TraceHandle current_trace();
+
+// Installs a trace handle on this thread for the scope's lifetime and
+// restores whatever was active before. Works across threads: the canonical
+// use is capturing current_trace() on the spawning thread and constructing
+// the ScopedTrace inside the worker.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(const TraceHandle& handle);
+  ~ScopedTrace();
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  TraceHandle saved_;
+};
+
+// Marks the next Tracer::begin() on this thread as a child of `parent_id`
+// (a batch trace parenting its per-job traces). Consumed by one begin().
+class ScopedParent {
+ public:
+  explicit ScopedParent(std::uint64_t parent_id);
+  ~ScopedParent();
+  ScopedParent(const ScopedParent&) = delete;
+  ScopedParent& operator=(const ScopedParent&) = delete;
+
+ private:
+  std::uint64_t saved_;
+};
+
+// ---- Span recording --------------------------------------------------------
+
+// Start timestamp for a span, or 0 when no trace is active on this thread
+// or the active trace is unsampled (the matching span_end with
+// start_ns == 0 is a no-op, so instrumentation costs one TLS read when
+// tracing is off and on un-sampled requests alike).
+[[nodiscard]] std::uint64_t span_begin();
+void span_end(Stage stage, std::uint32_t detail, std::uint64_t start_ns);
+
+class SpanScope {
+ public:
+  explicit SpanScope(Stage stage, std::uint32_t detail = 0)
+      : stage_(stage), detail_(detail), start_ns_(span_begin()) {}
+  ~SpanScope() { span_end(stage_, detail_, start_ns_); }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  void set_detail(std::uint32_t detail) { detail_ = detail; }
+
+ private:
+  Stage stage_;
+  std::uint32_t detail_;
+  std::uint64_t start_ns_;
+};
+
+// ---- The tracer ------------------------------------------------------------
+
+struct TracerConfig {
+  // Complete traces retained by the flight recorder.
+  std::size_t flight_capacity = 16;
+  // Head-based sampling: assemble 1-in-N healthy traces (0 = none,
+  // 1 = every trace). Failures are always assembled.
+  std::uint32_t sample_every = 64;
+  // Perturbs which ids are sampled; fixed seed -> deterministic choice.
+  std::uint64_t seed = 0;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(const TracerConfig& config);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Starts a trace and installs it as this thread's context. Returns the
+  // id (never 0). Nesting is the caller's concern: TraceScope only begins
+  // when no trace is active.
+  std::uint64_t begin();
+
+  struct End {
+    bool assembled = false;
+    bool failure = false;
+  };
+
+  // Ends the trace: uninstalls the thread context and — when the outcome is
+  // a failure or the id is sampled — collects its spans from every ring,
+  // prepends the root request span, and hands the trace to the recorder.
+  End end(std::uint64_t id, Outcome outcome);
+
+  // The sampling decision for an id (deterministic in id and seed).
+  [[nodiscard]] bool sampled(std::uint64_t id) const;
+
+  [[nodiscard]] FlightRecorder& recorder() { return recorder_; }
+  [[nodiscard]] const FlightRecorder& recorder() const { return recorder_; }
+  [[nodiscard]] const TracerConfig& config() const { return config_; }
+
+  [[nodiscard]] std::uint64_t started() const {
+    return started_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t assembled() const {
+    return assembled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  TracerConfig config_;
+  FlightRecorder recorder_;
+  std::atomic<std::uint64_t> started_{0};
+  std::atomic<std::uint64_t> assembled_{0};
+};
+
+// Begins a trace on construction if (a) a tracer is given and (b) no trace
+// is already active on this thread — a MAPBATCH job traced by the protocol
+// layer must not start a second trace inside MappingService::map. The
+// outcome defaults to kError so an exception unwinding through the scope
+// records a failure; success paths overwrite it via set_outcome.
+class TraceScope {
+ public:
+  explicit TraceScope(Tracer* tracer);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  void set_outcome(Outcome outcome) { outcome_ = outcome; }
+  // 0 when this scope did not begin a trace.
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+ private:
+  Tracer* tracer_;
+  std::uint64_t id_ = 0;
+  Outcome outcome_ = Outcome::kError;
+};
+
+}  // namespace lama::obs

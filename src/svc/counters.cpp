@@ -22,7 +22,7 @@ std::string Counters::stats_line() const {
       "invalidations=%llu remaps=%llu batched=%llu batch_jobs=%llu "
       "parallel_maps=%llu map_p50_us=%llu "
       "map_p99_us=%llu parallel_map_p99_us=%llu build_p99_us=%llu "
-      "total_p99_us=%llu",
+      "total_p99_us=%llu lookup_p50_us=%llu lookup_p99_us=%llu",
       static_cast<unsigned long long>(load(requests)),
       static_cast<unsigned long long>(load(completed)),
       static_cast<unsigned long long>(load(errors)),
@@ -46,7 +46,9 @@ std::string Counters::stats_line() const {
       static_cast<unsigned long long>(parallel_map_ns.percentile_ns(99) /
                                       1000),
       static_cast<unsigned long long>(build_ns.percentile_ns(99) / 1000),
-      static_cast<unsigned long long>(total_ns.percentile_ns(99) / 1000));
+      static_cast<unsigned long long>(total_ns.percentile_ns(99) / 1000),
+      static_cast<unsigned long long>(lookup_ns.percentile_ns(50) / 1000),
+      static_cast<unsigned long long>(lookup_ns.percentile_ns(99) / 1000));
   return buf;
 }
 
@@ -60,8 +62,9 @@ std::string Counters::render() const {
                 static_cast<unsigned long long>(load(errors)));
   out += buf;
   std::snprintf(buf, sizeof(buf),
-                "tree cache  hits %llu, misses %llu, coalesced %llu, "
-                "evictions %llu, uncached %llu\n",
+                "tree cache  cached %llu (hits %llu, misses %llu, coalesced "
+                "%llu), evictions %llu, uncached %llu\n",
+                static_cast<unsigned long long>(load(cached)),
                 static_cast<unsigned long long>(load(cache_hits)),
                 static_cast<unsigned long long>(load(cache_misses)),
                 static_cast<unsigned long long>(load(coalesced)),

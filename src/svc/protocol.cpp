@@ -7,6 +7,8 @@
 
 #include "cluster/alloc_serialize.hpp"
 #include "lama/layout.hpp"
+#include "obs/chrome.hpp"
+#include "obs/tracer.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 #include "topo/serialize.hpp"
@@ -95,7 +97,8 @@ struct ProtocolSession::Impl {
   std::string handle_availability(const std::vector<std::string>& tokens,
                                   bool offline);
   std::string handle_remap(const std::vector<std::string>& tokens,
-                           std::size_t& served);
+                           std::size_t& served, obs::Outcome& outcome);
+  std::string handle_trace(const std::vector<std::string>& tokens);
   void record_last_map(const std::string& id, const MapRequest& request,
                        const MapResponse& response);
 };
@@ -235,7 +238,8 @@ std::string ProtocolSession::Impl::handle_availability(
 // mapping onto its current (reduced) availability. Survivors keep their
 // PUs; only displaced ranks move (lama/remap.hpp).
 std::string ProtocolSession::Impl::handle_remap(
-    const std::vector<std::string>& tokens, std::size_t& served) {
+    const std::vector<std::string>& tokens, std::size_t& served,
+    obs::Outcome& outcome) {
   if (tokens.size() < 2) {
     throw ParseError("REMAP needs '<alloc-id> [timeout=ms]'");
   }
@@ -261,6 +265,7 @@ std::string ProtocolSession::Impl::handle_remap(
   request.previous = &e.last->mapping;
 
   const MapResponse response = service.remap(request);
+  outcome = response.outcome;
   ++served;
   if (!response.ok()) {
     if (response.busy) {
@@ -284,6 +289,34 @@ std::string ProtocolSession::Impl::handle_remap(
          (response.displaced.empty() ? "-" : csv_int(response.displaced)) +
          " degraded=" + std::to_string(response.degraded ? 1 : 0) +
          " nodes=" + csv(nodes) + " pus=" + csv(pus);
+}
+
+// TRACE <id>|last|errors: one retained trace from the flight recorder,
+// rendered as a single line of Chrome trace-event JSON.
+std::string ProtocolSession::Impl::handle_trace(
+    const std::vector<std::string>& tokens) {
+  obs::Tracer* tracer = service.tracer();
+  if (tracer == nullptr) {
+    throw ParseError(
+        "tracing is disabled (serve with --flight-recorder=N to enable)");
+  }
+  if (tokens.size() != 2) throw ParseError("TRACE needs '<id>|last|errors'");
+  std::optional<obs::Trace> trace;
+  if (tokens[1] == "last") {
+    trace = tracer->recorder().last();
+  } else if (tokens[1] == "errors") {
+    trace = tracer->recorder().last_failure();
+  } else {
+    trace = tracer->recorder().by_id(parse_size(tokens[1], "TRACE id"));
+  }
+  if (!trace.has_value()) {
+    throw ParseError("no retained trace for '" + tokens[1] +
+                     "' (sampled 1/" +
+                     std::to_string(tracer->config().sample_every) +
+                     "; failures always retained)");
+  }
+  return "TRACE id=" + std::to_string(trace->id) + " " +
+         obs::to_chrome_json(*trace);
 }
 
 // Remember the mapping REMAP would re-place: the last successful,
@@ -317,10 +350,17 @@ std::string ProtocolSession::execute(const std::string& line,
       return impl_->handle_node(tokens, trimmed) + "\n";
     }
     if (cmd == "MAP") {
+      // The protocol owns the request trace so parse and reply are covered;
+      // the service's own scope (run_counted) defers to it.
+      obs::TraceScope trace_scope(impl_->service.tracer());
+      const std::uint64_t parse_span = obs::span_begin();
       const MapRequest request = impl_->parse_map_command(tokens);
+      obs::span_end(obs::Stage::kParse, 0, parse_span);
       const MapResponse response = impl_->service.map(request);
       ++served_;
       impl_->record_last_map(tokens[1], request, response);
+      const obs::SpanScope reply_span(obs::Stage::kReply);
+      trace_scope.set_outcome(response.outcome);
       return format_map_response(response) + "\n";
     }
     if (cmd == "BATCH") {
@@ -371,6 +411,7 @@ std::string ProtocolSession::execute(const std::string& line,
       return out;
     }
     if (cmd == "MAPBATCH") {
+      obs::TraceScope trace_scope(impl_->service.tracer());
       if (tokens.size() < 2) {
         throw ParseError("MAPBATCH needs '<count> <job>...'");
       }
@@ -383,6 +424,7 @@ std::string ProtocolSession::execute(const std::string& line,
       }
       // Per-job error isolation: a job that fails to parse answers ERR in
       // its own JOB line; the rest of the batch executes normally.
+      const std::uint64_t parse_span = obs::span_begin();
       std::vector<std::optional<MapRequest>> slots;
       std::vector<std::string> parse_errors(count);
       slots.reserve(count);
@@ -394,12 +436,16 @@ std::string ProtocolSession::execute(const std::string& line,
           parse_errors[i] = e.what();
         }
       }
+      obs::span_end(obs::Stage::kParse, static_cast<std::uint32_t>(count),
+                    parse_span);
       std::vector<MapRequest> requests;
       for (const auto& slot : slots) {
         if (slot.has_value()) requests.push_back(*slot);
       }
       const std::vector<MapResponse> responses =
           impl_->service.map_batch(requests);
+      const obs::SpanScope reply_span(
+          obs::Stage::kReply, static_cast<std::uint32_t>(count));
       std::string out;
       std::size_t ok_jobs = 0;
       std::size_t next = 0;
@@ -417,16 +463,36 @@ std::string ProtocolSession::execute(const std::string& line,
       out += "OK mapbatch jobs=" + std::to_string(count) +
              " ok=" + std::to_string(ok_jobs) +
              " err=" + std::to_string(count - ok_jobs) + "\n";
+      trace_scope.set_outcome(ok_jobs == count ? obs::Outcome::kOk
+                                               : obs::Outcome::kError);
       return out;
     }
     if (cmd == "OFFLINE" || cmd == "ONLINE") {
       return impl_->handle_availability(tokens, cmd == "OFFLINE") + "\n";
     }
     if (cmd == "REMAP") {
-      return impl_->handle_remap(tokens, served_) + "\n";
+      obs::TraceScope trace_scope(impl_->service.tracer());
+      obs::Outcome outcome = obs::Outcome::kError;
+      const std::string out = impl_->handle_remap(tokens, served_, outcome);
+      trace_scope.set_outcome(outcome);
+      return out + "\n";
     }
     if (cmd == "STATS") {
-      return "STATS " + impl_->service.counters().stats_line() + "\n";
+      if (tokens.size() >= 2 && tokens[1] == "json") {
+        return "STATS " + impl_->service.metrics_snapshot().to_json() + "\n";
+      }
+      return "STATS " + impl_->service.stats_line() + "\n";
+    }
+    if (cmd == "METRICS") {
+      if (tokens.size() >= 2 && tokens[1] == "json") {
+        return "METRICS " + impl_->service.metrics_snapshot().to_json() + "\n";
+      }
+      // Multi-line Prometheus text; the trailing "# EOF" line frames it for
+      // line-oriented clients.
+      return impl_->service.metrics_snapshot().to_prometheus();
+    }
+    if (cmd == "TRACE") {
+      return impl_->handle_trace(tokens) + "\n";
     }
     if (cmd == "QUIT") {
       done_ = true;
@@ -498,7 +564,7 @@ std::size_t serve(std::istream& in, std::ostream& out,
     if (session.done()) break;
   }
   if (stats_at_eof) {
-    out << "STATS " << service.counters().stats_line() << "\n";
+    out << "STATS " << service.stats_line() << "\n";
     out.flush();
   }
   return session.served();

@@ -14,7 +14,11 @@
 //   OFFLINE <alloc-id> <node> [pu...]           -> OK offline ... epoch=...
 //   ONLINE <alloc-id> <node> [pu...]            -> OK online ... epoch=...
 //   REMAP <alloc-id> [timeout=ms]               -> OK remap ... | ERR ...
-//   STATS           -> STATS <key=value counters>
+//   STATS [json]    -> STATS <key=value counters> | STATS <one-line JSON>
+//   METRICS [json]  -> Prometheus text format, terminated by a "# EOF"
+//                      line | METRICS <one-line JSON> (same snapshot)
+//   TRACE <id>|last|errors  -> TRACE id=<id> <Chrome trace-event JSON,
+//                      one line> | ERR (tracing off, or not retained)
 //   QUIT            -> OK bye (serving stops; EOF works too)
 //
 // MAP options: oversub=0|1, pus=<per-proc PUs>, npernode=<cap>,

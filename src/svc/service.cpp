@@ -1,10 +1,12 @@
 #include "svc/service.hpp"
 
 #include <chrono>
+#include <cstdio>
 #include <exception>
 
 #include "cluster/alloc_serialize.hpp"
 #include "lama/parallel_mapper.hpp"
+#include "obs/clock.hpp"
 #include "support/error.hpp"
 
 namespace lama::svc {
@@ -37,7 +39,16 @@ void throw_if_past(std::uint64_t deadline_ns, const char* stage) {
 MappingService::MappingService(ServiceConfig config)
     : config_(config),
       cache_(config.cache_shards, config.shard_capacity, counters_),
-      pool_(config.workers, config.max_queue) {}
+      pool_(config.workers, config.max_queue),
+      start_ns_(obs::monotonic_ns()) {
+  if (config_.flight_recorder > 0) {
+    obs::TracerConfig tc;
+    tc.flight_capacity = config_.flight_recorder;
+    tc.sample_every = config_.trace_sample;
+    tc.seed = config_.trace_seed;
+    tracer_ = std::make_unique<obs::Tracer>(tc);
+  }
+}
 
 InternedAlloc MappingService::intern(const Allocation& alloc,
                                      std::uint64_t epoch) {
@@ -85,6 +96,7 @@ MapResponse MappingService::shed_response() {
   response.busy = true;
   response.retry_after_ms = config_.retry_after_ms;
   response.error = "busy";
+  response.outcome = obs::Outcome::kShed;
   return response;
 }
 
@@ -94,11 +106,15 @@ MapResponse MappingService::shed_response() {
 MapResponse MappingService::run_counted(
     std::uint32_t timeout_ms,
     const std::function<MapResponse(std::uint64_t)>& fn) {
+  // Begins a trace only when none is active on this thread: the protocol
+  // layer's TraceScope (which also covers parse/reply) wins when present.
+  obs::TraceScope trace_scope(tracer_.get());
   if (config_.max_inflight > 0) {
     const std::size_t prev =
         inflight_.fetch_add(1, std::memory_order_acq_rel);
     if (prev >= config_.max_inflight) {
       inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      trace_scope.set_outcome(obs::Outcome::kShed);
       return shed_response();
     }
   } else {
@@ -115,22 +131,30 @@ MapResponse MappingService::run_counted(
           : 0;
 
   MapResponse response;
+  obs::Outcome outcome = obs::Outcome::kOk;
   try {
     run_fault_hook();
     response = fn(deadline_ns);
+    if (response.degraded) outcome = obs::Outcome::kDegraded;
   } catch (const CancelledError& e) {
     counters_.deadlined.fetch_add(1, std::memory_order_relaxed);
     response.error = e.what();
+    outcome = obs::Outcome::kDeadlined;
   } catch (const Error& e) {
     response.error = e.what();
+    outcome = obs::Outcome::kError;
   } catch (const std::exception& e) {
     // Never let an unexpected exception skip the accounting (or tear down a
     // worker thread): a failed request is a failed request.
     response.error = std::string("unexpected error: ") + e.what();
+    outcome = obs::Outcome::kError;
   }
   if (!response.ok()) {
     counters_.errors.fetch_add(1, std::memory_order_relaxed);
+    if (outcome == obs::Outcome::kOk) outcome = obs::Outcome::kError;
   }
+  response.outcome = outcome;
+  trace_scope.set_outcome(outcome);
   counters_.completed.fetch_add(1, std::memory_order_relaxed);
   counters_.total_ns.record_ns(elapsed_ns(start));
   inflight_.fetch_sub(1, std::memory_order_acq_rel);
@@ -148,6 +172,8 @@ MappingResult MappingService::run_lama_walk(const Allocation& alloc,
                                             const MapOptions& opts,
                                             const MaximalTree* tree,
                                             std::size_t threads) {
+  const obs::SpanScope map_span(obs::Stage::kMap,
+                                static_cast<std::uint32_t>(threads));
   const auto start = std::chrono::steady_clock::now();
   MappingResult mapping;
   if (threads > 0) {
@@ -174,6 +200,13 @@ MapResponse MappingService::map_uncaught(const MapRequest& request,
   const Allocation& client_alloc = *request.alloc.alloc;
   const auto [name, args] = split_rmaps_spec(request.spec);
 
+  {
+    char fp[32];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(request.alloc.fingerprint));
+    alloc_series_.increment(fp);
+  }
+
   MapOptions opts = request.opts;
   if (opts.deadline_ns == 0) opts.deadline_ns = deadline_ns;
   throw_if_past(opts.deadline_ns, "mapping started");
@@ -191,9 +224,12 @@ MapResponse MappingService::map_uncaught(const MapRequest& request,
     const ProcessLayout layout =
         ProcessLayout::parse(args.empty() ? kLamaDefaultLayout : args);
     const TreeKey key{request.alloc.fingerprint, layout.to_string()};
+    layout_series_.increment(key.layout);
     counters_.cached.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t lookup_span = obs::span_begin();
     ShardedTreeCache::Lookup lookup =
         cache_.get_or_build(key, client_alloc, layout);
+    obs::span_end(obs::Stage::kLookup, lookup.hit ? 1 : 0, lookup_span);
     cached = std::move(lookup.tree);
     response.cache_hit = lookup.hit;
     response.coalesced = lookup.coalesced;
@@ -218,7 +254,9 @@ MapResponse MappingService::map_uncaught(const MapRequest& request,
                         &cached->tree(), request.map_threads);
     }
   } else {
+    layout_series_.increment(name);
     counters_.uncached.fetch_add(1, std::memory_order_relaxed);
+    const obs::SpanScope map_span(obs::Stage::kMap, 0);
     const auto map_start = std::chrono::steady_clock::now();
     response.mapping = registry_.map(request.spec, client_alloc, opts);
     counters_.map_ns.record_ns(elapsed_ns(map_start));
@@ -226,6 +264,7 @@ MapResponse MappingService::map_uncaught(const MapRequest& request,
 
   if (request.binding.has_value()) {
     throw_if_past(opts.deadline_ns, "the binding step");
+    const obs::SpanScope bind_span(obs::Stage::kBind);
     response.binding =
         bind_processes(*mapped_alloc, response.mapping, *request.binding);
   }
@@ -245,6 +284,7 @@ MapResponse MappingService::remap(const RemapRequest& request) {
     if (opts.deadline_ns == 0) opts.deadline_ns = deadline_ns;
     throw_if_past(opts.deadline_ns, "remap started");
 
+    const obs::SpanScope map_span(obs::Stage::kMap);
     const auto map_start = std::chrono::steady_clock::now();
     RemapResult remapped = lama_remap(*request.alloc.alloc, request.layout,
                                       opts, *request.previous);
@@ -261,37 +301,232 @@ MapResponse MappingService::remap(const RemapRequest& request) {
 
 std::vector<MapResponse> MappingService::map_batch(
     const std::vector<MapRequest>& requests) {
+  // The batch itself is traced (stage `batch`); every job runs under its own
+  // trace carrying the batch's id as parent. The scope begins only when the
+  // protocol layer did not already begin a trace for this MAPBATCH line.
+  obs::TraceScope batch_scope(tracer_.get());
+  const std::uint64_t batch_id = obs::current_trace_id();
+  const obs::SpanScope batch_span(obs::Stage::kBatch,
+                                  static_cast<std::uint32_t>(requests.size()));
   counters_.batched.fetch_add(1, std::memory_order_relaxed);
   counters_.batch_jobs.fetch_add(requests.size(), std::memory_order_relaxed);
   std::vector<MapResponse> responses(requests.size());
   if (pool_.num_threads() == 0) {
     for (std::size_t i = 0; i < requests.size(); ++i) {
+      // Suspend the batch trace so each inline job begins one of its own
+      // (parented to the batch), exactly like the pool path below.
+      const obs::ScopedTrace suspend{obs::TraceHandle{}};
+      const obs::ScopedParent parent(batch_id);
       responses[i] = map(requests[i]);
     }
-    return responses;
-  }
-  // Deadlines are resolved at admission, not at execution: a request whose
-  // budget expires while queued is cancelled by the first deadline poll.
-  std::vector<std::optional<std::future<MapResponse>>> pending;
-  pending.reserve(requests.size());
-  for (const MapRequest& request : requests) {
-    MapRequest admitted = request;
-    const std::uint32_t effective_ms = admitted.timeout_ms != 0
-                                           ? admitted.timeout_ms
-                                           : config_.default_timeout_ms;
-    if (admitted.opts.deadline_ns == 0 && effective_ms != 0) {
-      admitted.opts.deadline_ns =
-          now_ns() + static_cast<std::uint64_t>(effective_ms) * 1'000'000;
+  } else {
+    // Deadlines are resolved at admission, not at execution: a request whose
+    // budget expires while queued is cancelled by the first deadline poll.
+    std::vector<std::optional<std::future<MapResponse>>> pending;
+    pending.reserve(requests.size());
+    for (const MapRequest& request : requests) {
+      MapRequest admitted = request;
+      const std::uint32_t effective_ms = admitted.timeout_ms != 0
+                                             ? admitted.timeout_ms
+                                             : config_.default_timeout_ms;
+      if (admitted.opts.deadline_ns == 0 && effective_ms != 0) {
+        admitted.opts.deadline_ns =
+            now_ns() + static_cast<std::uint64_t>(effective_ms) * 1'000'000;
+      }
+      pending.push_back(
+          pool_.try_async([this, batch_id, admitted = std::move(admitted)] {
+            const obs::ScopedParent parent(batch_id);
+            return map(admitted);
+          }));
     }
-    pending.push_back(pool_.try_async(
-        [this, admitted = std::move(admitted)] { return map(admitted); }));
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      // A refused slot (bounded queue full) sheds with the busy response —
+      // traced like any other shed so the failure is never invisible.
+      if (pending[i].has_value()) {
+        responses[i] = pending[i]->get();
+      } else {
+        if (tracer_ != nullptr) {
+          const obs::ScopedTrace suspend{obs::TraceHandle{}};
+          const obs::ScopedParent parent(batch_id);
+          const std::uint64_t id = tracer_->begin();
+          tracer_->end(id, obs::Outcome::kShed);
+        }
+        responses[i] = shed_response();
+      }
+    }
   }
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    // A refused slot (bounded queue full) sheds with the busy response.
-    responses[i] = pending[i].has_value() ? pending[i]->get()
-                                          : shed_response();
+  bool any_failed = false;
+  for (const MapResponse& response : responses) {
+    if (!response.ok()) any_failed = true;
   }
+  batch_scope.set_outcome(any_failed ? obs::Outcome::kError
+                                     : obs::Outcome::kOk);
   return responses;
+}
+
+double MappingService::uptime_s() const {
+  return static_cast<double>(obs::monotonic_ns() - start_ns_) / 1e9;
+}
+
+namespace {
+
+void add_summary(obs::MetricsSnapshot& snap, const std::string& name,
+                 const std::string& help, const LatencyHistogram& hist) {
+  obs::MetricFamily& family = snap.add(name, help, "summary");
+  for (const double q : {0.5, 0.9, 0.99}) {
+    char quantile[16];
+    std::snprintf(quantile, sizeof(quantile), "%g", q);
+    family.samples.push_back(
+        {"", {{"quantile", quantile}},
+         static_cast<double>(hist.percentile_ns(q * 100.0))});
+  }
+  family.samples.push_back({"_sum", {}, static_cast<double>(hist.sum_ns())});
+  family.samples.push_back(
+      {"_count", {}, static_cast<double>(hist.count())});
+}
+
+}  // namespace
+
+obs::MetricsSnapshot MappingService::metrics_snapshot() const {
+  const auto load = [](const std::atomic<std::uint64_t>& a) {
+    return static_cast<double>(a.load(std::memory_order_relaxed));
+  };
+  obs::MetricsSnapshot snap;
+
+  // Request counters, names matching the STATS keys with a lama_ prefix.
+  const Counters& c = counters_;
+  snap.add_scalar("lama_requests_total", "Requests accepted", "counter",
+                  load(c.requests));
+  snap.add_scalar("lama_completed_total", "Requests finished (ok or error)",
+                  "counter", load(c.completed));
+  snap.add_scalar("lama_errors_total", "Requests finished with an error",
+                  "counter", load(c.errors));
+  snap.add_scalar("lama_cached_total", "Requests that consulted the tree cache",
+                  "counter", load(c.cached));
+  snap.add_scalar("lama_cache_hits_total", "Trees served from the LRU",
+                  "counter", load(c.cache_hits));
+  snap.add_scalar("lama_cache_misses_total", "Trees built by the request",
+                  "counter", load(c.cache_misses));
+  snap.add_scalar("lama_coalesced_total", "Requests that joined an in-flight build",
+                  "counter", load(c.coalesced));
+  snap.add_scalar("lama_evictions_total", "Trees dropped by LRU policy",
+                  "counter", load(c.evictions));
+  snap.add_scalar("lama_uncached_total", "Requests that skipped the cache",
+                  "counter", load(c.uncached));
+  snap.add_scalar("lama_shed_total", "Requests rejected by admission control",
+                  "counter", load(c.shed));
+  snap.add_scalar("lama_deadlined_total", "Requests cancelled past deadline",
+                  "counter", load(c.deadlined));
+  snap.add_scalar("lama_integrity_failures_total",
+                  "Cached trees rejected by integrity verification", "counter",
+                  load(c.integrity_failures));
+  snap.add_scalar("lama_degraded_total",
+                  "Requests that fell back to the uncached path", "counter",
+                  load(c.degraded));
+  snap.add_scalar("lama_invalidations_total", "Trees dropped by epoch bumps",
+                  "counter", load(c.invalidations));
+  snap.add_scalar("lama_remaps_total", "Remap requests accepted", "counter",
+                  load(c.remaps));
+  snap.add_scalar("lama_batched_total", "Batch requests accepted", "counter",
+                  load(c.batched));
+  snap.add_scalar("lama_batch_jobs_total", "Jobs carried by batches", "counter",
+                  load(c.batch_jobs));
+  snap.add_scalar("lama_parallel_maps_total",
+                  "Mapping walks run by the parallel mapper", "counter",
+                  load(c.parallel_maps));
+
+  // Service gauges.
+  snap.add_scalar("lama_uptime_seconds", "Seconds since service construction",
+                  "gauge", uptime_s());
+  snap.add_scalar("lama_cache_trees", "Trees currently cached", "gauge",
+                  static_cast<double>(cache_.size()));
+  snap.add_scalar("lama_inflight_requests", "Requests currently in flight",
+                  "gauge",
+                  static_cast<double>(
+                      inflight_.load(std::memory_order_relaxed)));
+
+  // Per-stage latency summaries.
+  add_summary(snap, "lama_lookup_ns", "Cache probe latency (ns)", c.lookup_ns);
+  add_summary(snap, "lama_build_ns", "Maximal-tree build latency (ns)",
+              c.build_ns);
+  add_summary(snap, "lama_map_ns", "Mapping walk latency (ns)", c.map_ns);
+  add_summary(snap, "lama_parallel_map_ns",
+              "Parallel mapping walk latency (ns)", c.parallel_map_ns);
+  add_summary(snap, "lama_total_ns", "End-to-end request latency (ns)",
+              c.total_ns);
+
+  // Labeled request series (bounded; overflow folds into "_other").
+  {
+    obs::MetricFamily& family =
+        snap.add("lama_requests_by_layout_total",
+                 "Requests per canonical layout (or baseline spec)", "counter");
+    for (const auto& [layout, count] : layout_series_.snapshot()) {
+      family.samples.push_back(
+          {"", {{"layout", layout}}, static_cast<double>(count)});
+    }
+    obs::MetricFamily& alloc_family =
+        snap.add("lama_requests_by_alloc_total",
+                 "Requests per allocation fingerprint", "counter");
+    for (const auto& [fp, count] : alloc_series_.snapshot()) {
+      alloc_family.samples.push_back(
+          {"", {{"alloc", fp}}, static_cast<double>(count)});
+    }
+  }
+
+  // Tracer activity (all zero when tracing is disabled).
+  snap.add_scalar("lama_traces_started_total", "Traces begun", "counter",
+                  tracer_ ? static_cast<double>(tracer_->started()) : 0.0);
+  snap.add_scalar("lama_traces_assembled_total",
+                  "Traces assembled into the flight recorder", "counter",
+                  tracer_ ? static_cast<double>(tracer_->assembled()) : 0.0);
+  snap.add_scalar("lama_trace_dumps_total",
+                  "Failure traces recorded for dumping", "counter",
+                  tracer_ ? static_cast<double>(tracer_->recorder().dumps())
+                          : 0.0);
+  snap.add_scalar("lama_flight_recorder_traces",
+                  "Complete traces currently retained", "gauge",
+                  tracer_ ? static_cast<double>(tracer_->recorder().size())
+                          : 0.0);
+  return snap;
+}
+
+std::string MappingService::stats_line() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      " uptime_s=%.3f cache_trees=%llu traces_started=%llu "
+      "traces_assembled=%llu trace_dumps=%llu",
+      uptime_s(), static_cast<unsigned long long>(cache_.size()),
+      static_cast<unsigned long long>(tracer_ ? tracer_->started() : 0),
+      static_cast<unsigned long long>(tracer_ ? tracer_->assembled() : 0),
+      static_cast<unsigned long long>(tracer_ ? tracer_->recorder().dumps()
+                                              : 0));
+  return counters_.stats_line() + buf;
+}
+
+std::string MappingService::render_stats() const {
+  std::string out = counters_.render();
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "service  uptime %.3fs, cached trees %llu, inflight %llu\n",
+                uptime_s(),
+                static_cast<unsigned long long>(cache_.size()),
+                static_cast<unsigned long long>(
+                    inflight_.load(std::memory_order_relaxed)));
+  out += buf;
+  if (tracer_ != nullptr) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "tracing  started %llu, assembled %llu, dumps %llu, retained %llu "
+        "(sample 1/%u)\n",
+        static_cast<unsigned long long>(tracer_->started()),
+        static_cast<unsigned long long>(tracer_->assembled()),
+        static_cast<unsigned long long>(tracer_->recorder().dumps()),
+        static_cast<unsigned long long>(tracer_->recorder().size()),
+        tracer_->config().sample_every);
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace lama::svc

@@ -32,6 +32,8 @@
 #include "lama/mapping.hpp"
 #include "lama/remap.hpp"
 #include "lama/rmaps.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "svc/counters.hpp"
 #include "svc/tree_cache.hpp"
 #include "svc/worker_pool.hpp"
@@ -60,6 +62,16 @@ struct ServiceConfig {
   // entry and degrade to a fresh uncached build. One 64-bit hash of the
   // layout string per hit — leave on unless profiling says otherwise.
   bool verify_trees = true;
+
+  // Observability (docs/observability.md). flight_recorder > 0 enables
+  // request tracing and retains that many complete traces; 0 disables the
+  // tracer entirely (span recording stays a no-op branch on the hot path).
+  std::size_t flight_recorder = 0;
+  // Head-based sampling: assemble 1-in-N healthy traces (1 = every trace,
+  // 0 = failures only). Failed requests are always assembled and dumped.
+  std::uint32_t trace_sample = 64;
+  // Seed perturbing which trace ids sampling picks (deterministic per seed).
+  std::uint64_t trace_seed = 0;
 };
 
 // An allocation interned into the service: deep-copied, validated, and
@@ -113,6 +125,10 @@ struct MapResponse {
   bool degraded = false;    // cached tree failed integrity; mapped uncached
   std::uint32_t retry_after_ms = 0;  // backoff hint when busy
   std::string error;        // non-empty when the request failed
+  // How the request ended, for tracing: mirrors the flags above (busy ->
+  // kShed, deadline -> kDeadlined, ...) so callers that began the trace
+  // (the protocol layer) can close it with the right outcome.
+  obs::Outcome outcome = obs::Outcome::kOk;
 
   // Remap responses only: ranks that moved, and how many stayed put.
   std::vector<int> displaced;
@@ -157,6 +173,29 @@ class MappingService {
   // Trees currently cached (for tests/observability).
   [[nodiscard]] std::size_t cached_trees() const { return cache_.size(); }
 
+  // The request tracer, or nullptr when ServiceConfig::flight_recorder is 0.
+  // The protocol layer begins/ends traces through this; direct API callers
+  // get traces implicitly (map()/remap() begin one when none is active).
+  [[nodiscard]] obs::Tracer* tracer() { return tracer_.get(); }
+  [[nodiscard]] const obs::Tracer* tracer() const { return tracer_.get(); }
+
+  // Seconds since construction (monotonic).
+  [[nodiscard]] double uptime_s() const;
+
+  // One snapshot of every exported metric — counters, histograms as
+  // summaries, service gauges (uptime, cached trees, inflight), tracer
+  // counters, and the per-layout / per-allocation labeled series. Both
+  // exposition formats (Prometheus text, JSON) render from this.
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
+
+  // The STATS wire line: Counters::stats_line() plus service-level keys
+  // (uptime, cache entries, tracer activity) appended at the end — existing
+  // consumers parse by prefix, so new keys only ever append.
+  [[nodiscard]] std::string stats_line() const;
+
+  // Human-readable stats: Counters::render() plus the service-level lines.
+  [[nodiscard]] std::string render_stats() const;
+
   // Component registry used for dispatch. Register custom components before
   // serving traffic: registration is not synchronized against map().
   [[nodiscard]] RmapsRegistry& registry() { return registry_; }
@@ -190,6 +229,10 @@ class MappingService {
   Counters counters_;
   ShardedTreeCache cache_;
   WorkerPool pool_;
+  std::unique_ptr<obs::Tracer> tracer_;  // null when tracing is disabled
+  obs::LabeledCounter layout_series_;    // requests per layout / spec
+  obs::LabeledCounter alloc_series_;     // requests per alloc fingerprint
+  std::uint64_t start_ns_ = 0;           // monotonic, for uptime_s()
 
   std::atomic<std::size_t> inflight_{0};
   std::atomic<bool> has_fault_hook_{false};

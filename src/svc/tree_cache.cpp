@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "cluster/alloc_serialize.hpp"
+#include "obs/tracer.hpp"
 #include "support/error.hpp"
 #include "support/hash.hpp"
 
@@ -77,6 +78,7 @@ ShardedTreeCache::Lookup ShardedTreeCache::get_or_build(
     lock.unlock();
     counters_.coalesced.fetch_add(1, std::memory_order_relaxed);
     counters_.lookup_ns.record_ns(elapsed_ns(lookup_start));
+    const obs::SpanScope wait_span(obs::Stage::kCoalesceWait);
     return {pending.get(), /*hit=*/false, /*coalesced=*/true};  // may rethrow
   }
 

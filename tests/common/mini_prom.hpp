@@ -1,0 +1,116 @@
+// A small Prometheus text-format parser for tests: validates that METRICS
+// output is syntactically well-formed (every sample preceded by # HELP and
+// # TYPE for its family, terminated by # EOF) and returns the samples for
+// value assertions. Throws std::runtime_error on any malformed line so a
+// test that feeds it a bad exposition fails with a usable message.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lama::test {
+
+struct PromSample {
+  std::string name;  // family name + suffix (e.g. "lama_lookup_ns_sum")
+  std::map<std::string, std::string> labels;
+  double value = 0.0;
+};
+
+inline bool is_metric_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+inline std::vector<PromSample> parse_prometheus(const std::string& text) {
+  std::vector<PromSample> samples;
+  std::map<std::string, std::string> types;  // family -> type
+  std::map<std::string, std::string> helps;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_eof = false;
+  while (std::getline(in, line)) {
+    if (saw_eof) throw std::runtime_error("content after # EOF");
+    if (line == "# EOF") {
+      saw_eof = true;
+      continue;
+    }
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      const bool is_help = line[2] == 'H';
+      const std::string rest = line.substr(7);
+      const std::size_t space = rest.find(' ');
+      if (space == std::string::npos || space == 0) {
+        throw std::runtime_error("malformed comment line: " + line);
+      }
+      (is_help ? helps : types)[rest.substr(0, space)] = rest.substr(space + 1);
+      continue;
+    }
+    // Sample: name[{label="value",...}] value
+    std::size_t pos = 0;
+    while (pos < line.size() && is_metric_name_char(line[pos])) ++pos;
+    if (pos == 0) throw std::runtime_error("malformed sample line: " + line);
+    PromSample sample;
+    sample.name = line.substr(0, pos);
+    if (pos < line.size() && line[pos] == '{') {
+      ++pos;
+      while (pos < line.size() && line[pos] != '}') {
+        const std::size_t eq = line.find('=', pos);
+        if (eq == std::string::npos || eq + 1 >= line.size() ||
+            line[eq + 1] != '"') {
+          throw std::runtime_error("malformed label in: " + line);
+        }
+        const std::string key = line.substr(pos, eq - pos);
+        pos = eq + 2;
+        std::string value;
+        while (pos < line.size() && line[pos] != '"') {
+          if (line[pos] == '\\') {
+            ++pos;
+            if (pos >= line.size()) {
+              throw std::runtime_error("truncated escape in: " + line);
+            }
+            value.push_back(line[pos] == 'n' ? '\n' : line[pos]);
+          } else {
+            value.push_back(line[pos]);
+          }
+          ++pos;
+        }
+        if (pos >= line.size()) {
+          throw std::runtime_error("unterminated label value: " + line);
+        }
+        ++pos;  // closing quote
+        sample.labels[key] = value;
+        if (pos < line.size() && line[pos] == ',') ++pos;
+      }
+      if (pos >= line.size() || line[pos] != '}') {
+        throw std::runtime_error("unterminated label set: " + line);
+      }
+      ++pos;
+    }
+    if (pos >= line.size() || line[pos] != ' ') {
+      throw std::runtime_error("missing value in: " + line);
+    }
+    sample.value = std::stod(line.substr(pos + 1));
+    // Every sample's family (the name minus a summary suffix) must have
+    // been announced. Try the full name, then strip _sum/_count.
+    std::string family = sample.name;
+    for (const char* suffix : {"_sum", "_count"}) {
+      if (types.count(family)) break;
+      const std::string s(suffix);
+      if (family.size() > s.size() &&
+          family.compare(family.size() - s.size(), s.size(), s) == 0) {
+        family = sample.name.substr(0, sample.name.size() - s.size());
+      }
+    }
+    if (!types.count(family) || !helps.count(family)) {
+      throw std::runtime_error("sample before # HELP/# TYPE: " + sample.name);
+    }
+    samples.push_back(std::move(sample));
+  }
+  if (!saw_eof) throw std::runtime_error("missing # EOF terminator");
+  return samples;
+}
+
+}  // namespace lama::test

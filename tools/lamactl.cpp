@@ -16,11 +16,14 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "obs/chrome.hpp"
 #include "rte/runtime.hpp"
 #include "sim/evaluator.hpp"
 #include "support/error.hpp"
@@ -61,10 +64,26 @@ TrafficPattern make_pattern(const std::string& spec, int np) {
                    "' (ring|alltoall|pairs|toroidal|master_worker)");
 }
 
+// Writes failed traces to <dir>/trace-<id>.json as they happen (the flight
+// recorder's dump sink). The directory must already exist.
+void install_trace_dump(svc::MappingService& service, const std::string& dir) {
+  if (dir.empty()) return;
+  if (service.tracer() == nullptr) {
+    throw ParseError("--trace-dump requires --flight-recorder > 0");
+  }
+  service.tracer()->recorder().set_dump_sink([dir](const obs::Trace& trace) {
+    const std::string path =
+        dir + "/trace-" + std::to_string(trace.id) + ".json";
+    std::ofstream out(path);
+    if (out) out << obs::to_chrome_json(trace) << "\n";
+  });
+}
+
 // `lamactl serve`: run the mapping service over stdin/stdout.
 int run_serve(const std::vector<std::string>& args) {
   svc::ServiceConfig config;
   bool stats = false;
+  std::string trace_dump;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     auto need_value = [&] {
@@ -91,6 +110,16 @@ int run_serve(const std::vector<std::string>& args) {
           parse_size(need_value(), "serve retry-after-ms"));
     } else if (arg == "--no-verify") {
       config.verify_trees = false;
+    } else if (arg == "--flight-recorder") {
+      config.flight_recorder =
+          parse_size(need_value(), "serve flight-recorder");
+    } else if (arg == "--trace-sample") {
+      config.trace_sample = static_cast<std::uint32_t>(
+          parse_size(need_value(), "serve trace-sample"));
+    } else if (arg == "--trace-seed") {
+      config.trace_seed = parse_size(need_value(), "serve trace-seed");
+    } else if (arg == "--trace-dump") {
+      trace_dump = need_value();
     } else if (arg == "--stats") {
       stats = true;
     } else {
@@ -98,6 +127,7 @@ int run_serve(const std::vector<std::string>& args) {
     }
   }
   svc::MappingService service(config);
+  install_trace_dump(service, trace_dump);
   svc::serve(std::cin, std::cout, service, stats);
   return 0;
 }
@@ -190,7 +220,7 @@ int run_query(const std::vector<std::string>& args) {
                   static_cast<unsigned long long>(result.total_backoff_ms));
     }
     if (stats) {
-      std::printf("%s", service.counters().render().c_str());
+      std::printf("%s", service.render_stats().c_str());
     }
     return result.ok() ? 0 : 1;
   }
@@ -333,7 +363,7 @@ int run_mapbatch(const std::vector<std::string>& args) {
                 static_cast<unsigned long long>(result.total_backoff_ms));
   }
   if (stats) {
-    std::printf("%s", service.counters().render().c_str());
+    std::printf("%s", service.render_stats().c_str());
   }
   return result.ok() && !result.gave_up_busy ? 0 : 1;
 }
@@ -349,6 +379,7 @@ int run_inject(const std::vector<std::string>& args) {
   svc::ServiceConfig config;
   config.workers = 0;  // deterministic by default; faults are interleaved
   bool stats = false;
+  std::string trace_dump;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     auto need_value = [&] {
@@ -382,6 +413,14 @@ int run_inject(const std::vector<std::string>& args) {
     } else if (arg == "--timeout-ms") {
       config.default_timeout_ms = static_cast<std::uint32_t>(
           parse_size(need_value(), "inject timeout-ms"));
+    } else if (arg == "--flight-recorder") {
+      config.flight_recorder =
+          parse_size(need_value(), "inject flight-recorder");
+    } else if (arg == "--trace-sample") {
+      config.trace_sample = static_cast<std::uint32_t>(
+          parse_size(need_value(), "inject trace-sample"));
+    } else if (arg == "--trace-dump") {
+      trace_dump = need_value();
     } else if (arg == "--stats") {
       stats = true;
     } else {
@@ -398,14 +437,202 @@ int run_inject(const std::vector<std::string>& args) {
   const svc::FaultPlan plan =
       svc::FaultPlan::random(seed, requests, mix, alloc);
   svc::MappingService service(config);
+  install_trace_dump(service, trace_dump);
   const svc::InjectionOutcome outcome =
       svc::run_fault_injection(service, alloc, plan);
   std::printf("seed %llu: %s", static_cast<unsigned long long>(seed),
               outcome.report().c_str());
   if (stats) {
-    std::printf("%s", service.counters().render().c_str());
+    std::printf("%s", service.render_stats().c_str());
   }
   return outcome.passed() ? 0 : 2;
+}
+
+// Shared by the observability subcommands' --exec mode: a traced in-process
+// service warmed by `requests` lama MAPs (sampling 1/1 so every trace is
+// retained), optionally ending with a corrupted-tree request so the flight
+// recorder holds a real failure trace.
+std::unique_ptr<svc::MappingService> run_obs_workload(
+    const std::string& cluster_path, const std::string& hostfile_path,
+    std::size_t requests, bool corrupt) {
+  if (cluster_path.empty()) {
+    throw ParseError("--exec needs --cluster <file>");
+  }
+  const Cluster cluster = parse_cluster_file(read_file(cluster_path));
+  const Allocation alloc =
+      hostfile_path.empty()
+          ? allocate_all(cluster)
+          : parse_hostfile(cluster, read_file(hostfile_path));
+  svc::ServiceConfig config;
+  config.workers = 0;
+  config.flight_recorder = 32;
+  config.trace_sample = 1;
+  auto service = std::make_unique<svc::MappingService>(config);
+  const svc::InternedAlloc interned = service->intern(alloc);
+  svc::MapRequest request;
+  request.alloc = interned;
+  request.opts.allow_oversubscribe = true;
+  for (std::size_t i = 0; i < requests; ++i) {
+    request.opts.np = 1 + i % 4;
+    service->map(request);
+  }
+  if (corrupt) {
+    // Poison every cached tree, then hit the cache: the integrity check
+    // rejects it and the request degrades — a guaranteed failure trace.
+    service->corrupt_cached_trees_for_testing();
+    request.opts.np = 2;
+    service->map(request);
+  }
+  return service;
+}
+
+// `lamactl stats [--json]`: print the STATS protocol line for piping into a
+// server; with --exec, run a small workload in process and print its stats.
+int run_stats(const std::vector<std::string>& args) {
+  bool json = false, exec = false;
+  std::string cluster_path, hostfile_path;
+  std::size_t requests = 16;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto need_value = [&] {
+      if (i + 1 >= args.size()) {
+        throw ParseError("option " + arg + " requires a value");
+      }
+      return args[++i];
+    };
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--exec") {
+      exec = true;
+    } else if (arg == "--cluster") {
+      cluster_path = need_value();
+    } else if (arg == "--hostfile") {
+      hostfile_path = need_value();
+    } else if (arg == "--requests") {
+      requests = parse_size(need_value(), "stats requests");
+    } else {
+      throw ParseError("unknown stats option: " + arg);
+    }
+  }
+  if (!exec) {
+    std::printf(json ? "STATS json\n" : "STATS\n");
+    return 0;
+  }
+  const auto service =
+      run_obs_workload(cluster_path, hostfile_path, requests, false);
+  if (json) {
+    std::printf("%s\n", service->metrics_snapshot().to_json().c_str());
+  } else {
+    std::printf("%s", service->render_stats().c_str());
+  }
+  return 0;
+}
+
+// `lamactl metrics [--json]`: print the METRICS protocol line for piping;
+// with --exec, run a workload and print the Prometheus (or JSON) exposition.
+int run_metrics(const std::vector<std::string>& args) {
+  bool json = false, exec = false;
+  std::string cluster_path, hostfile_path;
+  std::size_t requests = 16;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto need_value = [&] {
+      if (i + 1 >= args.size()) {
+        throw ParseError("option " + arg + " requires a value");
+      }
+      return args[++i];
+    };
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--exec") {
+      exec = true;
+    } else if (arg == "--cluster") {
+      cluster_path = need_value();
+    } else if (arg == "--hostfile") {
+      hostfile_path = need_value();
+    } else if (arg == "--requests") {
+      requests = parse_size(need_value(), "metrics requests");
+    } else {
+      throw ParseError("unknown metrics option: " + arg);
+    }
+  }
+  if (!exec) {
+    std::printf(json ? "METRICS json\n" : "METRICS\n");
+    return 0;
+  }
+  const auto service =
+      run_obs_workload(cluster_path, hostfile_path, requests, false);
+  if (json) {
+    std::printf("%s\n", service->metrics_snapshot().to_json().c_str());
+  } else {
+    std::printf("%s", service->metrics_snapshot().to_prometheus().c_str());
+  }
+  return 0;
+}
+
+// `lamactl trace [<id>|last|errors]`: print the TRACE protocol line for
+// piping; with --exec, run a workload that includes one corrupted-tree
+// failure and print (or --dump) the selected trace as Chrome trace-event
+// JSON, loadable in chrome://tracing or Perfetto.
+int run_trace(const std::vector<std::string>& args) {
+  std::string selector = "last";
+  bool exec = false;
+  std::string cluster_path, hostfile_path, dump_dir;
+  std::size_t requests = 16;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto need_value = [&] {
+      if (i + 1 >= args.size()) {
+        throw ParseError("option " + arg + " requires a value");
+      }
+      return args[++i];
+    };
+    if (arg == "--exec") {
+      exec = true;
+    } else if (arg == "--cluster") {
+      cluster_path = need_value();
+    } else if (arg == "--hostfile") {
+      hostfile_path = need_value();
+    } else if (arg == "--requests") {
+      requests = parse_size(need_value(), "trace requests");
+    } else if (arg == "--dump") {
+      dump_dir = need_value();
+    } else if (!arg.empty() && arg[0] != '-') {
+      selector = arg;
+    } else {
+      throw ParseError("unknown trace option: " + arg);
+    }
+  }
+  if (!exec) {
+    std::printf("TRACE %s\n", selector.c_str());
+    return 0;
+  }
+  const auto service =
+      run_obs_workload(cluster_path, hostfile_path, requests, true);
+  const obs::FlightRecorder& recorder = service->tracer()->recorder();
+  std::optional<obs::Trace> trace;
+  if (selector == "last") {
+    trace = recorder.last();
+  } else if (selector == "errors") {
+    trace = recorder.last_failure();
+  } else {
+    trace = recorder.by_id(parse_size(selector, "trace id"));
+  }
+  if (!trace.has_value()) {
+    throw ParseError("no retained trace for '" + selector + "'");
+  }
+  const std::string chrome = obs::to_chrome_json(*trace);
+  if (!dump_dir.empty()) {
+    const std::string path =
+        dump_dir + "/trace-" + std::to_string(trace->id) + ".json";
+    std::ofstream out(path);
+    if (!out) throw ParseError("cannot write trace dump: " + path);
+    out << chrome << "\n";
+    std::printf("wrote %s\n", path.c_str());
+  } else {
+    std::printf("%s\n", chrome.c_str());
+  }
+  return 0;
 }
 
 int run(const std::vector<std::string>& args) {
@@ -499,6 +726,15 @@ int main(int argc, char** argv) {
     if (!args.empty() && args[0] == "inject") {
       return run_inject({args.begin() + 1, args.end()});
     }
+    if (!args.empty() && args[0] == "stats") {
+      return run_stats({args.begin() + 1, args.end()});
+    }
+    if (!args.empty() && args[0] == "metrics") {
+      return run_metrics({args.begin() + 1, args.end()});
+    }
+    if (!args.empty() && args[0] == "trace") {
+      return run_trace({args.begin() + 1, args.end()});
+    }
     return run(args);
   } catch (const lama::Error& e) {
     std::fprintf(stderr, "lamactl: %s\n", e.what());
@@ -511,6 +747,8 @@ int main(int argc, char** argv) {
         "       lamactl serve [--workers N] [--shards N] [--capacity N]\n"
         "               [--max-queue N] [--max-inflight N] [--timeout-ms N]\n"
         "               [--retry-after-ms N] [--no-verify] [--stats]\n"
+        "               [--flight-recorder N] [--trace-sample N]\n"
+        "               [--trace-seed N] [--trace-dump <dir>]\n"
         "       lamactl query --cluster <file> [--hostfile <file>] -np N\n"
         "               [--map-by <spec>] [--bind-to <level>] [--id <name>]\n"
         "               [--npernode N] [--timeout-ms N] [--stats]\n"
@@ -525,7 +763,16 @@ int main(int argc, char** argv) {
         "               [--node-deaths N] [--node-recoveries N]\n"
         "               [--pu-offlines N] [--malformed N] [--corruptions N]\n"
         "               [--stalls N] [--max-inflight N] [--timeout-ms N]\n"
-        "               [--stats]          # seeded fault-injection replay\n");
+        "               [--flight-recorder N] [--trace-sample N]\n"
+        "               [--trace-dump <dir>]\n"
+        "               [--stats]          # seeded fault-injection replay\n"
+        "       lamactl stats [--json]     # print the STATS protocol line\n"
+        "       lamactl metrics [--json]   # print the METRICS protocol line\n"
+        "       lamactl trace [<id>|last|errors]  # print the TRACE line\n"
+        "               (each: --exec --cluster <file> [--hostfile <file>]\n"
+        "                [--requests N] runs a traced in-process workload;\n"
+        "                trace --exec adds [--dump <dir>] and ends with a\n"
+        "                corrupted-tree failure so a failure trace exists)\n");
     return 1;
   }
 }
