@@ -26,15 +26,19 @@ void validate_map_inputs(const Allocation& alloc, const ProcessLayout& layout,
   }
 }
 
-void check_oversubscribe(const MaximalTree& mtree, const MapOptions& opts) {
+void check_oversubscribe(std::size_t online_capacity, const MapOptions& opts) {
   if (!opts.allow_oversubscribe &&
-      opts.np * opts.pus_per_proc > mtree.online_pu_capacity()) {
+      opts.np * opts.pus_per_proc > online_capacity) {
     throw OversubscribeError(
         "job of " + std::to_string(opts.np) + " processes x " +
         std::to_string(opts.pus_per_proc) + " PUs exceeds the " +
-        std::to_string(mtree.online_pu_capacity()) +
+        std::to_string(online_capacity) +
         " online processing units and oversubscription is disallowed");
   }
+}
+
+void check_oversubscribe(const MaximalTree& mtree, const MapOptions& opts) {
+  check_oversubscribe(mtree.online_pu_capacity(), opts);
 }
 
 PlacementEngine::PlacementEngine(const MaximalTree& mtree,
@@ -47,43 +51,49 @@ PlacementEngine::PlacementEngine(const MaximalTree& mtree,
   for (std::size_t cap : opts.resource_caps) {
     if (cap > 0) caps_active_ = true;
   }
-}
-
-// Key identifying the ancestor of containment depth j (inclusive) on a
-// node: {j, node, node_coord[0..j]}.
-std::vector<std::size_t> PlacementEngine::cap_key(
-    std::size_t j, std::size_t node,
-    const std::vector<std::size_t>& node_coord) {
-  std::vector<std::size_t> key;
-  key.reserve(j + 3);
-  key.push_back(j);
-  key.push_back(node);
-  for (std::size_t i = 0; i <= j; ++i) key.push_back(node_coord[i]);
-  return key;
+  const std::vector<ResourceType>& levels = mtree.node_levels();
+  level_cap_.resize(levels.size());
+  nc_width_.resize(levels.size());
+  nc_prefix_.resize(levels.size());
+  cap_use_.resize(levels.size());
+  std::size_t prefix = 1;
+  for (std::size_t j = 0; j < levels.size(); ++j) {
+    level_cap_[j] = opts.resource_caps[canonical_depth(levels[j])];
+    nc_width_[j] = mtree.width_of(levels[j]);
+    prefix *= nc_width_[j];
+    nc_prefix_[j] = prefix;
+    if (level_cap_[j] > 0) {
+      cap_use_[j].assign(mtree.num_nodes() * prefix, 0);
+    }
+  }
 }
 
 // True when starting a new process at this coordinate would exceed a cap.
+// The flat prefix index of level j accumulates incrementally across the
+// loop, so the whole check is multiply-add-load per level — no allocation.
 bool PlacementEngine::capped_out(std::size_t node,
-                                 const std::vector<std::size_t>& nc) const {
+                                 std::span<const std::size_t> nc) const {
   const std::size_t node_cap =
       opts_.resource_caps[canonical_depth(ResourceType::kNode)];
   if (node_cap > 0 && result_.procs_per_node[node] >= node_cap) return true;
-  const std::vector<ResourceType>& levels = mtree_.node_levels();
-  for (std::size_t j = 0; j < levels.size(); ++j) {
-    const std::size_t cap = opts_.resource_caps[canonical_depth(levels[j])];
-    if (cap == 0) continue;
-    const auto it = cap_usage_.find(cap_key(j, node, nc));
-    if (it != cap_usage_.end() && it->second >= cap) return true;
+  std::size_t flat = 0;
+  for (std::size_t j = 0; j < level_cap_.size(); ++j) {
+    flat = flat * nc_width_[j] + nc[j];
+    if (level_cap_[j] == 0) continue;
+    if (cap_use_[j][node * nc_prefix_[j] + flat] >= level_cap_[j]) {
+      return true;
+    }
   }
   return false;
 }
 
 void PlacementEngine::charge_caps(std::size_t node,
-                                  const std::vector<std::size_t>& nc) {
-  const std::vector<ResourceType>& levels = mtree_.node_levels();
-  for (std::size_t j = 0; j < levels.size(); ++j) {
-    if (opts_.resource_caps[canonical_depth(levels[j])] == 0) continue;
-    ++cap_usage_[cap_key(j, node, nc)];
+                                  std::span<const std::size_t> nc) {
+  std::size_t flat = 0;
+  for (std::size_t j = 0; j < level_cap_.size(); ++j) {
+    flat = flat * nc_width_[j] + nc[j];
+    if (level_cap_[j] == 0) continue;
+    ++cap_use_[j][node * nc_prefix_[j] + flat];
   }
 }
 
@@ -105,8 +115,8 @@ void PlacementEngine::emit_placement(std::size_t node) {
 }
 
 bool PlacementEngine::offer(const PrunedObject* target, std::size_t node,
-                            const std::vector<std::size_t>& coord,
-                            const std::vector<std::size_t>& node_coord) {
+                            std::span<const std::size_t> coord,
+                            std::span<const std::size_t> node_coord) {
   ++result_.visited;
   Pending& acc = pending_[node];
   if (caps_active_ && acc.targets == 0 && capped_out(node, node_coord)) {
@@ -114,8 +124,10 @@ bool PlacementEngine::offer(const PrunedObject* target, std::size_t node,
     return false;
   }
   if (acc.targets == 0) {
-    acc.coord = coord;  // the process is addressed by its first target
-    acc.node_coord = node_coord;
+    // The process is addressed by its first target. assign() reuses the
+    // accumulator's capacity, so repeat sweeps stop allocating here.
+    acc.coord.assign(coord.begin(), coord.end());
+    acc.node_coord.assign(node_coord.begin(), node_coord.end());
   }
   acc.pus |= target->available_pus();
   acc.objects.push_back(target);

@@ -8,12 +8,19 @@
 // feeds the same outcome stream in the same order produces a byte-identical
 // MappingResult; the parallel mapper (parallel_mapper.hpp) exploits exactly
 // this by recording outcome streams concurrently and replaying them
-// sequentially.
+// sequentially, and the compiled executor (map_plan.hpp) replicates the
+// same semantics over precompiled slot arrays.
+//
+// Cap state is dense: each capped containment level owns a flat usage array
+// indexed by (node, prefix coordinate), so a cap check is a few multiplies
+// and loads — no per-check key vectors, no ordered maps. Coordinates flow
+// through as spans over the walk's scratch buffers; the engine copies them
+// only when a process's first target is gathered.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <map>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -34,8 +41,9 @@ namespace detail {
 void validate_map_inputs(const Allocation& alloc, const ProcessLayout& layout,
                          const MapOptions& opts);
 
-// Enforces MapOptions::allow_oversubscribe against the tree's online
-// capacity. Throws OversubscribeError.
+// Enforces MapOptions::allow_oversubscribe against the online capacity.
+// Throws OversubscribeError.
+void check_oversubscribe(std::size_t online_capacity, const MapOptions& opts);
 void check_oversubscribe(const MaximalTree& mtree, const MapOptions& opts);
 
 class PlacementEngine {
@@ -59,8 +67,8 @@ class PlacementEngine {
   // Returns true once all np ranks are placed — the walk must stop
   // immediately (no further coordinate is counted visited).
   bool offer(const PrunedObject* target, std::size_t node,
-             const std::vector<std::size_t>& coord,
-             const std::vector<std::size_t>& node_coord);
+             std::span<const std::size_t> coord,
+             std::span<const std::size_t> node_coord);
 
   // Sweep boundary protocol, mirroring Figure 1's wraparound loop:
   // begin_sweep resets the partial multi-PU accumulators (a process never
@@ -86,12 +94,9 @@ class PlacementEngine {
     std::vector<const PrunedObject*> objects;
   };
 
-  static std::vector<std::size_t> cap_key(
-      std::size_t j, std::size_t node,
-      const std::vector<std::size_t>& node_coord);
   [[nodiscard]] bool capped_out(std::size_t node,
-                                const std::vector<std::size_t>& nc) const;
-  void charge_caps(std::size_t node, const std::vector<std::size_t>& nc);
+                                std::span<const std::size_t> nc) const;
+  void charge_caps(std::size_t node, std::span<const std::size_t> nc);
   void emit_placement(std::size_t node);
 
   const MaximalTree& mtree_;
@@ -102,7 +107,13 @@ class PlacementEngine {
   std::uint32_t sweep_index_ = 0;
   std::vector<Pending> pending_;  // per node
   bool caps_active_ = false;
-  std::map<std::vector<std::size_t>, std::size_t> cap_usage_;
+  // Dense cap state, one flat array per capped containment level j: entry
+  // (node * prefix_space[j] + prefix coordinate) counts processes placed
+  // under that ancestor. Uncapped levels keep empty arrays.
+  std::vector<std::size_t> level_cap_;   // resolved cap per level
+  std::vector<std::size_t> nc_width_;    // maximal-tree width per level
+  std::vector<std::size_t> nc_prefix_;   // product of widths 0..j
+  std::vector<std::vector<std::uint32_t>> cap_use_;
   MappingResult result_;
   std::unordered_map<const PrunedObject*, std::size_t> occupancy_;
 };

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "lama/map_engine.hpp"
+#include "lama/map_plan.hpp"
 #include "lama/maximal_tree.hpp"
 #include "obs/tracer.hpp"
 #include "support/error.hpp"
@@ -247,6 +248,41 @@ MappingResult lama_map_parallel(const Allocation& alloc,
   detail::validate_map_inputs(alloc, layout, opts);
   MaximalTree mtree(alloc, layout);
   return lama_map_parallel(alloc, layout, opts, mtree, threads);
+}
+
+MappingResult lama_map_parallel(const Allocation& alloc, const MapOptions& opts,
+                                const MapPlan& plan, std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  const std::size_t outer_width = plan.outer_extent();
+  const std::size_t num_chunks =
+      outer_width == 0 ? 0 : std::min(threads, outer_width);
+
+  // The same contiguous chunking of outermost positions the recording walk
+  // uses — the replay is sequential either way, so slicing is bookkeeping
+  // that proves boundary accounting, not parallel work.
+  std::vector<PlanSlice> slices;
+  slices.reserve(std::max<std::size_t>(num_chunks, 1));
+  if (num_chunks == 0) {
+    slices.push_back(plan.slice_outer(0, 0));
+  } else {
+    const std::size_t base = outer_width / num_chunks;
+    const std::size_t extra = outer_width % num_chunks;
+    std::size_t at = 0;
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      const std::size_t len = base + (c < extra ? 1 : 0);
+      slices.push_back(plan.slice_outer(at, at + len));
+      at += len;
+    }
+  }
+
+  const obs::SpanScope assemble_span(
+      obs::Stage::kAssemble, static_cast<std::uint32_t>(num_chunks));
+  PlanExecutor exec;
+  MappingResult out;
+  exec.run(alloc, opts, plan, slices, out);
+  return out;
 }
 
 }  // namespace lama

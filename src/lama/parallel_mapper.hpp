@@ -38,4 +38,16 @@ MappingResult lama_map_parallel(const Allocation& alloc,
                                 const MapOptions& opts,
                                 const MaximalTree& mtree, std::size_t threads);
 
+struct MapPlan;
+
+// Compiled-plan overload: the recording phase the workers exist for is
+// already folded into the plan's slot array, so this partitions the plan
+// into the same per-chunk outermost ranges the recording walk would have
+// used and replays the slices through one PlanExecutor. Byte-identical to
+// the recording overloads and to lama_map at any thread count; `threads`
+// only shapes the chunk boundaries (and the trace's assemble span detail),
+// never the output.
+MappingResult lama_map_parallel(const Allocation& alloc, const MapOptions& opts,
+                                const MapPlan& plan, std::size_t threads);
+
 }  // namespace lama

@@ -108,7 +108,7 @@ std::vector<std::size_t> PrunedTree::level_widths() const {
 }
 
 const PrunedObject* PrunedTree::lookup(
-    const std::vector<std::size_t>& coord) const {
+    std::span<const std::size_t> coord) const {
   LAMA_ASSERT(coord.size() == levels_.size());
   const PrunedObject* obj = root_.get();
   for (std::size_t idx : coord) {

@@ -7,7 +7,9 @@
 // maximal iteration space cover a heterogeneous system.
 #pragma once
 
+#include <initializer_list>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "lama/layout.hpp"
@@ -79,9 +81,15 @@ class PrunedTree {
   [[nodiscard]] std::vector<std::size_t> level_widths() const;
 
   // Walks the coordinate (one index per kept level, outermost first).
-  // Returns nullptr when the coordinate does not exist on this node.
+  // Returns nullptr when the coordinate does not exist on this node. Takes
+  // a span so the walk's scratch coordinate needs no per-lookup copy; the
+  // initializer_list overload keeps literal coordinates convenient.
   [[nodiscard]] const PrunedObject* lookup(
-      const std::vector<std::size_t>& coord) const;
+      std::span<const std::size_t> coord) const;
+  [[nodiscard]] const PrunedObject* lookup(
+      std::initializer_list<std::size_t> coord) const {
+    return lookup(std::span<const std::size_t>(coord.begin(), coord.size()));
+  }
 
  private:
   std::unique_ptr<PrunedObject> root_;

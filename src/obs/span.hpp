@@ -27,6 +27,8 @@ enum class Stage : std::uint8_t {
   kBind,           // the binding step (per-rank cpusets)
   kReply,          // response formatting
   kBatch,          // a MAPBATCH/BATCH request as a whole
+  kPlanCompile,    // compiling a MapPlan from the cached tree
+  kPlanExec,       // executing a compiled plan (inside the map_walk span)
 };
 
 constexpr const char* stage_name(Stage s) {
@@ -43,6 +45,8 @@ constexpr const char* stage_name(Stage s) {
     case Stage::kBind: return "bind";
     case Stage::kReply: return "reply";
     case Stage::kBatch: return "batch";
+    case Stage::kPlanCompile: return "plan_compile";
+    case Stage::kPlanExec: return "plan_exec";
   }
   return "unknown";
 }

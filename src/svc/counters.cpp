@@ -13,7 +13,7 @@ std::uint64_t load(const std::atomic<std::uint64_t>& a) {
 }  // namespace
 
 std::string Counters::stats_line() const {
-  char buf[1024];
+  char buf[1536];
   std::snprintf(
       buf, sizeof(buf),
       "requests=%llu completed=%llu errors=%llu hits=%llu misses=%llu "
@@ -22,7 +22,9 @@ std::string Counters::stats_line() const {
       "invalidations=%llu remaps=%llu batched=%llu batch_jobs=%llu "
       "parallel_maps=%llu map_p50_us=%llu "
       "map_p99_us=%llu parallel_map_p99_us=%llu build_p99_us=%llu "
-      "total_p99_us=%llu lookup_p50_us=%llu lookup_p99_us=%llu",
+      "total_p99_us=%llu lookup_p50_us=%llu lookup_p99_us=%llu "
+      "plan_hits=%llu plan_misses=%llu plan_compile_p99_us=%llu "
+      "compiled_map_p50_us=%llu compiled_map_p99_us=%llu",
       static_cast<unsigned long long>(load(requests)),
       static_cast<unsigned long long>(load(completed)),
       static_cast<unsigned long long>(load(errors)),
@@ -48,7 +50,15 @@ std::string Counters::stats_line() const {
       static_cast<unsigned long long>(build_ns.percentile_ns(99) / 1000),
       static_cast<unsigned long long>(total_ns.percentile_ns(99) / 1000),
       static_cast<unsigned long long>(lookup_ns.percentile_ns(50) / 1000),
-      static_cast<unsigned long long>(lookup_ns.percentile_ns(99) / 1000));
+      static_cast<unsigned long long>(lookup_ns.percentile_ns(99) / 1000),
+      static_cast<unsigned long long>(load(plan_hits)),
+      static_cast<unsigned long long>(load(plan_misses)),
+      static_cast<unsigned long long>(plan_compile_ns.percentile_ns(99) /
+                                      1000),
+      static_cast<unsigned long long>(compiled_map_ns.percentile_ns(50) /
+                                      1000),
+      static_cast<unsigned long long>(compiled_map_ns.percentile_ns(99) /
+                                      1000));
   return buf;
 }
 
@@ -87,10 +97,26 @@ std::string Counters::render() const {
                 static_cast<unsigned long long>(load(batch_jobs)),
                 static_cast<unsigned long long>(load(parallel_maps)));
   out += buf;
+  {
+    const std::uint64_t hits = load(plan_hits);
+    const std::uint64_t misses = load(plan_misses);
+    const std::uint64_t consulted = hits + misses;
+    std::snprintf(buf, sizeof(buf),
+                  "plan cache  hits %llu, misses %llu, hit ratio %.1f%%\n",
+                  static_cast<unsigned long long>(hits),
+                  static_cast<unsigned long long>(misses),
+                  consulted == 0
+                      ? 0.0
+                      : 100.0 * static_cast<double>(hits) /
+                            static_cast<double>(consulted));
+    out += buf;
+  }
   out += "lookup  " + lookup_ns.summary() + "\n";
   out += "build   " + build_ns.summary() + "\n";
   out += "map     " + map_ns.summary() + "\n";
   out += "pmap    " + parallel_map_ns.summary() + "\n";
+  out += "compile " + plan_compile_ns.summary() + "\n";
+  out += "cmap    " + compiled_map_ns.summary() + "\n";
   out += "total   " + total_ns.summary() + "\n";
   return out;
 }

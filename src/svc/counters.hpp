@@ -50,11 +50,20 @@ struct Counters {
   // Parallel-mapper accounting (lama_map_parallel, threads >= 2).
   std::atomic<std::uint64_t> parallel_maps{0};
 
+  // Plan-cache accounting (svc/plan_cache.hpp). A request that runs the
+  // compiled kernel increments exactly one of plan_hits / plan_misses;
+  // requests the cache refuses (disabled, space limit, custom iteration
+  // policy) increment neither and fall back to the reference walk.
+  std::atomic<std::uint64_t> plan_hits{0};    // compiled plan from the LRU
+  std::atomic<std::uint64_t> plan_misses{0};  // this request compiled it
+
   // Per-stage latencies.
   LatencyHistogram lookup_ns;  // cache probe, excluding build/wait
   LatencyHistogram build_ns;   // maximal-tree construction on a miss
   LatencyHistogram map_ns;     // the mapping walk itself
   LatencyHistogram parallel_map_ns;  // mapping walks run by lama_map_parallel
+  LatencyHistogram plan_compile_ns;  // compiling a MapPlan on a plan miss
+  LatencyHistogram compiled_map_ns;  // walks executed from a compiled plan
   LatencyHistogram total_ns;   // end-to-end per request
 
   // One "key=value" line for the wire protocol's STATS response.

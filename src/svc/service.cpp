@@ -39,6 +39,9 @@ void throw_if_past(std::uint64_t deadline_ns, const char* stage) {
 MappingService::MappingService(ServiceConfig config)
     : config_(config),
       cache_(config.cache_shards, config.shard_capacity, counters_),
+      plan_cache_(config.cache_shards,
+                  config.compile_plans ? config.shard_capacity : 0,
+                  config.plan_space_limit, counters_),
       pool_(config.workers, config.max_queue),
       start_ns_(obs::monotonic_ns()) {
   if (config_.flight_recorder > 0) {
@@ -79,6 +82,9 @@ void MappingService::run_fault_hook() {
 }
 
 std::size_t MappingService::invalidate(std::uint64_t fingerprint) {
+  // Plans embed (and co-own) trees built over the stale epoch; they must
+  // leave with them, or a plan hit would keep mapping onto retired hardware.
+  plan_cache_.invalidate_alloc(fingerprint);
   return cache_.invalidate_alloc(fingerprint);
 }
 
@@ -192,6 +198,35 @@ MappingResult MappingService::run_lama_walk(const Allocation& alloc,
   return mapping;
 }
 
+MappingResult MappingService::run_compiled_walk(const Allocation& alloc,
+                                                const MapOptions& opts,
+                                                const MapPlan& plan,
+                                                std::size_t threads) {
+  const obs::SpanScope map_span(obs::Stage::kMap,
+                                static_cast<std::uint32_t>(threads));
+  const auto start = std::chrono::steady_clock::now();
+  MappingResult mapping;
+  {
+    const obs::SpanScope exec_span(obs::Stage::kPlanExec);
+    if (threads > 0) {
+      counters_.parallel_maps.fetch_add(1, std::memory_order_relaxed);
+      mapping = lama_map_parallel(alloc, opts, plan, threads);
+      counters_.parallel_map_ns.record_ns(elapsed_ns(start));
+    } else {
+      // One executor per worker thread: its dense arenas stay sized for the
+      // plans that thread replays, so steady-state walks allocate nothing
+      // inside the executor.
+      thread_local PlanExecutor executor;
+      lama_map_compiled(alloc, opts, plan, executor, mapping);
+    }
+  }
+  const std::uint64_t took = elapsed_ns(start);
+  counters_.compiled_map_ns.record_ns(took);
+  // map_ns covers every lama walk — reference, parallel, or compiled.
+  counters_.map_ns.record_ns(took);
+  return mapping;
+}
+
 MapResponse MappingService::map_uncaught(const MapRequest& request,
                                          std::uint64_t deadline_ns) {
   if (!request.alloc.valid()) {
@@ -241,6 +276,9 @@ MapResponse MappingService::map_uncaught(const MapRequest& request,
       counters_.integrity_failures.fetch_add(1, std::memory_order_relaxed);
       counters_.degraded.fetch_add(1, std::memory_order_relaxed);
       cache_.erase(key);
+      // Any compiled plan shares the rejected tree (or an equally stale
+      // sibling under this key) — drop it with the tree, never execute it.
+      plan_cache_.erase(key);
       cached.reset();
       response.cache_hit = false;
       response.degraded = true;
@@ -249,9 +287,27 @@ MapResponse MappingService::map_uncaught(const MapRequest& request,
     } else {
       mapped_alloc = &cached->alloc();
       throw_if_past(opts.deadline_ns, "the mapping walk");
-      response.mapping =
-          run_lama_walk(cached->alloc(), cached->layout(), opts,
-                        &cached->tree(), request.map_threads);
+      // Compiled fast path: serve default-policy requests from a cached
+      // MapPlan. The plan embeds (and co-owns) the tree it was compiled
+      // from; mapping and binding must run against that tree's allocation —
+      // a deep copy content-identical to `cached`'s under the same key.
+      std::shared_ptr<const CachedPlan> plan;
+      if (config_.compile_plans && config_.shard_capacity > 0 &&
+          opts.iteration.is_default()) {
+        plan = plan_cache_
+                   .get_or_compile(key, cached, config_.verify_trees)
+                   .plan;
+      }
+      if (plan != nullptr) {
+        mapped_alloc = &plan->tree()->alloc();
+        response.mapping = run_compiled_walk(plan->tree()->alloc(), opts,
+                                             plan->plan(),
+                                             request.map_threads);
+      } else {
+        response.mapping =
+            run_lama_walk(cached->alloc(), cached->layout(), opts,
+                          &cached->tree(), request.map_threads);
+      }
     }
   } else {
     layout_series_.increment(name);
@@ -434,12 +490,20 @@ obs::MetricsSnapshot MappingService::metrics_snapshot() const {
   snap.add_scalar("lama_parallel_maps_total",
                   "Mapping walks run by the parallel mapper", "counter",
                   load(c.parallel_maps));
+  snap.add_scalar("lama_plan_cache_hits_total",
+                  "Compiled plans served from the LRU", "counter",
+                  load(c.plan_hits));
+  snap.add_scalar("lama_plan_cache_misses_total",
+                  "Compiled plans built by the request", "counter",
+                  load(c.plan_misses));
 
   // Service gauges.
   snap.add_scalar("lama_uptime_seconds", "Seconds since service construction",
                   "gauge", uptime_s());
   snap.add_scalar("lama_cache_trees", "Trees currently cached", "gauge",
                   static_cast<double>(cache_.size()));
+  snap.add_scalar("lama_cache_plans", "Compiled plans currently cached",
+                  "gauge", static_cast<double>(plan_cache_.size()));
   snap.add_scalar("lama_inflight_requests", "Requests currently in flight",
                   "gauge",
                   static_cast<double>(
@@ -452,6 +516,10 @@ obs::MetricsSnapshot MappingService::metrics_snapshot() const {
   add_summary(snap, "lama_map_ns", "Mapping walk latency (ns)", c.map_ns);
   add_summary(snap, "lama_parallel_map_ns",
               "Parallel mapping walk latency (ns)", c.parallel_map_ns);
+  add_summary(snap, "lama_plan_compile_ns", "Plan compilation latency (ns)",
+              c.plan_compile_ns);
+  add_summary(snap, "lama_compiled_map_ns",
+              "Compiled-kernel mapping walk latency (ns)", c.compiled_map_ns);
   add_summary(snap, "lama_total_ns", "End-to-end request latency (ns)",
               c.total_ns);
 
@@ -494,9 +562,10 @@ std::string MappingService::stats_line() const {
   char buf[256];
   std::snprintf(
       buf, sizeof(buf),
-      " uptime_s=%.3f cache_trees=%llu traces_started=%llu "
+      " uptime_s=%.3f cache_trees=%llu cache_plans=%llu traces_started=%llu "
       "traces_assembled=%llu trace_dumps=%llu",
       uptime_s(), static_cast<unsigned long long>(cache_.size()),
+      static_cast<unsigned long long>(plan_cache_.size()),
       static_cast<unsigned long long>(tracer_ ? tracer_->started() : 0),
       static_cast<unsigned long long>(tracer_ ? tracer_->assembled() : 0),
       static_cast<unsigned long long>(tracer_ ? tracer_->recorder().dumps()
@@ -508,9 +577,11 @@ std::string MappingService::render_stats() const {
   std::string out = counters_.render();
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "service  uptime %.3fs, cached trees %llu, inflight %llu\n",
+                "service  uptime %.3fs, cached trees %llu, cached plans "
+                "%llu, inflight %llu\n",
                 uptime_s(),
                 static_cast<unsigned long long>(cache_.size()),
+                static_cast<unsigned long long>(plan_cache_.size()),
                 static_cast<unsigned long long>(
                     inflight_.load(std::memory_order_relaxed)));
   out += buf;

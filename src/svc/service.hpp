@@ -35,6 +35,7 @@
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "svc/counters.hpp"
+#include "svc/plan_cache.hpp"
 #include "svc/tree_cache.hpp"
 #include "svc/worker_pool.hpp"
 
@@ -62,6 +63,15 @@ struct ServiceConfig {
   // entry and degrade to a fresh uncached build. One 64-bit hash of the
   // layout string per hit — leave on unless profiling says otherwise.
   bool verify_trees = true;
+  // Compile cached trees into flat MapPlans (lama/map_plan.hpp) and serve
+  // default-policy "lama" requests from the zero-allocation compiled kernel.
+  // The plan cache shares the tree cache's sharding/capacity and keys, and
+  // is invalidated with it. Off = every request runs the reference walk.
+  bool compile_plans = true;
+  // Largest iteration space (coordinates) a plan may enumerate; requests
+  // over the limit fall back to the reference walk instead of materializing
+  // a plan. 0 = unbounded.
+  std::uint64_t plan_space_limit = 1u << 20;
 
   // Observability (docs/observability.md). flight_recorder > 0 enables
   // request tracing and retains that many complete traces; 0 disables the
@@ -162,16 +172,19 @@ class MappingService {
   // queue refuses come back as busy responses without executing.
   std::vector<MapResponse> map_batch(const std::vector<MapRequest>& requests);
 
-  // Drops every cached tree built over this fingerprint — called when an
-  // allocation's epoch is bumped by an availability change, so the capacity
-  // the stale trees occupy is reclaimed immediately rather than aging out.
-  // Returns the number of trees dropped.
+  // Drops every cached tree AND compiled plan built over this fingerprint —
+  // called when an allocation's epoch is bumped by an availability change,
+  // so the capacity the stale entries occupy is reclaimed immediately rather
+  // than aging out. Returns the number of trees dropped (plans leave with
+  // them but are not separately counted).
   std::size_t invalidate(std::uint64_t fingerprint);
 
   [[nodiscard]] const Counters& counters() const { return counters_; }
   [[nodiscard]] const ServiceConfig& config() const { return config_; }
   // Trees currently cached (for tests/observability).
   [[nodiscard]] std::size_t cached_trees() const { return cache_.size(); }
+  // Compiled plans currently cached (for tests/observability).
+  [[nodiscard]] std::size_t cached_plans() const { return plan_cache_.size(); }
 
   // The request tracer, or nullptr when ServiceConfig::flight_recorder is 0.
   // The protocol layer begins/ends traces through this; direct API callers
@@ -219,6 +232,12 @@ class MappingService {
                               const ProcessLayout& layout,
                               const MapOptions& opts, const MaximalTree* tree,
                               std::size_t threads);
+  // The timed compiled-kernel walk: replays `plan` through a reused
+  // PlanExecutor (sequential) or the sliced parallel driver (threads >= 1).
+  // `alloc` must be the allocation of the tree the plan was compiled from.
+  MappingResult run_compiled_walk(const Allocation& alloc,
+                                  const MapOptions& opts, const MapPlan& plan,
+                                  std::size_t threads);
   MapResponse run_counted(std::uint32_t timeout_ms,
                           const std::function<MapResponse(std::uint64_t)>& fn);
   MapResponse shed_response();
@@ -228,6 +247,7 @@ class MappingService {
   RmapsRegistry registry_;
   Counters counters_;
   ShardedTreeCache cache_;
+  PlanCache plan_cache_;
   WorkerPool pool_;
   std::unique_ptr<obs::Tracer> tracer_;  // null when tracing is disabled
   obs::LabeledCounter layout_series_;    // requests per layout / spec

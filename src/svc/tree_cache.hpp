@@ -69,6 +69,13 @@ class CachedTree {
   // True when the sealed checksum matches what `key` demands.
   [[nodiscard]] bool verify(const TreeKey& key) const;
 
+  // The current seal value. The plan cache memoizes seal_for(key) at
+  // compile time and compares against this on every hit, so hit-path
+  // integrity checks stay allocation-free (seal_for concatenates strings).
+  [[nodiscard]] std::uint64_t seal() const {
+    return seal_.load(std::memory_order_relaxed);
+  }
+
   // Fault injection: scrambles the seal so the next verify() fails. Atomic,
   // so injectors may fire while requests are mapping from this tree.
   void corrupt_for_testing() const;

@@ -4,8 +4,10 @@
 // target is used twice below capacity, and availability skipping is honored.
 // The parallel mapper is checked against the sequential result on every
 // permutation (single-worker path) and on a strided subset with real worker
-// threads. This binary carries the "slow" ctest label; the default-speed
-// seeded sample of the same space lives in layout_sweep_test.cpp.
+// threads, and the compiled plan kernel must reproduce the reference walk
+// byte-for-byte on every permutation. This binary carries the "slow" ctest
+// label; the default-speed seeded sample of the same space lives in
+// layout_sweep_test.cpp and compiled_differential_test.cpp.
 #include <gtest/gtest.h>
 
 #include <set>
@@ -13,6 +15,7 @@
 #include <utility>
 
 #include "common/fixtures.hpp"
+#include "lama/map_plan.hpp"
 #include "lama/mapper.hpp"
 #include "lama/maximal_tree.hpp"
 #include "lama/parallel_mapper.hpp"
@@ -28,6 +31,10 @@ TEST(FullLayoutSweep, All362880PermutationsSatisfyPaperInvariants) {
 
   std::uint64_t index = 0;
   std::uint64_t failures = 0;
+  // One executor and output record for the whole sweep: 9! compiled walks
+  // with zero steady-state allocations is itself part of the contract.
+  PlanExecutor executor;
+  MappingResult compiled;
   ProcessLayout::for_each_full_permutation([&](const ProcessLayout& layout) {
     const std::uint64_t my_index = index++;
     const MaximalTree mtree(alloc, layout);
@@ -50,6 +57,16 @@ TEST(FullLayoutSweep, All362880PermutationsSatisfyPaperInvariants) {
       EXPECT_TRUE(ok) << "invariant violated for layout "
                       << layout.to_string() << ":\n"
                       << test::format_mapping_table(m);
+    }
+
+    // The compiled kernel on every permutation: plan compilation plus an
+    // executor-reusing walk must be byte-identical to the reference.
+    const MapPlan plan = compile_map_plan(mtree, layout, IterationPolicy{});
+    lama_map_compiled(alloc, opts, plan, executor, compiled);
+    if (!test::identical_mappings(m, compiled)) {
+      ++failures;
+      test::expect_identical_mappings(m, compiled,
+                                      layout.to_string() + " compiled");
     }
 
     // Single-worker parallel path on every permutation (records and

@@ -201,7 +201,11 @@ TEST(ObsService, TraceVerbReturnsSchemaValidChromeJson) {
 }
 
 TEST(ObsService, ParallelWalkTracesPerChunkSpans) {
-  MappingService service(traced_config());
+  // Disable plan compilation: with it on, parallel requests replay compiled
+  // slots and never record chunks. The recording path must keep tracing.
+  ServiceConfig config = traced_config();
+  config.compile_plans = false;
+  MappingService service(config);
   ProtocolSession session(service);
   execute(session, node_line("a"));
   execute(session, "MAP a 8 lama:scbnh threads=4");
@@ -210,6 +214,28 @@ TEST(ObsService, ParallelWalkTracesPerChunkSpans) {
   const std::set<std::string> names = event_names(*json);
   EXPECT_TRUE(names.count("chunk"));
   EXPECT_TRUE(names.count("assemble"));
+}
+
+TEST(ObsService, CompiledWalkTracesPlanSpans) {
+  MappingService service(traced_config());
+  ProtocolSession session(service);
+  execute(session, node_line("a"));
+  // First request: plan miss — the compile itself is a traced stage.
+  execute(session, "MAP a 8 lama:scbnh threads=4");
+  const auto miss = parse_trace_response(execute(session, "TRACE last"));
+  const std::set<std::string> miss_names = event_names(*miss);
+  EXPECT_TRUE(miss_names.count("plan_compile"));
+  EXPECT_TRUE(miss_names.count("plan_exec"));
+  EXPECT_TRUE(miss_names.count("assemble"));
+  EXPECT_TRUE(miss_names.count("map_walk"));
+
+  // Warm request: plan hit — executes without compiling (or recording).
+  execute(session, "MAP a 8 lama:scbnh threads=4");
+  const auto hit = parse_trace_response(execute(session, "TRACE last"));
+  const std::set<std::string> hit_names = event_names(*hit);
+  EXPECT_TRUE(hit_names.count("plan_exec"));
+  EXPECT_FALSE(hit_names.count("plan_compile"));
+  EXPECT_FALSE(hit_names.count("chunk"));
 }
 
 TEST(ObsService, MapBatchParentsJobTraces) {

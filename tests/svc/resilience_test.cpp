@@ -277,6 +277,64 @@ TEST(Resilience, IntegrityFailureDegradesToFreshMapping) {
   EXPECT_TRUE(warm.cache_hit);
 }
 
+TEST(Resilience, PlanCacheEvictedWithTreesOnEpochBump) {
+  MappingService service({.workers = 0});
+  SessionDriver drive(service);
+  define_alloc(drive, small_alloc(), "a");
+
+  // Cold MAP builds the tree and compiles its plan; warm MAP hits the plan.
+  ASSERT_TRUE(starts_with(drive("MAP a 4 lama"), "OK"));
+  EXPECT_EQ(service.cached_trees(), 1u);
+  EXPECT_EQ(service.cached_plans(), 1u);
+  EXPECT_EQ(service.counters().plan_misses.load(), 1u);
+  ASSERT_TRUE(starts_with(drive("MAP a 4 lama"), "OK"));
+  EXPECT_EQ(service.counters().plan_hits.load(), 1u);
+
+  // The epoch bump retires the allocation: stale-epoch plans leave with
+  // their trees, and the invalidation is still counted exactly once.
+  EXPECT_TRUE(starts_with(drive("OFFLINE a 1"), "OK offline"));
+  EXPECT_EQ(service.cached_trees(), 0u);
+  EXPECT_EQ(service.cached_plans(), 0u);
+  EXPECT_EQ(service.counters().invalidations.load(), 1u);
+
+  // The reduced allocation maps under a new fingerprint: fresh tree, fresh
+  // plan, no spurious hit against the retired epoch.
+  ASSERT_TRUE(starts_with(drive("MAP a 4 lama"), "OK"));
+  EXPECT_EQ(service.cached_plans(), 1u);
+  EXPECT_EQ(service.counters().plan_misses.load(), 2u);
+  EXPECT_EQ(service.counters().plan_hits.load(), 1u);
+}
+
+TEST(Resilience, IntegrityFailureDropsTheCompiledPlanToo) {
+  MappingService service({.workers = 0});
+  const InternedAlloc interned = service.intern(small_alloc());
+  const MapResponse cold = service.map({interned, "lama", {.np = 8}});
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(service.cached_plans(), 1u);
+  ASSERT_EQ(service.corrupt_cached_trees_for_testing(), 1u);
+
+  // The rejected tree's compiled plan shares it — dropped with the tree,
+  // never executed.
+  const MapResponse degraded = service.map({interned, "lama", {.np = 8}});
+  ASSERT_TRUE(degraded.ok()) << degraded.error;
+  EXPECT_TRUE(degraded.degraded);
+  EXPECT_EQ(service.cached_plans(), 0u);
+
+  // Recovery: the rebuild recompiles and warm requests hit the plan again,
+  // with the same placements the cold path produced.
+  const MapResponse rebuilt = service.map({interned, "lama", {.np = 8}});
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(service.cached_plans(), 1u);
+  const MapResponse warm = service.map({interned, "lama", {.np = 8}});
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.cache_hit);
+  ASSERT_EQ(warm.mapping.num_procs(), cold.mapping.num_procs());
+  for (std::size_t i = 0; i < cold.mapping.num_procs(); ++i) {
+    EXPECT_EQ(warm.mapping.placements[i].target_pus,
+              cold.mapping.placements[i].target_pus);
+  }
+}
+
 TEST(Resilience, ClientRetriesBusyWithBackoffAndHintFloor) {
   // A fake transport: busy twice, then OK. Records nothing but the count.
   std::size_t calls = 0;
