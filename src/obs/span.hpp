@@ -29,6 +29,9 @@ enum class Stage : std::uint8_t {
   kBatch,          // a MAPBATCH/BATCH request as a whole
   kPlanCompile,    // compiling a MapPlan from the cached tree
   kPlanExec,       // executing a compiled plan (inside the map_walk span)
+  kOptimize,       // a whole OPTIMIZE placement search (cache miss)
+  kOptCandidate,   // pricing one seed candidate (detail = candidate index)
+  kOptRefine,      // pairwise-exchange refinement of the winning seed
 };
 
 constexpr const char* stage_name(Stage s) {
@@ -47,6 +50,9 @@ constexpr const char* stage_name(Stage s) {
     case Stage::kBatch: return "batch";
     case Stage::kPlanCompile: return "plan_compile";
     case Stage::kPlanExec: return "plan_exec";
+    case Stage::kOptimize: return "optimize";
+    case Stage::kOptCandidate: return "opt_candidate";
+    case Stage::kOptRefine: return "opt_refine";
   }
   return "unknown";
 }

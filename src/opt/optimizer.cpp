@@ -1,0 +1,182 @@
+#include "opt/optimizer.hpp"
+
+#include <chrono>
+#include <exception>
+#include <limits>
+#include <vector>
+
+#include "obs/tracer.hpp"
+#include "opt/candidates.hpp"
+#include "sim/evaluator.hpp"
+#include "support/error.hpp"
+#include "support/hash.hpp"
+#include "tmatch/reorder.hpp"
+
+namespace lama::opt {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void check_deadline(std::uint64_t deadline_ns) {
+  if (deadline_ns != 0 && steady_now_ns() >= deadline_ns) {
+    throw CancelledError("optimize budget expired");
+  }
+}
+
+// The evaluator prices TrafficPatterns; rebuild one from the accumulated
+// matrix (one message per communicating pair — the matrix already folded
+// direction and multiplicity, so total volume is preserved).
+TrafficPattern pattern_from_matrix(const CommMatrix& matrix) {
+  TrafficPattern p{"matrix", matrix.np(), {}};
+  for (int a = 0; a < matrix.np(); ++a) {
+    for (int b = a + 1; b < matrix.np(); ++b) {
+      const double bytes = matrix.at(a, b);
+      if (bytes <= 0.0) continue;
+      p.messages.push_back({a, b, static_cast<std::size_t>(bytes)});
+    }
+  }
+  return p;
+}
+
+struct Priced {
+  bool feasible = false;
+  double cost_ns = std::numeric_limits<double>::infinity();
+  MappingResult mapping;
+};
+
+}  // namespace
+
+std::uint64_t OptBudget::key() const {
+  std::uint64_t h = fnv1a64("opt-budget");
+  h = hash_combine(h, static_cast<std::uint64_t>(max_candidates));
+  h = hash_combine(h, static_cast<std::uint64_t>(refine_passes));
+  return h;
+}
+
+double placement_cost_ns(const Allocation& alloc, const MappingResult& mapping,
+                         const CommMatrix& matrix, const DistanceModel& model) {
+  const TrafficPattern pattern = pattern_from_matrix(matrix);
+  const CostReport report = evaluate_mapping(alloc, mapping, pattern, model);
+  // Congestion term: the hottest NIC drains its bytes serially at network
+  // bandwidth, weighted by the fan-in a commodity node aims at one
+  // interface. Without this term, rank-permutation-invariant traffic
+  // (uniform all-to-all) cannot distinguish distribution shapes — the
+  // evaluator's total is minimized by the most skewed packing, which
+  // saturates one NIC. The weight is a calibration constant in the spirit
+  // of the distance model's link costs: its magnitude (not its exact
+  // value) is what makes NIC pressure comparable to per-message cost.
+  constexpr double kCongestionWeight = 8.0;
+  const double drain_ns = static_cast<double>(report.max_nic_bytes) /
+                          model.network_cost().bandwidth_gb_s;
+  return report.total_ns + kCongestionWeight * drain_ns;
+}
+
+OptimizeResult optimize_placement(const Allocation& alloc,
+                                  const CommMatrix& matrix,
+                                  const OptBudget& budget,
+                                  const DistanceModel& model,
+                                  const Parallel& parallel) {
+  const std::size_t np = static_cast<std::size_t>(matrix.np());
+  const std::vector<CandidateSpec> specs =
+      make_candidates(alloc, np, budget.max_candidates);
+  if (specs.empty()) throw MappingError("no placement candidates for np");
+  check_deadline(budget.deadline_ns);
+
+  // Phase 1: price every seed. Each task writes only its own slot, so any
+  // execution order yields the same vector; infeasible seeds (multisection
+  // beyond capacity, a cap too tight for np) stay infinite-cost. Deadline
+  // expiry inside a task must not be mistaken for infeasibility — it is
+  // re-checked (and throws) on the coordinating thread after the join.
+  std::vector<Priced> priced(specs.size());
+  auto eval_one = [&](std::size_t i) {
+    try {
+      MappingResult m = realize_candidate(alloc, matrix, np, specs[i]);
+      const double cost = placement_cost_ns(alloc, m, matrix, model);
+      priced[i].mapping = std::move(m);
+      priced[i].cost_ns = cost;
+      priced[i].feasible = true;
+    } catch (const Error&) {
+      // Seed unavailable on this allocation; leave the slot infeasible.
+    }
+    check_deadline(budget.deadline_ns);
+  };
+  if (parallel) {
+    parallel(specs.size(), [&](std::size_t i) {
+      try {
+        eval_one(i);
+      } catch (const CancelledError&) {
+        // Swallowed here so one expired task cannot tear down the pool;
+        // rethrown below once every slot has settled.
+      }
+    });
+  } else {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const obs::SpanScope span(obs::Stage::kOptCandidate,
+                                static_cast<std::uint32_t>(i));
+      eval_one(i);
+    }
+  }
+  check_deadline(budget.deadline_ns);
+
+  // Phase 2: deterministic winner — lowest cost, earliest index on ties.
+  std::size_t best = specs.size();
+  std::size_t best_canonical = specs.size();
+  std::size_t evaluated = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (!priced[i].feasible) continue;
+    ++evaluated;
+    if (best == specs.size() || priced[i].cost_ns < priced[best].cost_ns) {
+      best = i;
+    }
+    if (specs[i].canonical &&
+        (best_canonical == specs.size() ||
+         priced[i].cost_ns < priced[best_canonical].cost_ns)) {
+      best_canonical = i;
+    }
+  }
+  if (best == specs.size()) {
+    throw MappingError("no feasible placement candidate");
+  }
+
+  OptimizeResult result;
+  result.source = specs[best].source;
+  result.seed_cost_ns = priced[best].cost_ns;
+  result.cost_ns = priced[best].cost_ns;
+  result.candidates_evaluated = evaluated;
+  if (best_canonical != specs.size()) {
+    result.best_layout = specs[best_canonical].layout;
+    result.best_layout_cost_ns = priced[best_canonical].cost_ns;
+  }
+  result.mapping = std::move(priced[best].mapping);
+
+  // Phase 3: refine the winner by pairwise rank exchange. The reorderer
+  // minimizes evaluator cost, not J; accept its permutation only if J —
+  // the objective the caller sees — actually improved.
+  if (budget.refine_passes > 0 && np > 1) {
+    check_deadline(budget.deadline_ns);
+    const obs::SpanScope refine_span(obs::Stage::kOptRefine);
+    const ReorderResult refined = reorder_ranks(alloc, result.mapping, matrix,
+                                                model, budget.refine_passes);
+    result.refine_passes = refined.passes;
+    if (refined.swaps_applied > 0) {
+      const double refined_cost =
+          placement_cost_ns(alloc, refined.mapping, matrix, model);
+      if (refined_cost < result.cost_ns) {
+        result.cost_ns = refined_cost;
+        result.refine_swaps = refined.swaps_applied;
+        result.mapping = refined.mapping;
+        result.source += "+refined";
+      }
+    }
+  }
+  check_deadline(budget.deadline_ns);
+  return result;
+}
+
+}  // namespace lama::opt

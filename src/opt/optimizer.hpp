@@ -1,0 +1,95 @@
+// lama::opt — communication-aware placement optimization (docs/optimize.md).
+// Given an allocation and a communication matrix, searches the placement
+// space for a mapping that minimizes modeled communication cost: a seed set
+// of diverse candidates (candidates.hpp — canonical layouts, hierarchical
+// multisection, capped packings) is evaluated in parallel, the winner is
+// refined by greedy pairwise rank exchange (tmatch/reorder.hpp), and the
+// result is compared against the best *canonical layout* — the placement a
+// caller could have obtained without a matrix — so every response carries
+// its own baseline.
+//
+// The objective J is not the evaluator's total cost alone: uniform traffic
+// (all-to-all) is invariant under rank permutation, so total cost cannot
+// separate distribution shapes. J adds a congestion term — the serialized
+// drain time of the hottest NIC — which makes the node-count axis of the
+// capped-pack family meaningful (few nodes: cheap intra-node traffic but a
+// saturated NIC; many nodes: cool NICs but everything crosses the network).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "lama/mapping.hpp"
+#include "sim/distance_model.hpp"
+#include "tmatch/comm_matrix.hpp"
+
+namespace lama::opt {
+
+// Search budget. Part of the service's cache key (key()), so deadline —
+// a wall-clock property of one request, not of the answer — is excluded.
+struct OptBudget {
+  // Seed candidates to evaluate. Truncates the candidate list tail, never
+  // below the canonical head — the static baseline is always priced.
+  std::size_t max_candidates = 16;
+  // Pairwise-exchange refinement passes over the winning seed (0 = none).
+  std::size_t refine_passes = 8;
+  // Cooperative deadline in steady-clock nanoseconds since epoch (0 = none);
+  // checked between phases and per candidate, throws CancelledError.
+  std::uint64_t deadline_ns = 0;
+
+  // Content hash of the budget knobs that shape the answer.
+  [[nodiscard]] std::uint64_t key() const;
+};
+
+struct OptimizeResult {
+  MappingResult mapping;     // the optimized placement
+  std::string source;        // winning seed ("layout:...", "multisection",
+                             // "pack:<k>"), "+refined" appended when
+                             // refinement improved it
+  double cost_ns = 0.0;      // J of the final placement
+  double seed_cost_ns = 0.0;  // J of the winning seed before refinement
+
+  // The static baseline: best canonical layout under the same objective.
+  double best_layout_cost_ns = 0.0;
+  std::string best_layout;
+
+  std::size_t candidates_evaluated = 0;  // feasible seeds priced
+  std::size_t refine_swaps = 0;
+  std::size_t refine_passes = 0;
+
+  // Fraction of the static baseline's cost eliminated (0 when not beaten).
+  [[nodiscard]] double improvement() const {
+    return best_layout_cost_ns <= 0.0
+               ? 0.0
+               : (best_layout_cost_ns - cost_ns) / best_layout_cost_ns;
+  }
+};
+
+// Runs `count` index-tagged tasks, possibly concurrently; must invoke
+// fn(0..count-1) exactly once each and return only when all are done. The
+// service backs this with its worker pool; null means run inline.
+using Parallel =
+    std::function<void(std::size_t count,
+                       const std::function<void(std::size_t)>& fn)>;
+
+// The objective J: evaluator total cost plus the hottest NIC's serialized
+// drain time under the model's network bandwidth. Exposed so benches and
+// tests price baselines with the exact objective the optimizer minimizes.
+double placement_cost_ns(const Allocation& alloc, const MappingResult& mapping,
+                         const CommMatrix& matrix, const DistanceModel& model);
+
+// Optimizes the placement of matrix.np() processes on `alloc`. Deterministic
+// for fixed inputs and budget regardless of how `parallel` schedules the
+// candidate evaluations (results land in per-index slots; the winner is the
+// lowest cost at the lowest index). Throws MappingError when no seed is
+// feasible and CancelledError past the deadline.
+OptimizeResult optimize_placement(const Allocation& alloc,
+                                  const CommMatrix& matrix,
+                                  const OptBudget& budget,
+                                  const DistanceModel& model,
+                                  const Parallel& parallel = nullptr);
+
+}  // namespace lama::opt

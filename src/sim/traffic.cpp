@@ -4,6 +4,7 @@
 
 #include "support/error.hpp"
 #include "support/rng.hpp"
+#include "support/strings.hpp"
 
 namespace lama {
 
@@ -152,6 +153,64 @@ TrafficPattern make_pairs(int np, std::size_t bytes) {
     p.messages.push_back({r + 1, r, bytes});
   }
   return p;
+}
+
+namespace {
+
+// Largest divisor of np that is <= sqrt(np): the px of the most cubic
+// px-by-py grid. np prime degenerates to a 1-by-np strip, which the halo
+// generators accept.
+int squarest_factor(int np) {
+  int best = 1;
+  for (int f = 1; f * f <= np; ++f) {
+    if (np % f == 0) best = f;
+  }
+  return best;
+}
+
+}  // namespace
+
+TrafficPattern make_named_pattern(const std::string& spec, int np) {
+  if (np < 2) throw ParseError("named patterns need np >= 2");
+  const auto colon = spec.find(':');
+  const std::string name =
+      colon == std::string::npos ? spec : spec.substr(0, colon);
+  const std::size_t bytes =
+      colon == std::string::npos
+          ? 4096
+          : parse_size(spec.substr(colon + 1), "pattern bytes");
+  if (name == "ring") return make_ring(np, bytes);
+  if (name == "halo") {
+    const int px = squarest_factor(np);
+    return make_halo2d(px, np / px, bytes);
+  }
+  if (name == "halo3d") {
+    const int pz = squarest_factor(np);  // coarse: slab the squarest plane
+    const int px = squarest_factor(np / pz);
+    return make_halo3d(px, (np / pz) / px, pz, bytes);
+  }
+  if (name == "alltoall") return make_alltoall(np, bytes);
+  if (name == "gtc") {
+    // GTC-like: heavy particle shifts, light (1/16) global diagnostics.
+    return make_toroidal(np, bytes, std::max<std::size_t>(1, bytes / 16));
+  }
+  if (name == "toroidal") return make_toroidal(np, bytes, 0);
+  if (name == "pairs") return make_pairs(np, bytes);
+  if (name == "stride") return make_strided_pairs(np, np / 2, bytes);
+  if (name == "transpose") {
+    const int n = squarest_factor(np);
+    if (n * n != np) {
+      throw ParseError("transpose needs a square np, got " +
+                       std::to_string(np));
+    }
+    return make_transpose(n, bytes);
+  }
+  if (name == "master_worker") return make_master_worker(np, 256, bytes);
+  if (name == "random") return make_random_sparse(np, std::min(np - 1, 4),
+                                                  bytes, /*seed=*/42);
+  throw ParseError("unknown pattern '" + name +
+                   "' (ring|halo|halo3d|alltoall|gtc|toroidal|pairs|stride|"
+                   "transpose|master_worker|random)");
 }
 
 }  // namespace lama

@@ -66,4 +66,13 @@ TrafficPattern make_pairs(int np, std::size_t bytes);
 // on the same node when the node count divides the stride).
 TrafficPattern make_strided_pairs(int np, int stride, std::size_t bytes);
 
+// Resolves a named pattern spec "<name>[:<bytes>]" for np processes — the
+// shared vocabulary of `lamactl --pattern` and the service's OPTIMIZE verb
+// (docs/optimize.md). Grid patterns (halo, halo3d) factor np into the most
+// cubic process grid; gtc is the toroidal decomposition with light global
+// diagnostics (bytes/16). Throws ParseError on unknown names or an np the
+// pattern cannot host. Names: ring, halo, halo3d, alltoall, gtc, toroidal,
+// pairs, stride, transpose, master_worker, random.
+TrafficPattern make_named_pattern(const std::string& spec, int np);
+
 }  // namespace lama

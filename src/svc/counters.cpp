@@ -13,7 +13,7 @@ std::uint64_t load(const std::atomic<std::uint64_t>& a) {
 }  // namespace
 
 std::string Counters::stats_line() const {
-  char buf[1536];
+  char buf[2048];
   std::snprintf(
       buf, sizeof(buf),
       "requests=%llu completed=%llu errors=%llu hits=%llu misses=%llu "
@@ -24,7 +24,9 @@ std::string Counters::stats_line() const {
       "map_p99_us=%llu parallel_map_p99_us=%llu build_p99_us=%llu "
       "total_p99_us=%llu lookup_p50_us=%llu lookup_p99_us=%llu "
       "plan_hits=%llu plan_misses=%llu plan_compile_p99_us=%llu "
-      "compiled_map_p50_us=%llu compiled_map_p99_us=%llu",
+      "compiled_map_p50_us=%llu compiled_map_p99_us=%llu "
+      "opt_requests=%llu opt_hits=%llu opt_misses=%llu opt_candidates=%llu "
+      "opt_swaps=%llu opt_p99_us=%llu",
       static_cast<unsigned long long>(load(requests)),
       static_cast<unsigned long long>(load(completed)),
       static_cast<unsigned long long>(load(errors)),
@@ -58,7 +60,13 @@ std::string Counters::stats_line() const {
       static_cast<unsigned long long>(compiled_map_ns.percentile_ns(50) /
                                       1000),
       static_cast<unsigned long long>(compiled_map_ns.percentile_ns(99) /
-                                      1000));
+                                      1000),
+      static_cast<unsigned long long>(load(opt_requests)),
+      static_cast<unsigned long long>(load(opt_hits)),
+      static_cast<unsigned long long>(load(opt_misses)),
+      static_cast<unsigned long long>(load(opt_candidates)),
+      static_cast<unsigned long long>(load(opt_swaps)),
+      static_cast<unsigned long long>(opt_ns.percentile_ns(99) / 1000));
   return buf;
 }
 
@@ -111,12 +119,30 @@ std::string Counters::render() const {
                             static_cast<double>(consulted));
     out += buf;
   }
+  {
+    const std::uint64_t hits = load(opt_hits);
+    const std::uint64_t misses = load(opt_misses);
+    const std::uint64_t total = hits + misses;
+    std::snprintf(buf, sizeof(buf),
+                  "optimize  requests %llu (hits %llu, misses %llu, hit ratio "
+                  "%.1f%%), candidates %llu, swaps %llu\n",
+                  static_cast<unsigned long long>(load(opt_requests)),
+                  static_cast<unsigned long long>(hits),
+                  static_cast<unsigned long long>(misses),
+                  total == 0 ? 0.0
+                             : 100.0 * static_cast<double>(hits) /
+                                   static_cast<double>(total),
+                  static_cast<unsigned long long>(load(opt_candidates)),
+                  static_cast<unsigned long long>(load(opt_swaps)));
+    out += buf;
+  }
   out += "lookup  " + lookup_ns.summary() + "\n";
   out += "build   " + build_ns.summary() + "\n";
   out += "map     " + map_ns.summary() + "\n";
   out += "pmap    " + parallel_map_ns.summary() + "\n";
   out += "compile " + plan_compile_ns.summary() + "\n";
   out += "cmap    " + compiled_map_ns.summary() + "\n";
+  out += "opt     " + opt_ns.summary() + "\n";
   out += "total   " + total_ns.summary() + "\n";
   return out;
 }

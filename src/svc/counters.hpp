@@ -50,6 +50,16 @@ struct Counters {
   // Parallel-mapper accounting (lama_map_parallel, threads >= 2).
   std::atomic<std::uint64_t> parallel_maps{0};
 
+  // Optimizer accounting (svc/opt_cache.hpp, docs/optimize.md). Every
+  // OPTIMIZE request increments opt_requests and exactly one of
+  // opt_hits / opt_misses; opt_candidates and opt_swaps accumulate the
+  // search work performed by misses (hits add nothing — that is the point).
+  std::atomic<std::uint64_t> opt_requests{0};    // OPTIMIZE requests accepted
+  std::atomic<std::uint64_t> opt_hits{0};        // served from the opt cache
+  std::atomic<std::uint64_t> opt_misses{0};      // this request ran the search
+  std::atomic<std::uint64_t> opt_candidates{0};  // seed placements priced
+  std::atomic<std::uint64_t> opt_swaps{0};       // refinement swaps applied
+
   // Plan-cache accounting (svc/plan_cache.hpp). A request that runs the
   // compiled kernel increments exactly one of plan_hits / plan_misses;
   // requests the cache refuses (disabled, space limit, custom iteration
@@ -64,6 +74,7 @@ struct Counters {
   LatencyHistogram parallel_map_ns;  // mapping walks run by lama_map_parallel
   LatencyHistogram plan_compile_ns;  // compiling a MapPlan on a plan miss
   LatencyHistogram compiled_map_ns;  // walks executed from a compiled plan
+  LatencyHistogram opt_ns;     // placement searches run by OPTIMIZE misses
   LatencyHistogram total_ns;   // end-to-end per request
 
   // One "key=value" line for the wire protocol's STATS response.

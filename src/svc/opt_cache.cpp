@@ -1,0 +1,54 @@
+#include "svc/opt_cache.hpp"
+
+#include <algorithm>
+
+namespace lama::svc {
+
+OptCache::OptCache(std::size_t num_shards, std::size_t capacity_per_shard) {
+  const std::size_t shards = std::max<std::size_t>(1, num_shards);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(capacity_per_shard));
+  }
+}
+
+OptCache::Shard& OptCache::shard_for(const OptKey& key) {
+  return *shards_[OptKeyHash{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const opt::OptimizeResult> OptCache::get(const OptKey& key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ResultPtr* entry = shard.lru.get(key);
+  return entry ? *entry : nullptr;
+}
+
+void OptCache::put(const OptKey& key,
+                   std::shared_ptr<const opt::OptimizeResult> result) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.lru.put(key, std::move(result));
+}
+
+std::size_t OptCache::invalidate_alloc(std::uint64_t alloc_fp) {
+  std::size_t removed = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    removed += shard->lru.erase_if(
+        [alloc_fp](const OptKey& key, const ResultPtr&) {
+          return key.alloc_fp == alloc_fp;
+        });
+  }
+  return removed;
+}
+
+std::size_t OptCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace lama::svc

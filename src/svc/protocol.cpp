@@ -1,11 +1,13 @@
 #include "svc/protocol.hpp"
 
+#include <cstdio>
 #include <istream>
 #include <ostream>
 #include <utility>
 #include <vector>
 
 #include "cluster/alloc_serialize.hpp"
+#include "sim/traffic.hpp"
 #include "lama/layout.hpp"
 #include "obs/chrome.hpp"
 #include "obs/tracer.hpp"
@@ -98,6 +100,9 @@ struct ProtocolSession::Impl {
                                   bool offline);
   std::string handle_remap(const std::vector<std::string>& tokens,
                            std::size_t& served, obs::Outcome& outcome);
+  std::string handle_optimize(const std::vector<std::string>& tokens,
+                              std::istream& more, std::size_t& served,
+                              obs::Outcome& outcome);
   std::string handle_trace(const std::vector<std::string>& tokens);
   void record_last_map(const std::string& id, const MapRequest& request,
                        const MapResponse& response);
@@ -291,6 +296,120 @@ std::string ProtocolSession::Impl::handle_remap(
          " nodes=" + csv(nodes) + " pus=" + csv(pus);
 }
 
+// OPTIMIZE <alloc-id> <np> pattern=...|matrix=<nlines> [options]: search the
+// placement space for np processes against a communication matrix. The
+// matrix arrives either as a named sim pattern (shared vocabulary with
+// lamactl) or as framed payload lines read from `more`, BATCH-style — edges
+// or dense rows, with the "np" header implied by the command's <np> token.
+std::string ProtocolSession::Impl::handle_optimize(
+    const std::vector<std::string>& tokens, std::istream& more,
+    std::size_t& served, obs::Outcome& outcome) {
+  if (tokens.size() < 4) {
+    throw ParseError(
+        "OPTIMIZE needs '<alloc-id> <np> pattern=<name>[:<bytes>]' or "
+        "'<alloc-id> <np> matrix=<nlines>'");
+  }
+  AllocEntry& e = entry(tokens[1]);
+  const std::size_t np =
+      parse_size_bounded(tokens[2], "OPTIMIZE process count", kMaxOptNp);
+  if (np < 2) throw ParseError("OPTIMIZE needs np >= 2");
+
+  OptimizeRequest request;
+  std::shared_ptr<const CommMatrix> matrix;
+  for (std::size_t i = 3; i < tokens.size(); ++i) {
+    const auto eq = tokens[i].find('=');
+    if (eq == std::string::npos) {
+      throw ParseError("OPTIMIZE option must be key=value: '" + tokens[i] +
+                       "'");
+    }
+    const std::string key = tokens[i].substr(0, eq);
+    const std::string value = tokens[i].substr(eq + 1);
+    if (key == "pattern" || key == "matrix") {
+      if (matrix != nullptr) {
+        throw ParseError("OPTIMIZE takes exactly one pattern= or matrix=");
+      }
+    }
+    if (key == "pattern") {
+      matrix = std::make_shared<const CommMatrix>(CommMatrix::from_pattern(
+          make_named_pattern(value, static_cast<int>(np))));
+      if (static_cast<std::size_t>(matrix->np()) != np) {
+        throw ParseError("pattern '" + value + "' hosts " +
+                         std::to_string(matrix->np()) + " processes, not " +
+                         std::to_string(np));
+      }
+    } else if (key == "matrix") {
+      const std::size_t lines = parse_size_bounded(
+          value, "OPTIMIZE matrix line count", kMaxOptMatrixLines);
+      // The payload is framed like BATCH: exactly `lines` continuation
+      // lines, consumed here so the session stays line-synchronized even
+      // when the matrix itself fails to parse.
+      std::string text = "np " + std::to_string(np) + "\n";
+      std::string payload_line;
+      for (std::size_t j = 0; j < lines; ++j) {
+        if (!std::getline(more, payload_line)) {
+          throw ParseError("OPTIMIZE matrix ended early: expected " +
+                           std::to_string(lines) + " lines, got " +
+                           std::to_string(j));
+        }
+        text += payload_line;
+        text += '\n';
+      }
+      matrix = std::make_shared<const CommMatrix>(CommMatrix::parse(text));
+    } else if (key == "budget") {
+      request.budget.max_candidates = parse_size_bounded(
+          value, "OPTIMIZE budget", kMaxOptCandidates);
+      if (request.budget.max_candidates == 0) {
+        throw ParseError("OPTIMIZE budget must be >= 1");
+      }
+    } else if (key == "passes") {
+      request.budget.refine_passes =
+          parse_size_bounded(value, "OPTIMIZE passes", kMaxOptPasses);
+    } else if (key == "timeout") {
+      request.timeout_ms = static_cast<std::uint32_t>(
+          parse_size_bounded(value, "OPTIMIZE timeout", kMaxTimeoutMs));
+    } else if (key == "threads") {
+      request.threads =
+          parse_size_bounded(value, "OPTIMIZE threads", kMaxMapThreads);
+    } else {
+      throw ParseError("unknown OPTIMIZE option '" + key + "'");
+    }
+  }
+  if (matrix == nullptr) {
+    throw ParseError("OPTIMIZE needs a pattern= or matrix= source");
+  }
+  request.alloc = interned(e);
+  request.matrix = std::move(matrix);
+
+  const OptimizeResponse response = service.optimize(request);
+  outcome = response.outcome;
+  ++served;
+  if (!response.ok()) {
+    if (response.busy) {
+      return "ERR busy retry-after=" + std::to_string(response.retry_after_ms);
+    }
+    return "ERR " + response.error;
+  }
+  const opt::OptimizeResult& result = *response.result;
+  std::vector<std::size_t> nodes, pus;
+  nodes.reserve(result.mapping.num_procs());
+  pus.reserve(result.mapping.num_procs());
+  for (const Placement& p : result.mapping.placements) {
+    nodes.push_back(p.node);
+    pus.push_back(p.representative_pu());
+  }
+  char numbers[160];
+  std::snprintf(numbers, sizeof(numbers),
+                " cost=%.0f static=%.0f improvement=%.4f",
+                result.cost_ns, result.best_layout_cost_ns,
+                result.improvement());
+  return "OK optimize hit=" + std::to_string(response.cache_hit ? 1 : 0) +
+         " np=" + std::to_string(result.mapping.num_procs()) + numbers +
+         " source=" + result.source + " layout=" + result.best_layout +
+         " candidates=" + std::to_string(result.candidates_evaluated) +
+         " swaps=" + std::to_string(result.refine_swaps) +
+         " nodes=" + csv(nodes) + " pus=" + csv(pus);
+}
+
 // TRACE <id>|last|errors: one retained trace from the flight recorder,
 // rendered as a single line of Chrome trace-event JSON.
 std::string ProtocolSession::Impl::handle_trace(
@@ -474,6 +593,14 @@ std::string ProtocolSession::execute(const std::string& line,
       obs::TraceScope trace_scope(impl_->service.tracer());
       obs::Outcome outcome = obs::Outcome::kError;
       const std::string out = impl_->handle_remap(tokens, served_, outcome);
+      trace_scope.set_outcome(outcome);
+      return out + "\n";
+    }
+    if (cmd == "OPTIMIZE") {
+      obs::TraceScope trace_scope(impl_->service.tracer());
+      obs::Outcome outcome = obs::Outcome::kError;
+      const std::string out =
+          impl_->handle_optimize(tokens, more, served_, outcome);
       trace_scope.set_outcome(outcome);
       return out + "\n";
     }

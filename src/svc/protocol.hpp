@@ -14,6 +14,13 @@
 //   OFFLINE <alloc-id> <node> [pu...]           -> OK offline ... epoch=...
 //   ONLINE <alloc-id> <node> [pu...]            -> OK online ... epoch=...
 //   REMAP <alloc-id> [timeout=ms]               -> OK remap ... | ERR ...
+//   OPTIMIZE <alloc-id> <np> pattern=<name>[:<bytes>] [key=value ...]
+//   OPTIMIZE <alloc-id> <np> matrix=<nlines> [key=value ...]
+//                   (matrix= reads the next nlines as communication-matrix
+//                    body lines — "<src> <dst> <bytes>" edges or dense
+//                    "row <i> <v0> ...": the "np" header is implied by <np>.
+//                    Answers "OK optimize hit=... cost=... static=..." with
+//                    the optimized placement; see docs/optimize.md.)
 //   STATS [json]    -> STATS <key=value counters> | STATS <one-line JSON>
 //   METRICS [json]  -> Prometheus text format, terminated by a "# EOF"
 //                      line | METRICS <one-line JSON> (same snapshot)
@@ -55,6 +62,14 @@ inline constexpr std::size_t kMaxBatch = 4096;          // jobs per (MAP)BATCH
 inline constexpr std::size_t kMaxTimeoutMs = 3'600'000; // one hour
 inline constexpr std::size_t kMaxMapThreads = 64;       // threads= per MAP
 inline constexpr std::size_t kMaxNodesPerAlloc = 1u << 16;
+// OPTIMIZE runs an O(np^2) evaluation per candidate and O(np^3) refinement
+// passes, so its np is bounded far below kMaxNp — a hostile count must not
+// buy minutes of CPU with one line. The matrix payload and search knobs are
+// bounded for the same reason.
+inline constexpr std::size_t kMaxOptNp = 256;           // processes
+inline constexpr std::size_t kMaxOptMatrixLines = 8192; // payload lines
+inline constexpr std::size_t kMaxOptCandidates = 64;    // budget=
+inline constexpr std::size_t kMaxOptPasses = 16;        // passes=
 
 // One live protocol session: named allocations under construction, their
 // availability epochs, and the last lama mapping per allocation (what REMAP

@@ -42,6 +42,7 @@ MappingService::MappingService(ServiceConfig config)
       plan_cache_(config.cache_shards,
                   config.compile_plans ? config.shard_capacity : 0,
                   config.plan_space_limit, counters_),
+      opt_cache_(config.cache_shards, config.shard_capacity),
       pool_(config.workers, config.max_queue),
       start_ns_(obs::monotonic_ns()) {
   if (config_.flight_recorder > 0) {
@@ -85,6 +86,8 @@ std::size_t MappingService::invalidate(std::uint64_t fingerprint) {
   // Plans embed (and co-own) trees built over the stale epoch; they must
   // leave with them, or a plan hit would keep mapping onto retired hardware.
   plan_cache_.invalidate_alloc(fingerprint);
+  // Optimization results place onto the stale epoch's PUs; same rule.
+  opt_cache_.invalidate_alloc(fingerprint);
   return cache_.invalidate_alloc(fingerprint);
 }
 
@@ -355,6 +358,81 @@ MapResponse MappingService::remap(const RemapRequest& request) {
   });
 }
 
+OptimizeResponse MappingService::optimize(const OptimizeRequest& request) {
+  OptimizeResponse out;
+  // run_counted supplies the shared admission/deadline/accounting wrapper;
+  // the optimize-specific payload travels through `out`, captured alongside.
+  const MapResponse counted =
+      run_counted(request.timeout_ms, [&](std::uint64_t deadline_ns) {
+        if (!request.alloc.valid()) {
+          throw MappingError("optimize carries no interned allocation");
+        }
+        if (request.matrix == nullptr) {
+          throw MappingError("optimize carries no communication matrix");
+        }
+        counters_.opt_requests.fetch_add(1, std::memory_order_relaxed);
+        const OptKey key{request.alloc.fingerprint, request.matrix->digest(),
+                         request.budget.key()};
+        if (auto cached = opt_cache_.get(key)) {
+          counters_.opt_hits.fetch_add(1, std::memory_order_relaxed);
+          out.result = std::move(cached);
+          out.cache_hit = true;
+          return MapResponse{};
+        }
+        counters_.opt_misses.fetch_add(1, std::memory_order_relaxed);
+
+        opt::OptBudget budget = request.budget;
+        if (budget.deadline_ns == 0) budget.deadline_ns = deadline_ns;
+        throw_if_past(budget.deadline_ns, "the placement search");
+
+        // Candidate pricing runs on the worker pool when asked (and the
+        // pool exists); per-index result slots keep the winner independent
+        // of scheduling, so thread count never changes the placement. The
+        // request's trace context is handed to the workers so their
+        // opt_candidate spans land in this request's trace.
+        opt::Parallel parallel;
+        if (request.threads > 0 && pool_.num_threads() > 0) {
+          parallel = [this](std::size_t count,
+                            const std::function<void(std::size_t)>& fn) {
+            const obs::TraceHandle trace_ctx = obs::current_trace();
+            std::vector<std::future<void>> pending;
+            pending.reserve(count);
+            for (std::size_t i = 0; i < count; ++i) {
+              pending.push_back(pool_.async([&fn, trace_ctx, i] {
+                const obs::ScopedTrace scoped(trace_ctx);
+                const obs::SpanScope span(obs::Stage::kOptCandidate,
+                                          static_cast<std::uint32_t>(i));
+                fn(i);
+              }));
+            }
+            for (auto& f : pending) f.get();
+          };
+        }
+
+        const obs::SpanScope opt_span(obs::Stage::kOptimize);
+        const auto start = std::chrono::steady_clock::now();
+        static const DistanceModel kModel = DistanceModel::commodity();
+        opt::OptimizeResult result = optimize_placement(
+            *request.alloc.alloc, *request.matrix, budget, kModel, parallel);
+        counters_.opt_ns.record_ns(elapsed_ns(start));
+        counters_.opt_candidates.fetch_add(result.candidates_evaluated,
+                                           std::memory_order_relaxed);
+        counters_.opt_swaps.fetch_add(result.refine_swaps,
+                                      std::memory_order_relaxed);
+
+        auto shared =
+            std::make_shared<const opt::OptimizeResult>(std::move(result));
+        opt_cache_.put(key, shared);
+        out.result = std::move(shared);
+        return MapResponse{};
+      });
+  out.busy = counted.busy;
+  out.retry_after_ms = counted.retry_after_ms;
+  out.error = counted.error;
+  out.outcome = counted.outcome;
+  return out;
+}
+
 std::vector<MapResponse> MappingService::map_batch(
     const std::vector<MapRequest>& requests) {
   // The batch itself is traced (stage `batch`); every job runs under its own
@@ -496,6 +574,20 @@ obs::MetricsSnapshot MappingService::metrics_snapshot() const {
   snap.add_scalar("lama_plan_cache_misses_total",
                   "Compiled plans built by the request", "counter",
                   load(c.plan_misses));
+  snap.add_scalar("lama_opt_requests_total", "OPTIMIZE requests accepted",
+                  "counter", load(c.opt_requests));
+  snap.add_scalar("lama_opt_hits_total",
+                  "OPTIMIZE requests served from the opt cache", "counter",
+                  load(c.opt_hits));
+  snap.add_scalar("lama_opt_misses_total",
+                  "OPTIMIZE requests that ran the placement search", "counter",
+                  load(c.opt_misses));
+  snap.add_scalar("lama_opt_candidates_total",
+                  "Seed placements priced by OPTIMIZE misses", "counter",
+                  load(c.opt_candidates));
+  snap.add_scalar("lama_opt_swaps_total",
+                  "Refinement swaps applied by OPTIMIZE misses", "counter",
+                  load(c.opt_swaps));
 
   // Service gauges.
   snap.add_scalar("lama_uptime_seconds", "Seconds since service construction",
@@ -504,6 +596,8 @@ obs::MetricsSnapshot MappingService::metrics_snapshot() const {
                   static_cast<double>(cache_.size()));
   snap.add_scalar("lama_cache_plans", "Compiled plans currently cached",
                   "gauge", static_cast<double>(plan_cache_.size()));
+  snap.add_scalar("lama_cache_opts", "Optimization results currently cached",
+                  "gauge", static_cast<double>(opt_cache_.size()));
   snap.add_scalar("lama_inflight_requests", "Requests currently in flight",
                   "gauge",
                   static_cast<double>(
@@ -520,6 +614,7 @@ obs::MetricsSnapshot MappingService::metrics_snapshot() const {
               c.plan_compile_ns);
   add_summary(snap, "lama_compiled_map_ns",
               "Compiled-kernel mapping walk latency (ns)", c.compiled_map_ns);
+  add_summary(snap, "lama_opt_ns", "Placement search latency (ns)", c.opt_ns);
   add_summary(snap, "lama_total_ns", "End-to-end request latency (ns)",
               c.total_ns);
 
@@ -562,10 +657,11 @@ std::string MappingService::stats_line() const {
   char buf[256];
   std::snprintf(
       buf, sizeof(buf),
-      " uptime_s=%.3f cache_trees=%llu cache_plans=%llu traces_started=%llu "
-      "traces_assembled=%llu trace_dumps=%llu",
+      " uptime_s=%.3f cache_trees=%llu cache_plans=%llu cache_opts=%llu "
+      "traces_started=%llu traces_assembled=%llu trace_dumps=%llu",
       uptime_s(), static_cast<unsigned long long>(cache_.size()),
       static_cast<unsigned long long>(plan_cache_.size()),
+      static_cast<unsigned long long>(opt_cache_.size()),
       static_cast<unsigned long long>(tracer_ ? tracer_->started() : 0),
       static_cast<unsigned long long>(tracer_ ? tracer_->assembled() : 0),
       static_cast<unsigned long long>(tracer_ ? tracer_->recorder().dumps()
@@ -578,10 +674,11 @@ std::string MappingService::render_stats() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "service  uptime %.3fs, cached trees %llu, cached plans "
-                "%llu, inflight %llu\n",
+                "%llu, cached opts %llu, inflight %llu\n",
                 uptime_s(),
                 static_cast<unsigned long long>(cache_.size()),
                 static_cast<unsigned long long>(plan_cache_.size()),
+                static_cast<unsigned long long>(opt_cache_.size()),
                 static_cast<unsigned long long>(
                     inflight_.load(std::memory_order_relaxed)));
   out += buf;

@@ -34,10 +34,13 @@
 #include "lama/rmaps.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
+#include "opt/optimizer.hpp"
 #include "svc/counters.hpp"
+#include "svc/opt_cache.hpp"
 #include "svc/plan_cache.hpp"
 #include "svc/tree_cache.hpp"
 #include "svc/worker_pool.hpp"
+#include "tmatch/comm_matrix.hpp"
 
 namespace lama::svc {
 
@@ -126,6 +129,35 @@ struct RemapRequest {
   std::uint32_t timeout_ms = 0;
 };
 
+// An OPTIMIZE request (docs/optimize.md): search the placement space for
+// `matrix.np()` processes on the interned allocation, minimizing modeled
+// communication cost. Results are cached under (allocation fingerprint,
+// matrix digest, budget) beside the tree and plan caches.
+struct OptimizeRequest {
+  InternedAlloc alloc;
+  std::shared_ptr<const CommMatrix> matrix;
+  opt::OptBudget budget;
+  // Per-request deadline in milliseconds, measured from admission; 0 falls
+  // back to ServiceConfig::default_timeout_ms.
+  std::uint32_t timeout_ms = 0;
+  // When nonzero (and the service has workers), seed candidates are priced
+  // concurrently on the worker pool. The optimized placement is identical
+  // at any thread count — parallelism changes latency, never the answer.
+  std::size_t threads = 0;
+};
+
+struct OptimizeResponse {
+  // The (possibly cached) optimization result; null when the request failed.
+  std::shared_ptr<const opt::OptimizeResult> result;
+  bool cache_hit = false;   // served from the opt cache
+  bool busy = false;        // shed by admission control
+  std::uint32_t retry_after_ms = 0;
+  std::string error;        // non-empty when the request failed
+  obs::Outcome outcome = obs::Outcome::kOk;
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
 struct MapResponse {
   MappingResult mapping;
   std::optional<BindingResult> binding;
@@ -167,6 +199,13 @@ class MappingService {
   // Same failure contract as map(); the response carries `displaced`.
   MapResponse remap(const RemapRequest& request);
 
+  // Optimizes a placement against a communication matrix (opt/optimizer.hpp)
+  // with the same failure contract as map(): errors land in the response,
+  // never thrown. Served from the opt cache on repeat (fingerprint, digest,
+  // budget) keys; a miss runs the search (under an `optimize` trace span)
+  // and populates the cache.
+  OptimizeResponse optimize(const OptimizeRequest& request);
+
   // Maps a batch concurrently on the worker pool (or inline when the pool
   // has no threads). Responses are in request order; requests the bounded
   // queue refuses come back as busy responses without executing.
@@ -185,6 +224,8 @@ class MappingService {
   [[nodiscard]] std::size_t cached_trees() const { return cache_.size(); }
   // Compiled plans currently cached (for tests/observability).
   [[nodiscard]] std::size_t cached_plans() const { return plan_cache_.size(); }
+  // Optimization results currently cached (for tests/observability).
+  [[nodiscard]] std::size_t cached_opts() const { return opt_cache_.size(); }
 
   // The request tracer, or nullptr when ServiceConfig::flight_recorder is 0.
   // The protocol layer begins/ends traces through this; direct API callers
@@ -248,6 +289,7 @@ class MappingService {
   Counters counters_;
   ShardedTreeCache cache_;
   PlanCache plan_cache_;
+  OptCache opt_cache_;
   WorkerPool pool_;
   std::unique_ptr<obs::Tracer> tracer_;  // null when tracing is disabled
   obs::LabeledCounter layout_series_;    // requests per layout / spec

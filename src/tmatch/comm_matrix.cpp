@@ -1,12 +1,40 @@
 #include "tmatch/comm_matrix.hpp"
 
 #include <array>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 
 #include "support/error.hpp"
+#include "support/hash.hpp"
 #include "support/strings.hpp"
 
 namespace lama {
+
+namespace {
+
+// Weights come off the wire: reject anything that is not a finite,
+// non-negative number before it can poison an accumulation.
+double parse_weight(const std::string& text, const char* what) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &consumed);
+  } catch (const std::exception&) {
+    throw ParseError(std::string(what) + " is not a number: '" + text + "'");
+  }
+  if (consumed != text.size()) {
+    throw ParseError(std::string(what) + " has trailing characters: '" + text +
+                     "'");
+  }
+  if (!std::isfinite(value) || value < 0.0) {
+    throw ParseError(std::string(what) +
+                     " must be finite and non-negative: '" + text + "'");
+  }
+  return value;
+}
+
+}  // namespace
 
 CommMatrix::CommMatrix(int np) : np_(np) {
   if (np <= 0) throw MappingError("communication matrix needs processes");
@@ -25,6 +53,9 @@ CommMatrix CommMatrix::from_pattern(const TrafficPattern& pattern) {
 CommMatrix CommMatrix::parse(const std::string& text) {
   int np = -1;
   std::vector<std::array<double, 3>> edges;
+  // Dense rows are collected separately: they *set* cells (both triangles),
+  // so symmetry is an input property to verify, not a side effect of add().
+  std::vector<std::pair<int, std::vector<double>>> rows;
   for (const std::string& raw_line : split(text, '\n')) {
     std::string line = raw_line;
     const auto hash = line.find('#');
@@ -38,14 +69,32 @@ CommMatrix CommMatrix::parse(const std::string& text) {
       np = static_cast<int>(parse_size(fields[1], "matrix process count"));
       continue;
     }
+    if (fields[0] == "row") {
+      if (np <= 0) {
+        throw ParseError("matrix 'row' lines must follow the 'np <N>' header");
+      }
+      if (fields.size() != 2 + static_cast<std::size_t>(np)) {
+        throw ParseError("matrix row must carry exactly np=" +
+                         std::to_string(np) + " values (non-square input): '" +
+                         trim(line) + "'");
+      }
+      std::vector<double> values;
+      values.reserve(static_cast<std::size_t>(np));
+      for (std::size_t i = 2; i < fields.size(); ++i) {
+        values.push_back(parse_weight(fields[i], "matrix row weight"));
+      }
+      rows.emplace_back(
+          static_cast<int>(parse_size(fields[1], "matrix row index")),
+          std::move(values));
+      continue;
+    }
     if (fields.size() != 3) {
       throw ParseError("matrix edge must be '<src> <dst> <bytes>': '" +
                        trim(line) + "'");
     }
     edges.push_back({static_cast<double>(parse_size(fields[0], "matrix src")),
                      static_cast<double>(parse_size(fields[1], "matrix dst")),
-                     static_cast<double>(
-                         parse_size(fields[2], "matrix bytes"))});
+                     parse_weight(fields[2], "matrix bytes")});
   }
   if (np <= 0) {
     throw ParseError("matrix file missing 'np <N>' header");
@@ -56,6 +105,29 @@ CommMatrix CommMatrix::parse(const std::string& text) {
       throw ParseError("matrix edge references rank beyond np");
     }
     m.add(static_cast<int>(src), static_cast<int>(dst), bytes);
+  }
+  for (const auto& [index, values] : rows) {
+    if (index >= np) {
+      throw ParseError("matrix row index beyond np");
+    }
+    for (int q = 0; q < np; ++q) {
+      if (q == index) continue;
+      m.cells_[static_cast<std::size_t>(index) *
+                   static_cast<std::size_t>(np) +
+               static_cast<std::size_t>(q)] +=
+          values[static_cast<std::size_t>(q)];
+    }
+  }
+  if (!rows.empty()) {
+    // A dense listing must describe a symmetric (square, undirected) matrix.
+    for (int a = 0; a < np; ++a) {
+      for (int b = a + 1; b < np; ++b) {
+        if (m.at(a, b) != m.at(b, a)) {
+          throw ParseError("matrix rows are not symmetric at (" +
+                           std::to_string(a) + "," + std::to_string(b) + ")");
+        }
+      }
+    }
   }
   return m;
 }
@@ -75,8 +147,29 @@ std::string CommMatrix::serialize() const {
   return out;
 }
 
+std::uint64_t CommMatrix::digest() const {
+  // Upper triangle in (a, b) order: the accumulation into cells_ already
+  // canonicalized edge order and direction, so any two semantically equal
+  // matrices walk identical bytes here.
+  std::uint64_t h = fnv1a64("comm-matrix");
+  h = hash_combine(h, static_cast<std::uint64_t>(np_));
+  for (int a = 0; a < np_; ++a) {
+    for (int b = a + 1; b < np_; ++b) {
+      const double bytes = at(a, b);
+      std::uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(bytes));
+      std::memcpy(&bits, &bytes, sizeof(bits));
+      h = hash_combine(h, bits);
+    }
+  }
+  return h;
+}
+
 void CommMatrix::add(int a, int b, double bytes) {
   LAMA_ASSERT(a >= 0 && a < np_ && b >= 0 && b < np_);
+  if (!std::isfinite(bytes) || bytes < 0.0) {
+    throw MappingError("communication volume must be finite and non-negative");
+  }
   if (a == b) return;
   cells_[static_cast<std::size_t>(a) * static_cast<std::size_t>(np_) +
          static_cast<std::size_t>(b)] += bytes;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "sim/traffic.hpp"
@@ -21,8 +22,19 @@ class CommMatrix {
   // tracer would hand the data over):
   //   np <N>
   //   <src> <dst> <bytes>     # one edge per line, comments allowed
+  //   row <i> <v0> ... <v(np-1)>  # or dense rows; must be np values and
+  //                               # the assembled matrix must be symmetric
+  // Edge and row weights must be finite and non-negative; a dense row with
+  // the wrong value count (a non-square matrix) is rejected. These are the
+  // wire-facing invariants the service's OPTIMIZE verb depends on.
   static CommMatrix parse(const std::string& text);
   [[nodiscard]] std::string serialize() const;
+
+  // Canonical content hash: np plus every upper-triangle cell, independent
+  // of the order edges were added or rows were listed in. The optimizer
+  // cache keys results under (allocation fingerprint, matrix digest), so
+  // two semantically identical matrices must collide here by construction.
+  [[nodiscard]] std::uint64_t digest() const;
 
   [[nodiscard]] int np() const { return np_; }
 

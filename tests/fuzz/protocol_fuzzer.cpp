@@ -44,12 +44,20 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   lama::svc::MappingService service({.workers = 0});
   lama::svc::ProtocolSession session(service);
 
-  // Deterministic prelude: one known-good allocation named "a".
+  // Deterministic prelude: one known-good allocation named "a", plus one
+  // OPTIMIZE of each source form so the verb's deeper paths (named-pattern
+  // parsing, matrix payload framing, budget plumbing, the opt cache) are
+  // reachable from the first fuzz line, not only when the fuzzer guesses a
+  // full valid request.
   std::istringstream no_more;
   (void)session.execute(
       "NODE a 4 (node (socket@0 (core@0 (pu@0) (pu@1)) "
       "(core@1 (pu@2) (pu@3))))",
       no_more);
+  (void)session.execute("OPTIMIZE a 2 pattern=ring:64 budget=2 passes=1",
+                        no_more);
+  std::istringstream payload("0 1 64\n");
+  (void)session.execute("OPTIMIZE a 2 matrix=1", payload);
 
   // Feed the fuzz input as a protocol stream; BATCH continuation lines are
   // consumed from the same stream, as in serve().
@@ -70,6 +78,10 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   if (load(c.completed) != load(c.requests)) __builtin_trap();
   if (load(c.cache_hits) + load(c.cache_misses) + load(c.coalesced) !=
       load(c.cached)) {
+    __builtin_trap();
+  }
+  // Every admitted OPTIMIZE is exactly one hit or one miss.
+  if (load(c.opt_hits) + load(c.opt_misses) != load(c.opt_requests)) {
     __builtin_trap();
   }
   return 0;

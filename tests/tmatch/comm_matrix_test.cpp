@@ -80,5 +80,74 @@ TEST(CommMatrix, InvalidSizeThrows) {
   EXPECT_THROW(CommMatrix(-2), MappingError);
 }
 
+TEST(CommMatrix, SerializeParseKeepsDigest) {
+  const CommMatrix m =
+      CommMatrix::from_pattern(make_random_sparse(12, 4, 4096, 7));
+  const CommMatrix back = CommMatrix::parse(m.serialize());
+  EXPECT_EQ(back.digest(), m.digest());
+}
+
+TEST(CommMatrix, DigestIgnoresEdgeOrder) {
+  CommMatrix a(4);
+  a.add(0, 1, 100);
+  a.add(2, 3, 50);
+  a.add(1, 3, 25);
+  CommMatrix b(4);
+  b.add(3, 1, 25);  // reversed direction, reversed listing order
+  b.add(2, 3, 50);
+  b.add(0, 1, 60);
+  b.add(1, 0, 40);  // split across two accumulating adds
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(CommMatrix, DigestMatchesAcrossRowAndEdgeForm) {
+  const CommMatrix edges = CommMatrix::parse(
+      "np 3\n"
+      "0 1 10\n"
+      "1 2 20\n");
+  const CommMatrix rows = CommMatrix::parse(
+      "np 3\n"
+      "row 0 0 10 0\n"
+      "row 1 10 0 20\n"
+      "row 2 0 20 0\n");
+  EXPECT_EQ(edges.digest(), rows.digest());
+}
+
+TEST(CommMatrix, DigestDistinguishesContent) {
+  CommMatrix a(4);
+  a.add(0, 1, 100);
+  CommMatrix b(4);
+  b.add(0, 2, 100);  // same volume, different pair
+  CommMatrix c(5);
+  c.add(0, 1, 100);  // same edge, different np
+  EXPECT_NE(a.digest(), b.digest());
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+TEST(CommMatrix, RejectsNonSquareRows) {
+  // A dense row with too few values is a non-square matrix.
+  EXPECT_THROW(CommMatrix::parse("np 3\nrow 0 1 2\n"), ParseError);
+  // Too many values is just as non-square.
+  EXPECT_THROW(CommMatrix::parse("np 3\nrow 0 1 2 3 4\n"), ParseError);
+  // Row index out of range.
+  EXPECT_THROW(CommMatrix::parse("np 3\nrow 3 0 0 0\n"), ParseError);
+}
+
+TEST(CommMatrix, RejectsAsymmetricDenseInput) {
+  EXPECT_THROW(CommMatrix::parse("np 2\n"
+                                 "row 0 0 10\n"
+                                 "row 1 20 0\n"),
+               ParseError);
+}
+
+TEST(CommMatrix, RejectsNegativeAndNonFiniteWeights) {
+  EXPECT_THROW(CommMatrix::parse("np 2\n0 1 -5\n"), ParseError);
+  EXPECT_THROW(CommMatrix::parse("np 2\n0 1 nan\n"), ParseError);
+  EXPECT_THROW(CommMatrix::parse("np 2\n0 1 inf\n"), ParseError);
+  EXPECT_THROW(CommMatrix::parse("np 2\nrow 0 0 -1\n"), ParseError);
+  CommMatrix m(2);
+  EXPECT_THROW(m.add(0, 1, -1.0), MappingError);
+}
+
 }  // namespace
 }  // namespace lama

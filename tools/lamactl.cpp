@@ -33,6 +33,7 @@
 #include "svc/fault_injector.hpp"
 #include "svc/protocol.hpp"
 #include "svc/service.hpp"
+#include "tmatch/comm_matrix.hpp"
 
 namespace {
 
@@ -44,24 +45,6 @@ std::string read_file(const std::string& path) {
   std::ostringstream out;
   out << in.rdbuf();
   return out.str();
-}
-
-// "<name>:<bytes>" -> generator; np filled in by the caller.
-TrafficPattern make_pattern(const std::string& spec, int np) {
-  const auto colon = spec.find(':');
-  const std::string name =
-      colon == std::string::npos ? spec : spec.substr(0, colon);
-  const std::size_t bytes =
-      colon == std::string::npos
-          ? 4096
-          : parse_size(spec.substr(colon + 1), "pattern bytes");
-  if (name == "ring") return make_ring(np, bytes);
-  if (name == "alltoall") return make_alltoall(np, bytes);
-  if (name == "pairs") return make_pairs(np, bytes);
-  if (name == "toroidal") return make_toroidal(np, bytes, 0);
-  if (name == "master_worker") return make_master_worker(np, 256, bytes);
-  throw ParseError("unknown pattern '" + name +
-                   "' (ring|alltoall|pairs|toroidal|master_worker)");
 }
 
 // Writes failed traces to <dir>/trace-<id>.json as they happen (the flight
@@ -366,6 +349,125 @@ int run_mapbatch(const std::vector<std::string>& args) {
     std::printf("%s", service.render_stats().c_str());
   }
   return result.ok() && !result.gave_up_busy ? 0 : 1;
+}
+
+// `lamactl optimize`: one OPTIMIZE request — search the placement space for
+// np processes against a named pattern or a communication-matrix file.
+// Default prints the protocol lines (NODE definitions, the OPTIMIZE line,
+// and any framed matrix payload) ready to pipe into `lamactl serve`; --exec
+// runs the request against an in-process service and prints the response.
+int run_optimize(const std::vector<std::string>& args) {
+  std::string cluster_path;
+  std::string hostfile_path;
+  std::string alloc_id = "a0";
+  std::string pattern_spec;
+  std::string matrix_path;
+  std::size_t np = 0;
+  std::string options;
+  bool stats = false;
+  bool exec = false;
+  svc::ServiceConfig exec_config;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto need_value = [&] {
+      if (i + 1 >= args.size()) {
+        throw ParseError("option " + arg + " requires a value");
+      }
+      return args[++i];
+    };
+    if (arg == "--cluster") {
+      cluster_path = need_value();
+    } else if (arg == "--hostfile") {
+      hostfile_path = need_value();
+    } else if (arg == "--id") {
+      alloc_id = need_value();
+    } else if (arg == "-np" || arg == "--np") {
+      np = parse_size(need_value(), "optimize process count");
+    } else if (arg == "--pattern") {
+      pattern_spec = need_value();
+    } else if (arg == "--matrix") {
+      matrix_path = need_value();
+    } else if (arg == "--budget") {
+      options += " budget=" + need_value();
+    } else if (arg == "--passes") {
+      options += " passes=" + need_value();
+    } else if (arg == "--timeout-ms") {
+      options += " timeout=" + need_value();
+    } else if (arg == "--threads") {
+      options += " threads=" + need_value();
+    } else if (arg == "--workers") {
+      exec_config.workers = parse_size(need_value(), "optimize workers");
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--exec") {
+      exec = true;
+    } else {
+      throw ParseError("unknown optimize option: " + arg);
+    }
+  }
+  if (cluster_path.empty()) throw ParseError("--cluster <file> is required");
+  if (pattern_spec.empty() == matrix_path.empty()) {
+    throw ParseError("exactly one of --pattern or --matrix is required");
+  }
+
+  const Cluster cluster = parse_cluster_file(read_file(cluster_path));
+  const Allocation alloc =
+      hostfile_path.empty()
+          ? allocate_all(cluster)
+          : parse_hostfile(cluster, read_file(hostfile_path));
+
+  // The command line plus any framed payload. A matrix file carries its own
+  // "np <N>" header (tmatch/comm_matrix.hpp); the wire form implies np from
+  // the command, so the header is stripped and -np may be omitted.
+  std::string command = "OPTIMIZE " + alloc_id + " ";
+  std::string payload;
+  if (!pattern_spec.empty()) {
+    if (np == 0) throw ParseError("-np <count> is required with --pattern");
+    command += std::to_string(np) + " pattern=" + pattern_spec;
+  } else {
+    const CommMatrix matrix = CommMatrix::parse(read_file(matrix_path));
+    if (np == 0) {
+      np = static_cast<std::size_t>(matrix.np());
+    } else if (np != static_cast<std::size_t>(matrix.np())) {
+      throw ParseError("-np disagrees with the matrix file's np header");
+    }
+    std::string body = matrix.serialize();
+    body.erase(0, body.find('\n') + 1);  // strip the "np <N>" header line
+    std::size_t lines = 0;
+    for (const char c : body) lines += c == '\n' ? 1 : 0;
+    command += std::to_string(np) + " matrix=" + std::to_string(lines);
+    payload = std::move(body);
+  }
+  command += options;
+
+  // The NODE definitions (format_query minus its MAP line).
+  std::string node_lines = svc::format_query(alloc, alloc_id, 1, "lama");
+  node_lines.erase(node_lines.rfind("MAP "));
+
+  if (!exec) {
+    std::fputs(node_lines.c_str(), stdout);
+    std::printf("%s\n", command.c_str());
+    std::fputs(payload.c_str(), stdout);
+    if (stats) std::printf("STATS\n");
+    return 0;
+  }
+
+  svc::MappingService service(exec_config);
+  svc::ProtocolSession session(service);
+  std::istringstream no_more;
+  std::size_t pos = 0;
+  while (pos < node_lines.size()) {
+    const auto nl = node_lines.find('\n', pos);
+    session.execute(node_lines.substr(pos, nl - pos), no_more);
+    pos = nl == std::string::npos ? node_lines.size() : nl + 1;
+  }
+  std::istringstream more(payload);
+  const std::string response = session.execute(command, more);
+  std::fputs(response.c_str(), stdout);
+  if (stats) {
+    std::printf("%s", service.render_stats().c_str());
+  }
+  return starts_with(response, "OK") ? 0 : 1;
 }
 
 // `lamactl inject`: replay a seeded fault schedule against an in-process
@@ -693,7 +795,7 @@ int run(const std::vector<std::string>& args) {
   }
 
   if (!pattern_spec.empty()) {
-    const TrafficPattern pattern = make_pattern(
+    const TrafficPattern pattern = make_named_pattern(
         pattern_spec, static_cast<int>(plan.procs().size()));
     const CostReport r = evaluate_mapping(alloc, plan.mapping(), pattern,
                                           DistanceModel::commodity());
@@ -722,6 +824,9 @@ int main(int argc, char** argv) {
     }
     if (!args.empty() && args[0] == "mapbatch") {
       return run_mapbatch({args.begin() + 1, args.end()});
+    }
+    if (!args.empty() && args[0] == "optimize") {
+      return run_optimize({args.begin() + 1, args.end()});
     }
     if (!args.empty() && args[0] == "inject") {
       return run_inject({args.begin() + 1, args.end()});
@@ -759,6 +864,11 @@ int main(int argc, char** argv) {
         "               [--npernode N] [--timeout-ms N] [--id <name>]\n"
         "               [--stats] [--exec [--retries N] [--backoff-ms N]\n"
         "                [--max-inflight N]]  # one MAPBATCH, a job per np\n"
+        "       lamactl optimize --cluster <file> [--hostfile <file>]\n"
+        "               (-np N --pattern <name>[:<bytes>] | --matrix <file>)\n"
+        "               [--budget N] [--passes N] [--timeout-ms N]\n"
+        "               [--threads N] [--id <name>] [--stats]\n"
+        "               [--exec [--workers N]]  # communication-aware search\n"
         "       lamactl inject --cluster <file> [--seed N] [--requests N]\n"
         "               [--node-deaths N] [--node-recoveries N]\n"
         "               [--pu-offlines N] [--malformed N] [--corruptions N]\n"
