@@ -1,0 +1,199 @@
+#include "dur/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "support/crc32.hpp"
+#include "support/error.hpp"
+
+namespace lama::dur {
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(std::string_view in, std::size_t at) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(in[at])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(in[at + 1]))
+             << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(in[at + 2]))
+             << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(in[at + 3]))
+             << 24;
+}
+
+std::uint64_t get_u64(std::string_view in, std::size_t at) {
+  return static_cast<std::uint64_t>(get_u32(in, at)) |
+         static_cast<std::uint64_t>(get_u32(in, at + 4)) << 32;
+}
+
+// Bounded reason strings: a corrupt record must not echo megabytes of
+// garbage into logs or HEALTH output.
+std::string at_offset(std::string_view what, std::size_t offset) {
+  return std::string(what) + " at offset " + std::to_string(offset);
+}
+
+}  // namespace
+
+std::string encode_record(std::string_view payload,
+                          std::uint64_t state_digest) {
+  if (payload.size() > kMaxRecordPayload) {
+    throw ParseError("journal record payload of " +
+                     std::to_string(payload.size()) + " bytes exceeds " +
+                     std::to_string(kMaxRecordPayload));
+  }
+  std::string sealed_region;
+  sealed_region.reserve(8 + payload.size());
+  put_u64(sealed_region, state_digest);
+  sealed_region.append(payload);
+
+  std::string out;
+  out.reserve(kRecordHeaderBytes + payload.size());
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, crc32c(sealed_region));
+  out.append(sealed_region);
+  return out;
+}
+
+DecodeResult decode_records(std::string_view buffer) {
+  DecodeResult result;
+  std::size_t at = 0;
+  while (at < buffer.size()) {
+    if (buffer.size() - at < kRecordHeaderBytes) {
+      result.torn_reason = at_offset("torn record header", at);
+      break;
+    }
+    const std::uint32_t len = get_u32(buffer, at);
+    if (len > kMaxRecordPayload) {
+      result.torn_reason = at_offset(
+          "oversized record length " + std::to_string(len), at);
+      break;
+    }
+    if (buffer.size() - at - kRecordHeaderBytes < len) {
+      result.torn_reason = at_offset("torn record payload", at);
+      break;
+    }
+    const std::uint32_t crc = get_u32(buffer, at + 4);
+    const std::string_view sealed_region =
+        buffer.substr(at + 8, 8 + static_cast<std::size_t>(len));
+    if (crc32c(sealed_region) != crc) {
+      result.torn_reason = at_offset("record seal mismatch", at);
+      break;
+    }
+    Record record;
+    record.state_digest = get_u64(buffer, at + 8);
+    record.payload.assign(sealed_region.substr(8));
+    result.records.push_back(std::move(record));
+    at += kRecordHeaderBytes + len;
+    result.clean_bytes = at;
+  }
+  result.torn = result.clean_bytes < buffer.size();
+  return result;
+}
+
+Journal::~Journal() { close(); }
+
+bool Journal::open(const std::string& path, std::size_t fsync_every) {
+  close();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    last_error_ = "cannot open journal " + path + ": " + std::strerror(errno);
+    return false;
+  }
+  path_ = path;
+  fsync_every_ = fsync_every == 0 ? 1 : fsync_every;
+  pending_ = 0;
+  return true;
+}
+
+void Journal::close() {
+  if (fd_ >= 0) {
+    flush();
+    ::close(fd_);
+    fd_ = -1;
+  }
+  path_.clear();
+}
+
+bool Journal::append(std::string_view payload, std::uint64_t state_digest) {
+  std::string sealed;
+  try {
+    sealed = encode_record(payload, state_digest);
+  } catch (const Error& e) {
+    ++stats_.write_errors;
+    last_error_ = e.what();
+    return false;
+  }
+  if (fd_ < 0) {
+    ++stats_.write_errors;
+    last_error_ = "journal is not open";
+    return false;
+  }
+  if (corrupt_next_) {
+    // Flip one payload byte after sealing: the record reaches the disk with
+    // a CRC that can never match, exactly what a bad block produces.
+    corrupt_next_ = false;
+    sealed[sealed.size() - 1] ^= 0x40;
+  }
+  if (fail_writes_ > 0) {
+    --fail_writes_;
+    ++stats_.write_errors;
+    last_error_ = "journal write failed (injected)";
+    return false;
+  }
+  std::size_t written = 0;
+  while (written < sealed.size()) {
+    const ssize_t n =
+        ::write(fd_, sealed.data() + written, sealed.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ++stats_.write_errors;
+      last_error_ =
+          std::string("journal write failed: ") + std::strerror(errno);
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  ++stats_.appended;
+  stats_.bytes += sealed.size();
+  ++pending_;
+  if (pending_ >= fsync_every_) return sync_now();
+  return true;
+}
+
+bool Journal::flush() {
+  if (pending_ == 0) return true;
+  return sync_now();
+}
+
+bool Journal::sync_now() {
+  if (fd_ < 0) return false;
+  if (fsync_stall_ms_ > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(fsync_stall_ms_));
+  }
+  ++stats_.fsyncs;
+  if (::fsync(fd_) != 0) {
+    ++stats_.fsync_errors;
+    last_error_ = std::string("journal fsync failed: ") + std::strerror(errno);
+    return false;
+  }
+  pending_ = 0;
+  return true;
+}
+
+}  // namespace lama::dur

@@ -1,0 +1,45 @@
+// CRC-32C (Castagnoli) for sealing durable on-disk records. The journal
+// (dur/journal.hpp) frames every mutation as [len][crc][digest][payload] and
+// relies on this checksum to detect torn or corrupted tails: recovery reads
+// records until the first seal mismatch and truncates there. Table-driven,
+// byte-at-a-time — the journal writes one small record per state mutation,
+// so throughput is irrelevant next to the fsync that follows.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace lama {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0x82f63b78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32cTable =
+    make_crc32c_table();
+
+}  // namespace detail
+
+// CRC-32C over `data`, continuing from `seed` so checksums chain across
+// buffers. Pass the previous call's return value as the next seed.
+constexpr std::uint32_t crc32c(std::string_view data, std::uint32_t seed = 0) {
+  std::uint32_t crc = ~seed;
+  for (const char c : data) {
+    crc = (crc >> 8) ^
+          detail::kCrc32cTable[(crc ^ static_cast<unsigned char>(c)) & 0xffu];
+  }
+  return ~crc;
+}
+
+}  // namespace lama

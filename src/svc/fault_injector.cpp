@@ -1,11 +1,15 @@
 #include "svc/fault_injector.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <thread>
 
+#include "dur/state_store.hpp"
 #include "support/strings.hpp"
 #include "svc/client.hpp"
 #include "svc/protocol.hpp"
@@ -20,6 +24,10 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kMalformedRequest: return "malformed-request";
     case FaultKind::kTreeCorruption: return "tree-corruption";
     case FaultKind::kWorkerStall: return "worker-stall";
+    case FaultKind::kJournalWriteFail: return "journal-write-fail";
+    case FaultKind::kFsyncStall: return "fsync-stall";
+    case FaultKind::kCorruptRecord: return "corrupt-record";
+    case FaultKind::kKillDuringRecovery: return "kill-during-recovery";
   }
   return "unknown";
 }
@@ -78,6 +86,12 @@ FaultPlan FaultPlan::random(std::uint64_t seed, std::size_t num_requests,
   add(FaultKind::kMalformedRequest, mix.malformed);
   add(FaultKind::kTreeCorruption, mix.tree_corruptions);
   add(FaultKind::kWorkerStall, mix.worker_stalls);
+  // Durability faults draw after the original classes, so a mix with zero of
+  // them replays plans from older seeds byte-identically.
+  add(FaultKind::kJournalWriteFail, mix.journal_write_fails);
+  add(FaultKind::kFsyncStall, mix.fsync_stalls);
+  add(FaultKind::kCorruptRecord, mix.corrupt_records);
+  add(FaultKind::kKillDuringRecovery, mix.recovery_kills);
   std::stable_sort(slots.begin(), slots.end(),
                    [](const Slot& a, const Slot& b) { return a.at < b.at; });
 
@@ -126,6 +140,17 @@ FaultPlan FaultPlan::random(std::uint64_t seed, std::size_t num_requests,
       case FaultKind::kWorkerStall:
         event.stall_ms = 1 + static_cast<std::uint32_t>(rng.next_below(3));
         break;
+      case FaultKind::kJournalWriteFail:
+        event.count = 1 + rng.next_below(3);
+        break;
+      case FaultKind::kFsyncStall:
+        event.stall_ms = 1 + static_cast<std::uint32_t>(rng.next_below(5));
+        break;
+      case FaultKind::kCorruptRecord:
+        break;
+      case FaultKind::kKillDuringRecovery:
+        event.count = rng.next();  // reduced against the journal size later
+        break;
     }
     plan.events.push_back(std::move(event));
   }
@@ -165,6 +190,8 @@ struct Runner {
   SplitMix64 rng;
   InjectionOutcome outcome;
   std::size_t deaths_since_remap = 0;
+  // Raw offsets of kKillDuringRecovery events, applied at end of plan.
+  std::vector<std::uint64_t> recovery_kills;
 
   Runner(MappingService& svc, const Allocation& a, const FaultPlan& p)
       : service(svc), alloc(a), plan(p), session(svc), rng(p.seed ^ 0x5eed) {}
@@ -240,10 +267,73 @@ struct Runner {
         });
         break;
       }
+      case FaultKind::kJournalWriteFail:
+        if (dur::StateStore* store = service.durability()) {
+          store->journal().fail_next_writes(event.count);
+        }
+        break;
+      case FaultKind::kFsyncStall:
+        if (dur::StateStore* store = service.durability()) {
+          store->journal().stall_fsync_ms(event.stall_ms);
+        }
+        break;
+      case FaultKind::kCorruptRecord:
+        if (dur::StateStore* store = service.durability()) {
+          store->journal().corrupt_next_record();
+        }
+        break;
+      case FaultKind::kKillDuringRecovery:
+        recovery_kills.push_back(event.count);
+        break;
+    }
+  }
+
+  // End-of-plan crash-recovery check: truncate the live journal at an
+  // arbitrary byte offset (what a kill at an arbitrary instant leaves
+  // behind) and restore a fresh session from the same directory. The
+  // contract: recovery never throws, never loads past a bad seal, and its
+  // digest self-check passes on whatever sealed prefix survived.
+  void check_recovery() {
+    dur::StateStore* store = service.durability();
+    if (recovery_kills.empty() || store == nullptr) return;
+    store->flush();
+    const std::string jpath = store->journal().path();
+    for (const std::uint64_t raw : recovery_kills) {
+      std::uint64_t size = 0;
+      {
+        std::ifstream in(jpath, std::ios::binary | std::ios::ate);
+        if (in) size = static_cast<std::uint64_t>(in.tellg());
+      }
+      const std::uint64_t offset = size == 0 ? 0 : raw % (size + 1);
+      if (::truncate(jpath.c_str(), static_cast<off_t>(offset)) != 0) {
+        violation("cannot truncate journal for recovery kill");
+        continue;
+      }
+      try {
+        dur::StateStore fresh(store->config());
+        ProtocolSession restored(service);
+        const ProtocolSession::RecoveryInfo info = restored.restore_from(fresh);
+        if (!info.self_check_ok) {
+          violation("recovery self-check failed after kill at offset " +
+                    std::to_string(offset));
+        }
+        if (info.replay_errors != 0) {
+          violation("recovery replay errors after kill at offset " +
+                    std::to_string(offset));
+        }
+      } catch (const std::exception& e) {
+        violation(std::string("recovery crashed after kill: ") + e.what());
+      }
     }
   }
 
   InjectionOutcome run() {
+    // With a durability store attached, the session journals through it —
+    // restore first (an empty directory restores to genesis) so the journal
+    // is open and the durability fault classes have something to act on.
+    if (service.durability() != nullptr) {
+      session.restore_from(*service.durability());
+    }
     // Define the allocation: one NODE line per allocated node.
     const std::string setup = format_query(alloc, "fi", 1, "lama");
     std::istringstream setup_lines(setup);
@@ -279,6 +369,7 @@ struct Runner {
     }
     service.set_fault_hook(nullptr);
 
+    check_recovery();
     check_counters();
     return std::move(outcome);
   }

@@ -18,6 +18,21 @@
 //                               next hits exercise the degraded path
 //   kWorkerStall                a fault hook that stalls request threads,
 //                               driving deadline and backpressure behavior
+//   kJournalWriteFail           the next N journal appends fail at the
+//                               write() layer — records are lost, serving
+//                               continues, dur_errors count them
+//   kFsyncStall                 every journal fsync stalls (slow-disk model)
+//   kCorruptRecord              one byte of the next sealed record flips
+//                               before it reaches the file (bad-block model);
+//                               recovery must stop at it, not load past it
+//   kKillDuringRecovery         end-of-plan: the journal is truncated at a
+//                               random byte offset (a crash at an arbitrary
+//                               instant) and a fresh session restores from
+//                               the same directory — it must start, and its
+//                               self-check must pass on the surviving prefix
+//
+// The journal fault classes are no-ops unless a dur::StateStore is attached
+// to the service (MappingService::attach_durability) before the run.
 #pragma once
 
 #include <cstddef>
@@ -38,9 +53,13 @@ enum class FaultKind {
   kMalformedRequest,
   kTreeCorruption,
   kWorkerStall,
+  kJournalWriteFail,
+  kFsyncStall,
+  kCorruptRecord,
+  kKillDuringRecovery,
 };
 
-inline constexpr std::size_t kNumFaultKinds = 6;
+inline constexpr std::size_t kNumFaultKinds = 10;
 
 [[nodiscard]] const char* fault_kind_name(FaultKind kind);
 
@@ -49,11 +68,16 @@ struct FaultEvent {
   std::size_t at_request = 0;  // injected before this request index
   std::size_t node = 0;        // kNodeDeath/kNodeRecovery/kPuOffline
   std::vector<std::size_t> pus;  // kPuOffline
-  std::uint32_t stall_ms = 0;  // kWorkerStall
+  std::uint32_t stall_ms = 0;  // kWorkerStall/kFsyncStall
   std::string payload;         // kMalformedRequest line
+  // kJournalWriteFail: appends to fail; kKillDuringRecovery: raw entropy
+  // reduced to a truncation offset against the journal's size at apply time.
+  std::uint64_t count = 0;
 };
 
-// How many events of each class a random plan schedules.
+// How many events of each class a random plan schedules. The durability
+// classes default to 0 so plans seeded before they existed stay
+// byte-identical (FaultPlan::random draws nothing for a zero count).
 struct FaultMix {
   std::size_t node_deaths = 2;
   std::size_t node_recoveries = 1;
@@ -61,10 +85,15 @@ struct FaultMix {
   std::size_t malformed = 4;
   std::size_t tree_corruptions = 2;
   std::size_t worker_stalls = 2;
+  std::size_t journal_write_fails = 0;
+  std::size_t fsync_stalls = 0;
+  std::size_t corrupt_records = 0;
+  std::size_t recovery_kills = 0;
 
   [[nodiscard]] std::size_t total() const {
     return node_deaths + node_recoveries + pu_offlines + malformed +
-           tree_corruptions + worker_stalls;
+           tree_corruptions + worker_stalls + journal_write_fails +
+           fsync_stalls + corrupt_records + recovery_kills;
   }
 };
 

@@ -7,11 +7,13 @@
 #include <vector>
 
 #include "cluster/alloc_serialize.hpp"
+#include "dur/state_store.hpp"
 #include "sim/traffic.hpp"
 #include "lama/layout.hpp"
 #include "obs/chrome.hpp"
 #include "obs/tracer.hpp"
 #include "support/error.hpp"
+#include "support/hash.hpp"
 #include "support/strings.hpp"
 #include "topo/serialize.hpp"
 
@@ -59,10 +61,21 @@ struct ProtocolSession::Impl {
     InternedAlloc interned;    // lazy snapshot of `current` at `epoch`
     bool dirty = true;
     std::optional<LastMap> last;
+    // The last canonical MAP line journaled for this allocation and the
+    // epoch it was journaled under: the same line at the same epoch yields
+    // the same baseline, so repeat MAPs (the warm path) are not journaled.
+    std::string journaled_map_line;
+    std::uint64_t journaled_map_epoch = 0;
   };
 
   MappingService& service;
   std::map<std::string, AllocEntry> allocs;
+
+  // Durability (dur/state_store.hpp): null when serving without persistence.
+  dur::StateStore* store = nullptr;
+  // True while restored lines replay — replay must not re-journal itself.
+  bool replaying = false;
+  RecoveryInfo recovery;
 
   AllocEntry& entry(const std::string& id) {
     const auto it = allocs.find(id);
@@ -104,9 +117,266 @@ struct ProtocolSession::Impl {
                               std::istream& more, std::size_t& served,
                               obs::Outcome& outcome);
   std::string handle_trace(const std::vector<std::string>& tokens);
+  std::string handle_health() const;
   void record_last_map(const std::string& id, const MapRequest& request,
                        const MapResponse& response);
+
+  // Durability plumbing. persist() seals one accepted mutation into the
+  // journal (a no-op without a store, and during replay) and rotates a
+  // compacting snapshot when enough mutations accumulated. Journal trouble
+  // degrades — it is counted and surfaced through HEALTH, never thrown.
+  std::uint64_t digest() const;
+  std::vector<std::string> dump_lines() const;
+  void persist(const std::string& line);
+  bool apply_restore_line(const std::string& raw, std::string& error);
+  void restore_epoch(const std::vector<std::string>& tokens);
+  void restore_last(const std::vector<std::string>& tokens);
 };
+
+// Fingerprint of the full control-plane state: every field a snapshot
+// preserves and replay rebuilds, nothing more — so a state restored from
+// snapshot+journal hashes identically to one replayed from genesis. The
+// serialized topology carries the availability ('!') flags, so OFFLINE and
+// ONLINE move the digest.
+std::uint64_t ProtocolSession::Impl::digest() const {
+  std::uint64_t h = fnv1a64("lama-dur-v1");
+  for (const auto& [id, e] : allocs) {
+    h = hash_combine(h, fnv1a64(id));
+    h = hash_combine(h, e.epoch);
+    for (std::size_t i = 0; i < e.current.num_nodes(); ++i) {
+      const AllocatedNode& node = e.current.node(i);
+      h = hash_combine(h, node.slots);
+      h = hash_combine(h, fnv1a64(serialize_topology(node.topo)));
+    }
+    if (!e.last.has_value()) {
+      h = hash_combine(h, 0);
+      continue;
+    }
+    h = hash_combine(h, 1);
+    h = hash_combine(h, fnv1a64(e.last->layout.to_string()));
+    h = hash_combine(h, e.last->opts.np);
+    h = hash_combine(h, e.last->opts.allow_oversubscribe ? 1 : 0);
+    h = hash_combine(h, e.last->opts.pus_per_proc);
+    h = hash_combine(h, e.last->opts.resource_caps[static_cast<std::size_t>(
+                            canonical_depth(ResourceType::kNode))]);
+    h = hash_combine(h, e.last->mapping.sweeps);
+    for (const Placement& p : e.last->mapping.placements) {
+      h = hash_combine(h, static_cast<std::uint64_t>(p.rank));
+      h = hash_combine(h, p.node);
+      h = hash_combine(h, fnv1a64(p.target_pus.to_string()));
+    }
+  }
+  return h;
+}
+
+// The session state as restorable lines — what write_snapshot compacts. NODE
+// replay rebuilds the allocations (availability flags ride in the serialized
+// topology); the #EPOCH directive pins the exact epoch (NODE replay alone
+// would undercount it) and #LAST pins the remap baseline without re-running
+// the mapping.
+std::vector<std::string> ProtocolSession::Impl::dump_lines() const {
+  std::vector<std::string> lines;
+  for (const auto& [id, e] : allocs) {
+    for (std::size_t i = 0; i < e.current.num_nodes(); ++i) {
+      const AllocatedNode& node = e.current.node(i);
+      lines.push_back("NODE " + id + " " + std::to_string(node.slots) + " " +
+                      serialize_topology(node.topo));
+    }
+    lines.push_back("#EPOCH " + id + " " + std::to_string(e.epoch));
+    if (!e.last.has_value()) continue;
+    std::string placements;
+    for (const Placement& p : e.last->mapping.placements) {
+      if (!placements.empty()) placements += ';';
+      placements += std::to_string(p.rank) + ":" + std::to_string(p.node) +
+                    ":" + p.target_pus.to_string();
+    }
+    const std::size_t cap = e.last->opts.resource_caps[static_cast<std::size_t>(
+        canonical_depth(ResourceType::kNode))];
+    lines.push_back(
+        "#LAST " + id + " layout=" + e.last->layout.to_string() +
+        " np=" + std::to_string(e.last->opts.np) +
+        " oversub=" + std::to_string(e.last->opts.allow_oversubscribe ? 1 : 0) +
+        " pus=" + std::to_string(e.last->opts.pus_per_proc) +
+        " npernode=" + std::to_string(cap) +
+        " sweeps=" + std::to_string(e.last->mapping.sweeps) +
+        " placements=" + placements);
+  }
+  return lines;
+}
+
+void ProtocolSession::Impl::persist(const std::string& line) {
+  if (store == nullptr || replaying) return;
+  const std::uint64_t state_digest = digest();
+  store->record(line, state_digest);
+  if (store->should_snapshot()) {
+    store->write_snapshot(dump_lines(), state_digest);
+  }
+}
+
+// "#EPOCH <id> <n>": pin the allocation's epoch to its pre-crash value.
+void ProtocolSession::Impl::restore_epoch(
+    const std::vector<std::string>& tokens) {
+  if (tokens.size() != 3) throw ParseError("#EPOCH needs '<id> <epoch>'");
+  AllocEntry& e = entry(tokens[1]);
+  e.epoch = parse_size(tokens[2], "#EPOCH value");
+  e.dirty = true;
+}
+
+// "#LAST <id> layout=... np=... oversub=... pus=... npernode=... sweeps=...
+// placements=rank:node:pus;...": rebuild the remap baseline exactly as the
+// writer recorded it, without re-running the mapping.
+void ProtocolSession::Impl::restore_last(
+    const std::vector<std::string>& tokens) {
+  if (tokens.size() < 3) throw ParseError("#LAST needs '<id> key=value ...'");
+  AllocEntry& e = entry(tokens[1]);
+  LastMap last;
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    const auto eq = tokens[i].find('=');
+    if (eq == std::string::npos) {
+      throw ParseError("#LAST field must be key=value: '" + tokens[i] + "'");
+    }
+    const std::string key = tokens[i].substr(0, eq);
+    const std::string value = tokens[i].substr(eq + 1);
+    if (key == "layout") {
+      last.layout = ProcessLayout::parse(value);
+      last.mapping.layout = last.layout.to_string();
+    } else if (key == "np") {
+      last.opts.np = parse_size_bounded(value, "#LAST np", kMaxNp);
+    } else if (key == "oversub") {
+      last.opts.allow_oversubscribe = parse_size(value, "#LAST oversub") != 0;
+    } else if (key == "pus") {
+      last.opts.pus_per_proc =
+          parse_size_bounded(value, "#LAST pus", kMaxPusPerProc);
+    } else if (key == "npernode") {
+      const std::size_t cap =
+          parse_size_bounded(value, "#LAST npernode", kMaxNp);
+      if (cap > 0) last.opts.set_cap(ResourceType::kNode, cap);
+    } else if (key == "sweeps") {
+      last.mapping.sweeps = parse_size(value, "#LAST sweeps");
+    } else if (key == "placements") {
+      for (const std::string& field : split(value, ';')) {
+        if (field.empty()) continue;
+        const std::vector<std::string> parts = split(field, ':');
+        if (parts.size() < 2) {
+          throw ParseError("#LAST placement needs 'rank:node:pus'");
+        }
+        Placement p;
+        p.rank = static_cast<int>(
+            parse_size_bounded(parts[0], "#LAST rank", kMaxNp));
+        p.node = parse_size_bounded(parts[1], "#LAST node", kMaxNodesPerAlloc);
+        if (parts.size() >= 3 && !parts[2].empty()) {
+          p.target_pus = Bitmap::parse(parts[2]);
+        }
+        last.mapping.placements.push_back(std::move(p));
+      }
+    } else {
+      throw ParseError("unknown #LAST field '" + key + "'");
+    }
+  }
+  last.mapping.procs_per_node.assign(e.current.num_nodes(), 0);
+  for (const Placement& p : last.mapping.placements) {
+    if (p.node >= e.current.num_nodes()) {
+      throw ParseError("#LAST placement node out of range");
+    }
+    ++last.mapping.procs_per_node[p.node];
+  }
+  e.last = std::move(last);
+}
+
+// One restored line: the snapshot/journal directives, or a regular mutation
+// replayed through the same handlers that served it originally (MAP re-runs
+// the deterministic mapping, which doubles as cache warming). Returns false
+// with a bounded reason when the line cannot apply — recovery notes it and
+// keeps going.
+bool ProtocolSession::Impl::apply_restore_line(const std::string& raw,
+                                               std::string& error) {
+  const std::string trimmed = trim(raw);
+  if (trimmed.empty()) return true;
+  const std::vector<std::string> tokens = split_ws(trimmed);
+  try {
+    if (tokens[0] == "#EPOCH") {
+      restore_epoch(tokens);
+      return true;
+    }
+    if (tokens[0] == "#LAST") {
+      restore_last(tokens);
+      return true;
+    }
+    if (tokens[0] == "NODE") {
+      handle_node(tokens, trimmed);
+      return true;
+    }
+    if (tokens[0] == "OFFLINE" || tokens[0] == "ONLINE") {
+      handle_availability(tokens, tokens[0] == "OFFLINE");
+      return true;
+    }
+    if (tokens[0] == "MAP") {
+      const MapRequest request = parse_map_command(tokens);
+      const MapResponse response = service.map(request);
+      if (!response.ok()) {
+        error = response.error.empty() ? "busy" : response.error;
+        return false;
+      }
+      record_last_map(tokens[1], request, response);
+      return true;
+    }
+    if (tokens[0] == "REMAP") {
+      std::size_t unused_served = 0;
+      obs::Outcome unused_outcome = obs::Outcome::kOk;
+      const std::string out =
+          handle_remap(tokens, unused_served, unused_outcome);
+      if (!starts_with(out, "OK")) {
+        error = out;
+        return false;
+      }
+      return true;
+    }
+    error = "unknown restored line '" + tokens[0] + "'";
+    return false;
+  } catch (const std::exception& e) {
+    error = e.what();
+    return false;
+  }
+}
+
+// The HEALTH reply: liveness (the reply itself), readiness (status=),
+// recovery status, and journal durability at a glance. Grammar documented in
+// docs/resilience.md; keys only ever append. Served even while draining —
+// an orchestrator must be able to watch the drain finish.
+std::string ProtocolSession::Impl::handle_health() const {
+  char head[192];
+  std::snprintf(head, sizeof(head),
+                "OK health status=%s uptime_s=%.1f persist=%d allocs=%zu "
+                "state_digest=%016llx",
+                service.draining() ? "draining" : "ready", service.uptime_s(),
+                store != nullptr ? 1 : 0, allocs.size(),
+                static_cast<unsigned long long>(digest()));
+  char rec[160];
+  std::snprintf(rec, sizeof(rec),
+                " recovered=%d recovery_ok=%d recovered_records=%zu "
+                "torn_tail=%d prewarmed=%zu",
+                recovery.recovered ? 1 : 0, recovery.self_check_ok ? 1 : 0,
+                recovery.snapshot_lines + recovery.journal_records,
+                recovery.torn_tail ? 1 : 0, recovery.prewarmed);
+  char jrn[192];
+  if (store != nullptr) {
+    const dur::StoreStats s = store->stats();
+    std::snprintf(jrn, sizeof(jrn),
+                  " journal_records=%llu journal_lag=%llu journal_errors=%llu "
+                  "snapshot_seq=%llu snapshots=%llu",
+                  static_cast<unsigned long long>(s.journal.appended),
+                  static_cast<unsigned long long>(store->journal_lag()),
+                  static_cast<unsigned long long>(s.journal.write_errors +
+                                                  s.journal.fsync_errors),
+                  static_cast<unsigned long long>(store->snapshot_seq()),
+                  static_cast<unsigned long long>(s.snapshots));
+  } else {
+    std::snprintf(jrn, sizeof(jrn),
+                  " journal_records=0 journal_lag=0 journal_errors=0 "
+                  "snapshot_seq=0 snapshots=0");
+  }
+  return std::string(head) + rec + jrn;
+}
 
 // "MAP <alloc-id> <np> <spec> [key=value ...]" -> a service request. Every
 // numeric field is bounds-checked: a hostile count answers ERR instead of
@@ -202,6 +472,7 @@ std::string ProtocolSession::Impl::handle_node(
   node.cluster_index = e.current.num_nodes();
   e.current.add(std::move(node));
   bump_epoch(e);
+  persist(trimmed);
   return "OK node " + tokens[1] + " n=" + std::to_string(e.current.num_nodes());
 }
 
@@ -232,6 +503,7 @@ std::string ProtocolSession::Impl::handle_availability(
     }
   }
   bump_epoch(e);
+  persist(join(tokens, " "));
   std::string out = std::string("OK ") + (offline ? "offline" : "online") +
                     " " + tokens[1] + " node=" + std::to_string(node) +
                     " epoch=" + std::to_string(e.epoch);
@@ -278,8 +550,11 @@ std::string ProtocolSession::Impl::handle_remap(
     }
     return "ERR " + response.error;
   }
-  // The remapped placement becomes the baseline for the next REMAP.
+  // The remapped placement becomes the baseline for the next REMAP. The
+  // journal records the verb alone (no timeout= — a runtime knob, not
+  // state): replaying it re-runs the same deterministic re-placement.
   e.last->mapping = response.mapping;
+  persist("REMAP " + tokens[1]);
 
   std::vector<std::size_t> nodes, pus;
   nodes.reserve(response.mapping.num_procs());
@@ -439,7 +714,12 @@ std::string ProtocolSession::Impl::handle_trace(
 }
 
 // Remember the mapping REMAP would re-place: the last successful,
-// non-batched lama MAP per allocation.
+// non-batched lama MAP per allocation. The baseline is state, so it is
+// journaled — as the canonical MAP line (only the options that shape the
+// mapping), deduped per (line, epoch): the repeated identical MAP that
+// dominates warm traffic re-derives the same baseline and is not journaled,
+// but the same line after an availability change is, since the mapping
+// differs on the reduced allocation.
 void ProtocolSession::Impl::record_last_map(const std::string& id,
                                             const MapRequest& request,
                                             const MapResponse& response) {
@@ -450,7 +730,22 @@ void ProtocolSession::Impl::record_last_map(const std::string& id,
   last.layout = ProcessLayout::parse(args.empty() ? kLamaDefaultLayout : args);
   last.opts = request.opts;
   last.mapping = response.mapping;
-  allocs[id].last = std::move(last);
+  AllocEntry& e = allocs[id];
+  e.last = std::move(last);
+  if (store == nullptr) return;
+  std::string canonical =
+      "MAP " + id + " " + std::to_string(request.opts.np) + " " +
+      request.spec +
+      " oversub=" + std::to_string(request.opts.allow_oversubscribe ? 1 : 0) +
+      " pus=" + std::to_string(request.opts.pus_per_proc);
+  const std::size_t cap = request.opts.resource_caps[static_cast<std::size_t>(
+      canonical_depth(ResourceType::kNode))];
+  if (cap > 0) canonical += " npernode=" + std::to_string(cap);
+  if (canonical != e.journaled_map_line || e.epoch != e.journaled_map_epoch) {
+    e.journaled_map_line = canonical;
+    e.journaled_map_epoch = e.epoch;
+    persist(canonical);
+  }
 }
 
 ProtocolSession::ProtocolSession(MappingService& service)
@@ -458,12 +753,96 @@ ProtocolSession::ProtocolSession(MappingService& service)
 
 ProtocolSession::~ProtocolSession() = default;
 
+std::uint64_t ProtocolSession::state_digest() const { return impl_->digest(); }
+
+std::vector<std::string> ProtocolSession::snapshot_lines() const {
+  return impl_->dump_lines();
+}
+
+ProtocolSession::RecoveryInfo ProtocolSession::restore_from(
+    dur::StateStore& store) {
+  RecoveryInfo info;
+  info.attempted = true;
+  impl_->store = &store;
+  dur::RestoreResult restored = store.restore();
+  info.warnings = std::move(restored.warnings);
+  info.torn_tail = restored.torn_tail;
+  info.snapshot_lines = restored.snapshot_lines.size();
+  info.journal_records = restored.journal_lines.size();
+  info.recovered =
+      !restored.snapshot_lines.empty() || !restored.journal_lines.empty();
+
+  // Replay: snapshot lines rebuild the compacted state, journal lines re-run
+  // every mutation since. A line that cannot apply is noted and skipped —
+  // recovery never refuses to start.
+  impl_->replaying = true;
+  for (const std::vector<std::string>* lines :
+       {&restored.snapshot_lines, &restored.journal_lines}) {
+    for (const std::string& line : *lines) {
+      std::string error;
+      if (!impl_->apply_restore_line(line, error)) {
+        ++info.replay_errors;
+        info.warnings.push_back("cannot replay '" + line + "': " + error);
+      }
+    }
+  }
+  impl_->replaying = false;
+
+  // Self-check: the rebuilt state must hash to the digest the last sealed
+  // record carried. A mismatch is reported (HEALTH recovery_ok=0), not fatal
+  // — the operator decides whether a diverged replica may serve.
+  if (restored.have_digest) {
+    const std::uint64_t rebuilt = impl_->digest();
+    info.self_check_ok = rebuilt == restored.expected_digest;
+    if (!info.self_check_ok) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "recovery self-check failed: rebuilt digest %016llx != "
+                    "sealed %016llx",
+                    static_cast<unsigned long long>(rebuilt),
+                    static_cast<unsigned long long>(restored.expected_digest));
+      info.warnings.push_back(buf);
+    }
+  }
+
+  // Cache pre-warm: re-run each restored allocation's last mapping so the
+  // tree/plan caches are hot before the first client request. Replayed MAP
+  // lines already warmed their entries; this covers baselines restored from
+  // #LAST alone.
+  if (store.config().prewarm) {
+    for (auto& [id, e] : impl_->allocs) {
+      if (!e.last.has_value()) continue;
+      MapRequest request;
+      try {
+        request.alloc = impl_->interned(e);
+      } catch (const std::exception& err) {
+        info.warnings.push_back("cannot prewarm '" + id + "': " + err.what());
+        continue;
+      }
+      request.spec = "lama:" + e.last->layout.to_string();
+      request.opts = e.last->opts;
+      if (impl_->service.map(request).ok()) ++info.prewarmed;
+    }
+  }
+
+  impl_->recovery = info;
+  return info;
+}
+
 std::string ProtocolSession::execute(const std::string& line,
                                      std::istream& more) {
   const std::string trimmed = trim(line);
   if (trimmed.empty() || trimmed[0] == '#') return "";
   const std::vector<std::string> tokens = split_ws(trimmed);
   const std::string& cmd = tokens[0];
+  // Draining: every working verb sheds with the standard busy reply (the
+  // retrying client backs off and finds the replacement process); reads and
+  // QUIT keep serving so an orchestrator can watch the drain finish.
+  if (impl_->service.draining() && cmd != "STATS" && cmd != "METRICS" &&
+      cmd != "TRACE" && cmd != "HEALTH" && cmd != "QUIT") {
+    return "ERR busy retry-after=" +
+           std::to_string(impl_->service.config().retry_after_ms) + "\n";
+  }
   try {
     if (cmd == "NODE") {
       return impl_->handle_node(tokens, trimmed) + "\n";
@@ -621,6 +1000,9 @@ std::string ProtocolSession::execute(const std::string& line,
     if (cmd == "TRACE") {
       return impl_->handle_trace(tokens) + "\n";
     }
+    if (cmd == "HEALTH") {
+      return impl_->handle_health() + "\n";
+    }
     if (cmd == "QUIT") {
       done_ = true;
       return "OK bye\n";
@@ -681,8 +1063,14 @@ std::string format_query(const Allocation& alloc, const std::string& alloc_id,
 std::size_t serve(std::istream& in, std::ostream& out,
                   MappingService& service, bool stats_at_eof) {
   ProtocolSession session(service);
+  return serve(in, out, session, service, stats_at_eof, nullptr);
+}
+
+std::size_t serve(std::istream& in, std::ostream& out,
+                  ProtocolSession& session, MappingService& service,
+                  bool stats_at_eof, const std::function<bool()>& stop) {
   std::string line;
-  while (std::getline(in, line)) {
+  while (!(stop && stop()) && std::getline(in, line)) {
     const std::string response = session.execute(line, in);
     if (!response.empty()) {
       out << response;

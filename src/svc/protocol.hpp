@@ -26,6 +26,9 @@
 //                      line | METRICS <one-line JSON> (same snapshot)
 //   TRACE <id>|last|errors  -> TRACE id=<id> <Chrome trace-event JSON,
 //                      one line> | ERR (tracing off, or not retained)
+//   HEALTH          -> OK health status=ready|draining ... (liveness,
+//                      readiness, recovery status, journal lag; grammar in
+//                      docs/resilience.md. Always served, even draining.)
 //   QUIT            -> OK bye (serving stops; EOF works too)
 //
 // MAP options: oversub=0|1, pus=<per-proc PUs>, npernode=<cap>,
@@ -41,14 +44,20 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "cluster/cluster.hpp"
 #include "svc/service.hpp"
+
+namespace lama::dur {
+class StateStore;
+}  // namespace lama::dur
 
 namespace lama::svc {
 
@@ -90,6 +99,39 @@ class ProtocolSession {
   // answer "ERR ...\n" and leave the session usable.
   std::string execute(const std::string& line, std::istream& more);
 
+  // What recovery found and whether it checked out (HEALTH reports this).
+  struct RecoveryInfo {
+    bool attempted = false;      // restore_from() ran
+    bool recovered = false;      // any state came back from disk
+    bool self_check_ok = true;   // rebuilt digest matched the last seal
+    bool torn_tail = false;      // the journal lost an unsealed tail
+    std::size_t snapshot_lines = 0;
+    std::size_t journal_records = 0;
+    std::size_t replay_errors = 0;  // restored lines that failed to apply
+    std::size_t prewarmed = 0;      // cache pre-warm mappings that succeeded
+    std::vector<std::string> warnings;
+  };
+
+  // Durability: restores state from `store` (newest snapshot, then journal
+  // replay, tolerating a torn tail), verifies the rebuilt state digest
+  // against the last sealed record, optionally pre-warms the caches for
+  // restored allocations, and records every subsequent mutation into the
+  // store. Never throws and never refuses — recovery trouble lands in the
+  // returned info (and in HEALTH), the session always starts. Call once,
+  // before serving traffic.
+  RecoveryInfo restore_from(dur::StateStore& store);
+
+  // Stable fingerprint of the full control-plane state: allocation ids,
+  // topologies with availability flags, epochs, and remap baselines. Every
+  // journal record seals the writer's post-mutation digest; recovery
+  // recomputes this and compares.
+  [[nodiscard]] std::uint64_t state_digest() const;
+
+  // The session state as restorable lines (what write_snapshot stores):
+  // NODE lines whose serialized topologies carry the availability flags,
+  // then #EPOCH and #LAST directives pinning what NODE replay cannot.
+  [[nodiscard]] std::vector<std::string> snapshot_lines() const;
+
   // True once QUIT was executed.
   [[nodiscard]] bool done() const { return done_; }
   // MAP/REMAP requests answered so far (both OK and ERR, excluding requests
@@ -108,6 +150,16 @@ class ProtocolSession {
 // When `stats_at_eof` is set, a final STATS line is emitted after the loop.
 std::size_t serve(std::istream& in, std::ostream& out,
                   MappingService& service, bool stats_at_eof = false);
+
+// serve() over a caller-owned session (so durability can be attached and
+// restored before the loop, and the final snapshot written after it) with a
+// stop predicate polled before every read — the signal-driven drain exits
+// here. A signal interrupting the blocking read also ends the loop: the
+// reader fails on EINTR, getline returns false, and control comes back.
+std::size_t serve(std::istream& in, std::ostream& out,
+                  ProtocolSession& session, MappingService& service,
+                  bool stats_at_eof = false,
+                  const std::function<bool()>& stop = nullptr);
 
 // The client side of one query: NODE lines defining `alloc` under
 // `alloc_id`, then a MAP line. `options` is the raw "key=value ..." tail

@@ -5,6 +5,7 @@
 #include <exception>
 
 #include "cluster/alloc_serialize.hpp"
+#include "dur/state_store.hpp"
 #include "lama/parallel_mapper.hpp"
 #include "obs/clock.hpp"
 #include "support/error.hpp"
@@ -118,6 +119,12 @@ MapResponse MappingService::run_counted(
   // Begins a trace only when none is active on this thread: the protocol
   // layer's TraceScope (which also covers parse/reply) wins when present.
   obs::TraceScope trace_scope(tracer_.get());
+  // A draining service sheds every new arrival with the retry hint: clients
+  // back off and find the restarted process, in-flight work still finishes.
+  if (draining()) {
+    trace_scope.set_outcome(obs::Outcome::kShed);
+    return shed_response();
+  }
   if (config_.max_inflight > 0) {
     const std::size_t prev =
         inflight_.fetch_add(1, std::memory_order_acq_rel);
@@ -636,6 +643,47 @@ obs::MetricsSnapshot MappingService::metrics_snapshot() const {
     }
   }
 
+  // Durability (all absent when no state store is attached; the lone
+  // lama_draining gauge is always exported so dashboards can alert on a
+  // drain that never finishes).
+  snap.add_scalar("lama_draining", "1 while the service is draining", "gauge",
+                  draining() ? 1.0 : 0.0);
+  if (durability_ != nullptr) {
+    const dur::StoreStats d = durability_->stats();
+    snap.add_scalar("lama_dur_journal_records_total",
+                    "Mutation records appended to the write-ahead journal",
+                    "counter", static_cast<double>(d.journal.appended));
+    snap.add_scalar("lama_dur_journal_bytes_total",
+                    "Bytes appended to the write-ahead journal", "counter",
+                    static_cast<double>(d.journal.bytes));
+    snap.add_scalar("lama_dur_journal_fsyncs_total",
+                    "Journal fsync calls issued", "counter",
+                    static_cast<double>(d.journal.fsyncs));
+    snap.add_scalar("lama_dur_journal_errors_total",
+                    "Journal records lost to write or fsync failures",
+                    "counter",
+                    static_cast<double>(d.journal.write_errors +
+                                        d.journal.fsync_errors));
+    snap.add_scalar("lama_dur_snapshots_total",
+                    "Compacting snapshots written", "counter",
+                    static_cast<double>(d.snapshots));
+    snap.add_scalar("lama_dur_snapshot_errors_total",
+                    "Snapshot rotations that failed", "counter",
+                    static_cast<double>(d.snapshot_errors));
+    snap.add_scalar("lama_dur_recovered_records_total",
+                    "Journal records replayed at startup", "counter",
+                    static_cast<double>(d.recovered_records));
+    snap.add_scalar("lama_dur_torn_tails_total",
+                    "Journal tails truncated at recovery", "counter",
+                    static_cast<double>(d.torn_tails));
+    snap.add_scalar("lama_dur_journal_lag",
+                    "Records appended but not yet fsynced", "gauge",
+                    static_cast<double>(durability_->journal_lag()));
+    snap.add_scalar("lama_dur_snapshot_seq",
+                    "Current snapshot/journal generation", "gauge",
+                    static_cast<double>(durability_->snapshot_seq()));
+  }
+
   // Tracer activity (all zero when tracing is disabled).
   snap.add_scalar("lama_traces_started_total", "Traces begun", "counter",
                   tracer_ ? static_cast<double>(tracer_->started()) : 0.0);
@@ -666,7 +714,28 @@ std::string MappingService::stats_line() const {
       static_cast<unsigned long long>(tracer_ ? tracer_->assembled() : 0),
       static_cast<unsigned long long>(tracer_ ? tracer_->recorder().dumps()
                                               : 0));
-  return counters_.stats_line() + buf;
+  std::string line = counters_.stats_line() + buf;
+  // STATS is append-only: consumers parse by prefix, so the dur keys join
+  // at the end and only when persistence is on.
+  if (durability_ != nullptr) {
+    const dur::StoreStats d = durability_->stats();
+    char dur_buf[256];
+    std::snprintf(
+        dur_buf, sizeof(dur_buf),
+        " dur_records=%llu dur_lag=%llu dur_fsyncs=%llu dur_errors=%llu "
+        "dur_snapshots=%llu dur_recovered=%llu dur_torn=%llu dur_seq=%llu",
+        static_cast<unsigned long long>(d.journal.appended),
+        static_cast<unsigned long long>(durability_->journal_lag()),
+        static_cast<unsigned long long>(d.journal.fsyncs),
+        static_cast<unsigned long long>(d.journal.write_errors +
+                                        d.journal.fsync_errors),
+        static_cast<unsigned long long>(d.snapshots),
+        static_cast<unsigned long long>(d.recovered_records),
+        static_cast<unsigned long long>(d.torn_tails),
+        static_cast<unsigned long long>(durability_->snapshot_seq()));
+    line += dur_buf;
+  }
+  return line;
 }
 
 std::string MappingService::render_stats() const {
@@ -692,6 +761,23 @@ std::string MappingService::render_stats() const {
         static_cast<unsigned long long>(tracer_->recorder().dumps()),
         static_cast<unsigned long long>(tracer_->recorder().size()),
         tracer_->config().sample_every);
+    out += buf;
+  }
+  if (durability_ != nullptr) {
+    const dur::StoreStats d = durability_->stats();
+    std::snprintf(
+        buf, sizeof(buf),
+        "durable  journal %llu records (%llu lost), lag %llu, fsyncs %llu, "
+        "snapshots %llu (seq %llu), recovered %llu, torn tails %llu\n",
+        static_cast<unsigned long long>(d.journal.appended),
+        static_cast<unsigned long long>(d.journal.write_errors +
+                                        d.journal.fsync_errors),
+        static_cast<unsigned long long>(durability_->journal_lag()),
+        static_cast<unsigned long long>(d.journal.fsyncs),
+        static_cast<unsigned long long>(d.snapshots),
+        static_cast<unsigned long long>(durability_->snapshot_seq()),
+        static_cast<unsigned long long>(d.recovered_records),
+        static_cast<unsigned long long>(d.torn_tails));
     out += buf;
   }
   return out;

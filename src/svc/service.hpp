@@ -42,6 +42,10 @@
 #include "svc/worker_pool.hpp"
 #include "tmatch/comm_matrix.hpp"
 
+namespace lama::dur {
+class StateStore;
+}  // namespace lama::dur
+
 namespace lama::svc {
 
 struct ServiceConfig {
@@ -254,6 +258,23 @@ class MappingService {
   // serving traffic: registration is not synchronized against map().
   [[nodiscard]] RmapsRegistry& registry() { return registry_; }
 
+  // Durability (docs/resilience.md): the store is owned by the caller and
+  // written by the protocol layer; attaching it here exposes the dur_*
+  // counters through STATS/METRICS and journal lag through HEALTH. Attach
+  // before serving traffic — the pointer is not synchronized against
+  // concurrent requests.
+  void attach_durability(dur::StateStore* store) { durability_ = store; }
+  [[nodiscard]] dur::StateStore* durability() const { return durability_; }
+
+  // Graceful drain: once begun, map/remap/optimize admission sheds every
+  // new arrival with the busy retry-after reply while in-flight requests
+  // finish; reads (STATS/METRICS/HEALTH/TRACE) keep serving. There is no
+  // undrain — the process is on its way out.
+  void begin_drain() { draining_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
   // Fault injection: invoked (when set) at the start of every request on
   // the executing thread — the injector's hook for worker stalls. Swap-safe
   // while requests are in flight.
@@ -296,6 +317,8 @@ class MappingService {
   obs::LabeledCounter alloc_series_;     // requests per alloc fingerprint
   std::uint64_t start_ns_ = 0;           // monotonic, for uptime_s()
 
+  dur::StateStore* durability_ = nullptr;
+  std::atomic<bool> draining_{false};
   std::atomic<std::size_t> inflight_{0};
   std::atomic<bool> has_fault_hook_{false};
   std::mutex fault_hook_mu_;

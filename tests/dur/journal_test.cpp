@@ -1,0 +1,224 @@
+// Journal codec and file-layer tests (ctest label "dur"). The codec half is
+// exhaustive about torn tails: a crash can cut the file at *any* byte, so
+// the suite truncates an encoded stream at every offset and requires decode
+// to recover exactly the sealed prefix — never a partial record, never a
+// record past a bad seal. The file half covers fsync batching, lag
+// accounting, and the fault hooks the injector drives.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dur/journal.hpp"
+#include "dur/temp_dir.hpp"
+#include "support/error.hpp"
+
+namespace lama::dur {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(JournalCodec, RoundTripsRecords) {
+  std::string buffer;
+  buffer += encode_record("NODE a 4 (pu)", 0x1111);
+  buffer += encode_record("", 0x2222);  // empty payloads are legal
+  buffer += encode_record("OFFLINE a 1", 0x3333);
+
+  const DecodeResult decoded = decode_records(buffer);
+  EXPECT_FALSE(decoded.torn);
+  EXPECT_EQ(decoded.clean_bytes, buffer.size());
+  ASSERT_EQ(decoded.records.size(), 3u);
+  EXPECT_EQ(decoded.records[0].payload, "NODE a 4 (pu)");
+  EXPECT_EQ(decoded.records[0].state_digest, 0x1111u);
+  EXPECT_EQ(decoded.records[1].payload, "");
+  EXPECT_EQ(decoded.records[2].payload, "OFFLINE a 1");
+  EXPECT_EQ(decoded.records[2].state_digest, 0x3333u);
+}
+
+TEST(JournalCodec, TornTailAtEveryByteBoundary) {
+  // The acceptance criterion verbatim: truncate at any byte and recover to
+  // the last sealed record.
+  std::vector<std::string> frames = {
+      encode_record("NODE a 4 (socket (pu) (pu))", 0xAA),
+      encode_record("OFFLINE a 0 1", 0xBB),
+      encode_record("REMAP a", 0xCC),
+  };
+  std::string buffer;
+  std::vector<std::size_t> boundaries = {0};  // clean prefix sizes
+  for (const std::string& f : frames) {
+    buffer += f;
+    boundaries.push_back(buffer.size());
+  }
+
+  for (std::size_t cut = 0; cut <= buffer.size(); ++cut) {
+    const DecodeResult decoded =
+        decode_records(std::string_view(buffer).substr(0, cut));
+    // The clean prefix is the largest boundary at or below the cut.
+    std::size_t want_records = 0;
+    while (want_records + 1 < boundaries.size() &&
+           boundaries[want_records + 1] <= cut) {
+      ++want_records;
+    }
+    EXPECT_EQ(decoded.records.size(), want_records) << "cut at " << cut;
+    EXPECT_EQ(decoded.clean_bytes, boundaries[want_records])
+        << "cut at " << cut;
+    EXPECT_EQ(decoded.torn, cut != boundaries[want_records])
+        << "cut at " << cut;
+    if (decoded.torn) {
+      EXPECT_FALSE(decoded.torn_reason.empty());
+    }
+    for (std::size_t i = 0; i < decoded.records.size(); ++i) {
+      EXPECT_EQ(decoded.records[i].payload,
+                i == 0   ? "NODE a 4 (socket (pu) (pu))"
+                : i == 1 ? "OFFLINE a 0 1"
+                         : "REMAP a");
+    }
+  }
+}
+
+TEST(JournalCodec, StopsAtFirstBadSealAndNeverLoadsPast) {
+  std::string buffer;
+  buffer += encode_record("first", 1);
+  const std::size_t first_end = buffer.size();
+  buffer += encode_record("second", 2);
+  buffer += encode_record("third", 3);
+  buffer[first_end + kRecordHeaderBytes] ^= 0x01;  // corrupt "second"
+
+  const DecodeResult decoded = decode_records(buffer);
+  ASSERT_EQ(decoded.records.size(), 1u);  // "third" is intact but unreachable
+  EXPECT_EQ(decoded.records[0].payload, "first");
+  EXPECT_EQ(decoded.clean_bytes, first_end);
+  EXPECT_TRUE(decoded.torn);
+  EXPECT_NE(decoded.torn_reason.find("seal mismatch"), std::string::npos)
+      << decoded.torn_reason;
+}
+
+TEST(JournalCodec, OversizedLengthFieldIsRejectedNotAllocated) {
+  // A corrupt length byte claims a 4 GiB payload; decode must refuse at the
+  // header, with a bounded reason — not attempt the allocation.
+  std::string buffer = encode_record("good", 7);
+  const std::size_t clean = buffer.size();
+  buffer += std::string("\xff\xff\xff\xff", 4);  // len = 0xffffffff
+  buffer += std::string(12, '\0');               // rest of a header
+
+  const DecodeResult decoded = decode_records(buffer);
+  ASSERT_EQ(decoded.records.size(), 1u);
+  EXPECT_EQ(decoded.clean_bytes, clean);
+  EXPECT_TRUE(decoded.torn);
+  EXPECT_NE(decoded.torn_reason.find("oversized record length"),
+            std::string::npos)
+      << decoded.torn_reason;
+  EXPECT_LT(decoded.torn_reason.size(), 128u);  // bounded, no payload echo
+}
+
+TEST(JournalCodec, OversizedPayloadThrowsOnEncode) {
+  EXPECT_THROW(encode_record(std::string(kMaxRecordPayload + 1, 'x'), 0),
+               ParseError);
+  EXPECT_NO_THROW(encode_record(std::string(kMaxRecordPayload, 'x'), 0));
+}
+
+TEST(JournalFile, AppendsAreDurableByDefault) {
+  TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  Journal journal;
+  ASSERT_TRUE(journal.open(dir.path() + "/j.wal"));  // fsync_every = 1
+  EXPECT_TRUE(journal.append("one", 1));
+  EXPECT_TRUE(journal.append("two", 2));
+  EXPECT_EQ(journal.lag(), 0u);
+  EXPECT_EQ(journal.stats().appended, 2u);
+  EXPECT_EQ(journal.stats().fsyncs, 2u);
+
+  const DecodeResult decoded = decode_records(slurp(journal.path()));
+  ASSERT_EQ(decoded.records.size(), 2u);
+  EXPECT_EQ(decoded.records[1].payload, "two");
+  EXPECT_EQ(decoded.records[1].state_digest, 2u);
+}
+
+TEST(JournalFile, FsyncBatchingReportsLag) {
+  TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  Journal journal;
+  ASSERT_TRUE(journal.open(dir.path() + "/j.wal", /*fsync_every=*/3));
+  EXPECT_TRUE(journal.append("a", 1));
+  EXPECT_TRUE(journal.append("b", 2));
+  EXPECT_EQ(journal.lag(), 2u);  // appended, not yet durable
+  EXPECT_EQ(journal.stats().fsyncs, 0u);
+  EXPECT_TRUE(journal.append("c", 3));  // third record trips the batch
+  EXPECT_EQ(journal.lag(), 0u);
+  EXPECT_EQ(journal.stats().fsyncs, 1u);
+
+  EXPECT_TRUE(journal.append("d", 4));
+  EXPECT_EQ(journal.lag(), 1u);
+  EXPECT_TRUE(journal.flush());  // drain path: explicit flush clears the lag
+  EXPECT_EQ(journal.lag(), 0u);
+  EXPECT_EQ(journal.stats().fsyncs, 2u);
+}
+
+TEST(JournalFile, ClosedJournalCountsLostRecords) {
+  Journal journal;
+  EXPECT_FALSE(journal.append("lost", 1));
+  EXPECT_EQ(journal.stats().write_errors, 1u);
+  EXPECT_FALSE(journal.last_error().empty());
+}
+
+TEST(JournalFile, InjectedWriteFailureLosesExactlyThatRecord) {
+  TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  Journal journal;
+  ASSERT_TRUE(journal.open(dir.path() + "/j.wal"));
+  EXPECT_TRUE(journal.append("kept-1", 1));
+  journal.fail_next_writes(1);
+  EXPECT_FALSE(journal.append("dropped", 2));
+  EXPECT_TRUE(journal.append("kept-2", 3));
+  EXPECT_EQ(journal.stats().write_errors, 1u);
+  EXPECT_EQ(journal.stats().appended, 2u);
+
+  const DecodeResult decoded = decode_records(slurp(journal.path()));
+  ASSERT_EQ(decoded.records.size(), 2u);
+  EXPECT_EQ(decoded.records[0].payload, "kept-1");
+  EXPECT_EQ(decoded.records[1].payload, "kept-2");
+  EXPECT_FALSE(decoded.torn);  // the failed write left no partial bytes
+}
+
+TEST(JournalFile, InjectedCorruptionStopsRecoveryAtTheBadRecord) {
+  TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  Journal journal;
+  ASSERT_TRUE(journal.open(dir.path() + "/j.wal"));
+  EXPECT_TRUE(journal.append("good", 1));
+  journal.corrupt_next_record();
+  EXPECT_TRUE(journal.append("bad-block", 2));  // write succeeds; seal broken
+  EXPECT_TRUE(journal.append("unreachable", 3));
+
+  const DecodeResult decoded = decode_records(slurp(journal.path()));
+  ASSERT_EQ(decoded.records.size(), 1u);
+  EXPECT_EQ(decoded.records[0].payload, "good");
+  EXPECT_TRUE(decoded.torn);
+}
+
+TEST(JournalFile, ReopenAppendsAfterExistingRecords) {
+  TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  const std::string path = dir.path() + "/j.wal";
+  {
+    Journal journal;
+    ASSERT_TRUE(journal.open(path));
+    EXPECT_TRUE(journal.append("before-restart", 1));
+  }
+  Journal journal;
+  ASSERT_TRUE(journal.open(path));
+  EXPECT_TRUE(journal.append("after-restart", 2));
+
+  const DecodeResult decoded = decode_records(slurp(path));
+  ASSERT_EQ(decoded.records.size(), 2u);
+  EXPECT_EQ(decoded.records[0].payload, "before-restart");
+  EXPECT_EQ(decoded.records[1].payload, "after-restart");
+}
+
+}  // namespace
+}  // namespace lama::dur

@@ -1,0 +1,254 @@
+// StateStore tests (ctest label "dur"): the snapshot/journal file layout,
+// rotation, garbage collection, torn-snapshot fallback, torn-journal
+// truncation, and the strict sequence-name parsing that keeps stray files in
+// the state directory from ever being opened as state.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dur/state_store.hpp"
+#include "dur/temp_dir.hpp"
+
+namespace lama::dur {
+namespace {
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+void append_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void truncate_file(const std::string& path, std::size_t keep) {
+  ASSERT_EQ(::truncate(path.c_str(), static_cast<off_t>(keep)), 0);
+}
+
+std::size_t file_size(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 ? static_cast<std::size_t>(st.st_size)
+                                        : 0;
+}
+
+TEST(StateStore, EmptyDirectoryRestoresToGenesis) {
+  TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  StateStore store({.dir = dir.path()});
+  const RestoreResult restored = store.restore();
+  EXPECT_TRUE(restored.snapshot_lines.empty());
+  EXPECT_TRUE(restored.journal_lines.empty());
+  EXPECT_FALSE(restored.have_digest);
+  EXPECT_FALSE(restored.torn_tail);
+  EXPECT_EQ(restored.snapshot_seq, 0u);
+  // Genesis opens journal-0000000000.wal for append.
+  EXPECT_TRUE(store.record("NODE a 1 (pu)", 42));
+  EXPECT_TRUE(file_exists(dir.path() + "/journal-0000000000.wal"));
+}
+
+TEST(StateStore, MissingDirectoryIsCreated) {
+  TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  StateStore store({.dir = dir.path() + "/nested"});
+  const RestoreResult restored = store.restore();
+  EXPECT_TRUE(restored.warnings.empty());
+  EXPECT_TRUE(store.record("NODE a 1 (pu)", 1));
+}
+
+TEST(StateStore, JournalRecordsComeBackInAppendOrder) {
+  TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  {
+    StateStore store({.dir = dir.path()});
+    store.restore();
+    EXPECT_TRUE(store.record("NODE a 4 (pu)", 10));
+    EXPECT_TRUE(store.record("OFFLINE a 0", 20));
+    EXPECT_TRUE(store.record("REMAP a", 30));
+  }
+  StateStore store({.dir = dir.path()});
+  const RestoreResult restored = store.restore();
+  ASSERT_EQ(restored.journal_lines.size(), 3u);
+  EXPECT_EQ(restored.journal_lines[0], "NODE a 4 (pu)");
+  EXPECT_EQ(restored.journal_lines[1], "OFFLINE a 0");
+  EXPECT_EQ(restored.journal_lines[2], "REMAP a");
+  EXPECT_TRUE(restored.have_digest);
+  EXPECT_EQ(restored.expected_digest, 30u);  // the last sealed record's seal
+  EXPECT_EQ(store.stats().recovered_records, 3u);
+}
+
+TEST(StateStore, SnapshotRotationPairsJournalWithSnapshot) {
+  TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  {
+    StateStore store({.dir = dir.path()});
+    store.restore();
+    EXPECT_TRUE(store.record("NODE a 4 (pu)", 10));
+    ASSERT_TRUE(store.write_snapshot({"NODE a 4 (pu)", "#EPOCH a 0"}, 10));
+    EXPECT_EQ(store.snapshot_seq(), 1u);
+    // Mutations after the rotation land in the *new* journal.
+    EXPECT_TRUE(store.record("OFFLINE a 0", 20));
+  }
+  EXPECT_TRUE(file_exists(dir.path() + "/snapshot-0000000001.snap"));
+  EXPECT_TRUE(file_exists(dir.path() + "/journal-0000000001.wal"));
+
+  StateStore store({.dir = dir.path()});
+  const RestoreResult restored = store.restore();
+  EXPECT_EQ(restored.snapshot_seq, 1u);
+  ASSERT_EQ(restored.snapshot_lines.size(), 2u);  // markers excluded
+  EXPECT_EQ(restored.snapshot_lines[0], "NODE a 4 (pu)");
+  EXPECT_EQ(restored.snapshot_lines[1], "#EPOCH a 0");
+  ASSERT_EQ(restored.journal_lines.size(), 1u);
+  EXPECT_EQ(restored.journal_lines[0], "OFFLINE a 0");
+  EXPECT_EQ(restored.expected_digest, 20u);
+}
+
+TEST(StateStore, ShouldSnapshotTicksWithMutations) {
+  TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  StateStore store({.dir = dir.path(), .snapshot_every = 3});
+  store.restore();
+  EXPECT_TRUE(store.record("a", 1));
+  EXPECT_TRUE(store.record("b", 2));
+  EXPECT_FALSE(store.should_snapshot());
+  EXPECT_TRUE(store.record("c", 3));
+  EXPECT_TRUE(store.should_snapshot());
+  ASSERT_TRUE(store.write_snapshot({"a", "b", "c"}, 3));
+  EXPECT_FALSE(store.should_snapshot());  // the rotation reset the clock
+
+  StateStore zero({.dir = dir.path(), .snapshot_every = 0});
+  EXPECT_FALSE(zero.should_snapshot());  // 0 = rotate only on shutdown
+}
+
+TEST(StateStore, TornJournalTailIsTruncatedOnDisk) {
+  TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  {
+    StateStore store({.dir = dir.path()});
+    store.restore();
+    EXPECT_TRUE(store.record("NODE a 4 (pu)", 10));
+    EXPECT_TRUE(store.record("OFFLINE a 0", 20));
+  }
+  const std::string wal = dir.path() + "/journal-0000000000.wal";
+  const std::size_t sealed = file_size(wal);
+  append_bytes(wal, "crash-left-this-half-written");
+
+  StateStore store({.dir = dir.path()});
+  const RestoreResult restored = store.restore();
+  ASSERT_EQ(restored.journal_lines.size(), 2u);
+  EXPECT_TRUE(restored.torn_tail);
+  EXPECT_EQ(restored.truncated_bytes, 28u);
+  EXPECT_EQ(restored.expected_digest, 20u);
+  ASSERT_FALSE(restored.warnings.empty());
+  EXPECT_EQ(store.stats().torn_tails, 1u);
+  // The tail is gone from disk, so the next append lands sealed.
+  EXPECT_EQ(file_size(wal), sealed);
+  EXPECT_TRUE(store.record("ONLINE a 0", 30));
+
+  StateStore again({.dir = dir.path()});
+  const RestoreResult clean = again.restore();
+  EXPECT_FALSE(clean.torn_tail);
+  ASSERT_EQ(clean.journal_lines.size(), 3u);
+  EXPECT_EQ(clean.journal_lines[2], "ONLINE a 0");
+}
+
+TEST(StateStore, TornSnapshotFallsBackOneGeneration) {
+  TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  {
+    StateStore store({.dir = dir.path()});
+    store.restore();
+    ASSERT_TRUE(store.write_snapshot({"NODE a 4 (pu)"}, 11));
+    EXPECT_TRUE(store.record("OFFLINE a 0", 12));
+    ASSERT_TRUE(store.write_snapshot({"NODE a 4 (pu!)", "#EPOCH a 1"}, 22));
+  }
+  // Tear the newest snapshot mid-record, as a crash during a (hypothetical)
+  // partial publish would. Recovery must fall back to generation 1 and its
+  // paired journal, not refuse and not half-load generation 2.
+  const std::string snap2 = dir.path() + "/snapshot-0000000002.snap";
+  truncate_file(snap2, file_size(snap2) - 5);
+
+  StateStore store({.dir = dir.path()});
+  const RestoreResult restored = store.restore();
+  EXPECT_EQ(restored.snapshot_seq, 1u);
+  ASSERT_EQ(restored.snapshot_lines.size(), 1u);
+  EXPECT_EQ(restored.snapshot_lines[0], "NODE a 4 (pu)");
+  ASSERT_EQ(restored.journal_lines.size(), 1u);
+  EXPECT_EQ(restored.journal_lines[0], "OFFLINE a 0");
+  EXPECT_EQ(restored.expected_digest, 12u);
+  EXPECT_EQ(store.stats().snapshots_skipped, 1u);
+  ASSERT_FALSE(restored.warnings.empty());
+  EXPECT_NE(restored.warnings[0].find("torn snapshot"), std::string::npos)
+      << restored.warnings[0];
+}
+
+TEST(StateStore, RotationKeepsPreviousGenerationAndCollectsOlder) {
+  TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  StateStore store({.dir = dir.path()});
+  store.restore();
+  ASSERT_TRUE(store.write_snapshot({"s1"}, 1));
+  ASSERT_TRUE(store.write_snapshot({"s2"}, 2));
+  // Generation 0's journal survives the rotation to 2 (previous = 1 kept).
+  EXPECT_TRUE(file_exists(dir.path() + "/snapshot-0000000001.snap"));
+  EXPECT_TRUE(file_exists(dir.path() + "/snapshot-0000000002.snap"));
+
+  ASSERT_TRUE(store.write_snapshot({"s3"}, 3));
+  EXPECT_FALSE(file_exists(dir.path() + "/snapshot-0000000001.snap"));
+  EXPECT_FALSE(file_exists(dir.path() + "/journal-0000000001.wal"));
+  EXPECT_TRUE(file_exists(dir.path() + "/snapshot-0000000002.snap"));
+  EXPECT_TRUE(file_exists(dir.path() + "/journal-0000000002.wal"));
+  EXPECT_TRUE(file_exists(dir.path() + "/snapshot-0000000003.snap"));
+  EXPECT_EQ(store.stats().snapshots, 3u);
+}
+
+TEST(StateStore, StrayFilesAreNeverOpenedAsState) {
+  TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  {
+    StateStore store({.dir = dir.path()});
+    store.restore();
+    ASSERT_TRUE(store.write_snapshot({"real"}, 7));
+  }
+  // Hostile or accidental names: bad digits, overlong digit runs (would
+  // overflow u64), traversal-looking names, wrong suffixes.
+  for (const char* name :
+       {"snapshot-abc.snap", "snapshot-.snap",
+        "snapshot-99999999999999999999999.snap", "snapshot-1.snap.tmp",
+        "journal-xyz.wal", "journal-..wal", "notes.txt"}) {
+    append_bytes(dir.path() + "/" + name, "garbage");
+  }
+
+  StateStore store({.dir = dir.path()});
+  const RestoreResult restored = store.restore();
+  EXPECT_EQ(restored.snapshot_seq, 1u);
+  ASSERT_EQ(restored.snapshot_lines.size(), 1u);
+  EXPECT_EQ(restored.snapshot_lines[0], "real");
+  EXPECT_EQ(restored.expected_digest, 7u);
+}
+
+TEST(StateStore, OversizedMutationIsRejectedNotWritten) {
+  TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  StateStore store({.dir = dir.path()});
+  store.restore();
+  EXPECT_FALSE(store.record(std::string(kMaxRecordPayload + 1, 'x'), 1));
+  EXPECT_EQ(store.stats().journal.write_errors, 1u);
+  EXPECT_FALSE(store.last_error().empty());
+  EXPECT_TRUE(store.record("fine", 2));  // the store keeps serving
+}
+
+TEST(StateStore, EmptyDirConfigDisablesPersistence) {
+  StateStore store({.dir = ""});
+  const RestoreResult restored = store.restore();
+  EXPECT_TRUE(restored.journal_lines.empty());
+  EXPECT_FALSE(store.write_snapshot({"x"}, 1));
+}
+
+}  // namespace
+}  // namespace lama::dur

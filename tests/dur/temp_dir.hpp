@@ -1,0 +1,60 @@
+// A mkdtemp-backed state directory for durability tests: created fresh per
+// fixture, recursively removed on destruction. Tests exercise real files —
+// torn tails, rotation, and crash windows are filesystem phenomena, so
+// nothing here is mocked.
+#pragma once
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace lama::dur {
+
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/lama-dur-test-XXXXXX";
+    const char* made = ::mkdtemp(tmpl);
+    path_ = made != nullptr ? made : "";
+  }
+
+  ~TempDir() {
+    if (path_.empty()) return;
+    remove_tree(path_);
+  }
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] bool ok() const { return !path_.empty(); }
+
+ private:
+  static void remove_tree(const std::string& dir) {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return;
+    while (const dirent* entry = ::readdir(d)) {
+      if (std::strcmp(entry->d_name, ".") == 0 ||
+          std::strcmp(entry->d_name, "..") == 0) {
+        continue;
+      }
+      const std::string child = dir + "/" + entry->d_name;
+      struct stat st{};
+      if (::lstat(child.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+        remove_tree(child);
+      } else {
+        ::unlink(child.c_str());
+      }
+    }
+    ::closedir(d);
+    ::rmdir(dir.c_str());
+  }
+
+  std::string path_;
+};
+
+}  // namespace lama::dur

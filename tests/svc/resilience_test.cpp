@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "cluster/alloc_serialize.hpp"
+#include "dur/state_store.hpp"
+#include "dur/temp_dir.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 #include "svc/client.hpp"
@@ -493,6 +495,156 @@ TEST(Resilience, NumericOverflowAnswersCleanErr) {
   // And the session still works.
   EXPECT_TRUE(starts_with(drive("MAP a 4 lama"), "OK"));
   EXPECT_EQ(service.counters().errors.load(), 0u);  // parse errors pre-admit
+}
+
+// --- Durability under faults -----------------------------------------------
+// The property at the heart of the snapshot design: compacting must be
+// invisible. For any mutation sequence, restoring from (snapshot + journal
+// since it) must land on the same state digest as replaying the journal from
+// genesis — across randomized OFFLINE/ONLINE/REMAP/MAP sequences.
+
+TEST(Resilience, SnapshotPlusReplayEqualsGenesisReplay) {
+  const Allocation alloc = small_alloc(3);
+  for (const std::uint64_t seed : {11ULL, 77ULL, 4242ULL, 0xBEEFULL}) {
+    // Build a randomized mutation script. Seeded: failures reproduce.
+    SplitMix64 rng(seed);
+    std::vector<std::string> script;
+    {
+      std::istringstream defs(format_query(alloc, "p", 1, "lama"));
+      std::string line;
+      while (std::getline(defs, line)) {
+        if (starts_with(line, "NODE ")) script.push_back(line);
+      }
+    }
+    script.push_back("MAP p 6 lama:nsch");  // REMAP needs a baseline
+    std::size_t offline_nodes = 0;
+    for (int i = 0; i < 40; ++i) {
+      const std::size_t node = rng.next_below(3);
+      switch (rng.next_below(4)) {
+        case 0:
+          // Never take the last node down: REMAP must stay possible.
+          if (offline_nodes + 1 < 3) {
+            script.push_back("OFFLINE p " + std::to_string(node));
+            ++offline_nodes;
+          }
+          break;
+        case 1:
+          script.push_back("ONLINE p " + std::to_string(node));
+          offline_nodes = 0;  // conservative: at most overestimates capacity
+          break;
+        case 2:
+          script.push_back("REMAP p");
+          break;
+        default:
+          script.push_back("MAP p " + std::to_string(2 + rng.next_below(4)) +
+                           " lama");
+          break;
+      }
+    }
+
+    // Drive the identical script through two stores: one compacting
+    // aggressively (snapshot every 5 mutations), one never (journal from
+    // genesis). OFFLINE of an already-offline node answers ERR — fine, both
+    // sessions see the same answer and journal the same lines.
+    const auto run_script = [&](dur::StateStore& store) {
+      MappingService service({.workers = 0});
+      service.attach_durability(&store);
+      ProtocolSession session(service);
+      std::istringstream no_more;
+      session.restore_from(store);
+      for (const std::string& line : script) {
+        (void)session.execute(line, no_more);
+      }
+      store.flush();
+      return session.state_digest();
+    };
+    dur::TempDir compacted_dir, genesis_dir;
+    ASSERT_TRUE(compacted_dir.ok());
+    ASSERT_TRUE(genesis_dir.ok());
+    dur::StateStore compacted(
+        {.dir = compacted_dir.path(), .snapshot_every = 5});
+    dur::StateStore genesis(
+        {.dir = genesis_dir.path(), .snapshot_every = 0});
+    const std::uint64_t live_a = run_script(compacted);
+    const std::uint64_t live_b = run_script(genesis);
+    ASSERT_EQ(live_a, live_b) << "seed " << seed;
+
+    // Restore each directory into a fresh session: snapshot+replay and pure
+    // genesis replay must both rebuild the live digest exactly.
+    const auto restore_digest = [](const std::string& dir,
+                                   std::uint64_t expect) {
+      MappingService service({.workers = 0});
+      dur::StateStore store({.dir = dir, .prewarm = false});
+      service.attach_durability(&store);
+      ProtocolSession session(service);
+      const ProtocolSession::RecoveryInfo info = session.restore_from(store);
+      EXPECT_TRUE(info.self_check_ok);
+      EXPECT_EQ(info.replay_errors, 0u);
+      EXPECT_EQ(session.state_digest(), expect);
+    };
+    restore_digest(compacted_dir.path(), live_a);
+    restore_digest(genesis_dir.path(), live_a);
+  }
+}
+
+TEST(Resilience, DurabilityFaultClassesHoldInvariants) {
+  // The four durability fault classes — journal write failures, fsync
+  // stalls, sealed-record corruption, and a kill at a random byte during
+  // recovery — against a live session with a real store. The recovery
+  // self-check inside the harness restores from the (possibly truncated,
+  // possibly corrupt) directory and must come up clean every time.
+  const Allocation alloc =
+      allocate_all(Cluster::homogeneous(3, "socket:2 core:4 pu:2"));
+  FaultMix mix;
+  mix.journal_write_fails = 2;
+  mix.fsync_stalls = 1;
+  mix.corrupt_records = 2;
+  mix.recovery_kills = 2;
+  for (const std::uint64_t seed : {3ULL, 21ULL, 0xACEULL}) {
+    dur::TempDir dir;
+    ASSERT_TRUE(dir.ok());
+    MappingService service({.workers = 0});
+    dur::StateStore store({.dir = dir.path()});
+    service.attach_durability(&store);
+    const FaultPlan plan = FaultPlan::random(seed, 120, mix, alloc);
+
+    std::set<FaultKind> kinds;
+    for (const FaultEvent& e : plan.events) kinds.insert(e.kind);
+    ASSERT_TRUE(kinds.count(FaultKind::kJournalWriteFail)) << "seed " << seed;
+    ASSERT_TRUE(kinds.count(FaultKind::kKillDuringRecovery))
+        << "seed " << seed;
+
+    const InjectionOutcome outcome = run_fault_injection(service, alloc, plan);
+    EXPECT_TRUE(outcome.passed()) << "seed " << seed << "\n"
+                                  << outcome.report();
+    EXPECT_EQ(outcome.faults_applied, plan.events.size());
+    // The injected write failures really dropped records (counted, silent).
+    EXPECT_GE(store.stats().journal.write_errors, 2u);
+  }
+}
+
+TEST(Resilience, DefaultFaultMixDrawsNoDurabilityEvents) {
+  // FaultMix's durability counts default to 0, and a zero count draws
+  // nothing from the seed stream — so plans recorded before the classes
+  // existed replay byte-identically under FaultMix{}. Checked here as: the
+  // default mix schedules no durability events, and the same seed always
+  // yields the same plan.
+  const Allocation alloc = small_alloc(3);
+  const FaultPlan plan = FaultPlan::random(99, 80, FaultMix{}, alloc);
+  for (const FaultEvent& e : plan.events) {
+    EXPECT_NE(e.kind, FaultKind::kJournalWriteFail);
+    EXPECT_NE(e.kind, FaultKind::kFsyncStall);
+    EXPECT_NE(e.kind, FaultKind::kCorruptRecord);
+    EXPECT_NE(e.kind, FaultKind::kKillDuringRecovery);
+  }
+  const FaultPlan again = FaultPlan::random(99, 80, FaultMix{}, alloc);
+  ASSERT_EQ(again.events.size(), plan.events.size());
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    EXPECT_EQ(again.events[i].kind, plan.events[i].kind);
+    EXPECT_EQ(again.events[i].at_request, plan.events[i].at_request);
+    EXPECT_EQ(again.events[i].node, plan.events[i].node);
+    EXPECT_EQ(again.events[i].payload, plan.events[i].payload);
+  }
 }
 
 }  // namespace

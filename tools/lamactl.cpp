@@ -13,6 +13,7 @@
 //
 //   lamactl query --cluster cluster.txt -np 8 --map-by lama:scbnh |
 //     lamactl serve --workers 8 --stats
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -23,6 +24,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "dur/state_store.hpp"
 #include "obs/chrome.hpp"
 #include "rte/runtime.hpp"
 #include "sim/evaluator.hpp"
@@ -35,9 +37,32 @@
 #include "svc/service.hpp"
 #include "tmatch/comm_matrix.hpp"
 
+// Exit codes shared by the client-side subcommands: 0 success, 1 error,
+// 2 failed fault-injection invariants, 3 still busy after retries exhausted
+// (the caller should back off and try again later — distinct from a hard
+// error so scripts can tell "overloaded" from "broken").
+constexpr int kExitBusy = 3;
+
 namespace {
 
 using namespace lama;
+
+// Set by SIGTERM/SIGINT: the serve loop notices, drains, and exits cleanly.
+volatile std::sig_atomic_t g_signal = 0;
+
+void handle_shutdown_signal(int sig) { g_signal = sig; }
+
+// Install without SA_RESTART so a signal interrupts the blocking stdin read
+// (getline fails with EINTR) instead of silently restarting it — the serve
+// loop must wake up to drain.
+void install_shutdown_signals() {
+  struct sigaction sa = {};
+  sa.sa_handler = handle_shutdown_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
@@ -62,11 +87,17 @@ void install_trace_dump(svc::MappingService& service, const std::string& dir) {
   });
 }
 
-// `lamactl serve`: run the mapping service over stdin/stdout.
+// `lamactl serve`: run the mapping service over stdin/stdout. With
+// --state-dir, state mutations journal to disk and a restart restores them
+// (docs/resilience.md); SIGTERM/SIGINT drain gracefully — in-flight work
+// finishes or is shed with retry-after, the journal is flushed, a final
+// snapshot compacts the state, and the process exits 0.
 int run_serve(const std::vector<std::string>& args) {
   svc::ServiceConfig config;
   bool stats = false;
   std::string trace_dump;
+  dur::DurConfig dur_config;
+  bool persist = true;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     auto need_value = [&] {
@@ -75,7 +106,19 @@ int run_serve(const std::vector<std::string>& args) {
       }
       return args[++i];
     };
-    if (arg == "--workers") {
+    if (arg == "--state-dir") {
+      dur_config.dir = need_value();
+    } else if (arg == "--no-persist") {
+      persist = false;
+    } else if (arg == "--snapshot-every") {
+      dur_config.snapshot_every =
+          parse_size(need_value(), "serve snapshot-every");
+    } else if (arg == "--fsync-every") {
+      dur_config.fsync_every = parse_size(need_value(), "serve fsync-every");
+      if (dur_config.fsync_every == 0) dur_config.fsync_every = 1;
+    } else if (arg == "--no-prewarm") {
+      dur_config.prewarm = false;
+    } else if (arg == "--workers") {
       config.workers = parse_size(need_value(), "serve workers");
     } else if (arg == "--shards") {
       config.cache_shards = parse_size(need_value(), "serve shards");
@@ -111,7 +154,43 @@ int run_serve(const std::vector<std::string>& args) {
   }
   svc::MappingService service(config);
   install_trace_dump(service, trace_dump);
-  svc::serve(std::cin, std::cout, service, stats);
+  install_shutdown_signals();
+
+  std::unique_ptr<dur::StateStore> store;
+  svc::ProtocolSession session(service);
+  if (!dur_config.dir.empty() && persist) {
+    store = std::make_unique<dur::StateStore>(dur_config);
+    service.attach_durability(store.get());
+    const svc::ProtocolSession::RecoveryInfo info =
+        session.restore_from(*store);
+    for (const std::string& warning : info.warnings) {
+      std::fprintf(stderr, "lamactl: recovery: %s\n", warning.c_str());
+    }
+  }
+
+  // The stop predicate begins the drain the moment a shutdown signal lands:
+  // admission sheds new work with retry-after while reads keep serving, and
+  // the loop exits (the signal also breaks the blocking getline).
+  svc::serve(std::cin, std::cout, session, service, stats, [&service] {
+    if (g_signal != 0 && !service.draining()) service.begin_drain();
+    return service.draining();
+  });
+
+  // Shutdown — signal-driven or clean EOF/QUIT: flush every batched journal
+  // record, then compact the state into a final snapshot so the next start
+  // restores without replay.
+  service.begin_drain();
+  if (store != nullptr) {
+    store->flush();
+    store->write_snapshot(session.snapshot_lines(), session.state_digest());
+    if (g_signal != 0) {
+      std::fprintf(stderr,
+                   "lamactl: drained on signal %d (journal flushed, "
+                   "snapshot seq=%llu)\n",
+                   static_cast<int>(g_signal),
+                   static_cast<unsigned long long>(store->snapshot_seq()));
+    }
+  }
   return 0;
 }
 
@@ -205,6 +284,7 @@ int run_query(const std::vector<std::string>& args) {
     if (stats) {
       std::printf("%s", service.render_stats().c_str());
     }
+    if (result.gave_up_busy) return kExitBusy;
     return result.ok() ? 0 : 1;
   }
   std::string out = svc::format_query(alloc, alloc_id, np, spec, options);
@@ -348,7 +428,8 @@ int run_mapbatch(const std::vector<std::string>& args) {
   if (stats) {
     std::printf("%s", service.render_stats().c_str());
   }
-  return result.ok() && !result.gave_up_busy ? 0 : 1;
+  if (result.gave_up_busy) return kExitBusy;
+  return result.ok() ? 0 : 1;
 }
 
 // `lamactl optimize`: one OPTIMIZE request — search the placement space for
@@ -470,6 +551,118 @@ int run_optimize(const std::vector<std::string>& args) {
   return starts_with(response, "OK") ? 0 : 1;
 }
 
+// `lamactl offline|online|remap`: one-shot control-plane mutations. Default
+// prints the protocol line, ready to pipe into a running `lamactl serve`;
+// --exec runs it against an in-process service (NODE lines from --cluster
+// first) through the retrying client. Exit codes: 0 OK, 1 error, 3 when the
+// server still answers "ERR busy retry-after=<ms>" after retries exhausted.
+int run_mutation(const std::string& verb, const std::vector<std::string>& args) {
+  std::string cluster_path;
+  std::string hostfile_path;
+  std::string alloc_id = "a0";
+  std::optional<std::size_t> node;
+  std::vector<std::string> pus;
+  std::string timeout_ms;
+  bool exec = false;
+  svc::RetryPolicy retry;
+  svc::ServiceConfig exec_config;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto need_value = [&] {
+      if (i + 1 >= args.size()) {
+        throw ParseError("option " + arg + " requires a value");
+      }
+      return args[++i];
+    };
+    if (arg == "--cluster") {
+      cluster_path = need_value();
+    } else if (arg == "--hostfile") {
+      hostfile_path = need_value();
+    } else if (arg == "--id") {
+      alloc_id = need_value();
+    } else if (arg == "--node" && verb != "remap") {
+      node = parse_size(need_value(), verb + " node index");
+    } else if (arg == "--pus" && verb != "remap") {
+      // Comma-separated PU indices; validated server-side against the node.
+      for (const std::string& pu : split(need_value(), ',')) {
+        parse_size(pu, verb + " pu index");
+        pus.push_back(pu);
+      }
+    } else if (arg == "--timeout-ms" && verb == "remap") {
+      timeout_ms = need_value();
+    } else if (arg == "--exec") {
+      exec = true;
+    } else if (arg == "--retries") {
+      retry.max_attempts = parse_size(need_value(), verb + " retries");
+    } else if (arg == "--backoff-ms") {
+      retry.base_ms = static_cast<std::uint32_t>(
+          parse_size(need_value(), verb + " backoff-ms"));
+    } else if (arg == "--max-inflight") {
+      exec_config.max_inflight =
+          parse_size(need_value(), verb + " max-inflight");
+    } else {
+      throw ParseError("unknown " + verb + " option: " + arg);
+    }
+  }
+
+  std::string command;
+  if (verb == "remap") {
+    command = "REMAP " + alloc_id;
+    if (!timeout_ms.empty()) command += " timeout=" + timeout_ms;
+  } else {
+    if (!node.has_value()) {
+      throw ParseError("--node <index> is required for " + verb);
+    }
+    command = (verb == "offline" ? "OFFLINE " : "ONLINE ") + alloc_id + " " +
+              std::to_string(*node);
+    for (const std::string& pu : pus) command += " " + pu;
+  }
+
+  if (!exec) {
+    std::printf("%s\n", command.c_str());
+    return 0;
+  }
+  if (cluster_path.empty()) {
+    throw ParseError("--exec needs --cluster <file>");
+  }
+  const Cluster cluster = parse_cluster_file(read_file(cluster_path));
+  const Allocation alloc =
+      hostfile_path.empty()
+          ? allocate_all(cluster)
+          : parse_hostfile(cluster, read_file(hostfile_path));
+
+  svc::MappingService service(exec_config);
+  svc::ProtocolSession session(service);
+  std::istringstream no_more;
+  std::string node_lines = svc::format_query(alloc, alloc_id, 1, "lama");
+  node_lines.erase(node_lines.rfind("MAP "));
+  std::size_t pos = 0;
+  while (pos < node_lines.size()) {
+    const auto nl = node_lines.find('\n', pos);
+    session.execute(node_lines.substr(pos, nl - pos), no_more);
+    pos = nl == std::string::npos ? node_lines.size() : nl + 1;
+  }
+  // REMAP needs a baseline mapping to re-place.
+  if (verb == "remap") {
+    session.execute("MAP " + alloc_id + " 2 lama", no_more);
+  }
+  svc::QueryClient client(
+      [&](const std::string& line) {
+        std::string response = session.execute(line, no_more);
+        if (!response.empty() && response.back() == '\n') response.pop_back();
+        return response;
+      },
+      retry);
+  const svc::QueryResult result = client.send(command);
+  std::printf("%s\n", result.response.c_str());
+  if (result.attempts > 1) {
+    std::printf("# attempts=%zu backoff-ms=%llu\n", result.attempts,
+                static_cast<unsigned long long>(result.total_backoff_ms));
+  }
+  if (result.gave_up_busy) return kExitBusy;
+  return result.ok() ? 0 : 1;
+}
+
 // `lamactl inject`: replay a seeded fault schedule against an in-process
 // service and report whether the resilience invariants held.
 int run_inject(const std::vector<std::string>& args) {
@@ -482,6 +675,7 @@ int run_inject(const std::vector<std::string>& args) {
   config.workers = 0;  // deterministic by default; faults are interleaved
   bool stats = false;
   std::string trace_dump;
+  std::string state_dir;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     auto need_value = [&] {
@@ -510,6 +704,16 @@ int run_inject(const std::vector<std::string>& args) {
       mix.tree_corruptions = parse_size(need_value(), "inject corruptions");
     } else if (arg == "--stalls") {
       mix.worker_stalls = parse_size(need_value(), "inject stalls");
+    } else if (arg == "--journal-fails") {
+      mix.journal_write_fails = parse_size(need_value(), "inject journal-fails");
+    } else if (arg == "--fsync-stalls") {
+      mix.fsync_stalls = parse_size(need_value(), "inject fsync-stalls");
+    } else if (arg == "--corrupt-records") {
+      mix.corrupt_records = parse_size(need_value(), "inject corrupt-records");
+    } else if (arg == "--recovery-kills") {
+      mix.recovery_kills = parse_size(need_value(), "inject recovery-kills");
+    } else if (arg == "--state-dir") {
+      state_dir = need_value();
     } else if (arg == "--max-inflight") {
       config.max_inflight = parse_size(need_value(), "inject max-inflight");
     } else if (arg == "--timeout-ms") {
@@ -540,6 +744,16 @@ int run_inject(const std::vector<std::string>& args) {
       svc::FaultPlan::random(seed, requests, mix, alloc);
   svc::MappingService service(config);
   install_trace_dump(service, trace_dump);
+  // With --state-dir the injector's session journals its mutations, which
+  // the durability fault classes (--journal-fails, --fsync-stalls,
+  // --corrupt-records, --recovery-kills) act on.
+  std::unique_ptr<dur::StateStore> store;
+  if (!state_dir.empty()) {
+    dur::DurConfig dur_config;
+    dur_config.dir = state_dir;
+    store = std::make_unique<dur::StateStore>(dur_config);
+    service.attach_durability(store.get());
+  }
   const svc::InjectionOutcome outcome =
       svc::run_fault_injection(service, alloc, plan);
   std::printf("seed %llu: %s", static_cast<unsigned long long>(seed),
@@ -828,6 +1042,10 @@ int main(int argc, char** argv) {
     if (!args.empty() && args[0] == "optimize") {
       return run_optimize({args.begin() + 1, args.end()});
     }
+    if (!args.empty() &&
+        (args[0] == "offline" || args[0] == "online" || args[0] == "remap")) {
+      return run_mutation(args[0], {args.begin() + 1, args.end()});
+    }
     if (!args.empty() && args[0] == "inject") {
       return run_inject({args.begin() + 1, args.end()});
     }
@@ -854,6 +1072,10 @@ int main(int argc, char** argv) {
         "               [--retry-after-ms N] [--no-verify] [--stats]\n"
         "               [--flight-recorder N] [--trace-sample N]\n"
         "               [--trace-seed N] [--trace-dump <dir>]\n"
+        "               [--state-dir <dir> [--snapshot-every N]\n"
+        "                [--fsync-every N] [--no-prewarm] | --no-persist]\n"
+        "               # --state-dir journals mutations and restores them\n"
+        "               # on restart; SIGTERM/SIGINT drain and exit 0\n"
         "       lamactl query --cluster <file> [--hostfile <file>] -np N\n"
         "               [--map-by <spec>] [--bind-to <level>] [--id <name>]\n"
         "               [--npernode N] [--timeout-ms N] [--stats]\n"
@@ -869,12 +1091,20 @@ int main(int argc, char** argv) {
         "               [--budget N] [--passes N] [--timeout-ms N]\n"
         "               [--threads N] [--id <name>] [--stats]\n"
         "               [--exec [--workers N]]  # communication-aware search\n"
+        "       lamactl offline|online --id <name> --node N [--pus N,N...]\n"
+        "               [--exec --cluster <file> [--hostfile <file>]\n"
+        "                [--retries N] [--backoff-ms N] [--max-inflight N]]\n"
+        "       lamactl remap [--id <name>] [--timeout-ms N] [--exec ...]\n"
+        "               # one-shot verbs; print the protocol line, or --exec\n"
+        "               # it with retries (exit 3 = still busy after retries)\n"
         "       lamactl inject --cluster <file> [--seed N] [--requests N]\n"
         "               [--node-deaths N] [--node-recoveries N]\n"
         "               [--pu-offlines N] [--malformed N] [--corruptions N]\n"
-        "               [--stalls N] [--max-inflight N] [--timeout-ms N]\n"
-        "               [--flight-recorder N] [--trace-sample N]\n"
-        "               [--trace-dump <dir>]\n"
+        "               [--stalls N] [--journal-fails N] [--fsync-stalls N]\n"
+        "               [--corrupt-records N] [--recovery-kills N]\n"
+        "               [--state-dir <dir>] [--max-inflight N]\n"
+        "               [--timeout-ms N] [--flight-recorder N]\n"
+        "               [--trace-sample N] [--trace-dump <dir>]\n"
         "               [--stats]          # seeded fault-injection replay\n"
         "       lamactl stats [--json]     # print the STATS protocol line\n"
         "       lamactl metrics [--json]   # print the METRICS protocol line\n"
