@@ -32,6 +32,13 @@ enum class Stage : std::uint8_t {
   kOptimize,       // a whole OPTIMIZE placement search (cache miss)
   kOptCandidate,   // pricing one seed candidate (detail = candidate index)
   kOptRefine,      // pairwise-exchange refinement of the winning seed
+  // Event-loop server stages (svc/event_loop.hpp). detail carries the
+  // connection id so one trace's spans can be pinned to one socket.
+  kAccept,         // accepting one connection
+  kNetRead,        // draining one readable socket into its buffer
+  kFrame,          // delimiting one request (text line or binary frame)
+  kDispatch,       // one framed request through the protocol session
+  kNetWrite,       // flushing one connection's write buffer
 };
 
 constexpr const char* stage_name(Stage s) {
@@ -53,6 +60,11 @@ constexpr const char* stage_name(Stage s) {
     case Stage::kOptimize: return "optimize";
     case Stage::kOptCandidate: return "opt_candidate";
     case Stage::kOptRefine: return "opt_refine";
+    case Stage::kAccept: return "accept";
+    case Stage::kNetRead: return "read";
+    case Stage::kFrame: return "frame";
+    case Stage::kDispatch: return "dispatch";
+    case Stage::kNetWrite: return "write";
   }
   return "unknown";
 }

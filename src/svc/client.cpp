@@ -1,12 +1,24 @@
 #include "svc/client.hpp"
 
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <cstring>
 #include <istream>
 #include <ostream>
 #include <thread>
 
+#include <arpa/inet.h>
+
+#include "support/error.hpp"
 #include "support/strings.hpp"
+#include "svc/event_loop.hpp"
 #include "svc/protocol.hpp"
 
 namespace lama::svc {
@@ -199,6 +211,275 @@ QueryClient::MultiTransport stream_multi_transport(std::ostream& out,
     }
     return lines;
   };
+}
+
+// ---- NetChannel ------------------------------------------------------------
+
+namespace {
+
+std::string_view first_word(std::string_view text) {
+  const std::size_t b = text.find_first_not_of(" \t");
+  if (b == std::string_view::npos) return {};
+  const std::size_t e = text.find_first_of(" \t\n", b);
+  return text.substr(b, e == std::string_view::npos ? e : e - b);
+}
+
+}  // namespace
+
+NetChannel::NetChannel(ReadFn read_fn, WriteFn write_fn)
+    : read_fn_(std::move(read_fn)), write_fn_(std::move(write_fn)) {}
+
+NetChannel NetChannel::over_fd(int fd) {
+  return NetChannel(
+      [fd](char* buf, std::size_t len) {
+        return static_cast<long>(::read(fd, buf, len));
+      },
+      [fd](const char* buf, std::size_t len) {
+        // MSG_NOSIGNAL so a dead peer surfaces as EPIPE (and the retry loop
+        // reconnects) instead of SIGPIPE killing the client. Non-socket fds
+        // (pipes in tests) fall back to write().
+        const long w = static_cast<long>(::send(fd, buf, len, MSG_NOSIGNAL));
+        if (w < 0 && errno == ENOTSOCK) {
+          return static_cast<long>(::write(fd, buf, len));
+        }
+        return w;
+      });
+}
+
+bool NetChannel::write_all(std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const long w = write_fn_(data.data() + off, data.size() - off);
+    if (w > 0) {
+      off += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return false;  // EOF-ish write or hard error
+  }
+  return true;
+}
+
+bool NetChannel::fill_some(std::string& error) {
+  char buf[4096];
+  for (;;) {
+    const long r = read_fn_(buf, sizeof(buf));
+    if (r > 0) {
+      buf_.append(buf, static_cast<std::size_t>(r));
+      return true;
+    }
+    if (r == 0) {
+      error = "connection closed";
+      return false;
+    }
+    if (errno == EINTR) continue;
+    error = std::string("read: ") + std::strerror(errno);
+    return false;
+  }
+}
+
+bool NetChannel::read_line(std::string& line) {
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      line.assign(buf_, 0, nl);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      buf_.erase(0, nl + 1);
+      return true;
+    }
+    std::string error;
+    if (!fill_some(error)) return false;
+  }
+}
+
+bool NetChannel::write_frame(WireVerb verb, std::string_view payload) {
+  return write_all(encode_frame(verb, payload));
+}
+
+bool NetChannel::read_frame(WireVerb& verb, std::string& payload,
+                            std::string& error) {
+  for (;;) {
+    WireFrame frame;
+    std::size_t consumed = 0;
+    const FrameStatus status = decode_frame(buf_, frame, consumed, error);
+    if (status == FrameStatus::kBad) return false;
+    if (status == FrameStatus::kFrame) {
+      verb = frame.verb;
+      payload.assign(frame.payload);
+      buf_.erase(0, consumed);
+      return true;
+    }
+    if (!fill_some(error)) return false;
+  }
+}
+
+// ---- SocketClient ----------------------------------------------------------
+
+SocketClient::SocketClient(ConnectConfig config)
+    : config_(std::move(config)) {}
+
+SocketClient::~SocketClient() { close(); }
+
+void SocketClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool SocketClient::ensure_connected(std::string& error) {
+  if (fd_ >= 0) return true;
+  ListenAddress addr;
+  try {
+    addr = parse_listen_address(config_.address);
+  } catch (const Error& e) {
+    error = e.what();
+    return false;
+  }
+  int fd = -1;
+  if (addr.is_unix) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    sockaddr_un sun{};
+    sun.sun_family = AF_UNIX;
+    std::strncpy(sun.sun_path, addr.path.c_str(), sizeof(sun.sun_path) - 1);
+    if (fd < 0 ||
+        ::connect(fd, reinterpret_cast<sockaddr*>(&sun), sizeof(sun)) < 0) {
+      error = "connect " + addr.to_string() + ": " + std::strerror(errno);
+      if (fd >= 0) ::close(fd);
+      return false;
+    }
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    sockaddr_in sin{};
+    sin.sin_family = AF_INET;
+    sin.sin_port = htons(addr.port);
+    const std::string host =
+        (addr.host == "*" || addr.host == "0.0.0.0" ||
+         addr.host == "localhost")
+            ? "127.0.0.1"
+            : addr.host;
+    if (fd < 0 || ::inet_pton(AF_INET, host.c_str(), &sin.sin_addr) != 1 ||
+        ::connect(fd, reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) < 0) {
+      error = "connect " + addr.to_string() + ": " + std::strerror(errno);
+      if (fd >= 0) ::close(fd);
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  fd_ = fd;
+  if (ever_connected_) ++reconnects_;
+  ever_connected_ = true;
+  return true;
+}
+
+bool SocketClient::exchange(const std::string& command,
+                            std::vector<std::string>& lines,
+                            std::string& error) {
+  NetChannel channel = NetChannel::over_fd(fd_);
+  const std::string_view keyword = first_word(command);
+  if (config_.binary) {
+    const std::optional<WireVerb> verb = wire_verb_for_keyword(keyword);
+    if (!verb) {
+      // Not a connection failure — do not burn reconnect attempts on it.
+      lines = {"ERR unknown command keyword: " + std::string(keyword)};
+      return true;
+    }
+    if (!channel.write_frame(*verb, command)) {
+      error = "write failed: " + std::string(std::strerror(errno));
+      return false;
+    }
+    WireVerb rverb = WireVerb::kErr;
+    std::string payload;
+    if (!channel.read_frame(rverb, payload, error)) return false;
+    std::size_t pos = 0;
+    while (pos < payload.size()) {
+      const std::size_t nl = payload.find('\n', pos);
+      if (nl == std::string::npos) {
+        lines.push_back(payload.substr(pos));
+        break;
+      }
+      lines.push_back(payload.substr(pos, nl - pos));
+      pos = nl + 1;
+    }
+    return true;
+  }
+
+  if (!channel.write_all(command + "\n")) {
+    error = "write failed: " + std::string(std::strerror(errno));
+    return false;
+  }
+  const auto read_one = [&]() -> bool {
+    std::string line;
+    if (!channel.read_line(line)) {
+      error = "connection closed mid-response";
+      return false;
+    }
+    lines.push_back(std::move(line));
+    return true;
+  };
+  if (keyword == "MAPBATCH") {
+    do {
+      if (!read_one()) return false;
+    } while (starts_with(lines.back(), "JOB "));
+    return true;
+  }
+  if (keyword == "BATCH") {
+    std::size_t n = 1;
+    try {
+      n = parse_size_bounded(
+          std::string(first_word(command.substr(
+              command.find("BATCH") + 5))),
+          "batch count", kMaxBatch);
+    } catch (...) {
+      n = 1;  // the server answers one ERR line for a bad count
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!read_one()) return false;
+    }
+    return true;
+  }
+  if (keyword == "METRICS" && command.find("json") == std::string::npos) {
+    do {
+      if (!read_one()) return false;
+    } while (lines.back() != "# EOF");
+    return true;
+  }
+  return read_one();
+}
+
+std::vector<std::string> SocketClient::request(const std::string& command) {
+  std::string error = "no attempts made";
+  const std::size_t attempts = std::max<std::size_t>(config_.max_attempts, 1);
+  for (std::size_t attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      std::uint64_t delay = config_.backoff_base_ms;
+      for (std::size_t i = 2; i < attempt && delay < config_.backoff_max_ms;
+           ++i) {
+        delay *= 2;
+      }
+      delay = std::min<std::uint64_t>(delay, config_.backoff_max_ms);
+      if (delay > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      }
+    }
+    if (!ensure_connected(error)) continue;
+    std::vector<std::string> lines;
+    if (exchange(command, lines, error)) return lines;
+    close();  // the connection died mid-exchange; retry on a fresh one
+  }
+  return {"ERR connect: " + error};
+}
+
+QueryClient::Transport SocketClient::transport() {
+  return [this](const std::string& line) {
+    const std::vector<std::string> lines = request(line);
+    return lines.empty() ? std::string() : lines.front();
+  };
+}
+
+QueryClient::MultiTransport SocketClient::multi_transport() {
+  return [this](const std::string& line) { return request(line); };
 }
 
 }  // namespace lama::svc

@@ -12,10 +12,12 @@
 #include <functional>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cluster/cluster.hpp"
 #include "support/rng.hpp"
+#include "svc/wire.hpp"
 
 namespace lama::svc {
 
@@ -130,5 +132,92 @@ std::string format_mapbatch(const std::vector<BatchJob>& jobs);
 // returned last.
 QueryClient::MultiTransport stream_multi_transport(std::ostream& out,
                                                    std::istream& in);
+
+// ---- Socket client ---------------------------------------------------------
+
+// Framing over a raw byte stream with the failure modes real sockets have:
+// EINTR, short reads, short writes. The I/O functions follow POSIX read/
+// write semantics (bytes moved, 0 = EOF on read, -1 with errno on error) and
+// are injectable so the reassembly logic is unit-testable without a socket
+// (tests/svc/net_client_test.cpp drip-feeds bytes and interleaves EINTR).
+class NetChannel {
+ public:
+  using ReadFn = std::function<long(char* buf, std::size_t len)>;
+  using WriteFn = std::function<long(const char* buf, std::size_t len)>;
+
+  NetChannel(ReadFn read_fn, WriteFn write_fn);
+
+  // A channel over a connected file descriptor (not owned).
+  static NetChannel over_fd(int fd);
+
+  // Writes the whole buffer, absorbing EINTR and short writes. False on a
+  // hard error.
+  bool write_all(std::string_view data);
+
+  // Reads one '\n'-terminated line (terminator and any '\r' stripped),
+  // reassembling across short reads. False on EOF or error before the
+  // newline arrives.
+  bool read_line(std::string& line);
+
+  // One binary frame out / in (svc/wire.hpp). read_frame returns false on
+  // EOF, I/O error, or framing damage — `error` says which.
+  bool write_frame(WireVerb verb, std::string_view payload);
+  bool read_frame(WireVerb& verb, std::string& payload, std::string& error);
+
+  // Bytes buffered but not yet consumed (tests assert reassembly state).
+  [[nodiscard]] std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  bool fill_some(std::string& error);  // one read into the buffer
+
+  ReadFn read_fn_;
+  WriteFn write_fn_;
+  std::string buf_;  // inbound bytes not yet returned
+};
+
+// A resilient client connection to `lamactl serve --listen`: text or binary
+// framing, reconnect with capped exponential backoff, and one retry of the
+// in-flight request on a connection that died mid-exchange. Single-threaded.
+struct ConnectConfig {
+  std::string address;        // "tcp:host:port", ":port", "unix:/path"
+  bool binary = false;        // frame requests with the binary wire protocol
+  std::size_t max_attempts = 5;       // tries per request, including first
+  std::uint32_t backoff_base_ms = 10;  // doubles per retry
+  std::uint32_t backoff_max_ms = 1000;
+};
+
+class SocketClient {
+ public:
+  explicit SocketClient(ConnectConfig config);
+  ~SocketClient();
+
+  SocketClient(const SocketClient&) = delete;
+  SocketClient& operator=(const SocketClient&) = delete;
+
+  // Sends one command (continuation lines, if any, joined after '\n') and
+  // returns its response lines. Response framing is command-aware: one line
+  // for most verbs, JOB lines + trailer for MAPBATCH, n lines for BATCH n,
+  // through "# EOF" for METRICS. A request that still fails after
+  // max_attempts returns one "ERR connect: ..." line.
+  std::vector<std::string> request(const std::string& command);
+
+  // Adapters for QueryClient.
+  QueryClient::Transport transport();
+  QueryClient::MultiTransport multi_transport();
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  [[nodiscard]] std::size_t reconnects() const { return reconnects_; }
+  void close();
+
+ private:
+  bool ensure_connected(std::string& error);
+  bool exchange(const std::string& command, std::vector<std::string>& lines,
+                std::string& error);
+
+  ConnectConfig config_;
+  int fd_ = -1;
+  std::size_t reconnects_ = 0;  // successful connects after the first
+  bool ever_connected_ = false;
+};
 
 }  // namespace lama::svc

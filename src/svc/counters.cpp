@@ -147,4 +147,65 @@ std::string Counters::render() const {
   return out;
 }
 
+std::uint64_t NetCounters::active() const {
+  const std::uint64_t opened = load(accepted);
+  const std::uint64_t done = load(closed);
+  return opened >= done ? opened - done : 0;
+}
+
+std::string NetCounters::stats_line() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "net_accepted=%llu net_closed=%llu net_active=%llu net_rejected=%llu "
+      "net_text_requests=%llu net_binary_requests=%llu net_responses=%llu "
+      "net_shed=%llu net_frame_errors=%llu net_disconnects=%llu "
+      "net_bytes_in=%llu net_bytes_out=%llu net_dispatch_p99_us=%llu",
+      static_cast<unsigned long long>(load(accepted)),
+      static_cast<unsigned long long>(load(closed)),
+      static_cast<unsigned long long>(active()),
+      static_cast<unsigned long long>(load(rejected)),
+      static_cast<unsigned long long>(load(text_requests)),
+      static_cast<unsigned long long>(load(binary_requests)),
+      static_cast<unsigned long long>(load(responses)),
+      static_cast<unsigned long long>(load(shed_backpressure)),
+      static_cast<unsigned long long>(load(frame_errors)),
+      static_cast<unsigned long long>(load(midstream_disconnects)),
+      static_cast<unsigned long long>(load(bytes_in)),
+      static_cast<unsigned long long>(load(bytes_out)),
+      static_cast<unsigned long long>(dispatch_ns.percentile_ns(99) / 1000));
+  return buf;
+}
+
+std::string NetCounters::render() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "net  connections %llu accepted (%llu closed, %llu active, "
+                "%llu rejected), disconnects %llu\n",
+                static_cast<unsigned long long>(load(accepted)),
+                static_cast<unsigned long long>(load(closed)),
+                static_cast<unsigned long long>(active()),
+                static_cast<unsigned long long>(load(rejected)),
+                static_cast<unsigned long long>(load(midstream_disconnects)));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "net  requests %llu text + %llu binary -> %llu responses, "
+                "shed %llu, frame errors %llu\n",
+                static_cast<unsigned long long>(load(text_requests)),
+                static_cast<unsigned long long>(load(binary_requests)),
+                static_cast<unsigned long long>(load(responses)),
+                static_cast<unsigned long long>(load(shed_backpressure)),
+                static_cast<unsigned long long>(load(frame_errors)));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "net  bytes in %llu, out %llu\n",
+                static_cast<unsigned long long>(load(bytes_in)),
+                static_cast<unsigned long long>(load(bytes_out)));
+  out += buf;
+  out += "net read     " + read_ns.summary() + "\n";
+  out += "net dispatch " + dispatch_ns.summary() + "\n";
+  out += "net write    " + write_ns.summary() + "\n";
+  return out;
+}
+
 }  // namespace lama::svc

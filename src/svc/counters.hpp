@@ -84,4 +84,40 @@ struct Counters {
   [[nodiscard]] std::string render() const;
 };
 
+// Transport metrics for the epoll server (svc/event_loop.hpp). Written by
+// the event-loop thread, read by STATS/METRICS from any thread, so every
+// field is a relaxed atomic. The soak suite pins the exactly-once pairing:
+// every request that reaches a connection handler counts in exactly one of
+// text_requests / binary_requests and appends exactly one response (normal
+// or backpressure-shed), so requests == responses whenever the loop is
+// quiescent; accepted == closed once the server has stopped.
+struct NetCounters {
+  std::atomic<std::uint64_t> accepted{0};   // connections accepted
+  std::atomic<std::uint64_t> closed{0};     // connections closed, any cause
+  std::atomic<std::uint64_t> rejected{0};   // accepts refused (connection cap)
+  std::atomic<std::uint64_t> text_requests{0};    // text-framed commands
+  std::atomic<std::uint64_t> binary_requests{0};  // binary frames dispatched
+  std::atomic<std::uint64_t> responses{0};  // responses enqueued for write
+  std::atomic<std::uint64_t> shed_backpressure{0};  // ERR busy, buffer full
+  std::atomic<std::uint64_t> frame_errors{0};  // bad magic/length/CRC/verb,
+                                               // or an overlong text line
+  std::atomic<std::uint64_t> midstream_disconnects{0};  // peer vanished with
+                                                        // a partial request
+  std::atomic<std::uint64_t> bytes_in{0};
+  std::atomic<std::uint64_t> bytes_out{0};
+
+  LatencyHistogram read_ns;      // one drain of a readable socket
+  LatencyHistogram dispatch_ns;  // one command through the protocol session
+  LatencyHistogram write_ns;     // one flush attempt of a write buffer
+
+  // Connections currently open (derived, never negative while quiescent).
+  [[nodiscard]] std::uint64_t active() const;
+
+  // "net_key=value ..." tail for the STATS line (append-only keys).
+  [[nodiscard]] std::string stats_line() const;
+
+  // Human-readable rendering (lamactl serve --stats).
+  [[nodiscard]] std::string render() const;
+};
+
 }  // namespace lama::svc

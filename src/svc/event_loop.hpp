@@ -1,0 +1,140 @@
+// The epoll event-loop server core (ROADMAP item 2): one thread, many
+// keep-alive connections, requests pipelined per connection, every command
+// dispatched through one shared ProtocolSession so socket clients and the
+// stdin serve loop see the same control-plane state and the same durability
+// journal. The per-connection framing — text lines or the binary wire
+// protocol (svc/wire.hpp) — is auto-detected from the first byte the peer
+// sends and fixed for the connection's lifetime.
+//
+// Concurrency model: the loop thread owns every connection and the session;
+// dispatch is strictly serial (ProtocolSession is not thread-safe — the
+// service underneath fans batches out to its own pool). NetCounters are
+// relaxed atomics so STATS/METRICS may read them from other threads.
+//
+// Backpressure: responses queue in a per-connection write buffer and drain
+// as the socket accepts them. A peer that pipelines faster than it reads
+// grows that buffer; past NetConfig::write_buffer_limit new requests are
+// shed with the protocol's "ERR busy retry-after=<ms>" reply (framed per
+// the connection's mode) without executing — the same admission-control
+// contract the service applies under load, applied at the transport.
+//
+// Graceful drain (docs/resilience.md): when the stop predicate fires, the
+// acceptor closes first, commands already buffered are dispatched (a
+// draining service sheds work verbs with the busy reply), write buffers are
+// flushed for at most NetConfig::drain_grace_ms, and only then do the
+// connections close — so `lamactl serve --listen` can snapshot a quiesced
+// session after run() returns.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "svc/counters.hpp"
+
+namespace lama::svc {
+
+class MappingService;
+class ProtocolSession;
+
+struct NetConfig {
+  // Connections allowed at once; accepts past the cap are refused
+  // immediately (counted in NetCounters::rejected).
+  std::size_t max_connections = 256;
+  // Pending response bytes per connection above which new requests on that
+  // connection are shed with ERR busy instead of executing.
+  std::size_t write_buffer_limit = 4u << 20;
+  // Unconsumed inbound bytes a connection may hold without yielding one
+  // complete request (an unterminated text line / unfinished continuation
+  // block). Binary frames carry their own 1 MiB bound.
+  std::size_t max_request_bytes = (1u << 20) + 64;
+  // How long the drain phase keeps flushing write buffers before closing.
+  std::uint32_t drain_grace_ms = 1000;
+  // epoll_wait timeout — the granularity at which the stop predicate and
+  // signal flags are polled.
+  int poll_interval_ms = 50;
+};
+
+// A parsed listen/connect address: "tcp:<host>:<port>", "<host>:<port>",
+// ":<port>", "<port>" (TCP, default host 127.0.0.1, "*" = any interface),
+// or "unix:<path>".
+struct ListenAddress {
+  bool is_unix = false;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string path;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+// Throws ParseError on malformed text (bad port, empty unix path, a path
+// longer than sockaddr_un allows).
+ListenAddress parse_listen_address(const std::string& text);
+
+class EventLoopServer {
+ public:
+  // `service` and `session` are caller-owned and must outlive the server;
+  // attach durability / restore state before serving traffic.
+  EventLoopServer(MappingService& service, ProtocolSession& session,
+                  NetConfig config = {});
+  ~EventLoopServer();
+
+  EventLoopServer(const EventLoopServer&) = delete;
+  EventLoopServer& operator=(const EventLoopServer&) = delete;
+
+  // Binds and listens. Throws MappingError when the socket cannot be set
+  // up (address in use, bad unix path, ...). Call once, before run/start.
+  void listen(const ListenAddress& address);
+  void listen(const std::string& address);
+
+  // The listening address with the kernel-resolved port — pass port 0 to
+  // listen() and read the real port back here (tests do).
+  [[nodiscard]] const ListenAddress& bound_address() const { return bound_; }
+
+  // Serves on the calling thread until `stop` returns true (polled every
+  // poll_interval_ms) or stop() is called, then drains and returns the
+  // number of requests dispatched. `stop` may be null.
+  std::size_t run(const std::function<bool()>& stop = nullptr);
+
+  // Background-thread convenience for tests and benches: start() runs
+  // run() on an internal thread, stop() signals it and joins.
+  void start();
+  void stop();
+
+  [[nodiscard]] const NetCounters& net_counters() const { return counters_; }
+  [[nodiscard]] std::size_t dispatched() const {
+    return dispatched_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection;
+  struct Impl;
+
+  void accept_ready();
+  void handle_readable(Connection& conn);
+  void process_input(Connection& conn);
+  void dispatch(Connection& conn, std::string_view line,
+                std::string_view continuation, bool binary);
+  void append_response(Connection& conn, std::string_view response,
+                       bool binary);
+  void flush_writes(Connection& conn);
+  void update_interest(Connection& conn);
+  void close_connection(Connection& conn, bool midstream);
+  void drain_phase();
+
+  MappingService& service_;
+  ProtocolSession& session_;
+  NetConfig config_;
+  NetCounters counters_;
+  ListenAddress bound_;
+  std::unique_ptr<Impl> impl_;
+  std::atomic<std::size_t> dispatched_{0};
+  std::atomic<bool> stop_requested_{false};
+  std::thread thread_;
+};
+
+}  // namespace lama::svc

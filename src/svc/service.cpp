@@ -684,6 +684,49 @@ obs::MetricsSnapshot MappingService::metrics_snapshot() const {
                     static_cast<double>(durability_->snapshot_seq()));
   }
 
+  // Transport (absent when no event-loop server is attached).
+  if (net_ != nullptr) {
+    const NetCounters& n = *net_;
+    snap.add_scalar("lama_net_accepted_total", "Connections accepted",
+                    "counter", load(n.accepted));
+    snap.add_scalar("lama_net_closed_total", "Connections closed", "counter",
+                    load(n.closed));
+    snap.add_scalar("lama_net_rejected_total",
+                    "Accepts refused at the connection cap", "counter",
+                    load(n.rejected));
+    snap.add_scalar("lama_net_text_requests_total",
+                    "Text-framed requests dispatched", "counter",
+                    load(n.text_requests));
+    snap.add_scalar("lama_net_binary_requests_total",
+                    "Binary-framed requests dispatched", "counter",
+                    load(n.binary_requests));
+    snap.add_scalar("lama_net_responses_total",
+                    "Responses enqueued for write", "counter",
+                    load(n.responses));
+    snap.add_scalar("lama_net_shed_total",
+                    "Requests shed by write-buffer backpressure", "counter",
+                    load(n.shed_backpressure));
+    snap.add_scalar("lama_net_frame_errors_total",
+                    "Malformed frames and overlong lines", "counter",
+                    load(n.frame_errors));
+    snap.add_scalar("lama_net_disconnects_total",
+                    "Connections lost with a partial request buffered",
+                    "counter", load(n.midstream_disconnects));
+    snap.add_scalar("lama_net_bytes_in_total", "Bytes read from peers",
+                    "counter", load(n.bytes_in));
+    snap.add_scalar("lama_net_bytes_out_total", "Bytes written to peers",
+                    "counter", load(n.bytes_out));
+    snap.add_scalar("lama_net_active_connections",
+                    "Connections currently open", "gauge",
+                    static_cast<double>(n.active()));
+    add_summary(snap, "lama_net_read_ns", "Socket drain latency (ns)",
+                n.read_ns);
+    add_summary(snap, "lama_net_dispatch_ns",
+                "Per-request dispatch latency (ns)", n.dispatch_ns);
+    add_summary(snap, "lama_net_write_ns", "Write-buffer flush latency (ns)",
+                n.write_ns);
+  }
+
   // Tracer activity (all zero when tracing is disabled).
   snap.add_scalar("lama_traces_started_total", "Traces begun", "counter",
                   tracer_ ? static_cast<double>(tracer_->started()) : 0.0);
@@ -735,6 +778,8 @@ std::string MappingService::stats_line() const {
         static_cast<unsigned long long>(durability_->snapshot_seq()));
     line += dur_buf;
   }
+  // The net keys append last, and only when the event-loop server is on.
+  if (net_ != nullptr) line += " " + net_->stats_line();
   return line;
 }
 
@@ -780,6 +825,7 @@ std::string MappingService::render_stats() const {
         static_cast<unsigned long long>(d.torn_tails));
     out += buf;
   }
+  if (net_ != nullptr) out += net_->render();
   return out;
 }
 

@@ -266,6 +266,12 @@ class MappingService {
   void attach_durability(dur::StateStore* store) { durability_ = store; }
   [[nodiscard]] dur::StateStore* durability() const { return durability_; }
 
+  // Transport metrics (svc/event_loop.hpp): attaching the server's counters
+  // exposes the lama_net_* series and the net_* STATS keys. Same contract
+  // as attach_durability — attach before serving traffic.
+  void attach_net(const NetCounters* net) { net_ = net; }
+  [[nodiscard]] const NetCounters* net() const { return net_; }
+
   // Graceful drain: once begun, map/remap/optimize admission sheds every
   // new arrival with the busy retry-after reply while in-flight requests
   // finish; reads (STATS/METRICS/HEALTH/TRACE) keep serving. There is no
@@ -318,6 +324,7 @@ class MappingService {
   std::uint64_t start_ns_ = 0;           // monotonic, for uptime_s()
 
   dur::StateStore* durability_ = nullptr;
+  const NetCounters* net_ = nullptr;
   std::atomic<bool> draining_{false};
   std::atomic<std::size_t> inflight_{0};
   std::atomic<bool> has_fault_hook_{false};

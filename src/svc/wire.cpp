@@ -1,0 +1,126 @@
+#include "svc/wire.hpp"
+
+#include <cstring>
+
+#include "support/crc32.hpp"
+#include "support/error.hpp"
+
+namespace lama::svc {
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xffu));
+  out.push_back(static_cast<char>((v >> 8) & 0xffu));
+  out.push_back(static_cast<char>((v >> 16) & 0xffu));
+  out.push_back(static_cast<char>((v >> 24) & 0xffu));
+}
+
+std::uint32_t get_u32(const char* p) {
+  const auto b = [&](int i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]));
+  };
+  return b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+}
+
+// The seal covers the verb byte and the payload together.
+std::uint32_t frame_crc(std::uint8_t verb, std::string_view payload) {
+  const char verb_byte = static_cast<char>(verb);
+  return crc32c(payload, crc32c(std::string_view(&verb_byte, 1)));
+}
+
+}  // namespace
+
+const char* wire_verb_keyword(WireVerb verb) {
+  switch (verb) {
+    case WireVerb::kNode: return "NODE";
+    case WireVerb::kMap: return "MAP";
+    case WireVerb::kBatch: return "BATCH";
+    case WireVerb::kMapBatch: return "MAPBATCH";
+    case WireVerb::kOffline: return "OFFLINE";
+    case WireVerb::kOnline: return "ONLINE";
+    case WireVerb::kRemap: return "REMAP";
+    case WireVerb::kOptimize: return "OPTIMIZE";
+    case WireVerb::kStats: return "STATS";
+    case WireVerb::kMetrics: return "METRICS";
+    case WireVerb::kTrace: return "TRACE";
+    case WireVerb::kHealth: return "HEALTH";
+    case WireVerb::kQuit: return "QUIT";
+    case WireVerb::kOk: return "OK";
+    case WireVerb::kErr: return "ERR";
+  }
+  return "?";
+}
+
+std::optional<WireVerb> wire_verb_for_keyword(std::string_view keyword) {
+  for (const WireVerb verb :
+       {WireVerb::kNode, WireVerb::kMap, WireVerb::kBatch, WireVerb::kMapBatch,
+        WireVerb::kOffline, WireVerb::kOnline, WireVerb::kRemap,
+        WireVerb::kOptimize, WireVerb::kStats, WireVerb::kMetrics,
+        WireVerb::kTrace, WireVerb::kHealth, WireVerb::kQuit}) {
+    if (keyword == wire_verb_keyword(verb)) return verb;
+  }
+  return std::nullopt;
+}
+
+bool wire_request_verb(std::uint8_t verb) {
+  return verb >= static_cast<std::uint8_t>(WireVerb::kNode) &&
+         verb <= static_cast<std::uint8_t>(WireVerb::kQuit);
+}
+
+std::string encode_frame(WireVerb verb, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw ParseError("wire frame payload of " +
+                     std::to_string(payload.size()) + " bytes exceeds the " +
+                     std::to_string(kMaxFramePayload) + " byte bound");
+  }
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.push_back(static_cast<char>(kWireMagic));
+  out.push_back(static_cast<char>(verb));
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, frame_crc(static_cast<std::uint8_t>(verb), payload));
+  out.append(payload);
+  return out;
+}
+
+FrameStatus decode_frame(std::string_view buffer, WireFrame& out,
+                         std::size_t& consumed, std::string& error) {
+  consumed = 0;
+  if (buffer.empty()) return FrameStatus::kNeedMore;
+  if (static_cast<unsigned char>(buffer[0]) != kWireMagic) {
+    error = "bad frame magic";
+    return FrameStatus::kBad;
+  }
+  if (buffer.size() < kFrameHeaderBytes) return FrameStatus::kNeedMore;
+  const std::uint8_t verb = static_cast<unsigned char>(buffer[1]);
+  const std::uint32_t len = get_u32(buffer.data() + 2);
+  if (len > kMaxFramePayload) {
+    error = "oversized frame: " + std::to_string(len) + " bytes exceeds the " +
+            std::to_string(kMaxFramePayload) + " byte bound";
+    return FrameStatus::kBad;
+  }
+  if (buffer.size() < kFrameHeaderBytes + len) return FrameStatus::kNeedMore;
+  const std::uint32_t sealed = get_u32(buffer.data() + 6);
+  const std::string_view payload = buffer.substr(kFrameHeaderBytes, len);
+  if (frame_crc(verb, payload) != sealed) {
+    error = "frame CRC mismatch";
+    return FrameStatus::kBad;
+  }
+  out.verb = static_cast<WireVerb>(verb);
+  out.payload = payload;
+  consumed = kFrameHeaderBytes + len;
+  return FrameStatus::kFrame;
+}
+
+WireCommand split_wire_payload(std::string_view payload) {
+  const auto nl = payload.find('\n');
+  if (nl == std::string_view::npos) return {payload, {}};
+  return {payload.substr(0, nl), payload.substr(nl + 1)};
+}
+
+WireVerb classify_response(std::string_view response) {
+  return response.substr(0, 3) == "ERR" ? WireVerb::kErr : WireVerb::kOk;
+}
+
+}  // namespace lama::svc

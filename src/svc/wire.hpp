@@ -1,0 +1,150 @@
+// The service's binary wire protocol: length-framed request/response frames
+// carried over the epoll event-loop server (svc/event_loop.hpp) beside the
+// text protocol, auto-detected per connection by the first byte — a binary
+// connection's very first octet is kWireMagic (0xC4, outside ASCII), which no
+// text command can start with, so one peek decides the connection's framing
+// for its whole lifetime.
+//
+// Frame layout (little-endian, 10-byte header):
+//
+//   [u8 magic=0xC4][u8 verb][u32 payload-len][u32 crc32c][payload bytes]
+//
+// The CRC-32C (support/crc32.hpp — the same polynomial sealing the WAL)
+// covers the verb byte and the payload together, so a flipped verb cannot
+// slip past the seal. payload-len is bounded by kMaxFramePayload (1 MiB,
+// mirroring the journal's record bound): a corrupt length byte must not size
+// an allocation.
+//
+// Request payload: the exact text-protocol command line (no trailing '\n'),
+// optionally followed by '\n'-separated continuation lines (BATCH MAP lines,
+// OPTIMIZE matrix rows). The verb byte names the command a second time;
+// dispatch cross-checks it against the line's leading keyword and answers
+// ERR on a mismatch. Because the payload IS the text command, the binary
+// protocol parses through the existing protocol.cpp handlers unchanged — a
+// zero-copy string_view stream (ViewStream) feeds the continuation lines —
+// and every response is byte-for-byte the text protocol's response, carried
+// as the payload of one kOk/kErr frame. The differential conformance suite
+// (tests/svc/wire_conformance_test.cpp) pins that identity for every verb.
+//
+// Error handling contract (event_loop.cpp enforces it):
+//   * unknown verb byte on a well-sealed frame -> ERR frame, connection
+//     survives (the framing is still synchronized);
+//   * bad magic, oversized length, or CRC mismatch -> ERR frame, then the
+//     connection closes (framing is unrecoverable);
+//   * a truncated frame at disconnect is dropped silently (torn tail).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <streambuf>
+#include <string>
+#include <string_view>
+
+namespace lama::svc {
+
+// First octet of every binary frame — and therefore of every binary
+// connection. Deliberately outside ASCII so no text-protocol line (commands,
+// comments, blank lines) can begin with it.
+inline constexpr unsigned char kWireMagic = 0xC4;
+
+// Bytes of framing before the payload: magic(1) + verb(1) + len(4) + crc(4).
+inline constexpr std::size_t kFrameHeaderBytes = 10;
+
+// Largest payload one frame may carry, request or response — the same 1 MiB
+// bound the WAL places on journal records. Oversized METRICS/TRACE responses
+// cannot occur at current bounds (the exporters are bounded); if one ever
+// did, the server answers an ERR frame instead.
+inline constexpr std::size_t kMaxFramePayload = 1u << 20;
+
+// Frame verbs. Request verbs mirror the text commands one-to-one; responses
+// use kOk/kErr with the text response as payload. Values are wire ABI:
+// append, never renumber.
+enum class WireVerb : std::uint8_t {
+  kNode = 1,
+  kMap = 2,
+  kBatch = 3,
+  kMapBatch = 4,
+  kOffline = 5,
+  kOnline = 6,
+  kRemap = 7,
+  kOptimize = 8,
+  kStats = 9,
+  kMetrics = 10,
+  kTrace = 11,
+  kHealth = 12,
+  kQuit = 13,
+  // Responses.
+  kOk = 0x20,
+  kErr = 0x21,
+};
+
+// The text keyword a request verb stands for ("MAP", "MAPBATCH", ...);
+// "OK"/"ERR" for the response verbs, "?" for anything else.
+const char* wire_verb_keyword(WireVerb verb);
+
+// The request verb for a text command keyword, or nullopt for unknown
+// keywords (clients use this to stamp outgoing frames).
+std::optional<WireVerb> wire_verb_for_keyword(std::string_view keyword);
+
+// True for a verb value a request frame may carry.
+bool wire_request_verb(std::uint8_t verb);
+
+// One encoded frame, ready for the socket. Throws ParseError when the
+// payload exceeds kMaxFramePayload.
+std::string encode_frame(WireVerb verb, std::string_view payload);
+
+// A decoded frame. `payload` views into the decode buffer — valid only
+// while that buffer lives and is not mutated (zero-copy by design).
+struct WireFrame {
+  WireVerb verb = WireVerb::kErr;
+  std::string_view payload;
+};
+
+enum class FrameStatus : std::uint8_t {
+  kFrame = 0,   // one complete, sealed frame decoded
+  kNeedMore,    // the buffer holds a prefix of a frame; read more bytes
+  kBad,         // unrecoverable framing damage; close the connection
+};
+
+// Decodes one frame from the front of `buffer`. On kFrame, `consumed` is
+// the frame's full size and `out.payload` views into `buffer`. On kBad,
+// `error` holds a bounded human-readable reason (bad magic, oversized
+// length, CRC mismatch). An unknown verb on a sealed frame still returns
+// kFrame — the caller decides (the server answers ERR and keeps the
+// connection). Never throws, never reads past the buffer.
+FrameStatus decode_frame(std::string_view buffer, WireFrame& out,
+                         std::size_t& consumed, std::string& error);
+
+// An istream over a string_view — no copy, no ownership. Feeds a frame's
+// continuation lines (everything past the first '\n') to
+// ProtocolSession::execute exactly as the stdin server's getline loop would.
+class ViewStreamBuf : public std::streambuf {
+ public:
+  explicit ViewStreamBuf(std::string_view view) {
+    char* base = const_cast<char*>(view.data());
+    setg(base, base, base + view.size());
+  }
+};
+
+class ViewStream : private ViewStreamBuf, public std::istream {
+ public:
+  explicit ViewStream(std::string_view view)
+      : ViewStreamBuf(view), std::istream(this) {}
+};
+
+// Splits a request payload into the command line and its continuation text
+// (empty when the payload has no '\n').
+struct WireCommand {
+  std::string_view line;
+  std::string_view continuation;
+};
+WireCommand split_wire_payload(std::string_view payload);
+
+// Classifies a text response for the response frame verb: kErr iff the
+// response begins with "ERR" (MAPBATCH bodies that merely contain JOB-level
+// ERR lines classify by their trailer path, i.e. kOk).
+WireVerb classify_response(std::string_view response);
+
+}  // namespace lama::svc

@@ -1,0 +1,94 @@
+// libFuzzer target for the binary wire codec (built behind LAMA_FUZZ,
+// clang only). The input is treated as a hostile byte stream arriving on a
+// binary connection: the harness decodes frames off the front exactly as
+// the event loop's process_input does and asserts the codec's safety
+// contract on every step — decode never reads past the buffer, never
+// claims progress without consuming bytes, never accepts a frame whose
+// re-encoding disagrees, and is bit-exact about the damage classes (bad
+// magic / oversized length / CRC mismatch). A second phase re-encodes the
+// tail as a payload and requires a perfect round trip, so the encoder and
+// decoder fuzz each other.
+//
+//   cmake -B build-fuzz -DLAMA_FUZZ=ON -DCMAKE_CXX_COMPILER=clang++
+//   cmake --build build-fuzz --target fuzz_wire
+//   ./build-fuzz/tests/fuzz_wire -max_total_time=60 tests/fuzz/wire_corpus
+//
+// tests/fuzz/wire_corpus/ seeds the mutator with valid frames of every
+// request verb (see make_wire_corpus in that directory's README).
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "svc/wire.hpp"
+
+using lama::svc::FrameStatus;
+using lama::svc::WireFrame;
+using lama::svc::WireVerb;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view stream(reinterpret_cast<const char*>(data), size);
+
+  // Phase 1: decode the stream as the server would — frames off the front
+  // until the buffer runs dry or framing dies.
+  std::string_view buffer = stream;
+  for (;;) {
+    WireFrame frame;
+    std::size_t consumed = 0;
+    std::string error;
+    const FrameStatus status =
+        lama::svc::decode_frame(buffer, frame, consumed, error);
+    if (status == FrameStatus::kNeedMore) {
+      // A prefix must stay a prefix: appending bytes may complete it, but
+      // it must never have consumed anything.
+      if (consumed != 0) __builtin_trap();
+      break;
+    }
+    if (status == FrameStatus::kBad) {
+      if (error.empty()) __builtin_trap();  // every refusal says why
+      break;
+    }
+    // kFrame: progress is real and bounded.
+    if (consumed == 0 || consumed > buffer.size()) __builtin_trap();
+    if (frame.payload.size() > lama::svc::kMaxFramePayload) __builtin_trap();
+    // The payload views into the buffer we handed in — zero copy.
+    if (!frame.payload.empty() &&
+        (frame.payload.data() < buffer.data() ||
+         frame.payload.data() + frame.payload.size() >
+             buffer.data() + buffer.size())) {
+      __builtin_trap();
+    }
+    // An accepted frame re-encodes to the exact bytes just consumed: the
+    // codec cannot accept a frame it would not itself have produced.
+    const std::string again =
+        lama::svc::encode_frame(frame.verb, frame.payload);
+    if (again != buffer.substr(0, consumed)) __builtin_trap();
+    buffer.remove_prefix(consumed);
+  }
+
+  // Phase 2: any input (bounded) round-trips as a payload through every
+  // verb class — request, response, and an unknown byte.
+  if (stream.size() <= lama::svc::kMaxFramePayload) {
+    for (const WireVerb verb :
+         {WireVerb::kMap, WireVerb::kOk, static_cast<WireVerb>(0x7F)}) {
+      const std::string wire = lama::svc::encode_frame(verb, stream);
+      WireFrame frame;
+      std::size_t consumed = 0;
+      std::string error;
+      if (lama::svc::decode_frame(wire, frame, consumed, error) !=
+          FrameStatus::kFrame) {
+        __builtin_trap();
+      }
+      if (frame.verb != verb || frame.payload != stream) __builtin_trap();
+      if (consumed != wire.size()) __builtin_trap();
+      // Every strict prefix of a sealed frame wants more bytes.
+      if (lama::svc::decode_frame(
+              std::string_view(wire).substr(0, wire.size() - 1), frame,
+              consumed, error) != FrameStatus::kNeedMore) {
+        __builtin_trap();
+      }
+    }
+  }
+  return 0;
+}

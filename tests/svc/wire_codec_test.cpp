@@ -1,0 +1,236 @@
+// Unit tests for the binary wire codec (svc/wire.hpp): frame layout, the
+// CRC-32C seal, incremental decode, every damage class decode_frame must
+// refuse, and the zero-copy payload/continuation plumbing.
+#include "svc/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/error.hpp"
+
+namespace lama::svc {
+namespace {
+
+std::string encode(WireVerb verb, const std::string& payload) {
+  return encode_frame(verb, payload);
+}
+
+FrameStatus decode(const std::string& buffer, WireFrame& frame,
+                   std::size_t& consumed, std::string& error) {
+  return decode_frame(buffer, frame, consumed, error);
+}
+
+TEST(WireCodec, RoundTripsEveryRequestVerb) {
+  const WireVerb verbs[] = {
+      WireVerb::kNode,    WireVerb::kMap,     WireVerb::kBatch,
+      WireVerb::kMapBatch, WireVerb::kOffline, WireVerb::kOnline,
+      WireVerb::kRemap,   WireVerb::kOptimize, WireVerb::kStats,
+      WireVerb::kMetrics, WireVerb::kTrace,   WireVerb::kHealth,
+      WireVerb::kQuit,    WireVerb::kOk,      WireVerb::kErr,
+  };
+  for (const WireVerb verb : verbs) {
+    const std::string payload = std::string("payload for ") +
+                                wire_verb_keyword(verb);
+    const std::string wire = encode(verb, payload);
+    ASSERT_EQ(wire.size(), kFrameHeaderBytes + payload.size());
+    EXPECT_EQ(static_cast<unsigned char>(wire[0]), kWireMagic);
+
+    WireFrame frame;
+    std::size_t consumed = 0;
+    std::string error;
+    ASSERT_EQ(decode(wire, frame, consumed, error), FrameStatus::kFrame);
+    EXPECT_EQ(frame.verb, verb);
+    EXPECT_EQ(frame.payload, payload);
+    EXPECT_EQ(consumed, wire.size());
+  }
+}
+
+TEST(WireCodec, EmptyPayloadRoundTrips) {
+  const std::string wire = encode(WireVerb::kHealth, "");
+  WireFrame frame;
+  std::size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(decode(wire, frame, consumed, error), FrameStatus::kFrame);
+  EXPECT_TRUE(frame.payload.empty());
+  EXPECT_EQ(consumed, kFrameHeaderBytes);
+}
+
+TEST(WireCodec, PayloadViewsIntoDecodeBuffer) {
+  const std::string payload = "MAP a 4 lama:scbnh";
+  const std::string wire = encode(WireVerb::kMap, payload);
+  WireFrame frame;
+  std::size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(decode(wire, frame, consumed, error), FrameStatus::kFrame);
+  // Zero-copy: the view points into `wire`, past the header.
+  EXPECT_EQ(frame.payload.data(), wire.data() + kFrameHeaderBytes);
+}
+
+TEST(WireCodec, IncrementalDecodeNeedsEveryByte) {
+  const std::string wire = encode(WireVerb::kMap, "MAP a 2 lama");
+  // Every strict prefix is kNeedMore; only the full frame decodes.
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    WireFrame frame;
+    std::size_t consumed = ~std::size_t{0};
+    std::string error;
+    EXPECT_EQ(decode(wire.substr(0, len), frame, consumed, error),
+              FrameStatus::kNeedMore)
+        << "prefix length " << len;
+  }
+}
+
+TEST(WireCodec, DecodeLeavesTrailingBytes) {
+  const std::string first = encode(WireVerb::kMap, "MAP a 2 lama");
+  const std::string second = encode(WireVerb::kStats, "STATS");
+  const std::string both = first + second;
+
+  WireFrame frame;
+  std::size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(decode(both, frame, consumed, error), FrameStatus::kFrame);
+  EXPECT_EQ(consumed, first.size());
+  EXPECT_EQ(frame.verb, WireVerb::kMap);
+
+  const std::string rest = both.substr(consumed);
+  ASSERT_EQ(decode(rest, frame, consumed, error), FrameStatus::kFrame);
+  EXPECT_EQ(frame.verb, WireVerb::kStats);
+  EXPECT_EQ(frame.payload, "STATS");
+}
+
+TEST(WireCodec, BadMagicIsFatal) {
+  std::string wire = encode(WireVerb::kMap, "MAP a 2 lama");
+  wire[0] = 'M';  // looks like text mid-stream
+  WireFrame frame;
+  std::size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(decode(wire, frame, consumed, error), FrameStatus::kBad);
+  EXPECT_NE(error.find("magic"), std::string::npos);
+}
+
+TEST(WireCodec, OversizedLengthIsFatalBeforePayloadArrives) {
+  // Hand-build a header claiming a 2 MiB payload: decode must refuse from
+  // the header alone (a corrupt length byte must never size a buffer).
+  std::string header;
+  header.push_back(static_cast<char>(kWireMagic));
+  header.push_back(static_cast<char>(WireVerb::kMap));
+  const std::uint32_t len = 2u << 20;
+  for (int i = 0; i < 4; ++i) {
+    header.push_back(static_cast<char>((len >> (8 * i)) & 0xFF));
+  }
+  header.append(4, '\0');  // any CRC; length is checked first
+  WireFrame frame;
+  std::size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(decode(header, frame, consumed, error), FrameStatus::kBad);
+  EXPECT_NE(error.find("oversized"), std::string::npos);
+}
+
+TEST(WireCodec, MaxPayloadExactlyAtBoundRoundTrips) {
+  const std::string payload(kMaxFramePayload, 'x');
+  const std::string wire = encode(WireVerb::kMap, payload);
+  WireFrame frame;
+  std::size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(decode(wire, frame, consumed, error), FrameStatus::kFrame);
+  EXPECT_EQ(frame.payload.size(), kMaxFramePayload);
+}
+
+TEST(WireCodec, EncodeThrowsPastTheBound) {
+  const std::string payload(kMaxFramePayload + 1, 'x');
+  EXPECT_THROW(encode_frame(WireVerb::kMap, payload), ParseError);
+}
+
+TEST(WireCodec, FlippedPayloadByteFailsTheSeal) {
+  std::string wire = encode(WireVerb::kMap, "MAP a 2 lama");
+  wire[kFrameHeaderBytes] ^= 0x01;
+  WireFrame frame;
+  std::size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(decode(wire, frame, consumed, error), FrameStatus::kBad);
+  EXPECT_NE(error.find("CRC"), std::string::npos);
+}
+
+TEST(WireCodec, FlippedVerbByteFailsTheSeal) {
+  // The CRC covers the verb byte: swapping kMap for kQuit must not slip
+  // through even though the payload is untouched.
+  std::string wire = encode(WireVerb::kMap, "MAP a 2 lama");
+  wire[1] = static_cast<char>(WireVerb::kQuit);
+  WireFrame frame;
+  std::size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(decode(wire, frame, consumed, error), FrameStatus::kBad);
+  EXPECT_NE(error.find("CRC"), std::string::npos);
+}
+
+TEST(WireCodec, UnknownVerbOnSealedFrameStillDecodes) {
+  // A sealed frame with an unrecognized verb is a protocol-level error, not
+  // framing damage: the stream stays synchronized and the caller answers
+  // ERR. Re-seal the frame by encoding with the raw byte.
+  std::string wire = encode(static_cast<WireVerb>(0x7F), "whatever");
+  WireFrame frame;
+  std::size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(decode(wire, frame, consumed, error), FrameStatus::kFrame);
+  EXPECT_EQ(static_cast<std::uint8_t>(frame.verb), 0x7F);
+  EXPECT_FALSE(wire_request_verb(static_cast<std::uint8_t>(frame.verb)));
+}
+
+TEST(WireCodec, RequestVerbPredicateMatchesTheEnum) {
+  for (int v = 0; v < 256; ++v) {
+    const bool expected = v >= static_cast<int>(WireVerb::kNode) &&
+                          v <= static_cast<int>(WireVerb::kQuit);
+    EXPECT_EQ(wire_request_verb(static_cast<std::uint8_t>(v)), expected)
+        << "verb byte " << v;
+  }
+}
+
+TEST(WireCodec, KeywordMapRoundTrips) {
+  const char* keywords[] = {"NODE",   "MAP",     "BATCH",  "MAPBATCH",
+                            "OFFLINE", "ONLINE",  "REMAP",  "OPTIMIZE",
+                            "STATS",  "METRICS", "TRACE",  "HEALTH",
+                            "QUIT"};
+  for (const char* keyword : keywords) {
+    const auto verb = wire_verb_for_keyword(keyword);
+    ASSERT_TRUE(verb.has_value()) << keyword;
+    EXPECT_STREQ(wire_verb_keyword(*verb), keyword);
+  }
+  EXPECT_FALSE(wire_verb_for_keyword("NOPE").has_value());
+  EXPECT_FALSE(wire_verb_for_keyword("").has_value());
+  EXPECT_FALSE(wire_verb_for_keyword("map").has_value());  // case-sensitive
+}
+
+TEST(WireCodec, SplitPayloadSeparatesContinuation) {
+  const WireCommand plain = split_wire_payload("MAP a 2 lama");
+  EXPECT_EQ(plain.line, "MAP a 2 lama");
+  EXPECT_TRUE(plain.continuation.empty());
+
+  const WireCommand batch =
+      split_wire_payload("BATCH 2\nMAP a 1 lama\nMAP a 2 lama");
+  EXPECT_EQ(batch.line, "BATCH 2");
+  EXPECT_EQ(batch.continuation, "MAP a 1 lama\nMAP a 2 lama");
+}
+
+TEST(WireCodec, ViewStreamFeedsContinuationLines) {
+  const std::string continuation = "MAP a 1 lama\nMAP a 2 lama\n";
+  ViewStream stream(continuation);
+  std::string line;
+  ASSERT_TRUE(static_cast<bool>(std::getline(stream, line)));
+  EXPECT_EQ(line, "MAP a 1 lama");
+  ASSERT_TRUE(static_cast<bool>(std::getline(stream, line)));
+  EXPECT_EQ(line, "MAP a 2 lama");
+  EXPECT_FALSE(static_cast<bool>(std::getline(stream, line)));
+}
+
+TEST(WireCodec, ClassifiesResponses) {
+  EXPECT_EQ(classify_response("OK hit=1 np=2"), WireVerb::kOk);
+  EXPECT_EQ(classify_response("STATS requests=0"), WireVerb::kOk);
+  EXPECT_EQ(classify_response("ERR busy retry-after=25"), WireVerb::kErr);
+  // MAPBATCH bodies with JOB-level ERR lines classify by the leading line.
+  EXPECT_EQ(classify_response("OK hit=1\nERR nope\nOK mapbatch"),
+            WireVerb::kOk);
+  EXPECT_EQ(classify_response(""), WireVerb::kOk);
+}
+
+}  // namespace
+}  // namespace lama::svc

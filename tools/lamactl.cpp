@@ -32,6 +32,7 @@
 #include "support/strings.hpp"
 #include "support/table.hpp"
 #include "svc/client.hpp"
+#include "svc/event_loop.hpp"
 #include "svc/fault_injector.hpp"
 #include "svc/protocol.hpp"
 #include "svc/service.hpp"
@@ -94,6 +95,8 @@ void install_trace_dump(svc::MappingService& service, const std::string& dir) {
 // snapshot compacts the state, and the process exits 0.
 int run_serve(const std::vector<std::string>& args) {
   svc::ServiceConfig config;
+  svc::NetConfig net_config;
+  std::string listen_addr;
   bool stats = false;
   std::string trace_dump;
   dur::DurConfig dur_config;
@@ -106,7 +109,12 @@ int run_serve(const std::vector<std::string>& args) {
       }
       return args[++i];
     };
-    if (arg == "--state-dir") {
+    if (arg == "--listen") {
+      listen_addr = need_value();
+    } else if (arg == "--max-connections") {
+      net_config.max_connections =
+          parse_size(need_value(), "serve max-connections");
+    } else if (arg == "--state-dir") {
       dur_config.dir = need_value();
     } else if (arg == "--no-persist") {
       persist = false;
@@ -170,11 +178,26 @@ int run_serve(const std::vector<std::string>& args) {
 
   // The stop predicate begins the drain the moment a shutdown signal lands:
   // admission sheds new work with retry-after while reads keep serving, and
-  // the loop exits (the signal also breaks the blocking getline).
-  svc::serve(std::cin, std::cout, session, service, stats, [&service] {
+  // the loop exits (the signal also breaks the blocking getline / the
+  // epoll_wait poll).
+  const auto stop = [&service] {
     if (g_signal != 0 && !service.draining()) service.begin_drain();
     return service.draining();
-  });
+  };
+  if (!listen_addr.empty()) {
+    // Socket mode: the epoll event loop serves many keep-alive connections,
+    // text or binary framing per connection (docs/service.md). The drain
+    // closes the acceptor, flushes in-flight connections, then falls
+    // through to the snapshot below.
+    svc::EventLoopServer server(service, session, net_config);
+    server.listen(listen_addr);
+    std::fprintf(stderr, "lamactl: listening on %s\n",
+                 server.bound_address().to_string().c_str());
+    server.run(stop);
+    if (stats) std::fputs(service.render_stats().c_str(), stderr);
+  } else {
+    svc::serve(std::cin, std::cout, session, service, stats, stop);
+  }
 
   // Shutdown — signal-driven or clean EOF/QUIT: flush every batched journal
   // record, then compact the state into a final snapshot so the next start
@@ -209,6 +232,7 @@ int run_query(const std::vector<std::string>& args) {
   bool exec = false;
   svc::RetryPolicy retry;
   svc::ServiceConfig exec_config;
+  svc::ConnectConfig connect;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     auto need_value = [&] {
@@ -221,6 +245,10 @@ int run_query(const std::vector<std::string>& args) {
       cluster_path = need_value();
     } else if (arg == "--hostfile") {
       hostfile_path = need_value();
+    } else if (arg == "--connect") {
+      connect.address = need_value();
+    } else if (arg == "--binary") {
+      connect.binary = true;
     } else if (arg == "--id") {
       alloc_id = need_value();
     } else if (arg == "-np" || arg == "--np") {
@@ -261,6 +289,29 @@ int run_query(const std::vector<std::string>& args) {
       hostfile_path.empty()
           ? allocate_all(cluster)
           : parse_hostfile(cluster, read_file(hostfile_path));
+  if (!connect.address.empty()) {
+    // Run the query against a live `lamactl serve --listen` server: the
+    // socket client reconnects with backoff, the retrying client handles
+    // busy responses — exit 3 when still shed after retries, like --exec.
+    svc::SocketClient socket(connect);
+    svc::QueryClient client(socket.transport(), retry);
+    const svc::QueryResult result =
+        client.query(alloc, alloc_id, np, spec, options);
+    std::printf("%s\n", result.response.c_str());
+    if (result.attempts > 1 || socket.reconnects() > 0) {
+      std::printf("# attempts=%zu backoff-ms=%llu reconnects=%zu\n",
+                  result.attempts,
+                  static_cast<unsigned long long>(result.total_backoff_ms),
+                  socket.reconnects());
+    }
+    if (stats) {
+      for (const std::string& line : socket.request("STATS")) {
+        std::printf("%s\n", line.c_str());
+      }
+    }
+    if (result.gave_up_busy) return kExitBusy;
+    return result.ok() ? 0 : 1;
+  }
   if (exec) {
     svc::MappingService service(exec_config);
     svc::ProtocolSession session(service);
@@ -309,6 +360,7 @@ int run_mapbatch(const std::vector<std::string>& args) {
   bool exec = false;
   svc::RetryPolicy retry;
   svc::ServiceConfig exec_config;
+  svc::ConnectConfig connect;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     auto need_value = [&] {
@@ -321,6 +373,10 @@ int run_mapbatch(const std::vector<std::string>& args) {
       cluster_path = need_value();
     } else if (arg == "--hostfile") {
       hostfile_path = need_value();
+    } else if (arg == "--connect") {
+      connect.address = need_value();
+    } else if (arg == "--binary") {
+      connect.binary = true;
     } else if (arg == "--id") {
       alloc_id = need_value();
     } else if (arg == "-np" || arg == "--np") {
@@ -383,6 +439,45 @@ int run_mapbatch(const std::vector<std::string>& args) {
   // line, which the batch replaces).
   std::string node_lines = svc::format_query(alloc, alloc_id, 1, spec);
   node_lines.erase(node_lines.rfind("MAP "));
+
+  if (!connect.address.empty()) {
+    svc::SocketClient socket(connect);
+    // NODE definitions first (never shed), then the retried MAPBATCH.
+    std::size_t at = 0;
+    while (at < node_lines.size()) {
+      const auto nl = node_lines.find('\n', at);
+      const std::vector<std::string> reply =
+          socket.request(node_lines.substr(at, nl - at));
+      if (reply.empty() || !starts_with(reply.front(), "OK")) {
+        std::printf("%s\n",
+                    reply.empty() ? "ERR empty response"
+                                  : reply.front().c_str());
+        return 1;
+      }
+      at = nl == std::string::npos ? node_lines.size() : nl + 1;
+    }
+    svc::QueryClient client([](const std::string&) { return std::string(); },
+                            retry);
+    const svc::BatchResult result =
+        client.map_batch(jobs, socket.multi_transport());
+    for (std::size_t i = 0; i < result.responses.size(); ++i) {
+      std::printf("JOB %zu %s\n", i, result.responses[i].c_str());
+    }
+    std::printf("%s\n", result.trailer.c_str());
+    if (result.attempts > 1 || socket.reconnects() > 0) {
+      std::printf("# attempts=%zu backoff-ms=%llu reconnects=%zu\n",
+                  result.attempts,
+                  static_cast<unsigned long long>(result.total_backoff_ms),
+                  socket.reconnects());
+    }
+    if (stats) {
+      for (const std::string& line : socket.request("STATS")) {
+        std::printf("%s\n", line.c_str());
+      }
+    }
+    if (result.gave_up_busy) return kExitBusy;
+    return result.ok() ? 0 : 1;
+  }
 
   if (!exec) {
     std::fputs(node_lines.c_str(), stdout);
@@ -566,6 +661,7 @@ int run_mutation(const std::string& verb, const std::vector<std::string>& args) 
   bool exec = false;
   svc::RetryPolicy retry;
   svc::ServiceConfig exec_config;
+  svc::ConnectConfig connect;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     auto need_value = [&] {
@@ -578,6 +674,10 @@ int run_mutation(const std::string& verb, const std::vector<std::string>& args) 
       cluster_path = need_value();
     } else if (arg == "--hostfile") {
       hostfile_path = need_value();
+    } else if (arg == "--connect") {
+      connect.address = need_value();
+    } else if (arg == "--binary") {
+      connect.binary = true;
     } else if (arg == "--id") {
       alloc_id = need_value();
     } else if (arg == "--node" && verb != "remap") {
@@ -616,6 +716,23 @@ int run_mutation(const std::string& verb, const std::vector<std::string>& args) 
     command = (verb == "offline" ? "OFFLINE " : "ONLINE ") + alloc_id + " " +
               std::to_string(*node);
     for (const std::string& pu : pus) command += " " + pu;
+  }
+
+  if (!connect.address.empty()) {
+    // A live server already holds the allocation state, so the mutation goes
+    // straight over the socket — no --cluster needed.
+    svc::SocketClient socket(connect);
+    svc::QueryClient client(socket.transport(), retry);
+    const svc::QueryResult result = client.send(command);
+    std::printf("%s\n", result.response.c_str());
+    if (result.attempts > 1 || socket.reconnects() > 0) {
+      std::printf("# attempts=%zu backoff-ms=%llu reconnects=%zu\n",
+                  result.attempts,
+                  static_cast<unsigned long long>(result.total_backoff_ms),
+                  socket.reconnects());
+    }
+    if (result.gave_up_busy) return kExitBusy;
+    return result.ok() ? 0 : 1;
   }
 
   if (!exec) {
@@ -808,6 +925,7 @@ int run_stats(const std::vector<std::string>& args) {
   bool json = false, exec = false;
   std::string cluster_path, hostfile_path;
   std::size_t requests = 16;
+  svc::ConnectConfig connect;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     auto need_value = [&] {
@@ -820,6 +938,10 @@ int run_stats(const std::vector<std::string>& args) {
       json = true;
     } else if (arg == "--exec") {
       exec = true;
+    } else if (arg == "--connect") {
+      connect.address = need_value();
+    } else if (arg == "--binary") {
+      connect.binary = true;
     } else if (arg == "--cluster") {
       cluster_path = need_value();
     } else if (arg == "--hostfile") {
@@ -829,6 +951,16 @@ int run_stats(const std::vector<std::string>& args) {
     } else {
       throw ParseError("unknown stats option: " + arg);
     }
+  }
+  if (!connect.address.empty()) {
+    svc::SocketClient socket(connect);
+    bool ok = true;
+    for (const std::string& line :
+         socket.request(json ? "STATS json" : "STATS")) {
+      std::printf("%s\n", line.c_str());
+      if (starts_with(line, "ERR")) ok = false;
+    }
+    return ok ? 0 : 1;
   }
   if (!exec) {
     std::printf(json ? "STATS json\n" : "STATS\n");
@@ -850,6 +982,7 @@ int run_metrics(const std::vector<std::string>& args) {
   bool json = false, exec = false;
   std::string cluster_path, hostfile_path;
   std::size_t requests = 16;
+  svc::ConnectConfig connect;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     auto need_value = [&] {
@@ -862,6 +995,10 @@ int run_metrics(const std::vector<std::string>& args) {
       json = true;
     } else if (arg == "--exec") {
       exec = true;
+    } else if (arg == "--connect") {
+      connect.address = need_value();
+    } else if (arg == "--binary") {
+      connect.binary = true;
     } else if (arg == "--cluster") {
       cluster_path = need_value();
     } else if (arg == "--hostfile") {
@@ -871,6 +1008,16 @@ int run_metrics(const std::vector<std::string>& args) {
     } else {
       throw ParseError("unknown metrics option: " + arg);
     }
+  }
+  if (!connect.address.empty()) {
+    svc::SocketClient socket(connect);
+    bool ok = true;
+    for (const std::string& line :
+         socket.request(json ? "METRICS json" : "METRICS")) {
+      std::printf("%s\n", line.c_str());
+      if (starts_with(line, "ERR")) ok = false;
+    }
+    return ok ? 0 : 1;
   }
   if (!exec) {
     std::printf(json ? "METRICS json\n" : "METRICS\n");
@@ -895,6 +1042,7 @@ int run_trace(const std::vector<std::string>& args) {
   bool exec = false;
   std::string cluster_path, hostfile_path, dump_dir;
   std::size_t requests = 16;
+  svc::ConnectConfig connect;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     auto need_value = [&] {
@@ -905,6 +1053,10 @@ int run_trace(const std::vector<std::string>& args) {
     };
     if (arg == "--exec") {
       exec = true;
+    } else if (arg == "--connect") {
+      connect.address = need_value();
+    } else if (arg == "--binary") {
+      connect.binary = true;
     } else if (arg == "--cluster") {
       cluster_path = need_value();
     } else if (arg == "--hostfile") {
@@ -918,6 +1070,15 @@ int run_trace(const std::vector<std::string>& args) {
     } else {
       throw ParseError("unknown trace option: " + arg);
     }
+  }
+  if (!connect.address.empty()) {
+    svc::SocketClient socket(connect);
+    bool ok = true;
+    for (const std::string& line : socket.request("TRACE " + selector)) {
+      std::printf("%s\n", line.c_str());
+      if (starts_with(line, "ERR")) ok = false;
+    }
+    return ok ? 0 : 1;
   }
   if (!exec) {
     std::printf("TRACE %s\n", selector.c_str());
@@ -1074,6 +1235,9 @@ int main(int argc, char** argv) {
         "               [--trace-seed N] [--trace-dump <dir>]\n"
         "               [--state-dir <dir> [--snapshot-every N]\n"
         "                [--fsync-every N] [--no-prewarm] | --no-persist]\n"
+        "               [--listen tcp:<host>:<port>|unix:<path>\n"
+        "                [--max-connections N]]  # epoll socket server; text\n"
+        "               # and binary wire framings auto-detected per conn\n"
         "               # --state-dir journals mutations and restores them\n"
         "               # on restart; SIGTERM/SIGINT drain and exit 0\n"
         "       lamactl query --cluster <file> [--hostfile <file>] -np N\n"
@@ -1081,11 +1245,14 @@ int main(int argc, char** argv) {
         "               [--npernode N] [--timeout-ms N] [--stats]\n"
         "               [--exec [--retries N] [--backoff-ms N]\n"
         "                [--max-inflight N]]  # run in-process with retries\n"
+        "               [--connect <addr> [--binary]]  # against a --listen\n"
+        "               # server, reconnecting with capped backoff\n"
         "       lamactl mapbatch --cluster <file> -np N[,N...]\n"
         "               [--map-by <spec>] [--threads N] [--bind-to <level>]\n"
         "               [--npernode N] [--timeout-ms N] [--id <name>]\n"
         "               [--stats] [--exec [--retries N] [--backoff-ms N]\n"
         "                [--max-inflight N]]  # one MAPBATCH, a job per np\n"
+        "               [--connect <addr> [--binary]]\n"
         "       lamactl optimize --cluster <file> [--hostfile <file>]\n"
         "               (-np N --pattern <name>[:<bytes>] | --matrix <file>)\n"
         "               [--budget N] [--passes N] [--timeout-ms N]\n"
@@ -1095,8 +1262,9 @@ int main(int argc, char** argv) {
         "               [--exec --cluster <file> [--hostfile <file>]\n"
         "                [--retries N] [--backoff-ms N] [--max-inflight N]]\n"
         "       lamactl remap [--id <name>] [--timeout-ms N] [--exec ...]\n"
-        "               # one-shot verbs; print the protocol line, or --exec\n"
-        "               # it with retries (exit 3 = still busy after retries)\n"
+        "               # one-shot verbs; print the protocol line, --exec it\n"
+        "               # with retries (exit 3 = still busy after retries),\n"
+        "               # or --connect <addr> [--binary] a running server\n"
         "       lamactl inject --cluster <file> [--seed N] [--requests N]\n"
         "               [--node-deaths N] [--node-recoveries N]\n"
         "               [--pu-offlines N] [--malformed N] [--corruptions N]\n"
@@ -1109,7 +1277,8 @@ int main(int argc, char** argv) {
         "       lamactl stats [--json]     # print the STATS protocol line\n"
         "       lamactl metrics [--json]   # print the METRICS protocol line\n"
         "       lamactl trace [<id>|last|errors]  # print the TRACE line\n"
-        "               (each: --exec --cluster <file> [--hostfile <file>]\n"
+        "               (each: --connect <addr> [--binary] queries a live\n"
+        "                server; --exec --cluster <file> [--hostfile <file>]\n"
         "                [--requests N] runs a traced in-process workload;\n"
         "                trace --exec adds [--dump <dir>] and ends with a\n"
         "                corrupted-tree failure so a failure trace exists)\n");
