@@ -90,7 +90,14 @@ std::string MetricsSnapshot::to_prometheus() const {
         }
         out << '}';
       }
-      out << ' ' << format_value(sample.value) << '\n';
+      out << ' ' << format_value(sample.value);
+      if (!sample.exemplar_trace.empty()) {
+        // OpenMetrics exemplar: the trace id of the slowest recent sample
+        // observed in this bucket, resolvable via the TRACE verb.
+        out << " # {trace_id=\"" << prometheus_escape(sample.exemplar_trace)
+            << "\"} " << format_value(sample.exemplar_value);
+      }
+      out << '\n';
     }
   }
   out << "# EOF\n";

@@ -19,17 +19,22 @@
 namespace lama::obs {
 
 // One exported sample: `name<suffix>{labels...} value`. The suffix carries
-// summary parts ("_sum", "_count"); plain counters leave it empty.
+// summary/histogram parts ("_sum", "_count", "_bucket"); plain counters
+// leave it empty. A non-empty exemplar_trace renders an OpenMetrics-style
+// exemplar after the value (` # {trace_id="<id>"} <exemplar_value>`) — used
+// on histogram buckets to link the slowest recent sample to a TRACE id.
 struct MetricSample {
   std::string suffix;
   std::vector<std::pair<std::string, std::string>> labels;
   double value = 0.0;
+  std::string exemplar_trace;
+  double exemplar_value = 0.0;
 };
 
 struct MetricFamily {
   std::string name;
   std::string help;
-  std::string type;  // "counter" | "gauge" | "summary"
+  std::string type;  // "counter" | "gauge" | "summary" | "histogram"
   std::vector<MetricSample> samples;
 };
 

@@ -41,6 +41,11 @@ enum class Stage : std::uint8_t {
   kNetWrite,       // flushing one connection's write buffer
 };
 
+// Number of Stage values (kRequest .. kNetWrite, dense from 0). Keep in
+// sync when appending stages: per-stage telemetry arrays size off this.
+inline constexpr std::size_t kStageCount =
+    static_cast<std::size_t>(Stage::kNetWrite) + 1;
+
 constexpr const char* stage_name(Stage s) {
   switch (s) {
     case Stage::kRequest: return "request";
@@ -78,6 +83,8 @@ enum class Outcome : std::uint8_t {
   kDeadlined,  // cancelled past its deadline
   kDegraded,   // succeeded on the uncached fallback (integrity failure,
                // degraded-shared remap)
+  kSlow,       // succeeded, but the tail gate flagged it: slower than the
+               // decayed p99 estimate, captured regardless of head sampling
 };
 
 constexpr const char* outcome_name(Outcome o) {
@@ -87,6 +94,7 @@ constexpr const char* outcome_name(Outcome o) {
     case Outcome::kShed: return "shed";
     case Outcome::kDeadlined: return "deadlined";
     case Outcome::kDegraded: return "degraded";
+    case Outcome::kSlow: return "slow";
   }
   return "unknown";
 }

@@ -1,0 +1,74 @@
+#include "obs/trace_dump.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string_view>
+#include <system_error>
+#include <vector>
+
+#include "obs/chrome.hpp"
+
+namespace lama::obs {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// trace-<id>.json -> id; nullopt for anything else (foreign files survive).
+std::optional<std::uint64_t> dump_id(const fs::path& path) {
+  const std::string name = path.filename().string();
+  constexpr std::string_view kPrefix = "trace-";
+  constexpr std::string_view kSuffix = ".json";
+  if (name.size() <= kPrefix.size() + kSuffix.size()) return std::nullopt;
+  if (name.compare(0, kPrefix.size(), kPrefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+      0) {
+    return std::nullopt;
+  }
+  std::uint64_t id = 0;
+  for (std::size_t i = kPrefix.size(); i < name.size() - kSuffix.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::nullopt;
+    id = id * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  return id;
+}
+
+}  // namespace
+
+std::size_t gc_trace_dumps(const std::string& dir, std::size_t max_files) {
+  if (max_files == 0) return 0;
+  std::error_code ec;
+  std::vector<std::uint64_t> ids;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    if (const auto id = dump_id(entry.path()); id.has_value()) {
+      ids.push_back(*id);
+    }
+  }
+  if (ids.size() <= max_files) return 0;
+  // Oldest first = smallest trace id first (ids are process-monotonic).
+  std::sort(ids.begin(), ids.end());
+  std::size_t deleted = 0;
+  for (std::size_t i = 0; i < ids.size() - max_files; ++i) {
+    const fs::path victim =
+        fs::path(dir) / ("trace-" + std::to_string(ids[i]) + ".json");
+    deleted += fs::remove(victim, ec) ? 1 : 0;
+  }
+  return deleted;
+}
+
+std::function<void(const Trace&)> make_trace_dump_sink(TraceDumpConfig config) {
+  return [config](const Trace& trace) {
+    const std::string path =
+        config.dir + "/trace-" + std::to_string(trace.id) + ".json";
+    std::ofstream out(path);
+    if (out) out << to_chrome_json(trace) << "\n";
+    out.close();
+    gc_trace_dumps(config.dir, config.max_files);
+  };
+}
+
+}  // namespace lama::obs

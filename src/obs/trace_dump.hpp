@@ -1,0 +1,29 @@
+// The --trace-dump sink: writes every failed (or tail-captured) trace to
+// <dir>/trace-<id>.json as Chrome trace-event JSON, garbage-collecting the
+// directory to a file cap so a long incident cannot fill the disk. Trace
+// ids are process-monotonic, so "oldest first" is simply the smallest id —
+// no mtime races.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "obs/flight_recorder.hpp"
+
+namespace lama::obs {
+
+struct TraceDumpConfig {
+  std::string dir;
+  // Retained trace-<id>.json files after each write; 0 = unbounded.
+  std::size_t max_files = 256;
+};
+
+// Deletes lowest-id trace-<id>.json files until at most `max_files` remain.
+// Foreign files in the directory are left alone. Returns files deleted.
+std::size_t gc_trace_dumps(const std::string& dir, std::size_t max_files);
+
+// A dump sink for FlightRecorder::set_dump_sink. The directory must exist.
+std::function<void(const Trace&)> make_trace_dump_sink(TraceDumpConfig config);
+
+}  // namespace lama::obs

@@ -48,6 +48,12 @@ void span_end(Stage stage, std::uint32_t detail, std::uint64_t start_ns) {
   span.end_ns = monotonic_ns();
   span.detail = detail;
   span.stage = stage;
+  // Stage latency histogram + exemplar, wait-free. Only sampled traces get
+  // here (span_begin returned non-zero), so the exemplar's trace id always
+  // belongs to a trace the tracer will assemble.
+  if (t_ctx.stats != nullptr) {
+    t_ctx.stats->record(stage, span.end_ns - span.start_ns, span.trace_id);
+  }
   SpanRing& ring = RingRegistry::instance().local_ring(span.tid);
   ring.push(span);
 }
@@ -55,13 +61,15 @@ void span_end(Stage stage, std::uint32_t detail, std::uint64_t start_ns) {
 Tracer::Tracer(const TracerConfig& config)
     : config_(config), recorder_(config.flight_capacity) {}
 
-std::uint64_t Tracer::begin() {
+std::uint64_t Tracer::begin(bool transport) {
   const std::uint64_t id =
       g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
   t_ctx.id = id;
   t_ctx.parent = t_pending_parent;
   t_pending_parent = 0;  // consumed by this begin
   t_ctx.begin_ns = monotonic_ns();
+  t_ctx.stats = &stage_stats_;
+  t_ctx.transport = transport;
   // The head-based sampling decision: an unsampled trace skips all span
   // recording (span_begin returns 0 — no clock reads, no ring pushes), so
   // the default 1/64 rate keeps the warm path within its overhead budget.
@@ -72,18 +80,60 @@ std::uint64_t Tracer::begin() {
   return id;
 }
 
+bool Tracer::tail_gate(std::uint64_t duration_ns) {
+  if (!config_.tail_capture) return false;
+  // A stochastic decayed-p99 estimate: samples above the estimate pull it
+  // up by 1/8 of the gap, samples below decay it by 1/4096 — the estimate
+  // settles just above the bulk of the distribution and tracks load shifts
+  // within a few thousand requests. The gate itself asks for 1.25x the
+  // estimate so steady traffic at the estimate does not self-capture; a
+  // short warmup keeps the first requests from tripping a cold estimate.
+  const std::uint64_t est = tail_threshold_ns_.load(std::memory_order_relaxed);
+  std::uint64_t updated;
+  if (duration_ns > est) {
+    updated = est + (duration_ns - est) / 8 + 1;
+  } else {
+    updated = est - est / 4096;
+  }
+  tail_threshold_ns_.store(updated, std::memory_order_relaxed);
+  constexpr std::uint64_t kWarmup = 64;
+  if (tail_warmup_.load(std::memory_order_relaxed) < kWarmup) {
+    tail_warmup_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (duration_ns <= config_.tail_floor_ns) return false;
+  return duration_ns > est + est / 4;
+}
+
 Tracer::End Tracer::end(std::uint64_t id, Outcome outcome) {
   End result;
   result.failure = outcome != Outcome::kOk;
   const TraceHandle handle = t_ctx;
   if (handle.id == id) t_ctx = TraceHandle{};
-  if (!result.failure && !sampled(id)) return result;
+  const std::uint64_t end_ns = monotonic_ns();
+  const std::uint64_t duration =
+      end_ns > handle.begin_ns ? end_ns - handle.begin_ns : 0;
+  // Transport traces (socket accept, one readable event) are connection
+  // plumbing: they neither feed the request-stage histogram nor the tail
+  // gate's duration estimate — a flood of µs-scale readable events must
+  // not drag the estimate down and spuriously capture normal requests.
+  const bool request = !handle.transport || handle.id != id;
+  result.slow = !result.failure && request && tail_gate(duration);
+  const bool assemble = result.failure || result.slow || sampled(id);
+  // The whole-request histogram sees every traced request; the exemplar
+  // only assembled ones, so exported exemplar ids resolve via TRACE.
+  if (request) stage_stats_.record(Stage::kRequest, duration, assemble ? id : 0);
+  if (!assemble) return result;
+  if (result.slow) {
+    tail_captured_.fetch_add(1, std::memory_order_relaxed);
+    if (outcome == Outcome::kOk) outcome = Outcome::kSlow;
+  }
 
   Trace trace;
   trace.id = id;
   trace.parent_id = handle.parent;
   trace.begin_ns = handle.begin_ns;
-  trace.end_ns = monotonic_ns();
+  trace.end_ns = end_ns;
   trace.outcome = outcome;
 
   // The root request span, synthesised here: it is still open while the
@@ -118,8 +168,10 @@ bool Tracer::sampled(std::uint64_t id) const {
   return h % n == 0;
 }
 
-TraceScope::TraceScope(Tracer* tracer) : tracer_(tracer) {
-  if (tracer_ != nullptr && current_trace_id() == 0) id_ = tracer_->begin();
+TraceScope::TraceScope(Tracer* tracer, bool transport) : tracer_(tracer) {
+  if (tracer_ != nullptr && current_trace_id() == 0) {
+    id_ = tracer_->begin(transport);
+  }
 }
 
 TraceScope::~TraceScope() {

@@ -16,6 +16,7 @@
 
 #include "obs/flight_recorder.hpp"
 #include "obs/span.hpp"
+#include "obs/stage_stats.hpp"
 
 namespace lama::obs {
 
@@ -30,10 +31,18 @@ struct TraceHandle {
   std::uint64_t id = 0;
   std::uint64_t parent = 0;
   std::uint64_t begin_ns = 0;
+  // The owning tracer's per-stage histograms, so span_end can record stage
+  // latency without a tracer reference. Travels with the handoff: worker
+  // threads feed the same stats as the thread that began the trace.
+  StageStats* stats = nullptr;
   // Head-based sampling decision made at begin(): when false, span
   // recording is suppressed for the whole trace (span_begin returns 0).
   // An unsampled failure still assembles with just its root span.
   bool record = true;
+  // A transport-level trace (socket accept, one readable event): its root
+  // duration is connection plumbing, not a request, so it stays out of the
+  // request-stage histogram and the tail gate's duration estimate.
+  bool transport = false;
 };
 
 // Trace id active on this thread, 0 when none.
@@ -103,6 +112,14 @@ struct TracerConfig {
   std::uint32_t sample_every = 64;
   // Perturbs which ids are sampled; fixed seed -> deterministic choice.
   std::uint64_t seed = 0;
+  // Tail-triggered capture: assemble any trace noticeably slower than a
+  // decayed p99 estimate of request duration, regardless of head sampling.
+  // Captured traces get Outcome::kSlow and land in the flight recorder's
+  // failure window (failure log + dump sink).
+  bool tail_capture = true;
+  // The gate never fires below this duration, so µs-scale warm-cache
+  // traffic does not flood the recorder with noise "tails".
+  std::uint64_t tail_floor_ns = 100 * 1000;
 };
 
 class Tracer {
@@ -114,12 +131,16 @@ class Tracer {
 
   // Starts a trace and installs it as this thread's context. Returns the
   // id (never 0). Nesting is the caller's concern: TraceScope only begins
-  // when no trace is active.
-  std::uint64_t begin();
+  // when no trace is active. `transport` marks connection-plumbing traces
+  // (see TraceHandle::transport).
+  std::uint64_t begin(bool transport = false);
 
   struct End {
     bool assembled = false;
     bool failure = false;
+    // The tail gate fired: the request succeeded but ran slower than the
+    // decayed p99 estimate and was captured as Outcome::kSlow.
+    bool slow = false;
   };
 
   // Ends the trace: uninstalls the thread context and — when the outcome is
@@ -140,12 +161,31 @@ class Tracer {
   [[nodiscard]] std::uint64_t assembled() const {
     return assembled_.load(std::memory_order_relaxed);
   }
+  // Traces captured by the tail gate (Outcome::kSlow).
+  [[nodiscard]] std::uint64_t tail_captured() const {
+    return tail_captured_.load(std::memory_order_relaxed);
+  }
+  // The current decayed p99 duration estimate driving the tail gate (ns).
+  [[nodiscard]] std::uint64_t tail_threshold_ns() const {
+    return tail_threshold_ns_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] StageStats& stage_stats() { return stage_stats_; }
+  [[nodiscard]] const StageStats& stage_stats() const { return stage_stats_; }
 
  private:
+  // Updates the decayed p99 estimate with one request duration and reports
+  // whether the tail gate fires for it.
+  bool tail_gate(std::uint64_t duration_ns);
+
   TracerConfig config_;
   FlightRecorder recorder_;
+  StageStats stage_stats_;
   std::atomic<std::uint64_t> started_{0};
   std::atomic<std::uint64_t> assembled_{0};
+  std::atomic<std::uint64_t> tail_captured_{0};
+  std::atomic<std::uint64_t> tail_threshold_ns_{0};
+  std::atomic<std::uint64_t> tail_warmup_{0};
 };
 
 // Begins a trace on construction if (a) a tracer is given and (b) no trace
@@ -155,7 +195,7 @@ class Tracer {
 // records a failure; success paths overwrite it via set_outcome.
 class TraceScope {
  public:
-  explicit TraceScope(Tracer* tracer);
+  explicit TraceScope(Tracer* tracer, bool transport = false);
   ~TraceScope();
   TraceScope(const TraceScope&) = delete;
   TraceScope& operator=(const TraceScope&) = delete;

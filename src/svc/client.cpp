@@ -471,6 +471,64 @@ std::vector<std::string> SocketClient::request(const std::string& command) {
   return {"ERR connect: " + error};
 }
 
+bool SocketClient::watch(
+    const std::string& command,
+    const std::function<bool(const std::string&)>& on_unit,
+    std::string& error) {
+  if (!ensure_connected(error)) return false;
+  NetChannel channel = NetChannel::over_fd(fd_);
+  if (config_.binary) {
+    if (!channel.write_frame(WireVerb::kWatch, command)) {
+      error = std::string("write failed: ") + std::strerror(errno);
+      close();
+      return false;
+    }
+    WireVerb verb = WireVerb::kErr;
+    std::string payload;
+    if (!channel.read_frame(verb, payload, error)) {
+      close();
+      return false;
+    }
+    if (verb == WireVerb::kErr || !starts_with(payload, "OK watch")) {
+      error = trim(payload);
+      close();
+      return false;
+    }
+    while (channel.read_frame(verb, payload, error)) {
+      if (!on_unit(payload)) {
+        close();
+        return true;
+      }
+    }
+  } else {
+    if (!channel.write_all(command + "\n")) {
+      error = std::string("write failed: ") + std::strerror(errno);
+      close();
+      return false;
+    }
+    std::string line;
+    if (!channel.read_line(line)) {
+      error = "connection closed before the subscription was confirmed";
+      close();
+      return false;
+    }
+    if (!starts_with(line, "OK watch")) {
+      error = line;
+      close();
+      return false;
+    }
+    while (channel.read_line(line)) {
+      if (!on_unit(line)) {
+        close();
+        return true;
+      }
+    }
+    error = "connection closed";
+  }
+  close();
+  return false;
+}
+
 QueryClient::Transport SocketClient::transport() {
   return [this](const std::string& line) {
     const std::vector<std::string> lines = request(line);

@@ -201,6 +201,17 @@ class SocketClient {
   // max_attempts returns one "ERR connect: ..." line.
   std::vector<std::string> request(const std::string& command);
 
+  // Streaming WATCH: subscribes with `command` (e.g. "WATCH 500 metrics")
+  // and invokes `on_unit` for every pushed unit — one text line, or one
+  // whole binary frame payload (which may carry several lines). Return
+  // false from on_unit to unsubscribe and close. Returns true when on_unit
+  // ended the stream; false with `error` set when the subscription was
+  // refused or the connection died. Never reconnects mid-stream (a resumed
+  // subscription would silently skip events).
+  bool watch(const std::string& command,
+             const std::function<bool(const std::string&)>& on_unit,
+             std::string& error);
+
   // Adapters for QueryClient.
   QueryClient::Transport transport();
   QueryClient::MultiTransport multi_transport();

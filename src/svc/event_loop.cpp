@@ -133,6 +133,7 @@ ListenAddress parse_listen_address(const std::string& text) {
 
 struct EventLoopServer::Connection {
   enum class Mode : std::uint8_t { kUnknown, kText, kBinary };
+  enum class WatchMode : std::uint8_t { kStats, kMetrics, kEvents };
 
   int fd = -1;
   std::uint32_t id = 0;
@@ -142,6 +143,16 @@ struct EventLoopServer::Connection {
   std::size_t out_off = 0;
   std::uint32_t events = 0;  // epoll mask currently registered
   bool close_after_flush = false;
+
+  // WATCH subscription (event_loop.hpp): armed by handle_watch, serviced
+  // by watch_tick. The *_seen baselines start at the current totals so a
+  // new subscriber only hears about failures after it subscribed.
+  bool watching = false;
+  WatchMode watch_mode = WatchMode::kStats;
+  std::uint64_t watch_interval_ns = 0;
+  std::uint64_t watch_next_ns = 0;
+  std::uint64_t watch_dumps_seen = 0;
+  std::uint64_t watch_breaches_seen = 0;
 };
 
 struct EventLoopServer::Impl {
@@ -280,6 +291,7 @@ std::size_t EventLoopServer::run(const std::function<bool()>& stop) {
       }
       if (events[i].events & EPOLLOUT) flush_writes(it->second);
     }
+    watch_tick();
   }
   drain_phase();
   return dispatched_.load(std::memory_order_relaxed);
@@ -312,7 +324,7 @@ void EventLoopServer::accept_ready() {
       ::close(fd);
       continue;
     }
-    obs::TraceScope trace(service_.tracer());
+    obs::TraceScope trace(service_.tracer(), /*transport=*/true);
     trace.set_outcome(obs::Outcome::kOk);
     obs::SpanScope span(obs::Stage::kAccept, impl_->next_id);
     if (!bound_.is_unix) {
@@ -333,7 +345,7 @@ void EventLoopServer::accept_ready() {
 }
 
 void EventLoopServer::handle_readable(Connection& conn) {
-  obs::TraceScope trace(service_.tracer());
+  obs::TraceScope trace(service_.tracer(), /*transport=*/true);
   trace.set_outcome(obs::Outcome::kOk);
   bool peer_eof = false;
   bool peer_err = false;
@@ -484,13 +496,134 @@ void EventLoopServer::dispatch(Connection& conn, std::string_view line,
     append_response(conn, shed, binary);
     return;
   }
+  // WATCH never reaches the protocol session: the subscription is transport
+  // state (a kept-alive connection the loop pushes into), so the event loop
+  // owns the verb on both framings.
+  if (first_token(line) == "WATCH") {
+    obs::SpanScope span(obs::Stage::kDispatch, conn.id);
+    const std::uint64_t start = now_ns();
+    const std::string response = handle_watch(conn, line);
+    counters_.dispatch_ns.record_ns(now_ns() - start);
+    append_response(conn, response, binary);
+    return;
+  }
   obs::SpanScope span(obs::Stage::kDispatch, conn.id);
   const std::uint64_t start = now_ns();
+  // Suspend the connection-level readable trace so the protocol layer
+  // begins a per-request trace of its own (parented here): a request that
+  // fails must dump as a failure, not vanish inside the always-ok
+  // transport trace that covers the whole readable event.
+  const std::uint64_t conn_trace = obs::current_trace_id();
+  const obs::ScopedTrace suspend{obs::TraceHandle{}};
+  const obs::ScopedParent parent(conn_trace);
   ViewStream more(continuation);
   const std::string response = session_.execute(std::string(line), more);
   counters_.dispatch_ns.record_ns(now_ns() - start);
   if (first_token(line) == "QUIT") conn.close_after_flush = true;
   append_response(conn, response, binary);
+}
+
+std::string EventLoopServer::handle_watch(Connection& conn,
+                                          std::string_view line) {
+  std::uint64_t interval_ms = 1000;
+  auto mode = Connection::WatchMode::kStats;
+  const char* mode_name = "stats";
+  bool stop_watch = false;
+  std::size_t pos = line.find_first_of(" \t", line.find("WATCH"));
+  while (pos != std::string_view::npos && pos < line.size()) {
+    const std::size_t b = line.find_first_not_of(" \t", pos);
+    if (b == std::string_view::npos) break;
+    const std::size_t e = line.find_first_of(" \t", b);
+    const std::string_view tok =
+        line.substr(b, e == std::string_view::npos ? e : e - b);
+    std::size_t parsed = 0;
+    if (tok == "stats") {
+      mode = Connection::WatchMode::kStats;
+      mode_name = "stats";
+    } else if (tok == "metrics") {
+      mode = Connection::WatchMode::kMetrics;
+      mode_name = "metrics";
+    } else if (tok == "events") {
+      mode = Connection::WatchMode::kEvents;
+      mode_name = "events";
+    } else if (tok == "stop") {
+      stop_watch = true;
+    } else if (parse_count(tok, kMaxTimeoutMs, parsed) && parsed > 0) {
+      interval_ms = parsed;
+    } else {
+      return "ERR WATCH needs '[interval_ms] [stats|metrics|events]' or "
+             "'WATCH stop'\n";
+    }
+    pos = e;
+  }
+  if (stop_watch) {
+    if (!conn.watching) return "ERR not watching\n";
+    conn.watching = false;
+    return "OK watch stopped\n";
+  }
+  conn.watching = true;
+  conn.watch_mode = mode;
+  conn.watch_interval_ns = interval_ms * 1'000'000ULL;
+  // The first snapshot goes out on the next tick; events only fire for
+  // failures/breaches that happen after this point.
+  conn.watch_next_ns = now_ns();
+  const obs::Tracer* tracer = service_.tracer();
+  conn.watch_dumps_seen = tracer != nullptr ? tracer->recorder().dumps() : 0;
+  conn.watch_breaches_seen = service_.slo().breaches();
+  return "OK watch interval_ms=" + std::to_string(interval_ms) +
+         " mode=" + mode_name + "\n";
+}
+
+void EventLoopServer::watch_tick() {
+  if (impl_->conns.empty()) return;
+  const std::uint64_t now = now_ns();
+  const obs::Tracer* tracer = service_.tracer();
+  const std::uint64_t dumps =
+      tracer != nullptr ? tracer->recorder().dumps() : 0;
+  const std::uint64_t breaches = service_.slo().breaches();
+  // flush_writes may close (and erase) a connection — iterate a copied fd
+  // list, re-finding each one, exactly like drain_phase.
+  std::vector<int> fds;
+  for (auto& [fd, conn] : impl_->conns) {
+    if (conn.watching) fds.push_back(fd);
+  }
+  for (const int fd : fds) {
+    auto it = impl_->conns.find(fd);
+    if (it == impl_->conns.end()) continue;
+    Connection& conn = it->second;
+    std::string push;
+    if (dumps > conn.watch_dumps_seen) {
+      push += "EVENT failure count=" +
+              std::to_string(dumps - conn.watch_dumps_seen) +
+              " total=" + std::to_string(dumps) + "\n";
+      conn.watch_dumps_seen = dumps;
+    }
+    if (breaches > conn.watch_breaches_seen) {
+      push += "EVENT slo_breach count=" +
+              std::to_string(breaches - conn.watch_breaches_seen) +
+              " total=" + std::to_string(breaches) + "\n";
+      conn.watch_breaches_seen = breaches;
+    }
+    if (now >= conn.watch_next_ns &&
+        conn.watch_mode != Connection::WatchMode::kEvents) {
+      if (conn.watch_mode == Connection::WatchMode::kStats) {
+        push += "STATS " + service_.stats_line() + "\n";
+      } else {
+        // Prometheus text already ends with the "# EOF" framing line.
+        push += service_.metrics_snapshot().to_prometheus();
+      }
+      conn.watch_next_ns = now + conn.watch_interval_ns;
+    }
+    if (push.empty()) continue;
+    if (conn.out.size() - conn.out_off > config_.write_buffer_limit) {
+      // The subscriber is not keeping up: drop this push instead of
+      // buffering without bound — the next tick carries fresher data anyway.
+      inc(counters_.shed_backpressure);
+      continue;
+    }
+    append_response(conn, push, conn.mode == Connection::Mode::kBinary);
+    flush_writes(conn);  // may close `conn`; not touched after
+  }
 }
 
 void EventLoopServer::append_response(Connection& conn,

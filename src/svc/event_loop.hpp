@@ -119,6 +119,12 @@ class EventLoopServer {
   void process_input(Connection& conn);
   void dispatch(Connection& conn, std::string_view line,
                 std::string_view continuation, bool binary);
+  // WATCH subscriptions: handle_watch parses the subscribe/stop line and
+  // arms the connection; watch_tick runs once per epoll_wait wake (so event
+  // latency is bounded by NetConfig::poll_interval_ms) pushing due
+  // snapshots and immediate failure/SLO-breach events.
+  std::string handle_watch(Connection& conn, std::string_view line);
+  void watch_tick();
   void append_response(Connection& conn, std::string_view response,
                        bool binary);
   void flush_writes(Connection& conn);

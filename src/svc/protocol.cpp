@@ -1003,6 +1003,12 @@ std::string ProtocolSession::execute(const std::string& line,
     if (cmd == "HEALTH") {
       return impl_->handle_health() + "\n";
     }
+    if (cmd == "WATCH") {
+      // Streaming subscriptions live in the event-loop server, which
+      // intercepts WATCH before this session sees it: a stdin session has
+      // no way to push frames between reads.
+      throw ParseError("WATCH requires a socket connection (serve --listen)");
+    }
     if (cmd == "QUIT") {
       done_ = true;
       return "OK bye\n";

@@ -29,6 +29,12 @@
 //   HEALTH          -> OK health status=ready|draining ... (liveness,
 //                      readiness, recovery status, journal lag; grammar in
 //                      docs/resilience.md. Always served, even draining.)
+//   WATCH [interval_ms] [stats|metrics|events]  -> socket connections only
+//                      (svc/event_loop.hpp): OK watch interval_ms=<n>
+//                      mode=<m>, then server-pushed snapshots every interval
+//                      (STATS line / Prometheus text framed by "# EOF") and
+//                      immediate "EVENT failure ..."/"EVENT slo_breach ..."
+//                      lines; "WATCH stop" unsubscribes. On stdin: ERR.
 //   QUIT            -> OK bye (serving stops; EOF works too)
 //
 // MAP options: oversub=0|1, pus=<per-proc PUs>, npernode=<cap>,

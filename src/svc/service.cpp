@@ -45,12 +45,15 @@ MappingService::MappingService(ServiceConfig config)
                   config.plan_space_limit, counters_),
       opt_cache_(config.cache_shards, config.shard_capacity),
       pool_(config.workers, config.max_queue),
+      slo_(config.slo),
       start_ns_(obs::monotonic_ns()) {
   if (config_.flight_recorder > 0) {
     obs::TracerConfig tc;
     tc.flight_capacity = config_.flight_recorder;
     tc.sample_every = config_.trace_sample;
     tc.seed = config_.trace_seed;
+    tc.tail_capture = config_.trace_tail;
+    tc.tail_floor_ns = config_.trace_tail_floor_ns;
     tracer_ = std::make_unique<obs::Tracer>(tc);
   }
 }
@@ -114,7 +117,7 @@ MapResponse MappingService::shed_response() {
 // exactly-once error/completed accounting, and end-to-end timing. `fn` runs
 // the actual work and receives the resolved deadline.
 MapResponse MappingService::run_counted(
-    std::uint32_t timeout_ms,
+    const char* verb, std::uint32_t timeout_ms,
     const std::function<MapResponse(std::uint64_t)>& fn) {
   // Begins a trace only when none is active on this thread: the protocol
   // layer's TraceScope (which also covers parse/reply) wins when present.
@@ -123,6 +126,7 @@ MapResponse MappingService::run_counted(
   // back off and find the restarted process, in-flight work still finishes.
   if (draining()) {
     trace_scope.set_outcome(obs::Outcome::kShed);
+    slo_.record(verb, 0, false);
     return shed_response();
   }
   if (config_.max_inflight > 0) {
@@ -131,6 +135,7 @@ MapResponse MappingService::run_counted(
     if (prev >= config_.max_inflight) {
       inflight_.fetch_sub(1, std::memory_order_acq_rel);
       trace_scope.set_outcome(obs::Outcome::kShed);
+      slo_.record(verb, 0, false);
       return shed_response();
     }
   } else {
@@ -172,15 +177,18 @@ MapResponse MappingService::run_counted(
   response.outcome = outcome;
   trace_scope.set_outcome(outcome);
   counters_.completed.fetch_add(1, std::memory_order_relaxed);
-  counters_.total_ns.record_ns(elapsed_ns(start));
+  const std::uint64_t took = elapsed_ns(start);
+  counters_.total_ns.record_ns(took);
+  slo_.record(verb, took, response.ok());
   inflight_.fetch_sub(1, std::memory_order_acq_rel);
   return response;
 }
 
 MapResponse MappingService::map(const MapRequest& request) {
-  return run_counted(request.timeout_ms, [&](std::uint64_t deadline_ns) {
-    return map_uncaught(request, deadline_ns);
-  });
+  return run_counted("query", request.timeout_ms,
+                     [&](std::uint64_t deadline_ns) {
+                       return map_uncaught(request, deadline_ns);
+                     });
 }
 
 MappingResult MappingService::run_lama_walk(const Allocation& alloc,
@@ -338,7 +346,8 @@ MapResponse MappingService::map_uncaught(const MapRequest& request,
 }
 
 MapResponse MappingService::remap(const RemapRequest& request) {
-  return run_counted(request.timeout_ms, [&](std::uint64_t deadline_ns) {
+  return run_counted("remap", request.timeout_ms,
+                     [&](std::uint64_t deadline_ns) {
     if (!request.alloc.valid()) {
       throw MappingError("remap carries no interned allocation");
     }
@@ -370,7 +379,8 @@ OptimizeResponse MappingService::optimize(const OptimizeRequest& request) {
   // run_counted supplies the shared admission/deadline/accounting wrapper;
   // the optimize-specific payload travels through `out`, captured alongside.
   const MapResponse counted =
-      run_counted(request.timeout_ms, [&](std::uint64_t deadline_ns) {
+      run_counted("optimize", request.timeout_ms,
+                  [&](std::uint64_t deadline_ns) {
         if (!request.alloc.valid()) {
           throw MappingError("optimize carries no interned allocation");
         }
@@ -449,6 +459,7 @@ std::vector<MapResponse> MappingService::map_batch(
   const std::uint64_t batch_id = obs::current_trace_id();
   const obs::SpanScope batch_span(obs::Stage::kBatch,
                                   static_cast<std::uint32_t>(requests.size()));
+  const auto batch_start = std::chrono::steady_clock::now();
   counters_.batched.fetch_add(1, std::memory_order_relaxed);
   counters_.batch_jobs.fetch_add(requests.size(), std::memory_order_relaxed);
   std::vector<MapResponse> responses(requests.size());
@@ -500,6 +511,9 @@ std::vector<MapResponse> MappingService::map_batch(
   for (const MapResponse& response : responses) {
     if (!response.ok()) any_failed = true;
   }
+  // The batch counts as one SLO event: good only when every job succeeded
+  // and the whole batch landed inside the mapbatch objective.
+  slo_.record("mapbatch", elapsed_ns(batch_start), !any_failed);
   batch_scope.set_outcome(any_failed ? obs::Outcome::kError
                                      : obs::Outcome::kOk);
   return responses;
@@ -513,17 +527,65 @@ namespace {
 
 void add_summary(obs::MetricsSnapshot& snap, const std::string& name,
                  const std::string& help, const LatencyHistogram& hist) {
+  // One snapshot per family: quantiles, sum, and count are mutually
+  // consistent even while writers keep recording.
+  const LatencyHistogram::Snapshot s = hist.snapshot();
   obs::MetricFamily& family = snap.add(name, help, "summary");
   for (const double q : {0.5, 0.9, 0.99}) {
     char quantile[16];
     std::snprintf(quantile, sizeof(quantile), "%g", q);
     family.samples.push_back(
         {"", {{"quantile", quantile}},
-         static_cast<double>(hist.percentile_ns(q * 100.0))});
+         static_cast<double>(s.percentile_ns(q * 100.0))});
   }
-  family.samples.push_back({"_sum", {}, static_cast<double>(hist.sum_ns())});
-  family.samples.push_back(
-      {"_count", {}, static_cast<double>(hist.count())});
+  family.samples.push_back({"_sum", {}, static_cast<double>(s.sum_ns)});
+  family.samples.push_back({"_count", {}, static_cast<double>(s.count)});
+}
+
+// Renders the per-stage histograms as one real Prometheus histogram family
+// labeled by stage: cumulative `le` buckets (each bucket's inclusive upper
+// bound in ns) with OpenMetrics exemplars carrying the trace id of the
+// slowest recent sample in that bucket, plus _sum/_count. Stages that never
+// recorded are omitted to keep the exposition lean.
+void add_stage_histograms(obs::MetricsSnapshot& snap,
+                          const obs::StageStats& stats) {
+  obs::MetricFamily& family =
+      snap.add("lama_stage_latency_ns", "Per-stage span latency (ns)",
+               "histogram");
+  for (std::size_t s = 0; s < obs::kStageCount; ++s) {
+    const auto stage = static_cast<obs::Stage>(s);
+    const LatencyHistogram::Snapshot snapshot =
+        stats.histogram(stage).snapshot();
+    if (snapshot.count == 0) continue;
+    const std::string name = obs::stage_name(stage);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+      if (snapshot.buckets[i] == 0) continue;
+      cumulative += snapshot.buckets[i];
+      obs::MetricSample sample{
+          "_bucket",
+          {{"stage", name},
+           {"le", std::to_string(
+                      LatencyHistogram::Snapshot::bucket_bound_ns(i))}},
+          static_cast<double>(cumulative)};
+      const obs::StageStats::Exemplar ex = stats.exemplar(stage, i);
+      if (ex.trace_id != 0) {
+        char trace[32];
+        std::snprintf(trace, sizeof(trace), "%016llx",
+                      static_cast<unsigned long long>(ex.trace_id));
+        sample.exemplar_trace = trace;
+        sample.exemplar_value = static_cast<double>(ex.ns);
+      }
+      family.samples.push_back(std::move(sample));
+    }
+    family.samples.push_back({"_bucket",
+                              {{"stage", name}, {"le", "+Inf"}},
+                              static_cast<double>(snapshot.count)});
+    family.samples.push_back(
+        {"_sum", {{"stage", name}}, static_cast<double>(snapshot.sum_ns)});
+    family.samples.push_back(
+        {"_count", {{"stage", name}}, static_cast<double>(snapshot.count)});
+  }
 }
 
 }  // namespace
@@ -733,6 +795,14 @@ obs::MetricsSnapshot MappingService::metrics_snapshot() const {
   snap.add_scalar("lama_traces_assembled_total",
                   "Traces assembled into the flight recorder", "counter",
                   tracer_ ? static_cast<double>(tracer_->assembled()) : 0.0);
+  snap.add_scalar("lama_traces_tail_total",
+                  "Traces captured by the adaptive tail gate", "counter",
+                  tracer_ ? static_cast<double>(tracer_->tail_captured())
+                          : 0.0);
+  snap.add_scalar("lama_tail_threshold_ns",
+                  "Current tail-gate latency estimate (ns)", "gauge",
+                  tracer_ ? static_cast<double>(tracer_->tail_threshold_ns())
+                          : 0.0);
   snap.add_scalar("lama_trace_dumps_total",
                   "Failure traces recorded for dumping", "counter",
                   tracer_ ? static_cast<double>(tracer_->recorder().dumps())
@@ -741,6 +811,47 @@ obs::MetricsSnapshot MappingService::metrics_snapshot() const {
                   "Complete traces currently retained", "gauge",
                   tracer_ ? static_cast<double>(tracer_->recorder().size())
                           : 0.0);
+
+  // Per-stage latency histograms with trace-id exemplars (tracing on only).
+  if (tracer_ != nullptr) add_stage_histograms(snap, tracer_->stage_stats());
+
+  // SLO accounting (absent unless objectives were configured). One family
+  // is filled completely before the next snap.add — add may reallocate the
+  // family vector, so references must not be held across it.
+  if (slo_.enabled()) {
+    const std::vector<SloTracker::VerbSnapshot> verbs = slo_.snapshot();
+    obs::MetricFamily& objective =
+        snap.add("lama_slo_objective_ns", "Per-verb latency objective (ns)",
+                 "gauge");
+    for (const SloTracker::VerbSnapshot& v : verbs) {
+      objective.samples.push_back(
+          {"", {{"verb", v.verb}}, static_cast<double>(v.threshold_ns)});
+    }
+    obs::MetricFamily& good = snap.add(
+        "lama_slo_good_total", "Requests inside their verb's objective",
+        "counter");
+    for (const SloTracker::VerbSnapshot& v : verbs) {
+      good.samples.push_back(
+          {"", {{"verb", v.verb}}, static_cast<double>(v.good)});
+    }
+    obs::MetricFamily& bad = snap.add(
+        "lama_slo_bad_total",
+        "Requests that failed or overran their verb's objective", "counter");
+    for (const SloTracker::VerbSnapshot& v : verbs) {
+      bad.samples.push_back(
+          {"", {{"verb", v.verb}}, static_cast<double>(v.bad)});
+    }
+    obs::MetricFamily& burn = snap.add(
+        "lama_slo_burn_rate",
+        "Error-budget burn rate (1.0 = exactly consuming the budget)",
+        "gauge");
+    for (const SloTracker::VerbSnapshot& v : verbs) {
+      burn.samples.push_back(
+          {"", {{"verb", v.verb}, {"window", "fast"}}, v.fast_burn});
+      burn.samples.push_back(
+          {"", {{"verb", v.verb}, {"window", "slow"}}, v.slow_burn});
+    }
+  }
   return snap;
 }
 
@@ -749,13 +860,16 @@ std::string MappingService::stats_line() const {
   std::snprintf(
       buf, sizeof(buf),
       " uptime_s=%.3f cache_trees=%llu cache_plans=%llu cache_opts=%llu "
-      "traces_started=%llu traces_assembled=%llu trace_dumps=%llu",
+      "traces_started=%llu traces_assembled=%llu trace_dumps=%llu "
+      "traces_tail=%llu",
       uptime_s(), static_cast<unsigned long long>(cache_.size()),
       static_cast<unsigned long long>(plan_cache_.size()),
       static_cast<unsigned long long>(opt_cache_.size()),
       static_cast<unsigned long long>(tracer_ ? tracer_->started() : 0),
       static_cast<unsigned long long>(tracer_ ? tracer_->assembled() : 0),
       static_cast<unsigned long long>(tracer_ ? tracer_->recorder().dumps()
+                                              : 0),
+      static_cast<unsigned long long>(tracer_ ? tracer_->tail_captured()
                                               : 0));
   std::string line = counters_.stats_line() + buf;
   // STATS is append-only: consumers parse by prefix, so the dur keys join
@@ -780,6 +894,20 @@ std::string MappingService::stats_line() const {
   }
   // The net keys append last, and only when the event-loop server is on.
   if (net_ != nullptr) line += " " + net_->stats_line();
+  // SLO keys (per configured verb) append after everything else.
+  if (slo_.enabled()) {
+    for (const SloTracker::VerbSnapshot& v : slo_.snapshot()) {
+      char slo_buf[192];
+      std::snprintf(slo_buf, sizeof(slo_buf),
+                    " slo_%s_good=%llu slo_%s_bad=%llu "
+                    "slo_%s_fast_burn=%.3f slo_%s_slow_burn=%.3f",
+                    v.verb.c_str(),
+                    static_cast<unsigned long long>(v.good), v.verb.c_str(),
+                    static_cast<unsigned long long>(v.bad), v.verb.c_str(),
+                    v.fast_burn, v.verb.c_str(), v.slow_burn);
+      line += slo_buf;
+    }
+  }
   return line;
 }
 
@@ -799,14 +927,28 @@ std::string MappingService::render_stats() const {
   if (tracer_ != nullptr) {
     std::snprintf(
         buf, sizeof(buf),
-        "tracing  started %llu, assembled %llu, dumps %llu, retained %llu "
-        "(sample 1/%u)\n",
+        "tracing  started %llu, assembled %llu, tail-captured %llu, dumps "
+        "%llu, retained %llu (sample 1/%u)\n",
         static_cast<unsigned long long>(tracer_->started()),
         static_cast<unsigned long long>(tracer_->assembled()),
+        static_cast<unsigned long long>(tracer_->tail_captured()),
         static_cast<unsigned long long>(tracer_->recorder().dumps()),
         static_cast<unsigned long long>(tracer_->recorder().size()),
         tracer_->config().sample_every);
     out += buf;
+  }
+  if (slo_.enabled()) {
+    for (const SloTracker::VerbSnapshot& v : slo_.snapshot()) {
+      std::snprintf(
+          buf, sizeof(buf),
+          "slo      %-9s %llu good / %llu bad (objective %llu ns @ %.4g), "
+          "burn fast %.2f slow %.2f\n",
+          v.verb.c_str(), static_cast<unsigned long long>(v.good),
+          static_cast<unsigned long long>(v.bad),
+          static_cast<unsigned long long>(v.threshold_ns), v.target * 100.0,
+          v.fast_burn, v.slow_burn);
+      out += buf;
+    }
   }
   if (durability_ != nullptr) {
     const dur::StoreStats d = durability_->stats();

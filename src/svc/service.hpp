@@ -38,6 +38,7 @@
 #include "svc/counters.hpp"
 #include "svc/opt_cache.hpp"
 #include "svc/plan_cache.hpp"
+#include "svc/slo.hpp"
 #include "svc/tree_cache.hpp"
 #include "svc/worker_pool.hpp"
 #include "tmatch/comm_matrix.hpp"
@@ -89,6 +90,16 @@ struct ServiceConfig {
   std::uint32_t trace_sample = 64;
   // Seed perturbing which trace ids sampling picks (deterministic per seed).
   std::uint64_t trace_seed = 0;
+  // Tail-triggered capture: assemble any trace slower than an adaptive p99
+  // estimate even when head sampling passes it over, marking it kSlow so it
+  // lands in the failure window. Only meaningful with flight_recorder > 0.
+  bool trace_tail = true;
+  // Durations at or below this floor never trip the tail gate — keeps
+  // microsecond-scale warm-cache traffic from flooding the recorder.
+  std::uint64_t trace_tail_floor_ns = 100 * 1000;
+  // Per-verb latency objectives (parse_slo_spec); empty disables SLO
+  // tracking entirely.
+  std::vector<SloObjective> slo;
 };
 
 // An allocation interned into the service: deep-copied, validated, and
@@ -231,6 +242,10 @@ class MappingService {
   // Optimization results currently cached (for tests/observability).
   [[nodiscard]] std::size_t cached_opts() const { return opt_cache_.size(); }
 
+  // Per-verb SLO accounting (svc/slo.hpp); disabled (and empty) unless
+  // ServiceConfig::slo names objectives.
+  [[nodiscard]] const SloTracker& slo() const { return slo_; }
+
   // The request tracer, or nullptr when ServiceConfig::flight_recorder is 0.
   // The protocol layer begins/ends traces through this; direct API callers
   // get traces implicitly (map()/remap() begin one when none is active).
@@ -306,7 +321,7 @@ class MappingService {
   MappingResult run_compiled_walk(const Allocation& alloc,
                                   const MapOptions& opts, const MapPlan& plan,
                                   std::size_t threads);
-  MapResponse run_counted(std::uint32_t timeout_ms,
+  MapResponse run_counted(const char* verb, std::uint32_t timeout_ms,
                           const std::function<MapResponse(std::uint64_t)>& fn);
   MapResponse shed_response();
   void run_fault_hook();
@@ -318,6 +333,7 @@ class MappingService {
   PlanCache plan_cache_;
   OptCache opt_cache_;
   WorkerPool pool_;
+  SloTracker slo_;
   std::unique_ptr<obs::Tracer> tracer_;  // null when tracing is disabled
   obs::LabeledCounter layout_series_;    // requests per layout / spec
   obs::LabeledCounter alloc_series_;     // requests per alloc fingerprint

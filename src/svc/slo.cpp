@@ -1,0 +1,110 @@
+#include "svc/slo.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "obs/clock.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace lama::svc {
+
+namespace {
+
+// "2ms" / "500us" / "1s" / "250000" (ns) -> nanoseconds.
+std::uint64_t parse_duration_ns(const std::string& text) {
+  std::size_t digits = 0;
+  while (digits < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[digits]))) {
+    ++digits;
+  }
+  if (digits == 0) throw ParseError("slo: bad duration '" + text + "'");
+  const std::uint64_t value = parse_size(text.substr(0, digits), "slo duration");
+  const std::string unit = text.substr(digits);
+  if (unit.empty() || unit == "ns") return value;
+  if (unit == "us") return value * 1000ULL;
+  if (unit == "ms") return value * 1000ULL * 1000ULL;
+  if (unit == "s") return value * 1000ULL * 1000ULL * 1000ULL;
+  throw ParseError("slo: bad duration unit '" + unit + "' (ns|us|ms|s)");
+}
+
+}  // namespace
+
+std::vector<SloObjective> parse_slo_spec(const std::string& spec) {
+  std::vector<SloObjective> objectives;
+  for (const std::string& entry : split(spec, ',')) {
+    if (entry.empty()) continue;
+    const auto eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw ParseError("slo: expected verb=duration, got '" + entry + "'");
+    }
+    SloObjective objective;
+    objective.verb = entry.substr(0, eq);
+    for (char& c : objective.verb) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    std::string value = entry.substr(eq + 1);
+    if (const auto at = value.find('@'); at != std::string::npos) {
+      const std::string target = value.substr(at + 1);
+      value.erase(at);
+      char* end = nullptr;
+      const double pct = std::strtod(target.c_str(), &end);
+      if (end == nullptr || *end != '\0' || pct <= 0.0 || pct >= 100.0) {
+        throw ParseError("slo: target must be in (0, 100): '" + target + "'");
+      }
+      objective.target = pct / 100.0;
+    }
+    objective.threshold_ns = parse_duration_ns(value);
+    for (const SloObjective& seen : objectives) {
+      if (seen.verb == objective.verb) {
+        throw ParseError("slo: duplicate verb '" + objective.verb + "'");
+      }
+    }
+    objectives.push_back(std::move(objective));
+  }
+  return objectives;
+}
+
+SloTracker::SloTracker(std::vector<SloObjective> objectives) {
+  verbs_.reserve(objectives.size());
+  for (SloObjective& objective : objectives) {
+    auto per = std::make_unique<PerVerb>();
+    per->objective = std::move(objective);
+    verbs_.push_back(std::move(per));
+  }
+}
+
+void SloTracker::record(std::string_view verb, std::uint64_t duration_ns,
+                        bool ok) {
+  for (const auto& per : verbs_) {
+    if (per->objective.verb != verb) continue;
+    const bool good = ok && duration_ns <= per->objective.threshold_ns;
+    (good ? per->good : per->bad).fetch_add(1, std::memory_order_relaxed);
+    if (!good) breaches_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t now_s = obs::monotonic_ns() / 1'000'000'000ULL;
+    per->fast.add(now_s, good);
+    per->slow.add(now_s, good);
+    return;
+  }
+}
+
+std::vector<SloTracker::VerbSnapshot> SloTracker::snapshot() const {
+  std::vector<VerbSnapshot> out;
+  out.reserve(verbs_.size());
+  const std::uint64_t now_s = obs::monotonic_ns() / 1'000'000'000ULL;
+  for (const auto& per : verbs_) {
+    VerbSnapshot snap;
+    snap.verb = per->objective.verb;
+    snap.threshold_ns = per->objective.threshold_ns;
+    snap.target = per->objective.target;
+    snap.good = per->good.load(std::memory_order_relaxed);
+    snap.bad = per->bad.load(std::memory_order_relaxed);
+    const double budget = 1.0 - per->objective.target;
+    snap.fast_burn = per->fast.bad_fraction(now_s) / budget;
+    snap.slow_burn = per->slow.bad_fraction(now_s) / budget;
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+}  // namespace lama::svc

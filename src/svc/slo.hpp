@@ -1,0 +1,119 @@
+// Per-verb latency SLOs with burn-rate tracking. An objective declares "this
+// verb should answer within T" (optionally "for at least X% of requests":
+// `query=2ms@99.9`, default 99%). Every completed request counts as good or
+// bad — bad when it failed or overran its verb's threshold — into cumulative
+// counters plus two bucketed sliding windows. The exported burn rates follow
+// the SRE convention: burn = (bad fraction in window) / error budget, so
+// 1.0 means "exactly consuming the budget", 14 means "an hour of this burns
+// a day's budget" — the fast (1 min) window catches incidents, the slow
+// (1 h) window catches slow leaks.
+//
+// record() is wait-free (relaxed atomics; window buckets reset racily,
+// which can drop a handful of counts at epoch edges — telemetry, not
+// accounting). Verbs without an objective are not tracked.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lama::svc {
+
+struct SloObjective {
+  std::string verb;  // lowercase request verb: query, mapbatch, optimize, ...
+  std::uint64_t threshold_ns = 0;
+  double target = 0.99;  // fraction of requests that must be good
+};
+
+// Parses "--slo query=2ms,mapbatch=20ms@99.9,...". Durations accept ns, us,
+// ms, and s suffixes (bare numbers are ns). Throws ParseError on malformed
+// specs, duplicate verbs, or targets outside (0, 100).
+std::vector<SloObjective> parse_slo_spec(const std::string& spec);
+
+class SloTracker {
+ public:
+  explicit SloTracker(std::vector<SloObjective> objectives);
+
+  SloTracker(const SloTracker&) = delete;
+  SloTracker& operator=(const SloTracker&) = delete;
+
+  [[nodiscard]] bool enabled() const { return !verbs_.empty(); }
+
+  // One completed request for `verb`: good when it succeeded within its
+  // objective, bad otherwise. Unknown verbs are ignored.
+  void record(std::string_view verb, std::uint64_t duration_ns, bool ok);
+
+  struct VerbSnapshot {
+    std::string verb;
+    std::uint64_t threshold_ns = 0;
+    double target = 0.99;
+    std::uint64_t good = 0;  // cumulative
+    std::uint64_t bad = 0;   // cumulative
+    double fast_burn = 0.0;  // burn rate over the last minute
+    double slow_burn = 0.0;  // burn rate over the last hour
+  };
+  [[nodiscard]] std::vector<VerbSnapshot> snapshot() const;
+
+  // Cumulative bad count across all verbs — the WATCH verb diffs this to
+  // emit slo_breach events.
+  [[nodiscard]] std::uint64_t breaches() const {
+    return breaches_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // A sliding window of Buckets epochs, each Width seconds wide. A bucket
+  // is valid only while its stored epoch is current; stale buckets are
+  // reset on first touch and skipped by readers.
+  template <std::size_t Buckets, std::uint64_t Width>
+  struct Window {
+    struct Bucket {
+      std::atomic<std::uint64_t> epoch{~0ULL};
+      std::atomic<std::uint64_t> good{0};
+      std::atomic<std::uint64_t> bad{0};
+    };
+    Bucket buckets[Buckets];
+
+    void add(std::uint64_t now_s, bool good_sample) {
+      const std::uint64_t epoch = now_s / Width;
+      Bucket& b = buckets[epoch % Buckets];
+      if (b.epoch.load(std::memory_order_relaxed) != epoch) {
+        b.good.store(0, std::memory_order_relaxed);
+        b.bad.store(0, std::memory_order_relaxed);
+        b.epoch.store(epoch, std::memory_order_relaxed);
+      }
+      (good_sample ? b.good : b.bad).fetch_add(1, std::memory_order_relaxed);
+    }
+
+    // bad fraction over the live buckets; 0 when the window is empty.
+    [[nodiscard]] double bad_fraction(std::uint64_t now_s) const {
+      const std::uint64_t epoch = now_s / Width;
+      std::uint64_t good = 0, bad = 0;
+      for (const Bucket& b : buckets) {
+        const std::uint64_t e = b.epoch.load(std::memory_order_relaxed);
+        if (e == ~0ULL || e > epoch || epoch - e >= Buckets) continue;
+        good += b.good.load(std::memory_order_relaxed);
+        bad += b.bad.load(std::memory_order_relaxed);
+      }
+      const std::uint64_t total = good + bad;
+      return total == 0 ? 0.0
+                        : static_cast<double>(bad) / static_cast<double>(total);
+    }
+  };
+
+  struct PerVerb {
+    SloObjective objective;
+    std::atomic<std::uint64_t> good{0};
+    std::atomic<std::uint64_t> bad{0};
+    Window<12, 5> fast;     // 60 s in 5 s buckets
+    Window<60, 60> slow;    // 1 h in 1 min buckets
+  };
+
+  // unique_ptr: PerVerb holds atomics and must not move after construction.
+  std::vector<std::unique_ptr<PerVerb>> verbs_;
+  std::atomic<std::uint64_t> breaches_{0};
+};
+
+}  // namespace lama::svc

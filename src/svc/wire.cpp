@@ -46,6 +46,7 @@ const char* wire_verb_keyword(WireVerb verb) {
     case WireVerb::kTrace: return "TRACE";
     case WireVerb::kHealth: return "HEALTH";
     case WireVerb::kQuit: return "QUIT";
+    case WireVerb::kWatch: return "WATCH";
     case WireVerb::kOk: return "OK";
     case WireVerb::kErr: return "ERR";
   }
@@ -57,7 +58,8 @@ std::optional<WireVerb> wire_verb_for_keyword(std::string_view keyword) {
        {WireVerb::kNode, WireVerb::kMap, WireVerb::kBatch, WireVerb::kMapBatch,
         WireVerb::kOffline, WireVerb::kOnline, WireVerb::kRemap,
         WireVerb::kOptimize, WireVerb::kStats, WireVerb::kMetrics,
-        WireVerb::kTrace, WireVerb::kHealth, WireVerb::kQuit}) {
+        WireVerb::kTrace, WireVerb::kHealth, WireVerb::kQuit,
+        WireVerb::kWatch}) {
     if (keyword == wire_verb_keyword(verb)) return verb;
   }
   return std::nullopt;
@@ -65,7 +67,7 @@ std::optional<WireVerb> wire_verb_for_keyword(std::string_view keyword) {
 
 bool wire_request_verb(std::uint8_t verb) {
   return verb >= static_cast<std::uint8_t>(WireVerb::kNode) &&
-         verb <= static_cast<std::uint8_t>(WireVerb::kQuit);
+         verb <= static_cast<std::uint8_t>(WireVerb::kWatch);
 }
 
 std::string encode_frame(WireVerb verb, std::string_view payload) {

@@ -75,6 +75,7 @@ enum class WireVerb : std::uint8_t {
   kTrace = 11,
   kHealth = 12,
   kQuit = 13,
+  kWatch = 14,
   // Responses.
   kOk = 0x20,
   kErr = 0x21,

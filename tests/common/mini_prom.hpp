@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <stdexcept>
@@ -18,11 +19,70 @@ struct PromSample {
   std::string name;  // family name + suffix (e.g. "lama_lookup_ns_sum")
   std::map<std::string, std::string> labels;
   double value = 0.0;
+  // OpenMetrics exemplar (` # {trace_id="..."} 123`), when present.
+  bool has_exemplar = false;
+  std::map<std::string, std::string> exemplar_labels;
+  double exemplar_value = 0.0;
 };
 
 inline bool is_metric_name_char(char c) {
   return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
          (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+// Parses one `{label="value",...}` block starting at line[pos] (the '{').
+// Advances pos past the closing '}'.
+inline void parse_prom_labels(const std::string& line, std::size_t& pos,
+                              std::map<std::string, std::string>& labels) {
+  ++pos;  // '{'
+  while (pos < line.size() && line[pos] != '}') {
+    const std::size_t eq = line.find('=', pos);
+    if (eq == std::string::npos || eq + 1 >= line.size() ||
+        line[eq + 1] != '"') {
+      throw std::runtime_error("malformed label in: " + line);
+    }
+    const std::string key = line.substr(pos, eq - pos);
+    pos = eq + 2;
+    std::string value;
+    while (pos < line.size() && line[pos] != '"') {
+      if (line[pos] == '\\') {
+        ++pos;
+        if (pos >= line.size()) {
+          throw std::runtime_error("truncated escape in: " + line);
+        }
+        value.push_back(line[pos] == 'n' ? '\n' : line[pos]);
+      } else {
+        value.push_back(line[pos]);
+      }
+      ++pos;
+    }
+    if (pos >= line.size()) {
+      throw std::runtime_error("unterminated label value: " + line);
+    }
+    ++pos;  // closing quote
+    labels[key] = value;
+    if (pos < line.size() && line[pos] == ',') ++pos;
+  }
+  if (pos >= line.size() || line[pos] != '}') {
+    throw std::runtime_error("unterminated label set: " + line);
+  }
+  ++pos;
+}
+
+// Parses one sample value token ("1234", "1.5", "+Inf") ending at a space or
+// end of line; rejects trailing garbage inside the token.
+inline double parse_prom_value(const std::string& line, std::size_t& pos) {
+  std::size_t end = line.find(' ', pos);
+  if (end == std::string::npos) end = line.size();
+  const std::string token = line.substr(pos, end - pos);
+  pos = end;
+  if (token == "+Inf") return std::numeric_limits<double>::infinity();
+  std::size_t used = 0;
+  const double value = std::stod(token, &used);
+  if (used != token.size()) {
+    throw std::runtime_error("malformed value '" + token + "' in: " + line);
+  }
+  return value;
 }
 
 inline std::vector<PromSample> parse_prometheus(const std::string& text) {
@@ -55,48 +115,37 @@ inline std::vector<PromSample> parse_prometheus(const std::string& text) {
     PromSample sample;
     sample.name = line.substr(0, pos);
     if (pos < line.size() && line[pos] == '{') {
-      ++pos;
-      while (pos < line.size() && line[pos] != '}') {
-        const std::size_t eq = line.find('=', pos);
-        if (eq == std::string::npos || eq + 1 >= line.size() ||
-            line[eq + 1] != '"') {
-          throw std::runtime_error("malformed label in: " + line);
-        }
-        const std::string key = line.substr(pos, eq - pos);
-        pos = eq + 2;
-        std::string value;
-        while (pos < line.size() && line[pos] != '"') {
-          if (line[pos] == '\\') {
-            ++pos;
-            if (pos >= line.size()) {
-              throw std::runtime_error("truncated escape in: " + line);
-            }
-            value.push_back(line[pos] == 'n' ? '\n' : line[pos]);
-          } else {
-            value.push_back(line[pos]);
-          }
-          ++pos;
-        }
-        if (pos >= line.size()) {
-          throw std::runtime_error("unterminated label value: " + line);
-        }
-        ++pos;  // closing quote
-        sample.labels[key] = value;
-        if (pos < line.size() && line[pos] == ',') ++pos;
-      }
-      if (pos >= line.size() || line[pos] != '}') {
-        throw std::runtime_error("unterminated label set: " + line);
-      }
-      ++pos;
+      parse_prom_labels(line, pos, sample.labels);
     }
     if (pos >= line.size() || line[pos] != ' ') {
       throw std::runtime_error("missing value in: " + line);
     }
-    sample.value = std::stod(line.substr(pos + 1));
-    // Every sample's family (the name minus a summary suffix) must have
-    // been announced. Try the full name, then strip _sum/_count.
+    ++pos;
+    sample.value = parse_prom_value(line, pos);
+    // Optional OpenMetrics exemplar: ` # {labels} value`.
+    if (pos < line.size()) {
+      if (line.compare(pos, 3, " # ") != 0) {
+        throw std::runtime_error("trailing garbage in: " + line);
+      }
+      pos += 3;
+      if (pos >= line.size() || line[pos] != '{') {
+        throw std::runtime_error("malformed exemplar in: " + line);
+      }
+      parse_prom_labels(line, pos, sample.exemplar_labels);
+      if (pos >= line.size() || line[pos] != ' ') {
+        throw std::runtime_error("exemplar missing value in: " + line);
+      }
+      ++pos;
+      sample.exemplar_value = parse_prom_value(line, pos);
+      if (pos != line.size()) {
+        throw std::runtime_error("trailing garbage after exemplar in: " + line);
+      }
+      sample.has_exemplar = true;
+    }
+    // Every sample's family (the name minus a summary/histogram suffix)
+    // must have been announced. Try the full name, then strip the suffixes.
     std::string family = sample.name;
-    for (const char* suffix : {"_sum", "_count"}) {
+    for (const char* suffix : {"_sum", "_count", "_bucket"}) {
       if (types.count(family)) break;
       const std::string s(suffix);
       if (family.size() > s.size() &&
@@ -111,6 +160,69 @@ inline std::vector<PromSample> parse_prometheus(const std::string& text) {
   }
   if (!saw_eof) throw std::runtime_error("missing # EOF terminator");
   return samples;
+}
+
+// Strict Prometheus-histogram validation for one family: every labeled
+// series (the label set minus `le`) must have ascending `le` bounds with
+// monotone non-decreasing cumulative counts, a terminal `+Inf` bucket, and
+// `_count` equal to the `+Inf` bucket. Throws on any violation; returns the
+// number of series validated.
+inline std::size_t validate_histogram(const std::vector<PromSample>& samples,
+                                      const std::string& family) {
+  struct Series {
+    double last_le = -1.0;
+    double last_cum = -1.0;
+    bool saw_inf = false;
+    double inf_value = 0.0;
+    bool has_count = false;
+    double count = 0.0;
+  };
+  std::map<std::string, Series> series;
+  const auto series_key = [](const std::map<std::string, std::string>& labels) {
+    std::string key;
+    for (const auto& [k, v] : labels) {
+      if (k == "le") continue;
+      key += k + "=" + v + ";";
+    }
+    return key;
+  };
+  for (const PromSample& s : samples) {
+    if (s.name == family + "_bucket") {
+      Series& row = series[series_key(s.labels)];
+      const std::string le = s.labels.count("le") ? s.labels.at("le") : "";
+      if (le.empty()) throw std::runtime_error(family + ": bucket without le");
+      if (le == "+Inf") {
+        row.saw_inf = true;
+        row.inf_value = s.value;
+      } else {
+        if (row.saw_inf) {
+          throw std::runtime_error(family + ": bucket after +Inf");
+        }
+        const double bound = std::stod(le);
+        if (bound <= row.last_le) {
+          throw std::runtime_error(family + ": le bounds not ascending");
+        }
+        row.last_le = bound;
+      }
+      if (s.value < row.last_cum) {
+        throw std::runtime_error(family + ": cumulative counts decreased");
+      }
+      row.last_cum = s.value;
+    } else if (s.name == family + "_count") {
+      Series& row = series[series_key(s.labels)];
+      row.has_count = true;
+      row.count = s.value;
+    }
+  }
+  for (const auto& [key, row] : series) {
+    if (!row.saw_inf) {
+      throw std::runtime_error(family + ": series missing +Inf bucket: " + key);
+    }
+    if (!row.has_count || row.count != row.inf_value) {
+      throw std::runtime_error(family + ": _count != +Inf bucket: " + key);
+    }
+  }
+  return series.size();
 }
 
 }  // namespace lama::test

@@ -42,7 +42,25 @@ MetricsSnapshot golden_snapshot() {
                                          "Requests per layout", "counter");
   by_layout.samples.push_back({"", {{"layout", "scbnh"}}, 7});
   by_layout.samples.push_back({"", {{"layout", "q\"uo\\te\nnl"}}, 1});
+  MetricFamily& stage = snapshot.add("lama_stage_latency_ns",
+                                     "Per-stage span latency (ns)",
+                                     "histogram");
+  stage.samples.push_back({"_bucket",
+                           {{"stage", "map_walk"}, {"le", "7"}},
+                           2,
+                           "000000000000002a",  // exemplar: trace 42, 6 ns
+                           6});
+  stage.samples.push_back(
+      {"_bucket", {{"stage", "map_walk"}, {"le", "63"}}, 3});
+  stage.samples.push_back(
+      {"_bucket", {{"stage", "map_walk"}, {"le", "+Inf"}}, 3});
+  stage.samples.push_back({"_sum", {{"stage", "map_walk"}}, 52});
+  stage.samples.push_back({"_count", {{"stage", "map_walk"}}, 3});
   return snapshot;
+}
+
+std::size_t parse_prometheus_and_validate(const std::string& text) {
+  return test::validate_histogram(parse_prometheus(text), "h");
 }
 
 std::string read_golden(const std::string& name) {
@@ -62,7 +80,7 @@ TEST(PrometheusExport, MatchesGoldenFile) {
 TEST(PrometheusExport, ParsesWithTextFormatParser) {
   const std::vector<PromSample> samples =
       parse_prometheus(golden_snapshot().to_prometheus());
-  ASSERT_EQ(samples.size(), 8u);
+  ASSERT_EQ(samples.size(), 13u);
   EXPECT_EQ(samples[0].name, "lama_requests_total");
   EXPECT_EQ(samples[0].value, 42.0);
   EXPECT_EQ(samples[1].value, 1.5);
@@ -72,6 +90,40 @@ TEST(PrometheusExport, ParsesWithTextFormatParser) {
   EXPECT_EQ(samples[6].labels.at("layout"), "scbnh");
   // The escaped label round-trips through the text format.
   EXPECT_EQ(samples[7].labels.at("layout"), "q\"uo\\te\nnl");
+  // Histogram buckets with the OpenMetrics exemplar round-tripped.
+  EXPECT_EQ(samples[8].name, "lama_stage_latency_ns_bucket");
+  EXPECT_EQ(samples[8].labels.at("le"), "7");
+  ASSERT_TRUE(samples[8].has_exemplar);
+  EXPECT_EQ(samples[8].exemplar_labels.at("trace_id"), "000000000000002a");
+  EXPECT_EQ(samples[8].exemplar_value, 6.0);
+  EXPECT_FALSE(samples[9].has_exemplar);
+  EXPECT_EQ(samples[10].labels.at("le"), "+Inf");
+  EXPECT_EQ(samples[10].value, 3.0);
+  EXPECT_EQ(samples[11].name, "lama_stage_latency_ns_sum");
+  EXPECT_EQ(samples[12].name, "lama_stage_latency_ns_count");
+  EXPECT_EQ(test::validate_histogram(samples, "lama_stage_latency_ns"), 1u);
+}
+
+TEST(PrometheusExport, HistogramValidatorRejectsBadSeries) {
+  // Cumulative counts must not decrease...
+  EXPECT_THROW(
+      parse_prometheus_and_validate(
+          "# HELP h x\n# TYPE h histogram\n"
+          "h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n"
+          "h_bucket{le=\"+Inf\"} 5\nh_count 5\n# EOF\n"),
+      std::runtime_error);
+  // ...the +Inf bucket is mandatory...
+  EXPECT_THROW(parse_prometheus_and_validate(
+                   "# HELP h x\n# TYPE h histogram\n"
+                   "h_bucket{le=\"1\"} 5\nh_count 5\n# EOF\n"),
+               std::runtime_error);
+  // ...and _count must equal the +Inf bucket.
+  EXPECT_THROW(
+      parse_prometheus_and_validate(
+          "# HELP h x\n# TYPE h histogram\n"
+          "h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 5\nh_count 4\n"
+          "# EOF\n"),
+      std::runtime_error);
 }
 
 TEST(PrometheusExport, ParserRejectsMalformedInput) {

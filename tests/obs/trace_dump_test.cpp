@@ -1,0 +1,109 @@
+// Trace-dump directory GC: the dump sink must keep the newest `max_files`
+// trace-<id>.json files (ids are process-monotonic, so oldest = smallest id)
+// and never touch foreign files.
+#include "obs/trace_dump.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "obs/span.hpp"
+
+namespace lama::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TraceDumpGcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("lama_trace_dump_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void touch(const std::string& name) {
+    std::ofstream out(dir_ / name);
+    out << "{}\n";
+  }
+
+  std::set<std::string> listing() const {
+    std::set<std::string> names;
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      names.insert(entry.path().filename().string());
+    }
+    return names;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(TraceDumpGcTest, RemovesOldestBeyondCap) {
+  for (int id : {3, 1, 7, 5, 9}) {
+    touch("trace-" + std::to_string(id) + ".json");
+  }
+  EXPECT_EQ(gc_trace_dumps(dir_.string(), 2), 3u);
+  EXPECT_EQ(listing(),
+            (std::set<std::string>{"trace-7.json", "trace-9.json"}));
+}
+
+TEST_F(TraceDumpGcTest, UnderCapIsNoop) {
+  touch("trace-1.json");
+  touch("trace-2.json");
+  EXPECT_EQ(gc_trace_dumps(dir_.string(), 5), 0u);
+  EXPECT_EQ(listing().size(), 2u);
+}
+
+TEST_F(TraceDumpGcTest, ZeroCapMeansUnbounded) {
+  for (int id = 0; id < 10; ++id) {
+    touch("trace-" + std::to_string(id) + ".json");
+  }
+  EXPECT_EQ(gc_trace_dumps(dir_.string(), 0), 0u);
+  EXPECT_EQ(listing().size(), 10u);
+}
+
+TEST_F(TraceDumpGcTest, ForeignFilesAreLeftAlone) {
+  touch("trace-1.json");
+  touch("trace-2.json");
+  touch("trace-3.json");
+  touch("notes.txt");
+  touch("trace-x.json");      // non-numeric id: not ours
+  touch("trace-12.json.bak"); // wrong extension tail
+  EXPECT_EQ(gc_trace_dumps(dir_.string(), 1), 2u);
+  EXPECT_EQ(listing(),
+            (std::set<std::string>{"trace-3.json", "notes.txt",
+                                   "trace-x.json", "trace-12.json.bak"}));
+}
+
+TEST_F(TraceDumpGcTest, MissingDirectoryIsHarmless) {
+  EXPECT_EQ(gc_trace_dumps((dir_ / "nope").string(), 3), 0u);
+}
+
+TEST_F(TraceDumpGcTest, SinkWritesAndGcsOnEveryDump) {
+  auto sink = make_trace_dump_sink(TraceDumpConfig{dir_.string(), 2});
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    Trace trace;
+    trace.id = id;
+    trace.outcome = Outcome::kError;
+    sink(trace);
+  }
+  EXPECT_EQ(listing(),
+            (std::set<std::string>{"trace-4.json", "trace-5.json"}));
+  // The retained files hold real chrome-trace JSON, not empty stubs.
+  std::ifstream in(dir_ / "trace-5.json");
+  std::string body((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(body.find("traceEvents"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lama::obs

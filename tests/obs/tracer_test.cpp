@@ -232,6 +232,33 @@ TEST(TraceScope, DefaultOutcomeRecordsAFailure) {
   EXPECT_EQ(trace->outcome, Outcome::kError);
 }
 
+TEST(TraceScope, TransportTracesSkipRequestHistogramAndTailGate) {
+  Tracer tracer(always_config());
+  {
+    TraceScope scope(&tracer, /*transport=*/true);
+    const std::uint64_t t0 = monotonic_ns();
+    while (monotonic_ns() == t0) {
+    }
+    scope.set_outcome(Outcome::kOk);
+  }
+  // Connection plumbing: neither the request-stage histogram nor the tail
+  // gate's duration estimate saw the transport trace.
+  EXPECT_EQ(tracer.stage_stats().histogram(Stage::kRequest).count(), 0u);
+  EXPECT_EQ(tracer.tail_threshold_ns(), 0u);
+  {
+    TraceScope scope(&tracer);
+    const std::uint64_t t0 = monotonic_ns();
+    while (monotonic_ns() == t0) {
+    }
+    scope.set_outcome(Outcome::kOk);
+  }
+  EXPECT_EQ(tracer.stage_stats().histogram(Stage::kRequest).count(), 1u);
+  EXPECT_GT(tracer.tail_threshold_ns(), 0u);
+  // Transport traces still assemble under sampling, so TRACE can resolve
+  // connection-level spans (accept, net-read) when asked.
+  EXPECT_EQ(tracer.assembled(), 2u);
+}
+
 TEST(FlightRecorder, EvictsOldestBeyondCapacityButKeepsFailuresSeparately) {
   FlightRecorder recorder(2);
   for (std::uint64_t id = 1; id <= 5; ++id) {

@@ -77,6 +77,126 @@ TEST(LatencyHistogram, SummaryMentionsCount) {
   EXPECT_NE(h.summary().find("count=1"), std::string::npos);
 }
 
+TEST(LatencyHistogram, SnapshotIsInternallyConsistent) {
+  LatencyHistogram h;
+  h.record_ns(0);
+  h.record_ns(5);
+  h.record_ns(300);
+  h.record_ns(~0ULL);
+  const LatencyHistogram::Snapshot s = h.snapshot();
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : s.buckets) total += b;
+  EXPECT_EQ(s.count, total);  // count recomputed from buckets
+  EXPECT_EQ(s.max_ns, ~0ULL);
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.buckets[LatencyHistogram::kNumBuckets - 1], 1u);
+}
+
+TEST(LatencyHistogram, SnapshotOfEmptyHistogram) {
+  const LatencyHistogram::Snapshot s = LatencyHistogram{}.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum_ns, 0u);
+  EXPECT_EQ(s.percentile_ns(50), 0u);
+  EXPECT_EQ(s.percentile_ns(100), 0u);
+  EXPECT_DOUBLE_EQ(s.mean_ns(), 0.0);
+}
+
+TEST(LatencyHistogram, SnapshotPercentilesMatchLive) {
+  LatencyHistogram h;
+  for (std::uint64_t ns = 1; ns <= 1000; ++ns) h.record_ns(ns);
+  const LatencyHistogram::Snapshot s = h.snapshot();
+  for (const double p : {0.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_EQ(s.percentile_ns(p), h.percentile_ns(p)) << "p=" << p;
+  }
+}
+
+TEST(LatencyHistogram, BucketBoundIsInclusiveUpperBound) {
+  // Bucket i covers [2^(i-1), 2^i), so its inclusive bound is 2^i - 1. A
+  // sample equal to the bound must land in that bucket, bound+1 in the next.
+  EXPECT_EQ(LatencyHistogram::Snapshot::bucket_bound_ns(0), 0u);
+  EXPECT_EQ(LatencyHistogram::Snapshot::bucket_bound_ns(1), 1u);
+  EXPECT_EQ(LatencyHistogram::Snapshot::bucket_bound_ns(3), 7u);
+  LatencyHistogram h;
+  h.record_ns(7);
+  h.record_ns(8);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);
+}
+
+TEST(LatencyHistogram, MergeAddsBucketsAndAggregates) {
+  LatencyHistogram a, b;
+  a.record_ns(10);
+  a.record_ns(100);
+  b.record_ns(100);
+  b.record_ns(5000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum_ns(), 5210u);
+  EXPECT_EQ(a.max_ns(), 5000u);
+  const LatencyHistogram::Snapshot s = a.snapshot();
+  std::uint64_t total = 0;
+  for (const std::uint64_t bucket : s.buckets) total += bucket;
+  EXPECT_EQ(total, 4u);
+}
+
+TEST(LatencyHistogram, MergeEmptyIsIdentity) {
+  LatencyHistogram a;
+  a.record_ns(42);
+  a.merge(LatencyHistogram{});
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.max_ns(), 42u);
+  LatencyHistogram empty;
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.sum_ns(), 42u);
+  EXPECT_EQ(empty.max_ns(), 42u);
+}
+
+TEST(LatencyHistogram, MergeSnapshotMatchesMergeLive) {
+  LatencyHistogram a1, a2, b;
+  for (std::uint64_t ns : {3u, 70u, 900u, 12345u}) {
+    a1.record_ns(ns);
+    a2.record_ns(ns);
+    b.record_ns(ns * 2);
+  }
+  a1.merge(b);
+  a2.merge(b.snapshot());
+  EXPECT_EQ(a1.count(), a2.count());
+  EXPECT_EQ(a1.sum_ns(), a2.sum_ns());
+  EXPECT_EQ(a1.max_ns(), a2.max_ns());
+  for (std::size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    EXPECT_EQ(a1.bucket(i), a2.bucket(i)) << "bucket " << i;
+  }
+}
+
+TEST(LatencyHistogram, MergeSaturatedBuckets) {
+  LatencyHistogram a, b;
+  a.record_ns(~0ULL);
+  b.record_ns(~0ULL - 1);
+  a.merge(b);
+  EXPECT_EQ(a.bucket(LatencyHistogram::kNumBuckets - 1), 2u);
+  EXPECT_EQ(a.max_ns(), ~0ULL);
+}
+
+TEST(LatencyHistogram, ConcurrentMergeAndRecordUnderTsan) {
+  // Wait-free writers racing a merge reader/writer: run under TSan this
+  // documents that merge() and record_ns() are safe to interleave.
+  LatencyHistogram target;
+  LatencyHistogram source;
+  for (int i = 0; i < 1000; ++i) source.record_ns(static_cast<uint64_t>(i));
+  std::thread recorder([&target] {
+    for (int i = 1; i <= 5000; ++i) {
+      target.record_ns(static_cast<std::uint64_t>(i));
+    }
+  });
+  std::thread merger([&target, &source] {
+    for (int i = 0; i < 10; ++i) target.merge(source);
+  });
+  recorder.join();
+  merger.join();
+  EXPECT_EQ(target.count(), 5000u + 10u * 1000u);
+}
+
 TEST(LatencyHistogram, ConcurrentRecordsAllLand) {
   LatencyHistogram h;
   constexpr int kThreads = 4;

@@ -1,0 +1,226 @@
+// STATS <-> Prometheus parity: both renderings are views of the same
+// counters, and every counter must be visible — with the same value — in
+// both. The test drives one workload through a quiesced single-threaded
+// session, takes STATS and METRICS back to back, and audits the mapping in
+// both directions: every mapped STATS key must appear in the exposition
+// with an equal value, and every exported lama_*_total scalar must be the
+// target of some STATS key, so a counter added to one surface cannot
+// silently skip the other.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/mini_prom.hpp"
+#include "support/strings.hpp"
+#include "svc/protocol.hpp"
+#include "svc/service.hpp"
+#include "svc/slo.hpp"
+
+namespace lama::svc {
+namespace {
+
+constexpr const char* kFigure2Topo =
+    "(node (socket@0 (core@0 (pu@0) (pu@1)) (core@1 (pu@2) (pu@3))) "
+    "(socket@1 (core@2 (pu@4) (pu@5)) (core@3 (pu@6) (pu@7))))";
+
+std::string execute(ProtocolSession& session, const std::string& line) {
+  std::istringstream more;
+  return session.execute(line, more);
+}
+
+// "STATS key=value key=value ..." -> {key: value}.
+std::map<std::string, std::string> parse_stats(const std::string& response) {
+  EXPECT_TRUE(starts_with(response, "STATS "));
+  std::map<std::string, std::string> out;
+  for (const std::string& token : split(trim(response.substr(6)), ' ')) {
+    const std::size_t eq = token.find('=');
+    EXPECT_NE(eq, std::string::npos) << token;
+    out[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return out;
+}
+
+// The audited mapping. STATS keys on the left, exposition names on the
+// right; the pairs cover every counter both surfaces export.
+const std::vector<std::pair<std::string, std::string>>& parity_pairs() {
+  static const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"requests", "lama_requests_total"},
+      {"completed", "lama_completed_total"},
+      {"errors", "lama_errors_total"},
+      {"hits", "lama_cache_hits_total"},
+      {"misses", "lama_cache_misses_total"},
+      {"coalesced", "lama_coalesced_total"},
+      {"evictions", "lama_evictions_total"},
+      {"uncached", "lama_uncached_total"},
+      {"cached", "lama_cached_total"},
+      {"shed", "lama_shed_total"},
+      {"deadlined", "lama_deadlined_total"},
+      {"integrity_failures", "lama_integrity_failures_total"},
+      {"degraded", "lama_degraded_total"},
+      {"invalidations", "lama_invalidations_total"},
+      {"remaps", "lama_remaps_total"},
+      {"batched", "lama_batched_total"},
+      {"batch_jobs", "lama_batch_jobs_total"},
+      {"parallel_maps", "lama_parallel_maps_total"},
+      {"plan_hits", "lama_plan_cache_hits_total"},
+      {"plan_misses", "lama_plan_cache_misses_total"},
+      {"opt_requests", "lama_opt_requests_total"},
+      {"opt_hits", "lama_opt_hits_total"},
+      {"opt_misses", "lama_opt_misses_total"},
+      {"opt_candidates", "lama_opt_candidates_total"},
+      {"opt_swaps", "lama_opt_swaps_total"},
+      {"cache_trees", "lama_cache_trees"},
+      {"cache_plans", "lama_cache_plans"},
+      {"cache_opts", "lama_cache_opts"},
+      {"traces_started", "lama_traces_started_total"},
+      {"traces_assembled", "lama_traces_assembled_total"},
+      {"trace_dumps", "lama_trace_dumps_total"},
+      {"traces_tail", "lama_traces_tail_total"},
+  };
+  return pairs;
+}
+
+TEST(MetricsParity, EveryCounterAgreesAcrossStatsAndPrometheus) {
+  ServiceConfig config;
+  config.workers = 0;
+  config.flight_recorder = 16;
+  config.trace_sample = 1;
+  config.slo = parse_slo_spec("query=1s,mapbatch=1s");
+  MappingService service(config);
+  ProtocolSession session(service);
+
+  // A workload that moves most counters off zero: cache miss + hit, an
+  // uncached baseline, a batch, a parallel walk, an optimizer miss + hit.
+  execute(session, "NODE a 8 " + std::string(kFigure2Topo));
+  execute(session, "MAP a 4 lama:scbnh");
+  execute(session, "MAP a 4 lama:scbnh");
+  execute(session, "MAP a 2 byslot");
+  execute(session, "MAP a 8 lama:scbnh threads=4");
+  execute(session, "MAPBATCH 2 a/2/lama:scbnh a/4/byslot");
+  execute(session, "OPTIMIZE a 12 pattern=halo:65536");
+  execute(session, "OPTIMIZE a 12 pattern=halo:65536");
+
+  // Back to back on a quiesced service: no writer can move a counter
+  // between the two reads (read verbs do not trace or count).
+  const std::map<std::string, std::string> stats =
+      parse_stats(execute(session, "STATS"));
+  const std::vector<test::PromSample> samples =
+      test::parse_prometheus(execute(session, "METRICS"));
+
+  std::map<std::string, double> scalars;
+  for (const test::PromSample& s : samples) {
+    if (s.labels.empty()) scalars[s.name] = s.value;
+  }
+
+  // Direction 1: every mapped STATS key is exported with the same value.
+  for (const auto& [stats_key, metric] : parity_pairs()) {
+    ASSERT_TRUE(stats.count(stats_key)) << stats_key;
+    ASSERT_TRUE(scalars.count(metric)) << metric;
+    EXPECT_EQ(std::stod(stats.at(stats_key)), scalars.at(metric))
+        << stats_key << " vs " << metric;
+  }
+  EXPECT_GT(scalars.at("lama_requests_total"), 0.0);
+  EXPECT_GT(scalars.at("lama_opt_hits_total"), 0.0);
+  EXPECT_GT(scalars.at("lama_parallel_maps_total"), 0.0);
+
+  // Direction 2a: every exported lama_*_total scalar traces back to a
+  // STATS key — a counter cannot exist in the exposition only.
+  std::set<std::string> mapped_metrics;
+  for (const auto& [stats_key, metric] : parity_pairs()) {
+    mapped_metrics.insert(metric);
+  }
+  for (const auto& [name, value] : scalars) {
+    if (name.size() < 6 ||
+        name.compare(name.size() - 6, 6, "_total") != 0) {
+      continue;
+    }
+    EXPECT_TRUE(mapped_metrics.count(name))
+        << name << " is exported but has no STATS twin in the parity table";
+  }
+
+  // Direction 2b: every STATS key traces forward. Keys outside the table
+  // must belong to one of the known non-counter groups: microsecond
+  // percentile digests (exported as summary quantiles, not scalars), the
+  // uptime gauge (changes between the two reads), and the per-verb SLO
+  // keys (exported as labeled families, checked below).
+  for (const auto& [key, value] : stats) {
+    if (key == "uptime_s") continue;
+    if (key.size() > 3 && key.compare(key.size() - 3, 3, "_us") == 0) {
+      continue;
+    }
+    if (starts_with(key, "slo_")) continue;
+    bool mapped = false;
+    for (const auto& [stats_key, metric] : parity_pairs()) {
+      if (stats_key == key) mapped = true;
+    }
+    EXPECT_TRUE(mapped)
+        << key << " is in STATS but has no Prometheus twin in the table";
+  }
+
+  // SLO keys pair with the labeled lama_slo_* families.
+  std::map<std::string, std::map<std::string, double>> slo_by_verb;
+  for (const test::PromSample& s : samples) {
+    if (s.labels.count("verb") && !s.labels.count("window")) {
+      slo_by_verb[s.labels.at("verb")][s.name] = s.value;
+    }
+  }
+  for (const char* verb : {"query", "mapbatch"}) {
+    ASSERT_TRUE(stats.count("slo_" + std::string(verb) + "_good")) << verb;
+    EXPECT_EQ(std::stod(stats.at("slo_" + std::string(verb) + "_good")),
+              slo_by_verb.at(verb).at("lama_slo_good_total"));
+    EXPECT_EQ(std::stod(stats.at("slo_" + std::string(verb) + "_bad")),
+              slo_by_verb.at(verb).at("lama_slo_bad_total"));
+  }
+}
+
+TEST(MetricsParity, NetCountersAgreeWhenAttached) {
+  // The net counters are written by the event loop; here they are attached
+  // and bumped directly so the parity check stays single-threaded.
+  MappingService service({.workers = 0});
+  NetCounters net;
+  net.accepted.store(5);
+  net.closed.store(3);
+  net.text_requests.store(40);
+  net.binary_requests.store(2);
+  net.responses.store(42);
+  net.bytes_in.store(4096);
+  net.bytes_out.store(16384);
+  service.attach_net(&net);
+
+  ProtocolSession session(service);
+  const std::map<std::string, std::string> stats =
+      parse_stats(execute(session, "STATS"));
+  std::map<std::string, double> scalars;
+  for (const test::PromSample& s :
+       test::parse_prometheus(execute(session, "METRICS"))) {
+    if (s.labels.empty()) scalars[s.name] = s.value;
+  }
+
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"net_accepted", "lama_net_accepted_total"},
+      {"net_closed", "lama_net_closed_total"},
+      {"net_active", "lama_net_active_connections"},
+      {"net_rejected", "lama_net_rejected_total"},
+      {"net_text_requests", "lama_net_text_requests_total"},
+      {"net_binary_requests", "lama_net_binary_requests_total"},
+      {"net_responses", "lama_net_responses_total"},
+      {"net_shed", "lama_net_shed_total"},
+      {"net_frame_errors", "lama_net_frame_errors_total"},
+      {"net_disconnects", "lama_net_disconnects_total"},
+      {"net_bytes_in", "lama_net_bytes_in_total"},
+      {"net_bytes_out", "lama_net_bytes_out_total"},
+  };
+  for (const auto& [stats_key, metric] : pairs) {
+    ASSERT_TRUE(stats.count(stats_key)) << stats_key;
+    ASSERT_TRUE(scalars.count(metric)) << metric;
+    EXPECT_EQ(std::stod(stats.at(stats_key)), scalars.at(metric))
+        << stats_key << " vs " << metric;
+  }
+}
+
+}  // namespace
+}  // namespace lama::svc

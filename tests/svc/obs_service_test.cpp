@@ -6,10 +6,12 @@
 // flight recorder and its dump sink regardless of sampling.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <map>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/mini_json.hpp"
@@ -302,6 +304,199 @@ TEST(ObsService, FaultInjectedFailureIsDumpedAsValidChromeJson) {
   EXPECT_EQ(wire->at("otherData").at("outcome").string, "degraded");
   EXPECT_EQ(service.counters().degraded.load(), 1u);
   EXPECT_EQ(service.tracer()->recorder().dumps(), 1u);
+}
+
+TEST(ObsService, StageHistogramsExportAsValidPrometheusHistograms) {
+  MappingService service(traced_config());
+  ProtocolSession session(service);
+  execute(session, node_line("a"));
+  execute(session, "MAP a 4 lama:scbnh bind=core");
+  execute(session, "MAP a 4 lama:scbnh bind=core");  // cache hit path
+  execute(session, "MAP a 8 lama:scbnh threads=4");  // parallel walk
+
+  const std::string exposition = execute(session, "METRICS");
+  const std::vector<test::PromSample> samples =
+      test::parse_prometheus(exposition);  // strict re-parse
+
+  // Real Prometheus histogram series per stage: ascending le, monotone
+  // cumulative counts, +Inf == _count. Several stages must have recorded.
+  const std::size_t series =
+      test::validate_histogram(samples, "lama_stage_latency_ns");
+  EXPECT_GE(series, 5u);
+
+  std::set<std::string> stages;
+  std::map<std::string, double> counts;
+  for (const test::PromSample& s : samples) {
+    if (s.name == "lama_stage_latency_ns_bucket") {
+      stages.insert(s.labels.at("stage"));
+    }
+    if (s.name == "lama_stage_latency_ns_count") {
+      counts[s.labels.at("stage")] = s.value;
+    }
+  }
+  for (const char* stage : {"request", "parse", "cache_lookup", "map_walk"}) {
+    EXPECT_TRUE(stages.count(stage)) << stage;
+  }
+  EXPECT_EQ(counts.at("request"), 3.0);  // one root span per request
+
+  // Stages that never ran are omitted entirely (no zero-count series).
+  for (const auto& [stage, count] : counts) {
+    EXPECT_GT(count, 0.0) << stage;
+  }
+}
+
+TEST(ObsService, HistogramExemplarTraceIdsResolveViaTraceVerb) {
+  MappingService service(traced_config());
+  ProtocolSession session(service);
+  execute(session, node_line("a"));
+  for (int i = 0; i < 4; ++i) execute(session, "MAP a 4 lama:scbnh");
+
+  const std::vector<test::PromSample> samples =
+      test::parse_prometheus(execute(session, "METRICS"));
+  std::set<std::string> exemplar_ids;
+  for (const test::PromSample& s : samples) {
+    if (!s.has_exemplar) continue;
+    EXPECT_EQ(s.name, "lama_stage_latency_ns_bucket");
+    ASSERT_TRUE(s.exemplar_labels.count("trace_id"));
+    EXPECT_GT(s.exemplar_value, 0.0);
+    exemplar_ids.insert(s.exemplar_labels.at("trace_id"));
+  }
+  ASSERT_FALSE(exemplar_ids.empty());
+
+  // Every exported exemplar id is a 16-digit hex trace id the TRACE verb
+  // resolves — that is what makes a hot bucket actionable.
+  for (const std::string& hex : exemplar_ids) {
+    ASSERT_EQ(hex.size(), 16u);
+    const std::uint64_t id = std::stoull(hex, nullptr, 16);
+    const auto json = parse_trace_response(
+        execute(session, "TRACE " + std::to_string(id)));
+    EXPECT_EQ(json->at("otherData").at("trace_id").string,
+              std::to_string(id));
+  }
+}
+
+TEST(ObsService, TailGateCapturesSlowRequestWithHeadSamplingOff) {
+  // Head sampling fully off: only failures and the tail gate can assemble.
+  ServiceConfig config = traced_config();
+  config.trace_sample = 0;
+  config.trace_tail_floor_ns = 10'000'000;  // 10 ms: µs noise cannot fire
+  MappingService service(config);
+  std::size_t dumped = 0;
+  service.tracer()->recorder().set_dump_sink(
+      [&](const obs::Trace&) { ++dumped; });
+  ProtocolSession session(service);
+  execute(session, node_line("a"));
+
+  // Warm the gate past its 64-sample warmup with fast cache-hit requests.
+  for (int i = 0; i < 70; ++i) execute(session, "MAP a 4 lama:scbnh");
+  EXPECT_EQ(service.tracer()->tail_captured(), 0u);
+  EXPECT_FALSE(service.tracer()->recorder().last().has_value());
+
+  // A synthetic slow request: stall this one for 25 ms inside its trace —
+  // far above the floor and the decayed-p99 estimate built from the µs
+  // warmup traffic.
+  service.set_fault_hook(
+      [] { std::this_thread::sleep_for(std::chrono::milliseconds(25)); });
+  const std::string response = execute(session, "MAP a 4 lama:scbnh");
+  service.set_fault_hook({});
+  EXPECT_TRUE(starts_with(response, "OK hit="));
+
+  EXPECT_EQ(service.tracer()->tail_captured(), 1u);
+  ASSERT_TRUE(service.tracer()->recorder().last_failure().has_value());
+  EXPECT_EQ(service.tracer()->recorder().last_failure()->outcome,
+            obs::Outcome::kSlow);
+  EXPECT_EQ(dumped, 1u);  // routed to the failure window's dump sink
+
+  // Surfaced in STATS and the Prometheus exposition.
+  EXPECT_NE(execute(session, "STATS").find(" traces_tail=1"),
+            std::string::npos);
+  std::map<std::string, double> scalars;
+  for (const test::PromSample& s :
+       test::parse_prometheus(execute(session, "METRICS"))) {
+    if (s.labels.empty()) scalars[s.name] = s.value;
+  }
+  EXPECT_EQ(scalars.at("lama_traces_tail_total"), 1.0);
+  EXPECT_GT(scalars.at("lama_tail_threshold_ns"), 0.0);
+
+  // And retrievable as the last failure with the "slow" outcome.
+  const auto json = parse_trace_response(execute(session, "TRACE errors"));
+  EXPECT_EQ(json->at("otherData").at("outcome").string, "slow");
+}
+
+TEST(ObsService, TailCaptureCanBeDisabled) {
+  ServiceConfig config = traced_config();
+  config.trace_sample = 0;
+  config.trace_tail = false;
+  MappingService service(config);
+  ASSERT_NE(service.tracer(), nullptr);
+  EXPECT_FALSE(service.tracer()->config().tail_capture);
+  ProtocolSession session(service);
+  execute(session, node_line("a"));
+  for (int i = 0; i < 70; ++i) execute(session, "MAP a 4 lama:scbnh");
+  service.set_fault_hook(
+      [] { std::this_thread::sleep_for(std::chrono::milliseconds(5)); });
+  execute(session, "MAP a 4 lama:scbnh");
+  service.set_fault_hook({});
+  EXPECT_EQ(service.tracer()->tail_captured(), 0u);
+  EXPECT_FALSE(service.tracer()->recorder().last_failure().has_value());
+}
+
+TEST(ObsService, SloObjectivesSurfaceInStatsAndMetrics) {
+  ServiceConfig config = traced_config();
+  config.slo = parse_slo_spec("query=2s,mapbatch=1ns");
+  MappingService service(config);
+  ProtocolSession session(service);
+  execute(session, node_line("a"));
+  execute(session, "MAP a 4 lama:scbnh");        // good: far inside 2 s
+  execute(session, "MAP a 4 lama:scbnh");        // good
+  execute(session, "MAPBATCH 1 a/2/lama:scbnh");  // bad: 1 ns objective
+
+  // The batch's one job runs through map() and records a "query" event of
+  // its own, so query sees 3 good; the batch itself is one bad "mapbatch".
+  const std::string stats = execute(session, "STATS");
+  EXPECT_NE(stats.find(" slo_query_good=3 slo_query_bad=0"),
+            std::string::npos);
+  EXPECT_NE(stats.find(" slo_mapbatch_good=0 slo_mapbatch_bad=1"),
+            std::string::npos);
+
+  std::map<std::string, std::map<std::string, double>> by_verb;
+  for (const test::PromSample& s :
+       test::parse_prometheus(execute(session, "METRICS"))) {
+    if (s.labels.count("verb")) {
+      std::string key = s.name;
+      if (s.labels.count("window")) key += ":" + s.labels.at("window");
+      by_verb[s.labels.at("verb")][key] = s.value;
+    }
+  }
+  EXPECT_EQ(by_verb.at("query").at("lama_slo_objective_ns"), 2e9);
+  EXPECT_EQ(by_verb.at("query").at("lama_slo_good_total"), 3.0);
+  EXPECT_EQ(by_verb.at("query").at("lama_slo_bad_total"), 0.0);
+  EXPECT_EQ(by_verb.at("mapbatch").at("lama_slo_bad_total"), 1.0);
+  // A 100%-bad minute burns the whole budget many times over.
+  EXPECT_GT(by_verb.at("mapbatch").at("lama_slo_burn_rate:fast"), 1.0);
+  EXPECT_DOUBLE_EQ(by_verb.at("query").at("lama_slo_burn_rate:fast"), 0.0);
+  EXPECT_EQ(service.slo().breaches(), 1u);
+
+  // The human rendering mentions the objectives too.
+  EXPECT_NE(service.render_stats().find("slo      query"), std::string::npos);
+}
+
+TEST(ObsService, ShedRequestsCountAgainstTheSlo) {
+  ServiceConfig config = traced_config();
+  config.slo = parse_slo_spec("query=1s");
+  MappingService service(config);
+  service.begin_drain();  // every work verb now sheds
+  const Allocation alloc =
+      allocate_all(Cluster::homogeneous(1, "socket:2 core:4 pu:2"));
+  const InternedAlloc interned = service.intern(alloc);
+  MapRequest request;
+  request.alloc = interned;
+  request.opts.np = 2;
+  EXPECT_FALSE(service.map(request).ok());
+  const auto snapshot = service.slo().snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].bad, 1u);  // a shed request is a bad request
+  EXPECT_EQ(snapshot[0].good, 0u);
 }
 
 TEST(ObsService, TraceVerbErrsWhenTracingDisabled) {

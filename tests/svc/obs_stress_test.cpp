@@ -156,7 +156,11 @@ TEST(ObsStress, ExactlyOnceTracingUnderMixedFaultTraffic) {
   EXPECT_EQ(tracer.started(),
             direct + jobs + static_cast<std::uint64_t>(kBatchRounds));
   EXPECT_EQ(tracer.assembled(), tracer.started());
-  EXPECT_EQ(tracer.recorder().dumps(), failed_outcomes.load());
+  // The tail gate marks otherwise-ok traces kSlow and routes them into the
+  // failure window too — never a trace that already failed — so the dump
+  // count is exactly failures plus tail captures.
+  EXPECT_EQ(tracer.recorder().dumps(),
+            failed_outcomes.load() + tracer.tail_captured());
   EXPECT_GE(tracer.recorder().dumps(), c.errors.load());
 }
 

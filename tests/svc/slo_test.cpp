@@ -1,0 +1,120 @@
+// SLO objective parsing and burn-rate accounting (src/svc/slo.hpp).
+#include "svc/slo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace lama::svc {
+namespace {
+
+TEST(SloSpec, ParsesVerbsDurationsAndTargets) {
+  const auto objectives =
+      parse_slo_spec("query=2ms,mapbatch=20ms@99.9,optimize=1s");
+  ASSERT_EQ(objectives.size(), 3u);
+  EXPECT_EQ(objectives[0].verb, "query");
+  EXPECT_EQ(objectives[0].threshold_ns, 2'000'000u);
+  EXPECT_DOUBLE_EQ(objectives[0].target, 0.99);  // default
+  EXPECT_EQ(objectives[1].verb, "mapbatch");
+  EXPECT_EQ(objectives[1].threshold_ns, 20'000'000u);
+  EXPECT_DOUBLE_EQ(objectives[1].target, 0.999);
+  EXPECT_EQ(objectives[2].threshold_ns, 1'000'000'000u);
+}
+
+TEST(SloSpec, AcceptsAllDurationUnits) {
+  EXPECT_EQ(parse_slo_spec("q=500")[0].threshold_ns, 500u);  // bare = ns
+  EXPECT_EQ(parse_slo_spec("q=500ns")[0].threshold_ns, 500u);
+  EXPECT_EQ(parse_slo_spec("q=5us")[0].threshold_ns, 5'000u);
+  EXPECT_EQ(parse_slo_spec("q=5ms")[0].threshold_ns, 5'000'000u);
+  EXPECT_EQ(parse_slo_spec("q=5s")[0].threshold_ns, 5'000'000'000u);
+}
+
+TEST(SloSpec, LowercasesVerbs) {
+  EXPECT_EQ(parse_slo_spec("QuErY=1ms")[0].verb, "query");
+}
+
+TEST(SloSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_slo_spec("query"), ParseError);          // no '='
+  EXPECT_THROW(parse_slo_spec("query="), ParseError);         // no duration
+  EXPECT_THROW(parse_slo_spec("=2ms"), ParseError);           // no verb
+  EXPECT_THROW(parse_slo_spec("query=2banana"), ParseError);  // bad unit
+  EXPECT_THROW(parse_slo_spec("q=1ms,q=2ms"), ParseError);    // duplicate
+  EXPECT_THROW(parse_slo_spec("q=1ms@0"), ParseError);        // target 0
+  EXPECT_THROW(parse_slo_spec("q=1ms@100"), ParseError);      // target 100
+  EXPECT_THROW(parse_slo_spec("q=1ms@woof"), ParseError);
+}
+
+TEST(SloTracker, DisabledWithoutObjectives) {
+  const SloTracker tracker({});
+  EXPECT_FALSE(tracker.enabled());
+  EXPECT_TRUE(tracker.snapshot().empty());
+}
+
+TEST(SloTracker, CountsGoodAndBadPerVerb) {
+  SloTracker tracker(parse_slo_spec("query=1ms,mapbatch=10ms"));
+  tracker.record("query", 500'000, true);       // fast + ok -> good
+  tracker.record("query", 2'000'000, true);     // slow -> bad
+  tracker.record("query", 500'000, false);      // failed -> bad
+  tracker.record("mapbatch", 5'000'000, true);  // good
+  tracker.record("remap", 1, false);            // untracked verb: ignored
+
+  const auto snapshot = tracker.snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].verb, "query");
+  EXPECT_EQ(snapshot[0].good, 1u);
+  EXPECT_EQ(snapshot[0].bad, 2u);
+  EXPECT_EQ(snapshot[1].verb, "mapbatch");
+  EXPECT_EQ(snapshot[1].good, 1u);
+  EXPECT_EQ(snapshot[1].bad, 0u);
+  EXPECT_EQ(tracker.breaches(), 2u);
+}
+
+TEST(SloTracker, ThresholdIsInclusive) {
+  SloTracker tracker(parse_slo_spec("query=1ms"));
+  tracker.record("query", 1'000'000, true);  // exactly at the objective
+  const auto snapshot = tracker.snapshot();
+  EXPECT_EQ(snapshot[0].good, 1u);
+  EXPECT_EQ(snapshot[0].bad, 0u);
+}
+
+TEST(SloTracker, BurnRateReflectsBadFraction) {
+  // 99% target -> 1% error budget. 50% bad burns 50x the budget; all-good
+  // burns zero. The fast window covers the last minute, so samples recorded
+  // "now" land in live buckets.
+  SloTracker tracker(parse_slo_spec("query=1ms"));
+  for (int i = 0; i < 50; ++i) tracker.record("query", 1, true);
+  for (int i = 0; i < 50; ++i) tracker.record("query", 1, false);
+  const auto snapshot = tracker.snapshot();
+  EXPECT_NEAR(snapshot[0].fast_burn, 50.0, 1.0);
+  EXPECT_NEAR(snapshot[0].slow_burn, 50.0, 1.0);
+
+  SloTracker healthy(parse_slo_spec("query=1ms"));
+  for (int i = 0; i < 100; ++i) healthy.record("query", 1, true);
+  EXPECT_DOUBLE_EQ(healthy.snapshot()[0].fast_burn, 0.0);
+}
+
+TEST(SloTracker, EmptyWindowBurnsZero) {
+  SloTracker tracker(parse_slo_spec("query=1ms"));
+  const auto snapshot = tracker.snapshot();
+  EXPECT_DOUBLE_EQ(snapshot[0].fast_burn, 0.0);
+  EXPECT_DOUBLE_EQ(snapshot[0].slow_burn, 0.0);
+}
+
+TEST(SloTracker, TargetScalesTheBudget) {
+  // 99.9% target -> 0.1% budget: the same bad fraction burns 10x harder
+  // than under a 99% target.
+  SloTracker tight(parse_slo_spec("query=1ms@99.9"));
+  SloTracker loose(parse_slo_spec("query=1ms@99"));
+  for (int i = 0; i < 99; ++i) {
+    tight.record("query", 1, true);
+    loose.record("query", 1, true);
+  }
+  tight.record("query", 1, false);
+  loose.record("query", 1, false);
+  const double tight_burn = tight.snapshot()[0].fast_burn;
+  const double loose_burn = loose.snapshot()[0].fast_burn;
+  EXPECT_NEAR(tight_burn / loose_burn, 10.0, 0.5);
+}
+
+}  // namespace
+}  // namespace lama::svc

@@ -1,0 +1,241 @@
+// The WATCH verb end to end: subscribe/stop grammar, periodic STATS and
+// metrics pushes through BOTH framings (text lines and binary kOk frames),
+// immediate failure and SLO-breach events, request/response traffic
+// interleaving with an armed subscription, and the stdin session rejecting
+// the verb (a subscription is transport state only a socket can hold).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/strings.hpp"
+#include "svc/net_harness.hpp"
+#include "svc/protocol.hpp"
+#include "svc/service.hpp"
+#include "svc/slo.hpp"
+#include "svc/wire.hpp"
+
+namespace lama::svc {
+namespace {
+
+using testing::BlockingClient;
+using testing::figure2_node_line;
+using testing::frame_for;
+using testing::TestServer;
+
+// Tight poll interval so pushes and events arrive promptly under test.
+NetConfig fast_net() {
+  NetConfig net;
+  net.poll_interval_ms = 5;
+  return net;
+}
+
+ServiceConfig traced_config() {
+  ServiceConfig config;
+  config.workers = 0;
+  config.flight_recorder = 16;
+  config.trace_sample = 1;
+  return config;
+}
+
+// Reads lines until one satisfies `want` (prefix match); fails the test on
+// timeout. Subscriptions interleave pushes, so tests skip what they are not
+// looking for.
+bool read_until_prefix(BlockingClient& client, const std::string& want,
+                       std::string& found) {
+  std::string line;
+  for (int i = 0; i < 200; ++i) {
+    if (!client.read_line(line)) return false;
+    if (starts_with(line, want)) {
+      found = line;
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(WatchVerb, SubscribeAckAndPeriodicStatsPushes) {
+  TestServer server(fast_net(), traced_config());
+  BlockingClient client(server.port());
+  ASSERT_TRUE(client.send_all("WATCH 20 stats\n"));
+  std::string line;
+  ASSERT_TRUE(client.read_line(line));
+  EXPECT_EQ(line, "OK watch interval_ms=20 mode=stats");
+
+  // Two consecutive periodic pushes, each a complete STATS line.
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(client.read_line(line)) << i;
+    EXPECT_TRUE(starts_with(line, "STATS requests=")) << line;
+  }
+}
+
+TEST(WatchVerb, DefaultsAndStopGrammar) {
+  TestServer server(fast_net(), traced_config());
+  BlockingClient client(server.port());
+
+  // Stop without a subscription is an error.
+  ASSERT_TRUE(client.send_all("WATCH stop\n"));
+  std::string line;
+  ASSERT_TRUE(client.read_line(line));
+  EXPECT_EQ(line, "ERR not watching");
+
+  // Bare WATCH defaults to 1000 ms stats mode.
+  ASSERT_TRUE(client.send_all("WATCH\n"));
+  ASSERT_TRUE(client.read_line(line));
+  EXPECT_EQ(line, "OK watch interval_ms=1000 mode=stats");
+
+  ASSERT_TRUE(client.send_all("WATCH stop\n"));
+  ASSERT_TRUE(read_until_prefix(client, "OK watch stopped", line));
+
+  // Malformed arguments are rejected.
+  ASSERT_TRUE(client.send_all("WATCH banana\n"));
+  ASSERT_TRUE(client.read_line(line));
+  EXPECT_TRUE(starts_with(line, "ERR WATCH needs")) << line;
+}
+
+TEST(WatchVerb, MetricsModePushesPrometheusEndingInEof) {
+  TestServer server(fast_net(), traced_config());
+  BlockingClient client(server.port());
+  ASSERT_TRUE(client.send_all("WATCH 20 metrics\n"));
+  std::string line;
+  ASSERT_TRUE(client.read_line(line));
+  EXPECT_EQ(line, "OK watch interval_ms=20 mode=metrics");
+
+  // One full exposition: HELP/TYPE framing through the EOF trailer.
+  bool saw_help = false, saw_sample = false;
+  for (;;) {
+    ASSERT_TRUE(client.read_line(line));
+    if (starts_with(line, "# HELP lama_requests_total")) saw_help = true;
+    if (starts_with(line, "lama_requests_total ")) saw_sample = true;
+    if (line == "# EOF") break;
+  }
+  EXPECT_TRUE(saw_help);
+  EXPECT_TRUE(saw_sample);
+}
+
+TEST(WatchVerb, RequestsStillServedWhileWatching) {
+  TestServer server(fast_net(), traced_config());
+  BlockingClient client(server.port());
+  ASSERT_TRUE(client.send_all("WATCH 20 stats\n"));
+  std::string line;
+  ASSERT_TRUE(client.read_line(line));
+  ASSERT_TRUE(starts_with(line, "OK watch"));
+
+  // A subscription must not wedge the request/response path on the same
+  // connection: commands interleave with pushes.
+  ASSERT_TRUE(client.send_all(figure2_node_line("a") + "\n"));
+  ASSERT_TRUE(read_until_prefix(client, "OK node", line));
+  ASSERT_TRUE(client.send_all("MAP a 4 lama:scbnh\n"));
+  ASSERT_TRUE(read_until_prefix(client, "OK hit=", line));
+}
+
+TEST(WatchVerb, FailureEventIsPushedImmediately) {
+  TestServer server(fast_net(), traced_config());
+  BlockingClient watcher(server.port());
+  ASSERT_TRUE(watcher.send_all("WATCH 60000 events\n"));
+  std::string line;
+  ASSERT_TRUE(watcher.read_line(line));
+  EXPECT_EQ(line, "OK watch interval_ms=60000 mode=events");
+
+  // Trigger a failure on a second connection: the injected fault fails the
+  // MAP, which lands the trace in the failure window and bumps the dump
+  // counter the tick diffs against.
+  BlockingClient driver(server.port());
+  ASSERT_TRUE(driver.send_all(figure2_node_line("a") + "\n"));
+  ASSERT_TRUE(driver.read_line(line));
+  server.service().set_fault_hook(
+      [] { throw MappingError("injected fault"); });
+  ASSERT_TRUE(driver.send_all("MAP a 4 lama:scbnh\n"));
+  ASSERT_TRUE(driver.read_line(line));
+  EXPECT_TRUE(starts_with(line, "ERR ")) << line;
+  ASSERT_EQ(server.service().tracer()->recorder().dumps(), 1u) << line;
+
+  // Events mode sends no periodic snapshots — the next line the watcher
+  // sees IS the failure event.
+  ASSERT_TRUE(watcher.read_line(line));
+  EXPECT_EQ(line, "EVENT failure count=1 total=1");
+}
+
+TEST(WatchVerb, SloBreachEventIsPushed) {
+  ServiceConfig config = traced_config();
+  config.slo = parse_slo_spec("query=1ns");  // every request breaches
+  TestServer server(fast_net(), config);
+  BlockingClient watcher(server.port());
+  ASSERT_TRUE(watcher.send_all("WATCH 60000 events\n"));
+  std::string line;
+  ASSERT_TRUE(watcher.read_line(line));
+  ASSERT_TRUE(starts_with(line, "OK watch"));
+
+  BlockingClient driver(server.port());
+  ASSERT_TRUE(driver.send_all(figure2_node_line("a") + "\n"));
+  ASSERT_TRUE(driver.read_line(line));
+  ASSERT_TRUE(driver.send_all("MAP a 4 lama:scbnh\n"));
+  ASSERT_TRUE(driver.read_line(line));
+
+  ASSERT_TRUE(read_until_prefix(watcher, "EVENT slo_breach count=1", line));
+}
+
+TEST(WatchVerb, BinaryFramingCarriesSubscriptionAndPushes) {
+  ServiceConfig config = traced_config();
+  config.slo = parse_slo_spec("query=1ns");
+  TestServer server(fast_net(), config);
+  BlockingClient client(server.port());
+
+  // The subscribe round-trips as a kWatch request / kOk response frame.
+  ASSERT_TRUE(client.send_all(frame_for("WATCH 20 stats")));
+  WireVerb verb = WireVerb::kErr;
+  std::string payload;
+  ASSERT_TRUE(client.read_frame(verb, payload));
+  EXPECT_EQ(verb, WireVerb::kOk);
+  EXPECT_EQ(payload, "OK watch interval_ms=20 mode=stats\n");
+
+  // Command responses interleave with push frames on a watching
+  // connection, so skip pushes while waiting for a specific response.
+  const auto read_response = [&](const std::string& prefix) {
+    for (int i = 0; i < 50; ++i) {
+      if (!client.read_frame(verb, payload)) return false;
+      if (starts_with(payload, prefix)) return true;
+    }
+    return false;
+  };
+
+  // Pushes arrive as whole kOk frames; a frame may carry several lines
+  // (events coalesce with the due snapshot).
+  bool saw_stats = false, saw_breach = false;
+  ASSERT_TRUE(client.send_all(frame_for(figure2_node_line("a"))));
+  ASSERT_TRUE(read_response("OK node"));
+  ASSERT_TRUE(client.send_all(frame_for("MAP a 4 lama:scbnh")));
+  ASSERT_TRUE(read_response("OK hit="));
+  for (int i = 0; i < 20 && !(saw_stats && saw_breach); ++i) {
+    ASSERT_TRUE(client.read_frame(verb, payload)) << i;
+    EXPECT_EQ(verb, WireVerb::kOk);
+    for (const std::string& one : split(payload, '\n')) {
+      if (starts_with(one, "STATS requests=")) saw_stats = true;
+      if (starts_with(one, "EVENT slo_breach")) saw_breach = true;
+    }
+  }
+  EXPECT_TRUE(saw_stats);
+  EXPECT_TRUE(saw_breach);
+
+  // Stop, again over the wire framing.
+  ASSERT_TRUE(client.send_all(frame_for("WATCH stop")));
+  bool stopped = false;
+  for (int i = 0; i < 20 && !stopped; ++i) {
+    ASSERT_TRUE(client.read_frame(verb, payload));
+    if (payload == "OK watch stopped\n") stopped = true;
+  }
+  EXPECT_TRUE(stopped);
+}
+
+TEST(WatchVerb, StdinSessionRejectsTheVerb) {
+  MappingService service(traced_config());
+  ProtocolSession session(service);
+  std::istringstream more;
+  const std::string response = session.execute("WATCH 100 stats", more);
+  EXPECT_TRUE(starts_with(response, "ERR "));
+  EXPECT_NE(response.find("socket connection"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lama::svc

@@ -179,7 +179,7 @@ TEST(WireCodec, UnknownVerbOnSealedFrameStillDecodes) {
 TEST(WireCodec, RequestVerbPredicateMatchesTheEnum) {
   for (int v = 0; v < 256; ++v) {
     const bool expected = v >= static_cast<int>(WireVerb::kNode) &&
-                          v <= static_cast<int>(WireVerb::kQuit);
+                          v <= static_cast<int>(WireVerb::kWatch);
     EXPECT_EQ(wire_request_verb(static_cast<std::uint8_t>(v)), expected)
         << "verb byte " << v;
   }
@@ -189,7 +189,7 @@ TEST(WireCodec, KeywordMapRoundTrips) {
   const char* keywords[] = {"NODE",   "MAP",     "BATCH",  "MAPBATCH",
                             "OFFLINE", "ONLINE",  "REMAP",  "OPTIMIZE",
                             "STATS",  "METRICS", "TRACE",  "HEALTH",
-                            "QUIT"};
+                            "QUIT",   "WATCH"};
   for (const char* keyword : keywords) {
     const auto verb = wire_verb_for_keyword(keyword);
     ASSERT_TRUE(verb.has_value()) << keyword;

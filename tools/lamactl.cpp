@@ -13,9 +13,16 @@
 //
 //   lamactl query --cluster cluster.txt -np 8 --map-by lama:scbnh |
 //     lamactl serve --workers 8 --stats
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <deque>
 #include <fstream>
+#include <limits>
+#include <map>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -26,6 +33,7 @@
 #include "cluster/cluster.hpp"
 #include "dur/state_store.hpp"
 #include "obs/chrome.hpp"
+#include "obs/trace_dump.hpp"
 #include "rte/runtime.hpp"
 #include "sim/evaluator.hpp"
 #include "support/error.hpp"
@@ -74,18 +82,16 @@ std::string read_file(const std::string& path) {
 }
 
 // Writes failed traces to <dir>/trace-<id>.json as they happen (the flight
-// recorder's dump sink). The directory must already exist.
-void install_trace_dump(svc::MappingService& service, const std::string& dir) {
+// recorder's dump sink), GC'd oldest-first to `cap` files (0 = unbounded).
+// The directory must already exist.
+void install_trace_dump(svc::MappingService& service, const std::string& dir,
+                        std::size_t cap) {
   if (dir.empty()) return;
   if (service.tracer() == nullptr) {
     throw ParseError("--trace-dump requires --flight-recorder > 0");
   }
-  service.tracer()->recorder().set_dump_sink([dir](const obs::Trace& trace) {
-    const std::string path =
-        dir + "/trace-" + std::to_string(trace.id) + ".json";
-    std::ofstream out(path);
-    if (out) out << obs::to_chrome_json(trace) << "\n";
-  });
+  service.tracer()->recorder().set_dump_sink(
+      obs::make_trace_dump_sink(obs::TraceDumpConfig{dir, cap}));
 }
 
 // `lamactl serve`: run the mapping service over stdin/stdout. With
@@ -99,6 +105,7 @@ int run_serve(const std::vector<std::string>& args) {
   std::string listen_addr;
   bool stats = false;
   std::string trace_dump;
+  std::size_t trace_dump_cap = 256;
   dur::DurConfig dur_config;
   bool persist = true;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -154,6 +161,15 @@ int run_serve(const std::vector<std::string>& args) {
       config.trace_seed = parse_size(need_value(), "serve trace-seed");
     } else if (arg == "--trace-dump") {
       trace_dump = need_value();
+    } else if (arg == "--trace-dump-cap") {
+      trace_dump_cap = parse_size(need_value(), "serve trace-dump-cap");
+    } else if (arg == "--no-tail") {
+      config.trace_tail = false;
+    } else if (arg == "--tail-floor-ns") {
+      config.trace_tail_floor_ns =
+          parse_size(need_value(), "serve tail-floor-ns");
+    } else if (arg == "--slo") {
+      config.slo = svc::parse_slo_spec(need_value());
     } else if (arg == "--stats") {
       stats = true;
     } else {
@@ -161,7 +177,7 @@ int run_serve(const std::vector<std::string>& args) {
     }
   }
   svc::MappingService service(config);
-  install_trace_dump(service, trace_dump);
+  install_trace_dump(service, trace_dump, trace_dump_cap);
   install_shutdown_signals();
 
   std::unique_ptr<dur::StateStore> store;
@@ -860,7 +876,7 @@ int run_inject(const std::vector<std::string>& args) {
   const svc::FaultPlan plan =
       svc::FaultPlan::random(seed, requests, mix, alloc);
   svc::MappingService service(config);
-  install_trace_dump(service, trace_dump);
+  install_trace_dump(service, trace_dump, /*cap=*/0);
   // With --state-dir the injector's session journals its mutations, which
   // the durability fault classes (--journal-fails, --fsync-stalls,
   // --corrupt-records, --recovery-kills) act on.
@@ -1112,6 +1128,435 @@ int run_trace(const std::vector<std::string>& args) {
   return 0;
 }
 
+// ---- lamactl top -----------------------------------------------------------
+
+// One parsed Prometheus text sample: name{labels} value. The exemplar
+// suffix (" # {...} v"), if any, is not needed by the dashboard — strtod
+// stops at the space after the value.
+struct PromSample {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0.0;
+
+  [[nodiscard]] std::string label(const std::string& key) const {
+    for (const auto& [k, v] : labels) {
+      if (k == key) return v;
+    }
+    return "";
+  }
+};
+
+// Parses one exposition line; returns false for comments, blanks, and
+// anything that does not look like a sample (the dashboard just skips those).
+bool parse_prom_line(const std::string& line, PromSample& out) {
+  if (line.empty() || line[0] == '#') return false;
+  out.labels.clear();
+  std::size_t pos = line.find_first_of("{ ");
+  if (pos == std::string::npos || pos == 0) return false;
+  out.name = line.substr(0, pos);
+  if (line[pos] == '{') {
+    ++pos;
+    while (pos < line.size() && line[pos] != '}') {
+      const std::size_t eq = line.find('=', pos);
+      if (eq == std::string::npos || eq + 1 >= line.size() ||
+          line[eq + 1] != '"') {
+        return false;
+      }
+      std::string key = line.substr(pos, eq - pos);
+      std::string value;
+      std::size_t v = eq + 2;
+      while (v < line.size() && line[v] != '"') {
+        if (line[v] == '\\' && v + 1 < line.size()) ++v;
+        value += line[v++];
+      }
+      if (v >= line.size()) return false;
+      out.labels.emplace_back(std::move(key), std::move(value));
+      pos = v + 1;
+      if (pos < line.size() && line[pos] == ',') ++pos;
+    }
+    if (pos >= line.size()) return false;
+    ++pos;  // '}'
+  }
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  if (pos >= line.size()) return false;
+  const std::string rest = line.substr(pos);
+  if (rest == "+Inf") {
+    out.value = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  char* end = nullptr;
+  out.value = std::strtod(rest.c_str(), &end);
+  return end != rest.c_str();
+}
+
+// The per-frame dashboard model, rebuilt from each METRICS push.
+struct TopModel {
+  std::map<std::string, double> scalar;  // label-less samples by name
+
+  struct StageHist {
+    std::vector<std::pair<double, double>> buckets;  // (le ns, cumulative)
+    double count = 0.0;
+    double sum = 0.0;
+  };
+  std::map<std::string, StageHist> stages;
+
+  struct SloRow {
+    double objective_ns = 0.0;
+    double good = 0.0;
+    double bad = 0.0;
+    double fast_burn = 0.0;
+    double slow_burn = 0.0;
+  };
+  std::map<std::string, SloRow> slo;
+
+  std::map<std::string, double> total_quantiles;  // "0.5" -> ns
+
+  void ingest(const PromSample& s) {
+    if (s.name == "lama_stage_latency_ns_bucket") {
+      StageHist& h = stages[s.label("stage")];
+      const std::string le = s.label("le");
+      const double bound = le == "+Inf"
+                               ? std::numeric_limits<double>::infinity()
+                               : std::strtod(le.c_str(), nullptr);
+      h.buckets.emplace_back(bound, s.value);
+      return;
+    }
+    if (s.name == "lama_stage_latency_ns_count") {
+      stages[s.label("stage")].count = s.value;
+      return;
+    }
+    if (s.name == "lama_stage_latency_ns_sum") {
+      stages[s.label("stage")].sum = s.value;
+      return;
+    }
+    if (s.name == "lama_slo_objective_ns") {
+      slo[s.label("verb")].objective_ns = s.value;
+      return;
+    }
+    if (s.name == "lama_slo_good_total") {
+      slo[s.label("verb")].good = s.value;
+      return;
+    }
+    if (s.name == "lama_slo_bad_total") {
+      slo[s.label("verb")].bad = s.value;
+      return;
+    }
+    if (s.name == "lama_slo_burn_rate") {
+      SloRow& row = slo[s.label("verb")];
+      if (s.label("window") == "slow") {
+        row.slow_burn = s.value;
+      } else {
+        row.fast_burn = s.value;
+      }
+      return;
+    }
+    if (s.name == "lama_total_ns" && !s.label("quantile").empty()) {
+      total_quantiles[s.label("quantile")] = s.value;
+      return;
+    }
+    if (s.labels.empty()) scalar[s.name] = s.value;
+  }
+
+  [[nodiscard]] double get(const std::string& name) const {
+    const auto it = scalar.find(name);
+    return it == scalar.end() ? 0.0 : it->second;
+  }
+
+  // Nearest-rank percentile from a stage's cumulative buckets: the upper
+  // bound of the first bucket whose cumulative count covers the rank.
+  [[nodiscard]] static double bucket_percentile(const StageHist& h, double p) {
+    if (h.count <= 0.0 || h.buckets.empty()) return 0.0;
+    const double rank = p * h.count;
+    double bound = 0.0;
+    for (const auto& [le, cum] : h.buckets) {
+      bound = le;
+      if (cum >= rank) break;
+    }
+    return std::isinf(bound) ? h.buckets.back().first : bound;
+  }
+};
+
+std::string format_ns(double ns) {
+  char buf[32];
+  if (ns >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+  } else if (ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  }
+  return buf;
+}
+
+std::string format_bytes(double bytes) {
+  char buf[32];
+  if (bytes >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fGB", bytes / 1e9);
+  } else if (bytes >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fMB", bytes / 1e6);
+  } else if (bytes >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fkB", bytes / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fB", bytes);
+  }
+  return buf;
+}
+
+std::string percent_of(double part, double whole) {
+  char buf[32];
+  if (whole <= 0.0) return "-";
+  std::snprintf(buf, sizeof(buf), "%.1f%%", 100.0 * part / whole);
+  return buf;
+}
+
+// Renders one dashboard frame. `qps` < 0 means "not yet known" (first frame).
+std::string render_top_frame(const TopModel& m, const std::string& where,
+                             std::size_t frame, double qps,
+                             const std::deque<std::string>& events) {
+  std::ostringstream out;
+  char line[256];
+
+  std::snprintf(line, sizeof(line), "lama top — %s   uptime %.1fs   frame %zu\n",
+                where.c_str(), m.get("lama_uptime_seconds"), frame);
+  out << line;
+
+  char qps_text[32] = "-";
+  if (qps >= 0.0) std::snprintf(qps_text, sizeof(qps_text), "%.1f", qps);
+  std::snprintf(line, sizeof(line),
+                "reqs     %.0f total, %.0f ok, %.0f err, %.0f shed, "
+                "%.0f inflight   qps %s\n",
+                m.get("lama_requests_total"),
+                m.get("lama_completed_total") - m.get("lama_errors_total"),
+                m.get("lama_errors_total"), m.get("lama_shed_total"),
+                m.get("lama_inflight_requests"), qps_text);
+  out << line;
+
+  const auto quant = [&](const char* q) {
+    const auto it = m.total_quantiles.find(q);
+    return it == m.total_quantiles.end() ? 0.0 : it->second;
+  };
+  std::snprintf(line, sizeof(line),
+                "latency  p50 %s   p90 %s   p99 %s   tail captured %.0f "
+                "(threshold %s)\n",
+                format_ns(quant("0.5")).c_str(),
+                format_ns(quant("0.9")).c_str(),
+                format_ns(quant("0.99")).c_str(),
+                m.get("lama_traces_tail_total"),
+                format_ns(m.get("lama_tail_threshold_ns")).c_str());
+  out << line;
+
+  const double hits = m.get("lama_cache_hits_total");
+  const double misses = m.get("lama_cache_misses_total");
+  const double plan_hits = m.get("lama_plan_cache_hits_total");
+  const double plan_misses = m.get("lama_plan_cache_misses_total");
+  const double opt_hits = m.get("lama_opt_hits_total");
+  const double opt_misses = m.get("lama_opt_misses_total");
+  std::snprintf(line, sizeof(line),
+                "cache    tree %s hit (%.0f/%.0f)   plan %s   opt %s   "
+                "%.0f trees resident\n",
+                percent_of(hits, hits + misses).c_str(), hits, hits + misses,
+                percent_of(plan_hits, plan_hits + plan_misses).c_str(),
+                percent_of(opt_hits, opt_hits + opt_misses).c_str(),
+                m.get("lama_cache_trees"));
+  out << line;
+
+  std::snprintf(line, sizeof(line),
+                "net      %.0f conns   %.0f shed   %.0f frame errs   "
+                "in %s   out %s\n",
+                m.get("lama_net_active_connections"),
+                m.get("lama_net_shed_total"),
+                m.get("lama_net_frame_errors_total"),
+                format_bytes(m.get("lama_net_bytes_in_total")).c_str(),
+                format_bytes(m.get("lama_net_bytes_out_total")).c_str());
+  out << line;
+
+  std::snprintf(line, sizeof(line),
+                "dur      journal lag %.0f   fsyncs %.0f   errors %.0f   "
+                "snapshots %.0f\n",
+                m.get("lama_dur_journal_lag"),
+                m.get("lama_dur_journal_fsyncs_total"),
+                m.get("lama_dur_journal_errors_total"),
+                m.get("lama_dur_snapshots_total"));
+  out << line;
+
+  if (!m.slo.empty()) {
+    out << "slo      verb       objective      good       bad  "
+           "burn-fast  burn-slow\n";
+    for (const auto& [verb, row] : m.slo) {
+      std::snprintf(line, sizeof(line),
+                    "         %-9s %9s %9.0f %9.0f %10.2f %10.2f%s\n",
+                    verb.c_str(), format_ns(row.objective_ns).c_str(),
+                    row.good, row.bad, row.fast_burn, row.slow_burn,
+                    row.fast_burn > 1.0 ? "  BURNING" : "");
+      out << line;
+    }
+  }
+
+  if (!m.stages.empty()) {
+    out << "stage               count       p50       p99       mean\n";
+    std::vector<std::pair<std::string, const TopModel::StageHist*>> rows;
+    rows.reserve(m.stages.size());
+    for (const auto& [name, hist] : m.stages) {
+      rows.emplace_back(name, &hist);
+    }
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      return a.second->sum > b.second->sum;
+    });
+    const std::size_t shown = std::min<std::size_t>(rows.size(), 12);
+    for (std::size_t i = 0; i < shown; ++i) {
+      const TopModel::StageHist& h = *rows[i].second;
+      std::snprintf(line, sizeof(line), "  %-15s %9.0f %9s %9s %10s\n",
+                    rows[i].first.c_str(), h.count,
+                    format_ns(TopModel::bucket_percentile(h, 0.5)).c_str(),
+                    format_ns(TopModel::bucket_percentile(h, 0.99)).c_str(),
+                    format_ns(h.count > 0 ? h.sum / h.count : 0.0).c_str());
+      out << line;
+    }
+    if (rows.size() > shown) {
+      std::snprintf(line, sizeof(line), "  ... %zu more stages\n",
+                    rows.size() - shown);
+      out << line;
+    }
+  }
+
+  if (!events.empty()) {
+    out << "events\n";
+    for (const std::string& event : events) {
+      out << "  " << event << "\n";
+    }
+  }
+  return out.str();
+}
+
+// `lamactl top`: a live terminal dashboard over the WATCH verb. Subscribes
+// with "WATCH <interval> metrics" and re-renders on every pushed Prometheus
+// snapshot; EVENT lines (failures, SLO breaches) land in a rolling log.
+// --once renders a single frame from one METRICS request and exits;
+// --once --json prints the raw metrics-snapshot JSON for scripts.
+int run_top(const std::vector<std::string>& args) {
+  svc::ConnectConfig connect;
+  std::uint32_t interval_ms = 1000;
+  bool once = false;
+  bool json = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto need_value = [&] {
+      if (i + 1 >= args.size()) {
+        throw ParseError("option " + arg + " requires a value");
+      }
+      return args[++i];
+    };
+    if (arg == "--connect") {
+      connect.address = need_value();
+    } else if (arg == "--binary") {
+      connect.binary = true;
+    } else if (arg == "--interval-ms") {
+      interval_ms = static_cast<std::uint32_t>(
+          parse_size(need_value(), "top interval-ms"));
+      if (interval_ms == 0) interval_ms = 1;
+    } else if (arg == "--once") {
+      once = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else {
+      throw ParseError("unknown top option: " + arg);
+    }
+  }
+  if (connect.address.empty()) {
+    throw ParseError("top needs --connect <addr> (a serve --listen server)");
+  }
+  if (json && !once) {
+    throw ParseError("--json requires --once (one snapshot for scripts)");
+  }
+  svc::SocketClient socket(connect);
+
+  if (once) {
+    if (json) {
+      // One-shot machine-readable snapshot: the full metrics JSON.
+      const std::vector<std::string> lines = socket.request("STATS json");
+      if (lines.empty() || starts_with(lines[0], "ERR")) {
+        throw ParseError(lines.empty() ? "no response" : lines[0]);
+      }
+      const std::string& reply = lines[0];
+      std::printf("%s\n", starts_with(reply, "STATS ")
+                              ? reply.c_str() + 6
+                              : reply.c_str());
+      return 0;
+    }
+    TopModel model;
+    for (const std::string& line : socket.request("METRICS")) {
+      if (starts_with(line, "ERR")) throw ParseError(line);
+      PromSample sample;
+      if (parse_prom_line(line, sample)) model.ingest(sample);
+    }
+    std::fputs(render_top_frame(model, connect.address, 1, -1.0, {}).c_str(),
+               stdout);
+    return 0;
+  }
+
+  install_shutdown_signals();
+  std::size_t frame = 0;
+  double last_completed = -1.0;
+  auto last_time = std::chrono::steady_clock::now();
+  std::deque<std::string> events;
+  TopModel model;
+  std::string error;
+  const bool ended = socket.watch(
+      "WATCH " + std::to_string(interval_ms) + " metrics",
+      [&](const std::string& unit) {
+        if (g_signal != 0) return false;
+        // A unit is one text line or one whole binary frame (several lines).
+        std::size_t start = 0;
+        while (start <= unit.size()) {
+          std::size_t nl = unit.find('\n', start);
+          if (nl == std::string::npos) nl = unit.size();
+          const std::string line = unit.substr(start, nl - start);
+          start = nl + 1;
+          if (line.empty() && start > unit.size()) break;
+          if (starts_with(line, "EVENT ")) {
+            events.push_back(line);
+            while (events.size() > 6) events.pop_front();
+            continue;
+          }
+          if (line == "# EOF") {
+            // Frame complete: compute qps from the completed-counter delta,
+            // then repaint (ANSI home+clear keeps it flicker-free enough).
+            ++frame;
+            const auto now = std::chrono::steady_clock::now();
+            const double dt =
+                std::chrono::duration<double>(now - last_time).count();
+            const double completed = model.get("lama_completed_total");
+            double qps = -1.0;
+            if (last_completed >= 0.0 && dt > 0.0) {
+              qps = (completed - last_completed) / dt;
+            }
+            last_completed = completed;
+            last_time = now;
+            std::fputs("\x1b[H\x1b[2J", stdout);
+            std::fputs(
+                render_top_frame(model, connect.address, frame, qps, events)
+                    .c_str(),
+                stdout);
+            std::fflush(stdout);
+            model = TopModel{};
+            continue;
+          }
+          PromSample sample;
+          if (parse_prom_line(line, sample)) model.ingest(sample);
+        }
+        return g_signal == 0;
+      },
+      error);
+  if (!ended && g_signal == 0) {
+    std::fprintf(stderr, "lamactl: watch ended: %s\n", error.c_str());
+    return 1;
+  }
+  std::fputs("\n", stdout);
+  return 0;
+}
+
 int run(const std::vector<std::string>& args) {
   std::string cluster_path;
   std::string hostfile_path;
@@ -1219,6 +1664,9 @@ int main(int argc, char** argv) {
     if (!args.empty() && args[0] == "trace") {
       return run_trace({args.begin() + 1, args.end()});
     }
+    if (!args.empty() && args[0] == "top") {
+      return run_top({args.begin() + 1, args.end()});
+    }
     return run(args);
   } catch (const lama::Error& e) {
     std::fprintf(stderr, "lamactl: %s\n", e.what());
@@ -1233,6 +1681,9 @@ int main(int argc, char** argv) {
         "               [--retry-after-ms N] [--no-verify] [--stats]\n"
         "               [--flight-recorder N] [--trace-sample N]\n"
         "               [--trace-seed N] [--trace-dump <dir>]\n"
+        "               [--trace-dump-cap N] [--no-tail]\n"
+        "               [--tail-floor-ns N]  # adaptive tail-latency capture\n"
+        "               [--slo verb=dur[@pct],...]  # e.g. query=2ms@0.999\n"
         "               [--state-dir <dir> [--snapshot-every N]\n"
         "                [--fsync-every N] [--no-prewarm] | --no-persist]\n"
         "               [--listen tcp:<host>:<port>|unix:<path>\n"
@@ -1281,7 +1732,11 @@ int main(int argc, char** argv) {
         "                server; --exec --cluster <file> [--hostfile <file>]\n"
         "                [--requests N] runs a traced in-process workload;\n"
         "                trace --exec adds [--dump <dir>] and ends with a\n"
-        "                corrupted-tree failure so a failure trace exists)\n");
+        "                corrupted-tree failure so a failure trace exists)\n"
+        "       lamactl top --connect <addr> [--binary] [--interval-ms N]\n"
+        "               [--once [--json]]  # live dashboard over the WATCH\n"
+        "               # verb: per-verb SLO burn, stage latency heatmap,\n"
+        "               # qps, cache hit ratios; --once --json for scripts\n");
     return 1;
   }
 }
