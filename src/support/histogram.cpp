@@ -78,19 +78,30 @@ std::uint64_t LatencyHistogram::percentile_ns(double p) const {
   return snapshot().percentile_ns(p);
 }
 
+void LatencyHistogram::Snapshot::merge(const Snapshot& other) {
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum_ns += other.sum_ns;
+  if (other.max_ns > max_ns) max_ns = other.max_ns;
+}
+
+std::string LatencyHistogram::Snapshot::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean_us=%.1f p50_us=%llu p99_us=%llu max_us=%llu",
+                static_cast<unsigned long long>(count), mean_ns() / 1e3,
+                static_cast<unsigned long long>(percentile_ns(50) / 1000),
+                static_cast<unsigned long long>(percentile_ns(99) / 1000),
+                static_cast<unsigned long long>(max_ns / 1000));
+  return buf;
+}
+
 std::string LatencyHistogram::summary() const {
   // One snapshot feeds every figure so the line is internally consistent
   // even while writers are racing record_ns().
-  const Snapshot snap = snapshot();
-  char buf[160];
-  std::snprintf(
-      buf, sizeof(buf),
-      "count=%llu mean_us=%.1f p50_us=%llu p99_us=%llu max_us=%llu",
-      static_cast<unsigned long long>(snap.count), snap.mean_ns() / 1e3,
-      static_cast<unsigned long long>(snap.percentile_ns(50) / 1000),
-      static_cast<unsigned long long>(snap.percentile_ns(99) / 1000),
-      static_cast<unsigned long long>(snap.max_ns / 1000));
-  return buf;
+  return snapshot().summary();
 }
 
 void LatencyHistogram::reset() {

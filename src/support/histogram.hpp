@@ -33,6 +33,12 @@ class LatencyHistogram {
     // Upper bound (ns) of the bucket holding the p-th percentile sample,
     // p in [0, 100]. 0 when the snapshot is empty.
     [[nodiscard]] std::uint64_t percentile_ns(double p) const;
+    // Accumulate another snapshot (bucket-wise adds, max of maxes) — the
+    // copyable counterpart of LatencyHistogram::merge, used to fold
+    // per-shard snapshots into one aggregate.
+    void merge(const Snapshot& other);
+    // Same "count=... mean_us=..." line LatencyHistogram::summary() emits.
+    [[nodiscard]] std::string summary() const;
     // Inclusive upper bound (ns) of bucket i: 0, 1, 3, 7, ... 2^i - 1.
     [[nodiscard]] static std::uint64_t bucket_bound_ns(std::size_t i) {
       return i == 0 ? 0 : (1ULL << i) - 1;

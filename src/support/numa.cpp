@@ -1,0 +1,234 @@
+#include "support/numa.hpp"
+
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <filesystem>
+#include <fstream>
+#include <new>
+#include <string>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace lama::support {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// The mbind mode/flag values from <linux/mempolicy.h>, spelled out so the
+// seam compiles against plain libc headers (no libnuma, no kernel uapi
+// include requirement).
+constexpr unsigned long kMpolBind = 2;
+constexpr unsigned kMpolMfMove = 1u << 1;
+
+class MappedNuma final : public NumaTopology {
+ public:
+  explicit MappedNuma(std::vector<std::vector<int>> node_cpus)
+      : node_cpus_(std::move(node_cpus)) {
+    for (std::size_t node = 0; node < node_cpus_.size(); ++node) {
+      for (const int cpu : node_cpus_[node]) {
+        if (cpu < 0) continue;
+        if (static_cast<std::size_t>(cpu) >= cpu_node_.size()) {
+          cpu_node_.resize(static_cast<std::size_t>(cpu) + 1, 0);
+        }
+        cpu_node_[static_cast<std::size_t>(cpu)] = static_cast<int>(node);
+      }
+    }
+  }
+
+  [[nodiscard]] int node_count() const override {
+    return static_cast<int>(node_cpus_.size());
+  }
+
+  [[nodiscard]] int node_of_cpu(int cpu) const override {
+    if (cpu < 0 || static_cast<std::size_t>(cpu) >= cpu_node_.size()) return 0;
+    return cpu_node_[static_cast<std::size_t>(cpu)];
+  }
+
+  [[nodiscard]] int current_node() const override {
+#ifdef SYS_getcpu
+    unsigned cpu = 0;
+    if (::syscall(SYS_getcpu, &cpu, nullptr, nullptr) == 0) {
+      return node_of_cpu(static_cast<int>(cpu));
+    }
+#endif
+    return 0;
+  }
+
+  [[nodiscard]] std::vector<int> cpus_of_node(int node) const override {
+    if (node < 0 || static_cast<std::size_t>(node) >= node_cpus_.size()) {
+      return {};
+    }
+    return node_cpus_[static_cast<std::size_t>(node)];
+  }
+
+ private:
+  std::vector<std::vector<int>> node_cpus_;  // dense node id -> CPUs
+  std::vector<int> cpu_node_;                // CPU -> dense node id
+};
+
+// Plain operator-new fallback: correct everywhere, local nowhere.
+class PlainAllocator final : public NumaAllocator {
+ public:
+  void* allocate(std::size_t bytes, int /*node*/) override {
+    return ::operator new(bytes);
+  }
+  void deallocate(void* ptr, std::size_t /*bytes*/) override {
+    ::operator delete(ptr);
+  }
+  [[nodiscard]] bool binds() const override { return false; }
+};
+
+// mmap-backed arena that binds each allocation's pages to the requested
+// node via the raw mbind syscall. Bind failures are non-fatal: the memory
+// stays usable, just placed by first touch.
+class MbindAllocator final : public NumaAllocator {
+ public:
+  explicit MbindAllocator(int node_count) : node_count_(node_count) {}
+
+  void* allocate(std::size_t bytes, int node) override {
+    const std::size_t size = round_up(bytes);
+    void* mem = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (mem == MAP_FAILED) throw std::bad_alloc();
+#ifdef SYS_mbind
+    if (node >= 0 && node < node_count_) {
+      // One bit per node, rounded to a long; maxnode counts bits + 1 (the
+      // kernel's off-by-one contract).
+      unsigned long mask[8] = {};
+      if (static_cast<std::size_t>(node) < sizeof(mask) * 8) {
+        mask[static_cast<std::size_t>(node) / (sizeof(long) * 8)] |=
+            1ul << (static_cast<std::size_t>(node) % (sizeof(long) * 8));
+        bound_ = ::syscall(SYS_mbind, mem, size, kMpolBind, mask,
+                           sizeof(mask) * 8 + 1, kMpolMfMove) == 0 ||
+                 bound_;
+      }
+    }
+#else
+    (void)node;
+#endif
+    return mem;
+  }
+
+  void deallocate(void* ptr, std::size_t bytes) override {
+    if (ptr != nullptr) ::munmap(ptr, round_up(bytes));
+  }
+
+  [[nodiscard]] bool binds() const override { return bound_; }
+
+ private:
+  static std::size_t round_up(std::size_t bytes) {
+    const std::size_t page = 4096;
+    return ((bytes == 0 ? 1 : bytes) + page - 1) / page * page;
+  }
+
+  int node_count_;
+  bool bound_ = false;  // at least one mbind succeeded
+};
+
+}  // namespace
+
+std::vector<int> parse_cpu_list(const std::string& text) {
+  std::vector<int> cpus;
+  const std::string body = trim(text);
+  if (body.empty()) return cpus;
+  std::size_t pos = 0;
+  while (pos <= body.size()) {
+    std::size_t comma = body.find(',', pos);
+    if (comma == std::string::npos) comma = body.size();
+    const std::string item = trim(body.substr(pos, comma - pos));
+    if (item.empty()) throw ParseError("empty cpulist item in '" + body + "'");
+    const std::size_t dash = item.find('-');
+    if (dash == std::string::npos) {
+      cpus.push_back(
+          static_cast<int>(parse_size_bounded(item, "cpulist cpu", 1 << 20)));
+    } else {
+      const int lo = static_cast<int>(parse_size_bounded(
+          item.substr(0, dash), "cpulist range start", 1 << 20));
+      const int hi = static_cast<int>(parse_size_bounded(
+          item.substr(dash + 1), "cpulist range end", 1 << 20));
+      if (hi < lo) throw ParseError("descending cpulist range: '" + item + "'");
+      for (int cpu = lo; cpu <= hi; ++cpu) cpus.push_back(cpu);
+    }
+    pos = comma + 1;
+    if (comma == body.size()) break;
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+std::unique_ptr<NumaTopology> make_numa_topology(const std::string& node_root) {
+  std::vector<std::pair<int, std::vector<int>>> found;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(node_root, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (!starts_with(name, "node") || name.size() <= 4) continue;
+    int id = 0;
+    try {
+      id = static_cast<int>(
+          parse_size_bounded(name.substr(4), "node id", 1 << 16));
+    } catch (const ParseError&) {
+      continue;  // node_has_cpu and friends
+    }
+    std::ifstream in(entry.path() / "cpulist");
+    if (!in) continue;
+    std::string line;
+    std::getline(in, line);
+    try {
+      found.emplace_back(id, parse_cpu_list(line));
+    } catch (const ParseError&) {
+      continue;  // a malformed node is skipped, not fatal
+    }
+  }
+  if (ec || found.empty()) return make_numa_topology_from({});
+  // Dense node ids in sysfs id order (node ids may have holes).
+  std::sort(found.begin(), found.end());
+  std::vector<std::vector<int>> node_cpus;
+  node_cpus.reserve(found.size());
+  for (auto& [id, cpus] : found) node_cpus.push_back(std::move(cpus));
+  return make_numa_topology_from(std::move(node_cpus));
+}
+
+std::unique_ptr<NumaTopology> make_numa_topology_from(
+    std::vector<std::vector<int>> node_cpus) {
+  if (node_cpus.empty()) {
+    // Single-node fallback: every CPU the host has lives on node 0.
+    std::vector<int> cpus;
+    const long n = ::sysconf(_SC_NPROCESSORS_CONF);
+    for (long cpu = 0; cpu < std::max(1l, n); ++cpu) {
+      cpus.push_back(static_cast<int>(cpu));
+    }
+    node_cpus.push_back(std::move(cpus));
+  }
+  return std::make_unique<MappedNuma>(std::move(node_cpus));
+}
+
+std::unique_ptr<NumaAllocator> make_numa_allocator(const NumaTopology& topo) {
+#ifdef SYS_mbind
+  if (topo.node_count() > 1) {
+    return std::make_unique<MbindAllocator>(topo.node_count());
+  }
+#endif
+  (void)topo;
+  return std::make_unique<PlainAllocator>();
+}
+
+NumaAllocator& plain_arena() {
+  static PlainAllocator arena;
+  return arena;
+}
+
+int shard_node(const NumaTopology* topo, std::size_t shard_index) {
+  if (topo == nullptr) return 0;
+  const int nodes = topo->node_count();
+  if (nodes <= 1) return 0;
+  return static_cast<int>(shard_index % static_cast<std::size_t>(nodes));
+}
+
+}  // namespace lama::support

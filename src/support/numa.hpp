@@ -1,0 +1,112 @@
+// NUMA seam for shard-local memory (ROADMAP item 3). The service's caches
+// are sharded for lock independence; on a multi-socket machine the shards
+// should also be *memory*-local to the threads that use them, so a shard
+// arena allocated here can be bound to the NUMA node its event-loop shard is
+// pinned to. Both interfaces are abstract (the shape of SNIPPETS.md's
+// allocator seam): callers program against NumaTopology/NumaAllocator and
+// the factories decide what the host supports.
+//
+// Degradation contract — there is no hard libnuma dependency:
+//   * no /sys/devices/system/node (or a single node): NumaTopology reports
+//     one node and the allocator is plain operator new;
+//   * mbind unavailable (no __NR_mbind, or the call fails, e.g. under
+//     sanitizers or seccomp): the mmap allocator still returns usable
+//     memory, it just is not bound — first-touch policy applies.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lama::support {
+
+// Which NUMA node owns which CPUs. Node ids are dense [0, node_count);
+// CPUs the topology never saw report node 0.
+class NumaTopology {
+ public:
+  virtual ~NumaTopology() = default;
+
+  [[nodiscard]] virtual int node_count() const = 0;
+  [[nodiscard]] virtual int node_of_cpu(int cpu) const = 0;
+  // The node of the CPU this thread is running on right now (sched_getcpu);
+  // 0 when that cannot be determined.
+  [[nodiscard]] virtual int current_node() const = 0;
+  [[nodiscard]] virtual std::vector<int> cpus_of_node(int node) const = 0;
+};
+
+// Memory carved per NUMA node. allocate() never returns null — failures to
+// *bind* degrade silently to unbound memory, failure to *allocate* throws
+// std::bad_alloc like the plain path would.
+class NumaAllocator {
+ public:
+  virtual ~NumaAllocator() = default;
+
+  virtual void* allocate(std::size_t bytes, int node) = 0;
+  virtual void deallocate(void* ptr, std::size_t bytes) = 0;
+  // True when allocate() actually binds pages to the requested node (false
+  // for the malloc fallback and when mbind is unavailable).
+  [[nodiscard]] virtual bool binds() const = 0;
+};
+
+// Parses the sysfs "cpulist" format ("0-3,8,10-11") into ascending,
+// deduplicated CPU ids. Throws ParseError on malformed text; an empty or
+// all-whitespace list yields an empty vector.
+std::vector<int> parse_cpu_list(const std::string& text);
+
+// Discovers the host topology from sysfs (`node_root`, default
+// /sys/devices/system/node). Never fails: a missing or unreadable directory
+// yields the single-node fallback.
+std::unique_ptr<NumaTopology> make_numa_topology(
+    const std::string& node_root = "/sys/devices/system/node");
+
+// Builds a topology from an explicit node -> CPUs table (tests, fixtures).
+// An empty table yields the single-node fallback.
+std::unique_ptr<NumaTopology> make_numa_topology_from(
+    std::vector<std::vector<int>> node_cpus);
+
+// Picks the allocator for `topo`: mmap+mbind when the machine has more than
+// one node and the syscall exists, plain operator new otherwise.
+std::unique_ptr<NumaAllocator> make_numa_allocator(const NumaTopology& topo);
+
+// Process-wide operator-new arena (binds() == false). Callers that place
+// objects through NumaUniquePtr use this when no discovered topology was
+// wired in, so one code path covers both worlds.
+NumaAllocator& plain_arena();
+
+// Home node for the i-th shard of a sharded structure: round-robin across
+// the topology's nodes; node 0 when `topo` is null or single-node.
+int shard_node(const NumaTopology* topo, std::size_t shard_index);
+
+// unique_ptr deleter that destroys a T placement-constructed in NumaAllocator
+// memory and returns the bytes to the arena. The allocator must outlive
+// every pointer it produced.
+template <typename T>
+struct NumaDelete {
+  NumaAllocator* arena = nullptr;
+
+  void operator()(T* ptr) const {
+    if (ptr == nullptr) return;
+    ptr->~T();
+    arena->deallocate(ptr, sizeof(T));
+  }
+};
+
+template <typename T>
+using NumaUniquePtr = std::unique_ptr<T, NumaDelete<T>>;
+
+// Placement-news a T on `node`'s memory.
+template <typename T, typename... Args>
+NumaUniquePtr<T> numa_new(NumaAllocator& arena, int node, Args&&... args) {
+  void* raw = arena.allocate(sizeof(T), node);
+  try {
+    return NumaUniquePtr<T>(new (raw) T(std::forward<Args>(args)...),
+                            NumaDelete<T>{&arena});
+  } catch (...) {
+    arena.deallocate(raw, sizeof(T));
+    throw;
+  }
+}
+
+}  // namespace lama::support

@@ -153,7 +153,24 @@ std::uint64_t NetCounters::active() const {
   return opened >= done ? opened - done : 0;
 }
 
-std::string NetCounters::stats_line() const {
+void NetStats::add(const NetCounters& shard) {
+  accepted += load(shard.accepted);
+  closed += load(shard.closed);
+  rejected += load(shard.rejected);
+  text_requests += load(shard.text_requests);
+  binary_requests += load(shard.binary_requests);
+  responses += load(shard.responses);
+  shed_backpressure += load(shard.shed_backpressure);
+  frame_errors += load(shard.frame_errors);
+  midstream_disconnects += load(shard.midstream_disconnects);
+  bytes_in += load(shard.bytes_in);
+  bytes_out += load(shard.bytes_out);
+  read_ns.merge(shard.read_ns.snapshot());
+  dispatch_ns.merge(shard.dispatch_ns.snapshot());
+  write_ns.merge(shard.write_ns.snapshot());
+}
+
+std::string NetStats::stats_line() const {
   char buf[512];
   std::snprintf(
       buf, sizeof(buf),
@@ -161,51 +178,63 @@ std::string NetCounters::stats_line() const {
       "net_text_requests=%llu net_binary_requests=%llu net_responses=%llu "
       "net_shed=%llu net_frame_errors=%llu net_disconnects=%llu "
       "net_bytes_in=%llu net_bytes_out=%llu net_dispatch_p99_us=%llu",
-      static_cast<unsigned long long>(load(accepted)),
-      static_cast<unsigned long long>(load(closed)),
+      static_cast<unsigned long long>(accepted),
+      static_cast<unsigned long long>(closed),
       static_cast<unsigned long long>(active()),
-      static_cast<unsigned long long>(load(rejected)),
-      static_cast<unsigned long long>(load(text_requests)),
-      static_cast<unsigned long long>(load(binary_requests)),
-      static_cast<unsigned long long>(load(responses)),
-      static_cast<unsigned long long>(load(shed_backpressure)),
-      static_cast<unsigned long long>(load(frame_errors)),
-      static_cast<unsigned long long>(load(midstream_disconnects)),
-      static_cast<unsigned long long>(load(bytes_in)),
-      static_cast<unsigned long long>(load(bytes_out)),
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(text_requests),
+      static_cast<unsigned long long>(binary_requests),
+      static_cast<unsigned long long>(responses),
+      static_cast<unsigned long long>(shed_backpressure),
+      static_cast<unsigned long long>(frame_errors),
+      static_cast<unsigned long long>(midstream_disconnects),
+      static_cast<unsigned long long>(bytes_in),
+      static_cast<unsigned long long>(bytes_out),
       static_cast<unsigned long long>(dispatch_ns.percentile_ns(99) / 1000));
   return buf;
 }
 
-std::string NetCounters::render() const {
+std::string NetStats::render() const {
   std::string out;
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "net  connections %llu accepted (%llu closed, %llu active, "
                 "%llu rejected), disconnects %llu\n",
-                static_cast<unsigned long long>(load(accepted)),
-                static_cast<unsigned long long>(load(closed)),
+                static_cast<unsigned long long>(accepted),
+                static_cast<unsigned long long>(closed),
                 static_cast<unsigned long long>(active()),
-                static_cast<unsigned long long>(load(rejected)),
-                static_cast<unsigned long long>(load(midstream_disconnects)));
+                static_cast<unsigned long long>(rejected),
+                static_cast<unsigned long long>(midstream_disconnects));
   out += buf;
   std::snprintf(buf, sizeof(buf),
                 "net  requests %llu text + %llu binary -> %llu responses, "
                 "shed %llu, frame errors %llu\n",
-                static_cast<unsigned long long>(load(text_requests)),
-                static_cast<unsigned long long>(load(binary_requests)),
-                static_cast<unsigned long long>(load(responses)),
-                static_cast<unsigned long long>(load(shed_backpressure)),
-                static_cast<unsigned long long>(load(frame_errors)));
+                static_cast<unsigned long long>(text_requests),
+                static_cast<unsigned long long>(binary_requests),
+                static_cast<unsigned long long>(responses),
+                static_cast<unsigned long long>(shed_backpressure),
+                static_cast<unsigned long long>(frame_errors));
   out += buf;
   std::snprintf(buf, sizeof(buf), "net  bytes in %llu, out %llu\n",
-                static_cast<unsigned long long>(load(bytes_in)),
-                static_cast<unsigned long long>(load(bytes_out)));
+                static_cast<unsigned long long>(bytes_in),
+                static_cast<unsigned long long>(bytes_out));
   out += buf;
   out += "net read     " + read_ns.summary() + "\n";
   out += "net dispatch " + dispatch_ns.summary() + "\n";
   out += "net write    " + write_ns.summary() + "\n";
   return out;
+}
+
+std::string NetCounters::stats_line() const {
+  NetStats stats;
+  stats.add(*this);
+  return stats.stats_line();
+}
+
+std::string NetCounters::render() const {
+  NetStats stats;
+  stats.add(*this);
+  return stats.render();
 }
 
 }  // namespace lama::svc

@@ -120,4 +120,42 @@ struct NetCounters {
   [[nodiscard]] std::string render() const;
 };
 
+// One plain-value aggregate over any number of shards' NetCounters. The
+// sharded server (svc/shard_server.hpp) runs one NetCounters per epoll
+// shard so the hot path never shares cache lines across threads; STATS and
+// METRICS fold the shards through this struct, and the single-shard
+// renderings delegate here too, so aggregate output is byte-identical
+// whether one server or eight produced the numbers.
+struct NetStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t text_requests = 0;
+  std::uint64_t binary_requests = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t shed_backpressure = 0;
+  std::uint64_t frame_errors = 0;
+  std::uint64_t midstream_disconnects = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+
+  LatencyHistogram::Snapshot read_ns;
+  LatencyHistogram::Snapshot dispatch_ns;
+  LatencyHistogram::Snapshot write_ns;
+
+  // Folds one shard's counters in (relaxed loads, histogram snapshots).
+  void add(const NetCounters& shard);
+
+  [[nodiscard]] std::uint64_t requests() const {
+    return text_requests + binary_requests;
+  }
+  [[nodiscard]] std::uint64_t active() const {
+    return accepted >= closed ? accepted - closed : 0;
+  }
+
+  // Same keys/format as NetCounters::stats_line / render.
+  [[nodiscard]] std::string stats_line() const;
+  [[nodiscard]] std::string render() const;
+};
+
 }  // namespace lama::svc

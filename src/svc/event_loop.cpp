@@ -3,6 +3,8 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <pthread.h>
+#include <sched.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
@@ -187,8 +189,11 @@ EventLoopServer::EventLoopServer(MappingService& service,
 
 EventLoopServer::~EventLoopServer() {
   if (thread_.joinable()) stop();
-  if (service_.net() == &counters_) service_.attach_net(nullptr);
-  for (auto& [fd, conn] : impl_->conns) ::close(fd);
+  service_.detach_net(&counters_);
+  for (auto& [fd, conn] : impl_->conns) {
+    ::close(fd);
+    if (config_.limiter != nullptr) config_.limiter->release();
+  }
   impl_->conns.clear();
   if (impl_->listen_fd >= 0) ::close(impl_->listen_fd);
   if (!impl_->unix_path.empty()) ::unlink(impl_->unix_path.c_str());
@@ -228,6 +233,9 @@ void EventLoopServer::listen(const ListenAddress& address) {
     }
     const int one = 1;
     ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (config_.reuse_port) {
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+    }
     sockaddr_in sin{};
     sin.sin_family = AF_INET;
     sin.sin_port = htons(address.port);
@@ -261,6 +269,17 @@ void EventLoopServer::listen(const ListenAddress& address) {
 
 std::size_t EventLoopServer::run(const std::function<bool()>& stop) {
   LAMA_ASSERT(impl_->listen_fd >= 0);
+  if (!config_.affinity_cpus.empty()) {
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    for (const int cpu : config_.affinity_cpus) {
+      if (cpu >= 0 && cpu < CPU_SETSIZE) CPU_SET(cpu, &set);
+    }
+    // Best effort: an empty or foreign cpuset must not kill the server.
+    if (CPU_COUNT(&set) > 0) {
+      ::pthread_setaffinity_np(::pthread_self(), sizeof(set), &set);
+    }
+  }
   epoll_event events[64];
   while (!stop_requested_.load(std::memory_order_acquire) &&
          !(stop && stop())) {
@@ -319,7 +338,10 @@ void EventLoopServer::accept_ready() {
       if (errno == EINTR) continue;
       break;  // EAGAIN or a transient accept error; the loop re-polls
     }
-    if (impl_->conns.size() >= config_.max_connections) {
+    const bool admitted = config_.limiter != nullptr
+                              ? config_.limiter->try_acquire()
+                              : impl_->conns.size() < config_.max_connections;
+    if (!admitted) {
       inc(counters_.rejected);
       ::close(fd);
       continue;
@@ -695,6 +717,7 @@ void EventLoopServer::close_connection(Connection& conn, bool midstream) {
   if (midstream) inc(counters_.midstream_disconnects);
   inc(counters_.closed);
   impl_->conns.erase(conn.fd);  // invalidates `conn`
+  if (config_.limiter != nullptr) config_.limiter->release();
 }
 
 void EventLoopServer::drain_phase() {

@@ -33,6 +33,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "svc/counters.hpp"
 
@@ -41,10 +42,53 @@ namespace lama::svc {
 class MappingService;
 class ProtocolSession;
 
+// A connection cap shared by every shard of a sharded server (ROADMAP item
+// 3): with N SO_REUSEPORT listeners the kernel spreads connections by
+// 4-tuple hash, so a per-listener cap would multiply the configured limit
+// by the shard count. Each accept try_acquire()s, each close release()s —
+// lock-free, exact under concurrency (the CAS never admits past the cap).
+class ConnectionLimiter {
+ public:
+  // cap 0 = unlimited.
+  explicit ConnectionLimiter(std::size_t cap = 0) : cap_(cap) {}
+
+  bool try_acquire() {
+    std::size_t cur = active_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (cap_ != 0 && cur >= cap_) return false;
+      if (active_.compare_exchange_weak(cur, cur + 1,
+                                        std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+  void release() { active_.fetch_sub(1, std::memory_order_relaxed); }
+
+  [[nodiscard]] std::size_t active() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t cap() const { return cap_; }
+
+ private:
+  std::atomic<std::size_t> active_{0};
+  std::size_t cap_;
+};
+
 struct NetConfig {
   // Connections allowed at once; accepts past the cap are refused
-  // immediately (counted in NetCounters::rejected).
+  // immediately (counted in NetCounters::rejected). When `limiter` is set
+  // it takes over admission and this per-server cap is ignored.
   std::size_t max_connections = 256;
+  // Global admission shared across shards; owned by the sharded server and
+  // must outlive this one. Null = enforce max_connections locally.
+  ConnectionLimiter* limiter = nullptr;
+  // Set SO_REUSEPORT before binding (TCP only) so sibling shards can bind
+  // the same port and the kernel hash-partitions incoming connections.
+  bool reuse_port = false;
+  // OS CPUs to pin the loop thread to at the top of run(); empty = no
+  // affinity. Chosen by the sharded server from LAMA's own mapping of the
+  // discovered topology. Best effort: pinning failures are ignored.
+  std::vector<int> affinity_cpus;
   // Pending response bytes per connection above which new requests on that
   // connection are shed with ERR busy instead of executing.
   std::size_t write_buffer_limit = 4u << 20;

@@ -4,11 +4,16 @@
 
 namespace lama::svc {
 
-OptCache::OptCache(std::size_t num_shards, std::size_t capacity_per_shard) {
+OptCache::OptCache(std::size_t num_shards, std::size_t capacity_per_shard,
+                   support::NumaAllocator* arena,
+                   const support::NumaTopology* numa) {
   const std::size_t shards = std::max<std::size_t>(1, num_shards);
   shards_.reserve(shards);
+  support::NumaAllocator& a =
+      arena != nullptr ? *arena : support::plain_arena();
   for (std::size_t i = 0; i < shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(capacity_per_shard));
+    shards_.push_back(support::numa_new<Shard>(a, support::shard_node(numa, i),
+                                               capacity_per_shard));
   }
 }
 

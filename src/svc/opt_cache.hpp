@@ -20,6 +20,7 @@
 #include "opt/optimizer.hpp"
 #include "support/hash.hpp"
 #include "support/lru.hpp"
+#include "support/numa.hpp"
 
 namespace lama::svc {
 
@@ -48,7 +49,11 @@ class OptCache {
  public:
   // `capacity_per_shard` of 0 disables caching (every lookup misses, every
   // insert is dropped) — the same convention as the tree and plan caches.
-  OptCache(std::size_t num_shards, std::size_t capacity_per_shard);
+  // `arena`/`numa` (optional) NUMA-place the shard control blocks exactly
+  // like ShardedTreeCache; null degrades to plain operator new.
+  OptCache(std::size_t num_shards, std::size_t capacity_per_shard,
+           support::NumaAllocator* arena = nullptr,
+           const support::NumaTopology* numa = nullptr);
 
   // The cached result, or null on a miss. Hit/miss accounting is the
   // caller's (the service owns the opt_* counters).
@@ -78,7 +83,7 @@ class OptCache {
 
   Shard& shard_for(const OptKey& key);
 
-  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<support::NumaUniquePtr<Shard>> shards_;
 };
 
 }  // namespace lama::svc

@@ -28,14 +28,19 @@ CachedPlan::CachedPlan(std::shared_ptr<const CachedTree> tree,
       expected_seal_(CachedTree::seal_for(key)) {}
 
 PlanCache::PlanCache(std::size_t num_shards, std::size_t capacity_per_shard,
-                     std::uint64_t max_space, Counters& counters)
+                     std::uint64_t max_space, Counters& counters,
+                     support::NumaAllocator* arena,
+                     const support::NumaTopology* numa)
     : max_space_(max_space),
       capacity_per_shard_(capacity_per_shard),
       counters_(counters) {
   if (num_shards == 0) num_shards = 1;
   shards_.reserve(num_shards);
+  support::NumaAllocator& a =
+      arena != nullptr ? *arena : support::plain_arena();
   for (std::size_t i = 0; i < num_shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(capacity_per_shard));
+    shards_.push_back(support::numa_new<Shard>(a, support::shard_node(numa, i),
+                                               capacity_per_shard));
   }
 }
 

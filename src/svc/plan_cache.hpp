@@ -70,8 +70,12 @@ class PlanCache {
   // compiles nothing. `max_space` > 0 refuses to compile plans whose
   // iteration space exceeds it (the request falls back to the reference
   // walk); 0 means unbounded.
+  // `arena`/`numa` (optional) NUMA-place the shard control blocks exactly
+  // like ShardedTreeCache; null degrades to plain operator new.
   PlanCache(std::size_t num_shards, std::size_t capacity_per_shard,
-            std::uint64_t max_space, Counters& counters);
+            std::uint64_t max_space, Counters& counters,
+            support::NumaAllocator* arena = nullptr,
+            const support::NumaTopology* numa = nullptr);
 
   struct Lookup {
     // Null when the cache is disabled, the plan's iteration space exceeds
@@ -118,7 +122,7 @@ class PlanCache {
   PlanPtr compile(const TreeKey& key,
                   const std::shared_ptr<const CachedTree>& tree);
 
-  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<support::NumaUniquePtr<Shard>> shards_;
   std::uint64_t max_space_;
   std::size_t capacity_per_shard_;
   Counters& counters_;

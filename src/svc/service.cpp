@@ -1,5 +1,6 @@
 #include "svc/service.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <exception>
@@ -39,11 +40,14 @@ void throw_if_past(std::uint64_t deadline_ns, const char* stage) {
 
 MappingService::MappingService(ServiceConfig config)
     : config_(config),
-      cache_(config.cache_shards, config.shard_capacity, counters_),
+      cache_(config.cache_shards, config.shard_capacity, counters_,
+             config.shard_arena, config.numa_topology),
       plan_cache_(config.cache_shards,
                   config.compile_plans ? config.shard_capacity : 0,
-                  config.plan_space_limit, counters_),
-      opt_cache_(config.cache_shards, config.shard_capacity),
+                  config.plan_space_limit, counters_, config.shard_arena,
+                  config.numa_topology),
+      opt_cache_(config.cache_shards, config.shard_capacity,
+                 config.shard_arena, config.numa_topology),
       pool_(config.workers, config.max_queue),
       slo_(config.slo),
       start_ns_(obs::monotonic_ns()) {
@@ -526,10 +530,8 @@ double MappingService::uptime_s() const {
 namespace {
 
 void add_summary(obs::MetricsSnapshot& snap, const std::string& name,
-                 const std::string& help, const LatencyHistogram& hist) {
-  // One snapshot per family: quantiles, sum, and count are mutually
-  // consistent even while writers keep recording.
-  const LatencyHistogram::Snapshot s = hist.snapshot();
+                 const std::string& help,
+                 const LatencyHistogram::Snapshot& s) {
   obs::MetricFamily& family = snap.add(name, help, "summary");
   for (const double q : {0.5, 0.9, 0.99}) {
     char quantile[16];
@@ -540,6 +542,13 @@ void add_summary(obs::MetricsSnapshot& snap, const std::string& name,
   }
   family.samples.push_back({"_sum", {}, static_cast<double>(s.sum_ns)});
   family.samples.push_back({"_count", {}, static_cast<double>(s.count)});
+}
+
+void add_summary(obs::MetricsSnapshot& snap, const std::string& name,
+                 const std::string& help, const LatencyHistogram& hist) {
+  // One snapshot per family: quantiles, sum, and count are mutually
+  // consistent even while writers keep recording.
+  add_summary(snap, name, help, hist.snapshot());
 }
 
 // Renders the per-stage histograms as one real Prometheus histogram family
@@ -746,47 +755,81 @@ obs::MetricsSnapshot MappingService::metrics_snapshot() const {
                     static_cast<double>(durability_->snapshot_seq()));
   }
 
-  // Transport (absent when no event-loop server is attached).
-  if (net_ != nullptr) {
-    const NetCounters& n = *net_;
+  // Transport (absent when no event-loop server is attached). The
+  // aggregate series sum every attached shard; with more than one shard a
+  // shard-labeled split follows so imbalance in the kernel's SO_REUSEPORT
+  // hashing is visible without changing the aggregate names.
+  const std::vector<const NetCounters*> shards = [this] {
+    const std::lock_guard<std::mutex> lock(net_mu_);
+    return net_;
+  }();
+  if (!shards.empty()) {
+    NetStats n;
+    for (const NetCounters* shard : shards) n.add(*shard);
     snap.add_scalar("lama_net_accepted_total", "Connections accepted",
-                    "counter", load(n.accepted));
+                    "counter", static_cast<double>(n.accepted));
     snap.add_scalar("lama_net_closed_total", "Connections closed", "counter",
-                    load(n.closed));
+                    static_cast<double>(n.closed));
     snap.add_scalar("lama_net_rejected_total",
                     "Accepts refused at the connection cap", "counter",
-                    load(n.rejected));
+                    static_cast<double>(n.rejected));
     snap.add_scalar("lama_net_text_requests_total",
                     "Text-framed requests dispatched", "counter",
-                    load(n.text_requests));
+                    static_cast<double>(n.text_requests));
     snap.add_scalar("lama_net_binary_requests_total",
                     "Binary-framed requests dispatched", "counter",
-                    load(n.binary_requests));
+                    static_cast<double>(n.binary_requests));
     snap.add_scalar("lama_net_responses_total",
                     "Responses enqueued for write", "counter",
-                    load(n.responses));
+                    static_cast<double>(n.responses));
     snap.add_scalar("lama_net_shed_total",
                     "Requests shed by write-buffer backpressure", "counter",
-                    load(n.shed_backpressure));
+                    static_cast<double>(n.shed_backpressure));
     snap.add_scalar("lama_net_frame_errors_total",
                     "Malformed frames and overlong lines", "counter",
-                    load(n.frame_errors));
+                    static_cast<double>(n.frame_errors));
     snap.add_scalar("lama_net_disconnects_total",
                     "Connections lost with a partial request buffered",
-                    "counter", load(n.midstream_disconnects));
+                    "counter", static_cast<double>(n.midstream_disconnects));
     snap.add_scalar("lama_net_bytes_in_total", "Bytes read from peers",
-                    "counter", load(n.bytes_in));
+                    "counter", static_cast<double>(n.bytes_in));
     snap.add_scalar("lama_net_bytes_out_total", "Bytes written to peers",
-                    "counter", load(n.bytes_out));
+                    "counter", static_cast<double>(n.bytes_out));
     snap.add_scalar("lama_net_active_connections",
                     "Connections currently open", "gauge",
                     static_cast<double>(n.active()));
+    snap.add_scalar("lama_net_shards", "Attached event-loop shards", "gauge",
+                    static_cast<double>(shards.size()));
     add_summary(snap, "lama_net_read_ns", "Socket drain latency (ns)",
                 n.read_ns);
     add_summary(snap, "lama_net_dispatch_ns",
                 "Per-request dispatch latency (ns)", n.dispatch_ns);
     add_summary(snap, "lama_net_write_ns", "Write-buffer flush latency (ns)",
                 n.write_ns);
+    if (shards.size() > 1) {
+      obs::MetricFamily& reqs =
+          snap.add("lama_net_shard_requests_total",
+                   "Requests dispatched per event-loop shard", "counter");
+      obs::MetricFamily& resp =
+          snap.add("lama_net_shard_responses_total",
+                   "Responses enqueued per event-loop shard", "counter");
+      obs::MetricFamily& conns =
+          snap.add("lama_net_shard_active_connections",
+                   "Connections currently open per event-loop shard",
+                   "gauge");
+      for (std::size_t i = 0; i < shards.size(); ++i) {
+        const std::string label = std::to_string(i);
+        const NetCounters& s = *shards[i];
+        reqs.samples.push_back(
+            {"", {{"shard", label}},
+             static_cast<double>(load(s.text_requests) +
+                                 load(s.binary_requests))});
+        resp.samples.push_back(
+            {"", {{"shard", label}}, static_cast<double>(load(s.responses))});
+        conns.samples.push_back(
+            {"", {{"shard", label}}, static_cast<double>(s.active())});
+      }
+    }
   }
 
   // Tracer activity (all zero when tracing is disabled).
@@ -893,7 +936,37 @@ std::string MappingService::stats_line() const {
     line += dur_buf;
   }
   // The net keys append last, and only when the event-loop server is on.
-  if (net_ != nullptr) line += " " + net_->stats_line();
+  // With several shards attached the aggregate keys keep their single-shard
+  // format and two csv keys expose the per-shard split.
+  {
+    const std::vector<const NetCounters*> shards = [this] {
+      const std::lock_guard<std::mutex> lock(net_mu_);
+      return net_;
+    }();
+    if (!shards.empty()) {
+      NetStats agg;
+      for (const NetCounters* shard : shards) agg.add(*shard);
+      line += " " + agg.stats_line();
+      if (shards.size() > 1) {
+        line += " net_shards=" + std::to_string(shards.size());
+        std::string reqs;
+        std::string conns;
+        for (const NetCounters* shard : shards) {
+          if (!reqs.empty()) {
+            reqs += ',';
+            conns += ',';
+          }
+          const std::uint64_t r =
+              shard->text_requests.load(std::memory_order_relaxed) +
+              shard->binary_requests.load(std::memory_order_relaxed);
+          reqs += std::to_string(r);
+          conns += std::to_string(shard->active());
+        }
+        line += " net_shard_requests=" + reqs;
+        line += " net_shard_conns=" + conns;
+      }
+    }
+  }
   // SLO keys (per configured verb) append after everything else.
   if (slo_.enabled()) {
     for (const SloTracker::VerbSnapshot& v : slo_.snapshot()) {
@@ -967,8 +1040,61 @@ std::string MappingService::render_stats() const {
         static_cast<unsigned long long>(d.torn_tails));
     out += buf;
   }
-  if (net_ != nullptr) out += net_->render();
+  {
+    const std::vector<const NetCounters*> shards = [this] {
+      const std::lock_guard<std::mutex> lock(net_mu_);
+      return net_;
+    }();
+    if (!shards.empty()) {
+      NetStats agg;
+      for (const NetCounters* shard : shards) agg.add(*shard);
+      out += agg.render();
+      if (shards.size() > 1) {
+        for (std::size_t i = 0; i < shards.size(); ++i) {
+          const NetCounters& s = *shards[i];
+          std::snprintf(
+              buf, sizeof(buf),
+              "shard %-2zu requests %llu, conns %llu, bytes %llu in / %llu "
+              "out\n",
+              i,
+              static_cast<unsigned long long>(
+                  s.text_requests.load(std::memory_order_relaxed) +
+                  s.binary_requests.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(s.active()),
+              static_cast<unsigned long long>(
+                  s.bytes_in.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(
+                  s.bytes_out.load(std::memory_order_relaxed)));
+          out += buf;
+        }
+      }
+    }
+  }
   return out;
+}
+
+void MappingService::attach_net(const NetCounters* net) {
+  const std::lock_guard<std::mutex> lock(net_mu_);
+  if (net == nullptr) {
+    net_.clear();
+    return;
+  }
+  net_.push_back(net);
+}
+
+void MappingService::detach_net(const NetCounters* net) {
+  const std::lock_guard<std::mutex> lock(net_mu_);
+  net_.erase(std::remove(net_.begin(), net_.end(), net), net_.end());
+}
+
+const NetCounters* MappingService::net() const {
+  const std::lock_guard<std::mutex> lock(net_mu_);
+  return net_.empty() ? nullptr : net_.front();
+}
+
+std::size_t MappingService::net_shards() const {
+  const std::lock_guard<std::mutex> lock(net_mu_);
+  return net_.size();
 }
 
 }  // namespace lama::svc

@@ -35,6 +35,7 @@
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "opt/optimizer.hpp"
+#include "support/numa.hpp"
 #include "svc/counters.hpp"
 #include "svc/opt_cache.hpp"
 #include "svc/plan_cache.hpp"
@@ -80,6 +81,14 @@ struct ServiceConfig {
   // over the limit fall back to the reference walk instead of materializing
   // a plan. 0 = unbounded.
   std::uint64_t plan_space_limit = 1u << 20;
+
+  // NUMA placement of the cache shards (support/numa.hpp). When both are
+  // set (and must then outlive the service), the tree/plan/opt caches place
+  // their shard control blocks round-robin across the machine's NUMA nodes
+  // so each event-loop shard's hot mutex + LRU live on local memory. Null =
+  // plain operator new, identical behaviour on single-node hosts.
+  support::NumaAllocator* shard_arena = nullptr;
+  const support::NumaTopology* numa_topology = nullptr;
 
   // Observability (docs/observability.md). flight_recorder > 0 enables
   // request tracing and retains that many complete traces; 0 disables the
@@ -281,11 +290,19 @@ class MappingService {
   void attach_durability(dur::StateStore* store) { durability_ = store; }
   [[nodiscard]] dur::StateStore* durability() const { return durability_; }
 
-  // Transport metrics (svc/event_loop.hpp): attaching the server's counters
-  // exposes the lama_net_* series and the net_* STATS keys. Same contract
-  // as attach_durability — attach before serving traffic.
-  void attach_net(const NetCounters* net) { net_ = net; }
-  [[nodiscard]] const NetCounters* net() const { return net_; }
+  // Transport metrics (svc/event_loop.hpp): attaching a server's counters
+  // exposes the lama_net_* series and the net_* STATS keys. A sharded
+  // server attaches one NetCounters per shard; STATS/METRICS aggregate
+  // across them and (with more than one shard) additionally export the
+  // per-shard split. attach_net(nullptr) detaches everything. Attachment is
+  // mutex-guarded so servers may come and go while STATS readers run, but
+  // the usual lifecycle is still attach-before-traffic.
+  void attach_net(const NetCounters* net);
+  void detach_net(const NetCounters* net);
+  // The first attached shard's counters, or nullptr (single-shard callers
+  // and tests).
+  [[nodiscard]] const NetCounters* net() const;
+  [[nodiscard]] std::size_t net_shards() const;
 
   // Graceful drain: once begun, map/remap/optimize admission sheds every
   // new arrival with the busy retry-after reply while in-flight requests
@@ -340,7 +357,8 @@ class MappingService {
   std::uint64_t start_ns_ = 0;           // monotonic, for uptime_s()
 
   dur::StateStore* durability_ = nullptr;
-  const NetCounters* net_ = nullptr;
+  mutable std::mutex net_mu_;
+  std::vector<const NetCounters*> net_;  // one per attached server shard
   std::atomic<bool> draining_{false};
   std::atomic<std::size_t> inflight_{0};
   std::atomic<bool> has_fault_hook_{false};

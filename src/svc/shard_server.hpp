@@ -1,0 +1,115 @@
+// The sharded epoll server core (ROADMAP item 3): N independent event
+// loops, each with its own epoll instance, listener, NetCounters, and
+// ProtocolSession, all bound to the same TCP port via SO_REUSEPORT so the
+// kernel hash-partitions incoming connections. A connection lands on one
+// shard at accept time and stays there for life — its session state, its
+// write buffer, and its counters never cross a thread boundary, so the per
+// shard hot path keeps the single-threaded server's lock-free discipline.
+// Cross-shard coordination is exactly two objects: the shared
+// ConnectionLimiter (global --max-connections), and the MappingService
+// underneath, whose tree/plan/opt caches were already sharded and
+// thread-safe.
+//
+// Self-mapping: the server is itself a parallel process, so it places its
+// own shard threads with LAMA. compute_shard_affinity() wraps the
+// discovered machine in a one-node Cluster, runs lama_map over it with a
+// locality-preserving layout, and hands each shard the OS cpus of its
+// rank's target PUs — discovery keeps platform os indices exactly so this
+// works (topo/sysfs_topology.hpp).
+//
+// What does NOT shard: durability. ProtocolSession and dur::StateStore are
+// single-writer by design, and N sessions journaling into one store would
+// interleave un-serializably — the CLI refuses --state-dir with --shards
+// greater than one rather than corrupt a journal.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/event_loop.hpp"
+#include "topo/node_topology.hpp"
+
+namespace lama::svc {
+
+class MappingService;
+class ProtocolSession;
+
+struct ShardServerConfig {
+  // Event-loop shards (>= 1). One shard degenerates to the plain
+  // EventLoopServer behaviour — same wire output, same counters.
+  std::size_t shards = 1;
+  // Per-shard loop configuration. `max_connections` is the GLOBAL cap
+  // across every shard (enforced through one shared ConnectionLimiter, 0 =
+  // unlimited); `limiter`, `reuse_port` and `affinity_cpus` are owned by
+  // the sharded server and overwritten per shard.
+  NetConfig net;
+  // OS cpus to pin each shard's loop thread to; entry i applies to shard i,
+  // missing/empty entries leave that shard unpinned. Produced by
+  // compute_shard_affinity() — or left empty (--no-affinity).
+  std::vector<std::vector<int>> affinity;
+};
+
+// LAMA maps its own server: places `shards` ranks onto `machine` (a
+// one-node cluster of it) with the given rmaps layout and returns, per
+// shard, the OS indices of its target PUs — ready for
+// pthread_setaffinity_np via NetConfig::affinity_cpus. Returns an empty
+// vector when the machine cannot host the mapping (no online PU).
+std::vector<std::vector<int>> compute_shard_affinity(
+    const NodeTopology& machine, std::size_t shards,
+    const std::string& layout = "scbnh");
+
+class ShardedServer {
+ public:
+  // `service` is caller-owned and must outlive the server. Each shard gets
+  // its own ProtocolSession over it (constructed here), so control-plane
+  // mutations (INTERN, EPOCH, ...) are per-shard state exactly like they
+  // are per-process state across lamactl instances today.
+  ShardedServer(MappingService& service, ShardServerConfig config);
+  ~ShardedServer();
+
+  ShardedServer(const ShardedServer&) = delete;
+  ShardedServer& operator=(const ShardedServer&) = delete;
+
+  // Binds every shard. TCP only for shards > 1 (SO_REUSEPORT has no unix
+  // equivalent worth the pretence) — throws MappingError otherwise. Pass
+  // port 0 and shard 0 resolves it; siblings bind the resolved port.
+  void listen(const std::string& address);
+  void listen(const ListenAddress& address);
+
+  [[nodiscard]] const ListenAddress& bound_address() const;
+
+  // Serves until `stop` returns true or stop() is called. Shard 0 runs on
+  // the calling thread (it evaluates `stop`, preserving the single-shard
+  // contract that the predicate is polled from the serving thread); shards
+  // 1..N-1 run on internal threads and stop when shard 0 does. Returns the
+  // total number of requests dispatched across every shard.
+  std::size_t run(const std::function<bool()>& stop = nullptr);
+
+  // Background-thread convenience: start() runs run() on an internal
+  // thread, stop() signals every shard and joins.
+  void start();
+  void stop();
+
+  [[nodiscard]] std::size_t shards() const { return servers_.size(); }
+  [[nodiscard]] const NetCounters& shard_counters(std::size_t i) const {
+    return servers_[i]->net_counters();
+  }
+  [[nodiscard]] std::size_t dispatched() const;
+  [[nodiscard]] const ConnectionLimiter& limiter() const { return limiter_; }
+
+ private:
+  MappingService& service_;
+  ShardServerConfig config_;
+  ConnectionLimiter limiter_;
+  std::vector<std::unique_ptr<ProtocolSession>> sessions_;
+  std::vector<std::unique_ptr<EventLoopServer>> servers_;
+  std::vector<std::thread> threads_;  // shards 1..N-1 during run()
+  std::atomic<bool> stop_all_{false};
+  std::thread controller_;  // start()/stop() wrapper around run()
+};
+
+}  // namespace lama::svc

@@ -46,12 +46,17 @@ void CachedTree::corrupt_for_testing() const {
 
 ShardedTreeCache::ShardedTreeCache(std::size_t num_shards,
                                    std::size_t capacity_per_shard,
-                                   Counters& counters)
+                                   Counters& counters,
+                                   support::NumaAllocator* arena,
+                                   const support::NumaTopology* numa)
     : counters_(counters) {
   if (num_shards == 0) num_shards = 1;
   shards_.reserve(num_shards);
+  support::NumaAllocator& a =
+      arena != nullptr ? *arena : support::plain_arena();
   for (std::size_t i = 0; i < num_shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(capacity_per_shard));
+    shards_.push_back(support::numa_new<Shard>(a, support::shard_node(numa, i),
+                                               capacity_per_shard));
   }
 }
 

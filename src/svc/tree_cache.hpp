@@ -29,6 +29,7 @@
 #include "lama/layout.hpp"
 #include "lama/maximal_tree.hpp"
 #include "support/lru.hpp"
+#include "support/numa.hpp"
 #include "svc/counters.hpp"
 
 namespace lama::svc {
@@ -93,8 +94,14 @@ class CachedTree {
 class ShardedTreeCache {
  public:
   // `capacity_per_shard` of 0 disables caching: every lookup builds.
+  // `arena`/`numa` (both optional, must outlive the cache when set) place
+  // each shard's control block on a NUMA node round-robin, so on a
+  // multi-socket host the mutex + LRU a shard thread hammers live on its
+  // own memory; null degrades to plain operator new.
   ShardedTreeCache(std::size_t num_shards, std::size_t capacity_per_shard,
-                   Counters& counters);
+                   Counters& counters,
+                   support::NumaAllocator* arena = nullptr,
+                   const support::NumaTopology* numa = nullptr);
 
   struct Lookup {
     std::shared_ptr<const CachedTree> tree;
@@ -141,7 +148,7 @@ class ShardedTreeCache {
 
   Shard& shard_for(const TreeKey& key);
 
-  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<support::NumaUniquePtr<Shard>> shards_;
   Counters& counters_;
 };
 

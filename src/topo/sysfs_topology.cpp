@@ -1,0 +1,308 @@
+#include "topo/sysfs_topology.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <functional>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "support/error.hpp"
+#include "support/numa.hpp"
+#include "support/strings.hpp"
+#include "topo/fingerprint.hpp"
+
+namespace lama {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::optional<std::string> read_first_line(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string line;
+  std::getline(in, line);
+  return line;
+}
+
+std::optional<int> read_int(const fs::path& path) {
+  const auto line = read_first_line(path);
+  if (!line) return std::nullopt;
+  try {
+    return static_cast<int>(
+        parse_size_bounded(trim(*line), "sysfs id", 1 << 20));
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::vector<int>> read_cpu_list(const fs::path& path) {
+  const auto line = read_first_line(path);
+  if (!line) return std::nullopt;
+  try {
+    return support::parse_cpu_list(*line);
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+}
+
+// Scans cpu_root for cpu<N> directories — the fallback when neither the
+// `online` nor the `present` mask file exists.
+std::vector<int> scan_cpu_dirs(const fs::path& cpu_root) {
+  std::vector<int> cpus;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(cpu_root, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (!starts_with(name, "cpu") || name.size() <= 3) continue;
+    try {
+      cpus.push_back(static_cast<int>(
+          parse_size_bounded(name.substr(3), "cpu id", 1 << 20)));
+    } catch (const ParseError&) {
+      continue;  // cpufreq, cpuidle, ...
+    }
+  }
+  std::sort(cpus.begin(), cpus.end());
+  return cpus;
+}
+
+struct CpuInfo {
+  int cpu = 0;
+  int package = 0;
+  int numa = 0;
+  int core = 0;
+  bool online = true;
+};
+
+}  // namespace
+
+TopologyDiscovery discover_topology(const SysfsPaths& paths) {
+  const fs::path cpu_root(paths.cpu_root);
+  std::vector<std::string> warnings;
+
+  // 1. Which CPUs exist, and which of them run. `online` is authoritative;
+  //    `present` adds the off-lined holes; a tree with neither degrades to
+  //    the cpu<N> directory scan.
+  std::vector<int> online;
+  if (const auto list = read_cpu_list(cpu_root / "online")) {
+    online = *list;
+  } else {
+    warnings.push_back("no readable " + (cpu_root / "online").string() +
+                       "; treating every present cpu as online");
+  }
+  std::vector<int> present;
+  if (const auto list = read_cpu_list(cpu_root / "present")) {
+    present = *list;
+  }
+  if (present.empty()) present = scan_cpu_dirs(cpu_root);
+  if (present.empty()) present = online;
+  if (online.empty()) online = present;
+  if (present.empty()) {
+    throw MappingError("sysfs discovery found no CPUs under " +
+                       cpu_root.string());
+  }
+  const std::set<int> online_set(online.begin(), online.end());
+  std::set<int> present_set(present.begin(), present.end());
+  for (const int cpu : online) present_set.insert(cpu);
+
+  // 2. NUMA node of each CPU, when the node directory exists.
+  bool numa_level = false;
+  std::map<int, int> cpu_numa;
+  {
+    std::error_code ec;
+    std::vector<std::pair<int, std::vector<int>>> nodes;
+    for (const auto& entry : fs::directory_iterator(paths.node_root, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (!starts_with(name, "node") || name.size() <= 4) continue;
+      int id = 0;
+      try {
+        id = static_cast<int>(
+            parse_size_bounded(name.substr(4), "node id", 1 << 16));
+      } catch (const ParseError&) {
+        continue;
+      }
+      if (const auto list = read_cpu_list(entry.path() / "cpulist")) {
+        nodes.emplace_back(id, *list);
+      }
+    }
+    if (!nodes.empty()) {
+      numa_level = true;
+      for (const auto& [id, cpus] : nodes) {
+        for (const int cpu : cpus) cpu_numa[cpu] = id;
+      }
+    } else {
+      warnings.push_back("no NUMA nodes under " + paths.node_root +
+                         "; omitting the numa level");
+    }
+  }
+
+  // 3. Per-CPU placement ids. An offline CPU whose topology directory is
+  //    gone (the kernel removes it) cannot be placed — it is omitted with a
+  //    warning; an online CPU missing ids is placed on package 0 with its
+  //    own id as core id, which keeps the machine usable and the oddity
+  //    visible.
+  std::vector<CpuInfo> cpus;
+  std::size_t offline_pus = 0;
+  for (const int cpu : present_set) {
+    const fs::path topo_dir =
+        cpu_root / ("cpu" + std::to_string(cpu)) / "topology";
+    const auto package = read_int(topo_dir / "physical_package_id");
+    const auto core = read_int(topo_dir / "core_id");
+    CpuInfo info;
+    info.cpu = cpu;
+    info.online = online_set.count(cpu) > 0;
+    if (package && core) {
+      info.package = *package;
+      info.core = *core;
+    } else if (info.online) {
+      warnings.push_back("cpu" + std::to_string(cpu) +
+                         " has no topology ids; placing it on package 0");
+      info.package = 0;
+      info.core = cpu;
+    } else {
+      warnings.push_back("offline cpu" + std::to_string(cpu) +
+                         " has no topology directory; omitted");
+      continue;
+    }
+    if (numa_level) {
+      const auto it = cpu_numa.find(cpu);
+      if (it != cpu_numa.end()) {
+        info.numa = it->second;
+      } else {
+        warnings.push_back("cpu" + std::to_string(cpu) +
+                           " appears in no node cpulist; assuming node 0");
+      }
+    }
+    if (!info.online) ++offline_pus;
+    cpus.push_back(info);
+  }
+  if (cpus.empty()) {
+    throw MappingError("sysfs discovery could not place any CPU under " +
+                       cpu_root.string());
+  }
+
+  // 4. Group into socket -> [numa ->] core -> threads, ordered by platform
+  //    id at every level so the tree is deterministic.
+  using CoreMap = std::map<int, std::vector<CpuInfo>>;
+  using NumaMap = std::map<int, CoreMap>;
+  std::map<int, NumaMap> sockets;
+  bool smt = false;
+  for (const CpuInfo& info : cpus) {
+    std::vector<CpuInfo>& core =
+        sockets[info.package][numa_level ? info.numa : 0][info.core];
+    core.push_back(info);
+    if (core.size() > 1) smt = true;
+  }
+
+  // 5. Build the tree. Leaves are hardware threads when any core carries
+  //    more than one (so the pu level exists machine-wide or not at all);
+  //    otherwise cores are the leaves, as in the paper's non-SMT machines.
+  NodeTopology::Builder builder("host");
+  std::size_t total_cores = 0;
+  std::size_t total_pus = 0;
+  std::set<int> numa_ids;
+  for (const auto& [package, numas] : sockets) {
+    builder.begin(ResourceType::kSocket, package);
+    for (const auto& [numa, cores] : numas) {
+      if (numa_level) {
+        builder.begin(ResourceType::kNuma, numa);
+        numa_ids.insert(numa);
+      }
+      for (const auto& [core_id, threads] : cores) {
+        ++total_cores;
+        const bool core_offline = std::none_of(
+            threads.begin(), threads.end(),
+            [](const CpuInfo& t) { return t.online; });
+        if (smt) {
+          builder.begin(ResourceType::kCore, core_id);
+          if (core_offline) builder.disable();
+          for (const CpuInfo& t : threads) {
+            ++total_pus;
+            builder.begin(ResourceType::kHwThread, t.cpu);
+            if (!t.online && !core_offline) builder.disable();
+            builder.end();
+          }
+          builder.end();
+        } else {
+          ++total_pus;
+          builder.begin(ResourceType::kCore, threads.front().cpu);
+          if (core_offline) builder.disable();
+          builder.end();
+        }
+      }
+      if (numa_level) builder.end();
+    }
+    builder.end();
+  }
+
+  TopologyDiscovery result(builder.build());
+  result.sockets = sockets.size();
+  result.numa_nodes = numa_ids.size();
+  result.cores = total_cores;
+  result.pus = total_pus;
+  result.offline_pus = offline_pus;
+  result.smt = smt;
+  result.numa_level = numa_level;
+  result.warnings = std::move(warnings);
+
+  // 6. The synthetic equivalent, when one exists: every socket must carry
+  //    the same number of numas, every numa the same number of cores, every
+  //    core the same number of threads, and nothing may be off-line (the
+  //    synthetic grammar cannot express disabled objects).
+  if (offline_pus == 0) {
+    bool uniform = true;
+    std::size_t numas_per_socket = 0;
+    std::size_t cores_per_numa = 0;
+    std::size_t threads_per_core = 0;
+    bool first = true;
+    for (const auto& [package, numas] : sockets) {
+      if (numas_per_socket == 0) numas_per_socket = numas.size();
+      uniform = uniform && numas.size() == numas_per_socket;
+      for (const auto& [numa, cores] : numas) {
+        if (cores_per_numa == 0) cores_per_numa = cores.size();
+        uniform = uniform && cores.size() == cores_per_numa;
+        for (const auto& [core_id, threads] : cores) {
+          if (first) {
+            threads_per_core = threads.size();
+            first = false;
+          }
+          uniform = uniform && threads.size() == threads_per_core;
+        }
+      }
+    }
+    if (uniform) {
+      std::string desc = "socket:" + std::to_string(sockets.size());
+      if (numa_level) desc += " numa:" + std::to_string(numas_per_socket);
+      desc += " core:" + std::to_string(cores_per_numa);
+      if (smt) desc += " pu:" + std::to_string(threads_per_core);
+      result.synthetic_equivalent = desc;
+    }
+  }
+  return result;
+}
+
+NodeTopology canonical_relabel(const NodeTopology& topo) {
+  NodeTopology::Builder builder(topo.name());
+  int next[kNumResourceTypes] = {};
+  // The builder's implicit root consumes node index 0, like synthetic().
+  next[canonical_depth(ResourceType::kNode)] = 1;
+  const std::function<void(const TopoObject&)> copy =
+      [&](const TopoObject& obj) {
+        for (std::size_t i = 0; i < obj.num_children(); ++i) {
+          const TopoObject& child = obj.child(i);
+          builder.begin(child.type(), next[canonical_depth(child.type())]++);
+          if (child.disabled()) builder.disable();
+          copy(child);
+          builder.end();
+        }
+      };
+  copy(topo.root());
+  return builder.build();
+}
+
+std::uint64_t canonical_fingerprint(const NodeTopology& topo) {
+  return topology_fingerprint(canonical_relabel(topo));
+}
+
+}  // namespace lama

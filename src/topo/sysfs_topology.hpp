@@ -1,0 +1,75 @@
+// Real-hardware topology discovery (ROADMAP item 3). The paper's runtime
+// asks hwloc for the machine; this backend asks Linux directly, parsing
+// /sys/devices/system/cpu (per-CPU package/core ids, online/present masks)
+// and /sys/devices/system/node (NUMA cpulists) into the same NodeTopology
+// the synthetic presets build — so everything downstream (maximal trees,
+// the compiled kernel, the service caches, the sharded server's
+// self-mapping) runs unchanged on discovered hardware.
+//
+// The roots are parameters so the committed fixture snapshots under
+// tests/golden/sysfs/ exercise every discovery path without real hardware:
+// single socket, dual-socket NUMA, SMT, offline-CPU holes, and the missing
+// node-directory fallback.
+//
+// Parity contract: a uniform discovered machine reports its
+// `synthetic_equivalent` description, and canonical_fingerprint() of the
+// discovered tree equals canonical_fingerprint() of
+// NodeTopology::synthetic(equivalent). Canonicalization renumbers each
+// level's OS indices in depth-first order — discovery keeps the *platform*
+// ids (PU os_index is the OS cpu number, which affinity pinning needs),
+// while synthetic trees count per level, so raw fingerprints would differ
+// on any machine whose core ids restart per socket.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/node_topology.hpp"
+
+namespace lama {
+
+struct SysfsPaths {
+  std::string cpu_root = "/sys/devices/system/cpu";
+  std::string node_root = "/sys/devices/system/node";
+};
+
+struct TopologyDiscovery {
+  explicit TopologyDiscovery(NodeTopology topo) : topology(std::move(topo)) {}
+
+  NodeTopology topology;
+
+  std::size_t sockets = 0;
+  std::size_t numa_nodes = 0;  // 0 when the numa level is absent
+  std::size_t cores = 0;
+  std::size_t pus = 0;          // leaves, offline included
+  std::size_t offline_pus = 0;  // present but not online (marked disabled)
+  bool smt = false;             // some core carries more than one thread
+  bool numa_level = false;      // /sys/devices/system/node was usable
+
+  // Non-fatal oddities: fallbacks taken, offline CPUs without topology
+  // directories (omitted from the tree), CPUs missing from every node's
+  // cpulist, ...
+  std::vector<std::string> warnings;
+
+  // The `level:count` description of an equivalent synthetic tree, empty
+  // when the machine is irregular (uneven counts or offline holes).
+  std::string synthetic_equivalent;
+};
+
+// Discovers the machine under `paths`. Throws MappingError when no CPU at
+// all can be found (an unusable cpu_root); every lesser problem degrades
+// with a warning.
+TopologyDiscovery discover_topology(const SysfsPaths& paths = {});
+
+// The tree with every level's OS indices renumbered 0..n-1 in depth-first
+// order — the numbering NodeTopology::synthetic uses. Shape, levels, and
+// disabled flags are preserved.
+NodeTopology canonical_relabel(const NodeTopology& topo);
+
+// topology_fingerprint() of the canonically relabeled tree: equal for any
+// two trees of identical shape/levels/disabled state regardless of how the
+// platform numbered the objects.
+std::uint64_t canonical_fingerprint(const NodeTopology& topo);
+
+}  // namespace lama

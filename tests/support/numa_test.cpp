@@ -1,0 +1,134 @@
+#include "support/numa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace lama::support {
+namespace {
+
+TEST(ParseCpuList, RangesSinglesAndMixtures) {
+  EXPECT_EQ(parse_cpu_list("0-3"), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(parse_cpu_list("5"), (std::vector<int>{5}));
+  EXPECT_EQ(parse_cpu_list("0-1,4,6-7"), (std::vector<int>{0, 1, 4, 6, 7}));
+  // Sysfs lines arrive with trailing newlines and stray spaces.
+  EXPECT_EQ(parse_cpu_list(" 2-3 \n"), (std::vector<int>{2, 3}));
+}
+
+TEST(ParseCpuList, DeduplicatesAndSorts) {
+  EXPECT_EQ(parse_cpu_list("3,1,2,1-3"), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ParseCpuList, EmptyYieldsEmpty) {
+  EXPECT_TRUE(parse_cpu_list("").empty());
+  EXPECT_TRUE(parse_cpu_list("  \n").empty());
+}
+
+TEST(ParseCpuList, MalformedThrows) {
+  EXPECT_THROW(parse_cpu_list("abc"), ParseError);
+  EXPECT_THROW(parse_cpu_list("1-"), ParseError);
+  EXPECT_THROW(parse_cpu_list("3-1"), ParseError);
+  EXPECT_THROW(parse_cpu_list("1,,2"), ParseError);
+}
+
+TEST(NumaTopology, ExplicitTable) {
+  const auto topo =
+      make_numa_topology_from({{0, 1, 2, 3}, {4, 5, 6, 7}});
+  EXPECT_EQ(topo->node_count(), 2);
+  EXPECT_EQ(topo->node_of_cpu(0), 0);
+  EXPECT_EQ(topo->node_of_cpu(7), 1);
+  // CPUs the topology never saw report node 0.
+  EXPECT_EQ(topo->node_of_cpu(99), 0);
+  EXPECT_EQ(topo->cpus_of_node(1), (std::vector<int>{4, 5, 6, 7}));
+  const int current = topo->current_node();
+  EXPECT_GE(current, 0);
+  EXPECT_LT(current, topo->node_count());
+}
+
+TEST(NumaTopology, EmptyTableFallsBackToSingleNode) {
+  const auto topo = make_numa_topology_from({});
+  EXPECT_EQ(topo->node_count(), 1);
+  EXPECT_EQ(topo->node_of_cpu(3), 0);
+  EXPECT_EQ(topo->current_node(), 0);
+}
+
+TEST(NumaTopology, MissingSysfsRootFallsBackToSingleNode) {
+  const auto topo = make_numa_topology("/no/such/node/root");
+  EXPECT_EQ(topo->node_count(), 1);
+}
+
+TEST(NumaTopology, HostDiscoveryNeverFails) {
+  const auto topo = make_numa_topology();
+  EXPECT_GE(topo->node_count(), 1);
+}
+
+TEST(ShardNode, RoundRobinAcrossNodes) {
+  const auto topo = make_numa_topology_from({{0, 1}, {2, 3}, {4, 5}});
+  EXPECT_EQ(shard_node(topo.get(), 0), 0);
+  EXPECT_EQ(shard_node(topo.get(), 1), 1);
+  EXPECT_EQ(shard_node(topo.get(), 2), 2);
+  EXPECT_EQ(shard_node(topo.get(), 3), 0);
+}
+
+TEST(ShardNode, NullOrSingleNodeAlwaysZero) {
+  EXPECT_EQ(shard_node(nullptr, 7), 0);
+  const auto single = make_numa_topology_from({});
+  EXPECT_EQ(shard_node(single.get(), 7), 0);
+}
+
+TEST(NumaAllocator, FactoryDegradesCleanlyOnThisHost) {
+  // Whatever the host is, the factory must hand back a working allocator:
+  // memory is writable and round-trips through deallocate. On a one-node
+  // machine (or without mbind) binds() is false — the degradation contract.
+  const auto topo = make_numa_topology();
+  const auto arena = make_numa_allocator(*topo);
+  ASSERT_NE(arena, nullptr);
+  if (topo->node_count() <= 1) {
+    EXPECT_FALSE(arena->binds());
+  }
+  void* p = arena->allocate(4096, 0);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xAB, 4096);
+  arena->deallocate(p, 4096);
+}
+
+TEST(NumaAllocator, PlainArenaIsSharedAndUnbound) {
+  NumaAllocator& a = plain_arena();
+  NumaAllocator& b = plain_arena();
+  EXPECT_EQ(&a, &b);
+  EXPECT_FALSE(a.binds());
+  void* p = a.allocate(64, 3);  // node id is advisory for the plain arena
+  ASSERT_NE(p, nullptr);
+  a.deallocate(p, 64);
+}
+
+TEST(NumaAllocator, NumaNewRunsConstructorAndDeleter) {
+  struct Probe {
+    explicit Probe(int* flag) : flag_(flag) { *flag_ += 1; }
+    ~Probe() { *flag_ -= 1; }
+    int* flag_;
+    char payload[128] = {};
+  };
+  int alive = 0;
+  {
+    NumaUniquePtr<Probe> p = numa_new<Probe>(plain_arena(), 0, &alive);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(alive, 1);
+  }
+  EXPECT_EQ(alive, 0);
+}
+
+TEST(NumaAllocator, NumaNewReleasesMemoryWhenConstructorThrows) {
+  struct Thrower {
+    Thrower() { throw std::runtime_error("ctor"); }
+  };
+  EXPECT_THROW(numa_new<Thrower>(plain_arena(), 0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lama::support

@@ -222,5 +222,81 @@ TEST(MetricsParity, NetCountersAgreeWhenAttached) {
   }
 }
 
+TEST(MetricsParity, ShardedNetCountersAggregateBothDirections) {
+  // Three attached shards with distinct values, bumped directly so the
+  // aggregation is audited single-threaded. Direction 1: the aggregate
+  // STATS keys are the sums and the csv split lists each shard. Direction
+  // 2: the exposition's shard-labeled families carry the same per-shard
+  // values and sum back to the aggregate scalar.
+  MappingService service({.workers = 0});
+  NetCounters shard0;
+  NetCounters shard1;
+  NetCounters shard2;
+  shard0.text_requests.store(10);
+  shard0.responses.store(10);
+  shard0.accepted.store(3);
+  shard0.closed.store(1);
+  shard1.binary_requests.store(7);
+  shard1.responses.store(7);
+  shard1.accepted.store(2);
+  shard1.closed.store(2);
+  shard2.text_requests.store(1);
+  shard2.binary_requests.store(1);
+  shard2.responses.store(2);
+  service.attach_net(&shard0);
+  service.attach_net(&shard1);
+  service.attach_net(&shard2);
+
+  ProtocolSession session(service);
+  const std::map<std::string, std::string> stats =
+      parse_stats(execute(session, "STATS"));
+  EXPECT_EQ(stats.at("net_text_requests"), "11");
+  EXPECT_EQ(stats.at("net_binary_requests"), "8");
+  EXPECT_EQ(stats.at("net_responses"), "19");
+  EXPECT_EQ(stats.at("net_accepted"), "5");
+  EXPECT_EQ(stats.at("net_active"), "2");  // (3-1) + (2-2) + 0
+  EXPECT_EQ(stats.at("net_shards"), "3");
+  EXPECT_EQ(stats.at("net_shard_requests"), "10,7,2");
+  EXPECT_EQ(stats.at("net_shard_conns"), "2,0,0");
+
+  const std::vector<test::PromSample> samples =
+      test::parse_prometheus(execute(session, "METRICS"));
+  std::map<std::string, double> scalars;
+  std::map<std::string, std::map<std::string, double>> by_shard;
+  for (const test::PromSample& s : samples) {
+    if (s.labels.empty()) scalars[s.name] = s.value;
+    if (s.labels.count("shard")) by_shard[s.name][s.labels.at("shard")] = s.value;
+  }
+  EXPECT_EQ(scalars.at("lama_net_shards"), 3.0);
+  EXPECT_EQ(scalars.at("lama_net_responses_total"), 19.0);
+  const auto& reqs = by_shard.at("lama_net_shard_requests_total");
+  EXPECT_EQ(reqs.at("0"), 10.0);
+  EXPECT_EQ(reqs.at("1"), 7.0);
+  EXPECT_EQ(reqs.at("2"), 2.0);
+  double labeled_sum = 0;
+  for (const auto& [label, value] : reqs) labeled_sum += value;
+  EXPECT_EQ(labeled_sum, scalars.at("lama_net_text_requests_total") +
+                             scalars.at("lama_net_binary_requests_total"));
+  EXPECT_EQ(by_shard.at("lama_net_shard_active_connections").at("0"), 2.0);
+
+  // Detaching one shard shrinks both surfaces consistently; dropping to a
+  // single shard removes the sharded-only keys and families entirely.
+  service.detach_net(&shard1);
+  const std::map<std::string, std::string> after =
+      parse_stats(execute(session, "STATS"));
+  EXPECT_EQ(after.at("net_shards"), "2");
+  EXPECT_EQ(after.at("net_shard_requests"), "10,2");
+  EXPECT_EQ(after.at("net_responses"), "12");
+  service.detach_net(&shard2);
+  const std::map<std::string, std::string> solo =
+      parse_stats(execute(session, "STATS"));
+  EXPECT_EQ(solo.count("net_shards"), 0u);
+  EXPECT_EQ(solo.at("net_text_requests"), "10");
+  for (const test::PromSample& s :
+       test::parse_prometheus(execute(session, "METRICS"))) {
+    EXPECT_EQ(s.labels.count("shard"), 0u) << s.name;
+  }
+}
+
 }  // namespace
 }  // namespace lama::svc

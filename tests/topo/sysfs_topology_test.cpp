@@ -1,0 +1,167 @@
+#include "topo/sysfs_topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "support/error.hpp"
+#include "topo/fingerprint.hpp"
+#include "topo/node_topology.hpp"
+
+namespace lama {
+namespace {
+
+// Committed snapshots of /sys/devices/system/{cpu,node} trees; each case
+// exercises one discovery path without real hardware.
+SysfsPaths fixture(const std::string& name) {
+  const std::string root = std::string(LAMA_TEST_GOLDEN_DIR) + "/sysfs/" + name;
+  SysfsPaths paths;
+  paths.cpu_root = root + "/cpu";
+  paths.node_root = root + "/node";
+  return paths;
+}
+
+bool has_warning(const TopologyDiscovery& d, const std::string& needle) {
+  return std::any_of(d.warnings.begin(), d.warnings.end(),
+                     [&](const std::string& w) {
+                       return w.find(needle) != std::string::npos;
+                     });
+}
+
+TEST(SysfsTopology, SingleSocketNoSmt) {
+  const TopologyDiscovery d = discover_topology(fixture("single"));
+  EXPECT_EQ(d.sockets, 1u);
+  EXPECT_EQ(d.numa_nodes, 1u);
+  EXPECT_EQ(d.cores, 4u);
+  EXPECT_EQ(d.pus, 4u);
+  EXPECT_EQ(d.offline_pus, 0u);
+  EXPECT_FALSE(d.smt);
+  EXPECT_TRUE(d.numa_level);
+  EXPECT_TRUE(d.warnings.empty());
+  EXPECT_EQ(d.synthetic_equivalent, "socket:1 numa:1 core:4");
+  // Discovery keeps platform ids: the PU os_index is the OS cpu number the
+  // affinity layer needs.
+  ASSERT_EQ(d.topology.online_pus().count(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(d.topology.pu(i).os_index(), static_cast<int>(i));
+  }
+}
+
+TEST(SysfsTopology, DualSocketNuma) {
+  const TopologyDiscovery d = discover_topology(fixture("dual_numa"));
+  EXPECT_EQ(d.sockets, 2u);
+  EXPECT_EQ(d.numa_nodes, 4u);
+  EXPECT_EQ(d.cores, 8u);
+  EXPECT_EQ(d.pus, 8u);
+  EXPECT_FALSE(d.smt);
+  EXPECT_TRUE(d.numa_level);
+  EXPECT_EQ(d.synthetic_equivalent, "socket:2 numa:2 core:2");
+}
+
+TEST(SysfsTopology, SmtSiblingPairs) {
+  // cpus 0/2 share core 0 and 1/3 share core 1 — the interleaved sibling
+  // numbering real kernels use. The pu level must exist machine-wide.
+  const TopologyDiscovery d = discover_topology(fixture("smt"));
+  EXPECT_EQ(d.sockets, 1u);
+  EXPECT_EQ(d.cores, 2u);
+  EXPECT_EQ(d.pus, 4u);
+  EXPECT_TRUE(d.smt);
+  EXPECT_EQ(d.synthetic_equivalent, "socket:1 numa:1 core:2 pu:2");
+}
+
+TEST(SysfsTopology, OfflineHolesDisableAndOmit) {
+  // online=0-1,3,5 of present=0-5. cpu2 keeps its topology directory, so it
+  // enters the tree disabled; cpu4's directory is gone (as the kernel does
+  // on hot-remove), so it is omitted with a warning.
+  const TopologyDiscovery d = discover_topology(fixture("offline"));
+  EXPECT_EQ(d.sockets, 1u);
+  EXPECT_EQ(d.cores, 5u);
+  EXPECT_EQ(d.pus, 5u);
+  EXPECT_EQ(d.offline_pus, 1u);
+  EXPECT_FALSE(d.smt);
+  // The synthetic grammar cannot express disabled objects.
+  EXPECT_TRUE(d.synthetic_equivalent.empty());
+  EXPECT_TRUE(has_warning(d, "offline cpu4"));
+  // Only the online CPUs are usable for placement.
+  EXPECT_EQ(d.topology.online_pus().count(), 4u);
+  // The disabled core must survive canonicalization: a fully-online tree of
+  // the same shape hashes differently.
+  const NodeTopology all_online =
+      NodeTopology::synthetic("socket:1 numa:1 core:5");
+  EXPECT_NE(canonical_fingerprint(d.topology),
+            canonical_fingerprint(all_online));
+}
+
+TEST(SysfsTopology, MissingNodeDirAndMasksFallBack) {
+  // No online/present masks (directory scan must skip cpufreq) and no node
+  // root at all: the numa level is omitted and both fallbacks warn.
+  const TopologyDiscovery d = discover_topology(fixture("nonode"));
+  EXPECT_EQ(d.sockets, 1u);
+  EXPECT_EQ(d.numa_nodes, 0u);
+  EXPECT_EQ(d.cores, 2u);
+  EXPECT_EQ(d.pus, 2u);
+  EXPECT_FALSE(d.numa_level);
+  EXPECT_TRUE(has_warning(d, "treating every present cpu as online"));
+  EXPECT_TRUE(has_warning(d, "omitting the numa level"));
+  EXPECT_EQ(d.synthetic_equivalent, "socket:1 core:2");
+}
+
+TEST(SysfsTopology, UnusableRootThrows) {
+  SysfsPaths paths;
+  paths.cpu_root = std::string(LAMA_TEST_GOLDEN_DIR) + "/sysfs/does-not-exist";
+  paths.node_root = paths.cpu_root;
+  EXPECT_THROW(discover_topology(paths), MappingError);
+}
+
+// The parity contract the `lamactl topology` verb reports: for every
+// uniform fixture, the canonical fingerprint of the discovered tree equals
+// that of the synthetic tree built from its own equivalent description.
+TEST(SysfsTopology, CanonicalFingerprintMatchesSyntheticEquivalent) {
+  for (const char* name : {"single", "dual_numa", "smt", "nonode"}) {
+    const TopologyDiscovery d = discover_topology(fixture(name));
+    ASSERT_FALSE(d.synthetic_equivalent.empty()) << name;
+    const NodeTopology synthetic =
+        NodeTopology::synthetic(d.synthetic_equivalent);
+    EXPECT_EQ(canonical_fingerprint(d.topology),
+              canonical_fingerprint(synthetic))
+        << name << ": " << d.synthetic_equivalent;
+    // Raw fingerprints differ wherever platform numbering does — the smt
+    // fixture interleaves sibling ids (pu0/pu2 share a core) the way real
+    // kernels do — which is exactly why the parity check canonicalizes
+    // first. (Non-SMT leaves carry the OS cpu number, which happens to
+    // match synthetic counting on machines numbered sequentially.)
+    if (std::string(name) == "smt") {
+      EXPECT_NE(topology_fingerprint(d.topology),
+                topology_fingerprint(synthetic))
+          << name;
+    }
+  }
+}
+
+TEST(SysfsTopology, CanonicalRelabelPreservesShapeAndDisabled) {
+  const TopologyDiscovery d = discover_topology(fixture("offline"));
+  const NodeTopology relabeled = canonical_relabel(d.topology);
+  // Same online set size, same pu count, and idempotent: relabeling a
+  // canonical tree changes nothing.
+  EXPECT_EQ(relabeled.online_pus().count(), d.topology.online_pus().count());
+  EXPECT_EQ(topology_fingerprint(relabeled),
+            topology_fingerprint(canonical_relabel(relabeled)));
+}
+
+TEST(SysfsTopology, DiscoveryOnThisHostSucceeds) {
+  // Whatever machine CI runs on, the default roots must yield a usable
+  // tree that satisfies the parity contract when uniform.
+  const TopologyDiscovery d = discover_topology();
+  EXPECT_GE(d.sockets, 1u);
+  EXPECT_GE(d.pus, 1u);
+  EXPECT_GE(d.topology.online_pus().count(), 1u);
+  if (!d.synthetic_equivalent.empty()) {
+    EXPECT_EQ(canonical_fingerprint(d.topology),
+              canonical_fingerprint(
+                  NodeTopology::synthetic(d.synthetic_equivalent)));
+  }
+}
+
+}  // namespace
+}  // namespace lama

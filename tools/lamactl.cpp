@@ -39,12 +39,16 @@
 #include "support/error.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
+#include "support/numa.hpp"
 #include "svc/client.hpp"
 #include "svc/event_loop.hpp"
 #include "svc/fault_injector.hpp"
 #include "svc/protocol.hpp"
 #include "svc/service.hpp"
+#include "svc/shard_server.hpp"
 #include "tmatch/comm_matrix.hpp"
+#include "topo/serialize.hpp"
+#include "topo/sysfs_topology.hpp"
 
 // Exit codes shared by the client-side subcommands: 0 success, 1 error,
 // 2 failed fault-injection invariants, 3 still busy after retries exhausted
@@ -108,6 +112,9 @@ int run_serve(const std::vector<std::string>& args) {
   std::size_t trace_dump_cap = 256;
   dur::DurConfig dur_config;
   bool persist = true;
+  std::size_t shards = 1;
+  bool discover = false;
+  bool affinity = true;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     auto need_value = [&] {
@@ -136,7 +143,14 @@ int run_serve(const std::vector<std::string>& args) {
     } else if (arg == "--workers") {
       config.workers = parse_size(need_value(), "serve workers");
     } else if (arg == "--shards") {
-      config.cache_shards = parse_size(need_value(), "serve shards");
+      shards = parse_size(need_value(), "serve shards");
+      if (shards == 0) shards = 1;
+    } else if (arg == "--cache-shards") {
+      config.cache_shards = parse_size(need_value(), "serve cache-shards");
+    } else if (arg == "--discover-topology") {
+      discover = true;
+    } else if (arg == "--no-affinity") {
+      affinity = false;
     } else if (arg == "--capacity") {
       config.shard_capacity = parse_size(need_value(), "serve capacity");
     } else if (arg == "--max-queue") {
@@ -176,6 +190,39 @@ int run_serve(const std::vector<std::string>& args) {
       throw ParseError("unknown serve option: " + arg);
     }
   }
+  if (shards > 1 && listen_addr.empty()) {
+    throw ParseError("--shards > 1 requires --listen (stdin is one stream)");
+  }
+  if (shards > 1 && !dur_config.dir.empty() && persist) {
+    // The durability journal is single-writer and sessions are shard-local;
+    // N shards journaling into one store would interleave un-serializably.
+    throw ParseError(
+        "--state-dir requires --shards 1 (one journal, one writer); "
+        "use --no-persist to shard without durability");
+  }
+
+  // --discover-topology: parse the real machine out of sysfs, NUMA-place
+  // the cache shards on it, and let LAMA map the server's own shard
+  // threads over it (unless --no-affinity).
+  std::optional<TopologyDiscovery> discovery;
+  std::unique_ptr<support::NumaTopology> numa_topo;
+  std::unique_ptr<support::NumaAllocator> numa_arena;
+  std::vector<std::vector<int>> shard_affinity;
+  if (discover) {
+    discovery.emplace(discover_topology());
+    for (const std::string& warning : discovery->warnings) {
+      std::fprintf(stderr, "lamactl: topology: %s\n", warning.c_str());
+    }
+    numa_topo = support::make_numa_topology();
+    numa_arena = support::make_numa_allocator(*numa_topo);
+    config.shard_arena = numa_arena.get();
+    config.numa_topology = numa_topo.get();
+    if (affinity) {
+      shard_affinity =
+          svc::compute_shard_affinity(discovery->topology, shards);
+    }
+  }
+
   svc::MappingService service(config);
   install_trace_dump(service, trace_dump, trace_dump_cap);
   install_shutdown_signals();
@@ -200,11 +247,29 @@ int run_serve(const std::vector<std::string>& args) {
     if (g_signal != 0 && !service.draining()) service.begin_drain();
     return service.draining();
   };
-  if (!listen_addr.empty()) {
+  if (!listen_addr.empty() && shards > 1) {
+    // Sharded socket mode: N epoll loops behind one SO_REUSEPORT port,
+    // shard-local sessions, one global connection cap, shard threads
+    // pinned by LAMA's own mapping when the topology was discovered.
+    svc::ShardServerConfig shard_config;
+    shard_config.shards = shards;
+    shard_config.net = net_config;
+    shard_config.affinity = shard_affinity;
+    svc::ShardedServer server(service, shard_config);
+    server.listen(listen_addr);
+    std::fprintf(stderr, "lamactl: listening on %s with %zu shards%s\n",
+                 server.bound_address().to_string().c_str(), shards,
+                 shard_affinity.empty() ? "" : " (affinity mapped)");
+    server.run(stop);
+    if (stats) std::fputs(service.render_stats().c_str(), stderr);
+  } else if (!listen_addr.empty()) {
     // Socket mode: the epoll event loop serves many keep-alive connections,
     // text or binary framing per connection (docs/service.md). The drain
     // closes the acceptor, flushes in-flight connections, then falls
     // through to the snapshot below.
+    if (!shard_affinity.empty()) {
+      net_config.affinity_cpus = shard_affinity.front();
+    }
     svc::EventLoopServer server(service, session, net_config);
     server.listen(listen_addr);
     std::fprintf(stderr, "lamactl: listening on %s\n",
@@ -1557,6 +1622,114 @@ int run_top(const std::vector<std::string>& args) {
   return 0;
 }
 
+// `lamactl topology [--json]`: one-shot discovery of the machine lamactl is
+// running on — the sysfs-parsed tree, counts, warnings, and the canonical
+// fingerprint parity check against an equivalent synthetic description
+// (auto-derived for uniform machines, or supplied with --parity). Exit 0
+// when parity holds (or no description exists to compare), 1 on mismatch.
+// --cpu-root/--node-root point at fixture snapshots for tests.
+int run_topology(const std::vector<std::string>& args) {
+  bool json = false;
+  std::string parity_desc;
+  SysfsPaths paths;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto need_value = [&] {
+      if (i + 1 >= args.size()) {
+        throw ParseError("option " + arg + " requires a value");
+      }
+      return args[++i];
+    };
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--parity") {
+      parity_desc = need_value();
+    } else if (arg == "--cpu-root") {
+      paths.cpu_root = need_value();
+    } else if (arg == "--node-root") {
+      paths.node_root = need_value();
+    } else {
+      throw ParseError("unknown topology option: " + arg);
+    }
+  }
+
+  const TopologyDiscovery d = discover_topology(paths);
+  const std::uint64_t fp = canonical_fingerprint(d.topology);
+  const std::string parity_against =
+      parity_desc.empty() ? d.synthetic_equivalent : parity_desc;
+  bool parity_checked = false;
+  bool parity_ok = true;
+  std::uint64_t synth_fp = 0;
+  std::string synth_shape;
+  if (!parity_against.empty()) {
+    const NodeTopology synth = NodeTopology::synthetic(parity_against);
+    synth_fp = canonical_fingerprint(synth);
+    synth_shape = synth.shape_string();
+    parity_checked = true;
+    parity_ok = synth_fp == fp;
+  }
+
+  if (json) {
+    std::ostringstream out;
+    out << "{\"sockets\":" << d.sockets << ",\"numa_nodes\":" << d.numa_nodes
+        << ",\"cores\":" << d.cores << ",\"pus\":" << d.pus
+        << ",\"offline_pus\":" << d.offline_pus
+        << ",\"smt\":" << (d.smt ? "true" : "false")
+        << ",\"numa_level\":" << (d.numa_level ? "true" : "false")
+        << ",\"synthetic_equivalent\":\"" << d.synthetic_equivalent
+        << "\",\"canonical_fingerprint\":\"" << std::hex << fp << std::dec
+        << "\"";
+    if (parity_checked) {
+      out << ",\"parity\":{\"against\":\"" << parity_against
+          << "\",\"fingerprint\":\"" << std::hex << synth_fp << std::dec
+          << "\",\"match\":" << (parity_ok ? "true" : "false") << "}";
+    }
+    out << ",\"warnings\":[";
+    for (std::size_t i = 0; i < d.warnings.size(); ++i) {
+      std::string escaped;
+      for (const char c : d.warnings[i]) {
+        if (c == '"' || c == '\\') escaped += '\\';
+        escaped += c;
+      }
+      out << (i == 0 ? "" : ",") << "\"" << escaped << "\"";
+    }
+    out << "]}";
+    std::printf("%s\n", out.str().c_str());
+    return parity_ok ? 0 : 1;
+  }
+
+  std::printf("%s", d.topology.render().c_str());
+  std::printf(
+      "discovered %zu socket(s), %zu numa node(s), %zu core(s), %zu pu(s)"
+      "%s%s\n",
+      d.sockets, d.numa_nodes, d.cores, d.pus, d.smt ? ", smt" : "",
+      d.offline_pus > 0 ? (", " + std::to_string(d.offline_pus) +
+                           " offline pu(s)").c_str()
+                        : "");
+  for (const std::string& warning : d.warnings) {
+    std::printf("warning: %s\n", warning.c_str());
+  }
+  if (!d.synthetic_equivalent.empty()) {
+    std::printf("synthetic equivalent: %s\n", d.synthetic_equivalent.c_str());
+  }
+  std::printf("canonical fingerprint: %016llx\n",
+              static_cast<unsigned long long>(fp));
+  if (parity_checked) {
+    if (parity_ok) {
+      std::printf("parity: MATCH against \"%s\"\n", parity_against.c_str());
+    } else {
+      std::printf("parity: MISMATCH against \"%s\"\n", parity_against.c_str());
+      std::printf("  discovered %s (fingerprint %016llx)\n",
+                  d.topology.shape_string().c_str(),
+                  static_cast<unsigned long long>(fp));
+      std::printf("  synthetic  %s (fingerprint %016llx)\n",
+                  synth_shape.c_str(),
+                  static_cast<unsigned long long>(synth_fp));
+    }
+  }
+  return parity_ok ? 0 : 1;
+}
+
 int run(const std::vector<std::string>& args) {
   std::string cluster_path;
   std::string hostfile_path;
@@ -1667,6 +1840,9 @@ int main(int argc, char** argv) {
     if (!args.empty() && args[0] == "top") {
       return run_top({args.begin() + 1, args.end()});
     }
+    if (!args.empty() && args[0] == "topology") {
+      return run_topology({args.begin() + 1, args.end()});
+    }
     return run(args);
   } catch (const lama::Error& e) {
     std::fprintf(stderr, "lamactl: %s\n", e.what());
@@ -1676,7 +1852,7 @@ int main(int argc, char** argv) {
         "               [mpirun options: -np N, --map-by lama:<layout>,\n"
         "                --bind-to <level>, --by-*, --npernode N, ...]\n"
         "               [--pattern <name>[:<bytes>]]\n"
-        "       lamactl serve [--workers N] [--shards N] [--capacity N]\n"
+        "       lamactl serve [--workers N] [--cache-shards N] [--capacity N]\n"
         "               [--max-queue N] [--max-inflight N] [--timeout-ms N]\n"
         "               [--retry-after-ms N] [--no-verify] [--stats]\n"
         "               [--flight-recorder N] [--trace-sample N]\n"
@@ -1687,10 +1863,15 @@ int main(int argc, char** argv) {
         "               [--state-dir <dir> [--snapshot-every N]\n"
         "                [--fsync-every N] [--no-prewarm] | --no-persist]\n"
         "               [--listen tcp:<host>:<port>|unix:<path>\n"
-        "                [--max-connections N]]  # epoll socket server; text\n"
-        "               # and binary wire framings auto-detected per conn\n"
+        "                [--max-connections N] [--shards N]\n"
+        "                [--discover-topology] [--no-affinity]]\n"
+        "               # epoll socket server; text and binary wire framings\n"
+        "               # auto-detected per conn; --shards N runs N epoll\n"
+        "               # loops behind one SO_REUSEPORT port (TCP, global\n"
+        "               # connection cap); --discover-topology parses sysfs\n"
+        "               # and LAMA maps the shard threads onto the machine\n"
         "               # --state-dir journals mutations and restores them\n"
-        "               # on restart; SIGTERM/SIGINT drain and exit 0\n"
+        "               # on restart (--shards 1 only); SIGTERM/SIGINT drain\n"
         "       lamactl query --cluster <file> [--hostfile <file>] -np N\n"
         "               [--map-by <spec>] [--bind-to <level>] [--id <name>]\n"
         "               [--npernode N] [--timeout-ms N] [--stats]\n"
@@ -1736,7 +1917,13 @@ int main(int argc, char** argv) {
         "       lamactl top --connect <addr> [--binary] [--interval-ms N]\n"
         "               [--once [--json]]  # live dashboard over the WATCH\n"
         "               # verb: per-verb SLO burn, stage latency heatmap,\n"
-        "               # qps, cache hit ratios; --once --json for scripts\n");
+        "               # qps, cache hit ratios; --once --json for scripts\n"
+        "       lamactl topology [--json] [--parity <synthetic-desc>]\n"
+        "               [--cpu-root <dir>] [--node-root <dir>]\n"
+        "               # discover this machine from sysfs: tree, counts,\n"
+        "               # warnings, canonical-fingerprint parity vs an\n"
+        "               # equivalent synthetic description (exit 1 on\n"
+        "               # mismatch); roots override for fixture snapshots\n");
     return 1;
   }
 }
